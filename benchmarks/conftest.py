@@ -1,0 +1,55 @@
+"""Shared fixtures and helpers for the benchmark/reproduction harness.
+
+Every file in this directory regenerates one table or figure of the
+paper (see DESIGN.md section 3).  The harness prints the paper's
+numbers next to ours; absolute values differ (1990 DECstation vs
+today's machine, C vs Python, real X vs simulator) but the *shapes* —
+orderings, ratios, crossovers — are asserted.
+"""
+
+import io
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.tk import TkApp
+from repro.x11 import XServer
+
+
+@pytest.fixture
+def server():
+    return XServer()
+
+
+@pytest.fixture
+def app(server):
+    application = TkApp(server, name="bench")
+    application.interp.stdout = io.StringIO()
+    return application
+
+
+def fresh_app(name="bench"):
+    application = TkApp(XServer(), name=name)
+    application.interp.stdout = io.StringIO()
+    return application
+
+
+def print_table(title, headers, rows):
+    """Print an aligned table into the captured test output."""
+    widths = [len(header) for header in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join("%-*s" % (width, header)
+                     for width, header in zip(widths, headers))
+    print()
+    print("=== %s ===" % title)
+    print(line)
+    print("-" * len(line))
+    for row in text_rows:
+        print("  ".join("%-*s" % (width, cell)
+                        for width, cell in zip(widths, row)))

@@ -1,0 +1,77 @@
+"""Ablation: the resource caches of section 3.3.
+
+"If the same resource is requested multiple times for different
+purposes, only the first request results in server traffic ... a
+substantial boost in performance in the common case where a few
+resources are used in many different widgets."
+
+With the cache disabled, every color/font lookup is a server round
+trip; with it enabled, round trips scale with the number of *distinct*
+textual names, not with the number of uses.
+"""
+
+import io
+
+import pytest
+
+from repro.tk import TkApp
+from repro.tk.cache import ResourceCache
+from repro.x11 import Display, XServer
+
+from conftest import print_table
+
+N_WIDGETS = 25
+DISTINCT_RESOURCES = 2       # one color + one font reused everywhere
+
+
+def build_app(cache_enabled: bool):
+    server = XServer()
+    app = TkApp(server, name="cachebench", cache_enabled=cache_enabled)
+    app.interp.stdout = io.StringIO()
+    before = server.round_trips
+    for index in range(N_WIDGETS):
+        app.interp.eval(
+            "button .b%d -bg MediumSeaGreen -font fixed -text B%d"
+            % (index, index))
+        app.interp.eval("pack append . .b%d {top}" % index)
+    app.update()
+    return server.round_trips - before
+
+
+def test_cache_round_trip_reduction(benchmark):
+    with_cache = build_app(cache_enabled=True)
+    without_cache = benchmark(build_app, False)
+    print_table(
+        "Ablation (section 3.3): server round trips for %d widgets "
+        "sharing %d resources" % (N_WIDGETS, DISTINCT_RESOURCES),
+        ("Configuration", "Round trips"),
+        [("resource cache ON", with_cache),
+         ("resource cache OFF", without_cache),
+         ("savings", "%.0f%%" % (100 * (1 - with_cache /
+                                        max(1, without_cache))))])
+    # With the cache, traffic is O(distinct names); without, O(uses).
+    assert without_cache >= N_WIDGETS
+    assert with_cache < without_cache / 3
+
+
+def test_cache_lookup_speed(benchmark):
+    """Cached lookups don't just avoid traffic — they are plain dict
+    hits, fast enough to sit on every redraw path."""
+    cache = ResourceCache(Display(XServer()))
+    cache.color("MediumSeaGreen")
+    color = benchmark(cache.color, "MediumSeaGreen")
+    assert color.rgb == (60, 179, 113)
+
+
+def test_gc_sharing(benchmark):
+    """Graphics contexts with identical values are shared too."""
+    cache = ResourceCache(Display(XServer()))
+
+    def mixed_gcs():
+        for _ in range(50):
+            cache.gc(foreground=1, font="fixed")
+            cache.gc(foreground=2, font="fixed")
+        return cache
+
+    result = benchmark(mixed_gcs)
+    assert len(result._gcs) == 2

@@ -1,0 +1,68 @@
+"""Figure 8 — geometry management example.
+
+Four windows with requested sizes A=100x40, B=60x30, C=140x50, D=80x80
+are arranged all-in-a-column inside a 120x160 parent.  The paper's
+figure shows C ending up with less width than requested and D with
+less height, because there was insufficient space; the widgets make do
+with what they are assigned.
+"""
+
+from conftest import fresh_app, print_table
+
+REQUESTED = [("a", 100, 40), ("b", 60, 30), ("c", 140, 50),
+             ("d", 80, 80)]
+
+
+def build():
+    app = fresh_app("fig8")
+    app.interp.eval("frame .parent -geometry 120x160")
+    app.interp.eval("pack append . .parent {top}")
+    for name, width, height in REQUESTED:
+        app.interp.eval("frame .parent.%s -geometry %dx%d"
+                        % (name, width, height))
+    app.interp.eval("pack append .parent " + " ".join(
+        ".parent.%s {top}" % name for name, _w, _h in REQUESTED))
+    app.update()
+    return app
+
+
+def test_figure8_layout(benchmark):
+    app = benchmark(build)
+    rows = []
+    for name, req_w, req_h in REQUESTED:
+        window = app.window(".parent.%s" % name)
+        rows.append((name.upper(), "%dx%d" % (req_w, req_h),
+                     "%dx%d+%d+%d" % (window.width, window.height,
+                                      window.x, window.y)))
+    print_table("Figure 8: all-in-a-column geometry management "
+                "(parent 120x160)",
+                ("Window", "Requested", "Assigned"), rows)
+    a = app.window(".parent.a")
+    b = app.window(".parent.b")
+    c = app.window(".parent.c")
+    d = app.window(".parent.d")
+    # A and B fit and get exactly what they asked for.
+    assert (a.width, a.height) == (100, 40)
+    assert (b.width, b.height) == (60, 30)
+    # C is truncated in width (parent only 120 wide).
+    assert (c.width, c.height) == (120, 50)
+    # D is truncated in height (only 160-40-30-50 = 40 left).
+    assert (d.width, d.height) == (80, 40)
+    # Column order, top down.
+    assert a.y < b.y < c.y < d.y
+    assert d.y + d.height <= 160
+
+
+def test_figure8_relayout_cost(benchmark):
+    """How quickly the packer re-arranges when a request changes."""
+    app = build()
+
+    state = {"flip": False}
+
+    def relayout():
+        state["flip"] = not state["flip"]
+        size = "100x40" if state["flip"] else "90x35"
+        app.interp.eval(".parent.a configure -geometry %s" % size)
+        app.update()
+
+    benchmark(relayout)

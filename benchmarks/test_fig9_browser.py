@@ -1,0 +1,86 @@
+"""Figure 9 — the 21-line wish directory browser.
+
+The benchmark regenerates the paper's scenario end to end: the script
+is loaded verbatim into wish over a populated directory, entries are
+selected, space opens the editor (or a sub-browser for directories),
+and Control-q exits.  Timing covers the full script startup.
+"""
+
+import io
+import os
+
+import pytest
+
+from repro.wish import Wish
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+SCRIPT = os.path.join(HERE, "..", "examples", "browse.tcl")
+
+
+@pytest.fixture
+def tree(tmp_path):
+    for name in ("alpha.txt", "beta.txt", "gamma.txt"):
+        (tmp_path / name).write_text(name)
+    (tmp_path / "docs").mkdir()
+    return tmp_path
+
+
+def test_figure9_startup(benchmark, tree):
+    """Time to start the browser: wish + script + first layout."""
+
+    def start():
+        shell = Wish(name="browse", stdout=io.StringIO(),
+                     argv=[str(tree)])
+        shell.run_file(SCRIPT)
+        return shell
+
+    shell = benchmark(start)
+    assert int(shell.interp.eval(".list size")) == 6   # . .. 3 files docs
+
+
+def test_figure9_interaction(benchmark, tree):
+    """One full user interaction: select a file and press space."""
+    shell = Wish(name="browse", stdout=io.StringIO(), argv=[str(tree)])
+    shell.run_file(SCRIPT)
+    lst = shell.app.window(".list")
+
+    def interact():
+        shell.interp.eval(".list select from 2")
+        shell.server.press_key("space", window_id=lst.id)
+        shell.app.update()
+
+    benchmark(interact)
+    assert shell.registry.edited_files
+    assert shell.registry.edited_files[0].endswith("alpha.txt")
+
+
+def test_figure9_behaviour_summary(benchmark, tree):
+    """Re-assert the figure's full behaviour in one pass (printed)."""
+
+    def scenario():
+        shell = Wish(name="browse", stdout=io.StringIO(),
+                     argv=[str(tree)])
+        shell.run_file(SCRIPT)
+        lst = shell.app.window(".list")
+        shell.interp.eval(".list select from 2")       # alpha.txt
+        shell.server.press_key("space", window_id=lst.id)
+        shell.app.update()
+        docs_index = shell.interp.eval(
+            "lsearch [exec ls -a %s] docs" % tree)
+        shell.interp.eval(".list select from %s" % docs_index)
+        shell.server.press_key("space", window_id=lst.id)
+        shell.app.update()
+        shell.server.press_key("q", state=4, window_id=lst.id)
+        shell.app.update()
+        return shell
+
+    shell = benchmark(scenario)
+    print()
+    print("Figure 9 scenario: edited=%s spawned=%s exited=%s"
+          % ([os.path.basename(p) for p in shell.registry.edited_files],
+             [os.path.basename(p[-1])
+              for p in shell.registry.background_commands],
+             shell.destroyed))
+    assert shell.registry.edited_files
+    assert shell.registry.background_commands
+    assert shell.destroyed

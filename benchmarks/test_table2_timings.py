@@ -1,0 +1,103 @@
+"""Table II — execution times for selected operations in Tk.
+
+| Operation                           | Paper (DS3100) |
+|-------------------------------------|----------------|
+| Simple Tcl command (set a 1)        | 68 us          |
+| Send empty command                  | 15 ms          |
+| Create, display, delete 50 buttons  | 440 ms         |
+
+We reproduce the three rows with pytest-benchmark and assert the
+*shape*: the Tcl command is orders of magnitude cheaper than a send,
+and creating/displaying/deleting 50 buttons dwarfs a single send.
+"""
+
+import io
+
+import pytest
+
+from repro.tk import TkApp
+from repro.x11 import XServer
+
+from conftest import print_table
+
+PAPER_ROWS = [
+    ("Simple Tcl command (set a 1)", "68 us"),
+    ("Send empty command", "15 ms"),
+    ("Create, display, delete 50 buttons", "440 ms"),
+]
+
+#: Shared across the three benchmarks so the summary can compare them.
+_measured = {}
+
+
+@pytest.fixture(scope="module")
+def send_pair():
+    server = XServer()
+    sender = TkApp(server, name="sender")
+    receiver = TkApp(server, name="receiver")
+    sender.interp.stdout = io.StringIO()
+    receiver.interp.stdout = io.StringIO()
+    return sender, receiver
+
+
+def test_simple_tcl_command(benchmark):
+    """Table II row 1: evaluating ``set a 1``."""
+    from repro.tcl import Interp
+    interp = Interp()
+    result = benchmark(interp.eval, "set a 1")
+    assert result == "1"
+    _measured["set"] = benchmark.stats.stats.mean
+
+
+def test_send_empty_command(benchmark, send_pair):
+    """Table II row 2: a full send round trip with an empty command."""
+    sender, receiver = send_pair
+
+    def send_empty():
+        return sender.interp.eval('send receiver ""')
+
+    result = benchmark(send_empty)
+    assert result == ""
+    _measured["send"] = benchmark.stats.stats.mean
+
+
+def test_create_display_delete_50_buttons(benchmark):
+    """Table II row 3: 50 buttons created, packed, displayed, destroyed."""
+    app = TkApp(XServer(), name="buttons")
+    app.interp.stdout = io.StringIO()
+
+    def fifty_buttons():
+        for index in range(50):
+            app.interp.eval(
+                'button .b%d -text "Button %d" -command {set pressed %d}'
+                % (index, index, index))
+            app.interp.eval("pack append . .b%d {top}" % index)
+        app.update()                      # display them all
+        for index in range(50):
+            app.interp.eval("destroy .b%d" % index)
+        app.update()
+
+    benchmark(fifty_buttons)
+    _measured["buttons"] = benchmark.stats.stats.mean
+
+
+def test_table2_shape(benchmark):
+    """Assert the ordering the paper reports and print the table."""
+    benchmark(lambda: None)
+    if len(_measured) < 3:
+        pytest.skip("run the whole file to collect all three rows")
+    set_s = _measured["set"]
+    send_s = _measured["send"]
+    buttons_s = _measured["buttons"]
+    rows = []
+    for (operation, paper), measured in zip(
+            PAPER_ROWS, (set_s, send_s, buttons_s)):
+        rows.append((operation, paper, "%.3f ms" % (measured * 1e3)))
+    print_table("Table II: operation timings (paper vs measured)",
+                ("Operation", "Paper", "Measured"), rows)
+    # Shape: set << send << 50 buttons, with the same orders of
+    # magnitude of separation the paper shows (68us : 15ms : 440ms).
+    assert set_s * 10 < send_s, "a Tcl command should be >>10x " \
+        "cheaper than a send"
+    assert send_s < buttons_s, "50 buttons should cost more than one send"
+    assert set_s * 100 < buttons_s

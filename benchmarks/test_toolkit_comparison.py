@@ -1,0 +1,129 @@
+"""Head-to-head: the same workload on Tk (interpreted Tcl) and on the
+Xt-like baseline (compiled callbacks).
+
+The paper argues Tcl's interpretive layer is cheap enough not to
+matter ("Tk has not undergone any performance tuning yet...").  Here
+both toolkits run on the same simulated server, so the comparison
+isolates the cost of going through the interpreter: widget creation
+through a Tcl command versus direct compiled construction, and a
+button click dispatched through a Tcl binding versus a compiled
+callback.
+"""
+
+import io
+
+import pytest
+
+from repro.baseline import (Shell, XmPushButton, XtAppContext,
+                            register_baseline_actions)
+from repro.tk import TkApp
+from repro.x11 import XServer
+
+from conftest import print_table
+
+_results = {}
+
+
+def test_tk_create_20_buttons(benchmark):
+    def build():
+        app = TkApp(XServer(), name="tkside")
+        app.interp.stdout = io.StringIO()
+        for index in range(20):
+            app.interp.eval("button .b%d -text {Button %d}"
+                            % (index, index))
+            app.interp.eval("pack append . .b%d {top}" % index)
+        app.update()
+        return app
+
+    app = benchmark(build)
+    assert len(app.interp.eval("winfo children .").split()) == 20
+    _results["tk_create"] = benchmark.stats.stats.mean
+
+
+def test_baseline_create_20_buttons(benchmark):
+    def build():
+        context = XtAppContext(XServer(), name="xtside")
+        register_baseline_actions(context)
+        shell = Shell(context, "top", width=200, height=400)
+        from repro.baseline import XmPanedWindow
+        pane = XmPanedWindow("pane", shell, width=200, height=400)
+        for index in range(20):
+            button = XmPushButton("b%d" % index, pane,
+                                  labelString="Button %d" % index)
+            button.manage()
+        pane.manage()
+        shell.realize()
+        context.process_pending()
+        return context
+
+    context = benchmark(build)
+    assert len(context._windows) >= 20
+    _results["baseline_create"] = benchmark.stats.stats.mean
+
+
+def test_tk_click_dispatch(benchmark):
+    app = TkApp(XServer(), name="clicktk")
+    app.interp.stdout = io.StringIO()
+    app.interp.eval("set count 0")
+    app.interp.eval("button .b -text hit -command {incr count}")
+    app.interp.eval("pack append . .b {top}")
+    app.update()
+    server = app.server
+    window = app.window(".b")
+    x, y = window.root_position()
+    server.warp_pointer(x + 2, y + 2)
+
+    def click():
+        server.press_button(1)
+        server.release_button(1)
+        app.update()
+
+    benchmark(click)
+    assert int(app.interp.eval("set count")) > 0
+    _results["tk_click"] = benchmark.stats.stats.mean
+
+
+def test_baseline_click_dispatch(benchmark):
+    context = XtAppContext(XServer(), name="clickxt")
+    register_baseline_actions(context)
+    shell = Shell(context, "top", width=100, height=100)
+    button = XmPushButton("b", shell, labelString="hit")
+    button.manage()
+    shell.realize()
+    context.process_pending()
+    count = [0]
+    button.add_callback(XmPushButton.ACTIVATE,
+                        lambda w, c, d: count.__setitem__(0,
+                                                          count[0] + 1))
+    server = context.server
+    window = server.window(button.window_id)
+    x, y = window.root_position()
+    server.warp_pointer(x + 2, y + 2)
+
+    def click():
+        server.press_button(1)
+        server.release_button(1)
+        context.process_pending()
+
+    benchmark(click)
+    assert count[0] > 0
+    _results["baseline_click"] = benchmark.stats.stats.mean
+
+
+def test_comparison_summary(benchmark):
+    benchmark(lambda: None)
+    if len(_results) < 4:
+        pytest.skip("run the whole file for the summary")
+    rows = [
+        ("create 20 buttons", "%.2f ms" % (_results["tk_create"] * 1e3),
+         "%.2f ms" % (_results["baseline_create"] * 1e3)),
+        ("one click dispatch", "%.3f ms" % (_results["tk_click"] * 1e3),
+         "%.3f ms" % (_results["baseline_click"] * 1e3)),
+    ]
+    print_table(
+        "Tk (Tcl commands) vs baseline (compiled callbacks), same server",
+        ("Workload", "Tk", "Baseline"), rows)
+    # The interpretive layer must stay within interactive reach of the
+    # compiled baseline — far inside human response time.
+    assert _results["tk_click"] < 0.25
+    assert _results["tk_create"] < 1.0

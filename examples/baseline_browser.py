@@ -1,0 +1,106 @@
+"""The Figure 9 directory browser, rebuilt on the baseline (Xt-like)
+toolkit — the paper's point made concrete.
+
+The Tcl version is a 21-line wish script (examples/browse.tcl).  This
+version needs compiled code for every behaviour the script got for
+free: an adapter callback to connect the scroll bar to the list, a
+selection-tracking callback, explicit action procedures and translation
+overrides for the space and Control-q keys, and a main program.  Count
+the lines.
+
+Run:  python examples/baseline_browser.py [directory]
+"""
+
+import os
+import sys
+
+from repro.baseline import (Shell, XmList, XmPanedWindow, XmScrollBar,
+                            XtAppContext, register_baseline_actions)
+from repro.x11 import XServer
+
+
+class BaselineBrowser:
+    """A directory browser with compiled-in behaviour."""
+
+    def __init__(self, server, directory):
+        self.directory = directory
+        self.app = XtAppContext(server, name="browse")
+        register_baseline_actions(self.app)
+        # Behaviours beyond the stock widget set need new compiled
+        # actions, registered before any translation can name them.
+        self.app.add_actions({
+            "BrowseSelected": self._browse_selected_action,
+            "Quit": self._quit_action,
+        })
+        self.shell = Shell(self.app, "browse")
+        self.pane = XmPanedWindow("pane", self.shell, width=180,
+                                  height=260)
+        self.list = XmList("list", self.pane, visibleItemCount=20)
+        self.scroll = XmScrollBar("scroll", self.pane,
+                                  maximum=1, sliderSize=1)
+        # Compiled adapter: scroll bar -> list (Tk: -command ".list view").
+        self.scroll.add_callback(XmScrollBar.VALUE_CHANGED,
+                                 self._scroll_adapter, self.list)
+        # Compiled adapter: list selection bookkeeping.
+        self.selection = []
+        self.list.add_callback(XmList.SELECTION, self._selection_changed)
+        # Key behaviour must be spliced into the translation table.
+        self.list.override_translations(
+            "<Key>space: BrowseSelected()\n"
+            "Ctrl <Key>q: Quit()\n")
+        self._fill()
+        self.pane.manage()
+        self.list.manage()
+        self.scroll.manage()
+        self.shell.realize()
+        self.edited = []
+        self.spawned = []
+
+    # -- compiled callbacks and actions ---------------------------------
+
+    def _scroll_adapter(self, widget, client_data, call_data):
+        client_data.set_top_item(call_data)
+
+    def _selection_changed(self, widget, client_data, call_data):
+        self.selection = call_data
+
+    def _browse_selected_action(self, widget, event, arguments):
+        for index in self.selection:
+            self._browse(self.list.get_item(index))
+
+    def _quit_action(self, widget, event, arguments):
+        self.shell.destroy()
+        self.app.destroyed = True
+
+    # -- application logic ------------------------------------------------
+
+    def _fill(self):
+        names = [".", ".."] + sorted(os.listdir(self.directory))
+        for name in names:
+            self.list.add_item(name)
+        self.scroll.set_values(maximum=len(names),
+                               sliderSize=min(20, len(names)))
+
+    def _browse(self, name):
+        path = os.path.join(self.directory, name) \
+            if self.directory != "." else name
+        if os.path.isdir(path):
+            self.spawned.append(path)
+        elif os.path.isfile(path):
+            self.edited.append(path)
+        else:
+            sys.stderr.write(
+                "%s isn't a directory or regular file\n" % path)
+
+
+def main():
+    directory = sys.argv[1] if len(sys.argv) > 1 else "."
+    browser = BaselineBrowser(XServer(), directory)
+    print("baseline browser over %s: %d entries"
+          % (directory, browser.list.item_count()))
+    browser.app.process_pending()
+    return browser
+
+
+if __name__ == "__main__":
+    main()

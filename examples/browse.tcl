@@ -1,0 +1,24 @@
+#!wish -f
+# The directory browser of the paper's Figure 9, verbatim.
+scrollbar .scroll -command ".list view"
+listbox .list -scroll ".scroll set" -relief raised -geometry 20x20
+pack append . .scroll {right filly} .list {left expand fill}
+
+proc browse {dir file} {
+    if {[string compare $dir "."] != 0} {set file $dir/$file}
+    if [file $file isdirectory] {
+        set cmd [list exec sh -c "browse $file &"]
+        eval $cmd
+    } else {
+        if [file $file isfile] {exec mx $file} else {
+            print "$file isn't a directory or regular file\n"
+        }
+    }
+}
+
+if $argc>0 {set dir [index $argv 0]} else {set dir "."}
+foreach i [exec ls -a $dir] {
+    .list insert end $i
+}
+bind .list <space> {foreach i [selection get] {browse $dir $i}}
+bind .list <Control-q> {destroy .}

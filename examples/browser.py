@@ -1,0 +1,67 @@
+"""Figure 9: run the paper's 21-line directory browser under wish.
+
+The Tcl script (examples/browse.tcl) is the figure verbatim.  This
+driver starts it over a directory, simulates the user selecting an
+entry and pressing space, and prints the Figure 10 screen dump.
+
+Run:  python examples/browser.py [directory]
+"""
+
+import io
+import os
+import sys
+
+from repro.wish import Wish
+from repro.x11 import Renderer
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "browse.tcl")
+
+
+def main():
+    directory = sys.argv[1] if len(sys.argv) > 1 else "."
+    shell = Wish(name="browse", stdout=io.StringIO(), argv=[directory])
+
+    # Recursive browsing: background "browse dir &" requests spawn a
+    # child browser on the same display (each is its own application;
+    # they could talk to each other with send).
+    children = []
+
+    def spawn(command):
+        if command and command[0] == "browse":
+            child = Wish(server=shell.server, name="browse",
+                         stdout=io.StringIO(), argv=[command[1]])
+            child.interp.exec_handler = shell.registry
+            child.run_file(SCRIPT)
+            children.append(child)
+
+    shell.registry.on_background = spawn
+    shell.run_file(SCRIPT)
+
+    size = int(shell.interp.eval(".list size"))
+    print("browsing %s: %d entries" % (directory, size))
+
+    # Select the first regular file and press space -> "mx" edits it.
+    for index in range(size):
+        name = shell.interp.eval(".list get %d" % index)
+        if os.path.isfile(os.path.join(directory, name)):
+            shell.interp.eval(".list select from %d" % index)
+            break
+    lst = shell.app.window(".list")
+    shell.server.press_key("space", window_id=lst.id)
+    shell.app.update()
+    print("editor opened on:", shell.registry.edited_files)
+
+    print()
+    print("screen dump (Figure 10):")
+    renderer = Renderer(shell.server, cell_width=6, cell_height=13)
+    print(renderer.render_window(shell.app.main.id))
+
+    # Control-q exits, as the script's last binding says.
+    shell.server.press_key("q", state=4, window_id=lst.id)
+    shell.app.update()
+    print("exited:", shell.destroyed)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""Section 6's flagship scenario: a debugger and an editor as separate
+cooperating applications.
+
+"Tk-based debuggers and editors can be built as separate programs.
+The debugger can send commands to the editor to highlight the current
+line of execution, and the editor can send commands to the debugger to
+print the contents of a selected variable or set a breakpoint at a
+selected line."
+
+Both tools are small wish-style applications; all the cooperation is
+plain ``send``.  Neither embeds the other — no monolith.
+
+Run:  python examples/debugger_editor.py
+"""
+
+import io
+
+from repro.tk import TkApp
+from repro.x11 import XServer
+
+SOURCE = [
+    "int main() {",
+    "    int total = 0;",
+    "    for (int i = 0; i < 10; i++) {",
+    "        total += i;",
+    "    }",
+    "    return total;",
+    "}",
+]
+
+
+def build_editor(server):
+    editor = TkApp(server, name="editor")
+    editor.interp.stdout = io.StringIO()
+    interp = editor.interp
+    interp.eval("text .text -width 40 -height 10")
+    interp.eval('scrollbar .scroll -command ".text view"')
+    interp.eval("pack append . .scroll {right filly} "
+                ".text {left expand fill}")
+    interp.eval('.text insert end "%s"'
+                % "\\n".join(line.replace('"', r'\"')
+                             for line in SOURCE))
+    interp.eval(".text tag configure current -background yellow")
+    # The editor's application-specific primitives, exported to anyone
+    # who can send:
+    interp.eval("""
+        proc highlightLine {n} {
+            .text tag remove current
+            .text tag add current $n.0 $n.end
+            .text view $n
+            return "highlighted line $n"
+        }
+    """)
+    # A user action: clicking line N asks the debugger (a *different*
+    # application) to set a breakpoint there.
+    interp.eval(
+        "bind .text <Double-Button-1> {send debugger setBreakpoint "
+        "[index [split [.text index insert] .] 0]}")
+    editor.update()
+    return editor
+
+
+def build_debugger(server):
+    debugger = TkApp(server, name="debugger")
+    debugger.interp.stdout = io.StringIO()
+    interp = debugger.interp
+    interp.eval("listbox .breakpoints -geometry 30x5")
+    interp.eval("label .status -text {debugger: idle}")
+    interp.eval("pack append . .status {top fillx} "
+                ".breakpoints {top expand fill}")
+    interp.eval("set breakpoints {}")
+    interp.eval("""
+        proc setBreakpoint {line} {
+            global breakpoints
+            lappend breakpoints $line
+            .breakpoints insert end "break at line $line"
+            return "breakpoint set at line $line"
+        }
+    """)
+    interp.eval("""
+        proc stepTo {line} {
+            .status configure -text "debugger: stopped at line $line"
+            send editor highlightLine $line
+        }
+    """)
+    debugger.update()
+    return debugger
+
+
+def main():
+    server = XServer()
+    editor = build_editor(server)
+    debugger = build_debugger(server)
+    debugger.interp.eval("wm geometry . 300x200+500+0")
+
+    print("applications on display:",
+          editor.interp.eval("winfo interps"))
+
+    # The debugger steps: it highlights the current line in the editor.
+    print()
+    print("debugger steps to line 4...")
+    debugger.interp.eval("stepTo 4")
+    highlighted = editor.interp.eval(".text tag ranges current")
+    print("  editor now highlights range:", highlighted)
+    print("  debugger status:",
+          debugger.interp.eval(".status cget -text"))
+
+    # The user double-clicks line 6 in the editor: the editor asks the
+    # debugger to set a breakpoint.
+    print()
+    print("user double-clicks line 6 in the editor...")
+    editor.interp.eval(".text view 1")   # scroll back to the top
+    editor.update()
+    text = editor.window(".text")
+    font = editor.cache.font("fixed")
+    root_x, root_y = text.root_position()
+    server.warp_pointer(root_x + 4, root_y + 5 * font.line_height + 4)
+    server.press_button(1)
+    server.release_button(1)
+    server.press_button(1)
+    editor.update()
+    print("  debugger breakpoints:",
+          debugger.interp.eval("set breakpoints"))
+
+    # And because send reaches *everything*, the editor can drive the
+    # debugger's interface too (or an interface editor could).
+    editor.interp.eval(
+        'send debugger {.status configure -text '
+        '"debugger: remote says hi"}')
+    print()
+    print("editor reconfigured the debugger's status label:",
+          debugger.interp.eval(".status cget -text"))
+
+
+if __name__ == "__main__":
+    main()

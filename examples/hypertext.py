@@ -1,0 +1,140 @@
+"""Section 6's hypertext/active-objects scenario.
+
+"A hypertext system can be implemented by associating Tcl commands
+with pieces of text or graphics in an editor; when a mouse button is
+clicked over an item then the associated commands are executed.  A
+hypertext 'link' can be produced by writing a Tcl command that opens a
+new view ...  A hypermedia link can be produced using a Tcl command
+that sends a 'play' command to an audio or video application."
+
+The document viewer below stores a Tcl command per line; clicking a
+line executes it.  One link opens another page (new view), one fetches
+a value from a separate "database" application, and one sends a play
+command to a separate "audio" application — all without the viewer
+knowing anything about those applications.
+
+Run:  python examples/hypertext.py
+"""
+
+import io
+
+from repro.tk import TkApp
+from repro.x11 import XServer
+
+PAGES = {
+    "index": [
+        ("Welcome to the hypertext demo", ""),
+        ("-> chapter one", 'showPage chapter1'),
+        ("-> live data from the database", 'liveData'),
+        ("-> play the fanfare", 'send audio play fanfare'),
+    ],
+    "chapter1": [
+        ("Chapter one: composition", ""),
+        ("<- back to the index", 'showPage index'),
+    ],
+}
+
+
+def build_viewer(server):
+    viewer = TkApp(server, name="viewer")
+    viewer.interp.stdout = io.StringIO()
+    interp = viewer.interp
+    interp.eval("listbox .page -geometry 42x8")
+    interp.eval("label .status -text hypertext")
+    interp.eval("pack append . .status {top fillx} .page {top expand fill}")
+    # The active-object machinery: a Tcl command string per line,
+    # executed on click.  This is ALL the C-level support needed.
+    interp.eval("set links(index) {}")
+
+    def show_page(interp_, argv):
+        name = argv[1]
+        interp_.eval(".page delete 0 [expr [.page size]-1]")
+        interp_.set_global_var("currentLinks", "")
+        for text, command in PAGES[name]:
+            interp_.eval('.page insert end "%s"'
+                         % text.replace('"', r'\"'))
+            interp_.eval('lappend currentLinks {%s}' % command)
+        interp_.eval('.status configure -text "page: %s"' % name)
+        return ""
+
+    interp.register("showPage", show_page)
+    interp.eval("""
+        proc liveData {} {
+            set value [send database lookup revenue]
+            .status configure -text "revenue: $value"
+        }
+    """)
+    # Click -> run the command stored with that line.
+    interp.eval("bind .page <Button-1> {"
+                "set cmd [index $currentLinks [.page nearest %y]]\n"
+                "if {[string length $cmd] > 0} {eval $cmd}}")
+    interp.eval("showPage index")
+    viewer.update()
+    return viewer
+
+
+def build_database(server):
+    database = TkApp(server, name="database")
+    database.interp.stdout = io.StringIO()
+    database.interp.eval("set table(revenue) {42 million}")
+    database.interp.eval("proc lookup {key} {global table\n"
+                         "return $table($key)}")
+    database.interp.eval("wm geometry . 50x50+700+0")
+    return database
+
+
+def build_audio(server):
+    audio = TkApp(server, name="audio")
+    audio.interp.stdout = io.StringIO()
+    audio.interp.eval("set played {}")
+    audio.interp.eval("proc play {clip} {global played\n"
+                      "lappend played $clip\n"
+                      'return "playing $clip"}')
+    audio.interp.eval("wm geometry . 50x50+700+100")
+    return audio
+
+
+def click_line(viewer, line):
+    page = viewer.window(".page")
+    font = viewer.cache.font("fixed")
+    root_x, root_y = page.root_position()
+    viewer.server.warp_pointer(root_x + 4,
+                               root_y + line * font.line_height + 4)
+    viewer.server.press_button(1)
+    viewer.server.release_button(1)
+    viewer.update()
+
+
+def main():
+    server = XServer()
+    viewer = build_viewer(server)
+    database = build_database(server)
+    audio = build_audio(server)
+
+    print("applications:", viewer.interp.eval("winfo interps"))
+    print("page:", viewer.interp.eval(".status cget -text"))
+
+    print()
+    print("click the chapter link...")
+    click_line(viewer, 1)
+    print("  now showing:", viewer.interp.eval(".status cget -text"))
+    print("  first line:", viewer.interp.eval(".page get 0"))
+
+    print()
+    print("click back to the index...")
+    click_line(viewer, 1)
+    print("  now showing:", viewer.interp.eval(".status cget -text"))
+
+    print()
+    print("click the live-data link (fetches from the database app)...")
+    click_line(viewer, 2)
+    print("  status:", viewer.interp.eval(".status cget -text"))
+
+    print()
+    print("click the hypermedia link (sends play to the audio app)...")
+    click_line(viewer, 3)
+    print("  audio app played:", audio.interp.eval("set played"))
+
+
+if __name__ == "__main__":
+    main()

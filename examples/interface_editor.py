@@ -1,0 +1,109 @@
+"""Section 6's interface-editing scenario: editing a *live* application.
+
+"With Tk and send it becomes possible for an interface editor to work
+on live applications, using send to query and modify the application's
+interface.  The effects of interface changes can be tested immediately
+...  When a satisfactory interface has been created, the interface
+editor can produce a Tcl command file for the application to read at
+startup time."
+
+The "interface editor" below is just another Tk application.  It
+inspects the target's widget tree over send, restyles and rearranges
+it, tests a change by clicking the live button, and finally emits the
+Tcl startup file that recreates the edited interface.
+
+Run:  python examples/interface_editor.py
+"""
+
+import io
+
+from repro.tcl import parse_list
+from repro.tk import TkApp
+from repro.x11 import XServer
+
+
+def build_target(server):
+    """The application being edited: a little form."""
+    target = TkApp(server, name="form")
+    target.interp.stdout = io.StringIO()
+    interp = target.interp
+    interp.eval('label .title -text "Order form"')
+    interp.eval("entry .name")
+    interp.eval('button .ok -text OK -command {set submitted 1}')
+    interp.eval("pack append . .title {top fillx} .name {top fillx} "
+                ".ok {top}")
+    target.update()
+    return target
+
+
+def main():
+    server = XServer()
+    target = build_target(server)
+    editor = TkApp(server, name="ifedit")
+    editor.interp.stdout = io.StringIO()
+    editor.interp.eval("wm geometry . 100x100+800+0")
+    send = lambda cmd: editor.interp.eval("send form {%s}" % cmd)
+
+    # 1. Query the live interface.
+    print("editing application:", editor.interp.eval("winfo interps"))
+    children = send("winfo children .")
+    print("target's widget tree:", children)
+    for path in children.split():
+        print("   %-8s %-8s %sx%s" % (
+            path, send("winfo class %s" % path),
+            send("winfo width %s" % path),
+            send("winfo height %s" % path)))
+
+    # 2. Restyle and extend the live interface.
+    print()
+    print("restyling the OK button and adding a Cancel button...")
+    send(".ok configure -bg MediumSeaGreen -text Submit")
+    send("button .cancel -text Cancel -command {set submitted 0}")
+    send("pack append . .cancel {top}")
+    send("update")
+    print("target's widget tree now:", send("winfo children ."))
+    print("OK button text is now:", send(".ok cget -text"))
+
+    # 3. Test the change under real-life conditions: click the live
+    #    button in the real application.
+    window = target.window(".ok")
+    x, y = window.root_position()
+    server.warp_pointer(x + 3, y + 3)
+    server.press_button(1)
+    server.release_button(1)
+    target.update()
+    print("clicking the live button set submitted =",
+          target.interp.eval("set submitted"))
+
+    # 4. Produce the startup file that recreates the edited interface.
+    print()
+    print("generated startup file:")
+    script_lines = []
+    for path in send("winfo children .").split():
+        widget_class = send("winfo class %s" % path).lower()
+        options = []
+        for entry in parse_list(send("%s configure" % path)):
+            fields = parse_list(entry)
+            if len(fields) == 5 and fields[3] != fields[4]:
+                options.append("%s {%s}" % (fields[0], fields[4]))
+        script_lines.append("%s %s %s"
+                            % (widget_class, path, " ".join(options)))
+        script_lines.append("pack append . %s {top}" % path)
+    startup = "\n".join(script_lines)
+    print(startup)
+
+    # 5. Prove the file works: boot a fresh application from it.
+    fresh = TkApp(server, name="fresh")
+    fresh.interp.stdout = io.StringIO()
+    fresh.interp.eval("wm geometry . 100x100+800+300")
+    fresh.interp.eval(startup)
+    fresh.update()
+    print()
+    print("fresh application built from the file:",
+          fresh.interp.eval("winfo children ."))
+    assert fresh.interp.eval(".ok cget -text") == "Submit"
+    print("fresh .ok text:", fresh.interp.eval(".ok cget -text"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Section 7's paint scenario, on the canvas widget.
+
+"It is possible to paint with the mouse in one application, have all
+the mouse motion events bound into Tcl commands, which in turn use
+send to forward commands to another application in a different
+process, which finally draws the painted object in its own window,
+and have all of this take place with no noticeable time lag."
+
+The painter binds ``<B1-Motion>`` to a one-line Tcl command that sends
+each stroke to the viewer; the viewer draws it on its canvas.  Neither
+application was written with the other in mind.
+
+Run:  python examples/paint.py
+"""
+
+import io
+
+from repro.tk import TkApp
+from repro.x11 import Renderer, XServer
+
+
+def main():
+    server = XServer()
+
+    # The viewer: a canvas plus one application-specific primitive.
+    viewer = TkApp(server, name="viewer")
+    viewer.interp.stdout = io.StringIO()
+    viewer.interp.eval("canvas .c -width 120 -height 80")
+    viewer.interp.eval("pack append . .c {top}")
+    viewer.interp.eval("""
+        proc stroke {x1 y1 x2 y2} {
+            .c create line $x1 $y1 $x2 $y2 -tags painting
+        }
+    """)
+    viewer.interp.eval("wm geometry . 130x90+400+0")
+    viewer.update()
+
+    # The painter: a plain frame with two bindings; it knows nothing
+    # about the viewer except its send name.
+    painter = TkApp(server, name="painter")
+    painter.interp.stdout = io.StringIO()
+    painter.interp.eval("frame .pad -geometry 120x80")
+    painter.interp.eval("pack append . .pad {top}")
+    painter.interp.eval("set last {}")
+    painter.interp.eval('bind .pad <Button-1> {set last "%x %y"}')
+    painter.interp.eval(
+        'bind .pad <B1-Motion> {eval send viewer stroke $last %x %y\n'
+        'set last "%x %y"}')
+    painter.update()
+
+    # Simulate the user dragging a zig-zag across the pad.
+    pad = painter.window(".pad")
+    root_x, root_y = pad.root_position()
+    points = [(10, 10), (30, 40), (50, 15), (70, 45), (90, 20)]
+    server.warp_pointer(root_x + points[0][0], root_y + points[0][1])
+    server.press_button(1)
+    from repro.x11 import events as ev
+    for x, y in points[1:]:
+        server.warp_pointer(root_x + x, root_y + y,
+                            state=ev.BUTTON1_MASK)
+        painter.update()
+    server.release_button(1)
+    painter.update()
+
+    strokes = viewer.interp.eval(".c find withtag painting")
+    print("viewer drew %d line segments:" % len(strokes.split()))
+    for item in strokes.split():
+        print("  line", viewer.interp.eval(".c coords %s" % item))
+
+    print()
+    print("viewer's canvas:")
+    viewer.update()      # let the canvas repaint before the dump
+    renderer = Renderer(server, cell_width=6, cell_height=13)
+    print(renderer.render_window(viewer.main.id))
+
+
+if __name__ == "__main__":
+    main()

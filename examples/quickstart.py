@@ -1,0 +1,59 @@
+"""Quickstart: the paper's section 4 example, end to end.
+
+Creates a Tk application on a simulated X display, builds the
+"Hello, world" button from the paper, clicks it with the simulated
+pointer, reconfigures it at run time, and prints a screen dump.
+
+Run:  python examples/quickstart.py
+"""
+
+import io
+
+from repro.tk import TkApp
+from repro.x11 import Renderer, XServer
+
+
+def main():
+    server = XServer()
+    app = TkApp(server, name="quickstart")
+    output = io.StringIO()
+    app.interp.stdout = output
+
+    # The widget creation command from section 4 of the paper.
+    app.interp.eval(r'button .hello -bg Red -text "Hello, world" '
+                    r'-command "print Hello!\n"')
+    app.interp.eval("pack append . .hello {top expand fill}")
+    app.update()
+
+    print("widget command created:",
+          ".hello" in app.interp.commands)
+    print("geometry:", app.interp.eval("winfo geometry .hello"))
+
+    # Click the button with the simulated pointer.
+    window = app.window(".hello")
+    x, y = window.root_position()
+    server.warp_pointer(x + 5, y + 5)
+    server.press_button(1)
+    server.release_button(1)
+    app.update()
+    print("button printed:", repr(output.getvalue()))
+
+    # "The first command causes the button to change colors back and
+    # forth a few times.  The second resets some configuration options."
+    app.interp.eval(".hello flash")
+    app.interp.eval(".hello configure -bg PalePink1 -relief sunken")
+    app.update()
+    print("new background:", app.interp.eval(".hello cget -bg"))
+    print("configure -bg entry:", app.interp.eval(".hello configure -bg"))
+
+    # Everything is introspectable from Tcl, including the interface.
+    print("children of . :", app.interp.eval("winfo children ."))
+
+    print()
+    print("screen dump:")
+    print(Renderer(server, cell_width=6, cell_height=13)
+          .render_window(app.main.id))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""Section 6's spreadsheet scenario: active objects via embedded Tcl.
+
+"A Tk-based spreadsheet might permit cells to contain embedded Tcl
+commands.  When such a cell is evaluated the Tcl command would be
+executed automatically; it could fetch information from an independent
+database package or from any other program in the environment."
+
+The spreadsheet below stores strings per cell; a cell starting with
+``=`` is an embedded Tcl command evaluated on recalc.  One cell uses
+``expr`` over other cells, one fetches from a separate database
+application over send, and one asks a separate stock-feed application.
+The spreadsheet contains no code for any of that — embedded Tcl plus
+send compose it all.
+
+Run:  python examples/spreadsheet.py
+"""
+
+import io
+
+from repro.tk import TkApp
+from repro.x11 import XServer
+
+ROWS, COLS = 4, 3
+
+
+def build_spreadsheet(server):
+    sheet = TkApp(server, name="spreadsheet")
+    sheet.interp.stdout = io.StringIO()
+    interp = sheet.interp
+    # The grid: a label per cell, packed row by row inside frames.
+    for row in range(ROWS):
+        interp.eval("frame .r%d" % row)
+        interp.eval("pack append . .r%d {top fillx}" % row)
+        for col in range(COLS):
+            interp.eval("label .r%d.c%d -text {} -width 14 -relief sunken"
+                        % (row, col))
+            interp.eval("pack append .r%d .r%d.c%d {left}"
+                        % (row, row, col))
+    # The spreadsheet's own primitives, in Tcl: cell storage + recalc.
+    interp.eval("""
+        proc cellset {row col value} {
+            global cells
+            set cells($row,$col) $value
+        }
+        proc cellget {row col} {
+            global cells display
+            if [info exists display($row,$col)] {
+                return $display($row,$col)
+            }
+            if [info exists cells($row,$col)] {
+                return $cells($row,$col)
+            }
+            return ""
+        }
+        proc recalc {} {
+            global cells display
+            catch {unset display}
+            foreach key [array names cells] {
+                set raw $cells($key)
+                if {[string index $raw 0] == "="} {
+                    set display($key) [eval [string range $raw 1 end]]
+                } else {
+                    set display($key) $raw
+                }
+            }
+            foreach key [array names cells] {
+                set row [index [split $key ,] 0]
+                set col [index [split $key ,] 1]
+                .r$row.c$col configure -text $display($key)
+            }
+        }
+    """)
+    sheet.update()
+    return sheet
+
+
+def build_database(server):
+    database = TkApp(server, name="payroll-db")
+    database.interp.stdout = io.StringIO()
+    database.interp.eval("set salary(alice) 5400")
+    database.interp.eval("set salary(bob) 4700")
+    database.interp.eval("proc salaryOf {who} {global salary\n"
+                         "return $salary($who)}")
+    database.interp.eval("wm geometry . 50x50+600+0")
+    return database
+
+
+def build_stock_feed(server):
+    feed = TkApp(server, name="stocks")
+    feed.interp.stdout = io.StringIO()
+    feed.interp.eval("set quote(DEC) 77")
+    feed.interp.eval("proc quoteFor {sym} {global quote\n"
+                     "return $quote($sym)}")
+    feed.interp.eval("wm geometry . 50x50+600+100")
+    return feed
+
+
+def main():
+    server = XServer()
+    sheet = build_spreadsheet(server)
+    database = build_database(server)
+    feed = build_stock_feed(server)
+    interp = sheet.interp
+
+    print("applications:", interp.eval("winfo interps"))
+
+    # Plain cells.
+    interp.eval("cellset 0 0 {Employee}")
+    interp.eval("cellset 1 0 {alice}")
+    interp.eval("cellset 2 0 {bob}")
+    # Cells with embedded Tcl commands reaching other applications.
+    interp.eval("cellset 0 1 {Salary}")
+    interp.eval("cellset 1 1 {=send payroll-db salaryOf alice}")
+    interp.eval("cellset 2 1 {=send payroll-db salaryOf bob}")
+    # A cell computed from other cells.
+    interp.eval("cellset 3 0 {Total}")
+    interp.eval(
+        "cellset 3 1 {=expr [cellget 1 1] + [cellget 2 1]}")
+    # A cell pulling a live stock quote from a third application.
+    interp.eval("cellset 0 2 {DEC quote}")
+    interp.eval("cellset 1 2 {=send stocks quoteFor DEC}")
+
+    interp.eval("recalc")
+    sheet.update()
+
+    print()
+    print("spreadsheet after recalc:")
+    for row in range(ROWS):
+        cells = [interp.eval(".r%d.c%d cget -text" % (row, col))
+                 for col in range(COLS)]
+        print("  " + " | ".join("%-14s" % cell for cell in cells))
+
+    # Fresh data in the database: just recalc.
+    print()
+    print("raise alice's salary in the database application...")
+    database.interp.eval("set salary(alice) 6000")
+    interp.eval("recalc")
+    total = interp.eval(".r3.c1 cget -text")
+    print("spreadsheet total is now:", total)
+    assert total == "10700"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!wish -f
+# A complete little application in pure Tcl (paper section 5): a to-do
+# list.  Type a task and press Return to add it; select a task and
+# press "Done" to remove it (after a confirmation dialog); the status
+# line is a label wired to a variable.
+
+wm title . "To-do"
+
+set status "0 tasks"
+set draft {}
+
+entry .input -textvariable draft
+label .status -textvariable status
+listbox .tasks -scroll ".sb set" -geometry 24x8
+scrollbar .sb -command ".tasks view"
+button .done -text "Done" -command finishSelected
+
+pack append . .input {top fillx} .status {top fillx} \
+    .sb {right filly} .done {bottom} .tasks {top expand fill}
+
+proc refreshStatus {} {
+    global status
+    set status "[.tasks size] tasks"
+}
+
+proc addTask {} {
+    global draft
+    if {[string length [string trim $draft]] == 0} {
+        return
+    }
+    .tasks insert end [string trim $draft]
+    set draft {}
+    refreshStatus
+}
+
+proc finishSelected {} {
+    set picked [.tasks curselection]
+    if {[llength $picked] == 0} {
+        mkdialog .oops "Select a task first" OK
+        return
+    }
+    set index [index $picked 0]
+    set task [.tasks get $index]
+    if {[mkdialog .confirm "Finish \"$task\"?" Yes No] == 0} {
+        .tasks delete $index
+        refreshStatus
+    }
+}
+
+bind .input <Return> {addTask}
+focus .input

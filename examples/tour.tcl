@@ -1,0 +1,74 @@
+#!wish -f
+# A tour of the complete widget set, written entirely in Tcl (no
+# application-specific C/Python code at all — the paper's section 5
+# point about building applications as wish scripts).
+
+wm title . "Widget tour"
+
+# -- the button family -------------------------------------------------
+frame .buttons
+label .buttons.title -text "Buttons"
+button .buttons.plain -text "Press me" -command {set pressed 1}
+checkbutton .buttons.check -text "Enable gadgets" -variable gadgets
+radiobutton .buttons.r1 -text "Left" -variable side -value left
+radiobutton .buttons.r2 -text "Right" -variable side -value right
+pack append .buttons .buttons.title {top fillx} \
+    .buttons.plain {top} .buttons.check {top} \
+    .buttons.r1 {left expand} .buttons.r2 {left expand}
+
+# -- listbox and scrollbar, composed by command strings -----------------
+frame .listpane
+listbox .listpane.list -scroll ".listpane.sb set" -geometry 16x5
+scrollbar .listpane.sb -command ".listpane.list view"
+pack append .listpane .listpane.sb {right filly} \
+    .listpane.list {left expand fill}
+foreach item {alpha beta gamma delta epsilon zeta eta theta} {
+    .listpane.list insert end $item
+}
+
+# -- entry with a live character count ----------------------------------
+frame .entrypane
+entry .entrypane.input
+label .entrypane.count -text "0 chars"
+pack append .entrypane .entrypane.input {left expand fillx} \
+    .entrypane.count {right}
+bind .entrypane.input <Key> {
+    .entrypane.count configure \
+        -text "[string length [.entrypane.input get]] chars"
+}
+
+# -- scale driving a message --------------------------------------------
+scale .volume -from 0 -to 11 -label "Volume" -command setVolume
+message .caption -width 180 -text "Volume is 0"
+proc setVolume {v} {
+    .caption configure -text "Volume is $v"
+}
+
+# -- menu ---------------------------------------------------------------
+menubutton .filebtn -text "File" -menu .filemenu
+menu .filemenu
+.filemenu add command -label "Open" -command {set did open}
+.filemenu add command -label "Save" -command {set did save}
+.filemenu add separator
+.filemenu add checkbutton -label "Autosave" -variable autosave
+
+# -- canvas -------------------------------------------------------------
+canvas .art -width 160 -height 60
+.art create rectangle 10 10 60 50 -fill MediumSeaGreen -tags box
+.art create oval 70 10 120 50 -outline black
+.art create text 130 25 -text hi
+.art bind box <Button-1> {.art move box 5 0}
+
+# -- text ---------------------------------------------------------------
+text .doc -width 24 -height 4
+.doc insert end "Edit me.\nTags mark ranges."
+.doc tag configure marked -background yellow
+.doc tag add marked 2.0 2.4
+
+# -- overall layout -----------------------------------------------------
+pack append . .buttons {top fillx} .listpane {top fillx} \
+    .entrypane {top fillx} .volume {top fillx} .caption {top fillx} \
+    .filebtn {top} .art {top} .doc {top fillx}
+
+# A binding to leave the tour.
+bind all <Control-q> {destroy .}

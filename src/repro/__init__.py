@@ -1,0 +1,20 @@
+"""repro — a pure-Python reproduction of "An X11 Toolkit Based on the
+Tcl Language" (Ousterhout, USENIX Winter 1991).
+
+Subpackages:
+
+* :mod:`repro.tcl` — the Tcl command language and interpreter.
+* :mod:`repro.x11` — a simulated X11 display server and client library.
+* :mod:`repro.tk` — the Tk toolkit intrinsics (bind, pack, options,
+  selection, focus, send, caches, dispatcher).
+* :mod:`repro.widgets` — the Tk widget set.
+* :mod:`repro.wish` — the windowing shell.
+* :mod:`repro.baseline` — the Xt/Motif-like comparison toolkit.
+
+See README.md for a tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["tcl", "x11", "tk", "widgets", "wish", "baseline"]

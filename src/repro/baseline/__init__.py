@@ -1,0 +1,26 @@
+"""repro.baseline — an Xt/Motif-like toolkit without a command language.
+
+This is the comparison system of the paper's sections 7-8: the same
+widget functionality as :mod:`repro.widgets`, built the pre-compiled
+way — static resource lists, typed callback lists, a translation-
+manager little language, and a UIL-like static interface description
+language.  It runs against the same simulated X server as Tk, so the
+two toolkits can be compared head-to-head (Table I sizes, Table II
+timings, and the composition ablation).
+"""
+
+from .intrinsics import (CompositeWidget, CoreWidget, Resource, Shell,
+                         XtAppContext, XtError)
+from .translations import TranslationError, TranslationTable
+from .uil import UilError, UilObject, compile_uil, instantiate
+from .widgets import (XmLabel, XmList, XmPanedWindow, XmPushButton,
+                      XmScrollBar, XmToggleButton,
+                      register_baseline_actions)
+
+__all__ = [
+    "XtAppContext", "CoreWidget", "CompositeWidget", "Shell", "Resource",
+    "XtError", "TranslationTable", "TranslationError",
+    "compile_uil", "instantiate", "UilObject", "UilError",
+    "XmLabel", "XmPushButton", "XmToggleButton", "XmScrollBar", "XmList",
+    "XmPanedWindow", "register_baseline_actions",
+]

@@ -1,0 +1,418 @@
+"""Xt-like toolkit intrinsics — the baseline Tk is compared against.
+
+This package reimplements the essential architecture of the X Toolkit
+Intrinsics (Xt) over the same simulated X server that Tk runs on, but
+*without* an embedded command language.  Everything that Tk expresses
+as a Tcl string — widget commands, callbacks, bindings — must here be
+expressed as compiled (Python) procedures wired together explicitly at
+build time:
+
+* widget classes carry static *resource lists* with compiled type
+  converters;
+* behaviour arrives through *callback lists* (XtAddCallback) and
+  *action procedures* named by the translation manager's little
+  language (see :mod:`repro.baseline.translations`);
+* interfaces may be described in a UIL-like file that must be compiled
+  before the application runs (see :mod:`repro.baseline.uil`).
+
+The paper's section 7 argues that the absence of a composition language
+forces all run-time needs to be predicted and addressed explicitly in
+C, which both grows the widget code and breeds special-purpose little
+languages.  This module exists so that claim can be measured (see
+benchmarks/test_table1_sizes.py).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..x11 import events as ev
+from ..x11.display import Display
+from ..x11.resources import parse_color
+from ..x11.xserver import XServer
+from .translations import TranslationTable
+
+
+class XtError(Exception):
+    """An error detected by the intrinsics."""
+
+
+# ----------------------------------------------------------------------
+# Resources: static declarations with compiled type converters
+# ----------------------------------------------------------------------
+
+class Resource:
+    """One entry of a widget class's static resource list."""
+
+    def __init__(self, name: str, class_name: str, rtype: str,
+                 default: Any):
+        self.name = name
+        self.class_name = class_name
+        self.rtype = rtype
+        self.default = default
+
+
+def _convert_int(value: Any) -> int:
+    if isinstance(value, int):
+        return value
+    try:
+        return int(str(value))
+    except ValueError:
+        raise XtError("cannot convert %r to Int" % (value,))
+
+
+def _convert_string(value: Any) -> str:
+    return str(value)
+
+
+def _convert_pixel(value: Any) -> int:
+    if isinstance(value, int):
+        return value
+    rgb = parse_color(str(value))
+    if rgb is None:
+        raise XtError("cannot convert %r to Pixel" % (value,))
+    red, green, blue = rgb
+    return (red << 16) | (green << 8) | blue
+
+
+def _convert_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    return str(value).lower() in ("1", "true", "yes", "on")
+
+
+#: Compiled type converters, keyed by resource type name.
+CONVERTERS: Dict[str, Callable[[Any], Any]] = {
+    "Int": _convert_int,
+    "String": _convert_string,
+    "Pixel": _convert_pixel,
+    "Boolean": _convert_bool,
+    "Callback": lambda value: value,
+    "TranslationTable": lambda value: value,
+}
+
+
+# ----------------------------------------------------------------------
+# The application context and its event loop
+# ----------------------------------------------------------------------
+
+class XtAppContext:
+    """Per-application state: connection, action table, event loop."""
+
+    def __init__(self, server: XServer, name: str = "xtapp"):
+        self.server = server
+        self.display = Display(server)
+        self.name = name
+        self.actions: Dict[str, Callable] = {}
+        self._windows: Dict[int, "CoreWidget"] = {}
+        self._timers: List[List] = []       # [when, id, proc, data]
+        self._work_procs: List[Tuple[Callable, Any]] = []
+        self._next_timer_id = 1
+        self.destroyed = False
+
+    def add_actions(self, actions: Dict[str, Callable]) -> None:
+        """XtAppAddActions: register named action procedures."""
+        self.actions.update(actions)
+
+    # -- XtAppAddTimeOut / XtAppAddWorkProc -----------------------------
+
+    def add_timeout(self, interval_ms: int, proc: Callable,
+                    client_data: Any = None) -> int:
+        """XtAppAddTimeOut: call proc(client_data, id) after interval."""
+        timer_id = self._next_timer_id
+        self._next_timer_id += 1
+        self._timers.append([self.server.time_ms + interval_ms,
+                             timer_id, proc, client_data])
+        return timer_id
+
+    def remove_timeout(self, timer_id: int) -> None:
+        self._timers = [entry for entry in self._timers
+                        if entry[1] != timer_id]
+
+    def add_work_proc(self, proc: Callable,
+                      client_data: Any = None) -> None:
+        """XtAppAddWorkProc: run when idle until it returns True."""
+        self._work_procs.append((proc, client_data))
+
+    def _run_timers(self) -> int:
+        now = self.server.time_ms
+        due = [entry for entry in self._timers if entry[0] <= now]
+        self._timers = [entry for entry in self._timers
+                        if entry[0] > now]
+        for _when, timer_id, proc, client_data in sorted(due):
+            proc(client_data, timer_id)
+        return len(due)
+
+    def _run_work_procs(self) -> int:
+        ran = 0
+        for proc, client_data in list(self._work_procs):
+            finished = proc(client_data)
+            ran += 1
+            if finished:
+                self._work_procs.remove((proc, client_data))
+        return ran
+
+    def register_window(self, widget: "CoreWidget") -> None:
+        self._windows[widget.window_id] = widget
+
+    def forget_window(self, widget: "CoreWidget") -> None:
+        self._windows.pop(widget.window_id, None)
+
+    def process_pending(self) -> int:
+        """Drain the event queue, dispatching to widget translations;
+        then run due timeouts, then (if nothing else ran) work procs."""
+        processed = 0
+        while True:
+            event = self.display.next_event()
+            if event is None:
+                break
+            widget = self._windows.get(event.window)
+            if widget is not None and not widget.destroyed:
+                widget.dispatch_event(event)
+            processed += 1
+        processed += self._run_timers()
+        if processed == 0:
+            processed += self._run_work_procs()
+        return processed
+
+
+# ----------------------------------------------------------------------
+# Widget classes
+# ----------------------------------------------------------------------
+
+class CoreWidget:
+    """The Core widget class: window, geometry, translations."""
+
+    class_name = "Core"
+    resources: List[Resource] = [
+        Resource("width", "Width", "Int", 1),
+        Resource("height", "Height", "Int", 1),
+        Resource("x", "Position", "Int", 0),
+        Resource("y", "Position", "Int", 0),
+        Resource("background", "Background", "Pixel", 0xDDDDDD),
+        Resource("borderWidth", "BorderWidth", "Int", 0),
+        Resource("sensitive", "Sensitive", "Boolean", True),
+    ]
+    default_translations = ""
+
+    def __init__(self, name: str, parent: Optional["CoreWidget"],
+                 app: Optional[XtAppContext] = None, **args):
+        self.name = name
+        self.parent = parent
+        self.app = app if app is not None else parent.app
+        self.children: List["CoreWidget"] = []
+        self.destroyed = False
+        self.realized = False
+        self.managed = False
+        self.window_id = 0
+        self.values: Dict[str, Any] = {}
+        self.callbacks: Dict[str, List[Tuple[Callable, Any]]] = {}
+        self._collect_resources(args)
+        self.translations = TranslationTable(self.default_translations)
+        if parent is not None:
+            parent.children.append(self)
+
+    # -- resource management ------------------------------------------
+
+    def _resource_list(self) -> List[Resource]:
+        resources: List[Resource] = []
+        seen = set()
+        for klass in type(self).__mro__:
+            for resource in getattr(klass, "resources", []):
+                if resource.name not in seen:
+                    seen.add(resource.name)
+                    resources.append(resource)
+        return resources
+
+    def _collect_resources(self, args: Dict[str, Any]) -> None:
+        for resource in self._resource_list():
+            if resource.name in args:
+                raw = args.pop(resource.name)
+            else:
+                raw = resource.default
+            converter = CONVERTERS[resource.rtype]
+            self.values[resource.name] = converter(raw)
+        if args:
+            raise XtError("unknown resources: %s" % ", ".join(args))
+
+    def set_values(self, **args) -> None:
+        """XtSetValues: change resources; geometry changes re-layout."""
+        for resource in self._resource_list():
+            if resource.name in args:
+                converter = CONVERTERS[resource.rtype]
+                self.values[resource.name] = converter(
+                    args.pop(resource.name))
+        if args:
+            raise XtError("unknown resources: %s" % ", ".join(args))
+        if self.realized:
+            self._apply_geometry()
+            self.redisplay()
+
+    def get_values(self, *names: str) -> Tuple:
+        return tuple(self.values[name] for name in names)
+
+    # -- callbacks ----------------------------------------------------------
+
+    def add_callback(self, callback_name: str, proc: Callable,
+                     client_data: Any = None) -> None:
+        """XtAddCallback."""
+        self.callbacks.setdefault(callback_name, []).append(
+            (proc, client_data))
+
+    def remove_callback(self, callback_name: str, proc: Callable) -> None:
+        entries = self.callbacks.get(callback_name, [])
+        self.callbacks[callback_name] = [
+            (cb, data) for cb, data in entries if cb is not proc]
+
+    def call_callbacks(self, callback_name: str,
+                       call_data: Any = None) -> None:
+        """XtCallCallbacks."""
+        for proc, client_data in list(self.callbacks.get(callback_name,
+                                                         [])):
+            proc(self, client_data, call_data)
+
+    # -- translations ------------------------------------------------------
+
+    def override_translations(self, table_text: str) -> None:
+        """XtOverrideTranslations: merge a parsed translation table."""
+        self.translations.merge(TranslationTable(table_text))
+
+    def dispatch_event(self, event) -> None:
+        if not self.values["sensitive"]:
+            return
+        for action_name, arguments in self.translations.lookup(event):
+            action = self.app.actions.get(action_name)
+            if action is None:
+                raise XtError('action "%s" not registered' % action_name)
+            action(self, event, arguments)
+
+    # -- realization and geometry ---------------------------------------
+
+    def realize(self) -> None:
+        """XtRealizeWidget: create windows for this subtree."""
+        if self.realized:
+            return
+        display = self.app.display
+        parent_window = self.parent.window_id if self.parent is not None \
+            else display.root
+        self.window_id = display.create_window(
+            parent_window, self.values["x"], self.values["y"],
+            self.values["width"], self.values["height"],
+            self.values["borderWidth"])
+        display.set_window_background(self.window_id,
+                                      self.values["background"])
+        mask = self.translations.event_mask() | ev.EXPOSURE_MASK
+        display.select_input(self.window_id, mask)
+        self.app.register_window(self)
+        self.realized = True
+        for child in self.children:
+            child.realize()
+        if self.parent is None or self.managed:
+            display.map_window(self.window_id)
+        self.redisplay()
+
+    def manage(self) -> None:
+        """XtManageChild: make the widget eligible for display."""
+        self.managed = True
+        if self.realized:
+            self.app.display.map_window(self.window_id)
+        if self.parent is not None:
+            self.parent.change_managed()
+
+    def unmanage(self) -> None:
+        self.managed = False
+        if self.realized:
+            self.app.display.unmap_window(self.window_id)
+        if self.parent is not None:
+            self.parent.change_managed()
+
+    def change_managed(self) -> None:
+        """Composite hook: a child's managed set changed."""
+
+    def _apply_geometry(self) -> None:
+        if self.realized:
+            self.app.display.configure_window(
+                self.window_id, x=self.values["x"], y=self.values["y"],
+                width=self.values["width"],
+                height=self.values["height"])
+
+    def move_resize(self, x: int, y: int, width: int,
+                    height: int) -> None:
+        self.values["x"] = x
+        self.values["y"] = y
+        self.values["width"] = max(1, width)
+        self.values["height"] = max(1, height)
+        self._apply_geometry()
+        self.redisplay()
+
+    def preferred_size(self) -> Tuple[int, int]:
+        return (self.values["width"], self.values["height"])
+
+    # -- display ----------------------------------------------------------
+
+    def redisplay(self) -> None:
+        """Redraw the widget (subclasses draw their contents)."""
+        if not self.realized or self.destroyed:
+            return
+        self.app.display.clear_window(self.window_id)
+        self.expose()
+
+    def expose(self) -> None:
+        """Subclass hook: draw the widget contents."""
+
+    # -- destruction ---------------------------------------------------------
+
+    def destroy(self) -> None:
+        """XtDestroyWidget."""
+        if self.destroyed:
+            return
+        for child in list(self.children):
+            child.destroy()
+        self.destroyed = True
+        if self.parent is not None and self in self.parent.children:
+            self.parent.children.remove(self)
+        if self.realized:
+            self.app.forget_window(self)
+            self.app.display.destroy_window(self.window_id)
+
+
+class CompositeWidget(CoreWidget):
+    """A widget that manages the geometry of its children."""
+
+    class_name = "Composite"
+
+    def change_managed(self) -> None:
+        self.layout()
+
+    def layout(self) -> None:
+        """Subclass hook: assign geometry to managed children."""
+
+
+class Shell(CompositeWidget):
+    """The top-level shell widget (one per application top level)."""
+
+    class_name = "Shell"
+    resources = [
+        Resource("title", "Title", "String", ""),
+    ]
+
+    def __init__(self, app: XtAppContext, name: str, **args):
+        super().__init__(name, None, app=app, **args)
+
+    def realize(self) -> None:
+        super().realize()
+        self.app.display.map_window(self.window_id)
+        if self.values["title"]:
+            display = self.app.display
+            atom = display.intern_atom("WM_NAME")
+            string = display.intern_atom("STRING")
+            display.change_property(self.window_id, atom, string,
+                                    self.values["title"])
+
+    def layout(self) -> None:
+        # The shell gives its single managed child its own size.
+        for child in self.children:
+            if child.managed:
+                width, height = child.preferred_size()
+                self.set_values(width=width, height=height)
+                child.move_resize(0, 0, width, height)

@@ -1,0 +1,188 @@
+"""The translation manager — one of Xt's "little languages".
+
+Because the baseline toolkit has no general-purpose command language,
+it needs a special-purpose notation to connect events to behaviour::
+
+    <Btn1Down>:        Arm()
+    <Btn1Up>:          Activate() Disarm()
+    <EnterWindow>:     Highlight()
+    <Key>space:        Activate(again)
+
+Each line maps an event description to a sequence of *action
+procedures* which must have been compiled into the application and
+registered with XtAppAddActions.  Compare with Tk, where the right-hand
+side would simply be a Tcl script and no separate language, parser, or
+action registry is needed (paper sections 7-8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..x11 import events as ev
+
+#: Event-description -> (event type, required state mask)
+_EVENT_NAMES: Dict[str, Tuple[int, int]] = {
+    "Btn1Down": (ev.BUTTON_PRESS, 0),
+    "Btn2Down": (ev.BUTTON_PRESS, 0),
+    "Btn3Down": (ev.BUTTON_PRESS, 0),
+    "Btn1Up": (ev.BUTTON_RELEASE, 0),
+    "Btn2Up": (ev.BUTTON_RELEASE, 0),
+    "Btn3Up": (ev.BUTTON_RELEASE, 0),
+    "Btn1Motion": (ev.MOTION_NOTIFY, ev.BUTTON1_MASK),
+    "Motion": (ev.MOTION_NOTIFY, 0),
+    "EnterWindow": (ev.ENTER_NOTIFY, 0),
+    "LeaveWindow": (ev.LEAVE_NOTIFY, 0),
+    "Key": (ev.KEY_PRESS, 0),
+    "KeyUp": (ev.KEY_RELEASE, 0),
+    "Expose": (ev.EXPOSE, 0),
+    "FocusIn": (ev.FOCUS_IN, 0),
+    "FocusOut": (ev.FOCUS_OUT, 0),
+}
+
+_BUTTON_OF = {"Btn1Down": 1, "Btn2Down": 2, "Btn3Down": 3,
+              "Btn1Up": 1, "Btn2Up": 2, "Btn3Up": 3}
+
+_MODIFIER_NAMES = {
+    "Ctrl": ev.CONTROL_MASK,
+    "Shift": ev.SHIFT_MASK,
+    "Meta": ev.MOD1_MASK,
+}
+
+#: Masks a window must select, per event type.
+_SELECT_MASKS = {
+    ev.BUTTON_PRESS: ev.BUTTON_PRESS_MASK,
+    ev.BUTTON_RELEASE: ev.BUTTON_RELEASE_MASK,
+    ev.MOTION_NOTIFY: ev.POINTER_MOTION_MASK,
+    ev.ENTER_NOTIFY: ev.ENTER_WINDOW_MASK,
+    ev.LEAVE_NOTIFY: ev.LEAVE_WINDOW_MASK,
+    ev.KEY_PRESS: ev.KEY_PRESS_MASK,
+    ev.KEY_RELEASE: ev.KEY_RELEASE_MASK,
+    ev.EXPOSE: ev.EXPOSURE_MASK,
+    ev.FOCUS_IN: ev.FOCUS_CHANGE_MASK,
+    ev.FOCUS_OUT: ev.FOCUS_CHANGE_MASK,
+}
+
+
+class TranslationError(Exception):
+    """A syntax error in a translation table."""
+
+
+class _Translation:
+    """One line of a translation table."""
+
+    def __init__(self, modifiers: int, event_type: int, button: int,
+                 detail: str, actions: List[Tuple[str, List[str]]]):
+        self.modifiers = modifiers
+        self.event_type = event_type
+        self.button = button
+        self.detail = detail
+        self.actions = actions
+
+    def matches(self, event) -> bool:
+        if event.type != self.event_type:
+            return False
+        if self.button and event.button != self.button:
+            return False
+        if self.detail and event.keysym != self.detail:
+            return False
+        if self.modifiers & ~event.state:
+            return False
+        return True
+
+    @property
+    def specificity(self) -> tuple:
+        return (1 if self.detail else 0, 1 if self.button else 0,
+                bin(self.modifiers).count("1"))
+
+
+class TranslationTable:
+    """A parsed translation table; widgets hold one each."""
+
+    def __init__(self, text: str = ""):
+        self.translations: List[_Translation] = []
+        if text:
+            self._parse(text)
+
+    def _parse(self, text: str) -> None:
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("!") or line.startswith("#"):
+                continue
+            if ":" not in line:
+                raise TranslationError(
+                    'missing ":" in translation "%s"' % line)
+            left, _, right = line.partition(":")
+            self.translations.append(
+                self._parse_line(left.strip(), right.strip()))
+
+    def _parse_line(self, left: str, right: str) -> _Translation:
+        modifiers = 0
+        # Modifier prefixes: "Ctrl Shift <Key>x".
+        while not left.startswith("<"):
+            name, _, rest = left.partition(" ")
+            if name not in _MODIFIER_NAMES or not rest:
+                raise TranslationError(
+                    'bad event specification "%s"' % left)
+            modifiers |= _MODIFIER_NAMES[name]
+            left = rest.strip()
+        if not left.startswith("<") or ">" not in left:
+            raise TranslationError('bad event specification "%s"' % left)
+        event_name = left[1:left.index(">")]
+        detail = left[left.index(">") + 1:].strip()
+        if event_name not in _EVENT_NAMES:
+            raise TranslationError('unknown event "%s"' % event_name)
+        event_type, extra_state = _EVENT_NAMES[event_name]
+        modifiers |= extra_state
+        button = _BUTTON_OF.get(event_name, 0)
+        return _Translation(modifiers, event_type, button, detail,
+                            self._parse_actions(right))
+
+    def _parse_actions(self, text: str) -> List[Tuple[str, List[str]]]:
+        actions: List[Tuple[str, List[str]]] = []
+        position = 0
+        end = len(text)
+        while position < end:
+            while position < end and text[position] in " \t":
+                position += 1
+            if position >= end:
+                break
+            open_paren = text.find("(", position)
+            close_paren = text.find(")", position)
+            if open_paren < 0 or close_paren < open_paren:
+                raise TranslationError(
+                    'bad action sequence "%s"' % text)
+            name = text[position:open_paren].strip()
+            if not name:
+                raise TranslationError(
+                    'bad action sequence "%s"' % text)
+            raw_args = text[open_paren + 1:close_paren].strip()
+            arguments = [arg.strip() for arg in raw_args.split(",")] \
+                if raw_args else []
+            actions.append((name, arguments))
+            position = close_paren + 1
+        if not actions:
+            raise TranslationError('no actions in "%s"' % text)
+        return actions
+
+    # -- table operations -------------------------------------------------
+
+    def merge(self, other: "TranslationTable") -> None:
+        """XtOverrideTranslations semantics: other's entries win."""
+        self.translations = other.translations + self.translations
+
+    def lookup(self, event) -> List[Tuple[str, List[str]]]:
+        """Return the action sequence of the best matching translation."""
+        best: Optional[_Translation] = None
+        for translation in self.translations:
+            if translation.matches(event):
+                if best is None or \
+                        translation.specificity > best.specificity:
+                    best = translation
+        return best.actions if best is not None else []
+
+    def event_mask(self) -> int:
+        mask = 0
+        for translation in self.translations:
+            mask |= _SELECT_MASKS.get(translation.event_type, 0)
+        return mask

@@ -1,0 +1,185 @@
+"""A miniature UIL — Motif's static interface-description language.
+
+UIL is the second "little language" the baseline toolkit needs (after
+the translation manager): a declarative notation for widget trees that
+must be *compiled* before the application can use it — it cannot be
+generated, inspected, or changed while the application runs, which is
+exactly the limitation the paper contrasts with Tcl (section 8).
+
+Syntax (a small but representative subset of real UIL)::
+
+    object main : XmPanedWindow {
+        object title : XmLabel {
+            arguments { labelString = "My Application"; };
+        };
+        object ok : XmPushButton {
+            arguments { labelString = "OK"; };
+            callbacks { activateCallback = ok_pressed; };
+        };
+    };
+
+:func:`compile_uil` parses the text into a static description;
+:func:`instantiate` later builds real widgets from it, resolving
+callback names against a compiled procedure table (the analogue of
+Motif's MrmRegisterNames).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from . import widgets as _widgets
+from .intrinsics import CompositeWidget, CoreWidget, Shell, XtError
+
+#: Widget class names UIL files may reference.
+_CLASS_TABLE = {
+    "XmLabel": _widgets.XmLabel,
+    "XmPushButton": _widgets.XmPushButton,
+    "XmToggleButton": _widgets.XmToggleButton,
+    "XmScrollBar": _widgets.XmScrollBar,
+    "XmList": _widgets.XmList,
+    "XmPanedWindow": _widgets.XmPanedWindow,
+}
+
+
+class UilError(Exception):
+    """A compile-time error in a UIL description."""
+
+
+@dataclass
+class UilObject:
+    """The compiled form of one ``object`` declaration."""
+
+    name: str
+    class_name: str
+    arguments: Dict[str, str] = field(default_factory=dict)
+    callbacks: Dict[str, str] = field(default_factory=dict)
+    children: List["UilObject"] = field(default_factory=list)
+
+
+class _Tokenizer:
+    def __init__(self, text: str):
+        self.tokens = self._tokenize(text)
+        self.position = 0
+
+    @staticmethod
+    def _tokenize(text: str) -> List[str]:
+        tokens: List[str] = []
+        i = 0
+        end = len(text)
+        while i < end:
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+            elif text.startswith("!", i):
+                while i < end and text[i] != "\n":
+                    i += 1
+            elif ch in "{};:=":
+                tokens.append(ch)
+                i += 1
+            elif ch == '"':
+                close = text.find('"', i + 1)
+                if close < 0:
+                    raise UilError("unterminated string literal")
+                tokens.append(text[i:close + 1])
+                i = close + 1
+            else:
+                start = i
+                while i < end and not text[i].isspace() and \
+                        text[i] not in "{};:=\"":
+                    i += 1
+                tokens.append(text[start:i])
+        return tokens
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise UilError("unexpected end of UIL text")
+        self.position += 1
+        return token
+
+    def expect(self, expected: str) -> None:
+        token = self.next()
+        if token != expected:
+            raise UilError('expected "%s", got "%s"' % (expected, token))
+
+
+def compile_uil(text: str) -> List[UilObject]:
+    """Compile UIL text into static object descriptions."""
+    tokenizer = _Tokenizer(text)
+    objects: List[UilObject] = []
+    while tokenizer.peek() is not None:
+        objects.append(_parse_object(tokenizer))
+    if not objects:
+        raise UilError("no object declarations in UIL text")
+    return objects
+
+
+def _parse_object(tokenizer: _Tokenizer) -> UilObject:
+    tokenizer.expect("object")
+    name = tokenizer.next()
+    tokenizer.expect(":")
+    class_name = tokenizer.next()
+    if class_name not in _CLASS_TABLE:
+        raise UilError('unknown widget class "%s"' % class_name)
+    obj = UilObject(name, class_name)
+    tokenizer.expect("{")
+    while tokenizer.peek() != "}":
+        section = tokenizer.peek()
+        if section == "object":
+            obj.children.append(_parse_object(tokenizer))
+        elif section == "arguments":
+            tokenizer.next()
+            _parse_bindings(tokenizer, obj.arguments)
+            tokenizer.expect(";")
+        elif section == "callbacks":
+            tokenizer.next()
+            _parse_bindings(tokenizer, obj.callbacks)
+            tokenizer.expect(";")
+        else:
+            raise UilError('unexpected "%s" in object body' % section)
+    tokenizer.expect("}")
+    tokenizer.expect(";")
+    return obj
+
+
+def _parse_bindings(tokenizer: _Tokenizer, into: Dict[str, str]) -> None:
+    tokenizer.expect("{")
+    while tokenizer.peek() != "}":
+        name = tokenizer.next()
+        tokenizer.expect("=")
+        value = tokenizer.next()
+        tokenizer.expect(";")
+        if value.startswith('"') and value.endswith('"'):
+            value = value[1:-1]
+        into[name] = value
+    tokenizer.expect("}")
+
+
+def instantiate(description: UilObject, parent: CoreWidget,
+                procedures: Dict[str, Callable]) -> CoreWidget:
+    """Build the widget tree a compiled description names.
+
+    ``procedures`` resolves callback names to compiled functions
+    (MrmRegisterNames); a missing name is an error at instantiation
+    time, exactly the late-failure mode the paper criticizes.
+    """
+    widget_class = _CLASS_TABLE[description.class_name]
+    widget = widget_class(description.name, parent,
+                          **description.arguments)
+    for callback_name, proc_name in description.callbacks.items():
+        proc = procedures.get(proc_name)
+        if proc is None:
+            raise UilError(
+                'callback procedure "%s" was not registered' % proc_name)
+        widget.add_callback(callback_name, proc)
+    for child in description.children:
+        instantiate(child, widget, procedures)
+    widget.manage()
+    return widget

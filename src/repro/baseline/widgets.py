@@ -1,0 +1,430 @@
+"""Motif-style widgets for the baseline (Xt-like) toolkit.
+
+Every behaviour here is pre-compiled: the push button's arm/activate
+sequence, the scroll bar's increment/decrement/drag logic, the list's
+selection, and the paned window's layout are all Python procedures
+wired to events through translation tables and to applications through
+typed callback lists.  There is no way to compose widgets at run time
+except by writing more compiled code — connecting a scroll bar to a
+list takes an explicit adapter callback (compare the one-line Tcl
+``-command ".list view"`` in Tk).
+
+This is the comparison target for Table I (sizes) and the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..x11.resources import font_metrics
+from .intrinsics import (CompositeWidget, CoreWidget, Resource, XtError)
+
+_FONT_WIDTH, _FONT_ASCENT, _FONT_DESCENT = font_metrics("fixed")
+_LINE_HEIGHT = _FONT_ASCENT + _FONT_DESCENT
+
+
+def register_baseline_actions(app) -> None:
+    """Register the compiled action procedures every widget needs.
+
+    In Xt this happens once per application via XtAppAddActions; the
+    action names are the vocabulary the translation tables may use.
+    """
+    app.add_actions({
+        "Arm": _action_arm,
+        "Disarm": _action_disarm,
+        "Activate": _action_activate,
+        "Highlight": _action_highlight,
+        "Unhighlight": _action_unhighlight,
+        "Toggle": _action_toggle,
+        "Select": _action_select,
+        "ExtendSelect": _action_extend_select,
+        "Increment": _action_increment,
+        "Decrement": _action_decrement,
+        "Drag": _action_drag,
+        "Redisplay": _action_redisplay,
+    })
+
+
+# -- the compiled action procedures --------------------------------------
+
+def _action_arm(widget, event, arguments) -> None:
+    widget.armed = True
+    widget.redisplay()
+
+
+def _action_disarm(widget, event, arguments) -> None:
+    widget.armed = False
+    widget.redisplay()
+
+
+def _action_activate(widget, event, arguments) -> None:
+    widget.activate(event)
+
+
+def _action_highlight(widget, event, arguments) -> None:
+    widget.highlighted = True
+    widget.redisplay()
+
+
+def _action_unhighlight(widget, event, arguments) -> None:
+    widget.highlighted = False
+    widget.armed = False
+    widget.redisplay()
+
+
+def _action_toggle(widget, event, arguments) -> None:
+    widget.toggle(event)
+
+
+def _action_select(widget, event, arguments) -> None:
+    widget.select_at(event, extend=False)
+
+
+def _action_extend_select(widget, event, arguments) -> None:
+    widget.select_at(event, extend=True)
+
+
+def _action_increment(widget, event, arguments) -> None:
+    widget.increment(event)
+
+
+def _action_decrement(widget, event, arguments) -> None:
+    widget.decrement(event)
+
+
+def _action_drag(widget, event, arguments) -> None:
+    widget.drag(event)
+
+
+def _action_redisplay(widget, event, arguments) -> None:
+    widget.redisplay()
+
+
+# ----------------------------------------------------------------------
+# Label
+# ----------------------------------------------------------------------
+
+class XmLabel(CoreWidget):
+    class_name = "XmLabel"
+    resources = [
+        Resource("labelString", "LabelString", "String", ""),
+        Resource("foreground", "Foreground", "Pixel", 0x000000),
+        Resource("marginWidth", "MarginWidth", "Int", 3),
+        Resource("marginHeight", "MarginHeight", "Int", 1),
+    ]
+
+    def __init__(self, name: str, parent, **args):
+        super().__init__(name, parent, **args)
+        self.highlighted = False
+        self.armed = False
+        width, height = self.preferred_size()
+        self.values["width"] = width
+        self.values["height"] = height
+
+    def preferred_size(self) -> Tuple[int, int]:
+        text = self.values["labelString"]
+        return (len(text) * _FONT_WIDTH + 2 * self.values["marginWidth"]
+                + 2 * self.values["borderWidth"] + 4,
+                _LINE_HEIGHT + 2 * self.values["marginHeight"]
+                + 2 * self.values["borderWidth"] + 4)
+
+    def expose(self) -> None:
+        display = self.app.display
+        gc = display.create_gc(foreground=self.values["foreground"],
+                               font="fixed")
+        text = self.values["labelString"]
+        x = max(0, (self.values["width"] - len(text) * _FONT_WIDTH) // 2)
+        y = max(0, (self.values["height"] - _LINE_HEIGHT) // 2)
+        display.draw_string(self.window_id, gc, x, y, text)
+
+
+# ----------------------------------------------------------------------
+# PushButton
+# ----------------------------------------------------------------------
+
+class XmPushButton(XmLabel):
+    class_name = "XmPushButton"
+    resources = [
+        Resource("armColor", "ArmColor", "Pixel", 0xBBBBBB),
+    ]
+    default_translations = (
+        "<EnterWindow>: Highlight()\n"
+        "<LeaveWindow>: Unhighlight()\n"
+        "<Btn1Down>: Arm()\n"
+        "<Btn1Up>: Activate() Disarm()\n"
+        "<Key>space: Activate()\n"
+    )
+
+    #: Callback list names (Motif: XmNactivateCallback etc.)
+    ACTIVATE = "activateCallback"
+    ARM = "armCallback"
+    DISARM = "disarmCallback"
+
+    def activate(self, event) -> None:
+        if not self.values["sensitive"]:
+            return
+        if not (self.armed or event.keysym):
+            return
+        self.call_callbacks(self.ACTIVATE, call_data=event)
+
+    def expose(self) -> None:
+        display = self.app.display
+        if self.armed:
+            gc = display.create_gc(foreground=self.values["armColor"])
+            display.fill_rectangle(self.window_id, gc, 0, 0,
+                                   self.values["width"],
+                                   self.values["height"])
+        super().expose()
+        outline = display.create_gc(foreground=0x000000)
+        display.draw_rectangle(self.window_id, outline, 0, 0,
+                               self.values["width"] - 1,
+                               self.values["height"] - 1)
+
+
+# ----------------------------------------------------------------------
+# ToggleButton
+# ----------------------------------------------------------------------
+
+class XmToggleButton(XmPushButton):
+    class_name = "XmToggleButton"
+    resources = [
+        Resource("set", "Set", "Boolean", False),
+    ]
+    default_translations = (
+        "<EnterWindow>: Highlight()\n"
+        "<LeaveWindow>: Unhighlight()\n"
+        "<Btn1Down>: Arm()\n"
+        "<Btn1Up>: Toggle() Disarm()\n"
+        "<Key>space: Toggle()\n"
+    )
+
+    VALUE_CHANGED = "valueChangedCallback"
+
+    def toggle(self, event) -> None:
+        if not self.values["sensitive"]:
+            return
+        self.values["set"] = not self.values["set"]
+        self.redisplay()
+        self.call_callbacks(self.VALUE_CHANGED,
+                            call_data=self.values["set"])
+
+    def expose(self) -> None:
+        super().expose()
+        display = self.app.display
+        gc = display.create_gc(foreground=self.values["foreground"])
+        size = 10
+        y = max(0, (self.values["height"] - size) // 2)
+        display.draw_rectangle(self.window_id, gc, 2, y, size, size)
+        if self.values["set"]:
+            display.fill_rectangle(self.window_id, gc, 4, y + 2,
+                                   size - 4, size - 4)
+
+
+# ----------------------------------------------------------------------
+# ScrollBar
+# ----------------------------------------------------------------------
+
+class XmScrollBar(CoreWidget):
+    class_name = "XmScrollBar"
+    resources = [
+        Resource("minimum", "Minimum", "Int", 0),
+        Resource("maximum", "Maximum", "Int", 100),
+        Resource("value", "Value", "Int", 0),
+        Resource("sliderSize", "SliderSize", "Int", 10),
+        Resource("increment", "Increment", "Int", 1),
+        Resource("foreground", "Foreground", "Pixel", 0x000000),
+    ]
+    default_translations = (
+        "<Btn1Down>: Drag()\n"
+        "<Btn1Motion>: Drag()\n"
+    )
+
+    VALUE_CHANGED = "valueChangedCallback"
+    INCREMENT_CB = "incrementCallback"
+    DECREMENT_CB = "decrementCallback"
+
+    def __init__(self, name: str, parent, **args):
+        args.setdefault("width", 15)
+        args.setdefault("height", 100)
+        super().__init__(name, parent, **args)
+
+    def _set_value(self, value: int) -> None:
+        low = self.values["minimum"]
+        high = max(low, self.values["maximum"] -
+                   self.values["sliderSize"])
+        value = max(low, min(high, value))
+        if value != self.values["value"]:
+            self.values["value"] = value
+            self.redisplay()
+            self.call_callbacks(self.VALUE_CHANGED, call_data=value)
+
+    def increment(self, event) -> None:
+        self._set_value(self.values["value"] + self.values["increment"])
+        self.call_callbacks(self.INCREMENT_CB,
+                            call_data=self.values["value"])
+
+    def decrement(self, event) -> None:
+        self._set_value(self.values["value"] - self.values["increment"])
+        self.call_callbacks(self.DECREMENT_CB,
+                            call_data=self.values["value"])
+
+    def drag(self, event) -> None:
+        arrow = min(self.values["width"], self.values["height"] // 4)
+        length = self.values["height"]
+        if event.y < arrow:
+            self.decrement(event)
+            return
+        if event.y >= length - arrow:
+            self.increment(event)
+            return
+        span = self.values["maximum"] - self.values["minimum"]
+        inner = max(1, length - 2 * arrow)
+        fraction = (event.y - arrow) / inner
+        self._set_value(self.values["minimum"] + int(fraction * span))
+
+    def expose(self) -> None:
+        display = self.app.display
+        gc = display.create_gc(foreground=self.values["foreground"])
+        width = self.values["width"]
+        length = self.values["height"]
+        arrow = min(width, length // 4)
+        display.fill_rectangle(self.window_id, gc, 0, 0, width, arrow)
+        display.fill_rectangle(self.window_id, gc, 0, length - arrow,
+                               width, arrow)
+        span = max(1, self.values["maximum"] - self.values["minimum"])
+        inner = max(1, length - 2 * arrow)
+        start = arrow + inner * (self.values["value"] -
+                                 self.values["minimum"]) // span
+        size = max(4, inner * self.values["sliderSize"] // span)
+        display.draw_rectangle(self.window_id, gc, 1, start,
+                               width - 2, size)
+
+
+# ----------------------------------------------------------------------
+# List
+# ----------------------------------------------------------------------
+
+class XmList(CoreWidget):
+    class_name = "XmList"
+    resources = [
+        Resource("visibleItemCount", "VisibleItemCount", "Int", 10),
+        Resource("foreground", "Foreground", "Pixel", 0x000000),
+        Resource("selectBackground", "SelectBackground", "Pixel",
+                 0x444444),
+    ]
+    default_translations = (
+        "<Btn1Down>: Select()\n"
+        "Shift <Btn1Down>: ExtendSelect()\n"
+    )
+
+    SELECTION = "browseSelectionCallback"
+
+    def __init__(self, name: str, parent, **args):
+        args.setdefault("width", 120)
+        super().__init__(name, parent, **args)
+        self.items: List[str] = []
+        self.top_item = 0
+        self.selected: List[int] = []
+        self._anchor = 0
+        self.values["height"] = (self.values["visibleItemCount"] *
+                                 _LINE_HEIGHT + 4)
+
+    # Every content operation is a compiled entry point (XmListAdd...).
+
+    def add_item(self, item: str, position: Optional[int] = None) -> None:
+        if position is None:
+            self.items.append(item)
+        else:
+            self.items.insert(position, item)
+        self.redisplay()
+
+    def delete_item(self, position: int) -> None:
+        if not 0 <= position < len(self.items):
+            raise XtError("list index out of range")
+        del self.items[position]
+        self.selected = [index - (1 if index > position else 0)
+                         for index in self.selected if index != position]
+        self.redisplay()
+
+    def get_item(self, position: int) -> str:
+        return self.items[position]
+
+    def item_count(self) -> int:
+        return len(self.items)
+
+    def set_top_item(self, position: int) -> None:
+        self.top_item = max(0, min(position, len(self.items) - 1))
+        self.redisplay()
+
+    def select_at(self, event, extend: bool) -> None:
+        index = self.top_item + max(0, event.y - 2) // _LINE_HEIGHT
+        if index >= len(self.items):
+            return
+        if extend:
+            low, high = sorted((self._anchor, index))
+            self.selected = list(range(low, high + 1))
+        else:
+            self.selected = [index]
+            self._anchor = index
+        self.redisplay()
+        self.call_callbacks(self.SELECTION, call_data=list(self.selected))
+
+    def expose(self) -> None:
+        display = self.app.display
+        gc = display.create_gc(foreground=self.values["foreground"],
+                               font="fixed")
+        select_gc = display.create_gc(
+            foreground=self.values["selectBackground"])
+        for row in range(self.values["visibleItemCount"]):
+            index = self.top_item + row
+            if index >= len(self.items):
+                break
+            y = 2 + row * _LINE_HEIGHT
+            if index in self.selected:
+                display.fill_rectangle(self.window_id, select_gc, 2, y,
+                                       self.values["width"] - 4,
+                                       _LINE_HEIGHT)
+            display.draw_string(self.window_id, gc, 2, y,
+                                self.items[index])
+
+
+# ----------------------------------------------------------------------
+# PanedWindow (the Motif module Table I compares with Tk's packer)
+# ----------------------------------------------------------------------
+
+class XmPanedWindow(CompositeWidget):
+    class_name = "XmPanedWindow"
+    resources = [
+        Resource("spacing", "Spacing", "Int", 2),
+    ]
+
+    def preferred_size(self) -> Tuple[int, int]:
+        width = 1
+        height = 0
+        for child in self.children:
+            if not child.managed:
+                continue
+            child_width, child_height = child.preferred_size()
+            width = max(width, child_width)
+            height += child_height + self.values["spacing"]
+        return (width, max(1, height))
+
+    def layout(self) -> None:
+        """Stack managed children top to bottom, full width."""
+        y = 0
+        for child in self.children:
+            if not child.managed:
+                continue
+            _, child_height = child.preferred_size()
+            remaining = self.values["height"] - y
+            if remaining <= 0:
+                child_height = 1
+            else:
+                child_height = min(child_height, remaining)
+            child.move_resize(0, y, self.values["width"], child_height)
+            y += child_height + self.values["spacing"]
+
+    def _apply_geometry(self) -> None:
+        super()._apply_geometry()
+        self.layout()

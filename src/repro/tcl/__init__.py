@@ -1,0 +1,34 @@
+"""repro.tcl — a from-scratch implementation of the Tcl command language
+as described in "Tcl: An Embeddable Command Language" and summarized in
+section 2 of the Tk paper.
+
+Public API::
+
+    from repro.tcl import Interp, TclError
+
+    interp = Interp()
+    interp.register("double", lambda ip, argv: str(2 * int(argv[1])))
+    interp.eval("set x [double 21]")   # -> "42"
+
+The interpreter traffics only in strings, supports dynamically created
+commands, and implements the complete syntax of the paper's Figures 1-5.
+"""
+
+from .errors import (TCL_BREAK, TCL_CONTINUE, TCL_ERROR, TCL_OK, TCL_RETURN,
+                     TclBreak, TclContinue, TclError, TclParseError,
+                     TclReturn)
+from .expr import eval_expr, expr_as_bool, expr_as_string
+from .interp import CallFrame, Interp, Proc
+from .lists import format_list, parse_list, quote_element
+from .parser import parse_script, parse_substitution
+from .strings import glob_match, tcl_format, tcl_scan
+
+__all__ = [
+    "TCL_OK", "TCL_ERROR", "TCL_RETURN", "TCL_BREAK", "TCL_CONTINUE",
+    "TclError", "TclParseError", "TclReturn", "TclBreak", "TclContinue",
+    "Interp", "CallFrame", "Proc",
+    "parse_list", "format_list", "quote_element",
+    "parse_script", "parse_substitution",
+    "eval_expr", "expr_as_string", "expr_as_bool",
+    "glob_match", "tcl_format", "tcl_scan",
+]

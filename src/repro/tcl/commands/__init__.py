@@ -1,0 +1,19 @@
+"""Built-in Tcl commands.
+
+These are the generic facilities of the language (paper Figure 6:
+"built-in commands are registered automatically").  They use exactly the
+same registration interface as application-specific commands, so an
+application can delete or rename any of them.
+"""
+
+from __future__ import annotations
+
+from . import (control, fileio, info, io, listcmds, regexpcmds, strings,
+               tracecmd, variables)
+
+
+def register_builtins(interp) -> None:
+    """Register every built-in command in ``interp``."""
+    for module in (control, variables, strings, listcmds, info, io,
+                   fileio, regexpcmds, tracecmd):
+        module.register(interp)

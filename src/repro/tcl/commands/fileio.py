@@ -1,0 +1,161 @@
+"""Filesystem and process commands: file, glob, pwd, cd, exec.
+
+``file`` accepts both the old word order used in the paper's Figure 9
+(``file $name isdirectory``) and the modern one
+(``file isdirectory $name``).
+
+``exec`` does not spawn real operating-system processes; it dispatches
+to the interpreter's ``exec_handler`` (a :class:`ProcessRegistry` in
+wish), which runs simulated programs in-process.  This is the
+substitution documented in DESIGN.md: the paper's examples only need
+``ls``, ``sh -c "browse dir &"`` and the ``mx`` editor, all of which the
+registry provides.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from ..errors import TclError
+from ..lists import format_list
+from ..strings import glob_match
+
+_FILE_OPTIONS = {
+    "exists", "isdirectory", "isfile", "readable", "writable",
+    "executable", "owned", "size", "mtime", "atime", "dirname", "tail",
+    "rootname", "extension", "type",
+}
+
+
+def _wrong_args(usage: str) -> TclError:
+    return TclError('wrong # args: should be "%s"' % usage)
+
+
+def cmd_file(interp, argv: List[str]) -> str:
+    if len(argv) != 3:
+        raise _wrong_args("file option name")
+    first, second = argv[1], argv[2]
+    if first in _FILE_OPTIONS:
+        option, name = first, second
+    elif second in _FILE_OPTIONS:
+        option, name = second, first  # old-Tcl word order (Figure 9)
+    else:
+        raise TclError(
+            'bad option "%s": no valid file option in "file %s %s"'
+            % (first, first, second))
+    return _file_option(option, name)
+
+
+def _file_option(option: str, name: str) -> str:
+    if option == "exists":
+        return "1" if os.path.exists(name) else "0"
+    if option == "isdirectory":
+        return "1" if os.path.isdir(name) else "0"
+    if option == "isfile":
+        return "1" if os.path.isfile(name) else "0"
+    if option == "readable":
+        return "1" if os.access(name, os.R_OK) else "0"
+    if option == "writable":
+        return "1" if os.access(name, os.W_OK) else "0"
+    if option == "executable":
+        return "1" if os.access(name, os.X_OK) else "0"
+    if option == "owned":
+        try:
+            return "1" if os.stat(name).st_uid == os.getuid() else "0"
+        except OSError:
+            return "0"
+    if option in ("size", "mtime", "atime"):
+        try:
+            stat = os.stat(name)
+        except OSError as error:
+            raise TclError('couldn\'t stat "%s": %s'
+                           % (name, error.strerror or error))
+        if option == "size":
+            return str(stat.st_size)
+        if option == "mtime":
+            return str(int(stat.st_mtime))
+        return str(int(stat.st_atime))
+    if option == "dirname":
+        return os.path.dirname(name) or "."
+    if option == "tail":
+        return os.path.basename(name)
+    if option == "rootname":
+        return os.path.splitext(name)[0]
+    if option == "extension":
+        return os.path.splitext(name)[1]
+    if option == "type":
+        if os.path.islink(name):
+            return "link"
+        if os.path.isdir(name):
+            return "directory"
+        if os.path.isfile(name):
+            return "file"
+        raise TclError('couldn\'t stat "%s"' % name)
+    raise TclError('bad file option "%s"' % option)
+
+
+def cmd_glob(interp, argv: List[str]) -> str:
+    if len(argv) < 2:
+        raise _wrong_args("glob ?-nocomplain? name ?name ...?")
+    patterns = argv[1:]
+    complain = True
+    if patterns[0] == "-nocomplain":
+        complain = False
+        patterns = patterns[1:]
+    matches: List[str] = []
+    for pattern in patterns:
+        directory, _, leaf = pattern.rpartition("/")
+        base = directory or "."
+        try:
+            names = os.listdir(base)
+        except OSError:
+            names = []
+        for name in sorted(names):
+            if name.startswith(".") and not leaf.startswith("."):
+                continue
+            if glob_match(leaf or pattern, name):
+                matches.append(directory + "/" + name if directory
+                               else name)
+    if not matches and complain:
+        raise TclError('no files matched glob pattern%s "%s"'
+                       % ("s" if len(patterns) > 1 else "",
+                          " ".join(patterns)))
+    return format_list(matches)
+
+
+def cmd_pwd(interp, argv: List[str]) -> str:
+    if len(argv) != 1:
+        raise _wrong_args("pwd")
+    return os.getcwd()
+
+
+def cmd_cd(interp, argv: List[str]) -> str:
+    if len(argv) > 2:
+        raise _wrong_args("cd ?dirName?")
+    target = argv[1] if len(argv) == 2 else os.path.expanduser("~")
+    try:
+        os.chdir(target)
+    except OSError as error:
+        raise TclError('couldn\'t change working directory to "%s": %s'
+                       % (target, error.strerror or error))
+    return ""
+
+
+def cmd_exec(interp, argv: List[str]) -> str:
+    if len(argv) < 2:
+        raise _wrong_args("exec arg ?arg ...?")
+    handler = getattr(interp, "exec_handler", None)
+    if handler is None:
+        raise TclError(
+            'couldn\'t find "%s" to execute (no process registry '
+            'installed in this interpreter)' % argv[1])
+    return handler(argv[1:])
+
+
+def register(interp) -> None:
+    interp.register("file", cmd_file)
+    interp.register("glob", cmd_glob)
+    interp.register("pwd", cmd_pwd)
+    interp.register("cd", cmd_cd)
+    interp.register("exec", cmd_exec)

@@ -1,0 +1,155 @@
+"""I/O commands: print, puts, and simple file channels.
+
+``print`` is the old-Tcl output command used throughout the paper's
+figures (``print "hi\\n"`` — note the explicit newline: print writes its
+argument verbatim).  ``puts`` is the newer spelling that appends a
+newline unless -nonewline is given.  Channels returned by ``open`` are
+named ``file0``, ``file1``, ... and work with puts/gets/read/close/eof.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List
+
+from ..errors import TclError
+
+
+def _wrong_args(usage: str) -> TclError:
+    return TclError('wrong # args: should be "%s"' % usage)
+
+
+def _channels(interp) -> Dict[str, object]:
+    channels = getattr(interp, "channels", None)
+    if channels is None:
+        channels = {}
+        interp.channels = channels
+        interp._next_channel = 0
+    return channels
+
+
+def _lookup_channel(interp, name: str):
+    if name == "stdout" or name == "stderr":
+        return None  # handled by interp.write
+    channel = _channels(interp).get(name)
+    if channel is None:
+        raise TclError('can not find channel named "%s"' % name)
+    return channel
+
+
+def cmd_print(interp, argv: List[str]) -> str:
+    """print string ?file? — write the string verbatim."""
+    if len(argv) not in (2, 3):
+        raise _wrong_args("print string ?file?")
+    if len(argv) == 3 and argv[2] not in ("stdout", "stderr"):
+        handle = _lookup_channel(interp, argv[2])
+        handle.write(argv[1])
+    else:
+        interp.write(argv[1])
+    return ""
+
+
+def cmd_puts(interp, argv: List[str]) -> str:
+    """puts ?-nonewline? ?channel? string"""
+    args = argv[1:]
+    newline = True
+    if args and args[0] == "-nonewline":
+        newline = False
+        args = args[1:]
+    if len(args) not in (1, 2):
+        raise _wrong_args("puts ?-nonewline? ?channelId? string")
+    if len(args) == 2:
+        channel_name, text = args
+    else:
+        channel_name, text = "stdout", args[0]
+    if newline:
+        text += "\n"
+    if channel_name in ("stdout", "stderr"):
+        interp.write(text)
+    else:
+        _lookup_channel(interp, channel_name).write(text)
+    return ""
+
+
+def cmd_open(interp, argv: List[str]) -> str:
+    if len(argv) not in (2, 3):
+        raise _wrong_args("open fileName ?access?")
+    access = argv[2] if len(argv) == 3 else "r"
+    mode_map = {"r": "r", "r+": "r+", "w": "w", "w+": "w+",
+                "a": "a", "a+": "a+"}
+    if access not in mode_map:
+        raise TclError('illegal access mode "%s"' % access)
+    try:
+        handle = open(argv[1], mode_map[access])
+    except OSError as error:
+        raise TclError('couldn\'t open "%s": %s'
+                       % (argv[1], error.strerror or error))
+    channels = _channels(interp)
+    name = "file%d" % interp._next_channel
+    interp._next_channel += 1
+    channels[name] = handle
+    return name
+
+
+def cmd_close(interp, argv: List[str]) -> str:
+    if len(argv) != 2:
+        raise _wrong_args("close fileId")
+    handle = _lookup_channel(interp, argv[1])
+    handle.close()
+    del _channels(interp)[argv[1]]
+    return ""
+
+
+def cmd_gets(interp, argv: List[str]) -> str:
+    if len(argv) not in (2, 3):
+        raise _wrong_args("gets fileId ?varName?")
+    handle = _lookup_channel(interp, argv[1])
+    line = handle.readline()
+    stripped = line[:-1] if line.endswith("\n") else line
+    if len(argv) == 3:
+        interp.set_var(argv[2], stripped)
+        return "-1" if line == "" else str(len(stripped))
+    return stripped
+
+
+def cmd_read(interp, argv: List[str]) -> str:
+    if len(argv) not in (2, 3):
+        raise _wrong_args("read fileId ?numBytes?")
+    handle = _lookup_channel(interp, argv[1])
+    if len(argv) == 3:
+        from ..strings import _to_int
+        return handle.read(_to_int(argv[2]))
+    return handle.read()
+
+
+def cmd_eof(interp, argv: List[str]) -> str:
+    if len(argv) != 2:
+        raise _wrong_args("eof fileId")
+    handle = _lookup_channel(interp, argv[1])
+    position = handle.tell()
+    at_eof = handle.read(1) == ""
+    handle.seek(position)
+    return "1" if at_eof else "0"
+
+
+def cmd_flush(interp, argv: List[str]) -> str:
+    if len(argv) != 2:
+        raise _wrong_args("flush fileId")
+    if argv[1] in ("stdout", "stderr"):
+        stream = getattr(interp, "stdout", None)
+        if stream is not None and hasattr(stream, "flush"):
+            stream.flush()
+        return ""
+    _lookup_channel(interp, argv[1]).flush()
+    return ""
+
+
+def register(interp) -> None:
+    interp.register("print", cmd_print)
+    interp.register("puts", cmd_puts)
+    interp.register("open", cmd_open)
+    interp.register("close", cmd_close)
+    interp.register("gets", cmd_gets)
+    interp.register("read", cmd_read)
+    interp.register("eof", cmd_eof)
+    interp.register("flush", cmd_flush)

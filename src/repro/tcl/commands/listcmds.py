@@ -1,0 +1,159 @@
+"""List commands: list, lindex, llength, lappend, lrange, lsearch,
+lsort, linsert, lreplace — plus the old-Tcl aliases ``index`` and
+``range`` that appear in the paper's Figure 9 browser script.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import TclError
+from ..lists import format_list, parse_list, quote_element
+from ..strings import glob_match, _to_int
+
+
+def _wrong_args(usage: str) -> TclError:
+    return TclError('wrong # args: should be "%s"' % usage)
+
+
+def _index(text: str, length: int) -> int:
+    if text == "end":
+        return length - 1
+    if text.startswith("end-"):
+        return length - 1 - _to_int(text[4:])
+    return _to_int(text)
+
+
+def cmd_list(interp, argv: List[str]) -> str:
+    return format_list(argv[1:])
+
+
+def cmd_lindex(interp, argv: List[str]) -> str:
+    if len(argv) != 3:
+        raise _wrong_args("lindex list index")
+    elements = parse_list(argv[1])
+    position = _index(argv[2], len(elements))
+    if 0 <= position < len(elements):
+        return elements[position]
+    return ""
+
+
+def cmd_llength(interp, argv: List[str]) -> str:
+    if len(argv) != 2:
+        raise _wrong_args("llength list")
+    return str(len(parse_list(argv[1])))
+
+
+def cmd_lappend(interp, argv: List[str]) -> str:
+    if len(argv) < 3:
+        raise _wrong_args("lappend varName value ?value ...?")
+    from .variables import split_var_name
+    name, index = split_var_name(argv[1])
+    try:
+        current = interp.get_var(name, index)
+    except TclError:
+        current = ""
+    pieces = [current] if current else []
+    pieces.extend(quote_element(value) for value in argv[2:])
+    return interp.set_var(name, " ".join(pieces), index)
+
+
+def cmd_lrange(interp, argv: List[str]) -> str:
+    if len(argv) != 4:
+        raise _wrong_args("lrange list first last")
+    elements = parse_list(argv[1])
+    first = max(_index(argv[2], len(elements)), 0)
+    last = min(_index(argv[3], len(elements)), len(elements) - 1)
+    if first > last:
+        return ""
+    return format_list(elements[first:last + 1])
+
+
+def cmd_linsert(interp, argv: List[str]) -> str:
+    if len(argv) < 4:
+        raise _wrong_args("linsert list index element ?element ...?")
+    elements = parse_list(argv[1])
+    position = _index(argv[2], len(elements) + 1)
+    position = max(0, min(position, len(elements)))
+    return format_list(elements[:position] + argv[3:] + elements[position:])
+
+
+def cmd_lreplace(interp, argv: List[str]) -> str:
+    if len(argv) < 4:
+        raise _wrong_args("lreplace list first last ?element ...?")
+    elements = parse_list(argv[1])
+    first = max(_index(argv[2], len(elements)), 0)
+    last = min(_index(argv[3], len(elements)), len(elements) - 1)
+    if first > len(elements):
+        raise TclError("list doesn't contain element %s" % argv[2])
+    replacement = list(argv[4:])
+    if last < first:
+        last = first - 1
+    return format_list(elements[:first] + replacement + elements[last + 1:])
+
+
+def cmd_lsearch(interp, argv: List[str]) -> str:
+    if len(argv) not in (3, 4):
+        raise _wrong_args("lsearch ?mode? list pattern")
+    mode = "-glob"
+    rest = argv[1:]
+    if len(rest) == 3:
+        mode = rest[0]
+        rest = rest[1:]
+        if mode not in ("-exact", "-glob"):
+            raise TclError(
+                'bad search mode "%s": must be -exact or -glob' % mode)
+    elements = parse_list(rest[0])
+    pattern = rest[1]
+    for position, element in enumerate(elements):
+        if mode == "-exact":
+            if element == pattern:
+                return str(position)
+        elif glob_match(pattern, element):
+            return str(position)
+    return "-1"
+
+
+def cmd_lsort(interp, argv: List[str]) -> str:
+    if len(argv) < 2:
+        raise _wrong_args("lsort ?options? list")
+    options = argv[1:-1]
+    elements = parse_list(argv[-1])
+    key = None
+    reverse = False
+    for option in options:
+        if option == "-integer":
+            key = _to_int
+        elif option == "-real":
+            key = float
+        elif option == "-ascii":
+            key = None
+        elif option == "-increasing":
+            reverse = False
+        elif option == "-decreasing":
+            reverse = True
+        else:
+            raise TclError(
+                'bad option "%s": must be -ascii, -integer, -real, '
+                '-increasing, or -decreasing' % option)
+    try:
+        ordered = sorted(elements, key=key, reverse=reverse)
+    except ValueError as error:
+        raise TclError(str(error))
+    return format_list(ordered)
+
+
+def register(interp) -> None:
+    interp.register("list", cmd_list)
+    interp.register("lindex", cmd_lindex)
+    interp.register("llength", cmd_llength)
+    interp.register("lappend", cmd_lappend)
+    interp.register("lrange", cmd_lrange)
+    interp.register("linsert", cmd_linsert)
+    interp.register("lreplace", cmd_lreplace)
+    interp.register("lsearch", cmd_lsearch)
+    interp.register("lsort", cmd_lsort)
+    # Old-Tcl names used by the paper's examples (Figure 9).
+    interp.register("index", cmd_lindex)
+    interp.register("range", cmd_lrange)
+    interp.register("length", cmd_llength)

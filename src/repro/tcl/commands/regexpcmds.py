@@ -1,0 +1,166 @@
+"""Regular-expression and history commands.
+
+``regexp`` and ``regsub`` were part of classic Tcl's built-in set;
+they use (a compatible subset of) egrep syntax.  ``history`` provides
+the csh-like event list interactive shells expose.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ..errors import TclError
+
+
+def _wrong_args(usage: str) -> TclError:
+    return TclError('wrong # args: should be "%s"' % usage)
+
+
+def _compile(pattern: str, nocase: bool):
+    try:
+        return re.compile(pattern, re.IGNORECASE if nocase else 0)
+    except re.error as error:
+        raise TclError(
+            'couldn\'t compile regular expression pattern: %s' % error)
+
+
+def cmd_regexp(interp, argv: List[str]) -> str:
+    """regexp ?-nocase? ?-indices? exp string ?matchVar? ?subVar ...?"""
+    args = argv[1:]
+    nocase = False
+    indices = False
+    while args and args[0].startswith("-"):
+        if args[0] == "-nocase":
+            nocase = True
+        elif args[0] == "-indices":
+            indices = True
+        elif args[0] == "--":
+            args = args[1:]
+            break
+        else:
+            raise TclError(
+                'bad switch "%s": must be -indices, -nocase, or --'
+                % args[0])
+        args = args[1:]
+    if len(args) < 2:
+        raise _wrong_args("regexp ?switches? exp string ?matchVar? "
+                          "?subMatchVar subMatchVar ...?")
+    match = _compile(args[0], nocase).search(args[1])
+    if match is None:
+        return "0"
+    variables = args[2:]
+    groups = [match.group(0)] + list(match.groups(""))
+    spans = [match.span(0)] + [match.span(index + 1)
+                               for index in range(len(match.groups()))]
+    for position, name in enumerate(variables):
+        if position < len(groups):
+            if indices:
+                start, end = spans[position]
+                if start < 0:
+                    value = "-1 -1"
+                else:
+                    value = "%d %d" % (start, end - 1)
+            else:
+                value = groups[position] or ""
+        else:
+            value = "-1 -1" if indices else ""
+        interp.set_var(name, value)
+    return "1"
+
+
+def cmd_regsub(interp, argv: List[str]) -> str:
+    """regsub ?-all? ?-nocase? exp string subSpec varName"""
+    args = argv[1:]
+    count_all = False
+    nocase = False
+    while args and args[0].startswith("-"):
+        if args[0] == "-all":
+            count_all = True
+        elif args[0] == "-nocase":
+            nocase = True
+        elif args[0] == "--":
+            args = args[1:]
+            break
+        else:
+            raise TclError(
+                'bad switch "%s": must be -all, -nocase, or --' % args[0])
+        args = args[1:]
+    if len(args) != 4:
+        raise _wrong_args("regsub ?switches? exp string subSpec varName")
+    pattern, string, sub_spec, var_name = args
+    compiled = _compile(pattern, nocase)
+
+    replacements = [0]
+
+    def replace(match):
+        replacements[0] += 1
+        out: List[str] = []
+        i = 0
+        while i < len(sub_spec):
+            ch = sub_spec[i]
+            if ch == "&":
+                out.append(match.group(0))
+            elif ch == "\\" and i + 1 < len(sub_spec):
+                nxt = sub_spec[i + 1]
+                if nxt.isdigit():
+                    index = int(nxt)
+                    try:
+                        out.append(match.group(index) or "")
+                    except (IndexError, re.error):
+                        out.append("")
+                else:
+                    out.append(nxt)
+                i += 1
+            else:
+                out.append(ch)
+            i += 1
+        return "".join(out)
+
+    result = compiled.sub(replace, string, count=0 if count_all else 1)
+    interp.set_var(var_name, result)
+    return str(replacements[0])
+
+
+def cmd_history(interp, argv: List[str]) -> str:
+    """history ?option? ?arg? — event list for interactive shells."""
+    events = getattr(interp, "history_events", None)
+    if events is None:
+        events = []
+        interp.history_events = events
+    if len(argv) == 1 or argv[1] == "info":
+        lines = ["%6d  %s" % (number + 1, text)
+                 for number, text in enumerate(events)]
+        return "\n".join(lines)
+    option = argv[1]
+    if option == "add":
+        if len(argv) < 3:
+            raise _wrong_args("history add event")
+        events.append(argv[2])
+        return ""
+    if option == "event":
+        if not events:
+            raise TclError("no events in history")
+        if len(argv) == 2:
+            return events[-1]
+        try:
+            number = int(argv[2])
+        except ValueError:
+            raise TclError('bad event number "%s"' % argv[2])
+        index = number - 1 if number > 0 else len(events) + number - 1
+        if not 0 <= index < len(events):
+            raise TclError('event "%s" is too far in the past' % argv[2])
+        return events[index]
+    if option == "keep":
+        return ""
+    if option == "nextid":
+        return str(len(events) + 1)
+    raise TclError(
+        'bad option "%s": must be add, event, info, keep, or nextid'
+        % option)
+
+
+def register(interp) -> None:
+    interp.register("regexp", cmd_regexp)
+    interp.register("regsub", cmd_regsub)
+    interp.register("history", cmd_history)

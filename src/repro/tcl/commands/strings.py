@@ -1,0 +1,150 @@
+"""String commands: string, format, scan, split, join, concat, expr.
+
+Everything operates on Tcl's single data type — strings — so these
+commands are the workhorses of data manipulation (paper section 2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import TclError
+from ..expr import expr_as_string
+from ..lists import format_list, parse_list
+from ..strings import glob_match, tcl_format, tcl_scan, _to_int
+
+
+def _wrong_args(usage: str) -> TclError:
+    return TclError('wrong # args: should be "%s"' % usage)
+
+
+def cmd_string(interp, argv: List[str]) -> str:
+    if len(argv) < 3:
+        raise _wrong_args("string option arg ?arg ...?")
+    option = argv[1]
+    if option == "compare":
+        _exactly(argv, 4, "string compare string1 string2")
+        left, right = argv[2], argv[3]
+        return str((left > right) - (left < right))
+    if option == "match":
+        _exactly(argv, 4, "string match pattern string")
+        return "1" if glob_match(argv[2], argv[3]) else "0"
+    if option == "length":
+        _exactly(argv, 3, "string length string")
+        return str(len(argv[2]))
+    if option == "index":
+        _exactly(argv, 4, "string index string charIndex")
+        position = _to_int(argv[3])
+        text = argv[2]
+        if 0 <= position < len(text):
+            return text[position]
+        return ""
+    if option == "range":
+        _exactly(argv, 5, "string range string first last")
+        text = argv[2]
+        first = _to_int(argv[3])
+        last = len(text) - 1 if argv[4] == "end" else _to_int(argv[4])
+        first = max(first, 0)
+        if last >= len(text):
+            last = len(text) - 1
+        if first > last:
+            return ""
+        return text[first:last + 1]
+    if option == "tolower":
+        _exactly(argv, 3, "string tolower string")
+        return argv[2].lower()
+    if option == "toupper":
+        _exactly(argv, 3, "string toupper string")
+        return argv[2].upper()
+    if option in ("trim", "trimleft", "trimright"):
+        if len(argv) not in (3, 4):
+            raise _wrong_args("string %s string ?chars?" % option)
+        chars = argv[3] if len(argv) == 4 else None
+        text = argv[2]
+        if option == "trim":
+            return text.strip(chars)
+        if option == "trimleft":
+            return text.lstrip(chars)
+        return text.rstrip(chars)
+    if option == "first":
+        _exactly(argv, 4, "string first string1 string2")
+        return str(argv[3].find(argv[2]))
+    if option == "last":
+        _exactly(argv, 4, "string last string1 string2")
+        return str(argv[3].rfind(argv[2]))
+    raise TclError(
+        'bad option "%s": should be compare, first, index, last, '
+        'length, match, range, tolower, toupper, trim, trimleft, '
+        'or trimright' % option)
+
+
+def _exactly(argv: List[str], count: int, usage: str) -> None:
+    if len(argv) != count:
+        raise _wrong_args(usage)
+
+
+def cmd_format(interp, argv: List[str]) -> str:
+    if len(argv) < 2:
+        raise _wrong_args("format formatString ?arg ...?")
+    return tcl_format(argv[1], argv[2:])
+
+
+def cmd_scan(interp, argv: List[str]) -> str:
+    if len(argv) < 4:
+        raise _wrong_args("scan string format varName ?varName ...?")
+    conversions = tcl_scan(argv[1], argv[2])
+    if conversions is None:
+        return "-1"
+    names = argv[3:]
+    if len(conversions) > len(names):
+        raise TclError("different numbers of variable names and "
+                       "field specifiers")
+    for name, (_, value) in zip(names, conversions):
+        interp.set_var(name, value)
+    return str(len(conversions))
+
+
+def cmd_split(interp, argv: List[str]) -> str:
+    if len(argv) not in (2, 3):
+        raise _wrong_args("split string ?splitChars?")
+    text = argv[1]
+    separators = argv[2] if len(argv) == 3 else " \t\n\r"
+    if separators == "":
+        return format_list(list(text))
+    fields: List[str] = []
+    current: List[str] = []
+    for ch in text:
+        if ch in separators:
+            fields.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    fields.append("".join(current))
+    return format_list(fields)
+
+
+def cmd_join(interp, argv: List[str]) -> str:
+    if len(argv) not in (2, 3):
+        raise _wrong_args("join list ?joinString?")
+    separator = argv[2] if len(argv) == 3 else " "
+    return separator.join(parse_list(argv[1]))
+
+
+def cmd_concat(interp, argv: List[str]) -> str:
+    return " ".join(arg.strip() for arg in argv[1:] if arg.strip())
+
+
+def cmd_expr(interp, argv: List[str]) -> str:
+    if len(argv) < 2:
+        raise _wrong_args("expr arg ?arg ...?")
+    return expr_as_string(interp, " ".join(argv[1:]))
+
+
+def register(interp) -> None:
+    interp.register("string", cmd_string)
+    interp.register("format", cmd_format)
+    interp.register("scan", cmd_scan)
+    interp.register("split", cmd_split)
+    interp.register("join", cmd_join)
+    interp.register("concat", cmd_concat)
+    interp.register("expr", cmd_expr)

@@ -1,0 +1,139 @@
+"""The ``trace`` command: run Tcl commands when variables are touched.
+
+``trace variable name ops command`` arranges for ``command name1 name2
+op`` to be evaluated whenever the variable is read (``r``), written
+(``w``), or unset (``u``).  This is the mechanism Tk's checkbuttons and
+radiobuttons use to follow their ``-variable`` wherever it is changed
+from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import TclError
+from ..lists import format_list
+from .variables import split_var_name
+
+
+def _wrong_args(usage: str) -> TclError:
+    return TclError('wrong # args: should be "%s"' % usage)
+
+
+class TraceTable:
+    """Per-interpreter table of variable traces."""
+
+    def __init__(self, interp):
+        self.interp = interp
+        #: (frame id isn't stable; key by resolved frame object + name)
+        self._traces: Dict[Tuple[int, str], List[Tuple[str, str]]] = {}
+        self._firing = False
+
+    def _key(self, name: str) -> Tuple[int, str]:
+        frame, resolved = self.interp._resolve(
+            self.interp.current_frame, name)
+        return (id(frame), resolved)
+
+    def add(self, name: str, ops: str, command: str) -> None:
+        self._traces.setdefault(self._key(name), []).insert(
+            0, (ops, command))
+
+    def remove(self, name: str, ops: str, command: str) -> None:
+        entries = self._traces.get(self._key(name), [])
+        for entry in entries:
+            if entry == (ops, command):
+                entries.remove(entry)
+                return
+
+    def info(self, name: str) -> List[Tuple[str, str]]:
+        return list(self._traces.get(self._key(name), []))
+
+    def fire(self, name: str, index: Optional[str], op: str) -> None:
+        entries = self._traces.get(self._key(name))
+        if not entries or self._firing:
+            return
+        self._firing = True
+        try:
+            for ops, command in list(entries):
+                if op in ops:
+                    self.interp.eval(
+                        "%s %s %s %s"
+                        % (command, name,
+                           format_list([index or ""]), op))
+        finally:
+            self._firing = False
+
+
+def _table(interp) -> TraceTable:
+    table = getattr(interp, "traces", None)
+    if table is None:
+        table = TraceTable(interp)
+        interp.traces = table
+        _install_hooks(interp)
+    return table
+
+
+def _install_hooks(interp) -> None:
+    """Wrap the interpreter's variable accessors to fire traces."""
+    original_set = interp.set_var
+    original_get = interp.get_var
+    original_unset = interp.unset_var
+
+    def set_var(name, value, index=None, frame=None):
+        result = original_set(name, value, index, frame)
+        interp.traces.fire(name, index, "w")
+        return result
+
+    def get_var(name, index=None, frame=None):
+        interp.traces.fire(name, index, "r")
+        return original_get(name, index, frame)
+
+    def unset_var(name, index=None, frame=None):
+        original_unset(name, index, frame)
+        interp.traces.fire(name, index, "u")
+
+    interp.set_var = set_var
+    interp.get_var = get_var
+    interp.unset_var = unset_var
+
+
+def cmd_trace(interp, argv: List[str]) -> str:
+    """trace variable name ops command | trace vdelete ... |
+    trace vinfo name"""
+    if len(argv) < 2:
+        raise _wrong_args("trace option [arg arg ...]")
+    option = argv[1]
+    table = _table(interp)
+    if option in ("variable", "add"):
+        if len(argv) != 5:
+            raise _wrong_args("trace variable name ops command")
+        name, index = split_var_name(argv[2])
+        _check_ops(argv[3])
+        table.add(argv[2] if index is None else name, argv[3], argv[4])
+        return ""
+    if option == "vdelete":
+        if len(argv) != 5:
+            raise _wrong_args("trace vdelete name ops command")
+        name, index = split_var_name(argv[2])
+        table.remove(argv[2] if index is None else name, argv[3],
+                     argv[4])
+        return ""
+    if option == "vinfo":
+        if len(argv) != 3:
+            raise _wrong_args("trace vinfo name")
+        name, index = split_var_name(argv[2])
+        entries = table.info(argv[2] if index is None else name)
+        return format_list(format_list(entry) for entry in entries)
+    raise TclError(
+        'bad option "%s": should be variable, vdelete, or vinfo'
+        % option)
+
+
+def _check_ops(ops: str) -> None:
+    if not ops or any(op not in "rwu" for op in ops):
+        raise TclError('bad operations "%s": should be one or more of '
+                       'rwu' % ops)
+
+
+def register(interp) -> None:
+    interp.register("trace", cmd_trace)

@@ -1,0 +1,62 @@
+"""Result codes and exceptions for the Tcl interpreter.
+
+Tcl commands complete with one of five codes (paper section 2; the codes
+match the historical C implementation).  In this Python implementation the
+non-OK codes are modelled as exceptions so that command procedures written
+in Python can simply raise them; control-flow commands such as ``for`` and
+``while`` catch ``TclBreak``/``TclContinue``, and procedure invocation
+catches ``TclReturn``.
+"""
+
+from __future__ import annotations
+
+TCL_OK = 0
+TCL_ERROR = 1
+TCL_RETURN = 2
+TCL_BREAK = 3
+TCL_CONTINUE = 4
+
+
+class TclError(Exception):
+    """An error raised while parsing or executing a Tcl command.
+
+    The ``message`` becomes the interpreter result; the interpreter
+    accumulates a human-readable stack trace in its ``errorInfo``
+    variable as the error propagates (mirroring Tcl's errorInfo).
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+
+class TclParseError(TclError):
+    """A syntax error detected while parsing a command or expression."""
+
+
+class _FlowControl(Exception):
+    """Base class for Tcl's non-error, non-OK completion codes."""
+
+    code = TCL_OK
+
+
+class TclReturn(_FlowControl):
+    """Raised by the ``return`` command; caught at procedure boundaries."""
+
+    code = TCL_RETURN
+
+    def __init__(self, value: str = ""):
+        super().__init__(value)
+        self.value = value
+
+
+class TclBreak(_FlowControl):
+    """Raised by ``break``; caught by the innermost loop command."""
+
+    code = TCL_BREAK
+
+
+class TclContinue(_FlowControl):
+    """Raised by ``continue``; caught by the innermost loop command."""
+
+    code = TCL_CONTINUE

@@ -1,0 +1,463 @@
+"""The Tcl interpreter (paper section 2, Figure 6).
+
+The interpreter is a library object that an application embeds.  The
+application registers *command procedures*; the interpreter parses
+command strings, performs backslash/variable/command substitution, looks
+up the command procedure named by the first word, and invokes it.
+Application-specific and built-in commands are indistinguishable, may be
+created and deleted at any time, and all traffic in string values only.
+
+A command procedure is any Python callable ``proc(interp, argv)`` where
+``argv`` is the fully substituted word list (``argv[0]`` is the command
+name).  It returns the result string (``None`` means empty result) or
+raises :class:`~repro.tcl.errors.TclError`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Dict, List, Optional, Union
+
+from . import parser
+from .errors import (TclBreak, TclContinue, TclError, TclReturn)
+from .lists import format_list, parse_list
+
+CommandProc = Callable[["Interp", List[str]], Optional[str]]
+
+#: Values stored in a call frame: a scalar string or an array (dict).
+VarValue = Union[str, Dict[str, str]]
+
+_MAX_NESTING_DEPTH = 1000
+_PARSE_CACHE_LIMIT = 2048
+
+# Each Tcl nesting level consumes several Python stack frames; make
+# sure Python's limit is not hit before Tcl's own _MAX_NESTING_DEPTH
+# diagnostic can trigger.
+import sys as _sys  # noqa: E402  (deliberate placement with its setting)
+
+if _sys.getrecursionlimit() < 20000:
+    _sys.setrecursionlimit(20000)
+
+
+class CallFrame:
+    """One level of the procedure call stack.
+
+    ``variables`` maps names to scalar strings or array dicts.
+    ``links`` maps names to ``(frame, name)`` targets created by
+    ``global`` and ``upvar``.
+    """
+
+    __slots__ = ("variables", "links", "level", "proc_name", "argv")
+
+    def __init__(self, level: int, proc_name: str = "",
+                 argv: Optional[List[str]] = None):
+        self.variables: Dict[str, VarValue] = {}
+        self.links: Dict[str, tuple] = {}
+        self.level = level
+        self.proc_name = proc_name
+        self.argv = argv or []
+
+
+class Proc:
+    """A procedure defined with the ``proc`` command."""
+
+    __slots__ = ("name", "formals", "body")
+
+    def __init__(self, name: str, formals: List[List[str]], body: str):
+        self.name = name
+        self.formals = formals
+        self.body = body
+
+    def __call__(self, interp: "Interp", argv: List[str]) -> str:
+        return interp.call_proc(self, argv)
+
+    def args_string(self) -> str:
+        return format_list(formal[0] for formal in self.formals)
+
+
+class Interp:
+    """A Tcl interpreter with its command table and variables."""
+
+    def __init__(self, stdout=None):
+        self.commands: Dict[str, CommandProc] = {}
+        self.global_frame = CallFrame(level=0)
+        self.frames: List[CallFrame] = [self.global_frame]
+        self.depth = 0
+        self.stdout = stdout
+        self._parse_cache: Dict[str, List[parser.Command]] = {}
+        #: Hook consulted when a command is not found; replaceable by
+        #: registering a Tcl command named "unknown".
+        self.deleted = False
+        from .commands import register_builtins
+        register_builtins(self)
+
+    # ------------------------------------------------------------------
+    # Command registration (Figure 6: "register application commands")
+    # ------------------------------------------------------------------
+
+    def register(self, name: str, proc: CommandProc) -> None:
+        """Register (or replace) a command procedure under ``name``."""
+        self.commands[name] = proc
+
+    def unregister(self, name: str) -> None:
+        """Delete a command; unknown names raise an error."""
+        if name not in self.commands:
+            raise TclError('can\'t delete "%s": command doesn\'t exist'
+                           % name)
+        del self.commands[name]
+
+    def rename(self, old: str, new: str) -> None:
+        if old not in self.commands:
+            raise TclError('can\'t rename "%s": command doesn\'t exist'
+                           % old)
+        if new == "":
+            del self.commands[old]
+            return
+        if new in self.commands:
+            raise TclError('can\'t rename to "%s": command already exists'
+                           % new)
+        self.commands[new] = self.commands.pop(old)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def eval(self, script: str) -> str:
+        """Evaluate a script; the result is the last command's result."""
+        if self.depth >= _MAX_NESTING_DEPTH:
+            raise TclError(
+                "too many nested calls to Tcl_Eval (infinite loop?)")
+        self.depth += 1
+        try:
+            result = ""
+            for command in self._parsed(script):
+                result = self._eval_command(command)
+            return result
+        finally:
+            self.depth -= 1
+
+    def eval_words(self, argv: List[str]) -> str:
+        """Invoke a command from already-substituted words."""
+        if not argv:
+            return ""
+        return self._invoke(argv, source=format_list(argv))
+
+    def eval_top(self, script: str) -> str:
+        """Evaluate at top level, recording errorInfo in the global var.
+
+        This is what event bindings and the main program use: any error
+        unwinds to here, where the accumulated trace is stored in the
+        global ``errorInfo`` variable before the error is re-raised.
+        """
+        try:
+            return self.eval(script)
+        except TclError as error:
+            self.set_global_var("errorInfo", _error_info(error))
+            raise
+
+    def eval_global(self, script: str) -> str:
+        """Evaluate at global variable scope (like ``uplevel #0``).
+
+        Deferred scripts — event bindings, timer handlers, widget
+        -commands, sends — run at global level in Tcl, whatever
+        procedure happens to be executing when they fire.
+        """
+        saved = self.frames
+        self.frames = [self.global_frame]
+        try:
+            return self.eval_top(script)
+        finally:
+            self.frames = saved
+
+    def eval_background(self, script: str) -> str:
+        """Evaluate a *background* script (binding/timer/callback).
+
+        If the script fails and the application has defined a
+        ``bgerror`` procedure (wish's library provides one), the error
+        is reported through it and swallowed, so one broken binding
+        cannot kill the event loop; without ``bgerror`` the error
+        propagates as usual.
+        """
+        try:
+            return self.eval_global(script)
+        except TclError as error:
+            handler = self.commands.get("bgerror")
+            if handler is None:
+                raise
+            from .lists import quote_element
+            try:
+                self.eval_global("bgerror %s"
+                                 % quote_element(error.message))
+            except TclError:
+                pass  # a broken bgerror must not re-kill the loop
+            return ""
+
+    def _parsed(self, script: str) -> List[parser.Command]:
+        commands = self._parse_cache.get(script)
+        if commands is None:
+            commands = parser.parse_script(script)
+            if len(self._parse_cache) >= _PARSE_CACHE_LIMIT:
+                self._parse_cache.clear()
+            self._parse_cache[script] = commands
+        return commands
+
+    def _eval_command(self, command: parser.Command) -> str:
+        argv = [self.substitute_word(word) for word in command.words]
+        return self._invoke(argv, command.source)
+
+    def _invoke(self, argv: List[str], source: str) -> str:
+        proc = self.commands.get(argv[0])
+        if proc is None:
+            unknown = self.commands.get("unknown")
+            if unknown is not None:
+                return unknown(self, ["unknown"] + argv) or ""
+            raise TclError('invalid command name "%s"' % argv[0])
+        try:
+            result = proc(self, argv)
+        except TclError as error:
+            _append_error_info(error, source)
+            raise
+        return result if result is not None else ""
+
+    # ------------------------------------------------------------------
+    # Substitution
+    # ------------------------------------------------------------------
+
+    def substitute_word(self, word: parser.Word) -> str:
+        parts = word.parts
+        if len(parts) == 1 and isinstance(parts[0], parser.Literal):
+            return parts[0].text
+        pieces: List[str] = []
+        for part in parts:
+            if isinstance(part, parser.Literal):
+                pieces.append(part.text)
+            elif isinstance(part, parser.VarSub):
+                pieces.append(self.value_of(part))
+            else:
+                pieces.append(self.eval(part.script))
+        return "".join(pieces)
+
+    def substitute(self, text: str) -> str:
+        """Perform backslash/variable/command substitution on a string."""
+        return self.substitute_word(parser.parse_substitution(text))
+
+    def value_of(self, var: parser.VarSub) -> str:
+        index = None
+        if var.index is not None:
+            index = self.substitute_word(var.index)
+        return self.get_var(var.name, index)
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+
+    @property
+    def current_frame(self) -> CallFrame:
+        return self.frames[-1]
+
+    def _resolve(self, frame: CallFrame, name: str) -> tuple:
+        """Follow upvar/global links to the owning frame."""
+        seen = 0
+        while name in frame.links:
+            frame, name = frame.links[name]
+            seen += 1
+            if seen > len(self.frames) + 1:
+                raise TclError('circular variable link for "%s"' % name)
+        return frame, name
+
+    def get_var(self, name: str, index: Optional[str] = None,
+                frame: Optional[CallFrame] = None) -> str:
+        frame, name = self._resolve(frame or self.current_frame, name)
+        value = frame.variables.get(name)
+        if value is None:
+            raise TclError('can\'t read "%s": no such variable'
+                           % _display_name(name, index))
+        if index is None:
+            if isinstance(value, dict):
+                raise TclError(
+                    'can\'t read "%s": variable is array' % name)
+            return value
+        if not isinstance(value, dict):
+            raise TclError(
+                'can\'t read "%s(%s)": variable isn\'t array'
+                % (name, index))
+        if index not in value:
+            raise TclError('can\'t read "%s(%s)": no such element'
+                           % (name, index))
+        return value[index]
+
+    def set_var(self, name: str, value: str,
+                index: Optional[str] = None,
+                frame: Optional[CallFrame] = None) -> str:
+        frame, name = self._resolve(frame or self.current_frame, name)
+        if index is None:
+            if isinstance(frame.variables.get(name), dict):
+                raise TclError(
+                    'can\'t set "%s": variable is array' % name)
+            frame.variables[name] = value
+            return value
+        existing = frame.variables.get(name)
+        if existing is None:
+            existing = {}
+            frame.variables[name] = existing
+        elif not isinstance(existing, dict):
+            raise TclError(
+                'can\'t set "%s(%s)": variable isn\'t array'
+                % (name, index))
+        existing[index] = value
+        return value
+
+    def unset_var(self, name: str, index: Optional[str] = None,
+                  frame: Optional[CallFrame] = None) -> None:
+        frame, name = self._resolve(frame or self.current_frame, name)
+        if name not in frame.variables:
+            raise TclError('can\'t unset "%s": no such variable'
+                           % _display_name(name, index))
+        if index is None:
+            del frame.variables[name]
+            return
+        value = frame.variables[name]
+        if not isinstance(value, dict) or index not in value:
+            raise TclError('can\'t unset "%s(%s)": no such element'
+                           % (name, index))
+        del value[index]
+
+    def var_exists(self, name: str, index: Optional[str] = None) -> bool:
+        try:
+            frame, name = self._resolve(self.current_frame, name)
+        except TclError:
+            return False
+        value = frame.variables.get(name)
+        if value is None:
+            return False
+        if index is None:
+            return True
+        return isinstance(value, dict) and index in value
+
+    def set_global_var(self, name: str, value: str,
+                       index: Optional[str] = None) -> str:
+        return self.set_var(name, value, index, frame=self.global_frame)
+
+    def get_global_var(self, name: str, index: Optional[str] = None) -> str:
+        return self.get_var(name, index, frame=self.global_frame)
+
+    def link_var(self, frame: CallFrame, local_name: str,
+                 target_frame: CallFrame, target_name: str) -> None:
+        """Create an upvar/global style alias."""
+        if local_name in frame.variables:
+            raise TclError(
+                'variable "%s" already exists' % local_name)
+        frame.links[local_name] = (target_frame, target_name)
+
+    # ------------------------------------------------------------------
+    # Procedures
+    # ------------------------------------------------------------------
+
+    def define_proc(self, name: str, args_spec: str, body: str) -> None:
+        formals: List[List[str]] = []
+        for formal in parse_list(args_spec):
+            pieces = parse_list(formal)
+            if len(pieces) not in (1, 2) or not pieces:
+                raise TclError(
+                    'procedure "%s" has argument with too many fields'
+                    % name)
+            formals.append(pieces)
+        self.commands[name] = Proc(name, formals, body)
+
+    def call_proc(self, proc: Proc, argv: List[str]) -> str:
+        frame = CallFrame(level=len(self.frames), proc_name=proc.name,
+                          argv=argv)
+        self._bind_formals(proc, argv, frame)
+        self.frames.append(frame)
+        try:
+            try:
+                return self.eval(proc.body)
+            except TclReturn as ret:
+                return ret.value
+            except TclBreak:
+                raise TclError(
+                    'invoked "break" outside of a loop')
+            except TclContinue:
+                raise TclError(
+                    'invoked "continue" outside of a loop')
+        finally:
+            self.frames.pop()
+
+    def _bind_formals(self, proc: Proc, argv: List[str],
+                      frame: CallFrame) -> None:
+        supplied = argv[1:]
+        formals = proc.formals
+        for position, formal in enumerate(formals):
+            name = formal[0]
+            if name == "args" and position == len(formals) - 1:
+                frame.variables["args"] = format_list(supplied[position:])
+                return
+            if position < len(supplied):
+                frame.variables[name] = supplied[position]
+            elif len(formal) == 2:
+                frame.variables[name] = formal[1]
+            else:
+                raise TclError(
+                    'no value given for parameter "%s" to "%s"'
+                    % (name, proc.name))
+        if len(supplied) > len(formals):
+            raise TclError(
+                'called "%s" with too many arguments' % proc.name)
+
+    def frame_at_level(self, level_spec: str,
+                       default_up_one: bool = True) -> CallFrame:
+        """Resolve a level argument as used by uplevel/upvar.
+
+        ``#n`` is absolute; a plain number is relative to the current
+        frame; the default is one level up.
+        """
+        if level_spec.startswith("#"):
+            try:
+                level = int(level_spec[1:])
+            except ValueError:
+                raise TclError('bad level "%s"' % level_spec)
+        else:
+            try:
+                up = int(level_spec)
+            except ValueError:
+                raise TclError('bad level "%s"' % level_spec)
+            level = self.current_frame.level - up
+        if level < 0 or level >= len(self.frames):
+            raise TclError('bad level "%s"' % level_spec)
+        return self.frames[level]
+
+    # ------------------------------------------------------------------
+    # Utilities used by command implementations
+    # ------------------------------------------------------------------
+
+    def write(self, text: str) -> None:
+        """Write to the interpreter's standard output channel."""
+        if self.stdout is not None:
+            self.stdout.write(text)
+
+    def timer(self) -> float:
+        """Seconds counter used by the ``time`` command (overridable)."""
+        return _time.perf_counter()
+
+
+def _display_name(name: str, index: Optional[str]) -> str:
+    return "%s(%s)" % (name, index) if index is not None else name
+
+
+def _append_error_info(error: TclError, source: str) -> None:
+    """Accumulate a human-readable trace as the error propagates."""
+    info = getattr(error, "info", None)
+    if info is None:
+        error.info = [error.message]
+        info = error.info
+    if len(info) >= 40:
+        return
+    shown = source if len(source) <= 150 else source[:147] + "..."
+    info.append('    while executing\n"%s"' % shown)
+
+
+def _error_info(error: TclError) -> str:
+    info = getattr(error, "info", None)
+    if not info:
+        return error.message
+    return "\n".join(info)

@@ -1,0 +1,198 @@
+"""Tcl list parsing and formatting.
+
+Tcl has one data type — strings — but several commands expect their
+strings to be formatted as Lisp-like lists (paper section 2): elements
+separated by white space, with braces or backslashes quoting elements
+that contain special characters.  These helpers implement the two
+directions so that ``format_list(parse_list(s))`` preserves the element
+values exactly, which is the invariant the property-based tests check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .errors import TclError
+
+_WHITESPACE = " \t\n\r\f\v"
+
+#: Characters that force an element to be quoted when formatting.
+_SPECIALS = set(_WHITESPACE) | set('{}[]$";\\')
+
+_BACKSLASH_MAP = {
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+    "v": "\v",
+}
+_REVERSE_BACKSLASH = {v: "\\" + k for k, v in _BACKSLASH_MAP.items()}
+
+
+def parse_list(text: str) -> List[str]:
+    """Split a string into its list elements.
+
+    Raises :class:`TclError` for malformed lists (unmatched braces or
+    quotes), matching the diagnostics of the C implementation.
+    """
+    elements: List[str] = []
+    pos = 0
+    end = len(text)
+    while True:
+        while pos < end and text[pos] in _WHITESPACE:
+            pos += 1
+        if pos >= end:
+            return elements
+        if text[pos] == "{":
+            element, pos = _parse_braced(text, pos)
+        elif text[pos] == '"':
+            element, pos = _parse_quoted(text, pos)
+        else:
+            element, pos = _parse_bare(text, pos)
+        elements.append(element)
+
+
+def _parse_braced(text: str, pos: int) -> tuple:
+    end = len(text)
+    depth = 1
+    pos += 1
+    start = pos
+    pieces: List[str] = []
+    while pos < end:
+        ch = text[pos]
+        if ch == "\\" and pos + 1 < end:
+            if text[pos + 1] == "\n":
+                pieces.append(text[start:pos])
+                pieces.append(" ")
+                pos += 2
+                start = pos
+            else:
+                pos += 2
+        elif ch == "{":
+            depth += 1
+            pos += 1
+        elif ch == "}":
+            depth -= 1
+            pos += 1
+            if depth == 0:
+                pieces.append(text[start:pos - 1])
+                if pos < end and text[pos] not in _WHITESPACE:
+                    raise TclError(
+                        "list element in braces followed by \"%s\" instead "
+                        "of space" % text[pos:pos + 10])
+                return "".join(pieces), pos
+        else:
+            pos += 1
+    raise TclError("unmatched open brace in list")
+
+
+def _parse_quoted(text: str, pos: int) -> tuple:
+    end = len(text)
+    pos += 1
+    out: List[str] = []
+    while pos < end:
+        ch = text[pos]
+        if ch == "\\":
+            piece, pos = _parse_backslash(text, pos)
+            out.append(piece)
+        elif ch == '"':
+            pos += 1
+            if pos < end and text[pos] not in _WHITESPACE:
+                raise TclError(
+                    "list element in quotes followed by \"%s\" instead "
+                    "of space" % text[pos:pos + 10])
+            return "".join(out), pos
+        else:
+            out.append(ch)
+            pos += 1
+    raise TclError("unmatched open quote in list")
+
+
+def _parse_bare(text: str, pos: int) -> tuple:
+    end = len(text)
+    out: List[str] = []
+    while pos < end and text[pos] not in _WHITESPACE:
+        if text[pos] == "\\":
+            piece, pos = _parse_backslash(text, pos)
+            out.append(piece)
+        else:
+            out.append(text[pos])
+            pos += 1
+    return "".join(out), pos
+
+
+def _parse_backslash(text: str, pos: int) -> tuple:
+    end = len(text)
+    pos += 1  # skip the backslash
+    if pos >= end:
+        return "\\", pos
+    ch = text[pos]
+    pos += 1
+    if ch in _BACKSLASH_MAP:
+        return _BACKSLASH_MAP[ch], pos
+    if ch == "x":
+        digits = ""
+        while pos < end and len(digits) < 2 and \
+                text[pos] in "0123456789abcdefABCDEF":
+            digits += text[pos]
+            pos += 1
+        return (chr(int(digits, 16)) if digits else "x"), pos
+    if ch in "01234567":
+        digits = ch
+        while pos < end and len(digits) < 3 and text[pos] in "01234567":
+            digits += text[pos]
+            pos += 1
+        return chr(int(digits, 8)), pos
+    return ch, pos
+
+
+def _braces_balanced(text: str) -> bool:
+    """True if braces nest properly and no brace is backslash-escaped."""
+    depth = 0
+    i = 0
+    end = len(text)
+    while i < end:
+        ch = text[i]
+        if ch == "\\":
+            # Escaped braces would change nesting; backslash-newline
+            # would be collapsed to a space when parsed back.
+            if i + 1 < end and text[i + 1] in "{}\n":
+                return False
+            i += 2
+            continue
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth < 0:
+                return False
+        i += 1
+    return depth == 0
+
+
+def quote_element(element: str) -> str:
+    """Quote a single value so it reads back as exactly one list element."""
+    if element == "":
+        return "{}"
+    needs_quoting = any(ch in _SPECIALS for ch in element) or \
+        element[0] == '"' or element[0] == "#"
+    if not needs_quoting:
+        return element
+    if _braces_balanced(element) and not element.endswith("\\"):
+        return "{" + element + "}"
+    out: List[str] = []
+    for ch in element:
+        if ch in '{}[]$" \\;':
+            out.append("\\" + ch)
+        elif ch in _REVERSE_BACKSLASH:
+            out.append(_REVERSE_BACKSLASH[ch])
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def format_list(elements: Iterable[str]) -> str:
+    """Join values into a well-formed Tcl list string."""
+    return " ".join(quote_element(element) for element in elements)

@@ -1,0 +1,444 @@
+"""Parser for the Tcl language syntax of the paper's Figures 1-5.
+
+The grammar is the classic Tcl one:
+
+* a script is a sequence of commands separated by newlines or semi-colons;
+* a command is a sequence of words separated by spaces and tabs;
+* a word may be bare, double-quoted (substitutions performed), or brace-
+  quoted (contents passed through verbatim, Figure 2);
+* ``$name`` invokes variable substitution (Figure 3);
+* ``[script]`` invokes command substitution (Figure 4);
+* backslash sequences quote special characters (Figure 5);
+* ``#`` at a command boundary starts a comment.
+
+Parsing is separated from evaluation: the parser produces :class:`Word`
+objects made of literal/variable/command fragments, and the interpreter
+performs the substitutions at evaluation time.  Because Tcl values are
+immutable strings, parse results can safely be cached and re-used, which
+is what makes repeated evaluation of the same script (e.g. a widget's
+``-command``) cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from .errors import TclParseError
+
+#: Characters that terminate a bare word.
+_WORD_TERMINATORS = " \t\n;"
+
+#: Simple one-character backslash substitutions (Figure 5).
+_BACKSLASH_MAP = {
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+    "v": "\v",
+    "e": "\x1b",
+}
+
+_OCTAL_DIGITS = "01234567"
+_HEX_DIGITS = "0123456789abcdefABCDEF"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A fragment of a word that needs no further interpretation."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class VarSub:
+    """A ``$name`` or ``$name(index)`` fragment (Figure 3)."""
+
+    name: str
+    index: Optional["Word"] = None
+
+
+@dataclass(frozen=True)
+class CmdSub:
+    """A ``[script]`` fragment (Figure 4)."""
+
+    script: str
+
+
+Fragment = Union[Literal, VarSub, CmdSub]
+
+
+@dataclass(frozen=True)
+class Word:
+    """One word of a command: a sequence of fragments to be concatenated.
+
+    ``braced`` records whether the word was brace-quoted in the source;
+    brace-quoted words always consist of a single :class:`Literal`.
+    """
+
+    parts: Tuple[Fragment, ...]
+    braced: bool = False
+
+
+@dataclass(frozen=True)
+class Command:
+    """One parsed command: a tuple of words plus its source text."""
+
+    words: Tuple[Word, ...]
+    source: str
+
+
+class _Scanner:
+    """Cursor over a script with the shared low-level scanning helpers."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.end = len(text)
+
+    def eof(self) -> bool:
+        return self.pos >= self.end
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < self.end else ""
+
+    def advance(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        return ch
+
+    # -- backslash sequences -------------------------------------------
+
+    def scan_backslash(self) -> str:
+        """Consume a backslash sequence (cursor on the backslash itself)."""
+        self.pos += 1  # the backslash
+        if self.eof():
+            return "\\"
+        ch = self.advance()
+        if ch in _BACKSLASH_MAP:
+            return _BACKSLASH_MAP[ch]
+        if ch == "\n":
+            # Backslash-newline (plus following blanks) becomes one space.
+            while not self.eof() and self.peek() in " \t":
+                self.pos += 1
+            return " "
+        if ch == "x":
+            digits = ""
+            while len(digits) < 2 and self.peek() in _HEX_DIGITS:
+                digits += self.advance()
+            if digits:
+                return chr(int(digits, 16))
+            return "x"
+        if ch in _OCTAL_DIGITS:
+            digits = ch
+            while len(digits) < 3 and self.peek() in _OCTAL_DIGITS:
+                digits += self.advance()
+            return chr(int(digits, 8))
+        return ch
+
+    # -- variable references -------------------------------------------
+
+    def scan_variable(self) -> Optional[VarSub]:
+        """Consume a ``$`` reference; return None for a lone dollar sign."""
+        start = self.pos
+        self.pos += 1  # the $
+        if self.peek() == "{":
+            self.pos += 1
+            name_start = self.pos
+            while not self.eof() and self.peek() != "}":
+                self.pos += 1
+            if self.eof():
+                raise TclParseError("missing close-brace for variable name")
+            name = self.text[name_start:self.pos]
+            self.pos += 1  # the }
+            return VarSub(name)
+        name_start = self.pos
+        while not self.eof() and (self.peek().isalnum() or self.peek() == "_"):
+            self.pos += 1
+        name = self.text[name_start:self.pos]
+        if not name:
+            self.pos = start
+            return None
+        if self.peek() == "(":
+            self.pos += 1
+            index_word = self._scan_paren_index()
+            return VarSub(name, index_word)
+        return VarSub(name)
+
+    def _scan_paren_index(self) -> Word:
+        """Scan an array index up to the matching ``)``, with substitutions."""
+        parts: List[Fragment] = []
+        buf: List[str] = []
+
+        def flush() -> None:
+            if buf:
+                parts.append(Literal("".join(buf)))
+                del buf[:]
+
+        depth = 1
+        while not self.eof():
+            ch = self.peek()
+            if ch == ")":
+                depth -= 1
+                if depth == 0:
+                    self.pos += 1
+                    flush()
+                    return Word(tuple(parts))
+                buf.append(self.advance())
+            elif ch == "(":
+                depth += 1
+                buf.append(self.advance())
+            elif ch == "\\":
+                buf.append(self.scan_backslash())
+            elif ch == "$":
+                var = self.scan_variable()
+                if var is None:
+                    buf.append(self.advance())
+                else:
+                    flush()
+                    parts.append(var)
+            elif ch == "[":
+                flush()
+                parts.append(CmdSub(self.scan_bracketed()))
+            else:
+                buf.append(self.advance())
+        raise TclParseError("missing close-paren for array reference")
+
+    # -- command substitution -------------------------------------------
+
+    def scan_bracketed(self) -> str:
+        """Consume ``[...]`` (cursor on the ``[``); return the inner script.
+
+        The matching close-bracket is found by tracking bracket nesting
+        while skipping over brace-quoted, double-quoted, and backslash-
+        escaped regions, so brackets inside those do not count.
+        """
+        self.pos += 1  # the [
+        start = self.pos
+        depth = 1
+        while not self.eof():
+            ch = self.peek()
+            if ch == "\\":
+                self.scan_backslash()
+            elif ch == "{":
+                self._skip_braced()
+            elif ch == '"':
+                self._skip_quoted()
+            elif ch == "[":
+                depth += 1
+                self.pos += 1
+            elif ch == "]":
+                depth -= 1
+                self.pos += 1
+                if depth == 0:
+                    return self.text[start:self.pos - 1]
+            else:
+                self.pos += 1
+        raise TclParseError("missing close-bracket")
+
+    def _skip_braced(self) -> None:
+        """Skip over a brace-quoted region (cursor on the ``{``)."""
+        depth = 0
+        while not self.eof():
+            ch = self.peek()
+            if ch == "\\":
+                self.pos += 2 if self.pos + 1 < self.end else 1
+            elif ch == "{":
+                depth += 1
+                self.pos += 1
+            elif ch == "}":
+                depth -= 1
+                self.pos += 1
+                if depth == 0:
+                    return
+            else:
+                self.pos += 1
+        raise TclParseError("missing close-brace")
+
+    def _skip_quoted(self) -> None:
+        """Skip over a double-quoted region (cursor on the opening quote)."""
+        self.pos += 1
+        while not self.eof():
+            ch = self.peek()
+            if ch == "\\":
+                self.pos += 2 if self.pos + 1 < self.end else 1
+            elif ch == '"':
+                self.pos += 1
+                return
+            else:
+                self.pos += 1
+        raise TclParseError("missing close-quote")
+
+
+class _CommandParser(_Scanner):
+    """Parses a script into :class:`Command` objects."""
+
+    def skip_command_separators(self) -> None:
+        """Skip blanks, separators, and comments before a command."""
+        while not self.eof():
+            ch = self.peek()
+            if ch in " \t\n;":
+                self.pos += 1
+            elif ch == "\\" and self.pos + 1 < self.end and \
+                    self.text[self.pos + 1] == "\n":
+                self.scan_backslash()
+            elif ch == "#":
+                self._skip_comment()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        while not self.eof():
+            ch = self.advance()
+            if ch == "\\" and self.peek() == "\n":
+                self.pos += 1  # backslash-newline continues the comment
+            elif ch == "\n":
+                return
+
+    def skip_word_separators(self) -> bool:
+        """Skip blanks between words; return False at a command boundary."""
+        progressed = False
+        while not self.eof():
+            ch = self.peek()
+            if ch in " \t":
+                self.pos += 1
+                progressed = True
+            elif ch == "\\" and self.pos + 1 < self.end and \
+                    self.text[self.pos + 1] == "\n":
+                self.scan_backslash()
+                progressed = True
+            elif ch in "\n;":
+                return False
+            else:
+                return True
+        return False
+
+    def parse_command(self) -> Optional[Command]:
+        """Parse the next command; return None at end of script."""
+        self.skip_command_separators()
+        if self.eof():
+            return None
+        start = self.pos
+        words: List[Word] = []
+        while True:
+            words.append(self.parse_word())
+            if not self.skip_word_separators():
+                break
+        source = self.text[start:self.pos].rstrip("\n;")
+        if not self.eof() and self.peek() in "\n;":
+            self.pos += 1
+        return Command(tuple(words), source)
+
+    def parse_word(self) -> Word:
+        ch = self.peek()
+        if ch == "{":
+            return self._parse_braced_word()
+        if ch == '"':
+            return self._parse_quoted_word()
+        return self._parse_fragments(terminators=_WORD_TERMINATORS)
+
+    def _parse_braced_word(self) -> Word:
+        self.pos += 1  # the {
+        depth = 1
+        pieces: List[str] = []
+        start = self.pos
+        while not self.eof():
+            ch = self.peek()
+            if ch == "\\":
+                nxt = self.text[self.pos + 1] if self.pos + 1 < self.end else ""
+                if nxt == "\n":
+                    # Backslash-newline is the one substitution performed
+                    # inside braces.
+                    pieces.append(self.text[start:self.pos])
+                    pieces.append(self.scan_backslash())
+                    start = self.pos
+                else:
+                    self.pos += 2 if nxt else 1
+            elif ch == "{":
+                depth += 1
+                self.pos += 1
+            elif ch == "}":
+                depth -= 1
+                self.pos += 1
+                if depth == 0:
+                    pieces.append(self.text[start:self.pos - 1])
+                    self._require_word_end("close-brace")
+                    return Word((Literal("".join(pieces)),), braced=True)
+            else:
+                self.pos += 1
+        raise TclParseError("missing close-brace")
+
+    def _parse_quoted_word(self) -> Word:
+        self.pos += 1  # the "
+        word = self._parse_fragments(terminators='"', quoted=True)
+        if self.eof() or self.peek() != '"':
+            raise TclParseError("missing close-quote")
+        self.pos += 1
+        self._require_word_end("close-quote")
+        return word
+
+    def _require_word_end(self, what: str) -> None:
+        if not self.eof() and self.peek() not in _WORD_TERMINATORS:
+            raise TclParseError(
+                "extra characters after %s" % what)
+
+    def _parse_fragments(self, terminators: str, quoted: bool = False) -> Word:
+        parts: List[Fragment] = []
+        buf: List[str] = []
+
+        def flush() -> None:
+            if buf:
+                parts.append(Literal("".join(buf)))
+                del buf[:]
+
+        while not self.eof():
+            ch = self.peek()
+            if not quoted and ch in terminators:
+                break
+            if quoted and ch == '"':
+                break
+            if ch == "\\":
+                buf.append(self.scan_backslash())
+            elif ch == "$":
+                var = self.scan_variable()
+                if var is None:
+                    buf.append(self.advance())
+                else:
+                    flush()
+                    parts.append(var)
+            elif ch == "[":
+                flush()
+                parts.append(CmdSub(self.scan_bracketed()))
+            else:
+                buf.append(self.advance())
+        flush()
+        if not parts:
+            parts.append(Literal(""))
+        return Word(tuple(parts))
+
+
+def parse_script(text: str) -> List[Command]:
+    """Parse an entire script into a list of commands."""
+    parser = _CommandParser(text)
+    commands: List[Command] = []
+    while True:
+        command = parser.parse_command()
+        if command is None:
+            return commands
+        commands.append(command)
+
+
+def parse_substitution(text: str) -> Word:
+    """Parse a string for ``subst``-style substitution.
+
+    The whole string is treated like the body of a double-quoted word:
+    backslash, variable, and command substitutions are recognized, and
+    everything else (including spaces and quotes) is literal.
+    """
+    parser = _CommandParser(text)
+    word = parser._parse_fragments(terminators="")
+    if not parser.eof():
+        raise TclParseError("unexpected trailing characters")
+    return word

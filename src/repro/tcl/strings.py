@@ -1,0 +1,305 @@
+"""String utilities shared across the interpreter and toolkit.
+
+``glob_match`` implements Tcl's ``string match`` pattern language (also
+used by ``case``, ``lsearch``, ``info commands`` and the option
+database): ``*`` matches any sequence, ``?`` any single character,
+``[chars]`` a character set with ranges, and backslash quotes the next
+character.
+
+``tcl_format``/``tcl_scan`` implement the ``format`` and ``scan``
+commands' ANSI-C-sprintf-style conversions on Tcl's string values.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .errors import TclError
+
+
+def glob_match(pattern: str, text: str) -> bool:
+    """Match ``text`` against a Tcl glob ``pattern``."""
+    return _match(pattern, 0, text, 0)
+
+
+def _match(pattern: str, p: int, text: str, t: int) -> bool:
+    p_end, t_end = len(pattern), len(text)
+    while p < p_end:
+        ch = pattern[p]
+        if ch == "*":
+            # Collapse consecutive stars, then try all suffixes.
+            while p < p_end and pattern[p] == "*":
+                p += 1
+            if p == p_end:
+                return True
+            for start in range(t, t_end + 1):
+                if _match(pattern, p, text, start):
+                    return True
+            return False
+        if t >= t_end:
+            return False
+        if ch == "?":
+            p += 1
+            t += 1
+            continue
+        if ch == "[":
+            matched, p = _match_set(pattern, p + 1, text[t])
+            if not matched:
+                return False
+            t += 1
+            continue
+        if ch == "\\" and p + 1 < p_end:
+            p += 1
+            ch = pattern[p]
+        if ch != text[t]:
+            return False
+        p += 1
+        t += 1
+    return t == t_end
+
+
+def _match_set(pattern: str, p: int, ch: str) -> Tuple[bool, int]:
+    """Match one character against a ``[...]`` set; return (hit, next)."""
+    p_end = len(pattern)
+    matched = False
+    while p < p_end and pattern[p] != "]":
+        low = pattern[p]
+        p += 1
+        if p + 1 < p_end and pattern[p] == "-" and pattern[p + 1] != "]":
+            high = pattern[p + 1]
+            p += 2
+            if low <= ch <= high or high <= ch <= low:
+                matched = True
+        elif low == ch:
+            matched = True
+    if p < p_end and pattern[p] == "]":
+        p += 1
+    return matched, p
+
+
+_INT_CONVERSIONS = "diouxXc"
+_FLOAT_CONVERSIONS = "eEfgG"
+
+
+def tcl_format(spec: str, arguments: List[str]) -> str:
+    """Implement the ``format`` command: sprintf-style formatting."""
+    out: List[str] = []
+    arg_index = 0
+    i = 0
+    end = len(spec)
+    while i < end:
+        ch = spec[i]
+        if ch != "%":
+            out.append(ch)
+            i += 1
+            continue
+        i += 1
+        if i < end and spec[i] == "%":
+            out.append("%")
+            i += 1
+            continue
+        start = i
+        while i < end and spec[i] in "-+ #0":
+            i += 1
+        width, i = _scan_star_or_digits(spec, i, arguments, arg_index)
+        if width == "*":
+            width = _int_argument(arguments, arg_index)
+            arg_index += 1
+        precision: Optional[str] = None
+        if i < end and spec[i] == ".":
+            i += 1
+            precision, i = _scan_star_or_digits(spec, i, arguments,
+                                                arg_index)
+            if precision == "*":
+                precision = _int_argument(arguments, arg_index)
+                arg_index += 1
+        while i < end and spec[i] in "hlL":
+            i += 1  # length modifiers are no-ops on Tcl strings
+        if i >= end:
+            raise TclError('format string ended in middle of field '
+                           'specifier')
+        conversion = spec[i]
+        i += 1
+        flags = "".join(c for c in spec[start:i - 1] if c in "-+ #0")
+        if arg_index >= len(arguments):
+            raise TclError('not enough arguments for all format specifiers')
+        raw = arguments[arg_index]
+        arg_index += 1
+        out.append(_convert(conversion, flags, width, precision, raw))
+    return "".join(out)
+
+
+def _scan_star_or_digits(spec: str, i: int, arguments, arg_index):
+    if i < len(spec) and spec[i] == "*":
+        return "*", i + 1
+    start = i
+    while i < len(spec) and spec[i].isdigit():
+        i += 1
+    return (spec[start:i] or None), i
+
+
+def _int_argument(arguments: List[str], index: int) -> str:
+    if index >= len(arguments):
+        raise TclError('not enough arguments for all format specifiers')
+    return str(_to_int(arguments[index]))
+
+
+def _to_int(text: str) -> int:
+    text = text.strip()
+    try:
+        if text.lower().startswith(("0x", "-0x", "+0x")):
+            return int(text, 16)
+        if len(text) > 1 and text.lstrip("+-").startswith("0") and \
+                text.lstrip("+-").isdigit():
+            return int(text, 8)
+        return int(text)
+    except ValueError:
+        try:
+            return int(float(text))
+        except ValueError:
+            raise TclError(
+                'expected integer but got "%s"' % text)
+
+
+def _to_float(text: str) -> float:
+    try:
+        return float(text.strip())
+    except ValueError:
+        raise TclError(
+            'expected floating-point number but got "%s"' % text)
+
+
+def _convert(conversion: str, flags: str, width, precision, raw: str) -> str:
+    py_spec = "%" + flags + (width or "") + \
+        ("." + precision if precision is not None else "")
+    if conversion in _INT_CONVERSIONS:
+        if conversion == "c":
+            return (py_spec + "c") % _to_int(raw)
+        if conversion == "i":
+            conversion = "d"
+        if conversion == "u":
+            conversion = "d"
+        return (py_spec + conversion) % _to_int(raw)
+    if conversion in _FLOAT_CONVERSIONS:
+        return (py_spec + conversion) % _to_float(raw)
+    if conversion == "s":
+        return (py_spec + "s") % raw
+    raise TclError('bad field specifier "%s"' % conversion)
+
+
+def tcl_scan(text: str, spec: str) -> Optional[List[Tuple[str, str]]]:
+    """Implement ``scan``: returns [(conversion, value), ...] or None.
+
+    None means the input ended before the first conversion, matching
+    Tcl's -1 result.
+    """
+    results: List[Tuple[str, str]] = []
+    t = 0
+    i = 0
+    t_end, i_end = len(text), len(spec)
+    while i < i_end:
+        ch = spec[i]
+        if ch.isspace():
+            while t < t_end and text[t].isspace():
+                t += 1
+            i += 1
+            continue
+        if ch != "%":
+            if t < t_end and text[t] == ch:
+                t += 1
+                i += 1
+                continue
+            break
+        i += 1
+        if i < i_end and spec[i] == "%":
+            if t < t_end and text[t] == "%":
+                t += 1
+                i += 1
+                continue
+            break
+        suppress = False
+        if i < i_end and spec[i] == "*":
+            suppress = True
+            i += 1
+        width_digits = ""
+        while i < i_end and spec[i].isdigit():
+            width_digits += spec[i]
+            i += 1
+        while i < i_end and spec[i] in "hlL":
+            i += 1
+        if i >= i_end:
+            raise TclError("format string ended in middle of field "
+                           "specifier")
+        conversion = spec[i]
+        i += 1
+        max_width = int(width_digits) if width_digits else None
+        if conversion != "c":
+            while t < t_end and text[t].isspace():
+                t += 1
+        value, t = _scan_one(text, t, conversion, max_width)
+        if value is None:
+            break
+        if not suppress:
+            results.append((conversion, value))
+    if not results and t >= t_end:
+        return None
+    return results
+
+
+def _scan_one(text: str, t: int, conversion: str,
+              max_width: Optional[int]) -> Tuple[Optional[str], int]:
+    t_end = len(text)
+    limit = t_end if max_width is None else min(t_end, t + max_width)
+    if conversion == "c":
+        if t >= t_end:
+            return None, t
+        return str(ord(text[t])), t + 1
+    if conversion == "s":
+        start = t
+        while t < limit and not text[t].isspace():
+            t += 1
+        if t == start:
+            return None, t
+        return text[start:t], t
+    if conversion in "dioux":
+        start = t
+        if t < limit and text[t] in "+-":
+            t += 1
+        digits = "0123456789abcdefABCDEF" if conversion == "x" else \
+            "01234567" if conversion == "o" else "0123456789"
+        digit_start = t
+        while t < limit and text[t] in digits:
+            t += 1
+        if t == digit_start:
+            return None, start
+        base = {"d": 10, "i": 10, "u": 10, "o": 8, "x": 16}[conversion]
+        return str(int(text[start:t], base)), t
+    if conversion in "efg":
+        start = t
+        if t < limit and text[t] in "+-":
+            t += 1
+        seen_digit = False
+        while t < limit and text[t].isdigit():
+            t += 1
+            seen_digit = True
+        if t < limit and text[t] == ".":
+            t += 1
+            while t < limit and text[t].isdigit():
+                t += 1
+                seen_digit = True
+        if seen_digit and t < limit and text[t] in "eE":
+            mark = t
+            t += 1
+            if t < limit and text[t] in "+-":
+                t += 1
+            if t < limit and text[t].isdigit():
+                while t < limit and text[t].isdigit():
+                    t += 1
+            else:
+                t = mark
+        if not seen_digit:
+            return None, start
+        value = float(text[start:t])
+        formatted = "%g" % value
+        return formatted, t
+    raise TclError('bad scan conversion character "%s"' % conversion)

@@ -1,0 +1,39 @@
+"""repro.tk — the Tk toolkit intrinsics (paper section 3).
+
+The intrinsics provide window naming, event dispatching, resource and
+structure caches, geometry management, the option database, the
+selection, focus management, and the ``send`` command — available both
+as Python APIs and as Tcl commands.
+
+Typical use::
+
+    from repro.x11 import XServer
+    from repro.tk import TkApp
+
+    server = XServer()
+    app = TkApp(server, name="demo")
+    app.interp.eval('button .b -text "Hello" -command {print hi}')
+    app.interp.eval('pack append . .b {top}')
+    app.update()
+"""
+
+from .app import TkApp, TkWindow, parse_path, pump_all
+from .bind import BindingTable, EventPattern, parse_sequence
+from .cache import CacheError, ResourceCache
+from .dispatch import EventDispatcher
+from .geometry import GeometryManager, claim, release, request_size
+from .options import OptionDatabase, PRIORITIES
+from .pack import Packer, PackSlot
+from .selection import SelectionManager
+from .send import SendManager
+from .widget import OptionSpec, Widget, creation_command
+
+__all__ = [
+    "TkApp", "TkWindow", "parse_path", "pump_all",
+    "BindingTable", "EventPattern", "parse_sequence",
+    "ResourceCache", "CacheError", "EventDispatcher",
+    "GeometryManager", "claim", "release", "request_size",
+    "OptionDatabase", "PRIORITIES", "Packer", "PackSlot",
+    "SelectionManager", "SendManager",
+    "OptionSpec", "Widget", "creation_command",
+]

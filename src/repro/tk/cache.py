@@ -1,0 +1,170 @@
+"""Resource caches (paper section 3.3).
+
+Allocating X resources such as pixel values or fonts is expensive
+because it requires inter-process communication with the X server.  The
+cache is indexed by *textual descriptions* (``MediumSeaGreen``,
+``coffee_mug``, ``@star``) rather than binary values, which makes it
+easy to name resources in Tcl commands and in the option database; the
+reverse mapping (id -> name) lets widgets report their configuration in
+human-readable form.
+
+Only the first request for a given name costs a server round trip;
+later requests share the existing resource.  ``enabled=False`` turns
+the cache off for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..x11.display import Display
+from ..x11.resources import Bitmap, Color, Cursor, Font, GraphicsContext
+from ..x11.xserver import XProtocolError
+
+
+class ResourceCache:
+    """Client-side cache of colors, fonts, cursors, bitmaps, and GCs."""
+
+    def __init__(self, display: Display, enabled: bool = True):
+        self.display = display
+        self.enabled = enabled
+        self._colors: Dict[str, Color] = {}
+        self._fonts: Dict[str, Font] = {}
+        self._cursors: Dict[str, Cursor] = {}
+        self._bitmaps: Dict[str, Bitmap] = {}
+        self._gcs: Dict[Tuple, GraphicsContext] = {}
+        self._names: Dict[int, str] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- colors ----------------------------------------------------------
+
+    def color(self, name: str) -> Color:
+        """Resolve a textual color name to an allocated color."""
+        if self.enabled:
+            cached = self._colors.get(name)
+            if cached is not None:
+                self.hits += 1
+                return cached
+        self.misses += 1
+        try:
+            color = self.display.alloc_named_color(name)
+        except XProtocolError:
+            raise CacheError('unknown color name "%s"' % name)
+        if self.enabled:
+            self._colors[name] = color
+        self._names[color.pixel] = name
+        return color
+
+    def pixel(self, name: str) -> int:
+        return self.color(name).pixel
+
+    # -- fonts -------------------------------------------------------------
+
+    def font(self, name: str) -> Font:
+        if self.enabled:
+            cached = self._fonts.get(name)
+            if cached is not None:
+                self.hits += 1
+                return cached
+        self.misses += 1
+        try:
+            font = self.display.load_font(name)
+        except XProtocolError:
+            raise CacheError('font "%s" doesn\'t exist' % name)
+        if self.enabled:
+            self._fonts[name] = font
+        self._names[font.fid] = name
+        return font
+
+    # -- cursors -------------------------------------------------------------
+
+    def cursor(self, name: str) -> Cursor:
+        if self.enabled:
+            cached = self._cursors.get(name)
+            if cached is not None:
+                self.hits += 1
+                return cached
+        self.misses += 1
+        try:
+            cursor = self.display.create_cursor(name)
+        except XProtocolError:
+            raise CacheError('bad cursor spec "%s"' % name)
+        if self.enabled:
+            self._cursors[name] = cursor
+        self._names[cursor.cid] = name
+        return cursor
+
+    # -- bitmaps -----------------------------------------------------------
+
+    def bitmap(self, name: str) -> Bitmap:
+        """Resolve a bitmap: a built-in name or ``@filename``."""
+        if self.enabled:
+            cached = self._bitmaps.get(name)
+            if cached is not None:
+                self.hits += 1
+                return cached
+        self.misses += 1
+        if name.startswith("@"):
+            width, height = _read_bitmap_file(name[1:])
+            bitmap = self.display.create_bitmap(name, width, height)
+        else:
+            try:
+                bitmap = self.display.create_bitmap(name)
+            except XProtocolError:
+                raise CacheError('bitmap "%s" not defined' % name)
+        if self.enabled:
+            self._bitmaps[name] = bitmap
+        self._names[bitmap.bid] = name
+        return bitmap
+
+    # -- graphics contexts ---------------------------------------------------
+
+    def gc(self, **values) -> GraphicsContext:
+        """Share graphics contexts with identical values."""
+        key = tuple(sorted(values.items()))
+        if self.enabled:
+            cached = self._gcs.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+        self.misses += 1
+        gc = self.display.create_gc(**values)
+        if self.enabled:
+            self._gcs[key] = gc
+        return gc
+
+    # -- reverse lookup ------------------------------------------------------
+
+    def name_of(self, resource_id: int) -> Optional[str]:
+        """The textual name a resource was allocated under, if any."""
+        return self._names.get(resource_id)
+
+    def stats(self) -> Tuple[int, int]:
+        return (self.hits, self.misses)
+
+
+class CacheError(Exception):
+    """A textual resource description could not be resolved."""
+
+
+def _read_bitmap_file(filename: str) -> Tuple[int, int]:
+    """Parse the width/height out of an X11 bitmap (.xbm) file."""
+    try:
+        with open(filename, "r") as handle:
+            text = handle.read()
+    except OSError:
+        raise CacheError(
+            'error reading bitmap file "%s"' % filename)
+    width = height = 0
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith("#define") and line.split():
+            fields = line.split()
+            if len(fields) >= 3 and fields[1].endswith("_width"):
+                width = int(fields[2])
+            elif len(fields) >= 3 and fields[1].endswith("_height"):
+                height = int(fields[2])
+    if width <= 0 or height <= 0:
+        raise CacheError('file "%s" isn\'t a valid bitmap' % filename)
+    return width, height

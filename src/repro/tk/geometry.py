@@ -1,0 +1,82 @@
+"""The geometry-management protocol (paper section 3.4).
+
+Individual widgets do not control their own geometry.  A widget
+declares a *preferred* size for its window (``request_size``); a
+geometry manager — which has claimed control of the window — computes
+the actual size and position, taking into account the requested sizes
+of all the windows it manages, the size of the parent, and its own
+layout algorithm.  Each widget must make do with whatever size it is
+assigned.
+
+Tk acts as intermediary: :func:`claim` records the (single) manager of
+a window, and size requests are forwarded to the relevant manager.
+"""
+
+from __future__ import annotations
+
+
+class GeometryManager:
+    """Interface implemented by geometry managers (e.g. the packer)."""
+
+    name = "unnamed"
+
+    def manage(self, window) -> None:
+        """Claim control of ``window``'s geometry."""
+        raise NotImplementedError
+
+    def forget(self, window) -> None:
+        """Release ``window``; it is unmapped and no longer laid out."""
+        raise NotImplementedError
+
+    def child_request(self, window) -> None:
+        """``window`` changed its requested size; re-layout as needed."""
+        raise NotImplementedError
+
+    def parent_configured(self, parent) -> None:
+        """``parent``'s actual size changed; re-layout its children."""
+        raise NotImplementedError
+
+
+class GeometryError(Exception):
+    """Raised for conflicting or invalid geometry-management requests."""
+
+
+def claim(window, manager: GeometryManager) -> None:
+    """Give ``manager`` control over ``window``.
+
+    Only one geometry manager manages a given window at a time; a new
+    claim displaces the old manager (which is told to forget the
+    window).
+    """
+    current = window.manager
+    if current is manager:
+        return
+    if current is not None:
+        current.forget(window)
+    window.manager = manager
+
+
+def release(window, manager: GeometryManager) -> None:
+    """Record that ``manager`` no longer manages ``window``."""
+    if window.manager is manager:
+        window.manager = None
+
+
+def request_size(window, width: int, height: int) -> None:
+    """A widget's size request; forwarded to the window's manager.
+
+    For a window with no manager (e.g. a top-level window that nothing
+    is packing), Tk honours the request directly unless the user pinned
+    an explicit size.
+    """
+    width = max(1, int(width))
+    height = max(1, int(height))
+    if (width, height) == (window.requested_width,
+                           window.requested_height):
+        return
+    window.requested_width = width
+    window.requested_height = height
+    if window.manager is not None:
+        window.manager.child_request(window)
+    elif not window.explicit_size:
+        window.resize(width, height)

@@ -1,0 +1,192 @@
+"""The option database (paper section 3.5).
+
+Users specify widget-option preferences in a ``.Xdefaults`` file or in
+the RESOURCE_MANAGER property on the root window, with the X resource
+manager's simple pattern language::
+
+    *Button.background:  red
+    myapp.panel*font:    9x15
+    ! lines starting with ! are comments
+
+A pattern is a sequence of components separated by ``.`` (tight — the
+next component must match the very next level) or ``*`` (loose — any
+number of levels may intervene).  Each level of a widget is named both
+by instance name and by class, and a pattern component may match
+either.  When several entries match, the most specific one wins:
+instance beats class, tight binding beats loose, earlier (leftmost)
+levels dominate, and among equals the higher explicit priority / later
+entry wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..tcl.errors import TclError
+
+#: Standard priority levels, as in Tk's option command.
+PRIORITIES = {
+    "widgetDefault": 20,
+    "startupFile": 40,
+    "userDefault": 60,
+    "interactive": 80,
+}
+
+
+@dataclass
+class _Entry:
+    components: Tuple[str, ...]   # pattern components
+    bindings: Tuple[str, ...]     # binding BEFORE each component: '.' or '*'
+    value: str
+    priority: int
+    sequence: int                 # insertion order breaks ties
+
+
+def _parse_pattern(pattern: str) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """Split ``*Button.background`` into components and bindings."""
+    components: List[str] = []
+    bindings: List[str] = []
+    current = ""
+    binding = "."
+    for ch in pattern:
+        if ch in ".*":
+            if current:
+                components.append(current)
+                bindings.append(binding)
+                current = ""
+                binding = ch
+            else:
+                # Leading separator or doubled separator: '*' dominates.
+                if ch == "*":
+                    binding = "*"
+        else:
+            current += ch
+    if current:
+        components.append(current)
+        bindings.append(binding)
+    if not components:
+        raise TclError('bad pattern "%s"' % pattern)
+    return tuple(components), tuple(bindings)
+
+
+class OptionDatabase:
+    """The per-application option database."""
+
+    def __init__(self):
+        self._entries: List[_Entry] = []
+        self._sequence = 0
+
+    def clear(self) -> None:
+        self._entries = []
+
+    def add(self, pattern: str, value: str,
+            priority: int = PRIORITIES["interactive"]) -> None:
+        components, bindings = _parse_pattern(pattern)
+        self._sequence += 1
+        self._entries.append(
+            _Entry(components, bindings, value, priority, self._sequence))
+
+    def load_string(self, text: str,
+                    priority: int = PRIORITIES["userDefault"]) -> None:
+        """Load .Xdefaults-format text (pattern: value lines)."""
+        pending = ""
+        for raw_line in text.splitlines():
+            line = pending + raw_line
+            pending = ""
+            if line.endswith("\\"):
+                pending = line[:-1]
+                continue
+            stripped = line.strip()
+            if not stripped or stripped.startswith("!") or \
+                    stripped.startswith("#"):
+                continue
+            if ":" not in stripped:
+                raise TclError('missing colon on line "%s"' % stripped)
+            pattern, _, value = stripped.partition(":")
+            self.add(pattern.strip(), value.strip(), priority)
+
+    def load_file(self, filename: str,
+                  priority: int = PRIORITIES["userDefault"]) -> None:
+        try:
+            with open(filename, "r") as handle:
+                text = handle.read()
+        except OSError as error:
+            raise TclError('couldn\'t read file "%s": %s'
+                           % (filename, error.strerror or error))
+        self.load_string(text, priority)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def get(self, names: Sequence[str], classes: Sequence[str],
+            option_name: str, option_class: str) -> Optional[str]:
+        """Look up an option for a widget.
+
+        ``names``/``classes`` are the widget's path levels from the
+        application down (e.g. ``["myapp", "panel", "ok"]`` and
+        ``["Myapp", "Frame", "Button"]``); the option's own name and
+        class form the final level.
+        """
+        level_names = list(names) + [option_name]
+        level_classes = list(classes) + [option_class]
+        best: Optional[Tuple[tuple, str]] = None
+        for entry in self._entries:
+            score = _match(entry, level_names, level_classes)
+            if score is None:
+                continue
+            key = (score, entry.priority, entry.sequence)
+            if best is None or key >= best[0]:
+                best = (key, entry.value)
+        return best[1] if best is not None else None
+
+
+def _match(entry: _Entry, names: List[str],
+           classes: List[str]) -> Optional[tuple]:
+    """Match an entry against the level lists; return a specificity
+    score tuple (higher = more specific) or None.
+
+    The score records, for each widget level from left to right, how
+    specifically it was matched: 3 = by instance name, 2 = by class,
+    1 = skipped via a loose binding.  Leftmost levels dominate because
+    tuple comparison is lexicographic, matching the X resource manager's
+    precedence rules.
+    """
+    result = _match_from(entry, 0, 0, names, classes, ())
+    return result
+
+
+def _match_from(entry: _Entry, comp_index: int, level: int,
+                names: List[str], classes: List[str],
+                score: tuple) -> Optional[tuple]:
+    total_levels = len(names)
+    components = entry.components
+    if comp_index == len(components):
+        if level == total_levels:
+            return score
+        return None
+    if level == total_levels:
+        return None
+    component = components[comp_index]
+    binding = entry.bindings[comp_index]
+    candidates = []
+    if component == names[level]:
+        candidates.append(3)
+    if component == classes[level]:
+        candidates.append(2)
+    if component == "?":
+        candidates.append(1)
+    best: Optional[tuple] = None
+    for quality in candidates:
+        result = _match_from(entry, comp_index + 1, level + 1, names,
+                             classes, score + (quality,))
+        if result is not None and (best is None or result > best):
+            best = result
+    if binding == "*":
+        # A loose binding may also skip this level entirely.
+        result = _match_from(entry, comp_index, level + 1, names,
+                             classes, score + (1,))
+        if result is not None and (best is None or result > best):
+            best = result
+    return best

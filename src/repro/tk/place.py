@@ -1,0 +1,176 @@
+"""The placer — a second geometry manager.
+
+Section 3.4's design point is that widgets never position themselves,
+so any number of geometry managers can exist and "widgets can be used
+with a variety of geometry managers".  The placer proves the point: it
+pins windows at fixed or fractional positions inside their parent::
+
+    place .x -x 10 -y 20                    ;# absolute pixels
+    place .y -relx 0.5 -rely 0.5            ;# fractions of the parent
+    place .z -x 10 -relwidth 1.0 -height 30 ;# mix of both
+
+It coexists with the packer: different children of one parent may use
+different managers, and a window claimed by one manager is released by
+the other (Tk's one-manager-per-window rule, enforced by
+:func:`repro.tk.geometry.claim`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..tcl.errors import TclError
+from . import geometry
+
+
+@dataclass
+class PlaceInfo:
+    """The placement of one window."""
+
+    x: int = 0
+    y: int = 0
+    relx: Optional[float] = None
+    rely: Optional[float] = None
+    width: Optional[int] = None
+    height: Optional[int] = None
+    relwidth: Optional[float] = None
+    relheight: Optional[float] = None
+    anchor: str = "nw"
+
+
+_ANCHORS = {
+    "nw": (0.0, 0.0), "n": (0.5, 0.0), "ne": (1.0, 0.0),
+    "w": (0.0, 0.5), "center": (0.5, 0.5), "e": (1.0, 0.5),
+    "sw": (0.0, 1.0), "s": (0.5, 1.0), "se": (1.0, 1.0),
+}
+
+_FLOAT_OPTIONS = ("relx", "rely", "relwidth", "relheight")
+_INT_OPTIONS = ("x", "y", "width", "height")
+
+
+class Placer(geometry.GeometryManager):
+    """Fixed/fractional placement manager."""
+
+    name = "place"
+
+    def __init__(self):
+        self._info: Dict[object, PlaceInfo] = {}
+        self._parent_of: Dict[object, object] = {}
+
+    # -- the Tcl-facing operations ----------------------------------------
+
+    def place(self, window, options: Dict[str, str]) -> None:
+        info = self._info.get(window, PlaceInfo())
+        for name, value in options.items():
+            if name in _FLOAT_OPTIONS:
+                try:
+                    setattr(info, name, float(value))
+                except ValueError:
+                    raise TclError('expected floating-point number '
+                                   'but got "%s"' % value)
+            elif name in _INT_OPTIONS:
+                try:
+                    setattr(info, name, int(value))
+                except ValueError:
+                    raise TclError('expected integer but got "%s"'
+                                   % value)
+            elif name == "anchor":
+                if value not in _ANCHORS:
+                    raise TclError('bad anchor "%s"' % value)
+                info.anchor = value
+            else:
+                raise TclError('unknown option "-%s"' % name)
+        self._info[window] = info
+        self._parent_of[window] = window.parent
+        geometry.claim(window, self)
+        self._arrange_window(window)
+        window.map()
+
+    def forget(self, window) -> None:
+        self._info.pop(window, None)
+        self._parent_of.pop(window, None)
+        geometry.release(window, self)
+        if not window.destroyed:
+            window.unmap()
+
+    def info_for(self, window) -> Optional[PlaceInfo]:
+        return self._info.get(window)
+
+    # -- geometry-manager protocol ----------------------------------------
+
+    def child_request(self, window) -> None:
+        self._arrange_window(window)
+
+    def parent_configured(self, parent) -> None:
+        for window, window_parent in list(self._parent_of.items()):
+            if window_parent is parent:
+                self._arrange_window(window)
+
+    # -- layout ------------------------------------------------------------
+
+    def _arrange_window(self, window) -> None:
+        info = self._info.get(window)
+        parent = self._parent_of.get(window)
+        if info is None or parent is None or window.destroyed:
+            return
+        x = info.x
+        y = info.y
+        if info.relx is not None:
+            x += int(info.relx * parent.width)
+        if info.rely is not None:
+            y += int(info.rely * parent.height)
+        width = window.requested_width
+        if info.width is not None:
+            width = info.width
+        if info.relwidth is not None:
+            width = int(info.relwidth * parent.width) + \
+                (info.width or 0)
+        height = window.requested_height
+        if info.height is not None:
+            height = info.height
+        if info.relheight is not None:
+            height = int(info.relheight * parent.height) + \
+                (info.height or 0)
+        fx, fy = _ANCHORS[info.anchor]
+        window.move_resize(x - int(fx * width), y - int(fy * height),
+                           max(1, width), max(1, height))
+
+
+def register_place_command(app) -> None:
+    """Register the ``place`` Tcl command."""
+    placer = Placer()
+    app.placer = placer
+
+    def cmd_place(interp, argv):
+        """place window -x ... | place forget window | place info window"""
+        if len(argv) < 2:
+            raise TclError(
+                'wrong # args: should be "place option|window ?args?"')
+        if argv[1] == "forget":
+            placer.forget(app.window(argv[2]))
+            return ""
+        if argv[1] == "info":
+            info = placer.info_for(app.window(argv[2]))
+            if info is None:
+                return ""
+            parts = []
+            for name in _INT_OPTIONS + _FLOAT_OPTIONS + ("anchor",):
+                value = getattr(info, name)
+                if value is not None:
+                    parts.append("-%s %s" % (name, value))
+            return " ".join(parts)
+        window = app.window(argv[1])
+        rest = argv[2:]
+        if len(rest) % 2 != 0:
+            raise TclError('value for "%s" missing' % rest[-1])
+        options = {}
+        for position in range(0, len(rest), 2):
+            name = rest[position]
+            if not name.startswith("-"):
+                raise TclError('unknown option "%s"' % name)
+            options[name[1:]] = rest[position + 1]
+        placer.place(window, options)
+        return ""
+
+    app.interp.register("place", cmd_place)

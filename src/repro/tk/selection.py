@@ -1,0 +1,154 @@
+"""The selection (paper section 3.6).
+
+Tk hides as much of the ICCCM selection protocol as possible.  A widget
+that supports a selection registers a *selection handler* — a function
+(or Tcl script) returning the selected text.  Claiming the selection
+notifies the previous owner (possibly in another application) that it
+has lost it; retrieving the selection works whoever the current owner
+is, because the transfer runs through the shared X server using
+SelectionRequest/SelectionNotify and window properties.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..tcl.errors import TclError
+from ..x11 import events as ev
+
+#: Property used on the requestor window for the returned value.
+_TRANSFER_PROPERTY = "TK_SELECTION"
+
+#: How many scheduler rounds to wait for a conversion before giving up.
+_RETRIEVE_TIMEOUT_ROUNDS = 1000
+
+
+class SelectionManager:
+    """Per-application selection machinery."""
+
+    def __init__(self, app):
+        self.app = app
+        display = app.display
+        self.primary = display.intern_atom("PRIMARY")
+        self.string = display.intern_atom("STRING")
+        self._property = display.intern_atom(_TRANSFER_PROPERTY)
+        #: window id -> handler returning the selection string
+        self._handlers: Dict[int, Callable[[], str]] = {}
+        #: window id of the local owner window, if we own PRIMARY
+        self._owner: Optional[int] = None
+        #: lose-callback per owner window
+        self._lose: Dict[int, Callable[[], None]] = {}
+        self._pending_value: Optional[str] = None
+        self._pending_done = False
+
+    # ------------------------------------------------------------------
+    # owning the selection
+    # ------------------------------------------------------------------
+
+    def set_handler(self, window, fetch: Callable[[], str]) -> None:
+        """Register the selection handler for a widget's window."""
+        self._handlers[window.id] = fetch
+
+    def claim(self, window, on_lose: Optional[Callable[[], None]] = None,
+              ) -> None:
+        """Make ``window`` the selection owner (ICCCM SetSelectionOwner)."""
+        if window.id not in self._handlers:
+            raise TclError(
+                "cannot claim selection for %s: no selection handler"
+                % window.path)
+        self.app.display.set_selection_owner(self.primary, window.id)
+        self._owner = window.id
+        if on_lose is not None:
+            self._lose[window.id] = on_lose
+
+    def owns(self, window) -> bool:
+        return self._owner == window.id
+
+    # ------------------------------------------------------------------
+    # event handling
+    # ------------------------------------------------------------------
+
+    def maybe_handle(self, event) -> bool:
+        """Intercept selection-protocol events; True if consumed."""
+        if event.type == ev.SELECTION_REQUEST:
+            self._answer_request(event)
+            return True
+        if event.type == ev.SELECTION_CLEAR:
+            self._lost(event.window)
+            return True
+        if event.type == ev.SELECTION_NOTIFY:
+            self._conversion_done(event)
+            return True
+        return False
+
+    def _answer_request(self, event) -> None:
+        handler = self._handlers.get(event.window)
+        display = self.app.display
+        if handler is None or event.target != self.string:
+            # Refuse: SelectionNotify with property None.
+            display.send_event(event.requestor, ev.Event(
+                ev.SELECTION_NOTIFY, selection=event.selection,
+                target=event.target, property=0))
+            return
+        value = handler()
+        display.change_property(event.requestor, event.property,
+                                self.string, value)
+        display.send_event(event.requestor, ev.Event(
+            ev.SELECTION_NOTIFY, selection=event.selection,
+            target=event.target, property=event.property))
+
+    def _lost(self, window_id: int) -> None:
+        if self._owner == window_id:
+            self._owner = None
+        on_lose = self._lose.pop(window_id, None)
+        if on_lose is not None:
+            on_lose()
+
+    def _conversion_done(self, event) -> None:
+        if event.property == 0:
+            self._pending_value = None
+        else:
+            entry = self.app.display.get_property(event.window,
+                                                  event.property,
+                                                  delete=True)
+            self._pending_value = entry[1] if entry is not None else None
+        self._pending_done = True
+
+    # ------------------------------------------------------------------
+    # retrieving the selection
+    # ------------------------------------------------------------------
+
+    def retrieve(self) -> str:
+        """Fetch the current PRIMARY selection as a string.
+
+        Fast path: if this application owns the selection, call the
+        handler directly.  Otherwise run the ICCCM conversion and pump
+        the in-process scheduler until the answer arrives.
+        """
+        # Process anything pending first — a SelectionClear may be
+        # sitting in the queue, in which case we no longer own PRIMARY.
+        self.app.update()
+        if self._owner is not None and self._owner in self._handlers:
+            return self._handlers[self._owner]()
+        display = self.app.display
+        self._pending_done = False
+        self._pending_value = None
+        display.convert_selection(self.primary, self.string,
+                                  self._property, self.app.main.id)
+        from .app import pump_all
+        for _ in range(_RETRIEVE_TIMEOUT_ROUNDS):
+            if self._pending_done:
+                break
+            pump_all(self.app.server, max_rounds=1)
+        if not self._pending_done:
+            raise TclError("selection retrieval timed out")
+        if self._pending_value is None:
+            raise TclError("PRIMARY selection doesn't exist or form "
+                           '"STRING" not defined')
+        return str(self._pending_value)
+
+    def forget_window(self, window_id: int) -> None:
+        self._handlers.pop(window_id, None)
+        self._lose.pop(window_id, None)
+        if self._owner == window_id:
+            self._owner = None

@@ -1,0 +1,181 @@
+"""The ``send`` command (paper section 6).
+
+``send`` is a remote-procedure-call facility: any Tk-based application
+can invoke Tcl commands in any other Tk-based application on the same
+display.  The implementation follows the paper:
+
+* every application registers a unique name, recorded in a registry
+  property on the display's *root* window;
+* ``send name command`` locates the target by reading the registry,
+  then forwards the command through properties on the target's
+  communication window;
+* the target's Tk executes the command in its interpreter and returns
+  the result (or error) the same way.
+
+Because both applications are clients of the same (simulated) X server,
+this works between genuinely separate interpreters and widget trees —
+the paper's replacement for monolithic applications.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ..tcl.errors import TclError
+from ..tcl.lists import format_list, parse_list
+from ..x11 import events as ev
+
+_REGISTRY_PROPERTY = "InterpRegistry"
+_COMM_PROPERTY = "Comm"
+_WAIT_ROUNDS = 10000
+
+_serials = itertools.count(1)
+
+
+class SendManager:
+    """Registration and transport for the send command."""
+
+    def __init__(self, app, requested_name: str):
+        self.app = app
+        display = app.display
+        self.registry_atom = display.intern_atom(_REGISTRY_PROPERTY)
+        self.comm_atom = display.intern_atom(_COMM_PROPERTY)
+        self.string_atom = display.intern_atom("STRING")
+        # The communication window: an unmapped child of the root.
+        self.comm_window = display.create_window(display.root, 0, 0, 1, 1)
+        display.select_input(self.comm_window, ev.PROPERTY_CHANGE_MASK)
+        self.name = self._register(requested_name)
+        #: serial -> (code, result) for completed sends
+        self._results: Dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # the registry property on the root window
+    # ------------------------------------------------------------------
+
+    def _read_registry(self) -> Dict[str, int]:
+        entry = self.app.display.get_property(self.app.display.root,
+                                              self.registry_atom)
+        registry: Dict[str, int] = {}
+        if entry is not None and isinstance(entry[1], str):
+            for line in parse_list(entry[1]):
+                fields = parse_list(line)
+                if len(fields) == 2 and fields[1].isdigit():
+                    registry[fields[0]] = int(fields[1])
+        return registry
+
+    def _write_registry(self, registry: Dict[str, int]) -> None:
+        value = format_list(
+            format_list([name, str(window)])
+            for name, window in sorted(registry.items()))
+        self.app.display.change_property(self.app.display.root,
+                                         self.registry_atom,
+                                         self.string_atom, value)
+
+    def _register(self, requested: str) -> str:
+        registry = self._read_registry()
+        name = requested
+        suffix = 2
+        while name in registry:
+            name = "%s #%d" % (requested, suffix)
+            suffix += 1
+        registry[name] = self.comm_window
+        self._write_registry(registry)
+        return name
+
+    def unregister(self) -> None:
+        registry = self._read_registry()
+        if registry.pop(self.name, None) is not None:
+            self._write_registry(registry)
+
+    def application_names(self) -> list:
+        """All registered application names (the ``winfo interps`` set)."""
+        return sorted(self._read_registry())
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def send(self, target_name: str, script: str) -> str:
+        """Execute ``script`` in the application named ``target_name``."""
+        registry = self._read_registry()
+        target_window = registry.get(target_name)
+        if target_window is None:
+            raise TclError(
+                'no registered interpreter named "%s"' % target_name)
+        serial = next(_serials)
+        request = format_list(["cmd", str(serial), str(self.comm_window),
+                               script])
+        try:
+            # One list element per message: scripts may contain any
+            # characters (including newlines), so the framing must not
+            # depend on the payload.
+            self.app.display.change_property(
+                target_window, self.comm_atom, self.string_atom,
+                [request], append=True)
+        except Exception:
+            raise TclError(
+                'no registered interpreter named "%s"' % target_name)
+        return self._wait_for_result(serial, target_name)
+
+    def _wait_for_result(self, serial: int, target_name: str) -> str:
+        from .app import pump_all
+        for _ in range(_WAIT_ROUNDS):
+            if serial in self._results:
+                code, result = self._results.pop(serial)
+                if code != "0":
+                    raise TclError(result)
+                return result
+            pump_all(self.app.server, max_rounds=1)
+        raise TclError('send to "%s" timed out' % target_name)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+
+    def maybe_handle(self, event) -> bool:
+        """Intercept PropertyNotify on the comm window; True if consumed."""
+        if event.type != ev.PROPERTY_NOTIFY or \
+                event.window != self.comm_window or \
+                event.atom != self.comm_atom or event.state == 1:
+            return False
+        entry = self.app.display.get_property(self.comm_window,
+                                              self.comm_atom, delete=True)
+        if entry is None:
+            return True
+        value = entry[1]
+        if isinstance(value, str):
+            messages = [value]
+        else:
+            messages = list(value)
+        for message in messages:
+            if str(message).strip():
+                self._handle_message(str(message))
+        return True
+
+    def _handle_message(self, message: str) -> None:
+        try:
+            fields = parse_list(message)
+        except TclError:
+            return
+        if len(fields) == 4 and fields[0] == "cmd":
+            _, serial, reply_window, script = fields
+            self._execute(serial, int(reply_window), script)
+        elif len(fields) == 4 and fields[0] == "result":
+            _, serial, code, result = fields
+            self._results[int(serial)] = (code, result)
+
+    def _execute(self, serial: str, reply_window: int, script: str) -> None:
+        try:
+            result = self.app.interp.eval_global(script)
+            code = "0"
+        except TclError as error:
+            result = error.message
+            code = "1"
+        reply = format_list(["result", serial, code, result])
+        try:
+            self.app.display.change_property(
+                reply_window, self.comm_atom, self.string_atom,
+                [reply], append=True)
+        except Exception:
+            pass  # sender disappeared; nothing to reply to

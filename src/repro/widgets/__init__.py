@@ -1,0 +1,58 @@
+"""repro.widgets — the Tk widget set (paper sections 4 and 7).
+
+The widgets the paper reports complete (panes/frames, labels, buttons,
+check buttons, radio buttons, messages, listboxes, scrollbars, scales)
+plus the two it promises (entries and menus).
+
+For each widget type there is one Tcl *creation command* named after
+the type; creating a widget also creates a *widget command* named after
+its window path (section 4)::
+
+    button .hello -bg Red -text "Hello, world" -command "print Hello!"
+    .hello flash
+    .hello configure -bg PalePink1 -relief sunken
+"""
+
+from __future__ import annotations
+
+from ..tk.widget import creation_command
+from .buttons import Button, Checkbutton, Label, Radiobutton
+from .canvas import Canvas
+from .entry import Entry
+from .frame import Frame
+from .listbox import Listbox
+from .menu import Menu, Menubutton
+from .message import Message
+from .scale import Scale
+from .scrollbar import Scrollbar
+from .text import Text
+
+#: creation-command name -> widget class
+WIDGET_TYPES = {
+    "label": Label,
+    "button": Button,
+    "checkbutton": Checkbutton,
+    "radiobutton": Radiobutton,
+    "frame": Frame,
+    "message": Message,
+    "scrollbar": Scrollbar,
+    "listbox": Listbox,
+    "scale": Scale,
+    "entry": Entry,
+    "menu": Menu,
+    "menubutton": Menubutton,
+    "canvas": Canvas,
+    "text": Text,
+}
+
+
+def register_widget_commands(app) -> None:
+    """Register every widget creation command in the app's interp."""
+    for name, widget_class in WIDGET_TYPES.items():
+        app.interp.register(name, creation_command(widget_class, name))
+
+
+__all__ = ["Label", "Button", "Checkbutton", "Radiobutton", "Frame",
+           "Message", "Scrollbar", "Listbox", "Scale", "Entry", "Menu",
+           "Menubutton", "Canvas", "Text", "WIDGET_TYPES",
+           "register_widget_commands"]

@@ -1,0 +1,336 @@
+"""Label, button, checkbutton, and radiobutton widgets.
+
+As in Tk (paper Table I), a single module implements all four: they
+share their geometry and drawing code and differ only in behaviour.
+The active behaviours are the ones section 4 describes: a button
+highlights when the mouse enters it, appears sunken while pressed, and
+invokes its ``-command`` Tcl script when mouse button 1 is clicked and
+released over it.  ``flash`` and ``invoke`` widget commands are
+provided; check/radio buttons additionally maintain a Tcl *variable*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..tcl.errors import TclError
+from ..tk.widget import OptionSpec, Widget
+from ..x11 import events as ev
+
+_INDICATOR_PX = 16
+
+
+_BASE_SPECS = (
+    OptionSpec("activebackground", "activeBackground", "Foreground",
+               "#eeeeee"),
+    OptionSpec("activeforeground", "activeForeground", "Background",
+               "black"),
+    OptionSpec("anchor", "anchor", "Anchor", "center"),
+    OptionSpec("background", "background", "Background", "#dddddd",
+               synonyms=("bg",)),
+    OptionSpec("borderwidth", "borderWidth", "BorderWidth", "2",
+               synonyms=("bd",)),
+    OptionSpec("font", "font", "Font", "fixed"),
+    OptionSpec("foreground", "foreground", "Foreground", "black",
+               synonyms=("fg",)),
+    OptionSpec("height", "height", "Height", "0"),
+    OptionSpec("padx", "padX", "Pad", "3"),
+    OptionSpec("pady", "padY", "Pad", "1"),
+    OptionSpec("relief", "relief", "Relief", "raised"),
+    OptionSpec("state", "state", "State", "normal"),
+    OptionSpec("text", "text", "Text", ""),
+    OptionSpec("textvariable", "textVariable", "Variable", ""),
+    OptionSpec("width", "width", "Width", "0"),
+)
+
+_COMMAND_SPECS = _BASE_SPECS + (
+    OptionSpec("command", "command", "Command", ""),
+)
+
+
+class Label(Widget):
+    """A label displays a text string and has no behaviour."""
+
+    widget_class = "Label"
+    option_specs = _BASE_SPECS
+    has_indicator = False
+
+    def __init__(self, app, path: str, argv):
+        super().__init__(app, path, argv)
+        self._watch_textvariable()
+
+    def _watch_textvariable(self) -> None:
+        """Follow -textvariable with a write trace (live labels)."""
+        name = self.options["textvariable"]
+        if not name:
+            return
+        from ..tcl.commands.tracecmd import _table
+        interp = self.app.interp
+        if not interp.var_exists(name):
+            interp.set_global_var(name, self.options["text"])
+        self._text_trace = "tkLabelVarChanged-%s" % self.path
+        interp.register(self._text_trace,
+                        lambda ip, argv: self._text_changed())
+        _table(interp).add(name, "w", self._text_trace)
+
+    def _text_changed(self) -> None:
+        self.update_geometry()
+        self.schedule_redraw()
+
+    def display_text(self) -> str:
+        """The string to show: the -textvariable's value if set."""
+        name = self.options["textvariable"]
+        if name and self.app.interp.var_exists(name):
+            return self.app.interp.get_global_var(name)
+        return self.options["text"]
+
+    def cleanup(self) -> None:
+        name = self.options.get("textvariable", "")
+        if name and hasattr(self, "_text_trace"):
+            from ..tcl.commands.tracecmd import _table
+            _table(self.app.interp).remove(name, "w", self._text_trace)
+            self.app.interp.commands.pop(self._text_trace, None)
+        super().cleanup()
+
+    # -- geometry ----------------------------------------------------------
+
+    def preferred_size(self) -> Tuple[int, int]:
+        font = self.font()
+        width_chars = self.int_option("width")
+        height_lines = self.int_option("height")
+        text = self.display_text()
+        text_width = font.char_width * width_chars if width_chars > 0 \
+            else font.text_width(text)
+        text_height = font.line_height * height_lines if height_lines > 0 \
+            else font.line_height
+        border = self.int_option("borderwidth")
+        width = text_width + 2 * self.int_option("padx") + 2 * border
+        height = text_height + 2 * self.int_option("pady") + 2 * border
+        if self.has_indicator:
+            width += _INDICATOR_PX
+        return (max(width, 1), max(height, 1))
+
+    # -- drawing ----------------------------------------------------------
+
+    def active(self) -> bool:
+        return False
+
+    def current_relief(self) -> str:
+        return self.options["relief"]
+
+    def draw(self) -> None:
+        display = self.app.display
+        window = self.window
+        background = self.color("activebackground") if self.active() \
+            else self.color("background")
+        foreground = self.color("activeforeground") if self.active() \
+            else self.color("foreground")
+        display.set_window_background(window.id, background)
+        font = self.font()
+        text = self.display_text()
+        indicator = _INDICATOR_PX if self.has_indicator else 0
+        text_x = indicator + max(
+            0, (window.width - indicator - font.text_width(text)) // 2)
+        text_y = max(0, (window.height - font.line_height) // 2)
+        gc = self.app.cache.gc(foreground=foreground, font=font.name)
+        if self.has_indicator:
+            self._draw_indicator(gc)
+        display.draw_string(window.id, gc, text_x, text_y, text)
+        self.draw_border(self.current_relief())
+
+    def _draw_indicator(self, gc) -> None:  # pragma: no cover - overridden
+        pass
+
+
+class Button(Label):
+    """A button: displays text and executes a command when invoked."""
+
+    widget_class = "Button"
+    option_specs = _COMMAND_SPECS
+
+    def __init__(self, app, path: str, argv):
+        self._pressed = False
+        self._mouse_inside = False
+        self.flash_count = 0
+        super().__init__(app, path, argv)
+        self.window.add_event_handler(
+            ev.ENTER_WINDOW_MASK | ev.LEAVE_WINDOW_MASK |
+            ev.BUTTON_PRESS_MASK | ev.BUTTON_RELEASE_MASK,
+            self._on_event)
+
+    # -- behaviour (the paper's "C code" for the widget) -----------------
+
+    def _on_event(self, event) -> None:
+        if self.options["state"] == "disabled":
+            return
+        if event.type == ev.ENTER_NOTIFY:
+            self._mouse_inside = True
+            self.schedule_redraw()
+        elif event.type == ev.LEAVE_NOTIFY:
+            self._mouse_inside = False
+            self._pressed = False
+            self.schedule_redraw()
+        elif event.type == ev.BUTTON_PRESS and event.button == 1:
+            self._pressed = True
+            self.schedule_redraw()
+        elif event.type == ev.BUTTON_RELEASE and event.button == 1:
+            was_pressed = self._pressed
+            self._pressed = False
+            self.schedule_redraw()
+            if was_pressed and self._mouse_inside:
+                self.invoke()
+
+    def active(self) -> bool:
+        return self._mouse_inside and self.options["state"] != "disabled"
+
+    def current_relief(self) -> str:
+        return "sunken" if self._pressed else self.options["relief"]
+
+    def invoke(self) -> None:
+        """Execute the button's -command script."""
+        command = self.options["command"]
+        if command:
+            self.app.interp.eval_global(command)
+
+    # -- widget commands ----------------------------------------------------
+
+    def cmd_invoke(self, args: List[str]) -> str:
+        self.invoke()
+        return ""
+
+    def cmd_flash(self, args: List[str]) -> str:
+        """Change colors back and forth a few times (paper section 4)."""
+        original = self._mouse_inside
+        for _ in range(4):
+            self._mouse_inside = not self._mouse_inside
+            self._redraw_now()
+            self.flash_count += 1
+        self._mouse_inside = original
+        self._redraw_now()
+        return ""
+
+
+class Checkbutton(Button):
+    """A button that toggles a Tcl variable between two values."""
+
+    widget_class = "Checkbutton"
+    option_specs = _COMMAND_SPECS + (
+        OptionSpec("offvalue", "offValue", "Value", "0"),
+        OptionSpec("onvalue", "onValue", "Value", "1"),
+        OptionSpec("variable", "variable", "Variable", ""),
+    )
+    has_indicator = True
+
+    def __init__(self, app, path: str, argv):
+        super().__init__(app, path, argv)
+        if not self.options["variable"]:
+            # Default variable name: the window's leaf name, as in Tk.
+            self.options["variable"] = self.window.name or "selectedButton"
+        self._watch_variable()
+
+    def _watch_variable(self) -> None:
+        """Follow the -variable with a write trace so the indicator
+        stays current however the variable is changed (as real Tk
+        does)."""
+        from ..tcl.commands.tracecmd import _table
+        self._trace_command = "tkButtonVarChanged-%s" % self.path
+        self.app.interp.register(
+            self._trace_command,
+            lambda interp, argv: self.schedule_redraw())
+        _table(self.app.interp).add(self.options["variable"], "w",
+                                    self._trace_command)
+
+    def cleanup(self) -> None:
+        if hasattr(self, "_trace_command"):
+            from ..tcl.commands.tracecmd import _table
+            _table(self.app.interp).remove(
+                self.options.get("variable", ""), "w",
+                self._trace_command)
+            self.app.interp.commands.pop(self._trace_command, None)
+        super().cleanup()
+
+    def selected(self) -> bool:
+        interp = self.app.interp
+        name = self.options["variable"]
+        if not interp.var_exists(name):
+            return False
+        return interp.get_global_var(name) == self.options["onvalue"]
+
+    def invoke(self) -> None:
+        self.toggle()
+        command = self.options["command"]
+        if command:
+            self.app.interp.eval_global(command)
+
+    def toggle(self) -> None:
+        interp = self.app.interp
+        name = self.options["variable"]
+        new = self.options["offvalue"] if self.selected() \
+            else self.options["onvalue"]
+        interp.set_global_var(name, new)
+        self.schedule_redraw()
+
+    def cmd_toggle(self, args: List[str]) -> str:
+        self.toggle()
+        return ""
+
+    def cmd_select(self, args: List[str]) -> str:
+        self.app.interp.set_global_var(self.options["variable"],
+                                       self.options["onvalue"])
+        self.schedule_redraw()
+        return ""
+
+    def cmd_deselect(self, args: List[str]) -> str:
+        self.app.interp.set_global_var(self.options["variable"],
+                                       self.options["offvalue"])
+        self.schedule_redraw()
+        return ""
+
+    def _draw_indicator(self, gc) -> None:
+        display = self.app.display
+        size = _INDICATOR_PX - 6
+        y = max(0, (self.window.height - size) // 2)
+        display.draw_rectangle(self.window.id, gc, 2, y, size, size)
+        if self.selected():
+            display.fill_rectangle(self.window.id, gc, 4, y + 2,
+                                   size - 4, size - 4)
+
+
+class Radiobutton(Checkbutton):
+    """One of a group of buttons sharing a variable; selecting one
+    stores its -value and deselects the others."""
+
+    widget_class = "Radiobutton"
+    option_specs = _COMMAND_SPECS + (
+        OptionSpec("value", "value", "Value", ""),
+        OptionSpec("variable", "variable", "Variable", "selectedButton"),
+    )
+
+    def selected(self) -> bool:
+        interp = self.app.interp
+        name = self.options["variable"]
+        if not interp.var_exists(name):
+            return False
+        return interp.get_global_var(name) == self.options["value"]
+
+    def invoke(self) -> None:
+        self.cmd_select([])
+        command = self.options["command"]
+        if command:
+            self.app.interp.eval_global(command)
+
+    def toggle(self) -> None:
+        self.cmd_select([])
+
+    def cmd_select(self, args: List[str]) -> str:
+        self.app.interp.set_global_var(self.options["variable"],
+                                       self.options["value"])
+        self.schedule_redraw()
+        return ""
+
+    def cmd_deselect(self, args: List[str]) -> str:
+        interp = self.app.interp
+        if self.selected():
+            interp.set_global_var(self.options["variable"], "")
+        self.schedule_redraw()
+        return ""

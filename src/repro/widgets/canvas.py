@@ -1,0 +1,406 @@
+"""Canvas widget: structured graphics — the extension the paper
+promises in section 5 ("I plan to enhance wish with drawing commands
+for shapes and text; once this is done it will be possible to code a
+large class of interesting applications entirely in Tcl").
+
+The canvas holds *items* — lines, rectangles, ovals, text, bitmaps —
+each with a numeric id and optional symbolic *tags*.  Items are
+created, reconfigured, moved, queried, and deleted entirely from Tcl::
+
+    canvas .c -width 300 -height 200
+    .c create rectangle 10 10 60 40 -fill red -tags box
+    .c create text 35 25 -text hi
+    .c move box 5 0
+    .c coords box                   ;# -> "15 10 65 40"
+    .c bind box <Button-1> {print "box clicked"}
+
+Item bindings work like window bindings (Figure 7) but trigger on the
+item under the pointer, which is what makes the paper's hypertext and
+paint scenarios natural to write in Tcl.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..tcl.errors import TclError
+from ..tcl.lists import format_list, parse_list
+from ..tcl.strings import _to_int
+from ..tk.bind import parse_sequence, substitute_percents
+from ..tk.widget import OptionSpec, Widget
+from ..x11 import events as ev
+from ..x11.resources import parse_color
+
+_ITEM_TYPES = ("line", "rectangle", "oval", "text", "bitmap")
+
+#: Item option -> which item types accept it.
+_ITEM_OPTIONS = {
+    "fill": _ITEM_TYPES,
+    "outline": ("rectangle", "oval"),
+    "width": ("line", "rectangle", "oval"),
+    "text": ("text",),
+    "anchor": ("text", "bitmap"),
+    "bitmap": ("bitmap",),
+    "tags": _ITEM_TYPES,
+}
+
+_COORD_COUNT = {
+    "line": (4, None),        # at least 4, any even number
+    "rectangle": (4, 4),
+    "oval": (4, 4),
+    "text": (2, 2),
+    "bitmap": (2, 2),
+}
+
+
+@dataclass
+class CanvasItem:
+    """One item on the canvas."""
+
+    item_id: int
+    item_type: str
+    coords: List[int]
+    options: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def tags(self) -> List[str]:
+        raw = self.options.get("tags", "")
+        return parse_list(raw) if raw else []
+
+    def bbox(self) -> Tuple[int, int, int, int]:
+        xs = self.coords[0::2]
+        ys = self.coords[1::2]
+        if self.item_type == "text":
+            text = self.options.get("text", "")
+            return (xs[0], ys[0], xs[0] + 6 * len(text), ys[0] + 13)
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def contains(self, x: int, y: int, slop: int = 1) -> bool:
+        x1, y1, x2, y2 = self.bbox()
+        return (x1 - slop <= x <= x2 + slop and
+                y1 - slop <= y <= y2 + slop)
+
+    def move(self, dx: int, dy: int) -> None:
+        for index in range(0, len(self.coords), 2):
+            self.coords[index] += dx
+            self.coords[index + 1] += dy
+
+
+class Canvas(Widget):
+    widget_class = "Canvas"
+    option_specs = (
+        OptionSpec("background", "background", "Background", "white",
+                   synonyms=("bg",)),
+        OptionSpec("borderwidth", "borderWidth", "BorderWidth", "2",
+                   synonyms=("bd",)),
+        OptionSpec("height", "height", "Height", "200"),
+        OptionSpec("relief", "relief", "Relief", "sunken"),
+        OptionSpec("width", "width", "Width", "300"),
+    )
+
+    def __init__(self, app, path: str, argv):
+        self.items: Dict[int, CanvasItem] = {}
+        self._order: List[int] = []
+        self._next_id = 1
+        #: (tag-or-id, sequence) -> script
+        self._item_bindings: Dict[Tuple[str, str], str] = {}
+        self._current_item: Optional[int] = None
+        super().__init__(app, path, argv)
+        self.window.add_event_handler(
+            ev.BUTTON_PRESS_MASK | ev.BUTTON_RELEASE_MASK |
+            ev.POINTER_MOTION_MASK, self._on_event)
+
+    # -- geometry ----------------------------------------------------------
+
+    def preferred_size(self) -> Tuple[int, int]:
+        border = self.int_option("borderwidth")
+        return (self.int_option("width") + 2 * border,
+                self.int_option("height") + 2 * border)
+
+    # -- item management ----------------------------------------------------
+
+    def cmd_create(self, args: List[str]) -> str:
+        """create type coords... ?-option value ...?"""
+        if not args:
+            raise TclError(
+                'wrong # args: should be "%s create type coords '
+                '?options?"' % self.path)
+        item_type = args[0]
+        if item_type not in _ITEM_TYPES:
+            raise TclError(
+                'unknown item type "%s": must be %s'
+                % (item_type, ", ".join(_ITEM_TYPES)))
+        coords: List[int] = []
+        position = 1
+        while position < len(args) and not args[position].startswith("-"):
+            coords.append(_to_int(args[position]))
+            position += 1
+        self._check_coords(item_type, coords)
+        options = self._parse_item_options(item_type, args[position:])
+        item = CanvasItem(self._next_id, item_type, coords, options)
+        self._next_id += 1
+        self.items[item.item_id] = item
+        self._order.append(item.item_id)
+        self.schedule_redraw()
+        return str(item.item_id)
+
+    def _check_coords(self, item_type: str, coords: List[int]) -> None:
+        minimum, maximum = _COORD_COUNT[item_type]
+        if len(coords) < minimum or len(coords) % 2 != 0 or \
+                (maximum is not None and len(coords) > maximum):
+            raise TclError(
+                'wrong # coordinates for %s item' % item_type)
+
+    def _parse_item_options(self, item_type: str,
+                            args: Sequence[str]) -> Dict[str, str]:
+        if len(args) % 2 != 0:
+            raise TclError('value for "%s" missing' % args[-1])
+        options: Dict[str, str] = {}
+        for position in range(0, len(args), 2):
+            name = args[position]
+            if not name.startswith("-") or \
+                    name[1:] not in _ITEM_OPTIONS:
+                raise TclError('unknown item option "%s"' % name)
+            if item_type not in _ITEM_OPTIONS[name[1:]]:
+                raise TclError(
+                    'option "%s" isn\'t valid for %s items'
+                    % (name, item_type))
+            value = args[position + 1]
+            if name[1:] in ("fill", "outline") and value and \
+                    parse_color(value) is None:
+                raise TclError('unknown color name "%s"' % value)
+            options[name[1:]] = value
+        return options
+
+    def _find(self, tag_or_id: str) -> List[CanvasItem]:
+        """Items matching a numeric id, a tag, or 'all'/'current'."""
+        if tag_or_id == "all":
+            return [self.items[item_id] for item_id in self._order]
+        if tag_or_id == "current":
+            if self._current_item in self.items:
+                return [self.items[self._current_item]]
+            return []
+        if tag_or_id.isdigit():
+            item = self.items.get(int(tag_or_id))
+            return [item] if item is not None else []
+        return [self.items[item_id] for item_id in self._order
+                if tag_or_id in self.items[item_id].tags]
+
+    def _one(self, tag_or_id: str) -> CanvasItem:
+        found = self._find(tag_or_id)
+        if not found:
+            raise TclError(
+                'item "%s" doesn\'t exist' % tag_or_id)
+        return found[0]
+
+    # -- widget commands over items -------------------------------------
+
+    def cmd_coords(self, args: List[str]) -> str:
+        """coords tagOrId ?x1 y1 ...? — query or set coordinates."""
+        if not args:
+            raise TclError(
+                'wrong # args: should be "%s coords tagOrId ?coords?"'
+                % self.path)
+        item = self._one(args[0])
+        if len(args) == 1:
+            return " ".join(str(value) for value in item.coords)
+        coords = [_to_int(value) for value in args[1:]]
+        self._check_coords(item.item_type, coords)
+        item.coords = coords
+        self.schedule_redraw()
+        return ""
+
+    def cmd_move(self, args: List[str]) -> str:
+        if len(args) != 3:
+            raise TclError(
+                'wrong # args: should be "%s move tagOrId dx dy"'
+                % self.path)
+        dx, dy = _to_int(args[1]), _to_int(args[2])
+        for item in self._find(args[0]):
+            item.move(dx, dy)
+        self.schedule_redraw()
+        return ""
+
+    def cmd_delete(self, args: List[str]) -> str:
+        for tag_or_id in args:
+            for item in self._find(tag_or_id):
+                self.items.pop(item.item_id, None)
+                if item.item_id in self._order:
+                    self._order.remove(item.item_id)
+        self.schedule_redraw()
+        return ""
+
+    def cmd_itemconfigure(self, args: List[str]) -> str:
+        if len(args) < 1:
+            raise TclError(
+                'wrong # args: should be "%s itemconfigure tagOrId '
+                '?option value ...?"' % self.path)
+        items = self._find(args[0])
+        if not items:
+            raise TclError('item "%s" doesn\'t exist' % args[0])
+        if len(args) == 2:
+            name = args[1]
+            if not name.startswith("-") or \
+                    name[1:] not in _ITEM_OPTIONS:
+                raise TclError('unknown item option "%s"' % name)
+            return items[0].options.get(name[1:], "")
+        for item in items:
+            item.options.update(
+                self._parse_item_options(item.item_type, args[1:]))
+        self.schedule_redraw()
+        return ""
+
+    def cmd_type(self, args: List[str]) -> str:
+        if len(args) != 1:
+            raise TclError('wrong # args: should be "%s type tagOrId"'
+                           % self.path)
+        return self._one(args[0]).item_type
+
+    def cmd_bbox(self, args: List[str]) -> str:
+        if len(args) != 1:
+            raise TclError('wrong # args: should be "%s bbox tagOrId"'
+                           % self.path)
+        boxes = [item.bbox() for item in self._find(args[0])]
+        if not boxes:
+            return ""
+        x1 = min(box[0] for box in boxes)
+        y1 = min(box[1] for box in boxes)
+        x2 = max(box[2] for box in boxes)
+        y2 = max(box[3] for box in boxes)
+        return "%d %d %d %d" % (x1, y1, x2, y2)
+
+    def cmd_find(self, args: List[str]) -> str:
+        """find withtag t | find closest x y | find overlapping x1 y1 x2 y2"""
+        if not args:
+            raise TclError(
+                'wrong # args: should be "%s find searchSpec ?args?"'
+                % self.path)
+        mode = args[0]
+        if mode == "withtag":
+            return " ".join(str(item.item_id)
+                            for item in self._find(args[1]))
+        if mode == "closest":
+            x, y = _to_int(args[1]), _to_int(args[2])
+            best = None
+            best_distance = None
+            for item_id in self._order:
+                item = self.items[item_id]
+                x1, y1, x2, y2 = item.bbox()
+                cx = min(max(x, x1), x2)
+                cy = min(max(y, y1), y2)
+                distance = (cx - x) ** 2 + (cy - y) ** 2
+                if best_distance is None or distance < best_distance:
+                    best, best_distance = item, distance
+            return str(best.item_id) if best is not None else ""
+        if mode == "overlapping":
+            x1, y1, x2, y2 = (_to_int(value) for value in args[1:5])
+            hits = []
+            for item_id in self._order:
+                bx1, by1, bx2, by2 = self.items[item_id].bbox()
+                if bx1 <= x2 and bx2 >= x1 and by1 <= y2 and by2 >= y1:
+                    hits.append(str(item_id))
+            return " ".join(hits)
+        raise TclError(
+            'bad search spec "%s": must be closest, overlapping, or '
+            'withtag' % mode)
+
+    def cmd_addtag(self, args: List[str]) -> str:
+        if len(args) != 3 or args[1] != "withtag":
+            raise TclError(
+                'wrong # args: should be "%s addtag tag withtag tagOrId"'
+                % self.path)
+        for item in self._find(args[2]):
+            tags = item.tags
+            if args[0] not in tags:
+                tags.append(args[0])
+                item.options["tags"] = format_list(tags)
+        return ""
+
+    def cmd_gettags(self, args: List[str]) -> str:
+        if len(args) != 1:
+            raise TclError('wrong # args: should be "%s gettags tagOrId"'
+                           % self.path)
+        return format_list(self._one(args[0]).tags)
+
+    # -- item bindings ---------------------------------------------------
+
+    def cmd_bind(self, args: List[str]) -> str:
+        """bind tagOrId ?sequence? ?script?"""
+        if len(args) not in (1, 2, 3):
+            raise TclError(
+                'wrong # args: should be "%s bind tagOrId ?sequence? '
+                '?command?"' % self.path)
+        if len(args) == 1:
+            return format_list(sorted(
+                sequence for (tag, sequence) in self._item_bindings
+                if tag == args[0]))
+        if len(args) == 2:
+            return self._item_bindings.get((args[0], args[1]), "")
+        parse_sequence(args[1])   # validate
+        if args[2]:
+            self._item_bindings[(args[0], args[1])] = args[2]
+        else:
+            self._item_bindings.pop((args[0], args[1]), None)
+        return ""
+
+    def _on_event(self, event) -> None:
+        self._current_item = self._item_at(event.x, event.y)
+        if self._current_item is None:
+            return
+        item = self.items[self._current_item]
+        for (tag, sequence), script in list(self._item_bindings.items()):
+            if tag != str(item.item_id) and tag not in item.tags and \
+                    tag != "all":
+                continue
+            patterns = parse_sequence(sequence)
+            if len(patterns) == 1 and patterns[0].count == 1 and \
+                    patterns[0].matches(event):
+                self.app.interp.eval_global(
+                    substitute_percents(script, event, self.window))
+
+    def _item_at(self, x: int, y: int) -> Optional[int]:
+        for item_id in reversed(self._order):
+            if self.items[item_id].contains(x, y):
+                return item_id
+        return None
+
+    # -- drawing ----------------------------------------------------------
+
+    def draw(self) -> None:
+        display = self.app.display
+        for item_id in self._order:
+            item = self.items[item_id]
+            gc = self._item_gc(item)
+            if item.item_type == "line":
+                for index in range(0, len(item.coords) - 2, 2):
+                    display.draw_line(self.window.id, gc,
+                                      item.coords[index],
+                                      item.coords[index + 1],
+                                      item.coords[index + 2],
+                                      item.coords[index + 3])
+            elif item.item_type in ("rectangle", "oval"):
+                x1, y1, x2, y2 = item.bbox()
+                if item.options.get("fill"):
+                    display.fill_rectangle(self.window.id, gc, x1, y1,
+                                           x2 - x1, y2 - y1)
+                display.draw_rectangle(self.window.id, gc, x1, y1,
+                                       x2 - x1, y2 - y1)
+            elif item.item_type == "text":
+                display.draw_string(self.window.id, gc,
+                                    item.coords[0], item.coords[1],
+                                    item.options.get("text", ""))
+            elif item.item_type == "bitmap":
+                name = item.options.get("bitmap", "gray50")
+                bitmap = self.app.cache.bitmap(name)
+                display.draw_rectangle(self.window.id, gc,
+                                       item.coords[0], item.coords[1],
+                                       bitmap.width, bitmap.height)
+        self.draw_border()
+
+    def _item_gc(self, item: CanvasItem):
+        color_name = item.options.get("fill") or \
+            item.options.get("outline") or "black"
+        rgb = parse_color(color_name)
+        pixel = (rgb[0] << 16 | rgb[1] << 8 | rgb[2]) if rgb else 0
+        return self.app.cache.gc(foreground=pixel)

@@ -1,0 +1,257 @@
+"""Entry widget: a one-line text entry.
+
+The paper (section 7) lists entries as one of the two widget types
+still to be implemented; this is the implementation as planned.  The
+entry cooperates with focus management (section 3.7): once an
+application assigns it the focus, every keystroke in the application is
+directed here.  Its contents can be fetched and modified from Tcl
+(``get``, ``insert``, ``delete``), which is exactly what makes
+user-defined bindings like "backspace over a whole word when Control-w
+is typed" (section 5) possible without modifying the widget.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..tcl.errors import TclError
+from ..tcl.strings import _to_int
+from ..tk.widget import OptionSpec, Widget
+from ..x11 import events as ev
+
+
+class Entry(Widget):
+    widget_class = "Entry"
+    option_specs = (
+        OptionSpec("background", "background", "Background", "white",
+                   synonyms=("bg",)),
+        OptionSpec("borderwidth", "borderWidth", "BorderWidth", "2",
+                   synonyms=("bd",)),
+        OptionSpec("font", "font", "Font", "fixed"),
+        OptionSpec("foreground", "foreground", "Foreground", "black",
+                   synonyms=("fg",)),
+        OptionSpec("relief", "relief", "Relief", "sunken"),
+        OptionSpec("selectbackground", "selectBackground", "Foreground",
+                   "#444444"),
+        OptionSpec("textvariable", "textVariable", "Variable", ""),
+        OptionSpec("width", "width", "Width", "20"),
+    )
+
+    def __init__(self, app, path: str, argv):
+        self.text = ""
+        self.cursor = 0
+        self.select_from = 0
+        self.select_to = 0        # exclusive; == select_from means none
+        self._syncing_variable = False
+        super().__init__(app, path, argv)
+        self.window.add_event_handler(
+            ev.KEY_PRESS_MASK | ev.BUTTON_PRESS_MASK |
+            ev.BUTTON_MOTION_MASK, self._on_event)
+        app.selection.set_handler(self.window, self._selection_value)
+        self._watch_textvariable()
+
+    # -- -textvariable: two-way link through a variable trace ----------
+
+    def _watch_textvariable(self) -> None:
+        name = self.options["textvariable"]
+        if not name:
+            return
+        from ..tcl.commands.tracecmd import _table
+        interp = self.app.interp
+        if interp.var_exists(name):
+            self.text = interp.get_global_var(name)
+            self.cursor = len(self.text)
+        else:
+            interp.set_global_var(name, self.text)
+        self._text_trace = "tkEntryVarChanged-%s" % self.path
+        interp.register(self._text_trace,
+                        lambda ip, argv: self._variable_changed())
+        _table(interp).add(name, "w", self._text_trace)
+
+    def _variable_changed(self) -> None:
+        if self._syncing_variable:
+            return
+        name = self.options["textvariable"]
+        value = self.app.interp.get_global_var(name)
+        if value != self.text:
+            self.text = value
+            self.cursor = min(self.cursor, len(self.text))
+            self.schedule_redraw()
+
+    def _sync_variable(self) -> None:
+        name = self.options["textvariable"]
+        if not name:
+            return
+        self._syncing_variable = True
+        try:
+            self.app.interp.set_global_var(name, self.text)
+        finally:
+            self._syncing_variable = False
+
+    def cleanup(self) -> None:
+        name = self.options.get("textvariable", "")
+        if name and hasattr(self, "_text_trace"):
+            from ..tcl.commands.tracecmd import _table
+            _table(self.app.interp).remove(name, "w", self._text_trace)
+            self.app.interp.commands.pop(self._text_trace, None)
+        super().cleanup()
+
+    # -- geometry ----------------------------------------------------------
+
+    def preferred_size(self) -> Tuple[int, int]:
+        font = self.font()
+        border = self.int_option("borderwidth")
+        return (self.int_option("width") * font.char_width + 2 * border + 2,
+                font.line_height + 2 * border + 2)
+
+    # -- widget commands ----------------------------------------------------
+
+    def _index(self, text: str, for_insert: bool = False) -> int:
+        if text == "end":
+            return len(self.text)
+        if text in ("insert", "cursor"):
+            return self.cursor
+        if text == "sel.first":
+            return self.select_from
+        if text == "sel.last":
+            return self.select_to
+        index = _to_int(text)
+        return max(0, min(index, len(self.text)))
+
+    def cmd_get(self, args: List[str]) -> str:
+        return self.text
+
+    def cmd_insert(self, args: List[str]) -> str:
+        """insert index string"""
+        if len(args) != 2:
+            raise TclError(
+                'wrong # args: should be "%s insert index string"'
+                % self.path)
+        position = self._index(args[0], for_insert=True)
+        self.insert_text(position, args[1])
+        return ""
+
+    def cmd_delete(self, args: List[str]) -> str:
+        """delete firstIndex ?lastIndex?  (last is inclusive, as in Tk)"""
+        if len(args) not in (1, 2):
+            raise TclError(
+                'wrong # args: should be "%s delete first ?last?"'
+                % self.path)
+        first = self._index(args[0])
+        last = self._index(args[1]) if len(args) == 2 else first
+        self.delete_range(first, last + 1)
+        return ""
+
+    def cmd_icursor(self, args: List[str]) -> str:
+        if len(args) != 1:
+            raise TclError('wrong # args: should be "%s icursor index"'
+                           % self.path)
+        self.cursor = self._index(args[0], for_insert=True)
+        self.schedule_redraw()
+        return ""
+
+    def cmd_index(self, args: List[str]) -> str:
+        if len(args) != 1:
+            raise TclError('wrong # args: should be "%s index index"'
+                           % self.path)
+        return str(self._index(args[0]))
+
+    # -- editing primitives (used by both Tcl and key bindings) ----------
+
+    def insert_text(self, position: int, text: str) -> None:
+        position = max(0, min(position, len(self.text)))
+        self.text = self.text[:position] + text + self.text[position:]
+        if self.cursor >= position:
+            self.cursor += len(text)
+        self._sync_variable()
+        self.schedule_redraw()
+
+    def delete_range(self, first: int, last: int) -> None:
+        first = max(0, first)
+        last = min(len(self.text), last)
+        if last <= first:
+            return
+        self.text = self.text[:first] + self.text[last:]
+        if self.cursor > last:
+            self.cursor -= last - first
+        elif self.cursor > first:
+            self.cursor = first
+        self.select_from = self.select_to = 0
+        self._sync_variable()
+        self.schedule_redraw()
+
+    # -- behaviour -------------------------------------------------------
+
+    def _on_event(self, event) -> None:
+        if event.type == ev.KEY_PRESS:
+            self._on_key(event)
+        elif event.type == ev.BUTTON_PRESS and event.button == 1:
+            self.cursor = self._position_for_x(event.x)
+            self.select_from = self.select_to = self.cursor
+            self.schedule_redraw()
+        elif event.type == ev.MOTION_NOTIFY and \
+                event.state & ev.BUTTON1_MASK:
+            self.select_to = self._position_for_x(event.x)
+            if self.select_to != self.select_from:
+                self.app.selection.set_handler(self.window,
+                                               self._selection_value)
+                self.app.selection.claim(self.window,
+                                         on_lose=self._selection_lost)
+            self.schedule_redraw()
+
+    def _on_key(self, event) -> None:
+        keysym = event.keysym
+        if keysym in ("BackSpace", "Delete"):
+            if self.cursor > 0:
+                self.delete_range(self.cursor - 1, self.cursor)
+        elif keysym == "Left":
+            self.cursor = max(0, self.cursor - 1)
+            self.schedule_redraw()
+        elif keysym == "Right":
+            self.cursor = min(len(self.text), self.cursor + 1)
+            self.schedule_redraw()
+        elif keysym in ("Return", "Tab"):
+            pass  # no default behaviour; available for user bindings
+        elif event.keychar and event.keychar.isprintable() and \
+                not event.state & ev.CONTROL_MASK:
+            self.insert_text(self.cursor, event.keychar)
+
+    def _position_for_x(self, x: int) -> int:
+        font = self.font()
+        border = self.int_option("borderwidth")
+        return max(0, min(len(self.text),
+                          (x - border - 1) // font.char_width))
+
+    # -- selection ----------------------------------------------------------
+
+    def _selection_value(self) -> str:
+        low, high = sorted((self.select_from, self.select_to))
+        return self.text[low:high]
+
+    def _selection_lost(self) -> None:
+        self.select_from = self.select_to = 0
+        self.schedule_redraw()
+
+    # -- drawing ----------------------------------------------------------
+
+    def draw(self) -> None:
+        display = self.app.display
+        font = self.font()
+        border = self.int_option("borderwidth")
+        gc = self.app.cache.gc(foreground=self.color("foreground"),
+                               font=font.name)
+        low, high = sorted((self.select_from, self.select_to))
+        if high > low:
+            select_gc = self.app.cache.gc(
+                foreground=self.color("selectbackground"))
+            display.fill_rectangle(
+                self.window.id, select_gc,
+                border + 1 + low * font.char_width, border + 1,
+                (high - low) * font.char_width, font.line_height)
+        display.draw_string(self.window.id, gc, border + 1, border + 1,
+                            self.text)
+        # The insertion cursor.
+        cursor_x = border + 1 + self.cursor * font.char_width
+        display.draw_line(self.window.id, gc, cursor_x, border + 1,
+                          cursor_x, border + 1 + font.line_height)
+        self.draw_border()

@@ -1,0 +1,56 @@
+"""Frame widget: a container used to group and arrange other widgets.
+
+Frames have no behaviour of their own; they exist to be parents for
+geometry management (paper section 3.4).  The old-Tk ``-geometry``
+option ("200x100") pins an explicit size, which is how the parent
+window of the paper's Figure 8 example gets its fixed 120x160 size.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..tcl.errors import TclError
+from ..tk.widget import OptionSpec, Widget
+
+
+class Frame(Widget):
+    widget_class = "Frame"
+    option_specs = (
+        OptionSpec("background", "background", "Background", "#dddddd",
+                   synonyms=("bg",)),
+        OptionSpec("borderwidth", "borderWidth", "BorderWidth", "0",
+                   synonyms=("bd",)),
+        OptionSpec("geometry", "geometry", "Geometry", ""),
+        OptionSpec("relief", "relief", "Relief", "flat"),
+    )
+
+    def preferred_size(self) -> Tuple[int, int]:
+        geometry_spec = self.options["geometry"]
+        if geometry_spec:
+            return self._parse_geometry(geometry_spec)
+        return (self.window.requested_width, self.window.requested_height)
+
+    def configure_changed(self, changed) -> None:
+        if self.options["geometry"]:
+            # An explicit size wins over geometry propagation.
+            width, height = self._parse_geometry(self.options["geometry"])
+            self.window.explicit_size = True
+            self.window.resize(width, height)
+            self.window.requested_width = width
+            self.window.requested_height = height
+        super().configure_changed(changed)
+
+    def _parse_geometry(self, spec: str) -> Tuple[int, int]:
+        width_text, sep, height_text = spec.partition("x")
+        if not sep:
+            raise TclError('bad geometry "%s": expected widthxheight'
+                           % spec)
+        try:
+            return (int(width_text), int(height_text))
+        except ValueError:
+            raise TclError('bad geometry "%s": expected widthxheight'
+                           % spec)
+
+    def draw(self) -> None:
+        self.draw_border()

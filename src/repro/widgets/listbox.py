@@ -1,0 +1,270 @@
+"""Listbox widget.
+
+Displays a list of strings, one per line.  The paper's browser (Figure
+9) creates one with ``listbox .list -scroll ".scroll set" -relief
+raised -geometry 20x20``:
+
+* ``-geometry`` gives the size in characters x lines;
+* ``-scroll`` is a command prefix invoked (with the four-number
+  protocol) whenever the view or contents change, which is how the
+  scrollbar is kept current;
+* the ``view`` widget command adjusts which element appears at the top
+  — this is the command the scrollbar invokes as ``.list view 40``.
+
+The listbox supports the selection (paper section 3.6): clicking an
+entry selects it (button 1), shift-clicking extends the selection, and
+the widget claims PRIMARY with a handler returning the selected lines,
+so ``selection get`` works from any application.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ..tcl.errors import TclError
+from ..tcl.strings import _to_int
+from ..tk.widget import OptionSpec, Widget
+from ..x11 import events as ev
+
+
+class Listbox(Widget):
+    widget_class = "Listbox"
+    option_specs = (
+        OptionSpec("background", "background", "Background", "white",
+                   synonyms=("bg",)),
+        OptionSpec("borderwidth", "borderWidth", "BorderWidth", "2",
+                   synonyms=("bd",)),
+        OptionSpec("font", "font", "Font", "fixed"),
+        OptionSpec("foreground", "foreground", "Foreground", "black",
+                   synonyms=("fg",)),
+        OptionSpec("geometry", "geometry", "Geometry", "15x10"),
+        OptionSpec("relief", "relief", "Relief", "sunken"),
+        OptionSpec("scroll", "scrollCommand", "ScrollCommand", "",
+                   synonyms=("yscroll",)),
+        OptionSpec("selectbackground", "selectBackground", "Foreground",
+                   "#444444"),
+    )
+
+    def __init__(self, app, path: str, argv):
+        self.items: List[str] = []
+        self.top = 0                      # first visible element
+        self.selected: Set[int] = set()
+        self._select_anchor = 0
+        super().__init__(app, path, argv)
+        self.window.add_event_handler(ev.BUTTON_PRESS_MASK,
+                                      self._on_button)
+        app.selection.set_handler(self.window, self._selection_value)
+
+    # -- geometry ----------------------------------------------------------
+
+    def _chars_lines(self) -> Tuple[int, int]:
+        spec = self.options["geometry"]
+        width_text, sep, height_text = spec.partition("x")
+        if not sep:
+            raise TclError('bad geometry "%s"' % spec)
+        try:
+            return (int(width_text), int(height_text))
+        except ValueError:
+            raise TclError('bad geometry "%s"' % spec)
+
+    def visible_lines(self) -> int:
+        return self._chars_lines()[1]
+
+    def preferred_size(self) -> Tuple[int, int]:
+        chars, lines = self._chars_lines()
+        font = self.font()
+        border = self.int_option("borderwidth")
+        return (chars * font.char_width + 2 * border + 2,
+                lines * font.line_height + 2 * border + 2)
+
+    # -- widget commands ----------------------------------------------------
+
+    def cmd_insert(self, args: List[str]) -> str:
+        """insert index element ?element ...?"""
+        if len(args) < 1:
+            raise TclError(
+                'wrong # args: should be "%s insert index ?element ...?"'
+                % self.path)
+        position = self._index(args[0], for_insert=True)
+        for offset, element in enumerate(args[1:]):
+            self.items.insert(position + offset, element)
+        self._contents_changed()
+        return ""
+
+    def cmd_delete(self, args: List[str]) -> str:
+        """delete firstIndex ?lastIndex?"""
+        if len(args) not in (1, 2):
+            raise TclError(
+                'wrong # args: should be "%s delete first ?last?"'
+                % self.path)
+        if not self.items:
+            return ""
+        first = max(0, self._index(args[0], clamp=True))
+        last = self._index(args[1], clamp=True) if len(args) == 2 \
+            else first
+        last = min(last, len(self.items) - 1)
+        if last < first:
+            return ""
+        del self.items[first:last + 1]
+        self.selected = {index for index in self.selected if index < first} \
+            | {index - (last - first + 1) for index in self.selected
+               if index > last}
+        self._contents_changed()
+        return ""
+
+    def cmd_get(self, args: List[str]) -> str:
+        if len(args) != 1:
+            raise TclError('wrong # args: should be "%s get index"'
+                           % self.path)
+        return self.items[self._index(args[0])]
+
+    def cmd_size(self, args: List[str]) -> str:
+        return str(len(self.items))
+
+    def cmd_view(self, args: List[str]) -> str:
+        """view index — make the element at index appear at the top.
+
+        This is the command the scrollbar issues (".list view 40").
+        """
+        if len(args) != 1:
+            raise TclError('wrong # args: should be "%s view index"'
+                           % self.path)
+        self.scroll_to(_to_int(args[0]))
+        return ""
+
+    cmd_yview = cmd_view
+
+    def cmd_curselection(self, args: List[str]) -> str:
+        return " ".join(str(index) for index in sorted(self.selected))
+
+    def cmd_select(self, args: List[str]) -> str:
+        """select from index | select extend index | select clear"""
+        if not args:
+            raise TclError(
+                'wrong # args: should be "%s select option ?index?"'
+                % self.path)
+        if args[0] == "clear":
+            self.selected.clear()
+        elif args[0] in ("from", "set"):
+            index = self._index(args[1])
+            self.selected = {index}
+            self._select_anchor = index
+            self._claim_selection()
+        elif args[0] in ("extend", "to"):
+            index = self._index(args[1])
+            low, high = sorted((self._select_anchor, index))
+            self.selected = set(range(low, high + 1))
+            self._claim_selection()
+        else:
+            raise TclError(
+                'bad select option "%s": must be clear, extend, from, '
+                'set, or to' % args[0])
+        self.schedule_redraw()
+        return ""
+
+    def cmd_nearest(self, args: List[str]) -> str:
+        if len(args) != 1:
+            raise TclError('wrong # args: should be "%s nearest y"'
+                           % self.path)
+        return str(self._line_at(_to_int(args[0])))
+
+    def _index(self, text: str, for_insert: bool = False,
+               clamp: bool = False) -> int:
+        """Resolve an element index ("end" or a number)."""
+        if text == "end":
+            return len(self.items) if for_insert \
+                else max(0, len(self.items) - 1)
+        index = _to_int(text)
+        if for_insert:
+            return max(0, min(index, len(self.items)))
+        if clamp:
+            return max(0, min(index, len(self.items) - 1))
+        if not 0 <= index < len(self.items):
+            raise TclError(
+                'index "%s" out of range' % text)
+        return index
+
+    # -- view management -------------------------------------------------
+
+    def scroll_to(self, index: int) -> None:
+        limit = max(0, len(self.items) - 1)
+        self.top = max(0, min(index, limit))
+        self._notify_scroller()
+        self.schedule_redraw()
+
+    def _contents_changed(self) -> None:
+        if self.top >= len(self.items):
+            self.top = max(0, len(self.items) - 1)
+        self._notify_scroller()
+        self.schedule_redraw()
+
+    def _notify_scroller(self) -> None:
+        """Keep the attached scrollbar current (old-Tk protocol)."""
+        command = self.options["scroll"]
+        if not command:
+            return
+        lines = self.visible_lines()
+        last = min(len(self.items) - 1, self.top + lines - 1)
+        self.app.interp.eval_global(
+            "%s %d %d %d %d" % (command, len(self.items), lines,
+                                self.top, last))
+
+    # -- selection ----------------------------------------------------------
+
+    def _on_button(self, event) -> None:
+        if event.type != ev.BUTTON_PRESS or event.button != 1:
+            return
+        index = self._line_at(event.y)
+        if index >= len(self.items):
+            return
+        if event.state & ev.SHIFT_MASK:
+            low, high = sorted((self._select_anchor, index))
+            self.selected = set(range(low, high + 1))
+        else:
+            self.selected = {index}
+            self._select_anchor = index
+        self._claim_selection()
+        self.schedule_redraw()
+
+    def _line_at(self, y: int) -> int:
+        font = self.font()
+        border = self.int_option("borderwidth")
+        return self.top + max(0, (y - border - 1)) // font.line_height
+
+    def _claim_selection(self) -> None:
+        self.app.selection.claim(self.window,
+                                 on_lose=self._selection_lost)
+
+    def _selection_lost(self) -> None:
+        self.selected.clear()
+        self.schedule_redraw()
+
+    def _selection_value(self) -> str:
+        return "\n".join(self.items[index]
+                         for index in sorted(self.selected)
+                         if index < len(self.items))
+
+    # -- drawing ----------------------------------------------------------
+
+    def draw(self) -> None:
+        display = self.app.display
+        font = self.font()
+        border = self.int_option("borderwidth")
+        foreground = self.color("foreground")
+        gc = self.app.cache.gc(foreground=foreground, font=font.name)
+        select_gc = self.app.cache.gc(
+            foreground=self.color("selectbackground"))
+        lines = self.visible_lines()
+        for row in range(lines):
+            index = self.top + row
+            if index >= len(self.items):
+                break
+            y = border + 1 + row * font.line_height
+            if index in self.selected:
+                display.fill_rectangle(self.window.id, select_gc,
+                                       border + 1, y,
+                                       self.window.width - 2 * border - 2,
+                                       font.line_height)
+            display.draw_string(self.window.id, gc, border + 1, y,
+                                self.items[index])
+        self.draw_border()

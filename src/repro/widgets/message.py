@@ -1,0 +1,115 @@
+"""Message widget: displays multi-line text with word wrap.
+
+The message widget wraps its ``-text`` at word boundaries.  If
+``-width`` is given the lines are wrapped to that pixel width;
+otherwise the widget picks a width so that the displayed text's
+width:height ratio approximates ``-aspect`` (100 * width / height),
+exactly as in Tk.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..tk.widget import OptionSpec, Widget
+
+
+class Message(Widget):
+    widget_class = "Message"
+    option_specs = (
+        OptionSpec("anchor", "anchor", "Anchor", "center"),
+        OptionSpec("aspect", "aspect", "Aspect", "150"),
+        OptionSpec("background", "background", "Background", "#dddddd",
+                   synonyms=("bg",)),
+        OptionSpec("borderwidth", "borderWidth", "BorderWidth", "2",
+                   synonyms=("bd",)),
+        OptionSpec("font", "font", "Font", "fixed"),
+        OptionSpec("foreground", "foreground", "Foreground", "black",
+                   synonyms=("fg",)),
+        OptionSpec("justify", "justify", "Justify", "left"),
+        OptionSpec("padx", "padX", "Pad", "2"),
+        OptionSpec("pady", "padY", "Pad", "2"),
+        OptionSpec("relief", "relief", "Relief", "flat"),
+        OptionSpec("text", "text", "Text", ""),
+        OptionSpec("width", "width", "Width", "0"),
+    )
+
+    # -- wrapping -------------------------------------------------------
+
+    def wrapped_lines(self) -> List[str]:
+        font = self.font()
+        width_px = self.int_option("width")
+        if width_px > 0:
+            return self._wrap_to(width_px, font)
+        aspect = max(10, self.int_option("aspect"))
+        # Choose the narrowest width whose wrapped shape is at least as
+        # wide relative to its height as the aspect asks for.
+        text_px = font.text_width(self.options["text"])
+        if text_px == 0:
+            return [""]
+        lower = font.char_width * 8
+        width = max(lower, int((text_px * font.line_height *
+                                aspect / 100.0) ** 0.5))
+        previous: List[str] = []
+        while True:
+            lines = self._wrap_to(width, font)
+            height = len(lines) * font.line_height
+            actual_width = max(font.text_width(line) for line in lines)
+            if height == 0 or 100 * actual_width / max(1, height) >= aspect \
+                    or len(lines) == 1 or lines == previous:
+                # lines == previous: explicit newlines put a ceiling on
+                # how wide the text can get; widening further is futile.
+                return lines
+            previous = lines
+            width += font.char_width * 4
+
+    def _wrap_to(self, width_px: int, font) -> List[str]:
+        max_chars = max(1, width_px // font.char_width)
+        lines: List[str] = []
+        for paragraph in self.options["text"].split("\n"):
+            current = ""
+            for word in paragraph.split(" "):
+                candidate = word if not current else current + " " + word
+                if len(candidate) <= max_chars or not current:
+                    current = candidate
+                else:
+                    lines.append(current)
+                    current = word
+            lines.append(current)
+        return lines or [""]
+
+    # -- geometry ----------------------------------------------------------
+
+    def preferred_size(self) -> Tuple[int, int]:
+        font = self.font()
+        lines = self.wrapped_lines()
+        border = self.int_option("borderwidth")
+        width = max(font.text_width(line) for line in lines) + \
+            2 * self.int_option("padx") + 2 * border
+        height = len(lines) * font.line_height + \
+            2 * self.int_option("pady") + 2 * border
+        return (max(1, width), max(1, height))
+
+    # -- drawing ----------------------------------------------------------
+
+    def draw(self) -> None:
+        display = self.app.display
+        font = self.font()
+        gc = self.app.cache.gc(foreground=self.color("foreground"),
+                               font=font.name)
+        pad_x = self.int_option("padx") + self.int_option("borderwidth")
+        pad_y = self.int_option("pady") + self.int_option("borderwidth")
+        justify = self.options["justify"]
+        inner_width = self.window.width - 2 * pad_x
+        for line_number, line in enumerate(self.wrapped_lines()):
+            line_px = font.text_width(line)
+            if justify == "center":
+                x = pad_x + max(0, (inner_width - line_px) // 2)
+            elif justify == "right":
+                x = pad_x + max(0, inner_width - line_px)
+            else:
+                x = pad_x
+            display.draw_string(self.window.id, gc, x,
+                                pad_y + line_number * font.line_height,
+                                line)
+        self.draw_border()

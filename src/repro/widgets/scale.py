@@ -1,0 +1,133 @@
+"""Scale (slider) widget.
+
+A scale displays a value in a range and invokes its ``-command`` with
+the new value appended whenever the user moves the slider — the same
+command-composition idiom as the scrollbar (paper section 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..tcl.errors import TclError
+from ..tcl.strings import _to_int
+from ..tk.widget import OptionSpec, Widget
+from ..x11 import events as ev
+
+
+class Scale(Widget):
+    widget_class = "Scale"
+    option_specs = (
+        OptionSpec("background", "background", "Background", "#dddddd",
+                   synonyms=("bg",)),
+        OptionSpec("borderwidth", "borderWidth", "BorderWidth", "2",
+                   synonyms=("bd",)),
+        OptionSpec("command", "command", "Command", ""),
+        OptionSpec("font", "font", "Font", "fixed"),
+        OptionSpec("foreground", "foreground", "Foreground", "black",
+                   synonyms=("fg",)),
+        OptionSpec("from", "from", "From", "0"),
+        OptionSpec("label", "label", "Label", ""),
+        OptionSpec("length", "length", "Length", "100"),
+        OptionSpec("orient", "orient", "Orient", "horizontal"),
+        OptionSpec("showvalue", "showValue", "ShowValue", "1"),
+        OptionSpec("sliderlength", "sliderLength", "SliderLength", "25"),
+        OptionSpec("to", "to", "To", "100"),
+        OptionSpec("width", "width", "Width", "15"),
+    )
+
+    def __init__(self, app, path: str, argv):
+        self.value = 0
+        super().__init__(app, path, argv)
+        self.value = self._from()
+        self.window.add_event_handler(
+            ev.BUTTON_PRESS_MASK | ev.BUTTON_MOTION_MASK, self._on_event)
+
+    def _from(self) -> int:
+        return _to_int(self.options["from"])
+
+    def _to(self) -> int:
+        return _to_int(self.options["to"])
+
+    # -- geometry ----------------------------------------------------------
+
+    def preferred_size(self) -> Tuple[int, int]:
+        length = self.int_option("length")
+        width = self.int_option("width")
+        font = self.font()
+        extra = font.line_height if self.options["showvalue"] == "1" else 0
+        if self.options["label"]:
+            extra += font.line_height
+        if self.options["orient"] == "horizontal":
+            return (length, width + extra + 4)
+        return (width + extra + 4, length)
+
+    # -- widget commands ----------------------------------------------------
+
+    def cmd_set(self, args: List[str]) -> str:
+        if len(args) != 1:
+            raise TclError('wrong # args: should be "%s set value"'
+                           % self.path)
+        self._set_value(_to_int(args[0]), invoke=False)
+        return ""
+
+    def cmd_get(self, args: List[str]) -> str:
+        return str(self.value)
+
+    # -- behaviour -------------------------------------------------------
+
+    def _on_event(self, event) -> None:
+        if event.type == ev.MOTION_NOTIFY and \
+                not event.state & ev.BUTTON1_MASK:
+            return
+        position = event.x if self.options["orient"] == "horizontal" \
+            else event.y
+        length = max(1, self.int_option("length"))
+        low, high = self._from(), self._to()
+        fraction = min(1.0, max(0.0, position / length))
+        self._set_value(int(round(low + fraction * (high - low))),
+                        invoke=True)
+
+    def _set_value(self, value: int, invoke: bool) -> None:
+        low, high = sorted((self._from(), self._to()))
+        value = max(low, min(high, value))
+        changed = value != self.value
+        self.value = value
+        self.schedule_redraw()
+        if invoke and changed and self.options["command"]:
+            self.app.interp.eval_global(
+                "%s %d" % (self.options["command"], value))
+
+    # -- drawing ----------------------------------------------------------
+
+    def draw(self) -> None:
+        display = self.app.display
+        font = self.font()
+        gc = self.app.cache.gc(foreground=self.color("foreground"),
+                               font=font.name)
+        y = 0
+        if self.options["label"]:
+            display.draw_string(self.window.id, gc, 2, y,
+                                self.options["label"])
+            y += font.line_height
+        if self.options["showvalue"] == "1":
+            display.draw_string(self.window.id, gc, 2, y, str(self.value))
+            y += font.line_height
+        length = self.int_option("length")
+        width = self.int_option("width")
+        low, high = self._from(), self._to()
+        span = max(1, high - low)
+        slider = self.int_option("sliderlength")
+        position = int((self.value - low) / span *
+                       max(1, length - slider))
+        if self.options["orient"] == "horizontal":
+            display.draw_rectangle(self.window.id, gc, 0, y,
+                                   length - 1, width)
+            display.fill_rectangle(self.window.id, gc, position, y,
+                                   slider, width)
+        else:
+            display.draw_rectangle(self.window.id, gc, y, 0,
+                                   width, length - 1)
+            display.fill_rectangle(self.window.id, gc, y, position,
+                                   width, slider)
+        self.draw_border()

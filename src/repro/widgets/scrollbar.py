@@ -1,0 +1,156 @@
+"""Scrollbar widget.
+
+The scrollbar demonstrates widget composition through Tcl commands
+(paper section 4): it is created with the first part of a command, e.g.
+``scrollbar .scroll -command ".list view"``, and when the user clicks,
+the scrollbar appends a unit number, producing ``.list view 40`` — the
+listbox's widget command — which it then asks the interpreter to
+execute.  The two widgets know nothing about each other.
+
+The connected widget keeps the scrollbar current by calling its ``set``
+widget command with four numbers (the old-Tk protocol)::
+
+    .scroll set totalUnits windowUnits firstUnit lastUnit
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..tcl.errors import TclError
+from ..tcl.strings import _to_int
+from ..tk.widget import OptionSpec, Widget
+from ..x11 import events as ev
+
+
+class Scrollbar(Widget):
+    widget_class = "Scrollbar"
+    option_specs = (
+        OptionSpec("background", "background", "Background", "#dddddd",
+                   synonyms=("bg",)),
+        OptionSpec("borderwidth", "borderWidth", "BorderWidth", "2",
+                   synonyms=("bd",)),
+        OptionSpec("command", "command", "Command", ""),
+        OptionSpec("foreground", "foreground", "Foreground", "black",
+                   synonyms=("fg",)),
+        OptionSpec("orient", "orient", "Orient", "vertical"),
+        OptionSpec("relief", "relief", "Relief", "raised"),
+        OptionSpec("width", "width", "Width", "15"),
+    )
+
+    def __init__(self, app, path: str, argv):
+        self.total_units = 0
+        self.window_units = 0
+        self.first_unit = 0
+        self.last_unit = 0
+        super().__init__(app, path, argv)
+        if self.options["orient"] not in ("vertical", "horizontal"):
+            raise TclError(
+                'bad orientation "%s": must be vertical or horizontal'
+                % self.options["orient"])
+        self.window.add_event_handler(
+            ev.BUTTON_PRESS_MASK | ev.BUTTON_MOTION_MASK, self._on_press)
+
+    # -- geometry ----------------------------------------------------------
+
+    def preferred_size(self) -> Tuple[int, int]:
+        width = self.int_option("width")
+        if self.options["orient"] == "vertical":
+            return (width, 100)
+        return (100, width)
+
+    # -- the set/get protocol ------------------------------------------------
+
+    def cmd_set(self, args: List[str]) -> str:
+        if len(args) != 4:
+            raise TclError(
+                'wrong # args: should be "%s set totalUnits windowUnits '
+                'firstUnit lastUnit"' % self.path)
+        self.total_units, self.window_units, self.first_unit, \
+            self.last_unit = (_to_int(arg) for arg in args)
+        self.schedule_redraw()
+        return ""
+
+    def cmd_get(self, args: List[str]) -> str:
+        return "%d %d %d %d" % (self.total_units, self.window_units,
+                                self.first_unit, self.last_unit)
+
+    # -- behaviour -------------------------------------------------------
+
+    def _length(self) -> int:
+        if self.options["orient"] == "vertical":
+            return self.window.height
+        return self.window.width
+
+    def _arrow_size(self) -> int:
+        return min(self.int_option("width"), max(1, self._length() // 4))
+
+    def _on_press(self, event) -> None:
+        if event.type not in (ev.BUTTON_PRESS, ev.MOTION_NOTIFY):
+            return
+        if event.type == ev.MOTION_NOTIFY and \
+                not event.state & ev.BUTTON1_MASK:
+            return
+        position = event.y if self.options["orient"] == "vertical" \
+            else event.x
+        self._scroll_for_position(position)
+
+    def _scroll_for_position(self, position: int) -> None:
+        arrow = self._arrow_size()
+        length = self._length()
+        if position < arrow:
+            # Top/left arrow: scroll up one unit.
+            self.issue(self.first_unit - 1)
+        elif position >= length - arrow:
+            # Bottom/right arrow: scroll down one unit.
+            self.issue(self.first_unit + 1)
+        else:
+            # Trough/slider: jump so the clicked fraction becomes the
+            # top unit.
+            inner = max(1, length - 2 * arrow)
+            fraction = (position - arrow) / inner
+            self.issue(int(fraction * max(0, self.total_units)))
+
+    def issue(self, unit: int) -> None:
+        """Append the unit number to -command and execute it."""
+        command = self.options["command"]
+        if not command:
+            return
+        self.app.interp.eval_global("%s %d" % (command, unit))
+
+    # -- drawing ----------------------------------------------------------
+
+    def draw(self) -> None:
+        display = self.app.display
+        gc = self.app.cache.gc(foreground=self.color("foreground"))
+        arrow = self._arrow_size()
+        length = self._length()
+        vertical = self.options["orient"] == "vertical"
+        thickness = self.window.width if vertical else self.window.height
+        # Arrows.
+        if vertical:
+            display.fill_rectangle(self.window.id, gc, 0, 0,
+                                   thickness, arrow)
+            display.fill_rectangle(self.window.id, gc, 0, length - arrow,
+                                   thickness, arrow)
+        else:
+            display.fill_rectangle(self.window.id, gc, 0, 0,
+                                   arrow, thickness)
+            display.fill_rectangle(self.window.id, gc, length - arrow, 0,
+                                   arrow, thickness)
+        # Slider.
+        inner = max(1, length - 2 * arrow)
+        if self.total_units > 0:
+            start = arrow + inner * max(0, self.first_unit) // \
+                self.total_units
+            size = max(4, inner * max(1, self.window_units) //
+                       self.total_units)
+        else:
+            start, size = arrow, inner
+        if vertical:
+            display.draw_rectangle(self.window.id, gc, 1, start,
+                                   thickness - 2, size)
+        else:
+            display.draw_rectangle(self.window.id, gc, start, 1,
+                                   size, thickness - 2)
+        self.draw_border()

@@ -1,0 +1,481 @@
+"""Text widget: a multi-line text editor.
+
+The paper's scenarios keep invoking an editor — ``mx`` in the browser,
+the editor the debugger highlights lines in (section 6) — so the
+reproduction includes the widget such an editor is built from.  The
+design follows Tk's text widget:
+
+* positions are *indices* of the form ``line.char`` (lines count from
+  1, characters from 0), plus the symbolic forms ``end``, ``insert``
+  (the insertion cursor), and ``LINE.end``;
+* named *marks* float with the text (``mark set insert 3.0``);
+* named *tags* label ranges and carry display options — this is what a
+  debugger uses to highlight the current line remotely::
+
+      send editor {.t tag add current 4.0 4.end}
+
+* keyboard behaviour (printable keys, Return, BackSpace) works through
+  the focus mechanism of section 3.7; everything else is Tcl-visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..tcl.errors import TclError
+from ..tcl.lists import format_list
+from ..tcl.strings import _to_int
+from ..tk.widget import OptionSpec, Widget
+from ..x11 import events as ev
+from ..x11.resources import parse_color
+
+
+class Text(Widget):
+    widget_class = "Text"
+    option_specs = (
+        OptionSpec("background", "background", "Background", "white",
+                   synonyms=("bg",)),
+        OptionSpec("borderwidth", "borderWidth", "BorderWidth", "2",
+                   synonyms=("bd",)),
+        OptionSpec("font", "font", "Font", "fixed"),
+        OptionSpec("foreground", "foreground", "Foreground", "black",
+                   synonyms=("fg",)),
+        OptionSpec("height", "height", "Height", "10"),
+        OptionSpec("relief", "relief", "Relief", "sunken"),
+        OptionSpec("scroll", "scrollCommand", "ScrollCommand", "",
+                   synonyms=("yscroll",)),
+        OptionSpec("selectbackground", "selectBackground", "Foreground",
+                   "#444444"),
+        OptionSpec("width", "width", "Width", "40"),
+    )
+
+    def __init__(self, app, path: str, argv):
+        self.lines: List[str] = [""]
+        self.top_line = 1
+        #: mark name -> (line, char); "insert" always exists.
+        self.marks: Dict[str, Tuple[int, int]] = {"insert": (1, 0)}
+        #: tag name -> {"ranges": [((l1,c1),(l2,c2)), ...], options...}
+        self.tag_table: Dict[str, dict] = {}
+        super().__init__(app, path, argv)
+        self.window.add_event_handler(
+            ev.KEY_PRESS_MASK | ev.BUTTON_PRESS_MASK |
+            ev.BUTTON_MOTION_MASK, self._on_event)
+        app.selection.set_handler(self.window, self._selection_value)
+        self._select_anchor = (1, 0)
+
+    # ------------------------------------------------------------------
+    # indices
+    # ------------------------------------------------------------------
+
+    def _parse_index(self, text: str) -> Tuple[int, int]:
+        """Resolve an index to a (line, char) position, clamped."""
+        if text == "end":
+            return (len(self.lines), len(self.lines[-1]))
+        if text in self.marks:
+            return self._clamp(self.marks[text])
+        base, _, modifier = text.partition(" ")
+        line_text, sep, char_text = base.partition(".")
+        if not sep:
+            raise TclError('bad text index "%s"' % text)
+        line = _to_int(line_text)
+        if char_text == "end":
+            line = max(1, min(line, len(self.lines)))
+            return (line, len(self.lines[line - 1]))
+        return self._clamp((line, _to_int(char_text)))
+
+    def _clamp(self, position: Tuple[int, int]) -> Tuple[int, int]:
+        line, char = position
+        line = max(1, min(line, len(self.lines)))
+        char = max(0, min(char, len(self.lines[line - 1])))
+        return (line, char)
+
+    @staticmethod
+    def _format_index(position: Tuple[int, int]) -> str:
+        return "%d.%d" % position
+
+    # ------------------------------------------------------------------
+    # editing primitives
+    # ------------------------------------------------------------------
+
+    def insert_at(self, position: Tuple[int, int], text: str) -> None:
+        line, char = self._clamp(position)
+        current = self.lines[line - 1]
+        before, after = current[:char], current[char:]
+        pieces = text.split("\n")
+        if len(pieces) == 1:
+            self.lines[line - 1] = before + text + after
+            end = (line, char + len(text))
+        else:
+            new_lines = [before + pieces[0]] + pieces[1:-1] + \
+                [pieces[-1] + after]
+            self.lines[line - 1:line] = new_lines
+            end = (line + len(pieces) - 1, len(pieces[-1]))
+        self._adjust_positions(
+            lambda pos: _shift_for_insert(pos, (line, char), end))
+        self._changed()
+
+    def delete_between(self, start: Tuple[int, int],
+                       stop: Tuple[int, int]) -> None:
+        start = self._clamp(start)
+        stop = self._clamp(stop)
+        if stop <= start:
+            return
+        (l1, c1), (l2, c2) = start, stop
+        head = self.lines[l1 - 1][:c1]
+        tail = self.lines[l2 - 1][c2:]
+        self.lines[l1 - 1:l2] = [head + tail]
+        self._adjust_positions(
+            lambda pos: _shift_for_delete(pos, start, stop))
+        self._changed()
+
+    def get_between(self, start: Tuple[int, int],
+                    stop: Tuple[int, int]) -> str:
+        start = self._clamp(start)
+        stop = self._clamp(stop)
+        if stop <= start:
+            return ""
+        (l1, c1), (l2, c2) = start, stop
+        if l1 == l2:
+            return self.lines[l1 - 1][c1:c2]
+        pieces = [self.lines[l1 - 1][c1:]]
+        pieces.extend(self.lines[line] for line in range(l1, l2 - 1))
+        pieces.append(self.lines[l2 - 1][:c2])
+        return "\n".join(pieces)
+
+    def _adjust_positions(self, shift) -> None:
+        for name, position in list(self.marks.items()):
+            self.marks[name] = self._clamp(shift(position))
+        for tag in self.tag_table.values():
+            tag["ranges"] = [
+                (self._clamp(shift(start)), self._clamp(shift(stop)))
+                for start, stop in tag["ranges"]]
+            tag["ranges"] = [(start, stop)
+                             for start, stop in tag["ranges"]
+                             if stop > start]
+
+    def _changed(self) -> None:
+        if self.top_line > len(self.lines):
+            self.top_line = len(self.lines)
+        self._notify_scroller()
+        self.schedule_redraw()
+
+    # ------------------------------------------------------------------
+    # widget commands
+    # ------------------------------------------------------------------
+
+    def cmd_insert(self, args: List[str]) -> str:
+        if len(args) != 2:
+            raise TclError(
+                'wrong # args: should be "%s insert index chars"'
+                % self.path)
+        self.insert_at(self._parse_index(args[0]), args[1])
+        return ""
+
+    def cmd_delete(self, args: List[str]) -> str:
+        if len(args) not in (1, 2):
+            raise TclError(
+                'wrong # args: should be "%s delete index1 ?index2?"'
+                % self.path)
+        start = self._parse_index(args[0])
+        if len(args) == 2:
+            stop = self._parse_index(args[1])
+        else:
+            stop = (start[0], start[1] + 1)
+        self.delete_between(start, stop)
+        return ""
+
+    def cmd_get(self, args: List[str]) -> str:
+        if len(args) not in (1, 2):
+            raise TclError(
+                'wrong # args: should be "%s get index1 ?index2?"'
+                % self.path)
+        start = self._parse_index(args[0])
+        stop = self._parse_index(args[1]) if len(args) == 2 else \
+            (start[0], start[1] + 1)
+        return self.get_between(start, stop)
+
+    def cmd_index(self, args: List[str]) -> str:
+        if len(args) != 1:
+            raise TclError('wrong # args: should be "%s index index"'
+                           % self.path)
+        return self._format_index(self._parse_index(args[0]))
+
+    def cmd_mark(self, args: List[str]) -> str:
+        """mark set name index | mark unset name | mark names"""
+        if not args:
+            raise TclError(
+                'wrong # args: should be "%s mark option ?arg ...?"'
+                % self.path)
+        if args[0] == "set":
+            if len(args) != 3:
+                raise TclError('wrong # args: should be "%s mark set '
+                               'markName index"' % self.path)
+            self.marks[args[1]] = self._parse_index(args[2])
+            self.schedule_redraw()
+            return ""
+        if args[0] == "unset":
+            for name in args[1:]:
+                if name != "insert":
+                    self.marks.pop(name, None)
+            return ""
+        if args[0] == "names":
+            return format_list(sorted(self.marks))
+        raise TclError('bad mark option "%s": must be names, set, or '
+                       'unset' % args[0])
+
+    def cmd_tag(self, args: List[str]) -> str:
+        """tag add name index1 index2 | tag remove name ?i1 i2? |
+        tag names | tag ranges name | tag configure name options"""
+        if not args:
+            raise TclError(
+                'wrong # args: should be "%s tag option ?arg ...?"'
+                % self.path)
+        option = args[0]
+        if option == "add":
+            if len(args) != 4:
+                raise TclError('wrong # args: should be "%s tag add '
+                               'tagName index1 index2"' % self.path)
+            tag = self.tag_table.setdefault(args[1], {"ranges": []})
+            start = self._parse_index(args[2])
+            stop = self._parse_index(args[3])
+            if stop > start:
+                tag["ranges"].append((start, stop))
+            self.schedule_redraw()
+            return ""
+        if option == "remove":
+            tag = self.tag_table.get(args[1])
+            if tag is not None:
+                if len(args) == 2:
+                    tag["ranges"] = []
+                else:
+                    start = self._parse_index(args[2])
+                    stop = self._parse_index(args[3])
+                    tag["ranges"] = [
+                        (s, e) for s, e in tag["ranges"]
+                        if e <= start or s >= stop]
+            self.schedule_redraw()
+            return ""
+        if option == "names":
+            return format_list(sorted(self.tag_table))
+        if option == "ranges":
+            tag = self.tag_table.get(args[1], {"ranges": []})
+            out: List[str] = []
+            for start, stop in tag["ranges"]:
+                out.append(self._format_index(start))
+                out.append(self._format_index(stop))
+            return " ".join(out)
+        if option == "configure":
+            tag = self.tag_table.setdefault(args[1], {"ranges": []})
+            rest = args[2:]
+            if len(rest) % 2 != 0:
+                raise TclError('value for "%s" missing' % rest[-1])
+            for position in range(0, len(rest), 2):
+                name = rest[position]
+                if name not in ("-background", "-foreground",
+                                "-underline"):
+                    raise TclError('unknown tag option "%s"' % name)
+                tag[name[1:]] = rest[position + 1]
+            self.schedule_redraw()
+            return ""
+        raise TclError(
+            'bad tag option "%s": must be add, configure, names, '
+            'ranges, or remove' % option)
+
+    def cmd_view(self, args: List[str]) -> str:
+        """view lineNumber — put that line at the top (scrolling)."""
+        if len(args) != 1:
+            raise TclError('wrong # args: should be "%s view line"'
+                           % self.path)
+        self.top_line = max(1, min(_to_int(args[0]), len(self.lines)))
+        self._notify_scroller()
+        self.schedule_redraw()
+        return ""
+
+    cmd_yview = cmd_view
+
+    def cmd_lines(self, args: List[str]) -> str:
+        return str(len(self.lines))
+
+    # ------------------------------------------------------------------
+    # behaviour
+    # ------------------------------------------------------------------
+
+    def _on_event(self, event) -> None:
+        if event.type == ev.KEY_PRESS:
+            self._on_key(event)
+        elif event.type == ev.BUTTON_PRESS and event.button == 1:
+            position = self._position_for(event.x, event.y)
+            self.marks["insert"] = position
+            self._select_anchor = position
+            self.schedule_redraw()
+        elif event.type == ev.MOTION_NOTIFY and \
+                event.state & ev.BUTTON1_MASK:
+            position = self._position_for(event.x, event.y)
+            self.cmd_tag(["remove", "sel"])
+            start, stop = sorted((self._select_anchor, position))
+            tag = self.tag_table.setdefault("sel", {"ranges": []})
+            tag.setdefault("background", "#444444")
+            if stop > start:
+                tag["ranges"] = [(start, stop)]
+                self.app.selection.claim(self.window,
+                                         on_lose=self._selection_lost)
+            self.schedule_redraw()
+
+    def _on_key(self, event) -> None:
+        insert = self.marks["insert"]
+        keysym = event.keysym
+        if keysym == "Return":
+            self.insert_at(insert, "\n")
+        elif keysym in ("BackSpace", "Delete"):
+            line, char = insert
+            if char > 0:
+                self.delete_between((line, char - 1), (line, char))
+            elif line > 1:
+                previous_len = len(self.lines[line - 2])
+                self.delete_between((line - 1, previous_len),
+                                    (line, 0))
+        elif keysym == "Left":
+            line, char = insert
+            self.marks["insert"] = self._clamp(
+                (line, char - 1) if char > 0 else (line - 1, 10 ** 9))
+            self.schedule_redraw()
+        elif keysym == "Right":
+            line, char = insert
+            if char < len(self.lines[line - 1]):
+                self.marks["insert"] = (line, char + 1)
+            else:
+                self.marks["insert"] = self._clamp((line + 1, 0))
+            self.schedule_redraw()
+        elif keysym == "Up":
+            self.marks["insert"] = self._clamp((insert[0] - 1,
+                                                insert[1]))
+            self.schedule_redraw()
+        elif keysym == "Down":
+            self.marks["insert"] = self._clamp((insert[0] + 1,
+                                                insert[1]))
+            self.schedule_redraw()
+        elif event.keychar and event.keychar.isprintable() and \
+                not event.state & ev.CONTROL_MASK:
+            self.insert_at(insert, event.keychar)
+
+    def _position_for(self, x: int, y: int) -> Tuple[int, int]:
+        font = self.font()
+        border = self.int_option("borderwidth")
+        line = self.top_line + max(0, y - border - 1) // font.line_height
+        char = max(0, x - border - 1) // font.char_width
+        return self._clamp((line, char))
+
+    # ------------------------------------------------------------------
+    # selection and scrolling plumbing
+    # ------------------------------------------------------------------
+
+    def _selection_value(self) -> str:
+        tag = self.tag_table.get("sel", {"ranges": []})
+        pieces = [self.get_between(start, stop)
+                  for start, stop in tag["ranges"]]
+        return "\n".join(piece for piece in pieces if piece)
+
+    def _selection_lost(self) -> None:
+        self.cmd_tag(["remove", "sel"])
+
+    def _notify_scroller(self) -> None:
+        command = self.options["scroll"]
+        if not command:
+            return
+        visible = self.int_option("height")
+        last = min(len(self.lines), self.top_line + visible - 1)
+        self.app.interp.eval_global(
+            "%s %d %d %d %d" % (command, len(self.lines), visible,
+                                self.top_line, last))
+
+    # ------------------------------------------------------------------
+    # geometry and drawing
+    # ------------------------------------------------------------------
+
+    def preferred_size(self) -> Tuple[int, int]:
+        font = self.font()
+        border = self.int_option("borderwidth")
+        return (self.int_option("width") * font.char_width +
+                2 * border + 2,
+                self.int_option("height") * font.line_height +
+                2 * border + 2)
+
+    def draw(self) -> None:
+        display = self.app.display
+        font = self.font()
+        border = self.int_option("borderwidth")
+        gc = self.app.cache.gc(foreground=self.color("foreground"),
+                               font=font.name)
+        visible = self.int_option("height")
+        # Tag backgrounds first, then the text over them.
+        for name, tag in self.tag_table.items():
+            color_name = tag.get("background")
+            if not color_name or parse_color(color_name) is None:
+                continue
+            rgb = parse_color(color_name)
+            tag_gc = self.app.cache.gc(
+                foreground=(rgb[0] << 16) | (rgb[1] << 8) | rgb[2])
+            for start, stop in tag["ranges"]:
+                self._fill_range(display, tag_gc, font, border, start,
+                                 stop, visible)
+        for row in range(visible):
+            line_number = self.top_line + row
+            if line_number > len(self.lines):
+                break
+            y = border + 1 + row * font.line_height
+            display.draw_string(self.window.id, gc, border + 1, y,
+                                self.lines[line_number - 1])
+        # The insertion cursor.
+        line, char = self.marks["insert"]
+        if self.top_line <= line < self.top_line + visible:
+            cursor_x = border + 1 + char * font.char_width
+            cursor_y = border + 1 + (line - self.top_line) * \
+                font.line_height
+            display.draw_line(self.window.id, gc, cursor_x, cursor_y,
+                              cursor_x, cursor_y + font.line_height)
+        self.draw_border()
+
+    def _fill_range(self, display, gc, font, border, start, stop,
+                    visible) -> None:
+        (l1, c1), (l2, c2) = start, stop
+        for line in range(l1, l2 + 1):
+            if not self.top_line <= line < self.top_line + visible:
+                continue
+            from_char = c1 if line == l1 else 0
+            to_char = c2 if line == l2 else len(self.lines[line - 1])
+            if to_char <= from_char:
+                continue
+            y = border + 1 + (line - self.top_line) * font.line_height
+            display.fill_rectangle(
+                self.window.id, gc,
+                border + 1 + from_char * font.char_width, y,
+                (to_char - from_char) * font.char_width,
+                font.line_height)
+
+
+def _shift_for_insert(position, start, end):
+    """Move a (line, char) position to account for an insertion."""
+    if position < start:
+        return position
+    line, char = position
+    start_line, start_char = start
+    end_line, end_char = end
+    delta_lines = end_line - start_line
+    if line == start_line and char >= start_char:
+        return (line + delta_lines, end_char + (char - start_char))
+    return (line + delta_lines, char)
+
+
+def _shift_for_delete(position, start, stop):
+    """Move a (line, char) position to account for a deletion."""
+    if position <= start:
+        return position
+    if position <= stop:
+        return start
+    line, char = position
+    stop_line, stop_char = stop
+    start_line, start_char = start
+    delta_lines = stop_line - start_line
+    if line == stop_line:
+        return (start_line, start_char + (char - stop_char))
+    return (line - delta_lines, char)

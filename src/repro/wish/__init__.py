@@ -1,0 +1,6 @@
+"""repro.wish — the windowing shell and its simulated processes."""
+
+from .procs import ProcessRegistry
+from .shell import Wish, main
+
+__all__ = ["Wish", "ProcessRegistry", "main"]

@@ -1,0 +1,80 @@
+# wish's Tcl library — support procedures written entirely in Tcl.
+#
+# The paper (section 5): "Tk contains no special support for dialog
+# boxes.  The basic commands for creating and arranging widgets are
+# already sufficient to create dialog boxes: even in the normal case,
+# dialogs are created by writing short Tcl scripts."  This is that
+# script.
+
+# mkdialog w msg btn ?btn ...?
+#
+# Pop up a dialog box named $w showing $msg with one button per
+# remaining argument.  The keyboard focus is saved and restored
+# (section 3.7).  Returns the index of the button that was pressed.
+proc mkdialog {w msg args} {
+    global tkDialogButton
+    catch {destroy $w}
+    catch {unset tkDialogButton($w)}
+    frame $w -relief raised -bd 2
+    message $w.msg -text $msg -width 180
+    pack append $w $w.msg {top fillx}
+    set i 0
+    foreach label $args {
+        button $w.btn$i -text $label \
+            -command "set tkDialogButton($w) $i"
+        pack append $w $w.btn$i {left expand}
+        incr i
+    }
+    place $w -relx 0.5 -rely 0.5 -anchor center
+    update
+    set oldFocus [focus]
+    focus $w
+    grab set $w
+    tkwait variable tkDialogButton($w)
+    grab release $w
+    set result $tkDialogButton($w)
+    place forget $w
+    destroy $w
+    if {[string compare $oldFocus "none"] != 0} {
+        catch {focus $oldFocus}
+    }
+    return $result
+}
+
+# mkentrydialog w msg
+#
+# A dialog with a text entry; returns what the user typed when OK is
+# pressed.  Demonstrates focus assignment to the entry, exactly the
+# section 3.7 scenario.
+proc mkentrydialog {w msg} {
+    global tkDialogButton
+    catch {destroy $w}
+    catch {unset tkDialogButton($w)}
+    frame $w -relief raised -bd 2
+    message $w.msg -text $msg -width 180
+    entry $w.entry
+    button $w.ok -text OK -command "set tkDialogButton($w) ok"
+    pack append $w $w.msg {top fillx} $w.entry {top fillx} $w.ok {top}
+    place $w -relx 0.5 -rely 0.5 -anchor center
+    update
+    set oldFocus [focus]
+    focus $w.entry
+    grab set $w
+    tkwait variable tkDialogButton($w)
+    grab release $w
+    set result [$w.entry get]
+    place forget $w
+    destroy $w
+    if {[string compare $oldFocus "none"] != 0} {
+        catch {focus $oldFocus}
+    }
+    return $result
+}
+
+# bgerror msg
+#
+# Called (by convention) when a background script fails; applications
+# may redefine it.
+proc bgerror {msg} {
+    print "background error: $msg\n"
+}

@@ -1,0 +1,125 @@
+"""Simulated processes for the ``exec`` command.
+
+The paper's browser script (Figure 9) runs three external programs:
+``ls -a dir``, ``sh -c "browse dir &"`` (a recursive browser), and the
+``mx`` editor.  This registry runs equivalents in-process — the
+substitution documented in DESIGN.md — while keeping the Tcl-visible
+behaviour (exec returns the program's standard output as a string).
+
+Embedders can register additional programs and observe what was
+spawned/edited, which is what the tests assert against.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+from typing import Callable, Dict, List, Optional
+
+from ..tcl.errors import TclError
+
+Program = Callable[["ProcessRegistry", List[str]], str]
+
+
+class ProcessRegistry:
+    """In-process stand-ins for the programs wish scripts exec."""
+
+    def __init__(self):
+        self.programs: Dict[str, Program] = {}
+        #: Requests made through ``sh -c "... &"`` (observable by tests
+        #: and by embedders that want to actually spawn something).
+        self.background_commands: List[List[str]] = []
+        #: Files handed to the ``mx`` editor.
+        self.edited_files: List[str] = []
+        #: Optional hook called for each background command.
+        self.on_background: Optional[Callable[[List[str]], None]] = None
+        self.register("ls", _program_ls)
+        self.register("sh", _program_sh)
+        self.register("mx", _program_mx)
+        self.register("echo", _program_echo)
+        self.register("cat", _program_cat)
+
+    def register(self, name: str, program: Program) -> None:
+        self.programs[name] = program
+
+    def __call__(self, argv: List[str]) -> str:
+        """The interp's exec_handler: run one command line."""
+        if not argv:
+            raise TclError("didn't specify command to execute")
+        if argv[-1] == "&":
+            self._spawn(argv[:-1])
+            return ""
+        return self.run(argv)
+
+    def run(self, argv: List[str]) -> str:
+        program = self.programs.get(argv[0])
+        if program is None:
+            raise TclError(
+                'couldn\'t find "%s" to execute' % argv[0])
+        return program(self, argv)
+
+    def _spawn(self, argv: List[str]) -> None:
+        self.background_commands.append(list(argv))
+        if self.on_background is not None:
+            self.on_background(list(argv))
+
+
+def _program_ls(registry: ProcessRegistry, argv: List[str]) -> str:
+    show_hidden = False
+    paths: List[str] = []
+    for arg in argv[1:]:
+        if arg.startswith("-"):
+            if "a" in arg:
+                show_hidden = True
+        else:
+            paths.append(arg)
+    directory = paths[0] if paths else "."
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError as error:
+        raise TclError('ls: %s: %s' % (directory,
+                                       error.strerror or error))
+    if show_hidden:
+        names = [".", ".."] + names
+    else:
+        names = [name for name in names if not name.startswith(".")]
+    return "\n".join(names)
+
+
+def _program_sh(registry: ProcessRegistry, argv: List[str]) -> str:
+    """sh -c "command line": split and dispatch, honouring a trailing &."""
+    if len(argv) >= 3 and argv[1] == "-c":
+        words = shlex.split(argv[2])
+        if words and words[-1] == "&":
+            registry._spawn(words[:-1])
+            return ""
+        if words and words[-1].endswith("&"):
+            words[-1] = words[-1][:-1]
+            registry._spawn([word for word in words if word])
+            return ""
+        return registry.run(words)
+    raise TclError("sh: only -c form is supported")
+
+
+def _program_mx(registry: ProcessRegistry, argv: List[str]) -> str:
+    """The mx editor: record which file the user asked to edit."""
+    if len(argv) < 2:
+        raise TclError("mx: no file given")
+    registry.edited_files.append(argv[1])
+    return ""
+
+
+def _program_echo(registry: ProcessRegistry, argv: List[str]) -> str:
+    return " ".join(argv[1:])
+
+
+def _program_cat(registry: ProcessRegistry, argv: List[str]) -> str:
+    out: List[str] = []
+    for path in argv[1:]:
+        try:
+            with open(path, "r") as handle:
+                out.append(handle.read())
+        except OSError as error:
+            raise TclError('cat: %s: %s' % (path,
+                                            error.strerror or error))
+    return "".join(out).rstrip("\n")

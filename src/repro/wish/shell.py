@@ -1,0 +1,145 @@
+"""wish — the windowing shell (paper section 5).
+
+wish consists of Tcl, Tk, and a main program that reads Tcl commands
+from standard input or from a file.  Entire windowing applications can
+be written as wish scripts, just as UNIX commands can be written as
+scripts for sh or csh; the paper's Figure 9 directory browser is a
+21-line wish script.
+
+A :class:`Wish` can be embedded (tests create several on one simulated
+server) or run from the command line via :func:`main`.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from ..tcl.errors import TclError
+from ..tcl.lists import format_list
+from ..tk.app import TkApp
+from ..x11.xserver import XServer
+from .procs import ProcessRegistry
+
+
+class Wish:
+    """One windowing-shell application."""
+
+    def __init__(self, server: Optional[XServer] = None,
+                 name: str = "wish", stdout=None,
+                 registry: Optional[ProcessRegistry] = None,
+                 argv: Optional[List[str]] = None):
+        self.server = server if server is not None else XServer()
+        self.app = TkApp(self.server, name=name)
+        self.interp = self.app.interp
+        self.interp.stdout = stdout if stdout is not None else sys.stdout
+        self.registry = registry if registry is not None \
+            else ProcessRegistry()
+        self.interp.exec_handler = self.registry
+        self._set_argv(argv or [])
+        self._load_library()
+
+    def _load_library(self) -> None:
+        """Source wish's Tcl support library (mkdialog and friends)."""
+        import os
+        library = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "library.tcl")
+        with open(library, "r") as handle:
+            self.interp.eval(handle.read())
+
+    def _set_argv(self, argv: List[str]) -> None:
+        self.interp.set_global_var("argc", str(len(argv)))
+        self.interp.set_global_var("argv", format_list(argv))
+
+    # -- running scripts ---------------------------------------------------
+
+    def run_script(self, script: str) -> str:
+        """Evaluate a whole script, then process pending events."""
+        result = self.interp.eval_top(script)
+        self.app.update()
+        return result
+
+    def run_file(self, filename: str) -> str:
+        with open(filename, "r") as handle:
+            return self.run_script(handle.read())
+
+    def mainloop(self, until=None, max_iterations: int = 1000000) -> None:
+        self.app.mainloop(until, max_iterations)
+
+    @property
+    def destroyed(self) -> bool:
+        return self.app.destroyed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Command-line entry point: ``wish -f script ?args?``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    script_file = None
+    name = "wish"
+    while argv:
+        if argv[0] == "-f" and len(argv) > 1:
+            script_file = argv[1]
+            argv = argv[2:]
+        elif argv[0] == "-name" and len(argv) > 1:
+            name = argv[1]
+            argv = argv[2:]
+        else:
+            break
+    shell = Wish(name=name, argv=argv)
+    try:
+        if script_file is not None:
+            shell.run_file(script_file)
+            shell.mainloop()
+        else:
+            _interactive(shell)
+    except TclError as error:
+        sys.stderr.write("Error: %s\n" % error.message)
+        return 1
+    return 0
+
+
+def _interactive(shell: Wish) -> None:
+    """Read commands from standard input, one logical line at a time."""
+    buffer = ""
+    while not shell.destroyed:
+        try:
+            prompt = "% " if not buffer else "> "
+            line = input(prompt)
+        except EOFError:
+            return
+        buffer += line + "\n"
+        if _script_complete(buffer):
+            try:
+                result = shell.run_script(buffer)
+                if result:
+                    print(result)
+            except TclError as error:
+                print("Error: %s" % error.message)
+            buffer = ""
+
+
+def _script_complete(text: str) -> bool:
+    """Heuristic: all braces/brackets/quotes are balanced."""
+    depth = 0
+    in_quote = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\":
+            i += 2
+            continue
+        if in_quote:
+            if ch == '"':
+                in_quote = False
+        elif ch == '"':
+            in_quote = True
+        elif ch in "{[":
+            depth += 1
+        elif ch in "}]":
+            depth -= 1
+        i += 1
+    return depth <= 0 and not in_quote
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

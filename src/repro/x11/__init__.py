@@ -1,0 +1,35 @@
+"""repro.x11 — a simulated X11 display server and client library.
+
+This package substitutes for the real X server the paper ran against
+(see DESIGN.md section 1).  It implements the protocol *semantics* Tk
+depends on — the window tree, event selection and delivery, atoms and
+properties, ICCCM selections, colors/fonts/cursors/bitmaps, and
+graphics contexts — plus a round-trip counter that makes server-traffic
+claims measurable and a renderer that produces screen dumps.
+
+Typical use::
+
+    from repro.x11 import XServer, Display
+
+    server = XServer()
+    display = Display(server)          # one per application
+    win = display.create_window(display.root, 0, 0, 200, 100)
+    display.map_window(win)
+"""
+
+from . import events, keysyms
+from .atoms import AtomTable
+from .display import Display
+from .events import Event
+from .render import Renderer, render_ppm
+from .resources import (Bitmap, Color, Cursor, Font, GraphicsContext,
+                        NAMED_COLORS, parse_color)
+from .window import Window
+from .xserver import Client, XProtocolError, XServer
+
+__all__ = [
+    "XServer", "Display", "Client", "Window", "Event", "AtomTable",
+    "Renderer", "render_ppm", "XProtocolError",
+    "Color", "Font", "Cursor", "Bitmap", "GraphicsContext",
+    "NAMED_COLORS", "parse_color", "events", "keysyms",
+]

@@ -1,0 +1,53 @@
+"""Atom interning for the simulated X server.
+
+Atoms are small integers naming strings, used for property names,
+property types, and selection names — the substrate for both the ICCCM
+selection protocol (paper section 3.6) and Tk's ``send`` registry
+(section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Predefined atoms present in every server (a subset of the X11 core).
+PREDEFINED = [
+    "PRIMARY", "SECONDARY", "ATOM", "BITMAP", "CARDINAL", "COLORMAP",
+    "CURSOR", "CUT_BUFFER0", "DRAWABLE", "FONT", "INTEGER", "PIXMAP",
+    "POINT", "RGB_COLOR_MAP", "RECTANGLE", "RESOURCE_MANAGER", "STRING",
+    "VISUALID", "WINDOW", "WM_COMMAND", "WM_HINTS", "WM_ICON_NAME",
+    "WM_ICON_SIZE", "WM_NAME", "WM_NORMAL_HINTS", "WM_SIZE_HINTS",
+    "WM_ZOOM_HINTS",
+]
+
+
+class AtomTable:
+    """Bidirectional mapping between atom names and integer ids."""
+
+    def __init__(self):
+        self._by_name: Dict[str, int] = {}
+        self._by_id: Dict[int, str] = {}
+        self._next_id = 1
+        for name in PREDEFINED:
+            self.intern(name)
+
+    def intern(self, name: str) -> int:
+        """Return the atom for ``name``, creating it if necessary."""
+        atom = self._by_name.get(name)
+        if atom is None:
+            atom = self._next_id
+            self._next_id += 1
+            self._by_name[name] = atom
+            self._by_id[atom] = name
+        return atom
+
+    def lookup(self, name: str) -> int:
+        """Return the atom for ``name``, or 0 if it does not exist."""
+        return self._by_name.get(name, 0)
+
+    def name(self, atom: int) -> str:
+        """Return the name of ``atom``; raises KeyError for bad atoms."""
+        return self._by_id[atom]
+
+    def __len__(self) -> int:
+        return len(self._by_name)

@@ -1,0 +1,181 @@
+"""Client-side display connection — the simulator's "Xlib".
+
+A :class:`Display` is what an application (Tk) holds: it wraps one
+client connection to an :class:`~repro.x11.xserver.XServer` and exposes
+Xlib-shaped calls.  Requests that Xlib would answer from the wire
+without waiting are plain calls; requests that need a server reply go
+through the server's round-trip counter, so the traffic-saving claims
+of the paper's section 3.3 can be measured per display.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .events import Event
+from .resources import Bitmap, Color, Cursor, Font, GraphicsContext
+from .xserver import Client, XProtocolError, XServer
+
+
+class Display:
+    """One application's connection to the (simulated) display."""
+
+    def __init__(self, server: XServer):
+        self.server = server
+        self.client: Client = server.connect()
+        self._round_trips_at_connect = server.round_trips
+
+    # -- bookkeeping -----------------------------------------------------
+
+    @property
+    def root(self) -> int:
+        return self.server.root.id
+
+    @property
+    def screen_width(self) -> int:
+        return self.server.root.width
+
+    @property
+    def screen_height(self) -> int:
+        return self.server.root.height
+
+    def close(self) -> None:
+        self.server.disconnect(self.client)
+
+    # -- event queue -----------------------------------------------------
+
+    def pending(self) -> int:
+        return self.client.pending()
+
+    def next_event(self) -> Optional[Event]:
+        return self.client.next_event()
+
+    def flush(self) -> None:
+        """No-op: the simulator has no output buffer."""
+
+    def sync(self) -> None:
+        """A full round trip, as XSync performs."""
+        self.server.round_trip()
+
+    # -- windows -----------------------------------------------------------
+
+    def create_window(self, parent: int, x: int, y: int, width: int,
+                      height: int, border_width: int = 0) -> int:
+        return self.server.create_window(self.client, parent, x, y,
+                                         width, height, border_width)
+
+    def destroy_window(self, window: int) -> None:
+        self.server.destroy_window(window)
+
+    def map_window(self, window: int) -> None:
+        self.server.map_window(window)
+
+    def unmap_window(self, window: int) -> None:
+        self.server.unmap_window(window)
+
+    def configure_window(self, window: int, **kwargs) -> None:
+        self.server.configure_window(window, **kwargs)
+
+    def select_input(self, window: int, mask: int) -> None:
+        self.server.select_input(self.client, window, mask)
+
+    def raise_window(self, window: int) -> None:
+        self.server.raise_window(window)
+
+    def lower_window(self, window: int) -> None:
+        self.server.lower_window(window)
+
+    def get_geometry(self, window: int) -> Tuple[int, int, int, int, int]:
+        return self.server.get_geometry(window)
+
+    def query_tree(self, window: int) -> Tuple[int, int, List[int]]:
+        return self.server.query_tree(window)
+
+    def set_window_background(self, window: int, pixel: int) -> None:
+        self.server.set_window_background(window, pixel)
+
+    # -- atoms and properties ---------------------------------------------
+
+    def intern_atom(self, name: str, only_if_exists: bool = False) -> int:
+        return self.server.intern_atom(name, only_if_exists)
+
+    def get_atom_name(self, atom: int) -> str:
+        return self.server.get_atom_name(atom)
+
+    def change_property(self, window: int, property_atom: int,
+                        type_atom: int, value: object,
+                        append: bool = False) -> None:
+        self.server.change_property(window, property_atom, type_atom,
+                                    value, append)
+
+    def get_property(self, window: int, property_atom: int,
+                     delete: bool = False) -> Optional[Tuple[int, object]]:
+        return self.server.get_property(window, property_atom, delete)
+
+    def delete_property(self, window: int, property_atom: int) -> None:
+        self.server.delete_property(window, property_atom)
+
+    # -- selections ----------------------------------------------------------
+
+    def set_selection_owner(self, selection: int, window: int) -> None:
+        self.server.set_selection_owner(self.client, selection, window)
+
+    def get_selection_owner(self, selection: int) -> int:
+        return self.server.get_selection_owner(selection)
+
+    def convert_selection(self, selection: int, target: int,
+                          property_atom: int, requestor: int) -> None:
+        self.server.convert_selection(self.client, selection, target,
+                                      property_atom, requestor)
+
+    def send_event(self, window: int, event: Event,
+                   event_mask: int = 0) -> None:
+        self.server.send_event(window, event, event_mask)
+
+    def set_input_focus(self, window: int) -> None:
+        self.server.set_input_focus(window)
+
+    # -- resources ----------------------------------------------------------
+
+    def alloc_named_color(self, name: str) -> Color:
+        return self.server.alloc_named_color(name)
+
+    def load_font(self, name: str) -> Font:
+        return self.server.load_font(name)
+
+    def create_cursor(self, name: str) -> Cursor:
+        return self.server.create_cursor(name)
+
+    def create_bitmap(self, name: str, width: int = 0,
+                      height: int = 0) -> Bitmap:
+        return self.server.create_bitmap(name, width, height)
+
+    def create_gc(self, **values) -> GraphicsContext:
+        return self.server.create_gc(**values)
+
+    def free_resource(self, rid: int) -> None:
+        self.server.free_resource(rid)
+
+    # -- drawing ----------------------------------------------------------
+
+    def clear_window(self, window: int) -> None:
+        self.server.clear_window(window)
+
+    def fill_rectangle(self, window: int, gc: GraphicsContext, x: int,
+                       y: int, width: int, height: int) -> None:
+        self.server.fill_rectangle(window, gc, x, y, width, height)
+
+    def draw_rectangle(self, window: int, gc: GraphicsContext, x: int,
+                       y: int, width: int, height: int) -> None:
+        self.server.draw_rectangle(window, gc, x, y, width, height)
+
+    def draw_line(self, window: int, gc: GraphicsContext, x1: int, y1: int,
+                  x2: int, y2: int) -> None:
+        self.server.draw_line(window, gc, x1, y1, x2, y2)
+
+    def draw_string(self, window: int, gc: GraphicsContext, x: int, y: int,
+                    text: str) -> None:
+        self.server.draw_string(window, gc, x, y, text)
+
+
+__all__ = ["Display", "XProtocolError"]

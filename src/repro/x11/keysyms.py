@@ -1,0 +1,91 @@
+"""Keysym names for the simulated keyboard.
+
+Tk's ``bind`` command names keys by keysym (``<Escape>q`` in the
+paper's Figure 7).  This module provides the name <-> character mapping
+that the binding machinery and the widgets' default key bindings use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Keysyms for characters that have non-obvious names.
+_NAMED_CHARS = {
+    " ": "space",
+    "!": "exclam",
+    '"': "quotedbl",
+    "#": "numbersign",
+    "$": "dollar",
+    "%": "percent",
+    "&": "ampersand",
+    "'": "apostrophe",
+    "(": "parenleft",
+    ")": "parenright",
+    "*": "asterisk",
+    "+": "plus",
+    ",": "comma",
+    "-": "minus",
+    ".": "period",
+    "/": "slash",
+    ":": "colon",
+    ";": "semicolon",
+    "<": "less",
+    "=": "equal",
+    ">": "greater",
+    "?": "question",
+    "@": "at",
+    "[": "bracketleft",
+    "\\": "backslash",
+    "]": "bracketright",
+    "^": "asciicircum",
+    "_": "underscore",
+    "`": "grave",
+    "{": "braceleft",
+    "|": "bar",
+    "}": "braceright",
+    "~": "asciitilde",
+    "\n": "Return",
+    "\r": "Return",
+    "\t": "Tab",
+    "\x1b": "Escape",
+    "\x08": "BackSpace",
+    "\x7f": "Delete",
+}
+
+_CHAR_FOR_NAME = {name: char for char, name in _NAMED_CHARS.items()
+                  if char not in "\r"}
+
+#: Function keysyms with no printable character.
+FUNCTION_KEYS = {
+    "Up", "Down", "Left", "Right", "Home", "End", "Prior", "Next",
+    "Insert", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
+    "F10", "Shift_L", "Shift_R", "Control_L", "Control_R", "Meta_L",
+    "Meta_R", "Alt_L", "Alt_R",
+}
+
+
+def keysym_for_char(char: str) -> str:
+    """Return the keysym naming a character."""
+    if char in _NAMED_CHARS:
+        return _NAMED_CHARS[char]
+    if len(char) == 1 and char.isprintable():
+        return char
+    raise ValueError("no keysym for character %r" % char)
+
+
+def char_for_keysym(keysym: str) -> Optional[str]:
+    """Return the character a keysym produces, or None for function keys."""
+    if keysym in _CHAR_FOR_NAME:
+        return _CHAR_FOR_NAME[keysym]
+    if len(keysym) == 1:
+        return keysym
+    if keysym in FUNCTION_KEYS:
+        return None
+    return None
+
+
+def is_keysym(name: str) -> bool:
+    """True if ``name`` is a recognized keysym name."""
+    if len(name) == 1:
+        return True
+    return name in _CHAR_FOR_NAME or name in FUNCTION_KEYS

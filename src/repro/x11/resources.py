@@ -1,0 +1,230 @@
+"""Server-side X resources: colors, fonts, cursors, bitmaps, and
+graphics contexts.
+
+Allocating any of these requires a round trip to the server (paper
+section 3.3), which is why Tk caches them client-side.  The simulator
+implements the server half: named-color lookup against an rgb.txt-style
+table, fonts with synthetic but deterministic metrics, a cursor font
+(including the paper's ``coffee_mug``), built-in bitmaps, and graphics
+contexts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+# A useful subset of X11's rgb.txt, including every color the paper
+# mentions (MediumSeaGreen for resource naming, Red and PalePink1 for
+# the button example).
+NAMED_COLORS: Dict[str, Tuple[int, int, int]] = {
+    "white": (255, 255, 255),
+    "black": (0, 0, 0),
+    "red": (255, 0, 0),
+    "green": (0, 255, 0),
+    "blue": (0, 0, 255),
+    "yellow": (255, 255, 0),
+    "cyan": (0, 255, 255),
+    "magenta": (255, 0, 255),
+    "gray": (190, 190, 190),
+    "grey": (190, 190, 190),
+    "lightgray": (211, 211, 211),
+    "darkgray": (169, 169, 169),
+    "darkslategray": (47, 79, 79),
+    "dimgray": (105, 105, 105),
+    "navy": (0, 0, 128),
+    "royalblue": (65, 105, 225),
+    "steelblue": (70, 130, 180),
+    "lightsteelblue": (176, 196, 222),
+    "skyblue": (135, 206, 235),
+    "lightblue": (173, 216, 230),
+    "cadetblue": (95, 158, 160),
+    "aquamarine": (127, 255, 212),
+    "seagreen": (46, 139, 87),
+    "mediumseagreen": (60, 179, 113),
+    "springgreen": (0, 255, 127),
+    "palegreen": (152, 251, 152),
+    "forestgreen": (34, 139, 34),
+    "limegreen": (50, 205, 50),
+    "darkgreen": (0, 100, 0),
+    "olivedrab": (107, 142, 35),
+    "khaki": (240, 230, 140),
+    "gold": (255, 215, 0),
+    "goldenrod": (218, 165, 32),
+    "orange": (255, 165, 0),
+    "darkorange": (255, 140, 0),
+    "coral": (255, 127, 80),
+    "tomato": (255, 99, 71),
+    "orangered": (255, 69, 0),
+    "firebrick": (178, 34, 34),
+    "maroon": (176, 48, 96),
+    "pink": (255, 192, 203),
+    "lightpink": (255, 182, 193),
+    "palepink1": (255, 218, 224),
+    "hotpink": (255, 105, 180),
+    "deeppink": (255, 20, 147),
+    "violet": (238, 130, 238),
+    "plum": (221, 160, 221),
+    "orchid": (218, 112, 214),
+    "purple": (160, 32, 240),
+    "thistle": (216, 191, 216),
+    "salmon": (250, 128, 114),
+    "sienna": (160, 82, 45),
+    "chocolate": (210, 105, 30),
+    "tan": (210, 180, 140),
+    "beige": (245, 245, 220),
+    "wheat": (245, 222, 179),
+    "ivory": (255, 255, 240),
+    "bisque": (255, 228, 196),
+    "antiquewhite": (250, 235, 215),
+    "lavender": (230, 230, 250),
+    "turquoise": (64, 224, 208),
+    "chartreuse": (127, 255, 0),
+    "slateblue": (106, 90, 205),
+    "slategray": (112, 128, 144),
+    "gainsboro": (220, 220, 220),
+    "honeydew": (240, 255, 240),
+    "mintcream": (245, 255, 250),
+    "mistyrose": (255, 228, 225),
+    "moccasin": (255, 228, 181),
+    "navajowhite": (255, 222, 173),
+    "oldlace": (253, 245, 230),
+    "peachpuff": (255, 218, 185),
+    "peru": (205, 133, 63),
+    "rosybrown": (188, 143, 143),
+    "saddlebrown": (139, 69, 19),
+    "sandybrown": (244, 164, 96),
+    "snow": (255, 250, 250),
+    "brown": (165, 42, 42),
+}
+
+#: Cursor names from the X cursor font, including the paper's example.
+CURSOR_NAMES = {
+    "X_cursor", "arrow", "based_arrow_down", "based_arrow_up", "boat",
+    "bogosity", "bottom_left_corner", "bottom_right_corner",
+    "bottom_side", "bottom_tee", "box_spiral", "center_ptr", "circle",
+    "clock", "coffee_mug", "cross", "cross_reverse", "crosshair",
+    "diamond_cross", "dot", "dotbox", "double_arrow", "draft_large",
+    "draft_small", "draped_box", "exchange", "fleur", "gobbler",
+    "gumby", "hand1", "hand2", "heart", "icon", "iron_cross",
+    "left_ptr", "left_side", "left_tee", "leftbutton", "ll_angle",
+    "lr_angle", "man", "middlebutton", "mouse", "pencil", "pirate",
+    "plus", "question_arrow", "right_ptr", "right_side", "right_tee",
+    "rightbutton", "rtl_logo", "sailboat", "sb_down_arrow",
+    "sb_h_double_arrow", "sb_left_arrow", "sb_right_arrow",
+    "sb_up_arrow", "sb_v_double_arrow", "shuttle", "sizing", "spider",
+    "spraycan", "star", "target", "tcross", "top_left_arrow",
+    "top_left_corner", "top_right_corner", "top_side", "top_tee",
+    "trek", "ul_angle", "umbrella", "ur_angle", "watch", "xterm",
+}
+
+#: Built-in bitmaps (name -> (width, height)).
+BUILTIN_BITMAPS = {
+    "gray50": (16, 16),
+    "gray25": (16, 16),
+    "star": (16, 16),
+    "error": (17, 17),
+    "hourglass": (19, 21),
+    "info": (8, 21),
+    "question": (10, 21),
+    "warning": (6, 19),
+}
+
+
+@dataclass(frozen=True)
+class Color:
+    """An allocated colormap entry."""
+
+    pixel: int
+    red: int
+    green: int
+    blue: int
+
+    @property
+    def rgb(self) -> Tuple[int, int, int]:
+        return (self.red, self.green, self.blue)
+
+
+@dataclass(frozen=True)
+class Font:
+    """A loaded font with synthetic fixed-width metrics.
+
+    Metrics are derived deterministically from the font name so that
+    different fonts measure differently (important for geometry tests)
+    but results are stable across runs.
+    """
+
+    fid: int
+    name: str
+    char_width: int
+    ascent: int
+    descent: int
+
+    @property
+    def line_height(self) -> int:
+        return self.ascent + self.descent
+
+    def text_width(self, text: str) -> int:
+        return self.char_width * len(text)
+
+
+@dataclass(frozen=True)
+class Cursor:
+    cid: int
+    name: str
+
+
+@dataclass(frozen=True)
+class Bitmap:
+    bid: int
+    name: str
+    width: int
+    height: int
+
+
+@dataclass
+class GraphicsContext:
+    gid: int
+    values: Dict[str, object] = field(default_factory=dict)
+
+    def change(self, **values) -> None:
+        self.values.update(values)
+
+
+def parse_color(name: str) -> Optional[Tuple[int, int, int]]:
+    """Resolve a color specification: a name or #rgb/#rrggbb form."""
+    if name.startswith("#"):
+        digits = name[1:]
+        if len(digits) in (3, 6, 12) and \
+                all(c in "0123456789abcdefABCDEF" for c in digits):
+            step = len(digits) // 3
+            parts = [digits[i * step:(i + 1) * step] for i in range(3)]
+            scale = 16 ** step - 1
+            return tuple(int(part, 16) * 255 // scale for part in parts)
+        return None
+    return NAMED_COLORS.get(name.lower())
+
+
+def font_metrics(name: str) -> Tuple[int, int, int]:
+    """Synthetic (char_width, ascent, descent) for a font name.
+
+    The default server font ("fixed") is 6x13; other names get stable
+    name-derived metrics in a plausible range.
+    """
+    if name in ("fixed", "6x13"):
+        return (6, 11, 2)
+    if name == "8x13":
+        return (8, 11, 2)
+    if name == "9x15":
+        return (9, 12, 3)
+    digest = sum(ord(ch) for ch in name)
+    char_width = 5 + digest % 5      # 5..9
+    ascent = 9 + digest % 7          # 9..15
+    descent = 2 + digest % 3         # 2..4
+    return (char_width, ascent, descent)
+
+
+def font_exists(name: str) -> bool:
+    """The simulated server has any fixed-pattern font; reject only
+    obviously malformed names."""
+    return bool(name) and not name.isspace()

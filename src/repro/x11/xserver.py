@@ -1,0 +1,603 @@
+"""The simulated X display server.
+
+One :class:`XServer` instance plays the role of the X11 server process:
+it owns the window tree, the atom and property tables, the colormap,
+fonts, cursors, selections, and the per-client event queues.  Multiple
+clients (applications) connect to the same server, which is what makes
+cross-application features — the ICCCM selection (paper section 3.6)
+and Tk's ``send`` (section 6) — work exactly as they do on a real
+display.
+
+Round-trip accounting: every request that would require the client to
+wait for a server reply calls :meth:`XServer.round_trip`.  Tk's
+resource caches (section 3.3) exist to avoid those waits; the counter
+makes their effect measurable (see benchmarks/test_ablation_cache.py).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from .atoms import AtomTable
+from .events import (ALWAYS_DELIVERED, BUTTON_PRESS, BUTTON_RELEASE,
+                     CONFIGURE_NOTIFY, DESTROY_NOTIFY, ENTER_NOTIFY, EXPOSE,
+                     Event, KEY_PRESS, KEY_RELEASE, LEAVE_NOTIFY, MAP_NOTIFY,
+                     MOTION_NOTIFY, PROPERTY_NOTIFY, SELECTION_CLEAR,
+                     SELECTION_NOTIFY, SELECTION_REQUEST,
+                     STRUCTURE_NOTIFY_MASK, SUBSTRUCTURE_NOTIFY_MASK,
+                     UNMAP_NOTIFY, mask_for)
+from .resources import (BUILTIN_BITMAPS, CURSOR_NAMES, Bitmap, Color, Cursor,
+                        Font, GraphicsContext, font_exists, font_metrics,
+                        parse_color)
+from .window import Window
+
+
+class XProtocolError(Exception):
+    """A request referenced a bad resource or argument."""
+
+
+class Client:
+    """One connected application's view of the server."""
+
+    def __init__(self, server: "XServer", number: int):
+        self.server = server
+        self.number = number
+        self.queue: deque = deque()
+        self.closed = False
+
+    def enqueue(self, event: Event) -> None:
+        if not self.closed:
+            self.queue.append(event)
+
+    def pending(self) -> int:
+        return len(self.queue)
+
+    def next_event(self) -> Optional[Event]:
+        if self.queue:
+            return self.queue.popleft()
+        return None
+
+
+class XServer:
+    """The display server."""
+
+    def __init__(self, width: int = 1152, height: int = 900):
+        self.atoms = AtomTable()
+        self.resources: Dict[int, object] = {}
+        self._next_resource_id = 0x100
+        self.clients: List[Client] = []
+        self.round_trips = 0
+        self.requests = 0
+        self.time_ms = 0
+        self.root = Window(self._new_id(), None, 0, 0, width, height)
+        self.root.mapped = True
+        self.resources[self.root.id] = self.root
+        #: selection atom -> (window, owning client)
+        self.selections: Dict[int, Tuple[Window, Client]] = {}
+        #: pointer state for Enter/Leave synthesis
+        self.pointer_x = 0
+        self.pointer_y = 0
+        self.pointer_window: Window = self.root
+        self.focus_window: Window = self.root
+
+    # ------------------------------------------------------------------
+    # connection and bookkeeping
+    # ------------------------------------------------------------------
+
+    def connect(self) -> Client:
+        client = Client(self, len(self.clients) + 1)
+        self.clients.append(client)
+        return client
+
+    def disconnect(self, client: Client) -> None:
+        client.closed = True
+        # Drop the client's selections and event interests.
+        for atom, (window, owner) in list(self.selections.items()):
+            if owner is client:
+                del self.selections[atom]
+        for window in list(self.resources.values()):
+            if isinstance(window, Window):
+                window.event_selections.pop(client, None)
+
+    def _new_id(self) -> int:
+        self._next_resource_id += 1
+        return self._next_resource_id
+
+    def _tick(self) -> int:
+        self.time_ms += 1
+        self.requests += 1
+        return self.time_ms
+
+    def round_trip(self) -> None:
+        """Record that a request required a reply from the server."""
+        self.round_trips += 1
+
+    def window(self, wid: int) -> Window:
+        resource = self.resources.get(wid)
+        if not isinstance(resource, Window) or resource.destroyed:
+            raise XProtocolError("BadWindow: %d" % wid)
+        return resource
+
+    # ------------------------------------------------------------------
+    # window requests
+    # ------------------------------------------------------------------
+
+    def create_window(self, client: Client, parent_id: int, x: int, y: int,
+                      width: int, height: int,
+                      border_width: int = 0) -> int:
+        self._tick()
+        parent = self.window(parent_id)
+        window = Window(self._new_id(), parent, x, y, width, height,
+                        border_width, creator=client)
+        self.resources[window.id] = window
+        return window.id
+
+    def destroy_window(self, wid: int) -> None:
+        self._tick()
+        window = self.window(wid)
+        self._destroy_recursive(window)
+        self._update_pointer_window()
+
+    def _destroy_recursive(self, window: Window) -> None:
+        for child in list(window.children):
+            self._destroy_recursive(child)
+        was_viewable = window.is_viewable()
+        window.destroyed = True
+        window.mapped = False
+        if window.parent is not None:
+            window.parent.children.remove(window)
+        self.resources.pop(window.id, None)
+        for atom, (owner_window, _) in list(self.selections.items()):
+            if owner_window is window:
+                del self.selections[atom]
+        event = Event(DESTROY_NOTIFY, window=window.id, time=self.time_ms)
+        self._deliver(window, event)
+        if window.parent is not None:
+            self._deliver_substructure(window.parent, event)
+        if was_viewable and window.parent is not None:
+            self._expose(window.parent)
+
+    def map_window(self, wid: int) -> None:
+        self._tick()
+        window = self.window(wid)
+        if window.mapped:
+            return
+        window.mapped = True
+        event = Event(MAP_NOTIFY, window=wid, time=self.time_ms)
+        self._deliver(window, event)
+        if window.parent is not None:
+            self._deliver_substructure(window.parent, event)
+        if window.is_viewable():
+            self._expose(window)
+        self._update_pointer_window()
+
+    def unmap_window(self, wid: int) -> None:
+        self._tick()
+        window = self.window(wid)
+        if not window.mapped:
+            return
+        window.mapped = False
+        event = Event(UNMAP_NOTIFY, window=wid, time=self.time_ms)
+        self._deliver(window, event)
+        if window.parent is not None:
+            self._deliver_substructure(window.parent, event)
+            self._expose(window.parent)
+        self._update_pointer_window()
+
+    def configure_window(self, wid: int, x: Optional[int] = None,
+                         y: Optional[int] = None,
+                         width: Optional[int] = None,
+                         height: Optional[int] = None,
+                         border_width: Optional[int] = None) -> None:
+        self._tick()
+        window = self.window(wid)
+        changed = False
+        if x is not None and x != window.x:
+            window.x = x
+            changed = True
+        if y is not None and y != window.y:
+            window.y = y
+            changed = True
+        if width is not None and width != window.width:
+            window.width = max(1, width)
+            changed = True
+        if height is not None and height != window.height:
+            window.height = max(1, height)
+            changed = True
+        if border_width is not None and border_width != window.border_width:
+            window.border_width = border_width
+            changed = True
+        if not changed:
+            return
+        event = Event(CONFIGURE_NOTIFY, window=wid, x=window.x, y=window.y,
+                      width=window.width, height=window.height,
+                      time=self.time_ms)
+        self._deliver(window, event)
+        if window.parent is not None:
+            self._deliver_substructure(window.parent, event)
+        if window.is_viewable():
+            self._expose(window)
+        self._update_pointer_window()
+
+    def raise_window(self, wid: int) -> None:
+        """Restack a window above all its siblings."""
+        self._tick()
+        window = self.window(wid)
+        parent = window.parent
+        if parent is not None and parent.children[-1] is not window:
+            parent.children.remove(window)
+            parent.children.append(window)
+            if window.is_viewable():
+                self._expose(window)
+            self._update_pointer_window()
+
+    def lower_window(self, wid: int) -> None:
+        """Restack a window below all its siblings."""
+        self._tick()
+        window = self.window(wid)
+        parent = window.parent
+        if parent is not None and parent.children[0] is not window:
+            parent.children.remove(window)
+            parent.children.insert(0, window)
+            if parent.is_viewable():
+                self._expose(parent)
+            self._update_pointer_window()
+
+    def select_input(self, client: Client, wid: int, mask: int) -> None:
+        self._tick()
+        window = self.window(wid)
+        if mask == 0:
+            window.event_selections.pop(client, None)
+        else:
+            window.event_selections[client] = mask
+
+    def get_geometry(self, wid: int) -> Tuple[int, int, int, int, int]:
+        self._tick()
+        self.round_trip()
+        window = self.window(wid)
+        return (window.x, window.y, window.width, window.height,
+                window.border_width)
+
+    def query_tree(self, wid: int) -> Tuple[int, int, List[int]]:
+        self._tick()
+        self.round_trip()
+        window = self.window(wid)
+        parent_id = window.parent.id if window.parent is not None else 0
+        return (self.root.id, parent_id,
+                [child.id for child in window.children])
+
+    def set_window_background(self, wid: int, pixel: int) -> None:
+        self._tick()
+        self.window(wid).background = pixel
+
+    # ------------------------------------------------------------------
+    # atoms and properties
+    # ------------------------------------------------------------------
+
+    def intern_atom(self, name: str, only_if_exists: bool = False) -> int:
+        self._tick()
+        self.round_trip()
+        if only_if_exists:
+            return self.atoms.lookup(name)
+        return self.atoms.intern(name)
+
+    def get_atom_name(self, atom: int) -> str:
+        self._tick()
+        self.round_trip()
+        try:
+            return self.atoms.name(atom)
+        except KeyError:
+            raise XProtocolError("BadAtom: %d" % atom)
+
+    def change_property(self, wid: int, property_atom: int, type_atom: int,
+                        value: object, append: bool = False) -> None:
+        self._tick()
+        window = self.window(wid)
+        if append and property_atom in window.properties:
+            old_type, old_value = window.properties[property_atom]
+            if isinstance(old_value, str) and isinstance(value, str):
+                value = old_value + value
+            elif isinstance(old_value, (list, tuple)):
+                value = list(old_value) + list(value)
+        window.properties[property_atom] = (type_atom, value)
+        self._property_notify(window, property_atom, deleted=False)
+
+    def get_property(self, wid: int, property_atom: int,
+                     delete: bool = False) -> Optional[Tuple[int, object]]:
+        self._tick()
+        self.round_trip()
+        window = self.window(wid)
+        entry = window.properties.get(property_atom)
+        if delete and entry is not None:
+            del window.properties[property_atom]
+            self._property_notify(window, property_atom, deleted=True)
+        return entry
+
+    def delete_property(self, wid: int, property_atom: int) -> None:
+        self._tick()
+        window = self.window(wid)
+        if property_atom in window.properties:
+            del window.properties[property_atom]
+            self._property_notify(window, property_atom, deleted=True)
+
+    def _property_notify(self, window: Window, atom: int,
+                         deleted: bool) -> None:
+        event = Event(PROPERTY_NOTIFY, window=window.id, atom=atom,
+                      state=1 if deleted else 0, time=self.time_ms)
+        self._deliver(window, event)
+
+    # ------------------------------------------------------------------
+    # selections (ICCCM substrate, paper section 3.6)
+    # ------------------------------------------------------------------
+
+    def set_selection_owner(self, client: Client, selection: int,
+                            wid: int) -> None:
+        self._tick()
+        previous = self.selections.get(selection)
+        if wid == 0:
+            if previous is not None:
+                del self.selections[selection]
+            return
+        window = self.window(wid)
+        if previous is not None and previous[0].id != wid:
+            old_window, old_client = previous
+            old_client.enqueue(Event(SELECTION_CLEAR, window=old_window.id,
+                                     selection=selection,
+                                     time=self.time_ms))
+        self.selections[selection] = (window, client)
+
+    def get_selection_owner(self, selection: int) -> int:
+        self._tick()
+        self.round_trip()
+        entry = self.selections.get(selection)
+        return entry[0].id if entry is not None else 0
+
+    def convert_selection(self, client: Client, selection: int, target: int,
+                          property_atom: int, requestor: int) -> None:
+        self._tick()
+        entry = self.selections.get(selection)
+        if entry is None:
+            client.enqueue(Event(SELECTION_NOTIFY, window=requestor,
+                                 selection=selection, target=target,
+                                 property=0, time=self.time_ms))
+            return
+        owner_window, owner_client = entry
+        owner_client.enqueue(Event(SELECTION_REQUEST, window=owner_window.id,
+                                   selection=selection, target=target,
+                                   property=property_atom,
+                                   requestor=requestor, time=self.time_ms))
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+
+    def send_event(self, wid: int, event: Event,
+                   event_mask: int = 0) -> None:
+        """SendEvent request: deliver a synthetic event.
+
+        With a zero mask the event goes to the client that created the
+        window (this is how SelectionNotify and Tk's send transport
+        their replies); otherwise it goes to clients selecting the mask.
+        """
+        self._tick()
+        window = self.window(wid)
+        event = event.for_window(wid)
+        event.send_event = True
+        if event_mask == 0:
+            if window.creator is not None:
+                window.creator.enqueue(event)
+            elif window is self.root:
+                # Events "sent to the root" go to everyone listening.
+                for client in self.clients:
+                    client.enqueue(event)
+            return
+        for client, mask in window.event_selections.items():
+            if mask & event_mask:
+                client.enqueue(event)
+
+    def _deliver(self, window: Window, event: Event) -> bool:
+        """Deliver to clients selecting this event's mask on ``window``."""
+        mask = mask_for(event.type)
+        delivered = False
+        for client, selected in list(window.event_selections.items()):
+            if mask == ALWAYS_DELIVERED or (selected & mask):
+                client.enqueue(event.for_window(window.id))
+                delivered = True
+        return delivered
+
+    def _deliver_substructure(self, parent: Window, event: Event) -> None:
+        for client, selected in list(parent.event_selections.items()):
+            if selected & SUBSTRUCTURE_NOTIFY_MASK:
+                client.enqueue(event)
+
+    def _deliver_propagating(self, window: Window, event: Event) -> bool:
+        """Key/button/motion delivery with upward propagation."""
+        target: Optional[Window] = window
+        while target is not None:
+            if self._deliver(target, event):
+                return True
+            target = target.parent
+        return False
+
+    def _expose(self, window: Window) -> None:
+        if not window.is_viewable():
+            return
+        event = Event(EXPOSE, window=window.id, x=0, y=0,
+                      width=window.width, height=window.height,
+                      time=self.time_ms)
+        self._deliver(window, event)
+        for child in window.children:
+            self._expose(child)
+
+    # ------------------------------------------------------------------
+    # input device simulation
+    # ------------------------------------------------------------------
+
+    def warp_pointer(self, root_x: int, root_y: int, state: int = 0) -> None:
+        """Move the pointer, generating Enter/Leave and Motion events."""
+        self._tick()
+        self.pointer_x = root_x
+        self.pointer_y = root_y
+        old = self.pointer_window
+        new = self.root.window_at(root_x, root_y)
+        if new is not old:
+            self._crossing(old, new, state)
+        self.pointer_window = new
+        x, y = new.root_position()
+        event = Event(MOTION_NOTIFY, window=new.id, x=root_x - x,
+                      y=root_y - y, x_root=root_x, y_root=root_y,
+                      state=state, time=self.time_ms)
+        self._deliver_propagating(new, event)
+
+    def _crossing(self, old: Window, new: Window, state: int) -> None:
+        old_chain = [old] + list(old.ancestors())
+        new_chain = [new] + list(new.ancestors())
+        for window in old_chain:
+            if window not in new_chain and not window.destroyed:
+                self._deliver(window, Event(LEAVE_NOTIFY, window=window.id,
+                                            state=state, time=self.time_ms))
+        for window in reversed(new_chain):
+            if window not in old_chain:
+                self._deliver(window, Event(ENTER_NOTIFY, window=window.id,
+                                            state=state, time=self.time_ms))
+
+    def _update_pointer_window(self) -> None:
+        current = self.root.window_at(self.pointer_x, self.pointer_y)
+        if current is not self.pointer_window:
+            old = self.pointer_window
+            if old.destroyed:
+                old = self.root
+            self._crossing(old, current, 0)
+            self.pointer_window = current
+
+    def press_button(self, button: int, state: int = 0) -> None:
+        """Press a pointer button at the current pointer position."""
+        self._button_event(BUTTON_PRESS, button, state)
+
+    def release_button(self, button: int, state: int = 0) -> None:
+        self._button_event(BUTTON_RELEASE, button, state)
+
+    def _button_event(self, event_type: int, button: int,
+                      state: int) -> None:
+        self._tick()
+        window = self.pointer_window
+        x, y = window.root_position()
+        event = Event(event_type, window=window.id,
+                      x=self.pointer_x - x, y=self.pointer_y - y,
+                      x_root=self.pointer_x, y_root=self.pointer_y,
+                      button=button, state=state, time=self.time_ms)
+        self._deliver_propagating(window, event)
+
+    def press_key(self, keysym: str, state: int = 0,
+                  window_id: Optional[int] = None) -> None:
+        """Press a key; delivered to the focus window (or an override)."""
+        self._key_event(KEY_PRESS, keysym, state, window_id)
+
+    def release_key(self, keysym: str, state: int = 0,
+                    window_id: Optional[int] = None) -> None:
+        self._key_event(KEY_RELEASE, keysym, state, window_id)
+
+    def _key_event(self, event_type: int, keysym: str, state: int,
+                   window_id: Optional[int]) -> None:
+        self._tick()
+        from .keysyms import char_for_keysym
+        if window_id is not None:
+            window = self.window(window_id)
+        else:
+            window = self.focus_window
+            if window.destroyed:
+                window = self.root
+        char = char_for_keysym(keysym) or ""
+        event = Event(event_type, window=window.id, keysym=keysym,
+                      keychar=char, state=state, time=self.time_ms,
+                      x_root=self.pointer_x, y_root=self.pointer_y)
+        self._deliver_propagating(window, event)
+
+    def set_input_focus(self, wid: int) -> None:
+        self._tick()
+        self.focus_window = self.window(wid)
+
+    # ------------------------------------------------------------------
+    # server resources
+    # ------------------------------------------------------------------
+
+    def alloc_named_color(self, name: str) -> Color:
+        self._tick()
+        self.round_trip()
+        rgb = parse_color(name)
+        if rgb is None:
+            raise XProtocolError('unknown color name "%s"' % name)
+        red, green, blue = rgb
+        pixel = (red << 16) | (green << 8) | blue
+        return Color(pixel, red, green, blue)
+
+    def load_font(self, name: str) -> Font:
+        self._tick()
+        self.round_trip()
+        if not font_exists(name):
+            raise XProtocolError('font "%s" doesn\'t exist' % name)
+        char_width, ascent, descent = font_metrics(name)
+        font = Font(self._new_id(), name, char_width, ascent, descent)
+        self.resources[font.fid] = font
+        return font
+
+    def create_cursor(self, name: str) -> Cursor:
+        self._tick()
+        self.round_trip()
+        if name not in CURSOR_NAMES:
+            raise XProtocolError('bad cursor name "%s"' % name)
+        cursor = Cursor(self._new_id(), name)
+        self.resources[cursor.cid] = cursor
+        return cursor
+
+    def create_bitmap(self, name: str, width: int = 0,
+                      height: int = 0) -> Bitmap:
+        self._tick()
+        self.round_trip()
+        if name in BUILTIN_BITMAPS:
+            width, height = BUILTIN_BITMAPS[name]
+        elif width <= 0 or height <= 0:
+            raise XProtocolError('bad bitmap "%s"' % name)
+        bitmap = Bitmap(self._new_id(), name, width, height)
+        self.resources[bitmap.bid] = bitmap
+        return bitmap
+
+    def create_gc(self, **values) -> GraphicsContext:
+        self._tick()
+        gc = GraphicsContext(self._new_id(), dict(values))
+        self.resources[gc.gid] = gc
+        return gc
+
+    def free_resource(self, rid: int) -> None:
+        self._tick()
+        self.resources.pop(rid, None)
+
+    # ------------------------------------------------------------------
+    # drawing (recorded for the renderer)
+    # ------------------------------------------------------------------
+
+    def clear_window(self, wid: int) -> None:
+        self._tick()
+        window = self.window(wid)
+        window.clear_drawing()
+
+    def fill_rectangle(self, wid: int, gc: GraphicsContext, x: int, y: int,
+                       width: int, height: int) -> None:
+        self._tick()
+        self.window(wid).record("fill", (x, y, width, height), gc.values)
+
+    def draw_rectangle(self, wid: int, gc: GraphicsContext, x: int, y: int,
+                       width: int, height: int) -> None:
+        self._tick()
+        self.window(wid).record("rect", (x, y, width, height), gc.values)
+
+    def draw_line(self, wid: int, gc: GraphicsContext, x1: int, y1: int,
+                  x2: int, y2: int) -> None:
+        self._tick()
+        self.window(wid).record("line", (x1, y1, x2, y2), gc.values)
+
+    def draw_string(self, wid: int, gc: GraphicsContext, x: int, y: int,
+                    text: str) -> None:
+        self._tick()
+        self.window(wid).record("text", (x, y, text), gc.values)

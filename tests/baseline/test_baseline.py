@@ -1,0 +1,326 @@
+"""Tests for the Xt-like baseline toolkit."""
+
+import pytest
+
+from repro.baseline import (Shell, TranslationError, TranslationTable,
+                            UilError, XmLabel, XmList, XmPanedWindow,
+                            XmPushButton, XmScrollBar, XmToggleButton,
+                            XtAppContext, XtError, compile_uil,
+                            instantiate, register_baseline_actions)
+from repro.x11 import XServer
+from repro.x11 import events as ev
+
+
+@pytest.fixture
+def app():
+    context = XtAppContext(XServer(), name="xttest")
+    register_baseline_actions(context)
+    return context
+
+
+@pytest.fixture
+def shell(app):
+    return Shell(app, "top", width=300, height=300)
+
+
+def click(app, widget, button=1, state=0, dx=2, dy=2):
+    server = app.server
+    x, y, _w, _h, _bw = server.get_geometry(widget.window_id)
+    window = server.window(widget.window_id)
+    root_x, root_y = window.root_position()
+    server.warp_pointer(root_x + dx, root_y + dy, state)
+    server.press_button(button, state)
+    server.release_button(button, state)
+    app.process_pending()
+
+
+class TestIntrinsics:
+    def test_resource_defaults(self, shell):
+        label = XmLabel("l", shell, labelString="hi")
+        assert label.values["labelString"] == "hi"
+        assert label.values["marginWidth"] == 3
+
+    def test_resource_type_conversion(self, shell):
+        label = XmLabel("l", shell, foreground="red")
+        assert label.values["foreground"] == 0xFF0000
+
+    def test_unknown_resource_is_error(self, shell):
+        with pytest.raises(XtError, match="unknown resources"):
+            XmLabel("l", shell, nonsense=1)
+
+    def test_set_values(self, shell):
+        label = XmLabel("l", shell, labelString="a")
+        label.set_values(labelString="b")
+        assert label.values["labelString"] == "b"
+
+    def test_realize_creates_windows(self, app, shell):
+        label = XmLabel("l", shell, labelString="hi")
+        label.manage()
+        shell.realize()
+        assert label.window_id != 0
+        assert app.server.window(label.window_id) is not None
+
+    def test_destroy_subtree(self, app, shell):
+        pane = XmPanedWindow("p", shell)
+        label = XmLabel("l", pane, labelString="x")
+        shell.realize()
+        pane.destroy()
+        assert label.destroyed
+
+    def test_callbacks_called_in_order(self, shell):
+        button = XmPushButton("b", shell, labelString="go")
+        calls = []
+        button.add_callback(XmPushButton.ACTIVATE,
+                            lambda w, c, d: calls.append("first"))
+        button.add_callback(XmPushButton.ACTIVATE,
+                            lambda w, c, d: calls.append("second"))
+        button.call_callbacks(XmPushButton.ACTIVATE)
+        assert calls == ["first", "second"]
+
+    def test_remove_callback(self, shell):
+        button = XmPushButton("b", shell, labelString="go")
+        calls = []
+
+        def proc(w, c, d):
+            calls.append(1)
+
+        button.add_callback(XmPushButton.ACTIVATE, proc)
+        button.remove_callback(XmPushButton.ACTIVATE, proc)
+        button.call_callbacks(XmPushButton.ACTIVATE)
+        assert calls == []
+
+    def test_client_data_passed(self, shell):
+        button = XmPushButton("b", shell, labelString="go")
+        seen = []
+        button.add_callback(XmPushButton.ACTIVATE,
+                            lambda w, c, d: seen.append(c), "my-data")
+        button.call_callbacks(XmPushButton.ACTIVATE)
+        assert seen == ["my-data"]
+
+
+class TestTranslations:
+    def test_parse_simple_table(self):
+        table = TranslationTable("<Btn1Down>: Arm()\n"
+                                 "<Btn1Up>: Activate() Disarm()\n")
+        assert len(table.translations) == 2
+        assert table.translations[1].actions == [("Activate", []),
+                                                 ("Disarm", [])]
+
+    def test_key_detail(self):
+        table = TranslationTable("<Key>space: Activate()\n")
+        event = ev.Event(ev.KEY_PRESS, keysym="space")
+        assert table.lookup(event) == [("Activate", [])]
+        assert table.lookup(ev.Event(ev.KEY_PRESS, keysym="a")) == []
+
+    def test_modifier_prefix(self):
+        table = TranslationTable("Ctrl <Key>q: Quit()\n")
+        with_control = ev.Event(ev.KEY_PRESS, keysym="q",
+                                state=ev.CONTROL_MASK)
+        without = ev.Event(ev.KEY_PRESS, keysym="q")
+        assert table.lookup(with_control) == [("Quit", [])]
+        assert table.lookup(without) == []
+
+    def test_action_arguments(self):
+        table = TranslationTable("<Key>a: Insert(a, twice)\n")
+        event = ev.Event(ev.KEY_PRESS, keysym="a")
+        assert table.lookup(event) == [("Insert", ["a", "twice"])]
+
+    def test_merge_overrides(self):
+        base = TranslationTable("<Btn1Down>: Arm()\n")
+        override = TranslationTable("<Btn1Down>: Other()\n")
+        base.merge(override)
+        event = ev.Event(ev.BUTTON_PRESS, button=1)
+        assert base.lookup(event) == [("Other", [])]
+
+    def test_syntax_errors(self):
+        for bad in ["no colon here", "<Nonsense>: A()", "<Key>x: ",
+                    "<Key>x: NotAnActionCall"]:
+            with pytest.raises(TranslationError):
+                TranslationTable(bad)
+
+    def test_unregistered_action_raises(self, app, shell):
+        button = XmPushButton("b", shell, labelString="x")
+        button.override_translations("<Key>z: NoSuchAction()\n")
+        shell.realize()
+        button.manage()
+        app.process_pending()
+        app.server.press_key("z", window_id=button.window_id)
+        with pytest.raises(XtError, match="not registered"):
+            app.process_pending()
+
+
+class TestWidgets:
+    def test_pushbutton_activate_via_events(self, app, shell):
+        button = XmPushButton("b", shell, labelString="go")
+        button.manage()
+        shell.realize()
+        app.process_pending()
+        fired = []
+        button.add_callback(XmPushButton.ACTIVATE,
+                            lambda w, c, d: fired.append(1))
+        click(app, button)
+        assert fired == [1]
+
+    def test_toggle_button(self, app, shell):
+        toggle = XmToggleButton("t", shell, labelString="opt")
+        toggle.manage()
+        shell.realize()
+        app.process_pending()
+        values = []
+        toggle.add_callback(XmToggleButton.VALUE_CHANGED,
+                            lambda w, c, d: values.append(d))
+        click(app, toggle)
+        click(app, toggle)
+        assert values == [True, False]
+
+    def test_scrollbar_value_changed(self, app, shell):
+        bar = XmScrollBar("s", shell, maximum=50, height=100)
+        bar.manage()
+        shell.realize()
+        app.process_pending()
+        seen = []
+        bar.add_callback(XmScrollBar.VALUE_CHANGED,
+                         lambda w, c, d: seen.append(d))
+        bar.drag(ev.Event(ev.BUTTON_PRESS, y=50))
+        assert seen and 0 < seen[0] <= 50
+
+    def test_list_contents(self, shell):
+        lst = XmList("l", shell)
+        for item in ("a", "b", "c"):
+            lst.add_item(item)
+        assert lst.item_count() == 3
+        lst.delete_item(1)
+        assert lst.get_item(1) == "c"
+
+    def test_list_selection_callback(self, app, shell):
+        lst = XmList("l", shell)
+        for item in ("a", "b", "c"):
+            lst.add_item(item)
+        lst.manage()
+        shell.realize()
+        app.process_pending()
+        picks = []
+        lst.add_callback(XmList.SELECTION,
+                         lambda w, c, d: picks.append(d))
+        click(app, lst, dy=3)
+        assert picks == [[0]]
+
+    def test_paned_window_stacks_children(self, app, shell):
+        pane = XmPanedWindow("p", shell, width=200, height=200)
+        first = XmLabel("a", pane, labelString="first")
+        second = XmLabel("b", pane, labelString="second")
+        pane.manage()
+        shell.realize()
+        first.manage()
+        second.manage()
+        assert first.values["y"] == 0
+        assert second.values["y"] >= first.values["height"]
+
+    def test_scrollbar_list_needs_adapter_code(self, app, shell):
+        """The composition ablation: wiring a scroll bar to a list takes
+        a bespoke compiled adapter — compare Tk's -command string."""
+        lst = XmList("l", shell)
+        for index in range(30):
+            lst.add_item("item%d" % index)
+        bar = XmScrollBar("s", shell, maximum=30, sliderSize=5)
+
+        def scroll_adapter(widget, client_data, call_data):
+            client_data.set_top_item(call_data)
+
+        bar.add_callback(XmScrollBar.VALUE_CHANGED, scroll_adapter, lst)
+        bar._set_value(7)
+        assert lst.top_item == 7
+
+
+class TestUil:
+    UIL = """
+    object main : XmPanedWindow {
+        object title : XmLabel {
+            arguments { labelString = "My Application"; };
+        };
+        object ok : XmPushButton {
+            arguments { labelString = "OK"; };
+            callbacks { activateCallback = ok_pressed; };
+        };
+    };
+    """
+
+    def test_compile(self):
+        (main,) = compile_uil(self.UIL)
+        assert main.class_name == "XmPanedWindow"
+        assert [child.name for child in main.children] == ["title", "ok"]
+        assert main.children[0].arguments["labelString"] == \
+            "My Application"
+
+    def test_instantiate_with_procedures(self, app, shell):
+        (main,) = compile_uil(self.UIL)
+        fired = []
+        procedures = {"ok_pressed": lambda w, c, d: fired.append(1)}
+        root = instantiate(main, shell, procedures)
+        shell.realize()
+        ok = root.children[1]
+        ok.call_callbacks(XmPushButton.ACTIVATE)
+        assert fired == [1]
+
+    def test_missing_procedure_fails_late(self, app, shell):
+        """UIL errors surface only at instantiation — the late-failure
+        mode interpretive Tcl avoids."""
+        (main,) = compile_uil(self.UIL)
+        with pytest.raises(UilError, match="not registered"):
+            instantiate(main, shell, procedures={})
+
+    def test_syntax_errors(self):
+        for bad in ["object x : NoSuchClass { };",
+                    "object x XmLabel { };",
+                    "not uil at all"]:
+            with pytest.raises(UilError):
+                compile_uil(bad)
+
+    def test_comments_ignored(self):
+        text = "! a comment\nobject x : XmLabel { };\n"
+        (obj,) = compile_uil(text)
+        assert obj.name == "x"
+
+
+class TestEventLoopExtras:
+    def test_timeout_fires(self, app):
+        fired = []
+        app.add_timeout(50, lambda data, tid: fired.append(data), "x")
+        app.process_pending()
+        assert fired == []
+        app.server.time_ms += 60
+        app.process_pending()
+        assert fired == ["x"]
+
+    def test_timeout_removal(self, app):
+        fired = []
+        timer_id = app.add_timeout(10, lambda d, t: fired.append(1))
+        app.remove_timeout(timer_id)
+        app.server.time_ms += 50
+        app.process_pending()
+        assert fired == []
+
+    def test_work_proc_runs_when_idle(self, app):
+        state = {"runs": 0}
+
+        def work(client_data):
+            state["runs"] += 1
+            return state["runs"] >= 3   # True = done
+
+        app.add_work_proc(work)
+        for _ in range(5):
+            app.process_pending()
+        assert state["runs"] == 3
+
+    def test_work_proc_deferred_while_busy(self, app, shell):
+        """Work procs only run when no events or timers are pending."""
+        ran = []
+        app.add_work_proc(lambda data: ran.append(1) or True)
+        label = XmLabel("l", shell, labelString="x")
+        label.manage()
+        shell.realize()
+        # First drain processes the realize/expose events, not the proc.
+        first = app.process_pending()
+        assert first > 0 and ran == []
+        app.process_pending()
+        assert ran == [1]

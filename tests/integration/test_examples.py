@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are the paper's scenarios (sections 4-8); running them
+end-to-end here keeps them working as the library evolves.
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "..", "..", "examples")
+
+SCRIPTS = ["quickstart.py", "browser.py", "debugger_editor.py",
+           "hypertext.py", "interface_editor.py", "paint.py",
+           "spreadsheet.py", "baseline_browser.py"]
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script, capsys, monkeypatch, tmp_path):
+    if script in ("browser.py", "baseline_browser.py"):
+        # Browsers take a directory argument; give them a small one.
+        (tmp_path / "file.txt").write_text("x")
+        (tmp_path / "sub").mkdir()
+        monkeypatch.setattr(sys, "argv",
+                            [script, str(tmp_path)])
+    else:
+        monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(os.path.join(EXAMPLES, script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), "examples narrate what they demonstrate"
+
+
+def test_quickstart_output_details(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(os.path.join(EXAMPLES, "quickstart.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "button printed: 'Hello!'" in out
+    assert "new background: PalePink1" in out
+
+
+def test_spreadsheet_totals(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["spreadsheet.py"])
+    runpy.run_path(os.path.join(EXAMPLES, "spreadsheet.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "10100" in out          # initial total via two sends
+    assert "10700" in out          # total after the remote update
+
+
+def test_debugger_editor_cooperation(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["debugger_editor.py"])
+    runpy.run_path(os.path.join(EXAMPLES, "debugger_editor.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "highlights range: 4.0" in out
+    assert "breakpoints: 6" in out

@@ -1,0 +1,271 @@
+"""Failure-injection tests: destroyed windows, dying applications,
+errors inside callbacks — the system must degrade with Tcl errors, not
+crashes or hangs."""
+
+import io
+
+import pytest
+
+from repro.tcl import TclError
+from repro.tk import TkApp, pump_all
+from repro.x11 import XServer, XProtocolError
+from repro.x11 import events as ev
+
+
+@pytest.fixture
+def server():
+    return XServer()
+
+
+@pytest.fixture
+def app(server):
+    application = TkApp(server, name="victim")
+    application.interp.stdout = io.StringIO()
+    return application
+
+
+class TestDestroyedWindows:
+    def test_widget_command_after_destroy_is_clean_error(self, app):
+        app.interp.eval("button .b -text x")
+        app.interp.eval("destroy .b")
+        with pytest.raises(TclError, match="invalid command name"):
+            app.interp.eval(".b configure -text y")
+
+    def test_binding_that_destroys_its_own_window(self, app, server):
+        """A binding may destroy the window it fires on (the browser's
+        Control-q does exactly this)."""
+        app.interp.eval("frame .f -geometry 40x40")
+        app.interp.eval("pack append . .f {top}")
+        app.update()
+        app.interp.eval("bind .f x {destroy .f}")
+        server.press_key("x", window_id=app.window(".f").id)
+        app.update()
+        assert app.interp.eval("winfo exists .f") == "0"
+        # Queue stays healthy afterwards.
+        app.update()
+
+    def test_command_that_destroys_the_button(self, app, server):
+        app.interp.eval("button .b -text x -command {destroy .b}")
+        app.interp.eval("pack append . .b {top}")
+        app.update()
+        window = app.window(".b")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 2, root_y + 2)
+        server.press_button(1)
+        server.release_button(1)
+        app.update()
+        assert app.interp.eval("winfo exists .b") == "0"
+
+    def test_destroy_parent_during_pack(self, app):
+        app.interp.eval("frame .f")
+        app.interp.eval("button .f.b -text x")
+        app.interp.eval("pack append .f .f.b {top}")
+        app.interp.eval("destroy .f")
+        app.update()
+        assert app.interp.eval("winfo exists .f.b") == "0"
+
+    def test_events_for_destroyed_window_dropped(self, app, server):
+        app.interp.eval("frame .f -geometry 40x40")
+        app.interp.eval("pack append . .f {top}")
+        app.update()
+        app.interp.eval("bind .f x {set fired 1}")
+        window_id = app.window(".f").id
+        server.press_key("x", window_id=window_id)
+        # Destroy before the event is processed.
+        app.interp.eval("destroy .f")
+        app.update()     # must not raise
+        assert app.interp.eval("info exists fired") == "0"
+
+    def test_focus_window_destroyed_mid_stream(self, app, server):
+        app.interp.eval("entry .e")
+        app.interp.eval("pack append . .e {top}")
+        app.update()
+        app.interp.eval("focus .e")
+        server.press_key("a", window_id=app.main.id)
+        app.interp.eval("destroy .e")
+        app.update()    # pending keystroke must not crash
+        assert app.interp.eval("focus") == "none"
+
+
+class TestErrorsInCallbacks:
+    def test_command_error_recorded_in_error_info(self, app, server):
+        app.interp.eval("button .b -text x -command {error exploded}")
+        app.interp.eval("pack append . .b {top}")
+        app.update()
+        window = app.window(".b")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 2, root_y + 2)
+        server.press_button(1)
+        server.release_button(1)
+        with pytest.raises(TclError, match="exploded"):
+            app.update()
+        assert "exploded" in app.interp.get_global_var("errorInfo")
+        app.update()   # the queue keeps working afterwards
+
+    def test_catch_in_command_contains_error(self, app):
+        app.interp.eval("button .b -text x "
+                        "-command {catch {error handled} msg}")
+        app.window(".b").widget.invoke()
+        assert app.interp.eval("set msg") == "handled"
+
+    def test_bad_color_in_configure_is_tcl_error(self, app):
+        app.interp.eval("button .b -text x")
+        app.interp.eval(".b configure -bg DoesNotExist")
+        app.interp.eval("pack append . .b {top}")
+        with pytest.raises(TclError, match="unknown color"):
+            app.window(".b").widget.draw()
+
+    def test_bad_font_is_tcl_error_at_creation(self, app):
+        with pytest.raises(TclError, match="font"):
+            app.interp.eval("button .b -text x -font {  }")
+
+
+class TestDyingApplications:
+    def test_send_to_destroyed_app_fails_cleanly(self, server, app):
+        peer = TkApp(server, name="shortlived")
+        peer.interp.stdout = io.StringIO()
+        peer.destroy()
+        with pytest.raises(TclError, match="no registered interpreter"):
+            app.interp.eval("send shortlived set x 1")
+
+    def test_registry_consistent_after_crash_like_exit(self, server,
+                                                       app):
+        peer = TkApp(server, name="crashy")
+        peer.destroy()
+        survivors = app.sender.application_names()
+        assert "crashy" not in survivors
+        assert "victim" in survivors
+
+    def test_selection_owner_app_dies(self, server, app):
+        owner = TkApp(server, name="owner")
+        owner.interp.stdout = io.StringIO()
+        owner.interp.eval("listbox .l")
+        owner.interp.eval("pack append . .l {top}")
+        owner.update()
+        owner.interp.eval(".l insert end hello")
+        owner.interp.eval(".l select from 0")
+        assert app.interp.eval("selection get") == "hello"
+        owner.destroy()
+        pump_all(server)
+        with pytest.raises(TclError):
+            app.interp.eval("selection get")
+
+    def test_pump_all_survives_app_destruction(self, server, app):
+        peer = TkApp(server, name="transient")
+        peer.interp.stdout = io.StringIO()
+        peer.dispatcher.after(0, peer.destroy)
+        pump_all(server)
+        assert peer.destroyed
+        assert not app.destroyed
+
+
+class TestServerEdgeCases:
+    def test_operations_on_destroyed_x_window(self, server):
+        from repro.x11 import Display
+        display = Display(server)
+        window = display.create_window(display.root, 0, 0, 10, 10)
+        display.destroy_window(window)
+        with pytest.raises(XProtocolError):
+            display.map_window(window)
+        with pytest.raises(XProtocolError):
+            display.change_property(window, 1, 1, "x")
+
+    def test_pointer_over_destroyed_window(self, server):
+        from repro.x11 import Display
+        display = Display(server)
+        window = display.create_window(display.root, 0, 0, 50, 50)
+        display.map_window(window)
+        server.warp_pointer(10, 10)
+        display.destroy_window(window)
+        server.warp_pointer(12, 12)   # must not crash
+        server.press_button(1)
+
+    def test_double_destroy_is_harmless(self, app):
+        app.interp.eval("frame .f")
+        window = app.window(".f")
+        window.destroy()
+        window.destroy()
+
+    def test_update_during_update_guard(self, app):
+        """An update triggered from inside a callback terminates."""
+        app.interp.eval("button .b -text x -command {update}")
+        app.interp.eval("pack append . .b {top}")
+        app.update()
+        app.window(".b").widget.invoke()
+
+
+class TestInterpreterRobustness:
+    def test_deleting_command_mid_script(self, app):
+        app.interp.eval("proc once {} {rename once {}\nreturn ran}")
+        assert app.interp.eval("once") == "ran"
+        with pytest.raises(TclError):
+            app.interp.eval("once")
+
+    def test_redefining_widget_command_breaks_gracefully(self, app):
+        app.interp.eval("button .b -text x")
+        app.interp.eval("proc .b args {return hijacked}")
+        assert app.interp.eval(".b anything") == "hijacked"
+
+    def test_bgerror_style_recovery(self, app, server):
+        """After a binding error, subsequent events still work."""
+        app.interp.eval("frame .f -geometry 30x30")
+        app.interp.eval("pack append . .f {top}")
+        app.update()
+        app.interp.eval("bind .f a {error bad}")
+        app.interp.eval("bind .f b {set good 1}")
+        with pytest.raises(TclError):
+            server.press_key("a", window_id=app.window(".f").id)
+            app.update()
+        server.press_key("b", window_id=app.window(".f").id)
+        app.update()
+        assert app.interp.eval("set good") == "1"
+
+
+class TestPartialCreation:
+    def test_failed_creation_leaves_no_window(self, app):
+        with pytest.raises(TclError):
+            app.interp.eval("button .b -text x -font {  }")
+        assert app.interp.eval("winfo exists .b") == "0"
+
+    def test_name_reusable_after_failed_creation(self, app):
+        with pytest.raises(TclError):
+            app.interp.eval("button .b -text x -font {  }")
+        app.interp.eval("button .b -text recovered")
+        assert app.interp.eval(".b cget -text") == "recovered"
+
+
+class TestBackgroundErrors:
+    def test_bgerror_catches_binding_errors(self, app, server):
+        """With bgerror defined (as in wish), a broken binding reports
+        instead of killing the event loop."""
+        app.interp.eval("proc bgerror {msg} {global reported\n"
+                        "set reported $msg}")
+        app.interp.eval("frame .f -geometry 30x30")
+        app.interp.eval("pack append . .f {top}")
+        app.update()
+        app.interp.eval("bind .f a {error kaboom}")
+        server.press_key("a", window_id=app.window(".f").id)
+        app.update()          # must NOT raise
+        assert app.interp.eval("set reported") == "kaboom"
+
+    def test_bgerror_catches_timer_errors(self, app):
+        app.interp.eval("proc bgerror {msg} {global reported\n"
+                        "set reported $msg}")
+        app.interp.eval("after 10 {error late-boom}")
+        app.server.time_ms += 20
+        app.update()
+        assert app.interp.eval("set reported") == "late-boom"
+
+    def test_broken_bgerror_does_not_cascade(self, app):
+        app.interp.eval("proc bgerror {msg} {error worse}")
+        app.interp.eval("after 10 {error original}")
+        app.server.time_ms += 20
+        app.update()          # swallowed; the loop survives
+
+    def test_without_bgerror_errors_propagate(self, app):
+        from repro.tcl import TclError
+        import pytest
+        app.interp.eval("after 10 {error raw}")
+        app.server.time_ms += 20
+        with pytest.raises(TclError, match="raw"):
+            app.update()

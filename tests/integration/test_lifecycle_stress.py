@@ -1,0 +1,98 @@
+"""Stress/lifecycle tests: repeated create/destroy cycles must not
+leak windows, commands, bindings, or server resources."""
+
+import io
+
+import pytest
+
+from repro.tk import TkApp
+from repro.x11 import XServer
+
+
+@pytest.fixture
+def app():
+    application = TkApp(XServer(), name="stress")
+    application.interp.stdout = io.StringIO()
+    return application
+
+
+class TestNoLeaks:
+    def test_window_tables_shrink_after_destroy(self, app):
+        baseline_paths = len(app._windows_by_path)
+        baseline_ids = len(app._windows_by_id)
+        for cycle in range(10):
+            for index in range(20):
+                app.interp.eval("button .b%d -text x -command {}"
+                                % index)
+                app.interp.eval("pack append . .b%d {top}" % index)
+            app.update()
+            for index in range(20):
+                app.interp.eval("destroy .b%d" % index)
+            app.update()
+        assert len(app._windows_by_path) == baseline_paths
+        assert len(app._windows_by_id) == baseline_ids
+
+    def test_widget_commands_removed(self, app):
+        baseline = len(app.interp.commands)
+        for cycle in range(5):
+            app.interp.eval("entry .e")
+            app.interp.eval("destroy .e")
+        assert len(app.interp.commands) == baseline
+
+    def test_server_window_count_stable(self, app):
+        server = app.display.server
+        for _ in range(5):
+            app.interp.eval("frame .f")
+            app.interp.eval("frame .f.inner")
+            app.interp.eval("destroy .f")
+        baseline = len(server.resources)
+        for _ in range(5):
+            app.interp.eval("frame .f")
+            app.interp.eval("frame .f.inner")
+            app.interp.eval("destroy .f")
+        assert len(server.resources) == baseline
+
+    def test_bindings_dropped_with_window(self, app):
+        for cycle in range(5):
+            app.interp.eval("frame .f -geometry 20x20")
+            app.interp.eval("bind .f a {set x 1}")
+            app.interp.eval("destroy .f")
+        assert app.bindings._bindings.get(".f") is None
+
+    def test_many_apps_connect_and_leave(self):
+        server = XServer()
+        survivor = TkApp(server, name="survivor")
+        survivor.interp.stdout = io.StringIO()
+        for round_number in range(10):
+            transient = TkApp(server, name="transient%d" % round_number)
+            transient.interp.stdout = io.StringIO()
+            transient.interp.eval("button .b -text x")
+            survivor.interp.eval(
+                "send transient%d set v %d" % (round_number,
+                                               round_number))
+            transient.destroy()
+        assert survivor.interp.eval("winfo interps") == "survivor"
+
+    def test_deep_widget_tree(self, app):
+        path = ""
+        for depth in range(20):
+            path += ".f%d" % depth
+            app.interp.eval("frame %s" % path)
+        assert app.interp.eval("winfo exists %s" % path) == "1"
+        app.interp.eval("destroy .f0")
+        assert app.interp.eval("winfo exists %s" % path) == "0"
+
+    def test_hundred_widget_application(self, app):
+        """Well beyond the paper's 'many tens of widgets'."""
+        app.interp.eval("wm geometry . 800x800")
+        for index in range(100):
+            kind = ("button", "label", "checkbutton",
+                    "entry")[index % 4]
+            app.interp.eval("%s .w%d %s" % (
+                kind, index,
+                "-text w%d" % index if kind != "entry" else ""))
+            app.interp.eval("pack append . .w%d {top}" % index)
+        app.update()
+        assert len(app.interp.eval("winfo children .").split()) == 100
+        app.interp.eval("destroy .")
+        assert app.destroyed

@@ -1,0 +1,52 @@
+"""The README's code snippets must actually work."""
+
+import io
+
+from repro.tk import TkApp
+from repro.x11 import XServer
+
+
+def test_readme_quickstart_snippet():
+    server = XServer()
+    app = TkApp(server, name="hello")
+    app.interp.stdout = io.StringIO()
+
+    app.interp.eval('button .hello -bg Red -text "Hello, world" '
+                    '-command {print Hello!}')
+    app.interp.eval('pack append . .hello {top expand fill}')
+    app.update()
+
+    app.interp.eval('.hello flash')
+    app.interp.eval('.hello configure -bg PalePink1 -relief sunken')
+
+    x, y = app.window('.hello').root_position()
+    server.warp_pointer(x + 3, y + 3)
+    server.press_button(1)
+    server.release_button(1)
+    app.update()
+
+    assert app.interp.stdout.getvalue() == "Hello!"
+    assert app.interp.eval(".hello cget -bg") == "PalePink1"
+
+
+def test_readme_send_snippet():
+    server = XServer()
+    editor = TkApp(server, name="editor")
+    debugger = TkApp(server, name="debugger")
+    for application in (editor, debugger):
+        application.interp.stdout = io.StringIO()
+    debugger.interp.eval(
+        'proc setBreakpoint {line} {return "break at $line"}')
+    assert editor.interp.eval(
+        'send debugger setBreakpoint 42') == "break at 42"
+
+
+def test_readme_wish_snippet(tmp_path):
+    import os
+    from repro.wish import Wish
+    (tmp_path / "a_file").write_text("x")
+    shell = Wish(stdout=io.StringIO(), argv=[str(tmp_path)])
+    script = os.path.join(os.path.dirname(__file__), "..", "..",
+                          "examples", "browse.tcl")
+    shell.run_file(script)
+    assert int(shell.interp.eval(".list size")) >= 3

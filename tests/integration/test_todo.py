@@ -1,0 +1,83 @@
+"""Integration test: the to-do application (examples/todo.tcl), a
+complete program in pure Tcl using -textvariable, dialogs, and focus."""
+
+import io
+import os
+
+import pytest
+
+from repro.wish import Wish
+
+SCRIPT = os.path.join(os.path.dirname(__file__), "..", "..", "examples",
+                      "todo.tcl")
+
+
+@pytest.fixture
+def todo():
+    shell = Wish(name="todo", stdout=io.StringIO())
+    shell.run_file(SCRIPT)
+    return shell
+
+
+def type_task(shell, text):
+    for char in text:
+        shell.server.press_key(char, window_id=shell.app.main.id)
+    shell.server.press_key("Return", window_id=shell.app.main.id)
+    shell.app.update()
+
+
+class TestTodo:
+    def test_focus_starts_in_entry(self, todo):
+        assert todo.interp.eval("focus") == ".input"
+
+    def test_typing_return_adds_task(self, todo):
+        type_task(todo, "water plants")
+        assert todo.interp.eval(".tasks size") == "1"
+        assert todo.interp.eval(".tasks get 0") == "water plants"
+
+    def test_entry_cleared_after_add(self, todo):
+        type_task(todo, "a")
+        assert todo.interp.eval(".input get") == ""
+        assert todo.interp.eval("set draft") == ""
+
+    def test_status_label_tracks_count(self, todo):
+        type_task(todo, "one")
+        type_task(todo, "two")
+        window = todo.app.window(".status")
+        assert window.widget.display_text() == "2 tasks"
+
+    def test_empty_input_ignored(self, todo):
+        todo.server.press_key("Return", window_id=todo.app.main.id)
+        todo.app.update()
+        assert todo.interp.eval(".tasks size") == "0"
+
+    def test_done_without_selection_pops_dialog(self, todo):
+        type_task(todo, "something")
+        todo.app.dispatcher.after(
+            50, lambda: todo.interp.eval(".oops.btn0 invoke"))
+        todo.interp.eval("finishSelected")
+        assert todo.interp.eval(".tasks size") == "1"
+
+    def test_done_confirmed_removes_task(self, todo):
+        type_task(todo, "doomed")
+        todo.interp.eval(".tasks select from 0")
+        todo.app.dispatcher.after(
+            50, lambda: todo.interp.eval(".confirm.btn0 invoke"))
+        todo.interp.eval("finishSelected")
+        assert todo.interp.eval(".tasks size") == "0"
+        assert todo.app.window(".status").widget.display_text() == \
+            "0 tasks"
+
+    def test_done_declined_keeps_task(self, todo):
+        type_task(todo, "keeper")
+        todo.interp.eval(".tasks select from 0")
+        todo.app.dispatcher.after(
+            50, lambda: todo.interp.eval(".confirm.btn1 invoke"))
+        todo.interp.eval("finishSelected")
+        assert todo.interp.eval(".tasks size") == "1"
+
+    def test_scrollbar_kept_current(self, todo):
+        for number in range(12):
+            type_task(todo, "task%d" % number)
+        total = todo.interp.eval(".sb get").split()[0]
+        assert total == "12"

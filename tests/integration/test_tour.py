@@ -1,0 +1,83 @@
+"""Integration test: the widget-tour wish script exercises every
+widget type from pure Tcl."""
+
+import io
+import os
+
+import pytest
+
+from repro.wish import Wish
+
+SCRIPT = os.path.join(os.path.dirname(__file__), "..", "..", "examples",
+                      "tour.tcl")
+
+
+@pytest.fixture
+def tour():
+    shell = Wish(name="tour", stdout=io.StringIO())
+    shell.run_file(SCRIPT)
+    return shell
+
+
+class TestTour:
+    def test_all_sections_created(self, tour):
+        children = tour.interp.eval("winfo children .").split()
+        for expected in (".buttons", ".listpane", ".entrypane",
+                         ".volume", ".caption", ".filebtn",
+                         ".filemenu", ".art", ".doc"):
+            assert expected in children
+
+    def test_button_command(self, tour):
+        tour.interp.eval(".buttons.plain invoke")
+        assert tour.interp.eval("set pressed") == "1"
+
+    def test_checkbutton_variable(self, tour):
+        tour.interp.eval(".buttons.check toggle")
+        assert tour.interp.eval("set gadgets") == "1"
+
+    def test_radiobutton_group(self, tour):
+        tour.interp.eval(".buttons.r2 select")
+        assert tour.interp.eval("set side") == "right"
+
+    def test_scrollbar_drives_listbox(self, tour):
+        tour.app.window(".listpane.sb").widget.issue(3)
+        tour.app.update()
+        assert tour.app.window(".listpane.list").widget.top == 3
+
+    def test_entry_char_count_binding(self, tour):
+        tour.interp.eval("focus .entrypane.input")
+        for key in "abcd":
+            tour.server.press_key(key, window_id=tour.app.main.id)
+        tour.app.update()
+        assert tour.interp.eval(
+            ".entrypane.count cget -text") == "4 chars"
+
+    def test_scale_updates_caption(self, tour):
+        tour.app.window(".volume").widget._set_value(7, invoke=True)
+        tour.app.update()
+        assert tour.interp.eval(".caption cget -text") == "Volume is 7"
+
+    def test_menu_entries(self, tour):
+        tour.interp.eval(".filemenu invoke Open")
+        assert tour.interp.eval("set did") == "open"
+        tour.interp.eval(".filemenu invoke Autosave")
+        assert tour.interp.eval("set autosave") == "1"
+
+    def test_canvas_item_binding_moves_box(self, tour):
+        before = tour.interp.eval(".art coords box")
+        window = tour.app.window(".art")
+        root_x, root_y = window.root_position()
+        tour.server.warp_pointer(root_x + 20, root_y + 20)
+        tour.server.press_button(1)
+        tour.app.update()
+        after = tour.interp.eval(".art coords box")
+        assert before != after
+
+    def test_text_tag_present(self, tour):
+        assert tour.interp.eval(".doc tag ranges marked") == "2.0 2.4"
+
+    def test_control_q_exits_from_anywhere(self, tour):
+        tour.server.press_key("q", state=4,
+                              window_id=tour.app.main.id)
+        tour.app.update()
+        assert tour.destroyed

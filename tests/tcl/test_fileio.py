@@ -1,0 +1,198 @@
+"""Tests for file, glob, pwd, open/gets/read/close channels, source,
+and exec dispatch."""
+
+import os
+
+import pytest
+
+from repro.tcl import Interp, TclError
+
+
+@pytest.fixture
+def interp():
+    return Interp()
+
+
+class TestFileCommand:
+    def test_exists(self, interp, tmp_path):
+        target = tmp_path / "f"
+        assert interp.eval("file exists %s" % target) == "0"
+        target.write_text("x")
+        assert interp.eval("file exists %s" % target) == "1"
+
+    def test_isdirectory_isfile(self, interp, tmp_path):
+        (tmp_path / "f").write_text("x")
+        assert interp.eval("file isdirectory %s" % tmp_path) == "1"
+        assert interp.eval("file isfile %s" % tmp_path) == "0"
+        assert interp.eval("file isfile %s/f" % tmp_path) == "1"
+
+    def test_old_word_order(self, interp, tmp_path):
+        """Figure 9 uses 'file $name isdirectory' — the old order."""
+        assert interp.eval("file %s isdirectory" % tmp_path) == "1"
+
+    def test_size(self, interp, tmp_path):
+        target = tmp_path / "f"
+        target.write_text("12345")
+        assert interp.eval("file size %s" % target) == "5"
+
+    def test_name_parts(self, interp):
+        assert interp.eval("file dirname /a/b/c.txt") == "/a/b"
+        assert interp.eval("file tail /a/b/c.txt") == "c.txt"
+        assert interp.eval("file rootname /a/b/c.txt") == "/a/b/c"
+        assert interp.eval("file extension /a/b/c.txt") == ".txt"
+
+    def test_dirname_of_bare_name(self, interp):
+        assert interp.eval("file dirname plain") == "."
+
+    def test_size_of_missing_file_is_error(self, interp):
+        with pytest.raises(TclError, match="stat"):
+            interp.eval("file size /no/such/file/anywhere")
+
+    def test_readable_writable(self, interp, tmp_path):
+        target = tmp_path / "f"
+        target.write_text("x")
+        assert interp.eval("file readable %s" % target) == "1"
+        assert interp.eval("file writable %s" % target) == "1"
+
+
+class TestGlob:
+    def test_star_pattern(self, interp, tmp_path):
+        for name in ("a.c", "b.c", "c.h"):
+            (tmp_path / name).write_text("")
+        result = interp.eval("glob %s/*.c" % tmp_path)
+        assert result.endswith("a.c %s/b.c" % tmp_path)
+
+    def test_question_pattern(self, interp, tmp_path):
+        for name in ("ab", "ac", "abc"):
+            (tmp_path / name).write_text("")
+        result = interp.eval("glob %s/a?" % tmp_path)
+        assert "abc" not in result
+
+    def test_hidden_files_skipped(self, interp, tmp_path):
+        (tmp_path / ".hidden").write_text("")
+        (tmp_path / "seen").write_text("")
+        result = interp.eval("glob %s/*" % tmp_path)
+        assert ".hidden" not in result
+
+    def test_no_match_is_error(self, interp, tmp_path):
+        with pytest.raises(TclError, match="no files matched"):
+            interp.eval("glob %s/*.zzz" % tmp_path)
+
+    def test_nocomplain(self, interp, tmp_path):
+        assert interp.eval("glob -nocomplain %s/*.zzz" % tmp_path) == ""
+
+
+class TestChannels:
+    def test_write_then_read(self, interp, tmp_path):
+        target = tmp_path / "f"
+        interp.eval("set out [open %s w]" % target)
+        interp.eval('puts $out "line one"')
+        interp.eval('puts -nonewline $out "line two"')
+        interp.eval("close $out")
+        assert target.read_text() == "line one\nline two"
+
+    def test_gets_line_by_line(self, interp, tmp_path):
+        target = tmp_path / "f"
+        target.write_text("first\nsecond\n")
+        interp.eval("set in [open %s r]" % target)
+        assert interp.eval("gets $in") == "first"
+        assert interp.eval("gets $in") == "second"
+        interp.eval("close $in")
+
+    def test_gets_with_variable_returns_length(self, interp, tmp_path):
+        target = tmp_path / "f"
+        target.write_text("hello\n")
+        interp.eval("set in [open %s r]" % target)
+        assert interp.eval("gets $in line") == "5"
+        assert interp.eval("set line") == "hello"
+        assert interp.eval("gets $in line") == "-1"
+
+    def test_read_whole_file(self, interp, tmp_path):
+        target = tmp_path / "f"
+        target.write_text("all of it")
+        interp.eval("set in [open %s r]" % target)
+        assert interp.eval("read $in") == "all of it"
+
+    def test_eof(self, interp, tmp_path):
+        target = tmp_path / "f"
+        target.write_text("x")
+        interp.eval("set in [open %s]" % target)
+        assert interp.eval("eof $in") == "0"
+        interp.eval("read $in")
+        assert interp.eval("eof $in") == "1"
+
+    def test_append_mode(self, interp, tmp_path):
+        target = tmp_path / "f"
+        target.write_text("start-")
+        interp.eval("set out [open %s a]" % target)
+        interp.eval("puts -nonewline $out more")
+        interp.eval("close $out")
+        assert target.read_text() == "start-more"
+
+    def test_closed_channel_is_error(self, interp, tmp_path):
+        target = tmp_path / "f"
+        target.write_text("x")
+        name = interp.eval("open %s" % target)
+        interp.eval("close %s" % name)
+        with pytest.raises(TclError, match="can not find channel"):
+            interp.eval("read %s" % name)
+
+    def test_open_missing_file_is_error(self, interp):
+        with pytest.raises(TclError, match="couldn't open"):
+            interp.eval("open /no/such/path/at/all r")
+
+    def test_bad_access_mode(self, interp, tmp_path):
+        with pytest.raises(TclError, match="access mode"):
+            interp.eval("open %s q" % (tmp_path / "f"))
+
+
+class TestSource:
+    def test_source_runs_file(self, interp, tmp_path):
+        script = tmp_path / "s.tcl"
+        script.write_text("set sourced yes\n")
+        interp.eval("source %s" % script)
+        assert interp.eval("set sourced") == "yes"
+
+    def test_source_returns_last_result(self, interp, tmp_path):
+        script = tmp_path / "s.tcl"
+        script.write_text("expr 6*7\n")
+        assert interp.eval("source %s" % script) == "42"
+
+    def test_return_in_sourced_file_stops_it(self, interp, tmp_path):
+        script = tmp_path / "s.tcl"
+        script.write_text("set a 1\nreturn early\nset b 2\n")
+        assert interp.eval("source %s" % script) == "early"
+        assert interp.eval("info exists b") == "0"
+
+    def test_missing_file_is_error(self, interp):
+        with pytest.raises(TclError, match="couldn't read"):
+            interp.eval("source /no/such/file.tcl")
+
+
+class TestExecDispatch:
+    def test_exec_without_registry_is_error(self, interp):
+        with pytest.raises(TclError, match="couldn't find"):
+            interp.eval("exec ls")
+
+    def test_exec_handler_receives_argv(self, interp):
+        calls = []
+        interp.exec_handler = lambda argv: calls.append(argv) or "done"
+        assert interp.eval("exec prog -a value") == "done"
+        assert calls == [["prog", "-a", "value"]]
+
+
+class TestPwdCd:
+    def test_pwd_matches_os(self, interp):
+        assert interp.eval("pwd") == os.getcwd()
+
+    def test_cd_and_back(self, interp, tmp_path):
+        original = os.getcwd()
+        try:
+            interp.eval("cd %s" % tmp_path)
+            assert os.getcwd() == str(tmp_path)
+        finally:
+            os.chdir(original)
+
+    def test_cd_to_missing_dir_is_error(self, interp):
+        with pytest.raises(TclError, match="couldn't change"):
+            interp.eval("cd /no/such/dir")

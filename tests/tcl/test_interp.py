@@ -1,0 +1,357 @@
+"""Tests for the interpreter core: evaluation, substitution, variables,
+procedures, application commands, and error reporting."""
+
+import io
+
+import pytest
+
+from repro.tcl import Interp, TclError
+
+
+@pytest.fixture
+def interp():
+    return Interp(stdout=io.StringIO())
+
+
+class TestEvaluation:
+    def test_result_is_last_command(self, interp):
+        assert interp.eval("set a 1; set b 2") == "2"
+
+    def test_commands_return_strings(self, interp):
+        assert interp.eval("set a 1000") == "1000"
+
+    def test_empty_script_returns_empty(self, interp):
+        assert interp.eval("") == ""
+        assert interp.eval("   \n  ") == ""
+
+    def test_unknown_command_is_error(self, interp):
+        with pytest.raises(TclError, match="invalid command name"):
+            interp.eval("nosuchcommand a b")
+
+    def test_variable_substitution(self, interp):
+        interp.eval("set msg hello")
+        assert interp.eval("set copy $msg") == "hello"
+
+    def test_command_substitution(self, interp):
+        assert interp.eval("set msg [format {x is %s} 42]") == "x is 42"
+
+    def test_substitution_result_is_single_word(self, interp):
+        # "a b" substitutes as ONE argument, not two.
+        interp.eval('set pair "a b"')
+        assert interp.eval("llength [list $pair]") == "1"
+
+    def test_nested_command_substitution(self, interp):
+        assert interp.eval("set x [format %s [format %s deep]]") == "deep"
+
+    def test_braces_defer_evaluation(self, interp):
+        interp.eval("set body {set inner 42}")
+        interp.eval("eval $body")
+        assert interp.eval("set inner") == "42"
+
+    def test_infinite_recursion_detected(self, interp):
+        interp.eval("proc loop {} {loop}")
+        with pytest.raises(TclError, match="too many nested calls"):
+            interp.eval("loop")
+
+
+class TestApplicationCommands:
+    """Application-specific commands are indistinguishable from
+    built-ins (paper Figure 6)."""
+
+    def test_register_and_call(self, interp):
+        interp.register("double", lambda ip, argv: str(2 * int(argv[1])))
+        assert interp.eval("double 21") == "42"
+
+    def test_none_result_becomes_empty_string(self, interp):
+        interp.register("noop", lambda ip, argv: None)
+        assert interp.eval("noop") == ""
+
+    def test_commands_composable_with_builtins(self, interp):
+        interp.register("double", lambda ip, argv: str(2 * int(argv[1])))
+        assert interp.eval("expr [double 4]+[double 5]") == "18"
+
+    def test_delete_command(self, interp):
+        interp.register("gone", lambda ip, argv: "x")
+        interp.unregister("gone")
+        with pytest.raises(TclError):
+            interp.eval("gone")
+
+    def test_rename_command(self, interp):
+        interp.eval("proc orig {} {return hi}")
+        interp.eval("rename orig renamed")
+        assert interp.eval("renamed") == "hi"
+        with pytest.raises(TclError):
+            interp.eval("orig")
+
+    def test_builtin_can_be_replaced(self, interp):
+        interp.register("set", lambda ip, argv: "hijacked")
+        assert interp.eval("set a 1") == "hijacked"
+
+    def test_unknown_hook(self, interp):
+        interp.eval('proc unknown args {return "caught: $args"}')
+        result = interp.eval("nosuch a b")
+        assert "nosuch" in result
+
+
+class TestVariables:
+    def test_read_unset_variable_is_error(self, interp):
+        with pytest.raises(TclError, match="no such variable"):
+            interp.eval("set novar")
+
+    def test_unset(self, interp):
+        interp.eval("set a 1")
+        interp.eval("unset a")
+        with pytest.raises(TclError):
+            interp.eval("set a")
+
+    def test_incr(self, interp):
+        interp.eval("set n 5")
+        assert interp.eval("incr n") == "6"
+        assert interp.eval("incr n 10") == "16"
+        assert interp.eval("incr n -1") == "15"
+
+    def test_append(self, interp):
+        interp.eval("set s abc")
+        assert interp.eval("append s def ghi") == "abcdefghi"
+
+    def test_append_creates_variable(self, interp):
+        assert interp.eval("append fresh xy") == "xy"
+
+    def test_array_elements(self, interp):
+        interp.eval("set a(one) 1")
+        interp.eval("set a(two) 2")
+        assert interp.eval("set a(one)") == "1"
+        assert interp.eval("array size a") == "2"
+        assert interp.eval("lsort [array names a]") == "one two"
+
+    def test_array_variable_index_substitution(self, interp):
+        interp.eval("set key one")
+        interp.eval("set a(one) 1")
+        assert interp.eval("set a($key)") == "1"
+
+    def test_scalar_used_as_array_is_error(self, interp):
+        interp.eval("set a 1")
+        with pytest.raises(TclError, match="isn't array"):
+            interp.eval("set a(x) 1")
+
+    def test_array_used_as_scalar_is_error(self, interp):
+        interp.eval("set a(x) 1")
+        with pytest.raises(TclError, match="is array"):
+            interp.eval("set a")
+
+    def test_array_set_and_get(self, interp):
+        interp.eval("array set color {red ff0000 green 00ff00}")
+        assert interp.eval("set color(red)") == "ff0000"
+        assert interp.eval("array get color green") == "green 00ff00"
+
+
+class TestProcedures:
+    def test_simple_proc(self, interp):
+        interp.eval("proc add {a b} {expr $a+$b}")
+        assert interp.eval("add 2 3") == "5"
+
+    def test_return_stops_body(self, interp):
+        interp.eval("proc f {} {return early; set never 1}")
+        assert interp.eval("f") == "early"
+        assert interp.eval("info exists never") == "0"
+
+    def test_implicit_result_is_last_command(self, interp):
+        interp.eval("proc f {} {set x 99}")
+        assert interp.eval("f") == "99"
+
+    def test_default_arguments(self, interp):
+        interp.eval("proc greet {{name world}} {return hello-$name}")
+        assert interp.eval("greet") == "hello-world"
+        assert interp.eval("greet tcl") == "hello-tcl"
+
+    def test_args_collects_rest(self, interp):
+        interp.eval("proc count args {llength $args}")
+        assert interp.eval("count a b c") == "3"
+        assert interp.eval("count") == "0"
+
+    def test_too_few_arguments_is_error(self, interp):
+        interp.eval("proc two {a b} {}")
+        with pytest.raises(TclError, match="no value given"):
+            interp.eval("two 1")
+
+    def test_too_many_arguments_is_error(self, interp):
+        interp.eval("proc one {a} {}")
+        with pytest.raises(TclError, match="too many arguments"):
+            interp.eval("one 1 2")
+
+    def test_locals_are_private(self, interp):
+        interp.eval("set x global-x")
+        interp.eval("proc f {} {set x local-x}")
+        interp.eval("f")
+        assert interp.eval("set x") == "global-x"
+
+    def test_global_links_to_global_frame(self, interp):
+        interp.eval("set counter 0")
+        interp.eval("proc bump {} {global counter; incr counter}")
+        interp.eval("bump")
+        interp.eval("bump")
+        assert interp.eval("set counter") == "2"
+
+    def test_upvar(self, interp):
+        interp.eval("proc swap {an bn} {upvar $an a $bn b\n"
+                    "set t $a; set a $b; set b $t}")
+        interp.eval("set x 1; set y 2")
+        interp.eval("swap x y")
+        assert interp.eval("set x") == "2"
+        assert interp.eval("set y") == "1"
+
+    def test_uplevel(self, interp):
+        interp.eval("proc setter {} {uplevel {set made-here 42}}")
+        interp.eval("proc caller {} {setter; set made-here}")
+        assert interp.eval("caller") == "42"
+
+    def test_uplevel_absolute_level(self, interp):
+        interp.eval("proc f {} {uplevel #0 {set topvar 7}}")
+        interp.eval("f")
+        assert interp.eval("set topvar") == "7"
+
+    def test_recursion(self, interp):
+        interp.eval("proc fib n {if $n<2 {return $n}\n"
+                    "expr [fib [expr $n-1]]+[fib [expr $n-2]]}")
+        assert interp.eval("fib 10") == "55"
+
+    def test_proc_introspection(self, interp):
+        interp.eval("proc f {a {b 2}} {body text}")
+        assert interp.eval("info args f") == "a b"
+        assert interp.eval("info body f") == "body text"
+        assert interp.eval("info default f b v") == "1"
+        assert interp.eval("set v") == "2"
+
+    def test_proc_synthesized_at_runtime(self, interp):
+        # Programs have the same form as data: build a proc from strings.
+        interp.eval('set name adder')
+        interp.eval('set body {expr $a+$a}')
+        interp.eval('proc $name {a} $body')
+        assert interp.eval("adder 4") == "8"
+
+
+class TestControlFlow:
+    def test_if_else(self, interp):
+        assert interp.eval("if 0 {set a 1} else {set a 2}") == "2"
+
+    def test_if_elseif(self, interp):
+        interp.eval("set x 5")
+        result = interp.eval(
+            "if {$x < 0} {set r neg} elseif {$x == 0} {set r zero} "
+            "else {set r pos}")
+        assert result == "pos"
+
+    def test_if_then_keyword(self, interp):
+        assert interp.eval("if 1 then {set a 3}") == "3"
+
+    def test_while_loop(self, interp):
+        interp.eval("set i 0; set total 0")
+        interp.eval("while {$i < 5} {incr total $i; incr i}")
+        assert interp.eval("set total") == "10"
+
+    def test_while_break(self, interp):
+        interp.eval("set i 0")
+        interp.eval("while 1 {incr i; if {$i >= 3} {break}}")
+        assert interp.eval("set i") == "3"
+
+    def test_while_continue(self, interp):
+        interp.eval("set i 0; set odd 0")
+        interp.eval("while {$i < 6} {incr i; if {$i % 2 == 0} {continue}\n"
+                    "incr odd}")
+        assert interp.eval("set odd") == "3"
+
+    def test_for_loop(self, interp):
+        interp.eval("set total 0")
+        interp.eval("for {set i 1} {$i <= 4} {incr i} {incr total $i}")
+        assert interp.eval("set total") == "10"
+
+    def test_for_break_and_continue(self, interp):
+        interp.eval("set seen {}")
+        interp.eval("for {set i 0} {$i < 10} {incr i} {"
+                    "if {$i == 2} {continue}\n"
+                    "if {$i == 5} {break}\n"
+                    "lappend seen $i}")
+        assert interp.eval("set seen") == "0 1 3 4"
+
+    def test_foreach(self, interp):
+        interp.eval("set total 0")
+        interp.eval("foreach i {1 2 3 4} {incr total $i}")
+        assert interp.eval("set total") == "10"
+
+    def test_foreach_multiple_variables(self, interp):
+        interp.eval("set pairs {}")
+        interp.eval("foreach {k v} {a 1 b 2} {lappend pairs $k=$v}")
+        assert interp.eval("set pairs") == "a=1 b=2"
+
+    def test_case_command(self, interp):
+        interp.eval("proc classify x {case $x in {[0-9]} {return digit} "
+                    "{[a-z]*} {return word} default {return other}}")
+        assert interp.eval("classify 5") == "digit"
+        assert interp.eval("classify hello") == "word"
+        assert interp.eval("classify !") == "other"
+
+    def test_break_outside_loop_is_error(self, interp):
+        interp.eval("proc f {} {break}")
+        with pytest.raises(TclError, match="break"):
+            interp.eval("f")
+
+
+class TestErrors:
+    def test_catch_returns_code(self, interp):
+        assert interp.eval("catch {set a 1}") == "0"
+        assert interp.eval("catch {error boom}") == "1"
+        assert interp.eval("catch {nosuchcmd}") == "1"
+
+    def test_catch_captures_message(self, interp):
+        interp.eval("catch {error boom} msg")
+        assert interp.eval("set msg") == "boom"
+
+    def test_catch_captures_result_on_success(self, interp):
+        interp.eval("catch {format ok} msg")
+        assert interp.eval("set msg") == "ok"
+
+    def test_catch_return_code(self, interp):
+        assert interp.eval("catch {return val} msg") == "2"
+        assert interp.eval("set msg") == "val"
+
+    def test_error_command_message(self, interp):
+        with pytest.raises(TclError, match="boom"):
+            interp.eval("error boom")
+
+    def test_error_info_accumulates_trace(self, interp):
+        interp.eval("proc inner {} {error deep}")
+        interp.eval("proc outer {} {inner}")
+        with pytest.raises(TclError):
+            interp.eval_top("outer")
+        info = interp.get_global_var("errorInfo")
+        assert "deep" in info
+        assert "inner" in info
+        assert "outer" in info
+
+    def test_wrong_args_messages(self, interp):
+        with pytest.raises(TclError, match="wrong # args"):
+            interp.eval("set")
+        with pytest.raises(TclError, match="wrong # args"):
+            interp.eval("incr")
+
+
+class TestOutput:
+    def test_print_writes_verbatim(self):
+        out = io.StringIO()
+        interp = Interp(stdout=out)
+        interp.eval(r'print "hi\n"')
+        interp.eval("print no-newline")
+        assert out.getvalue() == "hi\nno-newline"
+
+    def test_puts_appends_newline(self):
+        out = io.StringIO()
+        interp = Interp(stdout=out)
+        interp.eval("puts hello")
+        interp.eval("puts -nonewline there")
+        assert out.getvalue() == "hello\nthere"
+
+
+class TestTimeCommand:
+    def test_time_reports_microseconds(self, interp):
+        result = interp.eval("time {set a 1} 10")
+        assert result.endswith("microseconds per iteration")

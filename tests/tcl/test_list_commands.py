@@ -1,0 +1,128 @@
+"""Dedicated tests for the list command family."""
+
+import pytest
+
+from repro.tcl import Interp, TclError
+
+
+@pytest.fixture
+def interp():
+    return Interp()
+
+
+class TestListAndIndex:
+    def test_list_quotes_elements(self, interp):
+        assert interp.eval('list a "b c" d') == "a {b c} d"
+
+    def test_list_of_nothing(self, interp):
+        assert interp.eval("list") == ""
+
+    def test_lindex_end(self, interp):
+        assert interp.eval("lindex {a b c} end") == "c"
+
+    def test_lindex_end_minus(self, interp):
+        assert interp.eval("lindex {a b c} end-1") == "b"
+
+    def test_lindex_out_of_range_empty(self, interp):
+        assert interp.eval("lindex {a b} 9") == ""
+
+    def test_old_alias_index(self, interp):
+        """Figure 9 uses 'index $argv 0'."""
+        assert interp.eval("index {x y z} 1") == "y"
+
+    def test_old_alias_range(self, interp):
+        assert interp.eval("range {a b c d} 1 2") == "b c"
+
+
+class TestLrangeInsertReplace:
+    def test_lrange_basic(self, interp):
+        assert interp.eval("lrange {a b c d e} 1 3") == "b c d"
+
+    def test_lrange_end(self, interp):
+        assert interp.eval("lrange {a b c} 1 end") == "b c"
+
+    def test_lrange_clamps(self, interp):
+        assert interp.eval("lrange {a b} 0 99") == "a b"
+
+    def test_linsert_middle(self, interp):
+        assert interp.eval("linsert {a c} 1 b") == "a b c"
+
+    def test_linsert_multiple(self, interp):
+        assert interp.eval("linsert {a d} 1 b c") == "a b c d"
+
+    def test_linsert_end(self, interp):
+        assert interp.eval("linsert {a b} 99 c") == "a b c"
+
+    def test_lreplace_swap(self, interp):
+        assert interp.eval("lreplace {a b c} 1 1 B") == "a B c"
+
+    def test_lreplace_delete(self, interp):
+        assert interp.eval("lreplace {a b c d} 1 2") == "a d"
+
+    def test_lreplace_grow(self, interp):
+        assert interp.eval("lreplace {a b} 1 1 x y z") == "a x y z"
+
+
+class TestLsearch:
+    def test_glob_default(self, interp):
+        assert interp.eval("lsearch {foo bar baz} b*") == "1"
+
+    def test_exact_mode(self, interp):
+        assert interp.eval("lsearch -exact {foo b* bar} b*") == "1"
+
+    def test_not_found(self, interp):
+        assert interp.eval("lsearch {a b} z") == "-1"
+
+    def test_bad_mode(self, interp):
+        with pytest.raises(TclError, match="bad search mode"):
+            interp.eval("lsearch -fuzzy {a} a")
+
+
+class TestLsort:
+    def test_ascii_default(self, interp):
+        assert interp.eval("lsort {banana apple cherry}") == \
+            "apple banana cherry"
+
+    def test_integer_mode(self, interp):
+        assert interp.eval("lsort -integer {10 9 2 100}") == "2 9 10 100"
+
+    def test_ascii_sorts_numbers_as_strings(self, interp):
+        assert interp.eval("lsort {10 9 2}") == "10 2 9"
+
+    def test_real_mode(self, interp):
+        assert interp.eval("lsort -real {2.5 1.25 10.0}") == \
+            "1.25 2.5 10.0"
+
+    def test_decreasing(self, interp):
+        assert interp.eval("lsort -decreasing {a c b}") == "c b a"
+
+    def test_integer_mode_on_garbage_is_error(self, interp):
+        with pytest.raises(TclError):
+            interp.eval("lsort -integer {1 apple}")
+
+
+class TestLappend:
+    def test_creates_variable(self, interp):
+        interp.eval("lappend fresh a b")
+        assert interp.eval("set fresh") == "a b"
+
+    def test_quotes_appended_values(self, interp):
+        interp.eval("set l {}")
+        interp.eval('lappend l "two words"')
+        assert interp.eval("llength $l") == "1"
+
+    def test_appends_to_array_element(self, interp):
+        interp.eval("lappend a(k) one")
+        interp.eval("lappend a(k) two")
+        assert interp.eval("set a(k)") == "one two"
+
+
+class TestLlength:
+    def test_counts_elements(self, interp):
+        assert interp.eval("llength {a {b c} d}") == "3"
+
+    def test_empty(self, interp):
+        assert interp.eval("llength {}") == "0"
+
+    def test_old_alias_length(self, interp):
+        assert interp.eval("length {a b}") == "2"

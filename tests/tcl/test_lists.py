@@ -1,0 +1,100 @@
+"""Unit and property-based tests for Tcl list parsing/formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tcl import TclError, format_list, parse_list, quote_element
+
+
+class TestParseList:
+    def test_simple_elements(self):
+        assert parse_list("a b c") == ["a", "b", "c"]
+
+    def test_extra_whitespace_ignored(self):
+        assert parse_list("  a\t b \n c  ") == ["a", "b", "c"]
+
+    def test_empty_list(self):
+        assert parse_list("") == []
+        assert parse_list("   ") == []
+
+    def test_braced_element(self):
+        assert parse_list("a {b c} d") == ["a", "b c", "d"]
+
+    def test_nested_braces(self):
+        assert parse_list("a b {x1 x2}") == ["a", "b", "x1 x2"]
+        assert parse_list("{a {b c}}") == ["a {b c}"]
+
+    def test_quoted_element(self):
+        assert parse_list('a "b c" d') == ["a", "b c", "d"]
+
+    def test_backslash_in_bare_element(self):
+        assert parse_list(r"a\ b c") == ["a b", "c"]
+
+    def test_backslash_escapes_in_quotes(self):
+        assert parse_list(r'"a\nb"') == ["a\nb"]
+
+    def test_empty_braced_element(self):
+        assert parse_list("a {} b") == ["a", "", "b"]
+
+    def test_unmatched_brace_raises(self):
+        with pytest.raises(TclError):
+            parse_list("{a b")
+
+    def test_unmatched_quote_raises(self):
+        with pytest.raises(TclError):
+            parse_list('"a b')
+
+    def test_junk_after_brace_raises(self):
+        with pytest.raises(TclError):
+            parse_list("{a}b")
+
+    def test_junk_after_quote_raises(self):
+        with pytest.raises(TclError):
+            parse_list('"a"b')
+
+
+class TestFormatList:
+    def test_plain_elements_unquoted(self):
+        assert format_list(["a", "b", "c"]) == "a b c"
+
+    def test_element_with_space_braced(self):
+        assert format_list(["a b"]) == "{a b}"
+
+    def test_empty_element_braced(self):
+        assert format_list(["", "x"]) == "{} x"
+
+    def test_unbalanced_brace_backslashed(self):
+        assert format_list(["a{b"]) == r"a\{b"
+
+    def test_trailing_backslash_escaped(self):
+        text = format_list(["a\\"])
+        assert parse_list(text) == ["a\\"]
+
+    def test_newline_element_round_trips(self):
+        text = format_list(["a\nb"])
+        assert parse_list(text) == ["a\nb"]
+
+
+_element = st.text(
+    alphabet=st.characters(min_codepoint=1, max_codepoint=0x7f),
+    max_size=12)
+
+
+class TestRoundTripProperties:
+    @given(st.lists(_element, max_size=8))
+    def test_format_then_parse_is_identity(self, elements):
+        assert parse_list(format_list(elements)) == elements
+
+    @given(_element)
+    def test_quote_element_reads_back_as_one_element(self, element):
+        parsed = parse_list(quote_element(element))
+        if element.strip() == "" and element != "":
+            # Whitespace-only values still round-trip exactly.
+            assert parsed == [element]
+        else:
+            assert parsed == [element]
+
+    @given(st.lists(_element, max_size=6), st.lists(_element, max_size=6))
+    def test_concatenation_of_lists(self, first, second):
+        joined = format_list(first) + " " + format_list(second)
+        assert parse_list(joined) == first + second

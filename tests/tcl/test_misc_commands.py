@@ -1,0 +1,140 @@
+"""Gap-filling tests for less-travelled built-in command paths."""
+
+import io
+
+import pytest
+
+from repro.tcl import Interp, TclError
+
+
+@pytest.fixture
+def interp():
+    return Interp(stdout=io.StringIO())
+
+
+class TestCaseCommand:
+    def test_single_list_form(self, interp):
+        interp.eval("proc kind {x} {case $x {"
+                    "  {[0-9]*} {return number}"
+                    "  {[a-z]*} {return word}"
+                    "  default  {return other}"
+                    "}}")
+        assert interp.eval("kind 42") == "number"
+        assert interp.eval("kind hello") == "word"
+        assert interp.eval("kind %%") == "other"
+
+    def test_multiple_patterns_per_body(self, interp):
+        result = interp.eval('case b in {a b} {format matched} '
+                             'default {format no}')
+        assert result == "matched"
+
+    def test_in_keyword_optional(self, interp):
+        assert interp.eval("case x x {format hit}") == "hit"
+
+    def test_no_match_no_default(self, interp):
+        assert interp.eval("case zzz a {format hit}") == ""
+
+
+class TestInfoEdges:
+    def test_info_level_zero(self, interp):
+        assert interp.eval("info level") == "0"
+
+    def test_info_level_in_proc(self, interp):
+        interp.eval("proc outer {} {inner}")
+        interp.eval("proc inner {} {global depth\n"
+                    "set depth [info level]}")
+        interp.eval("outer")
+        assert interp.eval("set depth") == "2"
+
+    def test_info_level_n_returns_invocation(self, interp):
+        interp.eval("proc probe {a b} {info level 1}")
+        assert interp.eval("probe x y") == "probe x y"
+
+    def test_info_commands_pattern(self, interp):
+        names = interp.eval("info commands l*")
+        assert "lindex" in names
+        assert "set" not in names
+
+    def test_info_vars_includes_links(self, interp):
+        interp.eval("set g 1")
+        interp.eval("proc peek {} {global g\ninfo vars}")
+        assert "g" in interp.eval("peek")
+
+    def test_tclversion(self, interp):
+        assert interp.eval("info tclversion") == "6.1"
+
+
+class TestUplevelEdges:
+    def test_numeric_level(self, interp):
+        interp.eval("proc level2 {} {uplevel 2 {set made-at-top 1}}")
+        interp.eval("proc level1 {} {level2}")
+        interp.eval("level1")
+        assert interp.eval("set made-at-top") == "1"
+
+    def test_uplevel_concatenates_args(self, interp):
+        interp.eval("proc setter {} {uplevel set joined value}")
+        interp.eval("setter")
+        assert interp.eval("set joined") == "value"
+
+    def test_bad_level(self, interp):
+        interp.eval("proc f {} {uplevel 5 {set x 1}}")
+        with pytest.raises(TclError, match="bad level"):
+            interp.eval("f")
+
+
+class TestOutputChannels:
+    def test_print_to_open_file(self, interp, tmp_path):
+        target = tmp_path / "out"
+        interp.eval("set f [open %s w]" % target)
+        interp.eval('print "direct text" $f')
+        interp.eval("close $f")
+        assert target.read_text() == "direct text"
+
+    def test_puts_stderr_goes_to_stdout_stream(self, interp):
+        interp.eval("puts stderr warning")
+        assert "warning" in interp.stdout.getvalue()
+
+    def test_flush_stdout_is_safe(self, interp):
+        interp.eval("flush stdout")
+
+
+class TestRenameEdges:
+    def test_rename_to_empty_deletes(self, interp):
+        interp.eval("proc temp {} {}")
+        interp.eval("rename temp {}")
+        with pytest.raises(TclError, match="invalid command"):
+            interp.eval("temp")
+
+    def test_rename_missing_command(self, interp):
+        with pytest.raises(TclError, match="can't rename"):
+            interp.eval("rename nosuch other")
+
+    def test_rename_over_existing_fails(self, interp):
+        with pytest.raises(TclError, match="already exists"):
+            interp.eval("rename set format")
+
+    def test_builtin_wrappable(self, interp):
+        """The classic trick: wrap a builtin by renaming it."""
+        interp.eval("rename expr original-expr")
+        interp.eval("proc expr args {global count\n"
+                    "incr count\n"
+                    "eval original-expr $args}")
+        interp.eval("set count 0")
+        assert interp.eval("expr 1+1") == "2"
+        assert interp.eval("set count") >= "1"
+
+
+class TestErrorCommandExtras:
+    def test_error_with_info_seeds_error_info(self, interp):
+        try:
+            interp.eval_top("error msg {custom trace}")
+        except TclError:
+            pass
+        assert "custom trace" in interp.get_global_var("errorInfo")
+
+    def test_error_code_stored(self, interp):
+        try:
+            interp.eval("error msg {} {POSIX ENOENT}")
+        except TclError:
+            pass
+        assert interp.get_global_var("errorCode") == "POSIX ENOENT"

@@ -1,0 +1,220 @@
+"""Unit tests for the Tcl parser (paper Figures 1-5 syntax)."""
+
+import pytest
+
+from repro.tcl import TclParseError, parse_script
+from repro.tcl.parser import CmdSub, Literal, VarSub
+
+
+def words_of(script, command=0):
+    return parse_script(script)[command].words
+
+
+class TestBasicCommands:
+    def test_fields_separated_by_whitespace(self):
+        words = words_of("set a 1000")
+        assert len(words) == 3
+        assert words[0].parts == (Literal("set"),)
+        assert words[2].parts == (Literal("1000"),)
+
+    def test_semicolon_separates_commands(self):
+        commands = parse_script("print foo; print bar")
+        assert len(commands) == 2
+        assert commands[1].words[1].parts == (Literal("bar"),)
+
+    def test_newline_separates_commands(self):
+        commands = parse_script("print foo\nprint bar")
+        assert len(commands) == 2
+
+    def test_tabs_separate_words(self):
+        words = words_of("a\tb\tc")
+        assert len(words) == 3
+
+    def test_empty_script_has_no_commands(self):
+        assert parse_script("") == []
+
+    def test_blank_lines_and_semicolons_skipped(self):
+        assert len(parse_script("\n\n;;\n  \nset a 1\n\n")) == 1
+
+    def test_source_text_recorded(self):
+        commands = parse_script("set a 1\nset b 2")
+        assert commands[0].source == "set a 1"
+        assert commands[1].source == "set b 2"
+
+
+class TestComments:
+    def test_hash_at_command_start_is_comment(self):
+        commands = parse_script("# a comment\nset a 1")
+        assert len(commands) == 1
+
+    def test_hash_after_semicolon_is_comment(self):
+        commands = parse_script("set a 1; # trailing\nset b 2")
+        assert len(commands) == 2
+
+    def test_hash_inside_word_is_literal(self):
+        words = words_of("set a x#y")
+        assert words[2].parts == (Literal("x#y"),)
+
+    def test_backslash_newline_continues_comment(self):
+        commands = parse_script("# comment \\\nstill comment\nset a 1")
+        assert len(commands) == 1
+
+    def test_wish_script_header_line(self):
+        commands = parse_script("#!wish -f\nset a 1")
+        assert len(commands) == 1
+
+
+class TestBraces:
+    def test_braced_word_is_single_literal(self):
+        words = words_of("set x {a b {x1 x2}}")
+        assert words[2].braced
+        assert words[2].parts == (Literal("a b {x1 x2}"),)
+
+    def test_no_substitution_inside_braces(self):
+        words = words_of("set x {$a [b] \\n}")
+        assert words[2].parts == (Literal("$a [b] \\n"),)
+
+    def test_newlines_not_separators_inside_braces(self):
+        commands = parse_script("proc p {} {\nset a 1\nset b 2\n}")
+        assert len(commands) == 1
+        assert commands[0].words[3].parts == (Literal("\nset a 1\nset b 2\n"),)
+
+    def test_backslash_newline_inside_braces_becomes_space(self):
+        words = words_of("set x {a\\\nb}")
+        assert words[2].parts == (Literal("a b"),)
+
+    def test_escaped_brace_does_not_nest(self):
+        words = words_of(r"set x {a\{b}")
+        assert words[2].parts == (Literal(r"a\{b"),)
+
+    def test_missing_close_brace_raises(self):
+        with pytest.raises(TclParseError):
+            parse_script("set x {a b")
+
+    def test_text_after_close_brace_raises(self):
+        with pytest.raises(TclParseError):
+            parse_script("set x {a}b")
+
+    def test_brace_inside_bare_word_is_literal(self):
+        words = words_of("set x a{b")
+        assert words[2].parts == (Literal("a{b"),)
+
+
+class TestQuotes:
+    def test_quoted_word_allows_spaces(self):
+        words = words_of('set msg "Hello, world"')
+        assert words[2].parts == (Literal("Hello, world"),)
+
+    def test_substitutions_inside_quotes(self):
+        words = words_of('set msg "x is $x"')
+        assert words[2].parts == (Literal("x is "), VarSub("x"))
+
+    def test_command_substitution_inside_quotes(self):
+        words = words_of('set msg "got [foo]"')
+        assert words[2].parts == (Literal("got "), CmdSub("foo"))
+
+    def test_missing_close_quote_raises(self):
+        with pytest.raises(TclParseError):
+            parse_script('set msg "abc')
+
+    def test_text_after_close_quote_raises(self):
+        with pytest.raises(TclParseError):
+            parse_script('set msg "abc"def')
+
+    def test_empty_quoted_word(self):
+        words = words_of('set msg ""')
+        assert words[2].parts == (Literal(""),)
+
+
+class TestVariableSubstitution:
+    def test_dollar_name(self):
+        words = words_of("print $msg")
+        assert words[1].parts == (VarSub("msg"),)
+
+    def test_dollar_in_middle_of_word(self):
+        words = words_of("print a$b/c")
+        assert words[1].parts == (Literal("a"), VarSub("b"), Literal("/c"))
+
+    def test_braced_variable_name(self):
+        words = words_of("print ${strange name}x")
+        assert words[1].parts == (VarSub("strange name"), Literal("x"))
+
+    def test_lone_dollar_is_literal(self):
+        words = words_of("print a$ b")
+        assert words[1].parts == (Literal("a$"),)
+
+    def test_array_reference(self):
+        words = words_of("print $a(b)")
+        part = words[1].parts[0]
+        assert part.name == "a"
+        assert part.index.parts == (Literal("b"),)
+
+    def test_array_index_with_substitution(self):
+        words = words_of("print $a($i)")
+        part = words[1].parts[0]
+        assert part.index.parts == (VarSub("i"),)
+
+    def test_variable_name_stops_at_non_alnum(self):
+        words = words_of("print $a.b")
+        assert words[1].parts == (VarSub("a"), Literal(".b"))
+
+
+class TestCommandSubstitution:
+    def test_brackets_produce_cmdsub(self):
+        words = words_of("print [list q r]")
+        assert words[1].parts == (CmdSub("list q r"),)
+
+    def test_nested_brackets(self):
+        words = words_of("print [a [b c]]")
+        assert words[1].parts == (CmdSub("a [b c]"),)
+
+    def test_brackets_with_braces_inside(self):
+        words = words_of("print [a {]}]")
+        assert words[1].parts == (CmdSub("a {]}"),)
+
+    def test_brackets_with_quotes_inside(self):
+        words = words_of('print [a "]"]')
+        assert words[1].parts == (CmdSub('a "]"'),)
+
+    def test_missing_close_bracket_raises(self):
+        with pytest.raises(TclParseError):
+            parse_script("print [foo")
+
+    def test_cmdsub_adjacent_to_text(self):
+        words = words_of("print x[foo]y")
+        assert words[1].parts == (Literal("x"), CmdSub("foo"), Literal("y"))
+
+
+class TestBackslashes:
+    def test_newline_escape(self):
+        words = words_of(r"print Hello!\n")
+        assert words[1].parts == (Literal("Hello!\n"),)
+
+    def test_escaped_specials(self):
+        words = words_of(r"set msg \{\ and\ \}\ are\ special")
+        assert words[2].parts == (Literal("{ and } are special"),)
+
+    def test_backslash_newline_joins_lines(self):
+        commands = parse_script("set a \\\n 1")
+        assert len(commands) == 1
+        assert len(commands[0].words) == 3
+
+    def test_hex_escape(self):
+        words = words_of(r"print \x41")
+        assert words[1].parts == (Literal("A"),)
+
+    def test_octal_escape(self):
+        words = words_of(r"print \101")
+        assert words[1].parts == (Literal("A"),)
+
+    def test_escaped_dollar(self):
+        words = words_of(r"print \$a")
+        assert words[1].parts == (Literal("$a"),)
+
+    def test_unknown_escape_is_literal_char(self):
+        words = words_of(r"print \q")
+        assert words[1].parts == (Literal("q"),)
+
+    def test_tab_and_return_escapes(self):
+        words = words_of(r"print \t\r\a\b\f\v")
+        assert words[1].parts == (Literal("\t\r\a\b\f\v"),)

@@ -1,0 +1,117 @@
+"""Tests for regexp, regsub, and history commands."""
+
+import pytest
+
+from repro.tcl import Interp, TclError
+
+
+@pytest.fixture
+def interp():
+    return Interp()
+
+
+class TestRegexp:
+    def test_simple_match(self, interp):
+        assert interp.eval('regexp {b+} "abbbc"') == "1"
+        assert interp.eval('regexp {z+} "abbbc"') == "0"
+
+    def test_match_variable(self, interp):
+        interp.eval('regexp {b+} "abbbc" hit')
+        assert interp.eval("set hit") == "bbb"
+
+    def test_subexpression_variables(self, interp):
+        interp.eval('regexp {(\\w+)@(\\w+)} "user@host" all name domain')
+        assert interp.eval("set all") == "user@host"
+        assert interp.eval("set name") == "user"
+        assert interp.eval("set domain") == "host"
+
+    def test_nocase(self, interp):
+        assert interp.eval('regexp -nocase {ABC} "xabcx"') == "1"
+        assert interp.eval('regexp {ABC} "xabcx"') == "0"
+
+    def test_indices(self, interp):
+        interp.eval('regexp -indices {b+} "abbbc" span')
+        assert interp.eval("set span") == "1 3"
+
+    def test_unmatched_group_gives_empty(self, interp):
+        interp.eval('regexp {(a)|(b)} "a" all first second')
+        assert interp.eval("set second") == ""
+
+    def test_extra_variables_cleared(self, interp):
+        interp.eval("set leftover old")
+        interp.eval('regexp {a} "a" all leftover')
+        assert interp.eval("set leftover") == ""
+
+    def test_bad_pattern_is_error(self, interp):
+        with pytest.raises(TclError, match="compile"):
+            interp.eval('regexp {[unclosed} "x"')
+
+    def test_bad_switch_is_error(self, interp):
+        with pytest.raises(TclError, match="bad switch"):
+            interp.eval('regexp -fancy {a} "a"')
+
+    def test_double_dash_ends_switches(self, interp):
+        assert interp.eval('regexp -- {-a} "x-ay"') == "1"
+
+
+class TestRegsub:
+    def test_first_occurrence(self, interp):
+        count = interp.eval('regsub {o} "foo boo" "0" result')
+        assert count == "1"
+        assert interp.eval("set result") == "f0o boo"
+
+    def test_all_occurrences(self, interp):
+        count = interp.eval('regsub -all {o} "foo boo" "0" result')
+        assert count == "4"
+        assert interp.eval("set result") == "f00 b00"
+
+    def test_ampersand_inserts_match(self, interp):
+        interp.eval('regsub {b+} "abbbc" "<&>" result')
+        assert interp.eval("set result") == "a<bbb>c"
+
+    def test_group_reference(self, interp):
+        interp.eval('regsub {(\\w+)@(\\w+)} "user@host" '
+                    '{\\2 at \\1} result')
+        assert interp.eval("set result") == "host at user"
+
+    def test_no_match_leaves_string(self, interp):
+        count = interp.eval('regsub {zzz} "abc" "x" result')
+        assert count == "0"
+        assert interp.eval("set result") == "abc"
+
+    def test_nocase(self, interp):
+        interp.eval('regsub -nocase {ABC} "xabcx" "!" result')
+        assert interp.eval("set result") == "x!x"
+
+
+class TestHistory:
+    def test_add_and_info(self, interp):
+        interp.eval("history add {set a 1}")
+        interp.eval("history add {print foo}")
+        info = interp.eval("history info")
+        assert "set a 1" in info
+        assert "print foo" in info
+
+    def test_event_by_number(self, interp):
+        interp.eval("history add first")
+        interp.eval("history add second")
+        assert interp.eval("history event 1") == "first"
+        assert interp.eval("history event -1") == "first"
+
+    def test_latest_event(self, interp):
+        interp.eval("history add only")
+        assert interp.eval("history event") == "only"
+
+    def test_nextid(self, interp):
+        assert interp.eval("history nextid") == "1"
+        interp.eval("history add x")
+        assert interp.eval("history nextid") == "2"
+
+    def test_empty_history_event_is_error(self, interp):
+        with pytest.raises(TclError):
+            interp.eval("history event")
+
+    def test_bad_event_number(self, interp):
+        interp.eval("history add x")
+        with pytest.raises(TclError):
+            interp.eval("history event 99")

@@ -1,0 +1,171 @@
+"""Tests for string, format, scan, split, join, and concat."""
+
+import pytest
+
+from repro.tcl import Interp, TclError
+
+
+@pytest.fixture
+def interp():
+    return Interp()
+
+
+class TestStringSubcommands:
+    def test_compare(self, interp):
+        assert interp.eval("string compare abc abc") == "0"
+        assert interp.eval("string compare abc abd") == "-1"
+        assert interp.eval("string compare abd abc") == "1"
+
+    def test_match(self, interp):
+        assert interp.eval("string match {f*.c} file.c") == "1"
+        assert interp.eval("string match {f?c} fxc") == "1"
+        assert interp.eval("string match {[a-c]} b") == "1"
+        assert interp.eval("string match abc abd") == "0"
+
+    def test_length(self, interp):
+        assert interp.eval("string length hello") == "5"
+        assert interp.eval("string length {}") == "0"
+
+    def test_index(self, interp):
+        assert interp.eval("string index hello 1") == "e"
+        assert interp.eval("string index hello 99") == ""
+
+    def test_range(self, interp):
+        assert interp.eval("string range hello 1 3") == "ell"
+        assert interp.eval("string range hello 1 end") == "ello"
+        assert interp.eval("string range hello 3 1") == ""
+
+    def test_tolower_toupper(self, interp):
+        assert interp.eval("string tolower HeLLo") == "hello"
+        assert interp.eval("string toupper HeLLo") == "HELLO"
+
+    def test_trim_family(self, interp):
+        assert interp.eval('string trim "  pad  "') == "pad"
+        assert interp.eval('string trimleft "  pad  "') == "pad  "
+        assert interp.eval('string trimright "  pad  "') == "  pad"
+        assert interp.eval('string trim "xxpadxx" x') == "pad"
+
+    def test_first_last(self, interp):
+        assert interp.eval("string first l hello") == "2"
+        assert interp.eval("string last l hello") == "3"
+        assert interp.eval("string first z hello") == "-1"
+
+    def test_bad_option(self, interp):
+        with pytest.raises(TclError, match="bad option"):
+            interp.eval("string frobnicate x")
+
+
+class TestFormat:
+    def test_decimal(self, interp):
+        assert interp.eval("format %d 42") == "42"
+
+    def test_string(self, interp):
+        assert interp.eval("format {x is %s!} 42") == "x is 42!"
+
+    def test_width_and_precision(self, interp):
+        assert interp.eval("format %5d 42") == "   42"
+        assert interp.eval("format %-5d| 42") == "42   |"
+        assert interp.eval("format %.2f 3.14159") == "3.14"
+
+    def test_zero_pad(self, interp):
+        assert interp.eval("format %05d 42") == "00042"
+
+    def test_hex_octal(self, interp):
+        assert interp.eval("format %x 255") == "ff"
+        assert interp.eval("format %o 8") == "10"
+        assert interp.eval("format %X 255") == "FF"
+
+    def test_char(self, interp):
+        assert interp.eval("format %c 65") == "A"
+
+    def test_percent_literal(self, interp):
+        assert interp.eval("format {100%%}") == "100%"
+
+    def test_multiple_conversions(self, interp):
+        assert interp.eval('format "%s=%d" answer 42') == "answer=42"
+
+    def test_star_width(self, interp):
+        assert interp.eval("format %*d 6 42") == "    42"
+
+    def test_float_conversions(self, interp):
+        assert interp.eval("format %e 1234.5").startswith("1.23450")
+        assert interp.eval("format %g 0.0001") == "0.0001"
+
+    def test_string_as_int_is_error(self, interp):
+        with pytest.raises(TclError, match="expected integer"):
+            interp.eval("format %d notanumber")
+
+    def test_too_few_arguments(self, interp):
+        with pytest.raises(TclError, match="not enough arguments"):
+            interp.eval("format %d%d 1")
+
+
+class TestScan:
+    def test_decimal(self, interp):
+        assert interp.eval('scan "42 hello" "%d %s" n word') == "2"
+        assert interp.eval("set n") == "42"
+        assert interp.eval("set word") == "hello"
+
+    def test_negative_numbers(self, interp):
+        interp.eval('scan "-17" %d n')
+        assert interp.eval("set n") == "-17"
+
+    def test_hex_octal(self, interp):
+        interp.eval('scan "ff 10" "%x %o" a b')
+        assert interp.eval("set a") == "255"
+        assert interp.eval("set b") == "8"
+
+    def test_float(self, interp):
+        interp.eval('scan "3.5" %f x')
+        assert interp.eval("set x") == "3.5"
+
+    def test_char(self, interp):
+        interp.eval('scan "A" %c code')
+        assert interp.eval("set code") == "65"
+
+    def test_width_limit(self, interp):
+        interp.eval('scan "12345" %2d n')
+        assert interp.eval("set n") == "12"
+
+    def test_literal_text_must_match(self, interp):
+        assert interp.eval('scan "x=5" "x=%d" n') == "1"
+        assert interp.eval('scan "y=5" "x=%d" n') == "0"
+
+    def test_empty_input_returns_minus_one(self, interp):
+        assert interp.eval('scan "" %d n') == "-1"
+
+    def test_suppressed_conversion(self, interp):
+        assert interp.eval('scan "1 2" "%*d %d" n') == "1"
+        assert interp.eval("set n") == "2"
+
+
+class TestSplitJoinConcat:
+    def test_split_default_whitespace(self, interp):
+        assert interp.eval('split "a b\tc"') == "a b c"
+
+    def test_split_on_character(self, interp):
+        assert interp.eval('split "a:b:c" :') == "a b c"
+
+    def test_split_preserves_empty_fields(self, interp):
+        assert interp.eval('split "a::b" :') == "a {} b"
+
+    def test_split_into_characters(self, interp):
+        assert interp.eval('split "abc" {}') == "a b c"
+
+    def test_join_default_space(self, interp):
+        assert interp.eval("join {a b c}") == "a b c"
+
+    def test_join_with_separator(self, interp):
+        assert interp.eval('join {a b c} ", "') == "a, b, c"
+
+    def test_join_unquotes_elements(self, interp):
+        assert interp.eval("join {{a b} c} -") == "a b-c"
+
+    def test_split_join_round_trip(self, interp):
+        assert interp.eval('join [split "x:y:z" :] :') == "x:y:z"
+
+    def test_concat_strips_and_joins(self, interp):
+        assert interp.eval('concat " a "  "b  " c') == "a b c"
+
+    def test_concat_flattens_lists(self, interp):
+        assert interp.eval("concat {a b} {c d}") == "a b c d"

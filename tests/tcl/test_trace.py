@@ -1,0 +1,130 @@
+"""Tests for the trace command (variable traces)."""
+
+import pytest
+
+from repro.tcl import Interp, TclError
+
+
+@pytest.fixture
+def interp():
+    return Interp()
+
+
+class TestWriteTraces:
+    def test_fires_on_write(self, interp):
+        interp.eval("set log {}")
+        interp.eval("proc watch {name index op} {global log\n"
+                    "lappend log $name:$op}")
+        interp.eval("trace variable x w watch")
+        interp.eval("set x 1")
+        interp.eval("set x 2")
+        assert interp.eval("set log") == "x:w x:w"
+
+    def test_not_fired_on_other_variables(self, interp):
+        interp.eval("set count 0")
+        interp.eval("proc bump args {global count\nincr count}")
+        interp.eval("trace variable x w bump")
+        interp.eval("set y 1")
+        assert interp.eval("set count") == "0"
+
+    def test_trace_sees_new_value(self, interp):
+        interp.eval("proc snap {name index op} {global seen $name\n"
+                    "set seen [set $name]}")
+        interp.eval("trace variable x w snap")
+        interp.eval("set x hello")
+        assert interp.eval("set seen") == "hello"
+
+    def test_no_recursive_firing(self, interp):
+        """A trace that writes its own variable must not loop."""
+        interp.eval("proc reset {name index op} {global x\nset x fixed}")
+        interp.eval("trace variable x w reset")
+        interp.eval("set x attempt")
+        assert interp.eval("set x") == "fixed"
+
+
+class TestReadAndUnsetTraces:
+    def test_read_trace(self, interp):
+        interp.eval("set x val")
+        interp.eval("set reads 0")
+        interp.eval("proc count args {global reads\nincr reads}")
+        interp.eval("trace variable x r count")
+        interp.eval("set dummy $x")
+        assert interp.eval("set reads") >= "1"
+
+    def test_unset_trace(self, interp):
+        interp.eval("set x val")
+        interp.eval("proc gone {name index op} {global note\n"
+                    "set note $op}")
+        interp.eval("trace variable x u gone")
+        interp.eval("unset x")
+        assert interp.eval("set note") == "u"
+
+
+class TestManagement:
+    def test_vinfo_lists_traces(self, interp):
+        interp.eval("proc w1 args {}")
+        interp.eval("trace variable x w w1")
+        assert "w1" in interp.eval("trace vinfo x")
+
+    def test_vdelete_removes(self, interp):
+        interp.eval("set count 0")
+        interp.eval("proc bump args {global count\nincr count}")
+        interp.eval("trace variable x w bump")
+        interp.eval("trace vdelete x w bump")
+        interp.eval("set x 1")
+        assert interp.eval("set count") == "0"
+
+    def test_bad_ops_rejected(self, interp):
+        with pytest.raises(TclError, match="bad operations"):
+            interp.eval("trace variable x q cmd")
+
+    def test_array_element_traces(self, interp):
+        interp.eval("set log {}")
+        interp.eval("proc watch {name index op} {global log\n"
+                    "lappend log $index}")
+        interp.eval("trace variable a w watch")
+        interp.eval("set a(one) 1")
+        interp.eval("set a(two) 2")
+        assert interp.eval("set log") == "one two"
+
+
+class TestWidgetIntegration:
+    def test_checkbutton_redraws_on_external_set(self):
+        import io
+        from repro.tk import TkApp
+        from repro.x11 import XServer
+        app = TkApp(XServer(), name="tracetest")
+        app.interp.stdout = io.StringIO()
+        app.interp.eval("checkbutton .c -variable flag -text opt")
+        app.interp.eval("pack append . .c {top}")
+        app.update()
+        widget = app.window(".c").widget
+        assert not widget.selected()
+        # Change the variable from Tcl, not through the widget.
+        app.interp.eval("set flag 1")
+        assert widget.selected()
+        assert widget._redraw_pending  # the trace scheduled a redraw
+
+    def test_radiobutton_group_follows_variable(self):
+        import io
+        from repro.tk import TkApp
+        from repro.x11 import XServer
+        app = TkApp(XServer(), name="tracetest2")
+        app.interp.stdout = io.StringIO()
+        app.interp.eval("radiobutton .a -variable pick -value a -text A")
+        app.interp.eval("radiobutton .b -variable pick -value b -text B")
+        app.interp.eval("pack append . .a {top} .b {top}")
+        app.update()
+        app.interp.eval("set pick b")
+        assert not app.window(".a").widget.selected()
+        assert app.window(".b").widget.selected()
+
+    def test_trace_removed_when_widget_destroyed(self):
+        import io
+        from repro.tk import TkApp
+        from repro.x11 import XServer
+        app = TkApp(XServer(), name="tracetest3")
+        app.interp.stdout = io.StringIO()
+        app.interp.eval("checkbutton .c -variable flag -text opt")
+        app.interp.eval("destroy .c")
+        app.interp.eval("set flag 1")   # must not error

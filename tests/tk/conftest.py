@@ -1,0 +1,37 @@
+"""Shared fixtures for Tk-layer tests."""
+
+import io
+
+import pytest
+
+from repro.tk import TkApp
+from repro.x11 import XServer
+
+
+@pytest.fixture
+def server():
+    return XServer()
+
+
+@pytest.fixture
+def app(server):
+    application = TkApp(server, name="test")
+    application.interp.stdout = io.StringIO()
+    return application
+
+
+@pytest.fixture
+def second_app(server):
+    application = TkApp(server, name="peer")
+    application.interp.stdout = io.StringIO()
+    return application
+
+
+def press_at(server, app, path, button=1, state=0, dx=2, dy=2):
+    """Click a button at an offset inside a widget's window."""
+    window = app.window(path)
+    root_x, root_y = window.root_position()
+    server.warp_pointer(root_x + dx, root_y + dy, state)
+    server.press_button(button, state)
+    server.release_button(button, state)
+    app.update()

@@ -1,0 +1,205 @@
+"""Tests for window naming, winfo, destroy, and the structure cache
+(paper sections 3.1 and 3.3)."""
+
+import pytest
+
+from repro.tcl import TclError
+from repro.tk import TkApp
+from repro.tk.app import parse_path
+
+
+class TestPathNames:
+    def test_parse_path(self):
+        assert parse_path(".a.b.c") == (".a.b", "c")
+        assert parse_path(".a") == (".", "a")
+        assert parse_path(".") == ("", "")
+
+    def test_bad_paths(self):
+        for bad in ["a", ".a.", ".a..b"]:
+            with pytest.raises(TclError):
+                parse_path(bad)
+
+    def test_main_window_is_dot(self, app):
+        assert app.window(".").path == "."
+        assert app.interp.eval("winfo exists .") == "1"
+
+    def test_nested_windows(self, app):
+        app.interp.eval("frame .a")
+        app.interp.eval("frame .a.b")
+        app.interp.eval("frame .a.b.c")
+        assert app.interp.eval("winfo parent .a.b.c") == ".a.b"
+        assert app.interp.eval("winfo children .a") == ".a.b"
+
+    def test_window_needs_existing_parent(self, app):
+        with pytest.raises(TclError, match="bad window path"):
+            app.interp.eval("frame .no.such")
+
+    def test_duplicate_name_is_error(self, app):
+        app.interp.eval("frame .a")
+        with pytest.raises(TclError, match="already exists"):
+            app.interp.eval("frame .a")
+
+    def test_name_reusable_after_destroy(self, app):
+        app.interp.eval("button .a -text first")
+        app.interp.eval("destroy .a")
+        app.interp.eval("button .a -text second")
+        assert app.interp.eval(".a cget -text") == "second"
+
+    def test_class_recorded(self, app):
+        app.interp.eval("button .b -text x")
+        assert app.interp.eval("winfo class .b") == "Button"
+
+    def test_window_name(self, app):
+        app.interp.eval("frame .a")
+        app.interp.eval("frame .a.deep")
+        assert app.interp.eval("winfo name .a.deep") == "deep"
+        # winfo name of "." is the application's (send) name.
+        assert app.interp.eval("winfo name .") == app.name
+
+
+class TestStructureCache:
+    def test_winfo_uses_no_round_trips(self, app, server):
+        """Tk caches structural information so widgets don't have to
+        fetch it from the X server (section 3.3)."""
+        app.interp.eval("frame .f -geometry 120x80")
+        app.interp.eval("pack append . .f {top}")
+        app.update()
+        before = server.round_trips
+        app.interp.eval("winfo width .f")
+        app.interp.eval("winfo height .f")
+        app.interp.eval("winfo x .f")
+        app.interp.eval("winfo children .")
+        app.interp.eval("winfo parent .f")
+        assert server.round_trips == before
+
+    def test_cache_matches_server(self, app, server):
+        app.interp.eval("frame .f -geometry 120x80")
+        app.interp.eval("pack append . .f {top}")
+        app.update()
+        window = app.window(".f")
+        x, y, width, height, _ = server.get_geometry(window.id)
+        assert (window.x, window.y) == (x, y)
+        assert (window.width, window.height) == (width, height)
+
+    def test_geometry_string(self, app):
+        app.interp.eval("frame .f -geometry 120x80")
+        app.interp.eval("pack append . .f {top}")
+        app.update()
+        geometry = app.interp.eval("winfo geometry .f")
+        assert geometry.startswith("120x80")
+
+    def test_reqwidth_vs_width(self, app):
+        app.interp.eval("frame .p -geometry 100x50")
+        app.interp.eval("pack append . .p {top}")
+        app.interp.eval("frame .p.big -geometry 300x300")
+        app.interp.eval("pack append .p .p.big {top}")
+        app.update()
+        # The child wanted 300 but must make do with 100.
+        assert app.interp.eval("winfo reqwidth .p.big") == "300"
+        assert app.interp.eval("winfo width .p.big") == "100"
+
+    def test_rootx_accumulates_offsets(self, app):
+        app.interp.eval("frame .a -geometry 100x100")
+        app.interp.eval("pack append . .a {top}")
+        app.interp.eval("frame .a.b -geometry 40x40")
+        app.interp.eval("pack append .a .a.b {top padx 10 pady 12}")
+        app.update()
+        outer = app.window(".a").root_position()
+        inner = app.window(".a.b").root_position()
+        assert inner[0] > outer[0] or inner[1] > outer[1]
+
+
+class TestDestroy:
+    def test_destroy_removes_widget_command(self, app):
+        app.interp.eval("button .b -text x")
+        app.interp.eval("destroy .b")
+        with pytest.raises(TclError, match="invalid command name"):
+            app.interp.eval(".b flash")
+
+    def test_destroy_subtree(self, app):
+        app.interp.eval("frame .f")
+        app.interp.eval("button .f.b -text x")
+        app.interp.eval("destroy .f")
+        assert app.interp.eval("winfo exists .f.b") == "0"
+
+    def test_destroy_dot_ends_application(self, app):
+        app.interp.eval("destroy .")
+        assert app.destroyed
+
+    def test_destroy_tolerates_missing_window(self, app):
+        app.interp.eval("destroy .nothing")  # no error
+
+    def test_destroy_unregisters_send_name(self, server, app):
+        name = app.name
+        app.interp.eval("destroy .")
+        peer = TkApp(server, name="observer")
+        assert name not in peer.sender.application_names()
+
+
+class TestMultipleApps:
+    def test_unique_names(self, server):
+        first = TkApp(server, name="twin")
+        second = TkApp(server, name="twin")
+        assert first.name == "twin"
+        assert second.name == "twin #2"
+
+    def test_interps_lists_all(self, server):
+        TkApp(server, name="alpha")
+        beta = TkApp(server, name="beta")
+        interps = beta.interp.eval("winfo interps")
+        assert "alpha" in interps
+        assert "beta" in interps
+
+    def test_apps_have_independent_widgets(self, server):
+        first = TkApp(server, name="one")
+        second = TkApp(server, name="two")
+        first.interp.eval("button .b -text in-one")
+        with pytest.raises(TclError):
+            second.interp.eval(".b cget -text")
+
+
+class TestAfterAndUpdate:
+    def test_after_script_runs_later(self, app):
+        app.interp.eval("after 50 {set fired 1}")
+        assert app.interp.eval("info exists fired") == "0"
+        app.server.time_ms += 60
+        app.update()
+        assert app.interp.eval("set fired") == "1"
+
+    def test_after_wait_form_advances_clock(self, app):
+        start = app.server.time_ms
+        app.interp.eval("after 100")
+        assert app.server.time_ms >= start + 100
+
+    def test_after_not_due_does_not_run(self, app):
+        app.interp.eval("after 10000 {set fired 1}")
+        app.update()
+        assert app.interp.eval("info exists fired") == "0"
+
+    def test_timers_run_in_order(self, app):
+        app.interp.eval("set order {}")
+        app.interp.eval("after 20 {lappend order second}")
+        app.interp.eval("after 10 {lappend order first}")
+        app.server.time_ms += 50
+        app.update()
+        assert app.interp.eval("set order") == "first second"
+
+
+class TestWmCommand:
+    def test_title_property(self, app, server):
+        app.interp.eval('wm title . "Figure 10"')
+        assert app.interp.eval("wm title .") == "Figure 10"
+
+    def test_geometry_pins_size(self, app):
+        app.interp.eval("button .b -text tiny")
+        app.interp.eval("pack append . .b {top}")
+        app.interp.eval("wm geometry . 500x400+10+20")
+        app.update()
+        assert app.main.width == 500
+        assert app.main.height == 400
+
+    def test_withdraw_and_deiconify(self, app):
+        app.interp.eval("wm withdraw .")
+        assert not app.main.mapped
+        app.interp.eval("wm deiconify .")
+        assert app.main.mapped

@@ -1,0 +1,315 @@
+"""Tests for event bindings (paper section 3.2, Figure 7)."""
+
+import io
+
+import pytest
+
+from repro.tcl import TclError
+from repro.tk.bind import EventPattern, parse_sequence
+from repro.x11 import events as ev
+
+
+class TestSequenceParsing:
+    def test_simple_event(self):
+        (pattern,) = parse_sequence("<Enter>")
+        assert pattern.event_type == ev.ENTER_NOTIFY
+
+    def test_plain_character(self):
+        (pattern,) = parse_sequence("a")
+        assert pattern.event_type == ev.KEY_PRESS
+        assert pattern.detail == "a"
+
+    def test_keysym_in_angles(self):
+        (pattern,) = parse_sequence("<Escape>")
+        assert pattern.event_type == ev.KEY_PRESS
+        assert pattern.detail == "Escape"
+
+    def test_multi_event_sequence(self):
+        patterns = parse_sequence("<Escape>q")
+        assert len(patterns) == 2
+        assert patterns[0].detail == "Escape"
+        assert patterns[1].detail == "q"
+
+    def test_double_button(self):
+        (pattern,) = parse_sequence("<Double-Button-1>")
+        assert pattern.event_type == ev.BUTTON_PRESS
+        assert pattern.detail == "1"
+        assert pattern.count == 2
+
+    def test_triple(self):
+        (pattern,) = parse_sequence("<Triple-1>")
+        assert pattern.count == 3
+
+    def test_control_modifier(self):
+        (pattern,) = parse_sequence("<Control-q>")
+        assert pattern.modifiers == ev.CONTROL_MASK
+        assert pattern.detail == "q"
+
+    def test_numeric_shorthand_is_button(self):
+        (pattern,) = parse_sequence("<1>")
+        assert pattern.event_type == ev.BUTTON_PRESS
+        assert pattern.detail == "1"
+
+    def test_b1_motion(self):
+        (pattern,) = parse_sequence("<B1-Motion>")
+        assert pattern.event_type == ev.MOTION_NOTIFY
+        assert pattern.modifiers == ev.BUTTON1_MASK
+
+    def test_key_release(self):
+        (pattern,) = parse_sequence("<KeyRelease-a>")
+        assert pattern.event_type == ev.KEY_RELEASE
+
+    def test_space_keysym(self):
+        (pattern,) = parse_sequence("<space>")
+        assert pattern.event_type == ev.KEY_PRESS
+        assert pattern.detail == "space"
+
+    def test_missing_close_angle_is_error(self):
+        with pytest.raises(TclError):
+            parse_sequence("<Enter")
+
+    def test_bad_keysym_is_error(self):
+        with pytest.raises(TclError):
+            parse_sequence("<NoSuchKeysym>")
+
+    def test_empty_sequence_is_error(self):
+        with pytest.raises(TclError):
+            parse_sequence("   ")
+
+
+class TestPatternMatching:
+    def test_subset_modifiers_match(self):
+        (pattern,) = parse_sequence("<Control-q>")
+        event = ev.Event(ev.KEY_PRESS, keysym="q",
+                         state=ev.CONTROL_MASK | ev.SHIFT_MASK)
+        assert pattern.matches(event)
+
+    def test_missing_modifier_fails(self):
+        (pattern,) = parse_sequence("<Control-q>")
+        assert not pattern.matches(ev.Event(ev.KEY_PRESS, keysym="q"))
+
+    def test_detail_mismatch_fails(self):
+        (pattern,) = parse_sequence("a")
+        assert not pattern.matches(ev.Event(ev.KEY_PRESS, keysym="b"))
+
+
+def bind_and_type(app, server, sequence, script, keys, path=".t",
+                  state=0):
+    app.interp.eval("frame %s -geometry 50x50" % path)
+    app.interp.eval("pack append . %s {top}" % path)
+    app.update()
+    app.interp.eval("bind %s %s {%s}" % (path, sequence, script))
+    window = app.window(path)
+    for key in keys:
+        server.press_key(key, state=state, window_id=window.id)
+    app.update()
+
+
+class TestBindCommand:
+    def test_figure7_enter_binding(self, app, server):
+        app.interp.eval("frame .x -geometry 60x60")
+        app.interp.eval("pack append . .x {top}")
+        app.update()
+        app.interp.eval(r'bind .x <Enter> {print "hi\n"}')
+        window = app.window(".x")
+        server.warp_pointer(900, 900)   # make sure we are outside first
+        app.update()
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 5, root_y + 5)
+        app.update()
+        assert app.interp.stdout.getvalue() == "hi\n"
+
+    def test_figure7_key_binding(self, app, server):
+        bind_and_type(app, server, "a", "set typed 1", ["a"])
+        assert app.interp.eval("set typed") == "1"
+
+    def test_figure7_escape_q_sequence(self, app, server):
+        bind_and_type(app, server, "<Escape>q", "set seen 1",
+                      ["Escape", "q"])
+        assert app.interp.eval("set seen") == "1"
+
+    def test_sequence_requires_both_events(self, app, server):
+        bind_and_type(app, server, "<Escape>q", "set seen 1", ["q"])
+        assert app.interp.eval("info exists seen") == "0"
+
+    def test_sequence_wrong_order(self, app, server):
+        bind_and_type(app, server, "<Escape>q", "set seen 1",
+                      ["q", "Escape"])
+        assert app.interp.eval("info exists seen") == "0"
+
+    def test_figure7_double_click(self, app, server):
+        app.interp.eval("frame .x -geometry 60x60")
+        app.interp.eval("pack append . .x {top}")
+        app.update()
+        app.interp.eval("bind .x <Double-Button-1> {set coords %x,%y}")
+        window = app.window(".x")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 7, root_y + 9)
+        server.press_button(1)
+        server.release_button(1)
+        server.press_button(1)
+        app.update()
+        assert app.interp.eval("set coords") == "7,9"
+
+    def test_single_click_does_not_fire_double(self, app, server):
+        app.interp.eval("frame .x -geometry 60x60")
+        app.interp.eval("pack append . .x {top}")
+        app.update()
+        app.interp.eval("bind .x <Double-Button-1> {set fired 1}")
+        window = app.window(".x")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 5, root_y + 5)
+        server.press_button(1)
+        app.update()
+        assert app.interp.eval("info exists fired") == "0"
+
+    def test_slow_clicks_do_not_double(self, app, server):
+        app.interp.eval("frame .x -geometry 60x60")
+        app.interp.eval("pack append . .x {top}")
+        app.update()
+        app.interp.eval("bind .x <Double-Button-1> {set fired 1}")
+        window = app.window(".x")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 5, root_y + 5)
+        server.press_button(1)
+        server.time_ms += 2000        # longer than the double-click time
+        server.press_button(1)
+        app.update()
+        assert app.interp.eval("info exists fired") == "0"
+
+    def test_control_q_with_state(self, app, server):
+        bind_and_type(app, server, "<Control-q>", "set quit 1", ["q"],
+                      state=ev.CONTROL_MASK)
+        assert app.interp.eval("set quit") == "1"
+
+    def test_control_binding_needs_control(self, app, server):
+        bind_and_type(app, server, "<Control-q>", "set quit 1", ["q"])
+        assert app.interp.eval("info exists quit") == "0"
+
+    def test_more_specific_binding_wins(self, app, server):
+        app.interp.eval("frame .t -geometry 50x50")
+        app.interp.eval("pack append . .t {top}")
+        app.update()
+        app.interp.eval("bind .t <Key> {set which any}")
+        app.interp.eval("bind .t a {set which letter-a}")
+        window = app.window(".t")
+        server.press_key("a", window_id=window.id)
+        app.update()
+        assert app.interp.eval("set which") == "letter-a"
+        server.press_key("b", window_id=window.id)
+        app.update()
+        assert app.interp.eval("set which") == "any"
+
+    def test_query_binding(self, app):
+        app.interp.eval("frame .t")
+        app.interp.eval("bind .t <Enter> {print hi}")
+        assert app.interp.eval("bind .t <Enter>") == "print hi"
+
+    def test_list_bindings(self, app):
+        app.interp.eval("frame .t")
+        app.interp.eval("bind .t <Enter> {print hi}")
+        app.interp.eval("bind .t a {print a}")
+        sequences = app.interp.eval("bind .t")
+        assert "<Enter>" in sequences
+        assert "a" in sequences
+
+    def test_empty_script_removes_binding(self, app):
+        app.interp.eval("frame .t")
+        app.interp.eval("bind .t <Enter> {print hi}")
+        app.interp.eval("bind .t <Enter> {}")
+        assert app.interp.eval("bind .t <Enter>") == ""
+
+    def test_class_bindings(self, app, server):
+        """Bindings may be attached to a widget class name."""
+        app.interp.eval("bind Frame x {set classbound 1}")
+        app.interp.eval("frame .t -geometry 40x40")
+        app.interp.eval("pack append . .t {top}")
+        app.update()
+        server.press_key("x", window_id=app.window(".t").id)
+        app.update()
+        assert app.interp.eval("set classbound") == "1"
+
+    def test_window_binding_overrides_class(self, app, server):
+        app.interp.eval("bind Frame x {set who class}")
+        app.interp.eval("frame .t -geometry 40x40")
+        app.interp.eval("pack append . .t {top}")
+        app.update()
+        app.interp.eval("bind .t x {set who window}")
+        server.press_key("x", window_id=app.window(".t").id)
+        app.update()
+        assert app.interp.eval("set who") == "window"
+
+
+class TestPercentSubstitution:
+    def test_x_y_fields(self, app, server):
+        app.interp.eval("frame .x -geometry 60x60")
+        app.interp.eval("pack append . .x {top}")
+        app.update()
+        app.interp.eval('bind .x <Button-1> {set at "%x %y"}')
+        window = app.window(".x")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 11, root_y + 13)
+        server.press_button(1)
+        app.update()
+        assert app.interp.eval("set at") == "11 13"
+
+    def test_keysym_and_window_fields(self, app, server):
+        bind_and_type(app, server, "<Key>", "set info %K:%W", ["a"])
+        assert app.interp.eval("set info") == "a:.t"
+
+    def test_button_field(self, app, server):
+        app.interp.eval("frame .x -geometry 60x60")
+        app.interp.eval("pack append . .x {top}")
+        app.update()
+        app.interp.eval("bind .x <Button-3> {set b %b}")
+        window = app.window(".x")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 1, root_y + 1)
+        server.press_button(3)
+        app.update()
+        assert app.interp.eval("set b") == "3"
+
+    def test_percent_percent(self, app, server):
+        bind_and_type(app, server, "a", "set v 100%%", ["a"])
+        assert app.interp.eval("set v") == "100%"
+
+    def test_ascii_field_quoted(self, app, server):
+        bind_and_type(app, server, "<space>", "set v [list %A]",
+                      ["space"])
+        assert app.interp.eval("set v") == "{ }"
+
+
+class TestCrossTagSpecificity:
+    def test_all_tag_bindings(self, app, server):
+        app.interp.eval("frame .f -geometry 30x30")
+        app.interp.eval("pack append . .f {top}")
+        app.update()
+        app.interp.eval("bind all <Control-q> {set quit 1}")
+        server.press_key("q", state=ev.CONTROL_MASK,
+                         window_id=app.window(".f").id)
+        app.update()
+        assert app.interp.eval("set quit") == "1"
+
+    def test_specific_all_binding_beats_generic_window_binding(
+            self, app, server):
+        """A detailed binding on 'all' outranks a catch-all on the
+        window, so global accelerators keep working inside entries."""
+        app.interp.eval("entry .e")
+        app.interp.eval("pack append . .e {top}")
+        app.update()
+        app.interp.eval("bind .e <Key> {set which window-generic}")
+        app.interp.eval("bind all <Control-q> {set which all-specific}")
+        server.press_key("q", state=ev.CONTROL_MASK,
+                         window_id=app.window(".e").id)
+        app.update()
+        assert app.interp.eval("set which") == "all-specific"
+
+    def test_window_beats_class_at_equal_specificity(self, app, server):
+        app.interp.eval("frame .f -geometry 30x30")
+        app.interp.eval("pack append . .f {top}")
+        app.update()
+        app.interp.eval("bind Frame x {set who class}")
+        app.interp.eval("bind .f x {set who window}")
+        server.press_key("x", window_id=app.window(".f").id)
+        app.update()
+        assert app.interp.eval("set who") == "window"

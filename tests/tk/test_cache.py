@@ -1,0 +1,126 @@
+"""Tests for the resource caches (paper section 3.3)."""
+
+import pytest
+
+from repro.tk.cache import CacheError, ResourceCache
+from repro.x11 import Display, XServer
+
+
+@pytest.fixture
+def server():
+    return XServer()
+
+
+@pytest.fixture
+def cache(server):
+    return ResourceCache(Display(server))
+
+
+class TestColorCache:
+    def test_first_request_costs_round_trip(self, server, cache):
+        before = server.round_trips
+        cache.color("MediumSeaGreen")
+        assert server.round_trips == before + 1
+
+    def test_repeat_requests_are_free(self, server, cache):
+        cache.color("MediumSeaGreen")
+        before = server.round_trips
+        for _ in range(100):
+            cache.color("MediumSeaGreen")
+        assert server.round_trips == before
+
+    def test_shared_resource_is_identical(self, cache):
+        assert cache.color("red") is cache.color("red")
+
+    def test_different_names_different_colors(self, cache):
+        assert cache.color("red").pixel != cache.color("blue").pixel
+
+    def test_unknown_color_raises(self, cache):
+        with pytest.raises(CacheError):
+            cache.color("NotAColorAtAll")
+
+    def test_reverse_lookup_returns_textual_name(self, cache):
+        """Given an X resource id, Tk returns the textual name — this is
+        how widgets report human-readable configuration."""
+        color = cache.color("MediumSeaGreen")
+        assert cache.name_of(color.pixel) == "MediumSeaGreen"
+
+
+class TestFontCursorBitmapCaches:
+    def test_font_shared(self, server, cache):
+        font = cache.font("fixed")
+        before = server.round_trips
+        assert cache.font("fixed") is font
+        assert server.round_trips == before
+
+    def test_cursor_by_name(self, cache):
+        cursor = cache.cursor("coffee_mug")
+        assert cursor.name == "coffee_mug"
+        assert cache.cursor("coffee_mug") is cursor
+
+    def test_builtin_bitmap(self, cache):
+        bitmap = cache.bitmap("star")
+        assert (bitmap.width, bitmap.height) == (16, 16)
+
+    def test_bitmap_from_file(self, cache, tmp_path):
+        xbm = tmp_path / "star.xbm"
+        xbm.write_text("#define star_width 24\n"
+                       "#define star_height 18\n"
+                       "static char star_bits[] = { 0x00 };\n")
+        bitmap = cache.bitmap("@%s" % xbm)
+        assert (bitmap.width, bitmap.height) == (24, 18)
+
+    def test_missing_bitmap_file_raises(self, cache):
+        with pytest.raises(CacheError):
+            cache.bitmap("@/no/such/file.xbm")
+
+    def test_gc_shared_for_same_values(self, cache):
+        gc_a = cache.gc(foreground=1, font="fixed")
+        gc_b = cache.gc(font="fixed", foreground=1)
+        assert gc_a is gc_b
+
+    def test_gc_differs_for_different_values(self, cache):
+        assert cache.gc(foreground=1) is not cache.gc(foreground=2)
+
+
+class TestCacheAblation:
+    """With the cache disabled every request costs a round trip — the
+    measurable basis for the paper's section 3.3 claim."""
+
+    def test_disabled_cache_pays_every_time(self, server):
+        cache = ResourceCache(Display(server), enabled=False)
+        before = server.round_trips
+        for _ in range(10):
+            cache.color("red")
+        assert server.round_trips == before + 10
+
+    def test_enabled_cache_pays_once(self, server):
+        cache = ResourceCache(Display(server), enabled=True)
+        before = server.round_trips
+        for _ in range(10):
+            cache.color("red")
+        assert server.round_trips == before + 1
+
+    def test_hit_miss_statistics(self, cache):
+        cache.color("red")
+        cache.color("red")
+        cache.color("blue")
+        hits, misses = cache.stats()
+        assert hits == 1
+        assert misses == 2
+
+
+class TestWidgetsShareResources:
+    def test_many_widgets_one_allocation(self, app):
+        """The common case: a few resources used in many widgets —
+        only the first use of MediumSeaGreen talks to the server."""
+        for index in range(20):
+            app.interp.eval(
+                "button .b%d -bg MediumSeaGreen -text x" % index)
+            app.interp.eval("pack append . .b%d {top}" % index)
+        app.update()
+        green = app.cache.color("MediumSeaGreen")
+        misses_for_green = app.cache._colors["MediumSeaGreen"] is green
+        assert misses_for_green
+        hits, _ = app.cache.stats()
+        assert hits >= 19

@@ -1,0 +1,92 @@
+"""Additional intrinsics-command coverage: winfo extensions, pack
+before/after, after cancel, and send payload robustness."""
+
+import pytest
+
+from repro.tcl import TclError
+
+
+class TestWinfoExtensions:
+    def test_screen_dimensions(self, app):
+        assert app.interp.eval("winfo screenwidth .") == "1152"
+        assert app.interp.eval("winfo screenheight .") == "900"
+
+    def test_containing(self, app):
+        app.interp.eval("wm geometry . 100x100")
+        app.interp.eval("frame .f -geometry 40x40")
+        app.interp.eval("place .f -x 10 -y 10")
+        app.update()
+        assert app.interp.eval("winfo containing 15 15") == ".f"
+        assert app.interp.eval("winfo containing 90 90") == "."
+
+    def test_containing_outside_app(self, app):
+        # Over the bare root window: no Tk window there.
+        assert app.interp.eval("winfo containing 1000 800") == ""
+
+    def test_toplevel(self, app):
+        app.interp.eval("frame .f")
+        app.interp.eval("frame .f.inner")
+        assert app.interp.eval("winfo toplevel .f.inner") == "."
+
+    def test_bad_option_lists_choices(self, app):
+        with pytest.raises(TclError, match="containing"):
+            app.interp.eval("winfo nonsense .")
+
+
+class TestPackBeforeAfter:
+    def test_pack_before(self, app):
+        app.interp.eval("button .a -text a")
+        app.interp.eval("button .b -text b")
+        app.interp.eval("pack append . .a {top}")
+        app.interp.eval("pack before .a .b {top}")
+        app.update()
+        assert app.window(".b").y < app.window(".a").y
+
+    def test_pack_after(self, app):
+        app.interp.eval("button .a -text a")
+        app.interp.eval("button .b -text b")
+        app.interp.eval("button .c -text c")
+        app.interp.eval("pack append . .a {top} .c {top}")
+        app.interp.eval("pack after .a .b {top}")
+        app.update()
+        ys = {path: app.window(path).y for path in (".a", ".b", ".c")}
+        assert ys[".a"] < ys[".b"] < ys[".c"]
+
+
+class TestAfterCancel:
+    def test_cancel_prevents_firing(self, app):
+        token = app.interp.eval("after 50 {set fired 1}")
+        app.interp.eval("after cancel %s" % token)
+        app.server.time_ms += 100
+        app.update()
+        assert app.interp.eval("info exists fired") == "0"
+
+    def test_cancel_bad_token(self, app):
+        with pytest.raises(TclError, match="bad after token"):
+            app.interp.eval("after cancel nonsense")
+
+
+class TestSendPayloadRobustness:
+    def test_braces_survive(self, app, second_app):
+        app.interp.eval("send peer {set v {a {nested} value}}")
+        assert second_app.interp.eval("set v") == "a {nested} value"
+
+    def test_newlines_in_scripts(self, app, second_app):
+        app.interp.eval('send peer {set a 1\nset b 2}')
+        assert second_app.interp.eval("set b") == "2"
+
+    def test_special_characters_in_results(self, app, second_app):
+        second_app.interp.eval(r'proc weird {} {return "x\ty {z}"}')
+        assert app.interp.eval("send peer weird") == "x\ty {z}"
+
+    def test_large_payload(self, app, second_app):
+        big = "word " * 2000
+        app.interp.eval("send peer {set blob {%s}}" % big)
+        assert second_app.interp.eval("string length $blob") == \
+            str(len(big))
+
+    def test_interleaved_sends_both_directions(self, app, second_app):
+        second_app.interp.eval(
+            "proc pong {} {send test set got-pong 1\nreturn pong}")
+        assert app.interp.eval("send peer pong") == "pong"
+        assert app.interp.eval("set got-pong") == "1"

@@ -1,0 +1,165 @@
+"""Tests for the option database (paper section 3.5)."""
+
+import pytest
+
+from repro.tcl import TclError
+from repro.tk.options import OptionDatabase, PRIORITIES
+
+
+@pytest.fixture
+def db():
+    return OptionDatabase()
+
+
+NAMES = ["myapp", "panel", "ok"]
+CLASSES = ["Myapp", "Frame", "Button"]
+
+
+class TestPatternMatching:
+    def test_star_class_pattern(self, db):
+        db.add("*Button.background", "red")
+        assert db.get(NAMES, CLASSES, "background", "Background") == "red"
+
+    def test_star_option_name(self, db):
+        db.add("*background", "blue")
+        assert db.get(NAMES, CLASSES, "background", "Background") == "blue"
+
+    def test_tight_full_path(self, db):
+        db.add("myapp.panel.ok.background", "green")
+        assert db.get(NAMES, CLASSES, "background",
+                      "Background") == "green"
+
+    def test_tight_binding_requires_adjacency(self, db):
+        db.add("myapp.ok.background", "red")
+        assert db.get(NAMES, CLASSES, "background", "Background") is None
+
+    def test_loose_binding_skips_levels(self, db):
+        db.add("myapp*background", "red")
+        assert db.get(NAMES, CLASSES, "background", "Background") == "red"
+
+    def test_option_class_matching(self, db):
+        db.add("*Button.Background", "red")
+        assert db.get(NAMES, CLASSES, "background", "Background") == "red"
+
+    def test_no_match_returns_none(self, db):
+        db.add("*Scrollbar.background", "red")
+        assert db.get(NAMES, CLASSES, "background", "Background") is None
+
+    def test_wrong_depth_no_match(self, db):
+        db.add("myapp.background", "red")
+        assert db.get(NAMES, CLASSES, "background", "Background") is None
+
+    def test_question_mark_matches_one_level(self, db):
+        db.add("myapp.?.ok.background", "red")
+        assert db.get(NAMES, CLASSES, "background", "Background") == "red"
+
+
+class TestPrecedence:
+    def test_instance_beats_class(self, db):
+        db.add("*Button.background", "classy")
+        db.add("*ok.background", "named")
+        assert db.get(NAMES, CLASSES, "background",
+                      "Background") == "named"
+
+    def test_tight_beats_loose_at_same_level(self, db):
+        db.add("*background", "loose")
+        db.add("myapp.panel.ok.background", "tight")
+        assert db.get(NAMES, CLASSES, "background",
+                      "Background") == "tight"
+
+    def test_left_levels_dominate(self, db):
+        # Specific at the app level beats specific at the widget level.
+        db.add("myapp*Background", "app-level")
+        db.add("*Button.background", "widget-level")
+        assert db.get(NAMES, CLASSES, "background",
+                      "Background") == "app-level"
+
+    def test_later_entry_wins_among_equals(self, db):
+        db.add("*Button.background", "first")
+        db.add("*Button.background", "second")
+        assert db.get(NAMES, CLASSES, "background",
+                      "Background") == "second"
+
+    def test_priority_breaks_ties_upward(self, db):
+        db.add("*Button.background", "low", priority=20)
+        db.add("*Button.background", "high", priority=80)
+        assert db.get(NAMES, CLASSES, "background",
+                      "Background") == "high"
+
+
+class TestXdefaultsParsing:
+    def test_load_string(self, db):
+        db.load_string("*Button.background: red\n"
+                       "myapp*font: 9x15\n")
+        assert db.get(NAMES, CLASSES, "background", "Background") == "red"
+        assert db.get(NAMES, CLASSES, "font", "Font") == "9x15"
+
+    def test_comments_ignored(self, db):
+        db.load_string("! a comment\n#another\n*background: red\n")
+        assert db.get(NAMES, CLASSES, "background", "Background") == "red"
+
+    def test_blank_lines_ignored(self, db):
+        db.load_string("\n\n*background: red\n\n")
+        assert db.get(NAMES, CLASSES, "background", "Background") == "red"
+
+    def test_continuation_lines(self, db):
+        db.load_string("*background: \\\nred\n")
+        assert db.get(NAMES, CLASSES, "background", "Background") == "red"
+
+    def test_missing_colon_is_error(self, db):
+        with pytest.raises(TclError):
+            db.load_string("not a valid line\n")
+
+    def test_value_whitespace_stripped(self, db):
+        db.load_string("*background:    red   \n")
+        assert db.get(NAMES, CLASSES, "background", "Background") == "red"
+
+
+class TestOptionCommand:
+    def test_option_add_and_widget_pickup(self, app):
+        app.interp.eval("option add *Button.background purple")
+        app.interp.eval("button .b -text hi")
+        assert app.interp.eval(".b cget -background") == "purple"
+
+    def test_command_line_beats_database(self, app):
+        app.interp.eval("option add *Button.background purple")
+        app.interp.eval("button .b -text hi -background yellow")
+        assert app.interp.eval(".b cget -background") == "yellow"
+
+    def test_default_used_when_no_db_entry(self, app):
+        app.interp.eval("button .b -text hi")
+        assert app.interp.eval(".b cget -background") == "#dddddd"
+
+    def test_option_get(self, app):
+        app.interp.eval("option add *Button.foo bar")
+        app.interp.eval("button .b -text hi")
+        assert app.interp.eval("option get .b foo Foo") == "bar"
+
+    def test_option_clear(self, app):
+        app.interp.eval("option add *Button.background purple")
+        app.interp.eval("option clear")
+        app.interp.eval("button .b -text hi")
+        assert app.interp.eval(".b cget -background") == "#dddddd"
+
+    def test_option_readfile(self, app, tmp_path):
+        xdefaults = tmp_path / "defaults"
+        xdefaults.write_text("*Button.background: orange\n")
+        app.interp.eval("option readfile %s" % xdefaults)
+        app.interp.eval("button .b -text hi")
+        assert app.interp.eval(".b cget -background") == "orange"
+
+    def test_resource_manager_property(self, server):
+        """Preferences in the RESOURCE_MANAGER root property are loaded
+        when an application starts (as from xrdb)."""
+        import io
+        from repro.tk import TkApp
+        from repro.x11 import Display
+        seeder = Display(server)
+        atom = seeder.intern_atom("RESOURCE_MANAGER")
+        string = seeder.intern_atom("STRING")
+        seeder.change_property(seeder.root, atom, string,
+                               "*Button.background: pink\n")
+        app = TkApp(server, name="prefs")
+        app.interp.stdout = io.StringIO()
+        app.interp.eval("button .b -text hi")
+        assert app.interp.eval(".b cget -background") == "pink"

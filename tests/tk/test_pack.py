@@ -1,0 +1,238 @@
+"""Tests for the packer geometry manager (paper section 3.4, Figure 8)."""
+
+import pytest
+
+from repro.tcl import TclError
+
+
+def make_frame(app, path, width, height):
+    app.interp.eval("frame %s -geometry %dx%d" % (path, width, height))
+    return app.window(path)
+
+
+class TestFigure8:
+    """The paper's Figure 8: four windows in a 120x160 parent, packed
+    all-in-a-column.  C must lose width and D must lose height."""
+
+    def test_all_in_a_column_layout(self, app):
+        app.interp.eval("frame .parent -geometry 120x160")
+        app.interp.eval("pack append . .parent {top}")
+        for name, width, height in (("a", 100, 40), ("b", 60, 30),
+                                    ("c", 140, 50), ("d", 80, 80)):
+            make_frame(app, ".parent.%s" % name, width, height)
+        app.interp.eval(
+            "pack append .parent .parent.a {top} .parent.b {top} "
+            ".parent.c {top} .parent.d {top}")
+        app.update()
+        a = app.window(".parent.a")
+        b = app.window(".parent.b")
+        c = app.window(".parent.c")
+        d = app.window(".parent.d")
+        assert (a.width, a.height) == (100, 40)
+        assert (b.width, b.height) == (60, 30)
+        # C requested 140 wide but the parent is only 120 wide.
+        assert (c.width, c.height) == (120, 50)
+        # D requested 80 tall but only 40 remain.
+        assert (d.width, d.height) == (80, 40)
+
+    def test_windows_stacked_in_order(self, app):
+        app.interp.eval("frame .p -geometry 120x160")
+        app.interp.eval("pack append . .p {top}")
+        for name, width, height in (("a", 100, 40), ("b", 60, 30)):
+            make_frame(app, ".p.%s" % name, width, height)
+        app.interp.eval("pack append .p .p.a {top} .p.b {top}")
+        app.update()
+        assert app.window(".p.a").y == 0
+        assert app.window(".p.b").y == 40
+
+    def test_centered_within_band(self, app):
+        app.interp.eval("frame .p -geometry 120x160")
+        app.interp.eval("pack append . .p {top}")
+        make_frame(app, ".p.a", 100, 40)
+        app.interp.eval("pack append .p .p.a {top}")
+        app.update()
+        # 100 wide in a 120 band: centered with 10 on each side.
+        assert app.window(".p.a").x == 10
+
+
+class TestSides:
+    def test_left_and_right(self, app):
+        app.interp.eval("frame .p -geometry 200x100")
+        app.interp.eval("pack append . .p {top}")
+        make_frame(app, ".p.l", 50, 100)
+        make_frame(app, ".p.r", 60, 100)
+        app.interp.eval("pack append .p .p.l {left} .p.r {right}")
+        app.update()
+        assert app.window(".p.l").x == 0
+        assert app.window(".p.r").x == 200 - 60
+
+    def test_bottom(self, app):
+        app.interp.eval("frame .p -geometry 100x100")
+        app.interp.eval("pack append . .p {top}")
+        make_frame(app, ".p.b", 100, 30)
+        app.interp.eval("pack append .p .p.b {bottom}")
+        app.update()
+        assert app.window(".p.b").y == 70
+
+    def test_mixed_sides_consume_cavity(self, app):
+        app.interp.eval("frame .p -geometry 200x200")
+        app.interp.eval("pack append . .p {top}")
+        make_frame(app, ".p.top", 200, 50)
+        make_frame(app, ".p.left", 50, 150)
+        app.interp.eval("pack append .p .p.top {top} .p.left {left}")
+        app.update()
+        left = app.window(".p.left")
+        # The left window starts below the band taken by the top one.
+        assert left.y == 50
+        assert left.x == 0
+
+
+class TestFillAndExpand:
+    def test_fillx_stretches_width(self, app):
+        app.interp.eval("frame .p -geometry 300x100")
+        app.interp.eval("pack append . .p {top}")
+        make_frame(app, ".p.a", 50, 20)
+        app.interp.eval("pack append .p .p.a {top fillx}")
+        app.update()
+        assert app.window(".p.a").width == 300
+
+    def test_filly_stretches_height(self, app):
+        app.interp.eval("frame .p -geometry 100x300")
+        app.interp.eval("pack append . .p {top}")
+        make_frame(app, ".p.a", 50, 20)
+        app.interp.eval("pack append .p .p.a {left filly}")
+        app.update()
+        assert app.window(".p.a").height == 300
+
+    def test_expand_takes_leftover(self, app):
+        app.interp.eval("frame .p -geometry 300x100")
+        app.interp.eval("pack append . .p {top}")
+        make_frame(app, ".p.a", 50, 100)
+        make_frame(app, ".p.b", 50, 100)
+        app.interp.eval(
+            "pack append .p .p.a {left} .p.b {left expand fill}")
+        app.update()
+        assert app.window(".p.a").width == 50
+        assert app.window(".p.b").width == 250
+
+    def test_expand_split_between_two(self, app):
+        app.interp.eval("frame .p -geometry 300x100")
+        app.interp.eval("pack append . .p {top}")
+        make_frame(app, ".p.a", 50, 100)
+        make_frame(app, ".p.b", 50, 100)
+        app.interp.eval(
+            "pack append .p .p.a {left expand fill} "
+            ".p.b {left expand fill}")
+        app.update()
+        assert app.window(".p.a").width == 150
+        assert app.window(".p.b").width == 150
+
+    def test_browser_layout(self, app):
+        """The Figure 9 arrangement: scrollbar right, list expands."""
+        app.interp.eval('scrollbar .scroll -command ".list view"')
+        app.interp.eval('listbox .list -geometry 20x20')
+        app.interp.eval(
+            "pack append . .scroll {right filly} .list {left expand fill}")
+        app.update()
+        scroll = app.window(".scroll")
+        lst = app.window(".list")
+        main = app.main
+        assert scroll.x + scroll.width == main.width
+        assert scroll.height == main.height
+        assert lst.x == 0
+        assert lst.width == main.width - scroll.width
+
+
+class TestPadding:
+    def test_padx_pady(self, app):
+        app.interp.eval("frame .p -geometry 200x200")
+        app.interp.eval("pack append . .p {top}")
+        make_frame(app, ".p.a", 50, 50)
+        app.interp.eval("pack append .p .p.a {top padx 10 pady 5}")
+        app.update()
+        a = app.window(".p.a")
+        assert a.y == 5
+        # Band is full width; the 50-wide window centers in 200-2*10.
+        assert a.x == 10 + (180 - 50) // 2
+
+
+class TestGeometryPropagation:
+    def test_parent_sized_to_children(self, app):
+        app.interp.eval("button .a -text short")
+        app.interp.eval("button .b -text {a longer label}")
+        app.interp.eval("pack append . .a {top} .b {top}")
+        app.update()
+        a = app.window(".a")
+        b = app.window(".b")
+        assert app.main.width == max(a.requested_width, b.requested_width)
+        assert app.main.height == a.requested_height + b.requested_height
+
+    def test_relayout_when_child_grows(self, app):
+        app.interp.eval("button .a -text hi")
+        app.interp.eval("pack append . .a {top}")
+        app.update()
+        before = app.main.width
+        app.interp.eval(".a configure -text {a much longer label}")
+        app.update()
+        assert app.main.width > before
+
+    def test_explicit_parent_size_wins(self, app):
+        app.interp.eval("frame .p -geometry 400x300")
+        app.interp.eval("pack append . .p {top}")
+        make_frame(app, ".p.a", 50, 50)
+        app.interp.eval("pack append .p .p.a {top}")
+        app.update()
+        parent = app.window(".p")
+        assert (parent.width, parent.height) == (400, 300)
+
+
+class TestPackManagement:
+    def test_unpack_unmaps(self, app):
+        app.interp.eval("button .a -text x")
+        app.interp.eval("pack append . .a {top}")
+        app.update()
+        assert app.window(".a").mapped
+        app.interp.eval("pack unpack .a")
+        app.update()
+        assert not app.window(".a").mapped
+
+    def test_pack_info(self, app):
+        app.interp.eval("button .a -text x")
+        app.interp.eval("pack append . .a {top expand fillx padx 3}")
+        info = app.interp.eval("pack info .")
+        assert ".a" in info
+        assert "expand" in info
+        assert "fillx" in info
+
+    def test_repack_moves_to_end(self, app):
+        app.interp.eval("button .a -text a")
+        app.interp.eval("button .b -text b")
+        app.interp.eval("pack append . .a {top} .b {top}")
+        app.interp.eval("pack append . .a {top}")
+        app.update()
+        assert app.window(".a").y > 0
+
+    def test_pack_non_child_is_error(self, app):
+        app.interp.eval("frame .p")
+        app.interp.eval("button .b -text x")
+        with pytest.raises(TclError):
+            app.interp.eval("pack append .p .b {top}")
+
+    def test_winfo_manager(self, app):
+        app.interp.eval("button .a -text x")
+        app.interp.eval("pack append . .a {top}")
+        assert app.interp.eval("winfo manager .a") == "pack"
+
+    def test_bad_pack_option_is_error(self, app):
+        app.interp.eval("button .a -text x")
+        with pytest.raises(TclError, match="bad option"):
+            app.interp.eval("pack append . .a {sideways}")
+
+    def test_destroyed_window_leaves_list(self, app):
+        app.interp.eval("button .a -text a")
+        app.interp.eval("button .b -text b")
+        app.interp.eval("pack append . .a {top} .b {top}")
+        app.update()
+        app.interp.eval("destroy .a")
+        app.update()
+        assert app.window(".b").y == 0

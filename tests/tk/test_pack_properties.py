@@ -1,0 +1,108 @@
+"""Property-based tests for the packer's layout invariants."""
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tk import TkApp
+from repro.x11 import XServer
+
+_side = st.sampled_from(["top", "bottom", "left", "right"])
+_size = st.integers(5, 120)
+_flags = st.sets(st.sampled_from(["fill", "expand"]), max_size=2)
+
+_slot = st.tuples(_side, _size, _size, _flags)
+
+
+def build(slots, parent_width=200, parent_height=200):
+    app = TkApp(XServer(), name="packprop")
+    app.interp.stdout = io.StringIO()
+    app.interp.eval("frame .p -geometry %dx%d"
+                    % (parent_width, parent_height))
+    app.interp.eval("pack append . .p {top}")
+    windows = []
+    for index, (side, width, height, flags) in enumerate(slots):
+        path = ".p.w%d" % index
+        app.interp.eval("frame %s -geometry %dx%d"
+                        % (path, width, height))
+        options = side + (" " + " ".join(sorted(flags)) if flags else "")
+        app.interp.eval("pack append .p %s {%s}" % (path, options))
+        windows.append(path)
+    app.update()
+    return app, windows
+
+
+class TestPackerInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_slot, min_size=1, max_size=5))
+    def test_children_stay_inside_parent(self, slots):
+        app, windows = build(slots)
+        parent = app.window(".p")
+        for path in windows:
+            window = app.window(path)
+            assert window.x >= 0
+            assert window.y >= 0
+            assert window.x + window.width <= parent.width
+            assert window.y + window.height <= parent.height
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_slot, min_size=1, max_size=5))
+    def test_no_window_larger_than_request_without_stretch(self, slots):
+        app, windows = build(slots)
+        for path, (side, width, height, flags) in zip(windows, slots):
+            window = app.window(path)
+            if not flags:
+                assert window.width <= width
+                assert window.height <= height
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.just("top"), _size, _size,
+                              st.just(frozenset())),
+                    min_size=2, max_size=5))
+    def test_same_side_children_do_not_overlap(self, slots):
+        app, windows = build(slots)
+        spans = []
+        for path in windows:
+            window = app.window(path)
+            if window.height > 1:   # fully squeezed-out windows may pile
+                spans.append((window.y, window.y + window.height))
+        spans.sort()
+        for (start_a, end_a), (start_b, _end_b) in zip(spans, spans[1:]):
+            assert start_b >= end_a
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_slot, min_size=1, max_size=5))
+    def test_all_packed_windows_mapped(self, slots):
+        app, windows = build(slots)
+        for path in windows:
+            assert app.window(path).mapped
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(_slot, min_size=1, max_size=4), _size, _size)
+    def test_relayout_after_parent_resize_keeps_invariants(
+            self, slots, new_width, new_height):
+        app, windows = build(slots)
+        app.interp.eval(".p configure -geometry %dx%d"
+                        % (new_width + 50, new_height + 50))
+        app.update()
+        parent = app.window(".p")
+        for path in windows:
+            window = app.window(path)
+            assert window.x + window.width <= parent.width
+            assert window.y + window.height <= parent.height
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(_slot, min_size=2, max_size=5),
+           st.integers(0, 4))
+    def test_unpack_keeps_remaining_valid(self, slots, victim):
+        app, windows = build(slots)
+        victim_path = windows[victim % len(windows)]
+        app.interp.eval("pack unpack %s" % victim_path)
+        app.update()
+        assert not app.window(victim_path).mapped
+        parent = app.window(".p")
+        for path in windows:
+            if path == victim_path:
+                continue
+            window = app.window(path)
+            assert window.x + window.width <= parent.width

@@ -1,0 +1,124 @@
+"""Tests for the placer — the second geometry manager (section 3.4's
+"variety of geometry managers" point)."""
+
+import pytest
+
+from repro.tcl import TclError
+
+
+@pytest.fixture
+def sized(app):
+    app.interp.eval("wm geometry . 200x100")
+    app.update()
+    return app
+
+
+class TestPlacement:
+    def test_absolute_position(self, sized):
+        sized.interp.eval("frame .f -geometry 20x10")
+        sized.interp.eval("place .f -x 30 -y 40")
+        sized.update()
+        window = sized.window(".f")
+        assert (window.x, window.y) == (30, 40)
+        assert window.mapped
+
+    def test_relative_position(self, sized):
+        sized.interp.eval("frame .f -geometry 20x10")
+        sized.interp.eval("place .f -relx 0.5 -rely 0.5")
+        sized.update()
+        window = sized.window(".f")
+        assert (window.x, window.y) == (100, 50)
+
+    def test_center_anchor(self, sized):
+        sized.interp.eval("frame .f -geometry 20x10")
+        sized.interp.eval("place .f -relx 0.5 -rely 0.5 -anchor center")
+        sized.update()
+        window = sized.window(".f")
+        assert (window.x, window.y) == (90, 45)
+
+    def test_relwidth_full(self, sized):
+        sized.interp.eval("frame .f -geometry 20x10")
+        sized.interp.eval("place .f -x 0 -y 0 -relwidth 1.0 -height 30")
+        sized.update()
+        window = sized.window(".f")
+        assert window.width == 200
+        assert window.height == 30
+
+    def test_mixed_offsets(self, sized):
+        sized.interp.eval("frame .f -geometry 20x10")
+        sized.interp.eval("place .f -relx 0.25 -x 5 -y 0")
+        sized.update()
+        assert sized.window(".f").x == 55
+
+    def test_bad_anchor_is_error(self, sized):
+        sized.interp.eval("frame .f")
+        with pytest.raises(TclError, match="bad anchor"):
+            sized.interp.eval("place .f -anchor diagonal")
+
+    def test_bad_float_is_error(self, sized):
+        sized.interp.eval("frame .f")
+        with pytest.raises(TclError, match="floating-point"):
+            sized.interp.eval("place .f -relx wide")
+
+
+class TestTracking:
+    def test_follows_parent_resize(self, sized):
+        sized.interp.eval("frame .f -geometry 20x10")
+        sized.interp.eval("place .f -relx 0.5 -rely 0.5")
+        sized.update()
+        sized.interp.eval("wm geometry . 400x200")
+        sized.update()
+        window = sized.window(".f")
+        assert (window.x, window.y) == (200, 100)
+
+    def test_place_forget_unmaps(self, sized):
+        sized.interp.eval("frame .f -geometry 20x10")
+        sized.interp.eval("place .f -x 0 -y 0")
+        sized.update()
+        sized.interp.eval("place forget .f")
+        assert not sized.window(".f").mapped
+
+    def test_place_info(self, sized):
+        sized.interp.eval("frame .f -geometry 20x10")
+        sized.interp.eval("place .f -x 3 -rely 0.5")
+        info = sized.interp.eval("place info .f")
+        assert "-x 3" in info
+        assert "-rely 0.5" in info
+
+    def test_winfo_manager_reports_place(self, sized):
+        sized.interp.eval("frame .f")
+        sized.interp.eval("place .f -x 0 -y 0")
+        assert sized.interp.eval("winfo manager .f") == "place"
+
+
+class TestManagerInterplay:
+    def test_place_displaces_pack(self, sized):
+        """Only one geometry manager manages a window at a time."""
+        sized.interp.eval("frame .f -geometry 20x10")
+        sized.interp.eval("pack append . .f {top}")
+        sized.update()
+        sized.interp.eval("place .f -x 77 -y 0")
+        sized.update()
+        assert sized.window(".f").x == 77
+        assert sized.interp.eval("winfo manager .f") == "place"
+        # And the packer no longer lists it.
+        assert ".f" not in sized.interp.eval("pack info .")
+
+    def test_pack_displaces_place(self, sized):
+        sized.interp.eval("frame .f -geometry 20x10")
+        sized.interp.eval("place .f -x 77 -y 0")
+        sized.update()
+        sized.interp.eval("pack append . .f {top}")
+        sized.update()
+        assert sized.interp.eval("winfo manager .f") == "pack"
+        assert sized.interp.eval("place info .f") == ""
+
+    def test_siblings_under_different_managers(self, sized):
+        sized.interp.eval("frame .packed -geometry 50x20")
+        sized.interp.eval("frame .placed -geometry 20x20")
+        sized.interp.eval("pack append . .packed {top}")
+        sized.interp.eval("place .placed -x 150 -y 70")
+        sized.update()
+        assert sized.interp.eval("winfo manager .packed") == "pack"
+        assert sized.interp.eval("winfo manager .placed") == "place"
+        assert sized.window(".placed").x == 150

@@ -1,0 +1,142 @@
+"""Tests for the selection (section 3.6) and focus management (3.7)."""
+
+import pytest
+
+from repro.tcl import TclError
+
+
+def make_listbox(app, path=".l", items=("alpha", "beta", "gamma")):
+    app.interp.eval("listbox %s" % path)
+    app.interp.eval("pack append . %s {top}" % path)
+    app.update()
+    app.interp.eval("%s insert end %s" % (path, " ".join(items)))
+    return app.window(path)
+
+
+class TestSelectionWithinApp:
+    def test_owner_answers_directly(self, app):
+        make_listbox(app)
+        app.interp.eval(".l select from 0")
+        assert app.interp.eval("selection get") == "alpha"
+
+    def test_multiple_items_newline_separated(self, app):
+        make_listbox(app)
+        app.interp.eval(".l select from 0")
+        app.interp.eval(".l select extend 2")
+        value = app.interp.eval("selection get")
+        assert value.split("\n") == ["alpha", "beta", "gamma"]
+
+    def test_selection_get_without_owner_is_error(self, app):
+        with pytest.raises(TclError):
+            app.interp.eval("selection get")
+
+    def test_selection_own_reports_owner(self, app):
+        make_listbox(app)
+        app.interp.eval(".l select from 1")
+        assert app.interp.eval("selection own") == ".l"
+
+    def test_tcl_selection_handler(self, app):
+        """Selection handlers may be written in Tcl (section 3.6)."""
+        app.interp.eval("frame .f")
+        app.interp.eval('selection handle .f {format "handler value"}')
+        app.interp.eval("selection own .f")
+        assert app.interp.eval("selection get") == "handler value"
+
+
+class TestSelectionAcrossApps:
+    def test_cross_application_retrieval(self, app, second_app):
+        make_listbox(app)
+        app.interp.eval(".l select from 1")
+        assert second_app.interp.eval("selection get") == "beta"
+
+    def test_new_owner_notifies_old(self, app, second_app):
+        """When another application claims the selection, the previous
+        owner is told it has lost it (ICCCM via Tk)."""
+        lst = make_listbox(app)
+        app.interp.eval(".l select from 0")
+        make_listbox(second_app, ".m", ("x", "y"))
+        second_app.interp.eval(".m select from 0")
+        app.update()
+        # The first listbox's selection highlight was cleared.
+        assert lst.widget.selected == set()
+
+    def test_selection_follows_latest_owner(self, app, second_app):
+        make_listbox(app)
+        app.interp.eval(".l select from 0")
+        make_listbox(second_app, ".m", ("xx", "yy"))
+        second_app.interp.eval(".m select from 1")
+        assert app.interp.eval("selection get") == "yy"
+
+
+class TestFocus:
+    def test_focus_query_default(self, app):
+        assert app.interp.eval("focus") == "none"
+
+    def test_keystrokes_redirected_to_focus(self, app, server):
+        """All keystrokes in any window of the application are directed
+        to the focus window (section 3.7's dialog-box scenario)."""
+        app.interp.eval("entry .e")
+        app.interp.eval("frame .other -geometry 50x50")
+        app.interp.eval("pack append . .e {top} .other {top}")
+        app.update()
+        app.interp.eval("focus .e")
+        other = app.window(".other")
+        for key in "hi":
+            server.press_key(key, window_id=other.id)
+        app.update()
+        assert app.interp.eval(".e get") == "hi"
+
+    def test_focus_reassignment(self, app, server):
+        app.interp.eval("entry .a")
+        app.interp.eval("entry .b")
+        app.interp.eval("pack append . .a {top} .b {top}")
+        app.update()
+        app.interp.eval("focus .a")
+        server.press_key("x", window_id=app.main.id)
+        app.update()
+        app.interp.eval("focus .b")
+        server.press_key("y", window_id=app.main.id)
+        app.update()
+        assert app.interp.eval(".a get") == "x"
+        assert app.interp.eval(".b get") == "y"
+
+    def test_focus_none(self, app, server):
+        app.interp.eval("entry .e")
+        app.interp.eval("pack append . .e {top}")
+        app.update()
+        app.interp.eval("focus .e")
+        app.interp.eval("focus none")
+        assert app.interp.eval("focus") == "none"
+
+    def test_focus_on_destroyed_window_cleared(self, app):
+        app.interp.eval("entry .e")
+        app.interp.eval("focus .e")
+        app.interp.eval("destroy .e")
+        assert app.interp.eval("focus") == "none"
+
+
+class TestCutBuffer:
+    def test_set_and_get(self, app):
+        app.interp.eval("cutbuffer set {some text}")
+        assert app.interp.eval("cutbuffer get") == "some text"
+
+    def test_cross_application(self, app, second_app):
+        """Cut buffers live on the root window, visible to everyone —
+        but they carry only passive strings (paper section 6)."""
+        app.interp.eval("cutbuffer set {shared data}")
+        assert second_app.interp.eval("cutbuffer get") == "shared data"
+
+    def test_numbered_buffers_independent(self, app):
+        app.interp.eval("cutbuffer set 0 zero")
+        app.interp.eval("cutbuffer set 1 one")
+        assert app.interp.eval("cutbuffer get 0") == "zero"
+        assert app.interp.eval("cutbuffer get 1") == "one"
+
+    def test_empty_buffer_reads_empty(self, app):
+        assert app.interp.eval("cutbuffer get 7") == ""
+
+    def test_bad_number(self, app):
+        from repro.tcl import TclError
+        import pytest
+        with pytest.raises(TclError):
+            app.interp.eval("cutbuffer get 9")

@@ -1,0 +1,124 @@
+"""Tests for raise/lower (window stacking) and grab (modal input)."""
+
+import pytest
+
+from repro.tcl import TclError
+
+
+def overlapping_frames(app):
+    """Two siblings occupying the same area of a fixed-size parent."""
+    app.interp.eval("wm geometry . 100x100")
+    app.interp.eval("frame .a -geometry 80x80 -bg white")
+    app.interp.eval("frame .b -geometry 80x80 -bg black")
+    app.interp.eval("place .a -x 0 -y 0")
+    app.interp.eval("place .b -x 0 -y 0")
+    app.update()
+
+
+class TestStacking:
+    def test_later_sibling_is_on_top(self, app, server):
+        overlapping_frames(app)
+        assert server.root.window_at(10, 10).id == app.window(".b").id
+
+    def test_raise_brings_to_top(self, app, server):
+        overlapping_frames(app)
+        app.interp.eval("raise .a")
+        assert server.root.window_at(10, 10).id == app.window(".a").id
+
+    def test_lower_sends_to_bottom(self, app, server):
+        overlapping_frames(app)
+        app.interp.eval("lower .b")
+        assert server.root.window_at(10, 10).id == app.window(".a").id
+
+    def test_clicks_go_to_top_window(self, app, server):
+        overlapping_frames(app)
+        app.interp.eval("bind .a <Button-1> {set hit a}")
+        app.interp.eval("bind .b <Button-1> {set hit b}")
+        server.warp_pointer(10, 10)
+        server.press_button(1)
+        app.update()
+        assert app.interp.eval("set hit") == "b"
+        app.interp.eval("raise .a")
+        server.warp_pointer(11, 11)
+        server.press_button(1)
+        app.update()
+        assert app.interp.eval("set hit") == "a"
+
+    def test_raise_missing_window_is_error(self, app):
+        with pytest.raises(TclError, match="bad window path"):
+            app.interp.eval("raise .ghost")
+
+
+class TestGrab:
+    def make_two_buttons(self, app):
+        app.interp.eval("button .inside -text in -command {set hit in}")
+        app.interp.eval("button .outside -text out "
+                        "-command {set hit out}")
+        app.interp.eval("pack append . .inside {top} .outside {top}")
+        app.update()
+
+    def click(self, app, server, path):
+        window = app.window(path)
+        x, y = window.root_position()
+        server.warp_pointer(x + 2, y + 2)
+        server.press_button(1)
+        server.release_button(1)
+        app.update()
+
+    def test_grab_blocks_outside_clicks(self, app, server):
+        self.make_two_buttons(app)
+        app.interp.eval("grab set .inside")
+        self.click(app, server, ".outside")
+        assert app.interp.eval("info exists hit") == "0"
+        # The button didn't even see the press.
+        assert not app.window(".outside").widget._pressed
+
+    def test_grab_allows_inside_clicks(self, app, server):
+        self.make_two_buttons(app)
+        app.interp.eval("grab set .inside")
+        self.click(app, server, ".inside")
+        assert app.interp.eval("set hit") == "in"
+
+    def test_grab_release_restores(self, app, server):
+        self.make_two_buttons(app)
+        app.interp.eval("grab set .inside")
+        app.interp.eval("grab release .inside")
+        self.click(app, server, ".outside")
+        assert app.interp.eval("set hit") == "out"
+
+    def test_grab_current(self, app):
+        self.make_two_buttons(app)
+        assert app.interp.eval("grab current") == ""
+        app.interp.eval("grab set .inside")
+        assert app.interp.eval("grab current") == ".inside"
+
+    def test_grab_subtree_included(self, app, server):
+        app.interp.eval("frame .dlg")
+        app.interp.eval("button .dlg.ok -text ok -command {set hit ok}")
+        app.interp.eval("pack append . .dlg {top}")
+        app.interp.eval("pack append .dlg .dlg.ok {top}")
+        app.update()
+        app.interp.eval("grab set .dlg")
+        self.click(app, server, ".dlg.ok")
+        assert app.interp.eval("set hit") == "ok"
+
+    def test_keystrokes_unaffected_by_grab(self, app, server):
+        """Grabs constrain the pointer; the keyboard follows focus."""
+        app.interp.eval("entry .e")
+        app.interp.eval("frame .dlg -geometry 20x20")
+        app.interp.eval("pack append . .e {top} .dlg {top}")
+        app.update()
+        app.interp.eval("focus .e")
+        app.interp.eval("grab set .dlg")
+        server.press_key("x", window_id=app.main.id)
+        app.update()
+        assert app.interp.eval(".e get") == "x"
+
+    def test_grab_cleared_when_window_destroyed(self, app, server):
+        self.make_two_buttons(app)
+        app.interp.eval("frame .modal")
+        app.interp.eval("pack append . .modal {top}")
+        app.interp.eval("grab set .modal")
+        app.interp.eval("destroy .modal")
+        self.click(app, server, ".outside")
+        assert app.interp.eval("set hit") == "out"

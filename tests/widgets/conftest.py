@@ -1,0 +1,42 @@
+"""Shared fixtures for widget tests."""
+
+import io
+
+import pytest
+
+from repro.tk import TkApp
+from repro.x11 import XServer
+
+
+@pytest.fixture
+def server():
+    return XServer()
+
+
+@pytest.fixture
+def app(server):
+    application = TkApp(server, name="wtest")
+    application.interp.stdout = io.StringIO()
+    return application
+
+
+@pytest.fixture
+def click(server):
+    def do_click(app, path, button=1, state=0, dx=3, dy=3):
+        window = app.window(path)
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + dx, root_y + dy, state)
+        server.press_button(button, state)
+        server.release_button(button, state)
+        app.update()
+    return do_click
+
+
+@pytest.fixture
+def packed(app):
+    def make(script, path):
+        app.interp.eval(script)
+        app.interp.eval("pack append . %s {top}" % path)
+        app.update()
+        return app.window(path)
+    return make

@@ -1,0 +1,184 @@
+"""Tests for the button family (paper section 4)."""
+
+import pytest
+
+from repro.tcl import TclError
+from repro.x11 import events as ev
+
+
+class TestCreationCommand:
+    def test_paper_example(self, app):
+        """The exact creation command from section 4."""
+        result = app.interp.eval(
+            'button .hello -bg Red -text "Hello, world" '
+            '-command "print Hello!\\n"')
+        assert result == ".hello"
+        assert app.interp.eval(".hello cget -text") == "Hello, world"
+        assert app.interp.eval(".hello cget -bg") == "Red"
+
+    def test_widget_command_created(self, app):
+        app.interp.eval("button .b -text x")
+        assert "​.b" not in app.interp.commands  # sanity: exact name below
+        assert ".b" in app.interp.commands
+
+    def test_creation_returns_path(self, app):
+        assert app.interp.eval("label .l -text x") == ".l"
+
+    def test_unknown_option_is_error(self, app):
+        with pytest.raises(TclError, match="unknown option"):
+            app.interp.eval("button .b -nosuch x")
+
+    def test_missing_value_is_error(self, app):
+        with pytest.raises(TclError):
+            app.interp.eval("button .b -text")
+
+    def test_synonym_bg_matches_background(self, app):
+        app.interp.eval("button .b -bg pink")
+        assert app.interp.eval(".b cget -background") == "pink"
+
+
+class TestConfigure:
+    def test_paper_reconfiguration(self, app):
+        """'.hello configure -bg PalePink1 -relief sunken' (section 4)."""
+        app.interp.eval("button .hello -bg Red -text hi")
+        app.interp.eval(".hello configure -bg PalePink1 -relief sunken")
+        assert app.interp.eval(".hello cget -bg") == "PalePink1"
+        assert app.interp.eval(".hello cget -relief") == "sunken"
+
+    def test_configure_query_single(self, app):
+        app.interp.eval("button .b -text hi")
+        entry = app.interp.eval(".b configure -text")
+        assert entry == "-text text Text {} hi"
+
+    def test_configure_query_all(self, app):
+        app.interp.eval("button .b")
+        listing = app.interp.eval(".b configure")
+        assert "-background" in listing
+        assert "-command" in listing
+
+    def test_configure_changes_geometry(self, app, packed):
+        packed("button .b -text ab", ".b")
+        before = app.window(".b").requested_width
+        app.interp.eval(".b configure -text {a much longer label}")
+        app.update()
+        assert app.window(".b").requested_width > before
+
+
+class TestButtonBehaviour:
+    def test_click_invokes_command(self, app, packed, click):
+        packed("button .b -text go -command {set clicked 1}", ".b")
+        click(app, ".b")
+        assert app.interp.eval("set clicked") == "1"
+
+    def test_invoke_widget_command(self, app, packed):
+        packed("button .b -command {incr count} -text x", ".b")
+        app.interp.eval("set count 0")
+        app.interp.eval(".b invoke")
+        app.interp.eval(".b invoke")
+        assert app.interp.eval("set count") == "2"
+
+    def test_flash(self, app, packed):
+        packed("button .b -text x", ".b")
+        app.interp.eval(".b flash")
+        assert app.window(".b").widget.flash_count >= 4
+
+    def test_disabled_button_ignores_clicks(self, app, packed, click):
+        packed("button .b -text x -state disabled "
+               "-command {set clicked 1}", ".b")
+        click(app, ".b")
+        assert app.interp.eval("info exists clicked") == "0"
+
+    def test_release_outside_does_not_invoke(self, app, packed, server):
+        packed("button .b -text x -command {set clicked 1}", ".b")
+        window = app.window(".b")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 2, root_y + 2)
+        server.press_button(1)
+        server.warp_pointer(800, 800)      # drag off the button
+        server.release_button(1)
+        app.update()
+        assert app.interp.eval("info exists clicked") == "0"
+
+    def test_label_has_no_invoke(self, app, packed):
+        packed("label .l -text x", ".l")
+        with pytest.raises(TclError, match="bad option"):
+            app.interp.eval(".l invoke")
+
+    def test_command_error_reaches_error_info(self, app, packed, click):
+        packed("button .b -text x -command {error inside-command}", ".b")
+        with pytest.raises(TclError):
+            app.window(".b").widget.invoke()
+
+
+class TestGeometryRequests:
+    def test_size_tracks_text(self, app, packed):
+        packed("button .short -text ab", ".short")
+        packed("button .long -text abcdefghij", ".long")
+        short = app.window(".short").requested_width
+        long_ = app.window(".long").requested_width
+        assert long_ > short
+
+    def test_explicit_width_in_chars(self, app, packed):
+        packed("button .b -text ab -width 20 -padx 0 -bd 0", ".b")
+        font = app.cache.font("fixed")
+        assert app.window(".b").requested_width == 20 * font.char_width
+
+    def test_padding_adds_size(self, app, packed):
+        packed("button .a -text ab -padx 0 -pady 0 -bd 0", ".a")
+        packed("button .b -text ab -padx 10 -pady 10 -bd 0", ".b")
+        assert app.window(".b").requested_width == \
+            app.window(".a").requested_width + 20
+
+
+class TestCheckbutton:
+    def test_toggle_sets_variable(self, app, packed):
+        packed("checkbutton .c -text opt -variable flag", ".c")
+        app.interp.eval(".c toggle")
+        assert app.interp.eval("set flag") == "1"
+        app.interp.eval(".c toggle")
+        assert app.interp.eval("set flag") == "0"
+
+    def test_click_toggles(self, app, packed, click):
+        packed("checkbutton .c -text opt -variable flag", ".c")
+        click(app, ".c")
+        assert app.interp.eval("set flag") == "1"
+
+    def test_custom_on_off_values(self, app, packed):
+        packed("checkbutton .c -variable mode -onvalue yes "
+               "-offvalue no -text x", ".c")
+        app.interp.eval(".c select")
+        assert app.interp.eval("set mode") == "yes"
+        app.interp.eval(".c deselect")
+        assert app.interp.eval("set mode") == "no"
+
+    def test_command_runs_after_toggle(self, app, packed):
+        packed("checkbutton .c -variable flag "
+               "-command {set seen $flag} -text x", ".c")
+        app.window(".c").widget.invoke()
+        assert app.interp.eval("set seen") == "1"
+
+
+class TestRadiobutton:
+    def test_group_shares_variable(self, app, packed):
+        packed("radiobutton .r1 -variable choice -value one -text 1",
+               ".r1")
+        packed("radiobutton .r2 -variable choice -value two -text 2",
+               ".r2")
+        app.interp.eval(".r1 select")
+        assert app.interp.eval("set choice") == "one"
+        app.interp.eval(".r2 select")
+        assert app.interp.eval("set choice") == "two"
+
+    def test_selected_state_follows_variable(self, app, packed):
+        packed("radiobutton .r1 -variable choice -value one -text 1",
+               ".r1")
+        app.interp.eval("set choice one")
+        assert app.window(".r1").widget.selected()
+        app.interp.eval("set choice other")
+        assert not app.window(".r1").widget.selected()
+
+    def test_click_selects(self, app, packed, click):
+        packed("radiobutton .r -variable choice -value mine -text x",
+               ".r")
+        click(app, ".r")
+        assert app.interp.eval("set choice") == "mine"

@@ -1,0 +1,248 @@
+"""Tests for the canvas widget — the drawing extension the paper
+promises in section 5."""
+
+import pytest
+
+from repro.tcl import TclError
+from repro.x11 import events as ev
+
+
+@pytest.fixture
+def canvas(app, packed):
+    packed("canvas .c -width 200 -height 150", ".c")
+    return app
+
+
+class TestItemCreation:
+    def test_create_returns_increasing_ids(self, canvas):
+        first = canvas.interp.eval(".c create line 0 0 10 10")
+        second = canvas.interp.eval(".c create rectangle 0 0 5 5")
+        assert int(second) == int(first) + 1
+
+    def test_item_types(self, canvas):
+        canvas.interp.eval(".c create line 0 0 10 10")
+        canvas.interp.eval(".c create rectangle 0 0 5 5")
+        canvas.interp.eval(".c create oval 0 0 5 5")
+        canvas.interp.eval(".c create text 5 5 -text hi")
+        canvas.interp.eval(".c create bitmap 5 5 -bitmap gray50")
+        for item_id, expected in enumerate(
+                ("line", "rectangle", "oval", "text", "bitmap"), 1):
+            assert canvas.interp.eval(".c type %d" % item_id) == expected
+
+    def test_unknown_type_is_error(self, canvas):
+        with pytest.raises(TclError, match="unknown item type"):
+            canvas.interp.eval(".c create blob 0 0")
+
+    def test_wrong_coordinate_count_is_error(self, canvas):
+        with pytest.raises(TclError, match="coordinates"):
+            canvas.interp.eval(".c create rectangle 0 0 5")
+
+    def test_multisegment_line(self, canvas):
+        canvas.interp.eval(".c create line 0 0 10 10 20 0 30 10")
+        assert canvas.interp.eval(".c coords 1") == "0 0 10 10 20 0 30 10"
+
+    def test_bad_color_is_error(self, canvas):
+        with pytest.raises(TclError, match="unknown color"):
+            canvas.interp.eval(
+                ".c create rectangle 0 0 5 5 -fill NotAColor")
+
+    def test_option_type_checking(self, canvas):
+        with pytest.raises(TclError, match="isn't valid"):
+            canvas.interp.eval(".c create line 0 0 5 5 -text nope")
+
+
+class TestCoordsAndMove:
+    def test_coords_query(self, canvas):
+        canvas.interp.eval(".c create rectangle 10 20 30 40")
+        assert canvas.interp.eval(".c coords 1") == "10 20 30 40"
+
+    def test_coords_set(self, canvas):
+        canvas.interp.eval(".c create rectangle 10 20 30 40")
+        canvas.interp.eval(".c coords 1 1 2 3 4")
+        assert canvas.interp.eval(".c coords 1") == "1 2 3 4"
+
+    def test_move_by_delta(self, canvas):
+        canvas.interp.eval(".c create rectangle 10 20 30 40 -tags box")
+        canvas.interp.eval(".c move box 5 -10")
+        assert canvas.interp.eval(".c coords box") == "15 10 35 30"
+
+    def test_move_by_tag_moves_all(self, canvas):
+        canvas.interp.eval(".c create rectangle 0 0 5 5 -tags group")
+        canvas.interp.eval(".c create rectangle 10 10 15 15 -tags group")
+        canvas.interp.eval(".c move group 1 1")
+        assert canvas.interp.eval(".c coords 1") == "1 1 6 6"
+        assert canvas.interp.eval(".c coords 2") == "11 11 16 16"
+
+    def test_bbox(self, canvas):
+        canvas.interp.eval(".c create rectangle 10 20 30 40 -tags t")
+        canvas.interp.eval(".c create rectangle 5 25 15 50 -tags t")
+        assert canvas.interp.eval(".c bbox t") == "5 20 30 50"
+
+
+class TestTagsAndFind:
+    def test_find_withtag(self, canvas):
+        canvas.interp.eval(".c create line 0 0 5 5 -tags wanted")
+        canvas.interp.eval(".c create line 0 0 9 9")
+        canvas.interp.eval(".c create line 1 1 2 2 -tags wanted")
+        assert canvas.interp.eval(".c find withtag wanted") == "1 3"
+
+    def test_find_all(self, canvas):
+        canvas.interp.eval(".c create line 0 0 5 5")
+        canvas.interp.eval(".c create line 0 0 9 9")
+        assert canvas.interp.eval(".c find withtag all") == "1 2"
+
+    def test_find_closest(self, canvas):
+        canvas.interp.eval(".c create rectangle 0 0 10 10")
+        canvas.interp.eval(".c create rectangle 100 100 110 110")
+        assert canvas.interp.eval(".c find closest 105 102") == "2"
+
+    def test_find_overlapping(self, canvas):
+        canvas.interp.eval(".c create rectangle 0 0 10 10")
+        canvas.interp.eval(".c create rectangle 50 50 60 60")
+        assert canvas.interp.eval(
+            ".c find overlapping 5 5 55 55") == "1 2"
+        assert canvas.interp.eval(
+            ".c find overlapping 20 20 30 30") == ""
+
+    def test_addtag_and_gettags(self, canvas):
+        canvas.interp.eval(".c create line 0 0 5 5 -tags first")
+        canvas.interp.eval(".c addtag second withtag first")
+        assert canvas.interp.eval(".c gettags 1") == "first second"
+
+    def test_delete_by_tag(self, canvas):
+        canvas.interp.eval(".c create line 0 0 5 5 -tags doomed")
+        canvas.interp.eval(".c create line 9 9 20 20")
+        canvas.interp.eval(".c delete doomed")
+        assert canvas.interp.eval(".c find withtag all") == "2"
+
+    def test_delete_all(self, canvas):
+        canvas.interp.eval(".c create line 0 0 5 5")
+        canvas.interp.eval(".c create line 1 1 2 2")
+        canvas.interp.eval(".c delete all")
+        assert canvas.interp.eval(".c find withtag all") == ""
+
+
+class TestItemConfigure:
+    def test_query_option(self, canvas):
+        canvas.interp.eval(".c create rectangle 0 0 5 5 -fill red")
+        assert canvas.interp.eval(".c itemconfigure 1 -fill") == "red"
+
+    def test_change_option(self, canvas):
+        canvas.interp.eval(".c create rectangle 0 0 5 5 -fill red")
+        canvas.interp.eval(".c itemconfigure 1 -fill blue")
+        assert canvas.interp.eval(".c itemconfigure 1 -fill") == "blue"
+
+    def test_change_text(self, canvas):
+        canvas.interp.eval(".c create text 5 5 -text old")
+        canvas.interp.eval(".c itemconfigure 1 -text new")
+        assert canvas.interp.eval(".c itemconfigure 1 -text") == "new"
+
+    def test_missing_item_is_error(self, canvas):
+        with pytest.raises(TclError, match="doesn't exist"):
+            canvas.interp.eval(".c itemconfigure 99 -fill red")
+
+
+class TestItemBindings:
+    def test_click_on_item_runs_script(self, canvas, server):
+        canvas.interp.eval(
+            ".c create rectangle 10 10 40 40 -fill red -tags box")
+        canvas.interp.eval(".c bind box <Button-1> {set hit %x,%y}")
+        canvas.update()
+        window = canvas.window(".c")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 20, root_y + 20)
+        server.press_button(1)
+        canvas.update()
+        assert canvas.interp.eval("set hit") == "20,20"
+
+    def test_click_outside_item_does_nothing(self, canvas, server):
+        canvas.interp.eval(".c create rectangle 10 10 40 40 -tags box")
+        canvas.interp.eval(".c bind box <Button-1> {set hit 1}")
+        canvas.update()
+        window = canvas.window(".c")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 100, root_y + 100)
+        server.press_button(1)
+        canvas.update()
+        assert canvas.interp.eval("info exists hit") == "0"
+
+    def test_binding_by_id(self, canvas, server):
+        item = canvas.interp.eval(".c create rectangle 0 0 30 30")
+        canvas.interp.eval(".c bind %s <Button-1> {set hit id}" % item)
+        canvas.update()
+        window = canvas.window(".c")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 5, root_y + 5)
+        server.press_button(1)
+        canvas.update()
+        assert canvas.interp.eval("set hit") == "id"
+
+    def test_query_item_binding(self, canvas):
+        canvas.interp.eval(".c create rectangle 0 0 5 5 -tags t")
+        canvas.interp.eval(".c bind t <Button-1> {some script}")
+        assert canvas.interp.eval(".c bind t <Button-1>") == "some script"
+
+    def test_hypertext_in_canvas(self, canvas, server):
+        """The paper's hypertext idea with graphics: commands attached
+        to canvas items."""
+        canvas.interp.eval(
+            '.c create text 10 10 -text "click me" -tags link')
+        canvas.interp.eval(".c bind link <Button-1> {set page opened}")
+        canvas.update()
+        window = canvas.window(".c")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 15, root_y + 15)
+        server.press_button(1)
+        canvas.update()
+        assert canvas.interp.eval("set page") == "opened"
+
+
+class TestGeometry:
+    def test_preferred_size_from_options(self, canvas):
+        window = canvas.window(".c")
+        border = 2
+        assert window.requested_width == 200 + 2 * border
+        assert window.requested_height == 150 + 2 * border
+
+
+class TestCanvasProperties:
+    """Property-based invariants for item geometry."""
+
+    def test_move_round_trip(self, canvas):
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=25, deadline=None)
+        @given(st.integers(-50, 50), st.integers(-50, 50))
+        def check(dx, dy):
+            canvas.interp.eval(".c delete all")
+            canvas.interp.eval(".c create rectangle 10 20 30 40 -tags t")
+            canvas.interp.eval(".c move t %d %d" % (dx, dy))
+            canvas.interp.eval(".c move t %d %d" % (-dx, -dy))
+            assert canvas.interp.eval(".c coords t") == "10 20 30 40"
+
+        check()
+
+    def test_bbox_contains_all_coords(self, canvas):
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=25, deadline=None)
+        @given(st.lists(st.integers(0, 200), min_size=4, max_size=8)
+               .filter(lambda coords: len(coords) % 2 == 0))
+        def check(coords):
+            canvas.interp.eval(".c delete all")
+            canvas.interp.eval(".c create line %s -tags t"
+                               % " ".join(str(c) for c in coords))
+            x1, y1, x2, y2 = (int(v) for v in
+                              canvas.interp.eval(".c bbox t").split())
+            assert x1 == min(coords[0::2]) and x2 == max(coords[0::2])
+            assert y1 == min(coords[1::2]) and y2 == max(coords[1::2])
+
+        check()
+
+    def test_find_withtag_is_ordered_subset_of_all(self, canvas):
+        canvas.interp.eval(".c create line 0 0 1 1 -tags odd")
+        canvas.interp.eval(".c create line 0 0 2 2")
+        canvas.interp.eval(".c create line 0 0 3 3 -tags odd")
+        all_items = canvas.interp.eval(".c find withtag all").split()
+        tagged = canvas.interp.eval(".c find withtag odd").split()
+        assert [item for item in all_items if item in tagged] == tagged

@@ -1,0 +1,305 @@
+"""Tests for entry, scale, message, frame, and menu widgets."""
+
+import pytest
+
+from repro.tcl import TclError
+from repro.x11 import events as ev
+
+
+class TestEntry:
+    def test_insert_and_get(self, app, packed):
+        packed("entry .e", ".e")
+        app.interp.eval(".e insert 0 hello")
+        assert app.interp.eval(".e get") == "hello"
+
+    def test_insert_at_position(self, app, packed):
+        packed("entry .e", ".e")
+        app.interp.eval(".e insert 0 held")
+        app.interp.eval(".e insert 3 lo-wor")
+        assert app.interp.eval(".e get") == "hello-word"
+
+    def test_delete(self, app, packed):
+        packed("entry .e", ".e")
+        app.interp.eval(".e insert 0 abcdef")
+        app.interp.eval(".e delete 1 3")
+        assert app.interp.eval(".e get") == "aef"
+
+    def test_typing_with_focus(self, app, packed, server):
+        packed("entry .e", ".e")
+        app.interp.eval("focus .e")
+        for key in "tcl":
+            server.press_key(key, window_id=app.main.id)
+        app.update()
+        assert app.interp.eval(".e get") == "tcl"
+
+    def test_backspace(self, app, packed, server):
+        packed("entry .e", ".e")
+        app.interp.eval("focus .e")
+        for key in ["a", "b", "BackSpace"]:
+            server.press_key(key, window_id=app.main.id)
+        app.update()
+        assert app.interp.eval(".e get") == "a"
+
+    def test_cursor_movement(self, app, packed, server):
+        packed("entry .e", ".e")
+        app.interp.eval("focus .e")
+        for key in ["a", "c", "Left", "b"]:
+            server.press_key(key, window_id=app.main.id)
+        app.update()
+        assert app.interp.eval(".e get") == "abc"
+
+    def test_icursor_and_index(self, app, packed):
+        packed("entry .e", ".e")
+        app.interp.eval(".e insert 0 abcdef")
+        app.interp.eval(".e icursor 2")
+        assert app.interp.eval(".e index insert") == "2"
+
+    def test_backspace_over_word_binding(self, app, packed, server):
+        """Section 5's example: implement Control-w entirely in Tcl —
+        the widget itself is not modified."""
+        packed("entry .e", ".e")
+        app.interp.eval("focus .e")
+        app.interp.eval("""
+            proc backWord {w} {
+                set text [$w get]
+                set trimmed [string trimright $text]
+                set cut [string last " " $trimmed]
+                if {$cut < 0} {set cut 0}
+                $w delete $cut [expr [string length $text]-1]
+                $w icursor end
+            }
+        """)
+        app.interp.eval("bind .e <Control-w> {backWord %W}")
+        app.interp.eval('.e insert 0 "several words here"')
+        server.press_key("w", state=ev.CONTROL_MASK,
+                         window_id=app.main.id)
+        app.update()
+        assert app.interp.eval(".e get") == "several words"
+
+    def test_control_chars_not_inserted(self, app, packed, server):
+        packed("entry .e", ".e")
+        app.interp.eval("focus .e")
+        server.press_key("x", state=ev.CONTROL_MASK,
+                         window_id=app.main.id)
+        app.update()
+        assert app.interp.eval(".e get") == ""
+
+
+class TestScale:
+    def test_set_and_get(self, app, packed):
+        packed("scale .s -from 0 -to 100", ".s")
+        app.interp.eval(".s set 42")
+        assert app.interp.eval(".s get") == "42"
+
+    def test_value_clamped_to_range(self, app, packed):
+        packed("scale .s -from 10 -to 20", ".s")
+        app.interp.eval(".s set 99")
+        assert app.interp.eval(".s get") == "20"
+        app.interp.eval(".s set 1")
+        assert app.interp.eval(".s get") == "10"
+
+    def test_click_sets_value_and_runs_command(self, app, packed,
+                                               server):
+        packed("scale .s -from 0 -to 100 -length 100 "
+               "-command {set picked}", ".s")
+        window = app.window(".s")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 50, root_y + window.height - 5)
+        server.press_button(1)
+        app.update()
+        assert app.interp.eval("set picked") == "50"
+        assert app.interp.eval(".s get") == "50"
+
+    def test_set_does_not_run_command(self, app, packed):
+        packed("scale .s -command {set picked}", ".s")
+        app.interp.eval(".s set 10")
+        assert app.interp.eval("info exists picked") == "0"
+
+
+class TestMessage:
+    def test_wraps_to_width(self, app, packed):
+        window = packed(
+            'message .m -width 60 -text "some words that need wrapping '
+            'to fit"', ".m")
+        lines = window.widget.wrapped_lines()
+        assert len(lines) > 1
+        font = app.cache.font("fixed")
+        assert all(font.text_width(line) <= 60 for line in lines)
+
+    def test_respects_newlines(self, app, packed):
+        window = packed('message .m -text "one\\ntwo"', ".m")
+        assert window.widget.wrapped_lines() == ["one", "two"]
+
+    def test_aspect_controls_shape(self, app, packed):
+        long_text = " ".join(["word"] * 30)
+        wide = packed('message .wide -aspect 400 -text "%s"' % long_text,
+                      ".wide")
+        tall = packed('message .tall -aspect 50 -text "%s"' % long_text,
+                      ".tall")
+        wide_ratio = wide.requested_width / wide.requested_height
+        tall_ratio = tall.requested_width / tall.requested_height
+        assert wide_ratio > tall_ratio
+
+    def test_empty_message(self, app, packed):
+        window = packed("message .m -text {}", ".m")
+        assert window.requested_width >= 1
+
+
+class TestFrame:
+    def test_explicit_geometry(self, app, packed):
+        window = packed("frame .f -geometry 123x45", ".f")
+        assert (window.width, window.height) == (123, 45)
+
+    def test_bad_geometry_is_error(self, app):
+        with pytest.raises(TclError, match="bad geometry"):
+            app.interp.eval("frame .f -geometry wide")
+
+    def test_frame_is_container(self, app, packed):
+        packed("frame .f -geometry 100x100", ".f")
+        app.interp.eval("button .f.inner -text x")
+        app.interp.eval("pack append .f .f.inner {top}")
+        app.update()
+        assert app.interp.eval("winfo ismapped .f.inner") == "1"
+
+
+class TestMenu:
+    def make_menu(self, app):
+        app.interp.eval("menu .m")
+        app.interp.eval('.m add command -label Open -command {set did open}')
+        app.interp.eval('.m add command -label Save -command {set did save}')
+        app.interp.eval(".m add separator")
+        app.interp.eval('.m add checkbutton -label Wrap -variable wrap')
+        app.interp.eval('.m add radiobutton -label Left -variable side '
+                        '-value left')
+
+    def test_add_and_size(self, app):
+        self.make_menu(app)
+        assert app.interp.eval(".m size") == "5"
+
+    def test_invoke_by_index(self, app):
+        self.make_menu(app)
+        app.interp.eval(".m invoke 0")
+        assert app.interp.eval("set did") == "open"
+
+    def test_invoke_by_label(self, app):
+        self.make_menu(app)
+        app.interp.eval(".m invoke Save")
+        assert app.interp.eval("set did") == "save"
+
+    def test_checkbutton_entry_toggles(self, app):
+        self.make_menu(app)
+        app.interp.eval(".m invoke Wrap")
+        assert app.interp.eval("set wrap") == "1"
+        app.interp.eval(".m invoke Wrap")
+        assert app.interp.eval("set wrap") == "0"
+
+    def test_radiobutton_entry_sets_value(self, app):
+        self.make_menu(app)
+        app.interp.eval(".m invoke Left")
+        assert app.interp.eval("set side") == "left"
+
+    def test_separator_invoke_is_noop(self, app):
+        self.make_menu(app)
+        app.interp.eval(".m invoke 2")  # no error
+
+    def test_post_maps_menu(self, app):
+        self.make_menu(app)
+        app.interp.eval(".m post 50 60")
+        assert app.window(".m").mapped
+        app.interp.eval(".m unpost")
+        assert not app.window(".m").mapped
+
+    def test_menubutton_posts_menu(self, app, packed, server):
+        self.make_menu(app)
+        packed("menubutton .mb -text File -menu .m", ".mb")
+        window = app.window(".mb")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 2, root_y + 2)
+        server.press_button(1)
+        app.update()
+        assert app.window(".m").mapped
+
+    def test_release_over_entry_invokes(self, app, packed, server):
+        self.make_menu(app)
+        app.interp.eval(".m post 10 10")
+        app.update()
+        menu = app.window(".m")
+        font = app.cache.font("fixed")
+        root_x, root_y = menu.root_position()
+        server.warp_pointer(root_x + 5,
+                            root_y + font.line_height + 4)
+        server.release_button(1)
+        app.update()
+        assert app.interp.eval("set did") == "save"
+        assert not menu.mapped
+
+    def test_entryconfigure(self, app):
+        self.make_menu(app)
+        app.interp.eval(".m entryconfigure 0 -command {set did changed}")
+        app.interp.eval(".m invoke 0")
+        assert app.interp.eval("set did") == "changed"
+
+    def test_delete_entry(self, app):
+        self.make_menu(app)
+        app.interp.eval(".m delete 0")
+        assert app.interp.eval(".m size") == "4"
+        assert app.interp.eval(".m index Save") == "0"
+
+    def test_bad_entry_type_is_error(self, app):
+        app.interp.eval("menu .m")
+        with pytest.raises(TclError, match="bad menu entry type"):
+            app.interp.eval(".m add pizza")
+
+
+class TestTextvariable:
+    def test_label_follows_variable(self, app, packed):
+        app.interp.eval("set status idle")
+        window = packed("label .l -textvariable status", ".l")
+        assert window.widget.display_text() == "idle"
+        app.interp.eval("set status busy")
+        assert window.widget.display_text() == "busy"
+        assert window.widget._redraw_pending
+
+    def test_label_variable_created_with_text_default(self, app, packed):
+        packed("label .l -textvariable fresh -text start", ".l")
+        assert app.interp.eval("set fresh") == "start"
+
+    def test_label_size_tracks_variable(self, app, packed):
+        app.interp.eval("set msg short")
+        window = packed("label .l -textvariable msg", ".l")
+        before = window.requested_width
+        app.interp.eval("set msg {a much longer message now}")
+        app.update()
+        assert window.requested_width > before
+
+    def test_entry_writes_variable(self, app, packed, server):
+        packed("entry .e -textvariable typed", ".e")
+        app.interp.eval("focus .e")
+        for key in "hi":
+            server.press_key(key, window_id=app.main.id)
+        app.update()
+        assert app.interp.eval("set typed") == "hi"
+
+    def test_entry_reads_variable(self, app, packed):
+        packed("entry .e -textvariable field", ".e")
+        app.interp.eval("set field preset")
+        assert app.interp.eval(".e get") == "preset"
+
+    def test_entry_adopts_existing_value(self, app, packed):
+        app.interp.eval("set field existing")
+        packed("entry .e -textvariable field", ".e")
+        assert app.interp.eval(".e get") == "existing"
+
+    def test_two_widgets_share_variable(self, app, packed, server):
+        """A label mirrors an entry with no glue code at all."""
+        packed("entry .e -textvariable shared", ".e")
+        packed("label .l -textvariable shared", ".l")
+        app.interp.eval("focus .e")
+        server.press_key("x", window_id=app.main.id)
+        app.update()
+        assert app.window(".l").widget.display_text() == "x"
+
+    def test_trace_removed_on_destroy(self, app, packed):
+        packed("entry .e -textvariable gone", ".e")
+        app.interp.eval("destroy .e")
+        app.interp.eval("set gone later")   # must not error

@@ -1,0 +1,200 @@
+"""Tests for the listbox/scrollbar pair and their composition through
+Tcl commands (paper section 4)."""
+
+import pytest
+
+from repro.tcl import TclError
+from repro.x11 import events as ev
+
+
+def make_pair(app, lines=5):
+    app.interp.eval('scrollbar .scroll -command ".list view"')
+    app.interp.eval('listbox .list -scroll ".scroll set" '
+                    '-geometry 12x%d' % lines)
+    app.interp.eval(
+        "pack append . .scroll {right filly} .list {left expand fill}")
+    app.update()
+
+
+class TestListboxContents:
+    def test_insert_and_get(self, app, packed):
+        packed("listbox .l", ".l")
+        app.interp.eval(".l insert end a b c")
+        assert app.interp.eval(".l size") == "3"
+        assert app.interp.eval(".l get 1") == "b"
+
+    def test_insert_at_index(self, app, packed):
+        packed("listbox .l", ".l")
+        app.interp.eval(".l insert end a c")
+        app.interp.eval(".l insert 1 b")
+        assert [app.interp.eval(".l get %d" % i) for i in range(3)] == \
+            ["a", "b", "c"]
+
+    def test_delete_single(self, app, packed):
+        packed("listbox .l", ".l")
+        app.interp.eval(".l insert end a b c")
+        app.interp.eval(".l delete 1")
+        assert app.interp.eval(".l size") == "2"
+        assert app.interp.eval(".l get 1") == "c"
+
+    def test_delete_range(self, app, packed):
+        packed("listbox .l", ".l")
+        app.interp.eval(".l insert end a b c d e")
+        app.interp.eval(".l delete 1 3")
+        assert app.interp.eval(".l size") == "2"
+        assert app.interp.eval(".l get 1") == "e"
+
+    def test_get_out_of_range_is_error(self, app, packed):
+        packed("listbox .l", ".l")
+        with pytest.raises(TclError):
+            app.interp.eval(".l get 0")
+
+    def test_items_with_spaces(self, app, packed):
+        packed("listbox .l", ".l")
+        app.interp.eval('.l insert end "two words"')
+        assert app.interp.eval(".l get 0") == "two words"
+
+    def test_geometry_in_chars_by_lines(self, app, packed):
+        window = packed("listbox .l -geometry 20x10", ".l")
+        font = app.cache.font("fixed")
+        assert window.requested_width >= 20 * font.char_width
+        assert window.requested_height >= 10 * font.line_height
+
+
+class TestView:
+    def test_view_sets_top_element(self, app, packed):
+        packed("listbox .l -geometry 10x3", ".l")
+        app.interp.eval(".l insert end %s"
+                        % " ".join("item%d" % i for i in range(10)))
+        app.interp.eval(".l view 4")
+        assert app.window(".l").widget.top == 4
+
+    def test_view_clamps(self, app, packed):
+        packed("listbox .l -geometry 10x3", ".l")
+        app.interp.eval(".l insert end a b c")
+        app.interp.eval(".l view 99")
+        assert app.window(".l").widget.top == 2
+        app.interp.eval(".l view -5")
+        assert app.window(".l").widget.top == 0
+
+
+class TestScrollbarProtocol:
+    def test_set_and_get(self, app, packed):
+        packed("scrollbar .s", ".s")
+        app.interp.eval(".s set 100 10 20 29")
+        assert app.interp.eval(".s get") == "100 10 20 29"
+
+    def test_listbox_updates_scrollbar(self, app):
+        """Inserting elements reports the new totals to the scrollbar
+        through the -scroll command prefix."""
+        make_pair(app, lines=5)
+        app.interp.eval(".list insert end %s"
+                        % " ".join("x%d" % i for i in range(30)))
+        total, window, first, last = app.interp.eval(
+            ".scroll get").split()
+        assert total == "30"
+        assert window == "5"
+        assert first == "0"
+
+    def test_scrollbar_drives_listbox(self, app):
+        """The scrollbar appends a unit to its -command: '.list view 7'
+        adjusts the view (the paper's exact scenario)."""
+        make_pair(app, lines=5)
+        app.interp.eval(".list insert end %s"
+                        % " ".join("x%d" % i for i in range(30)))
+        scrollbar = app.window(".scroll").widget
+        scrollbar.issue(7)
+        app.update()
+        assert app.window(".list").widget.top == 7
+        # And the listbox reported back, closing the loop.
+        assert app.interp.eval(".scroll get").split()[2] == "7"
+
+    def test_arrow_click_scrolls_one_unit(self, app, server):
+        make_pair(app, lines=5)
+        app.interp.eval(".list insert end %s"
+                        % " ".join("x%d" % i for i in range(30)))
+        app.interp.eval(".list view 10")
+        app.update()
+        window = app.window(".scroll")
+        root_x, root_y = window.root_position()
+        # Click in the top arrow (first few pixels).
+        server.warp_pointer(root_x + 3, root_y + 2)
+        server.press_button(1)
+        app.update()
+        assert app.window(".list").widget.top == 9
+
+    def test_bottom_arrow_scrolls_down(self, app, server):
+        make_pair(app, lines=5)
+        app.interp.eval(".list insert end %s"
+                        % " ".join("x%d" % i for i in range(30)))
+        window = app.window(".scroll")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 3, root_y + window.height - 2)
+        server.press_button(1)
+        app.update()
+        assert app.window(".list").widget.top == 1
+
+    def test_one_scrollbar_many_listboxes(self, app):
+        """A Tcl proc as -command can fan one scrollbar out to several
+        windows (the generality claim of section 4)."""
+        app.interp.eval("listbox .a -geometry 8x3")
+        app.interp.eval("listbox .b -geometry 8x3")
+        app.interp.eval("proc both {n} {.a view $n; .b view $n}")
+        app.interp.eval('scrollbar .s -command both')
+        app.interp.eval("pack append . .a {top} .b {top} .s {right filly}")
+        app.update()
+        for path in (".a", ".b"):
+            app.interp.eval("%s insert end %s"
+                            % (path, " ".join(str(i) for i in range(20))))
+        app.window(".s").widget.issue(5)
+        app.update()
+        assert app.window(".a").widget.top == 5
+        assert app.window(".b").widget.top == 5
+
+    def test_bad_orientation_is_error(self, app):
+        with pytest.raises(TclError, match="bad orientation"):
+            app.interp.eval("scrollbar .s -orient diagonal")
+
+
+class TestListboxSelection:
+    def test_click_selects_item(self, app, server):
+        make_pair(app)
+        app.interp.eval(".list insert end aa bb cc")
+        window = app.window(".list")
+        font = app.cache.font("fixed")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 5,
+                            root_y + 3 + font.line_height + 2)
+        server.press_button(1)
+        app.update()
+        assert window.widget.selected == {1}
+        assert app.interp.eval("selection get") == "bb"
+
+    def test_shift_click_extends(self, app, server):
+        make_pair(app)
+        app.interp.eval(".list insert end aa bb cc dd")
+        window = app.window(".list")
+        font = app.cache.font("fixed")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 5, root_y + 4)
+        server.press_button(1)
+        server.warp_pointer(root_x + 5,
+                            root_y + 3 + 2 * font.line_height + 2,
+                            state=ev.SHIFT_MASK)
+        server.press_button(1, state=ev.SHIFT_MASK)
+        app.update()
+        assert window.widget.selected == {0, 1, 2}
+
+    def test_curselection(self, app, packed):
+        packed("listbox .l", ".l")
+        app.interp.eval(".l insert end a b c")
+        app.interp.eval(".l select from 0")
+        app.interp.eval(".l select extend 1")
+        assert app.interp.eval(".l curselection") == "0 1"
+
+    def test_delete_adjusts_selection(self, app, packed):
+        packed("listbox .l", ".l")
+        app.interp.eval(".l insert end a b c d")
+        app.interp.eval(".l select from 3")
+        app.interp.eval(".l delete 0")
+        assert app.window(".l").widget.selected == {2}

@@ -1,0 +1,226 @@
+"""Tests for the text widget: indices, editing, marks, tags, and the
+remote-highlight scenario of section 6."""
+
+import pytest
+
+from repro.tcl import TclError
+from repro.x11 import events as ev
+
+
+@pytest.fixture
+def text(app, packed):
+    packed("text .t -width 20 -height 5", ".t")
+    return app
+
+
+def fill(app, *lines):
+    app.interp.eval('.t insert end "%s"' % "\\n".join(lines))
+
+
+class TestIndices:
+    def test_line_char_form(self, text):
+        fill(text, "hello", "world")
+        assert text.interp.eval(".t index 1.2") == "1.2"
+        assert text.interp.eval(".t index 2.0") == "2.0"
+
+    def test_end_index(self, text):
+        fill(text, "hello", "world")
+        assert text.interp.eval(".t index end") == "2.5"
+
+    def test_line_end(self, text):
+        fill(text, "hello", "world")
+        assert text.interp.eval(".t index 1.end") == "1.5"
+
+    def test_clamping(self, text):
+        fill(text, "ab")
+        assert text.interp.eval(".t index 1.99") == "1.2"
+        assert text.interp.eval(".t index 99.5") == "1.2"
+        assert text.interp.eval(".t index 99.0") == "1.0"
+
+    def test_bad_index_is_error(self, text):
+        with pytest.raises(TclError, match="bad text index"):
+            text.interp.eval(".t index nonsense")
+
+
+class TestEditing:
+    def test_insert_and_get(self, text):
+        text.interp.eval(".t insert 1.0 {hello}")
+        assert text.interp.eval(".t get 1.0 end") == "hello"
+
+    def test_insert_multiline(self, text):
+        fill(text, "one", "two")
+        assert text.interp.eval(".t lines") == "2"
+        assert text.interp.eval(".t get 2.0 2.end") == "two"
+
+    def test_insert_in_middle(self, text):
+        text.interp.eval(".t insert 1.0 {held}")
+        text.interp.eval(".t insert 1.3 {lo wor}")
+        assert text.interp.eval(".t get 1.0 1.end") == "hello word"
+
+    def test_insert_newline_splits_line(self, text):
+        text.interp.eval(".t insert 1.0 {oneTWO}")
+        text.interp.eval('.t insert 1.3 "\\n"')
+        assert text.interp.eval(".t get 1.0 1.end") == "one"
+        assert text.interp.eval(".t get 2.0 2.end") == "TWO"
+
+    def test_delete_range(self, text):
+        text.interp.eval(".t insert 1.0 {abcdef}")
+        text.interp.eval(".t delete 1.1 1.4")
+        assert text.interp.eval(".t get 1.0 1.end") == "aef"
+
+    def test_delete_across_lines(self, text):
+        fill(text, "first", "second", "third")
+        text.interp.eval(".t delete 1.3 3.2")
+        assert text.interp.eval(".t get 1.0 end") == "firird"
+
+    def test_delete_single_char(self, text):
+        text.interp.eval(".t insert 1.0 {abc}")
+        text.interp.eval(".t delete 1.1")
+        assert text.interp.eval(".t get 1.0 1.end") == "ac"
+
+    def test_get_across_lines(self, text):
+        fill(text, "one", "two")
+        assert text.interp.eval(".t get 1.1 2.2") == "ne\ntw"
+
+
+class TestMarks:
+    def test_insert_mark_follows_insertion(self, text):
+        text.interp.eval(".t insert 1.0 {abc}")
+        text.interp.eval(".t mark set insert 1.1")
+        text.interp.eval(".t insert 1.0 {XY}")
+        assert text.interp.eval(".t index insert") == "1.3"
+
+    def test_mark_set_and_names(self, text):
+        fill(text, "hello")
+        text.interp.eval(".t mark set here 1.3")
+        assert "here" in text.interp.eval(".t mark names")
+        assert text.interp.eval(".t index here") == "1.3"
+
+    def test_mark_adjusts_on_delete(self, text):
+        fill(text, "abcdef")
+        text.interp.eval(".t mark set here 1.5")
+        text.interp.eval(".t delete 1.0 1.3")
+        assert text.interp.eval(".t index here") == "1.2"
+
+    def test_mark_in_deleted_range_moves_to_start(self, text):
+        fill(text, "abcdef")
+        text.interp.eval(".t mark set here 1.3")
+        text.interp.eval(".t delete 1.2 1.5")
+        assert text.interp.eval(".t index here") == "1.2"
+
+    def test_mark_unset(self, text):
+        fill(text, "x")
+        text.interp.eval(".t mark set temp 1.0")
+        text.interp.eval(".t mark unset temp")
+        assert "temp" not in text.interp.eval(".t mark names")
+
+
+class TestTags:
+    def test_add_and_ranges(self, text):
+        fill(text, "hello world")
+        text.interp.eval(".t tag add hot 1.0 1.5")
+        assert text.interp.eval(".t tag ranges hot") == "1.0 1.5"
+
+    def test_tag_names(self, text):
+        fill(text, "x")
+        text.interp.eval(".t tag add a 1.0 1.1")
+        text.interp.eval(".t tag add b 1.0 1.1")
+        assert text.interp.eval(".t tag names") == "a b"
+
+    def test_tag_remove(self, text):
+        fill(text, "hello")
+        text.interp.eval(".t tag add hot 1.0 1.5")
+        text.interp.eval(".t tag remove hot")
+        assert text.interp.eval(".t tag ranges hot") == ""
+
+    def test_tag_configure(self, text):
+        fill(text, "hello")
+        text.interp.eval(".t tag add hot 1.0 1.5")
+        text.interp.eval(".t tag configure hot -background yellow")
+        text.update()   # draws with the tag background; must not error
+
+    def test_tags_follow_edits(self, text):
+        fill(text, "hello world")
+        text.interp.eval(".t tag add hot 1.6 1.11")
+        text.interp.eval(".t insert 1.0 {>>> }")
+        assert text.interp.eval(".t tag ranges hot") == "1.10 1.15"
+
+    def test_debugger_highlight_scenario(self, text):
+        """Section 6: the debugger highlights the current line in the
+        editor — one tag command, sent remotely."""
+        fill(text, "int main() {", "    int x;", "    return 0;", "}")
+        text.interp.eval(".t tag configure current -background yellow")
+        text.interp.eval(".t tag add current 3.0 3.end")
+        assert text.interp.eval(".t tag ranges current") == "3.0 3.13"
+        # Moving the highlight is remove + add.
+        text.interp.eval(".t tag remove current")
+        text.interp.eval(".t tag add current 2.0 2.end")
+        assert text.interp.eval(".t tag ranges current") == "2.0 2.10"
+
+
+class TestKeyboard:
+    def test_typing(self, text, server):
+        text.interp.eval("focus .t")
+        for key in "ab":
+            server.press_key(key, window_id=text.main.id)
+        text.update()
+        assert text.interp.eval(".t get 1.0 1.end") == "ab"
+
+    def test_return_splits_line(self, text, server):
+        text.interp.eval("focus .t")
+        for key in ["a", "Return", "b"]:
+            server.press_key(key, window_id=text.main.id)
+        text.update()
+        assert text.interp.eval(".t lines") == "2"
+        assert text.interp.eval(".t get 2.0 2.end") == "b"
+
+    def test_backspace_joins_lines(self, text, server):
+        fill(text, "one", "two")
+        text.interp.eval(".t mark set insert 2.0")
+        text.interp.eval("focus .t")
+        server.press_key("BackSpace", window_id=text.main.id)
+        text.update()
+        assert text.interp.eval(".t lines") == "1"
+        assert text.interp.eval(".t get 1.0 1.end") == "onetwo"
+
+    def test_arrow_navigation(self, text, server):
+        fill(text, "abc", "def")
+        text.interp.eval(".t mark set insert 1.1")
+        text.interp.eval("focus .t")
+        server.press_key("Down", window_id=text.main.id)
+        text.update()
+        assert text.interp.eval(".t index insert") == "2.1"
+        server.press_key("Right", window_id=text.main.id)
+        text.update()
+        assert text.interp.eval(".t index insert") == "2.2"
+
+    def test_click_places_cursor(self, text, server):
+        fill(text, "hello world")
+        text.update()
+        window = text.window(".t")
+        font = text.cache.font("fixed")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 3 + 4 * font.char_width,
+                            root_y + 4)
+        server.press_button(1)
+        text.update()
+        assert text.interp.eval(".t index insert") == "1.4"
+
+
+class TestScrolling:
+    def test_view_scrolls(self, text):
+        fill(text, *["line %d" % n for n in range(1, 21)])
+        text.interp.eval(".t view 8")
+        assert text.window(".t").widget.top_line == 8
+
+    def test_scroll_command_notified(self, app, packed):
+        packed('scrollbar .sb -command ".t view"', ".sb")
+        app.interp.eval('text .t -width 10 -height 3 -scroll ".sb set"')
+        app.interp.eval("pack append . .t {top}")
+        app.update()
+        app.interp.eval('.t insert end "%s"'
+                        % "\\n".join("l%d" % n for n in range(12)))
+        total, visible, first, last = \
+            app.interp.eval(".sb get").split()
+        assert total == "12"
+        assert visible == "3"

