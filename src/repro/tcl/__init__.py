@@ -14,6 +14,7 @@ The interpreter traffics only in strings, supports dynamically created
 commands, and implements the complete syntax of the paper's Figures 1-5.
 """
 
+from .compile import CompiledScript, compile_script
 from .errors import (TCL_BREAK, TCL_CONTINUE, TCL_ERROR, TCL_OK, TCL_RETURN,
                      TclBreak, TclContinue, TclError, TclParseError,
                      TclReturn)
@@ -27,6 +28,7 @@ __all__ = [
     "TCL_OK", "TCL_ERROR", "TCL_RETURN", "TCL_BREAK", "TCL_CONTINUE",
     "TclError", "TclParseError", "TclReturn", "TclBreak", "TclContinue",
     "Interp", "CallFrame", "Proc",
+    "CompiledScript", "compile_script",
     "parse_list", "format_list", "quote_element",
     "parse_script", "parse_substitution",
     "eval_expr", "expr_as_string", "expr_as_bool",

@@ -85,9 +85,21 @@ def cmd_info(interp, argv: List[str]) -> str:
             % (argv[2], argv[3]))
     if option == "tclversion":
         return _VERSION
+    if option == "cmdcount":
+        if len(argv) != 2:
+            raise _wrong_args("info cmdcount")
+        return str(interp.cmd_count)
+    if option == "compilecache":
+        # Cache effectiveness in the same spirit as ResourceCache.stats():
+        # a hits/misses list the EXPERIMENTS harnesses can parse.
+        if len(argv) != 2:
+            raise _wrong_args("info compilecache")
+        return format_list(["hits", str(interp.compile_hits),
+                            "misses", str(interp.compile_misses)])
     raise TclError(
-        'bad option "%s": should be args, body, commands, default, '
-        'exists, globals, level, locals, procs, tclversion, or vars'
+        'bad option "%s": should be args, body, cmdcount, commands, '
+        'compilecache, default, exists, globals, level, locals, procs, '
+        'tclversion, or vars'
         % option)
 
 

@@ -16,9 +16,11 @@ raises :class:`~repro.tcl.errors.TclError`.
 from __future__ import annotations
 
 import time as _time
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Union
 
 from . import parser
+from .compile import CompiledScript, _append_error_info, compile_script
 from .errors import (TclBreak, TclContinue, TclError, TclReturn)
 from .lists import format_list, parse_list
 
@@ -28,7 +30,10 @@ CommandProc = Callable[["Interp", List[str]], Optional[str]]
 VarValue = Union[str, Dict[str, str]]
 
 _MAX_NESTING_DEPTH = 1000
-_PARSE_CACHE_LIMIT = 2048
+#: Bound on the LRU of compiled scripts.  Overflow evicts only the
+#: least recently used entry, so hot scripts (bindings, loop bodies)
+#: survive an application that churns through many one-off scripts.
+_COMPILE_CACHE_LIMIT = 2048
 
 # Each Tcl nesting level consumes several Python stack frames; make
 # sure Python's limit is not hit before Tcl's own _MAX_NESTING_DEPTH
@@ -59,14 +64,22 @@ class CallFrame:
 
 
 class Proc:
-    """A procedure defined with the ``proc`` command."""
+    """A procedure defined with the ``proc`` command.
 
-    __slots__ = ("name", "formals", "body")
+    ``compiled`` is the body compiled on first call; it lives on the
+    procedure object itself, so procedure calls never touch (or evict
+    from) the interpreter's bounded script cache.  Redefining the
+    procedure installs a fresh ``Proc`` and therefore a fresh
+    compilation.
+    """
+
+    __slots__ = ("name", "formals", "body", "compiled")
 
     def __init__(self, name: str, formals: List[List[str]], body: str):
         self.name = name
         self.formals = formals
         self.body = body
+        self.compiled: Optional[CompiledScript] = None
 
     def __call__(self, interp: "Interp", argv: List[str]) -> str:
         return interp.call_proc(self, argv)
@@ -78,13 +91,30 @@ class Proc:
 class Interp:
     """A Tcl interpreter with its command table and variables."""
 
-    def __init__(self, stdout=None):
+    def __init__(self, stdout=None, compile_enabled: bool = True):
         self.commands: Dict[str, CommandProc] = {}
         self.global_frame = CallFrame(level=0)
         self.frames: List[CallFrame] = [self.global_frame]
         self.depth = 0
         self.stdout = stdout
-        self._parse_cache: Dict[str, List[parser.Command]] = {}
+        #: Ablation flag (mirrors ``ResourceCache(enabled=False)``):
+        #: when False every evaluation re-parses and re-substitutes
+        #: from scratch, with no compiled-script or expression caching.
+        self.compile_enabled = compile_enabled
+        #: LRU of script text -> CompiledScript, bounded by
+        #: ``_compile_limit`` (an attribute so tests can shrink it).
+        self._compile_cache: "OrderedDict[str, CompiledScript]" = \
+            OrderedDict()
+        self._compile_limit = _COMPILE_CACHE_LIMIT
+        #: Compile-cache effectiveness counters (``info compilecache``).
+        self.compile_hits = 0
+        self.compile_misses = 0
+        #: Total commands executed (``info cmdcount``).
+        self.cmd_count = 0
+        #: Bumped whenever the command table changes; compiled commands
+        #: memoize their resolved command procedure against this, so
+        #: ``rename``/redefinition/deletion invalidate instantly.
+        self.commands_epoch = 0
         #: Hook consulted when a command is not found; replaceable by
         #: registering a Tcl command named "unknown".
         self.deleted = False
@@ -98,6 +128,7 @@ class Interp:
     def register(self, name: str, proc: CommandProc) -> None:
         """Register (or replace) a command procedure under ``name``."""
         self.commands[name] = proc
+        self.commands_epoch += 1
 
     def unregister(self, name: str) -> None:
         """Delete a command; unknown names raise an error."""
@@ -105,6 +136,7 @@ class Interp:
             raise TclError('can\'t delete "%s": command doesn\'t exist'
                            % name)
         del self.commands[name]
+        self.commands_epoch += 1
 
     def rename(self, old: str, new: str) -> None:
         if old not in self.commands:
@@ -112,29 +144,60 @@ class Interp:
                            % old)
         if new == "":
             del self.commands[old]
+            self.commands_epoch += 1
             return
         if new in self.commands:
             raise TclError('can\'t rename to "%s": command already exists'
                            % new)
         self.commands[new] = self.commands.pop(old)
+        self.commands_epoch += 1
 
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
 
-    def eval(self, script: str) -> str:
-        """Evaluate a script; the result is the last command's result."""
+    def eval(self, script: Union[str, CompiledScript]) -> str:
+        """Evaluate a script; the result is the last command's result.
+
+        ``script`` may be a string or a :class:`CompiledScript`
+        returned by :meth:`compile` (event bindings and widget
+        ``-command`` options pre-compile their scripts this way).
+        """
         if self.depth >= _MAX_NESTING_DEPTH:
             raise TclError(
                 "too many nested calls to Tcl_Eval (infinite loop?)")
         self.depth += 1
         try:
+            if type(script) is not str:
+                single = script.single
+                if single is not None:
+                    return single.execute(self)
+                return script.execute(self)
+            if self.compile_enabled:
+                compiled = self._compiled(script)
+                single = compiled.single
+                if single is not None:
+                    return single.execute(self)
+                return compiled.execute(self)
+            # Ablation path: re-parse and re-substitute every time.
             result = ""
-            for command in self._parsed(script):
+            for command in parser.parse_script(script):
                 result = self._eval_command(command)
             return result
         finally:
             self.depth -= 1
+
+    def compile(self, script: str) -> Union[str, CompiledScript]:
+        """Compile a script for repeated evaluation.
+
+        Returns a :class:`CompiledScript` (through the interpreter's
+        bounded cache) — or the script unchanged when compilation is
+        disabled, so callers can hold the result and pass it to
+        :meth:`eval` either way.
+        """
+        if not self.compile_enabled or not isinstance(script, str):
+            return script
+        return self._compiled(script)
 
     def eval_words(self, argv: List[str]) -> str:
         """Invoke a command from already-substituted words."""
@@ -142,7 +205,7 @@ class Interp:
             return ""
         return self._invoke(argv, source=format_list(argv))
 
-    def eval_top(self, script: str) -> str:
+    def eval_top(self, script: Union[str, CompiledScript]) -> str:
         """Evaluate at top level, recording errorInfo in the global var.
 
         This is what event bindings and the main program use: any error
@@ -155,7 +218,7 @@ class Interp:
             self.set_global_var("errorInfo", _error_info(error))
             raise
 
-    def eval_global(self, script: str) -> str:
+    def eval_global(self, script: Union[str, CompiledScript]) -> str:
         """Evaluate at global variable scope (like ``uplevel #0``).
 
         Deferred scripts — event bindings, timer handlers, widget
@@ -169,7 +232,7 @@ class Interp:
         finally:
             self.frames = saved
 
-    def eval_background(self, script: str) -> str:
+    def eval_background(self, script: Union[str, CompiledScript]) -> str:
         """Evaluate a *background* script (binding/timer/callback).
 
         If the script fails and the application has defined a
@@ -192,14 +255,20 @@ class Interp:
                 pass  # a broken bgerror must not re-kill the loop
             return ""
 
-    def _parsed(self, script: str) -> List[parser.Command]:
-        commands = self._parse_cache.get(script)
-        if commands is None:
-            commands = parser.parse_script(script)
-            if len(self._parse_cache) >= _PARSE_CACHE_LIMIT:
-                self._parse_cache.clear()
-            self._parse_cache[script] = commands
-        return commands
+    def _compiled(self, script: str) -> CompiledScript:
+        """Look up (or build) the compiled form of a script, LRU-style."""
+        cache = self._compile_cache
+        compiled = cache.get(script)
+        if compiled is not None:
+            self.compile_hits += 1
+            cache.move_to_end(script)
+            return compiled
+        self.compile_misses += 1
+        compiled = compile_script(script)
+        if len(cache) >= self._compile_limit:
+            cache.popitem(last=False)
+        cache[script] = compiled
+        return compiled
 
     def _eval_command(self, command: parser.Command) -> str:
         argv = [self.substitute_word(word) for word in command.words]
@@ -210,8 +279,10 @@ class Interp:
         if proc is None:
             unknown = self.commands.get("unknown")
             if unknown is not None:
+                self.cmd_count += 1
                 return unknown(self, ["unknown"] + argv) or ""
             raise TclError('invalid command name "%s"' % argv[0])
+        self.cmd_count += 1
         try:
             result = proc(self, argv)
         except TclError as error:
@@ -363,15 +434,22 @@ class Interp:
                     % name)
             formals.append(pieces)
         self.commands[name] = Proc(name, formals, body)
+        self.commands_epoch += 1
 
     def call_proc(self, proc: Proc, argv: List[str]) -> str:
+        body: Union[str, CompiledScript] = proc.body
+        if self.compile_enabled:
+            compiled = proc.compiled
+            if compiled is None:
+                compiled = proc.compiled = compile_script(proc.body)
+            body = compiled
         frame = CallFrame(level=len(self.frames), proc_name=proc.name,
                           argv=argv)
         self._bind_formals(proc, argv, frame)
         self.frames.append(frame)
         try:
             try:
-                return self.eval(proc.body)
+                return self.eval(body)
             except TclReturn as ret:
                 return ret.value
             except TclBreak:
@@ -442,18 +520,6 @@ class Interp:
 
 def _display_name(name: str, index: Optional[str]) -> str:
     return "%s(%s)" % (name, index) if index is not None else name
-
-
-def _append_error_info(error: TclError, source: str) -> None:
-    """Accumulate a human-readable trace as the error propagates."""
-    info = getattr(error, "info", None)
-    if info is None:
-        error.info = [error.message]
-        info = error.info
-    if len(info) >= 40:
-        return
-    shown = source if len(source) <= 150 else source[:147] + "..."
-    info.append('    while executing\n"%s"' % shown)
 
 
 def _error_info(error: TclError) -> str:

@@ -189,6 +189,11 @@ class _Binding:
     sequence_text: str
     patterns: Tuple[EventPattern, ...]
     script: str
+    #: Compiled form of ``script``, prepared at bind time when the
+    #: script contains no % sequences (so the text to evaluate is the
+    #: same for every event).  Rebinding replaces the whole _Binding,
+    #: which invalidates this automatically.
+    compiled: object = None
 
     @property
     def specificity(self) -> tuple:
@@ -221,8 +226,17 @@ class BindingTable:
                 raise TclError(
                     "only key and button presses may appear before the "
                     'last event of a binding: "%s"' % sequence)
+        binding = _Binding(sequence, patterns, script)
+        if "%" not in script:
+            # Event handlers are the hottest re-evaluated scripts in a
+            # running UI (paper section 3.2): compile them once here
+            # rather than per dispatched event.  Scripts with %
+            # sequences change text per event and go through
+            # substitute_percents (and the interpreter's compile
+            # cache) instead.
+            binding.compiled = self.interp.compile(script)
         table = self._bindings.setdefault(tag, {})
-        table[sequence] = _Binding(sequence, patterns, script)
+        table[sequence] = binding
 
     def unbind(self, tag: str, sequence: str) -> None:
         table = self._bindings.get(tag)
@@ -275,8 +289,11 @@ class BindingTable:
                 best, best_key = binding, key
         if best is None:
             return False
-        script = substitute_percents(best.script, event, window)
-        self.interp.eval_background(script)
+        if best.compiled is not None:
+            self.interp.eval_background(best.compiled)
+        else:
+            script = substitute_percents(best.script, event, window)
+            self.interp.eval_background(script)
         return True
 
     def _remember(self, path: str, event) -> deque:

@@ -67,6 +67,7 @@ class Widget:
         self.window = app.create_window(path, self.widget_class)
         self.window.widget = self
         self._redraw_pending = False
+        self._compiled_options: Dict[str, Tuple[str, object]] = {}
         self._initialize_options(argv)
         app.interp.register(path, self._widget_command)
         self.window.add_event_handler(ev.EXPOSURE_MASK, self._on_expose)
@@ -132,6 +133,27 @@ class Widget:
         """Hook: react to option changes (recompute size, redraw)."""
         self.update_geometry()
         self.schedule_redraw()
+
+    def command_script(self, option_name: str = "command"):
+        """The compiled form of a script-valued option such as
+        ``-command``.
+
+        A widget's command runs on every invocation (button press,
+        keyboard traversal, ...) while its text rarely changes, so it
+        is compiled once here.  The cache entry is keyed by the
+        option's current value: ``configure -command ...`` invalidates
+        it simply by changing the value.  Returns None when the option
+        is empty.
+        """
+        value = self.options[option_name]
+        if not value:
+            return None
+        cached = self._compiled_options.get(option_name)
+        if cached is not None and cached[0] == value:
+            return cached[1]
+        compiled = self.app.interp.compile(value)
+        self._compiled_options[option_name] = (value, compiled)
+        return compiled
 
     # ------------------------------------------------------------------
     # resource helpers (textual descriptions through the cache, 3.3)

@@ -188,8 +188,8 @@ class Button(Label):
 
     def invoke(self) -> None:
         """Execute the button's -command script."""
-        command = self.options["command"]
-        if command:
+        command = self.command_script()
+        if command is not None:
             self.app.interp.eval_global(command)
 
     # -- widget commands ----------------------------------------------------
@@ -258,8 +258,8 @@ class Checkbutton(Button):
 
     def invoke(self) -> None:
         self.toggle()
-        command = self.options["command"]
-        if command:
+        command = self.command_script()
+        if command is not None:
             self.app.interp.eval_global(command)
 
     def toggle(self) -> None:
@@ -315,8 +315,8 @@ class Radiobutton(Checkbutton):
 
     def invoke(self) -> None:
         self.cmd_select([])
-        command = self.options["command"]
-        if command:
+        command = self.command_script()
+        if command is not None:
             self.app.interp.eval_global(command)
 
     def toggle(self) -> None:

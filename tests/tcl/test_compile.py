@@ -1,0 +1,279 @@
+"""Tests for the compile-once evaluation pipeline (repro.tcl.compile).
+
+Caching parse results is only sound because Tcl values are immutable
+strings (paper section 2); everything *else* — variable values, the
+command table, call frames — can change between evaluations of the
+same script.  These tests pin down that boundary: substitution
+semantics are identical with and without the cache, and every way the
+command table can change (proc redefinition, rename, unregister,
+unknown-handler definition) takes effect on the very next evaluation.
+"""
+
+import io
+
+import pytest
+
+from repro.tcl import Interp, TclError
+from repro.tcl.compile import CompiledScript, compile_script
+
+
+@pytest.fixture
+def interp():
+    return Interp(stdout=io.StringIO())
+
+
+@pytest.fixture
+def ablated():
+    return Interp(stdout=io.StringIO(), compile_enabled=False)
+
+
+class TestCompiledStructures:
+    def test_compile_returns_compiled_script(self, interp):
+        compiled = interp.compile("set a 1")
+        assert isinstance(compiled, CompiledScript)
+        assert interp.eval(compiled) == "1"
+        assert interp.eval("set a") == "1"
+
+    def test_compile_disabled_returns_script(self, ablated):
+        script = "set a 1"
+        assert ablated.compile(script) is script
+        assert ablated.eval(script) == "1"
+
+    def test_literal_words_prejoined(self):
+        compiled = compile_script("set a hello")
+        command = compiled.commands[0]
+        assert command.argv == ["set", "a", "hello"]
+
+    def test_compiled_script_reusable_across_interps(self):
+        compiled = compile_script("set a 1")
+        first, second = Interp(), Interp()
+        assert first.eval(compiled) == "1"
+        assert second.eval(compiled) == "1"
+        assert first.eval("set a") == "1"
+        assert second.eval("set a") == "1"
+
+    def test_command_argv_not_corrupted_by_mutating_proc(self, interp):
+        def mutator(target, argv):
+            argv.append("junk")
+            return argv[1]
+        interp.register("mutate", mutator)
+        compiled = interp.compile("mutate x")
+        assert interp.eval(compiled) == "x"
+        assert interp.eval(compiled) == "x"
+
+
+class TestSubstitutionSemanticsUnderCaching:
+    """The same script must give the same answer on every evaluation,
+    re-reading variables and re-running nested commands each time."""
+
+    def test_variable_reread_each_eval(self, interp):
+        compiled = interp.compile("set b $a")
+        interp.eval("set a one")
+        assert interp.eval(compiled) == "one"
+        interp.eval("set a two")
+        assert interp.eval(compiled) == "two"
+
+    def test_nested_cmd_inside_quotes(self, interp):
+        interp.eval("set x 5")
+        compiled = interp.compile('set msg "val=[expr $x*2] end"')
+        assert interp.eval(compiled) == "val=10 end"
+        interp.eval("set x 7")
+        assert interp.eval(compiled) == "val=14 end"
+
+    def test_array_with_computed_index(self, interp):
+        interp.eval("set a(1) one; set a(2) two")
+        compiled = interp.compile('set i 1; set got $a($i)')
+        assert interp.eval(compiled) == "one"
+        interp.eval("set i 2")
+        assert interp.eval("set got $a($i)") == "two"
+
+    def test_array_index_from_nested_command(self, interp):
+        interp.eval("set a(3) three")
+        assert interp.eval('set r $a([expr 1+2])') == "three"
+
+    def test_backslash_newline_continuation(self, interp):
+        script = "set a \\\n1"
+        compiled = interp.compile(script)
+        assert interp.eval(compiled) == "1"
+        assert interp.eval("set a") == "1"
+
+    def test_uplevel_with_compiled_proc_body(self, interp):
+        interp.eval("proc setter {} {uplevel {set x fromproc}}")
+        interp.eval("proc caller {} {setter; set x}")
+        assert interp.eval("caller") == "fromproc"
+        assert interp.eval("caller") == "fromproc"
+        assert interp.eval("info exists x") == "0"
+
+    def test_upvar_with_compiled_proc_body(self, interp):
+        interp.eval("proc bump {name} {upvar $name v; incr v}")
+        interp.eval("set count 10")
+        assert interp.eval("bump count") == "11"
+        assert interp.eval("bump count") == "12"
+        assert interp.eval("set count") == "12"
+
+    def test_proc_body_reentrant(self, interp):
+        interp.eval("""
+            proc fib {n} {
+                if {$n < 2} {return $n}
+                expr {[fib [expr $n-1]] + [fib [expr $n-2]]}
+            }
+        """)
+        assert interp.eval("fib 10") == "55"
+
+    def test_error_info_matches_uncompiled(self, interp, ablated):
+        for target in (interp, ablated):
+            with pytest.raises(TclError):
+                target.eval_top("set")
+        assert interp.get_global_var("errorInfo") == \
+            ablated.get_global_var("errorInfo")
+
+
+class TestCommandTableInvalidation:
+    """rename / proc redefinition / unregister must defeat every cached
+    command-procedure memoization immediately."""
+
+    def test_redefine_proc_then_call(self, interp):
+        interp.eval("proc greet {} {return old}")
+        compiled = interp.compile("greet")
+        assert interp.eval(compiled) == "old"
+        interp.eval("proc greet {} {return new}")
+        assert interp.eval(compiled) == "new"
+
+    def test_rename_then_call(self, interp):
+        interp.eval("proc greet {} {return hi}")
+        compiled = interp.compile("greet")
+        assert interp.eval(compiled) == "hi"
+        interp.eval("rename greet hello")
+        with pytest.raises(TclError, match="invalid command name"):
+            interp.eval(compiled)
+        assert interp.eval("hello") == "hi"
+
+    def test_rename_over_builtin_then_call(self, interp):
+        compiled = interp.compile("double 4")
+        interp.eval("proc double {x} {expr $x*2}")
+        assert interp.eval(compiled) == "8"
+        interp.eval("rename double {}")         # delete it
+        interp.eval("proc double {x} {expr $x+$x+$x}")
+        assert interp.eval(compiled) == "12"
+
+    def test_unregister_then_call(self, interp):
+        interp.register("transient", lambda target, argv: "yes")
+        compiled = interp.compile("transient")
+        assert interp.eval(compiled) == "yes"
+        interp.unregister("transient")
+        with pytest.raises(TclError, match="invalid command name"):
+            interp.eval(compiled)
+
+    def test_unknown_fallback_not_memoized(self, interp):
+        compiled = interp.compile("later 1 2")
+        interp.eval(
+            "proc unknown {args} {return unknown-was-called}")
+        assert interp.eval(compiled) == "unknown-was-called"
+        # Once the real command exists it must win over unknown.
+        interp.eval("proc later {a b} {expr $a+$b}")
+        assert interp.eval(compiled) == "3"
+
+    def test_specialized_set_sees_trace(self, interp):
+        """Argument-specialized fast paths must not bypass variable
+        traces (trace hooks interp.set_var at runtime)."""
+        compiled = interp.compile("set traced 5")
+        assert interp.eval(compiled) == "5"
+        interp.eval("proc remember {args} {global log; lappend log $args}")
+        interp.eval("trace variable traced w remember")
+        assert interp.eval(compiled) == "5"
+        assert "traced" in interp.eval("set log")
+
+
+class TestCompileCacheLRU:
+    def test_hot_entries_survive_overflow(self, interp):
+        interp._compile_limit = 8
+        hot = "set hot 1"
+        interp.eval(hot)
+        for index in range(50):
+            interp.eval("set cold%d %d" % (index, index))
+            interp.eval(hot)            # keep the hot script recent
+        assert hot in interp._compile_cache
+        assert len(interp._compile_cache) <= 8
+
+    def test_cold_entries_evicted_not_cleared(self, interp):
+        """Overflow evicts one stale entry, never the whole cache."""
+        interp._compile_limit = 8
+        for index in range(20):
+            interp.eval("set v%d %d" % (index, index))
+        assert len(interp._compile_cache) == 8
+        # The most recent scripts are still present.
+        assert "set v19 19" in interp._compile_cache
+
+    def test_eviction_does_not_break_reuse(self, interp):
+        interp._compile_limit = 4
+        script = "set survivor ok"
+        assert interp.eval(script) == "ok"
+        for index in range(10):
+            interp.eval("set filler%d x" % index)
+        # Evicted, so this is a miss — but still correct.
+        assert interp.eval(script) == "ok"
+
+    def test_hit_miss_counters(self, interp):
+        interp.eval("set a 1")
+        misses = interp.compile_misses
+        hits = interp.compile_hits
+        interp.eval("set a 1")
+        interp.eval("set a 1")
+        assert interp.compile_misses == misses
+        assert interp.compile_hits == hits + 2
+
+    def test_proc_bodies_skip_global_cache(self, interp):
+        interp.eval("proc tick {} {set ticks 1}")
+        interp.eval("tick")
+        misses = interp.compile_misses
+        interp.eval("tick")
+        interp.eval("tick")
+        # Only the 4-character "tick" script itself hits the cache; the
+        # body is compiled once onto the Proc.
+        assert interp.compile_misses == misses
+        proc = interp.commands["tick"]
+        assert proc.compiled is not None
+
+    def test_cmd_count_counts_nested_commands(self, interp):
+        before = interp.cmd_count
+        interp.eval("set a [expr 1+1]")
+        # set, expr — at least two commands.
+        assert interp.cmd_count >= before + 2
+
+
+PARITY_SCRIPTS = [
+    "set a 1",
+    "set a 1; set b 2",
+    'set msg "a[expr 1+1]b"',
+    "set a {braced $not [substituted]}",
+    'set l [lindex {x y z} 1]',
+    "proc f {a {b 5}} {expr $a+$b}; f 2",
+    "set i 0; while {$i < 5} {incr i}; set i",
+    "for {set j 0} {$j < 3} {incr j} {set k $j}; set k",
+    "if {1 < 2} {set r yes} else {set r no}",
+    "set s abc; string length $s",
+    "catch {undefined-command} msg; set msg",
+    "set x 1; set y $x$x$x",
+]
+
+
+class TestEnabledDisabledParity:
+    @pytest.mark.parametrize("script", PARITY_SCRIPTS)
+    def test_same_result(self, script):
+        compiled = Interp(stdout=io.StringIO())
+        uncompiled = Interp(stdout=io.StringIO(), compile_enabled=False)
+        assert compiled.eval(script) == uncompiled.eval(script)
+
+    def test_same_error_messages(self):
+        for script in ("set", "unknown-cmd", "expr {1 +}",
+                       "incr novar", "set a $missing"):
+            outcomes = []
+            for flag in (True, False):
+                target = Interp(stdout=io.StringIO(),
+                                compile_enabled=flag)
+                try:
+                    target.eval(script)
+                    outcomes.append(None)
+                except TclError as error:
+                    outcomes.append(error.message)
+            assert outcomes[0] == outcomes[1], script
