@@ -133,6 +133,10 @@ class CompiledCommand:
                 except TclError as error:
                     _append_error_info(error, self.source)
                     raise
+                except interp.native_error_types as error:
+                    converted = TclError(str(error))
+                    _append_error_info(converted, self.source)
+                    raise converted from error
             proc = state[2]
         else:
             proc = None
@@ -165,6 +169,10 @@ class CompiledCommand:
         except TclError as error:
             _append_error_info(error, self.source)
             raise
+        except interp.native_error_types as error:
+            converted = TclError(str(error))
+            _append_error_info(converted, self.source)
+            raise converted from error
         return result if result is not None else ""
 
 

@@ -115,6 +115,12 @@ class Interp:
         #: memoize their resolved command procedure against this, so
         #: ``rename``/redefinition/deletion invalidate instantly.
         self.commands_epoch = 0
+        #: Exception types raised by the embedding's native layer (Tk
+        #: sets this to ``(XProtocolError,)``) that command invocation
+        #: converts into ordinary TclErrors, so scripts can ``catch``
+        #: them and ``bgerror`` can report them — a native failure must
+        #: never leak a raw Python exception through ``eval``.
+        self.native_error_types: tuple = ()
         #: Hook consulted when a command is not found; replaceable by
         #: registering a Tcl command named "unknown".
         self.deleted = False
@@ -236,21 +242,25 @@ class Interp:
         """Evaluate a *background* script (binding/timer/callback).
 
         If the script fails and the application has defined a
-        ``bgerror`` procedure (wish's library provides one), the error
-        is reported through it and swallowed, so one broken binding
-        cannot kill the event loop; without ``bgerror`` the error
-        propagates as usual.
+        ``bgerror`` procedure (wish's library provides one) — or the
+        historical ``tkerror`` — the error is reported through it and
+        swallowed, so one broken binding cannot kill the event loop;
+        without a handler the error propagates as usual.
         """
         try:
             return self.eval_global(script)
         except TclError as error:
-            handler = self.commands.get("bgerror")
+            handler = None
+            for candidate in ("bgerror", "tkerror"):
+                if candidate in self.commands:
+                    handler = candidate
+                    break
             if handler is None:
                 raise
             from .lists import quote_element
             try:
-                self.eval_global("bgerror %s"
-                                 % quote_element(error.message))
+                self.eval_global("%s %s"
+                                 % (handler, quote_element(error.message)))
             except TclError:
                 pass  # a broken bgerror must not re-kill the loop
             return ""
@@ -288,6 +298,10 @@ class Interp:
         except TclError as error:
             _append_error_info(error, source)
             raise
+        except self.native_error_types as error:
+            converted = TclError(str(error))
+            _append_error_info(converted, source)
+            raise converted from error
         return result if result is not None else ""
 
     # ------------------------------------------------------------------

@@ -159,7 +159,11 @@ class TkWindow:
         if self.parent is not None and self in self.parent.children:
             self.parent.children.remove(self)
         self.app._forget_window(self)
-        self.app.display.destroy_window(self.id)
+        # Destroying the main window tears down the whole application,
+        # closing the display; the disconnect already destroyed every
+        # window this client created, so only talk to a live connection.
+        if not self.app.display.closed:
+            self.app.display.destroy_window(self.id)
 
     def handle_event(self, event) -> None:
         """Route one X event addressed to this window."""
@@ -192,12 +196,20 @@ class TkApp:
         self.server = server
         self.display = Display(server)
         self.interp = interp if interp is not None else Interp()
+        # An X protocol error surfacing inside a Tcl command becomes an
+        # ordinary TclError: scripts can catch it, bgerror can report
+        # it, and the event loop survives it.
+        from ..x11.xserver import XProtocolError
+        if XProtocolError not in self.interp.native_error_types:
+            self.interp.native_error_types = \
+                self.interp.native_error_types + (XProtocolError,)
         self.cache = ResourceCache(self.display, enabled=cache_enabled)
         self.options = OptionDatabase()
         self.bindings = BindingTable(self.interp)
         self.dispatcher = EventDispatcher(self)
         self.packer = Packer()
         self.destroyed = False
+        self._reporting_error = False
         self.focus_window: Optional[TkWindow] = None
         self.grab_window: Optional[TkWindow] = None
         self._windows_by_path: Dict[str, TkWindow] = {}
@@ -345,6 +357,41 @@ class TkApp:
         return names, classes
 
     # ------------------------------------------------------------------
+    # background-error reporting (Tk's tkerror/bgerror mechanism)
+    # ------------------------------------------------------------------
+
+    def report_background_error(self, error) -> bool:
+        """Report an error that escaped an event callback.
+
+        If the application defines a ``bgerror`` proc (or the historical
+        ``tkerror``), the error is handed to it and the dispatch loop
+        keeps running; returns False when no handler exists, in which
+        case the caller re-raises and the error unwinds as before.
+        Both Tcl errors and X protocol errors are reported this way, so
+        a BadWindow raised inside a binding cannot kill ``pump_all``.
+        """
+        if self._reporting_error:
+            return False
+        handler = None
+        for candidate in ("bgerror", "tkerror"):
+            if candidate in self.interp.commands:
+                handler = candidate
+                break
+        if handler is None:
+            return False
+        from ..tcl.lists import quote_element
+        message = getattr(error, "message", None) or str(error)
+        self._reporting_error = True
+        try:
+            self.interp.eval_global(
+                "%s %s" % (handler, quote_element(message)))
+        except Exception:
+            pass    # a broken bgerror must not re-kill the loop
+        finally:
+            self._reporting_error = False
+        return True
+
+    # ------------------------------------------------------------------
     # the loop
     # ------------------------------------------------------------------
 
@@ -367,16 +414,21 @@ class TkApp:
             self.server.apps.remove(self)
 
 
-def pump_all(server: XServer, max_rounds: int = 10000) -> None:
+def pump_all(server: XServer, max_rounds: int = 10000) -> int:
     """Process pending events for every application on ``server``.
 
     In-process stand-in for the X scheduler: used by send/selection
     waits and by tests that need two applications to make progress.
+    Returns the number of rounds in which any application did work, so
+    callers (the send wait loop) can detect a quiescent system.
     """
+    worked = 0
     for _ in range(max_rounds):
         busy = False
         for app in list(getattr(server, "apps", [])):
             if not app.destroyed and app.dispatcher.do_one_event():
                 busy = True
         if not busy:
-            return
+            break
+        worked += 1
+    return worked

@@ -228,11 +228,29 @@ def _focus_command(app):
 
 def _send_command(app):
     def cmd_send(interp, argv: List[str]) -> str:
-        """send appName command ?arg ...?"""
-        if len(argv) < 3:
-            raise _wrong_args("send interpName command ?arg ...?")
-        script = " ".join(argv[2:])
-        return app.sender.send(argv[1], script)
+        """send ?-async? ?--? appName command ?arg ...?
+
+        With ``-async`` the command is delivered fire-and-forget: no
+        reply is requested, the sender does not block, and errors in
+        the target are reported through its own bgerror instead.
+        """
+        args = argv[1:]
+        wait = True
+        while args and args[0].startswith("-"):
+            if args[0] == "-async":
+                wait = False
+                args = args[1:]
+            elif args[0] == "--":
+                args = args[1:]
+                break
+            else:
+                raise TclError('bad option "%s": must be -async or --'
+                               % args[0])
+        if len(args) < 2:
+            raise _wrong_args(
+                "send ?-async? interpName command ?arg ...?")
+        script = " ".join(args[1:])
+        return app.sender.send(args[0], script, wait=wait)
     return cmd_send
 
 

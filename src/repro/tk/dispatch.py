@@ -23,6 +23,9 @@ from collections import deque
 from itertools import count
 from typing import Callable, Dict, List, Optional
 
+from ..tcl.errors import TclError
+from ..x11.xserver import XProtocolError
+
 
 class EventDispatcher:
     """The per-application event dispatcher."""
@@ -134,7 +137,21 @@ class EventDispatcher:
         events, then idle handlers.  In blocking mode with nothing
         runnable, the virtual clock jumps to the next timer deadline.
         Returns False if nothing was (or will become) runnable.
+
+        A Tcl or X protocol error escaping any handler is routed to the
+        application's ``bgerror``/``tkerror`` proc if one is defined
+        (Tk's background-error mechanism); only without a handler does
+        it unwind the loop.
         """
+        try:
+            return self._do_one_event(block)
+        except (TclError, XProtocolError) as error:
+            report = getattr(self.app, "report_background_error", None)
+            if report is None or not report(error):
+                raise
+            return True
+
+    def _do_one_event(self, block: bool) -> bool:
         if self._process_x_event():
             return True
         if self._run_due_timer():

@@ -15,20 +15,42 @@ display.  The implementation follows the paper:
 Because both applications are clients of the same (simulated) X server,
 this works between genuinely separate interpreters and widget trees —
 the paper's replacement for monolithic applications.
+
+Crash safety (as in real Tk): the registry is *advisory* — an
+application that dies without unregistering leaves a stale entry
+behind, so every lookup scrubs entries whose comm window no longer
+exists; a target that dies while a send is outstanding produces a
+clean ``target application died`` error in bounded time rather than a
+hang; a Python-level failure inside a sent script is returned to the
+sender as an error reply instead of killing the target's event loop;
+and errorInfo is carried across the interpreter boundary so remote
+stack traces are not lost.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..tcl.errors import TclError
 from ..tcl.lists import format_list, parse_list
 from ..x11 import events as ev
+from ..x11.xserver import XProtocolError
 
 _REGISTRY_PROPERTY = "InterpRegistry"
 _COMM_PROPERTY = "Comm"
-_WAIT_ROUNDS = 10000
+
+#: Virtual-millisecond budget for one send round trip.  The server
+#: clock advances on every request (including the liveness probes the
+#: wait loop issues), so this bounds the wait in *rounds* as well.
+_DEFAULT_TIMEOUT_MS = 2000
+
+#: Consecutive pump rounds with no progress anywhere in the system
+#: before a send gives up early.  In the simulator a fully idle system
+#: can never produce a reply, so there is no point burning the whole
+#: timeout budget — unless the fault plan is still holding delayed
+#: events, in which case the wait continues until the deadline.
+_IDLE_GRACE_ROUNDS = 25
 
 _serials = itertools.count(1)
 
@@ -42,12 +64,17 @@ class SendManager:
         self.registry_atom = display.intern_atom(_REGISTRY_PROPERTY)
         self.comm_atom = display.intern_atom(_COMM_PROPERTY)
         self.string_atom = display.intern_atom("STRING")
+        #: per-send deadline, in virtual milliseconds (configurable)
+        self.timeout_ms = _DEFAULT_TIMEOUT_MS
+        self.idle_grace = _IDLE_GRACE_ROUNDS
         # The communication window: an unmapped child of the root.
         self.comm_window = display.create_window(display.root, 0, 0, 1, 1)
         display.select_input(self.comm_window, ev.PROPERTY_CHANGE_MASK)
         self.name = self._register(requested_name)
-        #: serial -> (code, result) for completed sends
+        #: serial -> (code, result, error_info) for completed sends
         self._results: Dict[int, tuple] = {}
+        #: depth of nested _wait_for_result calls (reentrant sends)
+        self._waiting = 0
 
     # ------------------------------------------------------------------
     # the registry property on the root window
@@ -72,8 +99,42 @@ class SendManager:
                                          self.registry_atom,
                                          self.string_atom, value)
 
+    def _window_alive(self, window: int) -> bool:
+        """Probe whether a comm window still exists on the server."""
+        try:
+            return self.app.display.window_exists(window)
+        except XProtocolError:
+            # An injected protocol error makes the probe inconclusive;
+            # assume alive and let the deadline decide.
+            return True
+
+    def _scrub(self, registry: Dict[str, int]) -> Tuple[Dict[str, int],
+                                                        bool]:
+        """Drop entries whose comm window is gone (crashed peers).
+
+        Real Tk does exactly this in ``Tk_GetInterpNames`` and on every
+        failed send: the registry is advisory, and dead entries are
+        reclaimed by whoever notices them first.
+        """
+        alive: Dict[str, int] = {}
+        changed = False
+        for name, window in registry.items():
+            if self._window_alive(window):
+                alive[name] = window
+            else:
+                changed = True
+        return alive, changed
+
+    def _scrubbed_registry(self) -> Dict[str, int]:
+        registry, changed = self._scrub(self._read_registry())
+        if changed:
+            self._write_registry(registry)
+        return registry
+
     def _register(self, requested: str) -> str:
-        registry = self._read_registry()
+        # Reclaim names whose owner has died before picking a suffix,
+        # so "foo" crashing and restarting gets "foo" back, not "foo #2".
+        registry = self._scrubbed_registry()
         name = requested
         suffix = 2
         while name in registry:
@@ -84,27 +145,45 @@ class SendManager:
         return name
 
     def unregister(self) -> None:
-        registry = self._read_registry()
-        if registry.pop(self.name, None) is not None:
-            self._write_registry(registry)
+        """Remove this application's entry and comm window.
+
+        Called from application teardown so normal exits leave no
+        stale registry entries behind.
+        """
+        try:
+            registry = self._read_registry()
+            if registry.pop(self.name, None) is not None:
+                self._write_registry(registry)
+        except XProtocolError:
+            pass   # connection already gone; the scrubbers handle it
+        try:
+            self.app.display.destroy_window(self.comm_window)
+        except XProtocolError:
+            pass   # already destroyed (e.g. by a disconnect fault)
 
     def application_names(self) -> list:
-        """All registered application names (the ``winfo interps`` set)."""
-        return sorted(self._read_registry())
+        """All live application names (the ``winfo interps`` set)."""
+        return sorted(self._scrubbed_registry())
 
     # ------------------------------------------------------------------
     # sending
     # ------------------------------------------------------------------
 
-    def send(self, target_name: str, script: str) -> str:
-        """Execute ``script`` in the application named ``target_name``."""
-        registry = self._read_registry()
+    def send(self, target_name: str, script: str,
+             wait: bool = True) -> str:
+        """Execute ``script`` in the application named ``target_name``.
+
+        With ``wait`` false (``send -async``), the request is delivered
+        but no reply is requested and the call returns immediately.
+        """
+        registry = self._scrubbed_registry()
         target_window = registry.get(target_name)
         if target_window is None:
             raise TclError(
                 'no registered interpreter named "%s"' % target_name)
         serial = next(_serials)
-        request = format_list(["cmd", str(serial), str(self.comm_window),
+        reply_window = self.comm_window if wait else 0
+        request = format_list(["cmd", str(serial), str(reply_window),
                                script])
         try:
             # One list element per message: scripts may contain any
@@ -113,21 +192,64 @@ class SendManager:
             self.app.display.change_property(
                 target_window, self.comm_atom, self.string_atom,
                 [request], append=True)
-        except Exception:
+        except XProtocolError:
+            # The comm window vanished between the scrub and the write.
+            registry.pop(target_name, None)
+            self._write_registry(registry)
             raise TclError(
                 'no registered interpreter named "%s"' % target_name)
-        return self._wait_for_result(serial, target_name)
+        if not wait:
+            return ""
+        return self._wait_for_result(serial, target_name, target_window)
 
-    def _wait_for_result(self, serial: int, target_name: str) -> str:
+    def _wait_for_result(self, serial: int, target_name: str,
+                         target_window: int) -> str:
         from .app import pump_all
-        for _ in range(_WAIT_ROUNDS):
-            if serial in self._results:
-                code, result = self._results.pop(serial)
-                if code != "0":
-                    raise TclError(result)
-                return result
-            pump_all(self.app.server, max_rounds=1)
-        raise TclError('send to "%s" timed out' % target_name)
+        server = self.app.server
+        deadline = server.time_ms + self.timeout_ms
+        idle_rounds = 0
+        self._waiting += 1
+        try:
+            while True:
+                if serial in self._results:
+                    return self._claim(serial, target_name)
+                if not self._window_alive(target_window):
+                    raise TclError("target application died")
+                if server.time_ms >= deadline:
+                    raise TclError(
+                        'send to "%s" timed out' % target_name)
+                # Pumping is reentrant: events delivered here may start
+                # nested sends (A→B→A), which wait on their own serials
+                # through this same loop one frame deeper.
+                if pump_all(server, max_rounds=1):
+                    idle_rounds = 0
+                    continue
+                idle_rounds += 1
+                # Nothing runnable anywhere.  Advance the virtual clock
+                # so delayed (fault-held) events get released and the
+                # deadline can expire; give up early if nothing is even
+                # pending release.
+                server.idle_tick()
+                plan = server.fault_plan
+                held = plan.held_count() if plan is not None else 0
+                if held == 0 and idle_rounds > self.idle_grace:
+                    raise TclError(
+                        'send to "%s" timed out' % target_name)
+        finally:
+            self._waiting -= 1
+
+    def _claim(self, serial: int, target_name: str) -> str:
+        code, result, error_info = self._results.pop(serial)
+        if code != "0":
+            error = TclError(result)
+            if error_info:
+                # Seed the local trace with the remote one, so the
+                # sender's errorInfo shows the cross-interpreter path.
+                error.info = [error_info,
+                              '    ("send" to interpreter "%s")'
+                              % target_name]
+            raise error
+        return result
 
     # ------------------------------------------------------------------
     # receiving
@@ -139,8 +261,12 @@ class SendManager:
                 event.window != self.comm_window or \
                 event.atom != self.comm_atom or event.state == 1:
             return False
-        entry = self.app.display.get_property(self.comm_window,
-                                              self.comm_atom, delete=True)
+        try:
+            entry = self.app.display.get_property(self.comm_window,
+                                                  self.comm_atom,
+                                                  delete=True)
+        except XProtocolError:
+            return True    # comm window torn down under us
         if entry is None:
             return True
         value = entry[1]
@@ -161,18 +287,30 @@ class SendManager:
         if len(fields) == 4 and fields[0] == "cmd":
             _, serial, reply_window, script = fields
             self._execute(serial, int(reply_window), script)
-        elif len(fields) == 4 and fields[0] == "result":
-            _, serial, code, result = fields
-            self._results[int(serial)] = (code, result)
+        elif len(fields) in (4, 5) and fields[0] == "result":
+            serial, code, result = fields[1], fields[2], fields[3]
+            error_info = fields[4] if len(fields) == 5 else ""
+            self._results[int(serial)] = (code, result, error_info)
 
     def _execute(self, serial: str, reply_window: int, script: str) -> None:
+        interp = self.app.interp
         try:
-            result = self.app.interp.eval_global(script)
-            code = "0"
+            result = interp.eval_global(script)
+            code, error_info = "0", ""
         except TclError as error:
             result = error.message
             code = "1"
-        reply = format_list(["result", serial, code, result])
+            info = getattr(error, "info", None)
+            error_info = "\n".join(info) if info else error.message
+        except Exception as error:   # noqa: BLE001 — a Python-level bug
+            # in a sent script must become an error *reply*, never kill
+            # the target's event loop.
+            result = "%s: %s" % (type(error).__name__, error)
+            code = "1"
+            error_info = result
+        if reply_window == 0:
+            return     # async send: no reply requested
+        reply = format_list(["result", serial, code, result, error_info])
         try:
             self.app.display.change_property(
                 reply_window, self.comm_atom, self.string_atom,

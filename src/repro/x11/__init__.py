@@ -21,6 +21,7 @@ from . import events, keysyms
 from .atoms import AtomTable
 from .display import Display
 from .events import Event
+from .faults import FaultPlan
 from .render import Renderer, render_ppm
 from .resources import (Bitmap, Color, Cursor, Font, GraphicsContext,
                         NAMED_COLORS, parse_color)
@@ -29,7 +30,7 @@ from .xserver import Client, XProtocolError, XServer
 
 __all__ = [
     "XServer", "Display", "Client", "Window", "Event", "AtomTable",
-    "Renderer", "render_ppm", "XProtocolError",
+    "Renderer", "render_ppm", "XProtocolError", "FaultPlan",
     "Color", "Font", "Cursor", "Bitmap", "GraphicsContext",
     "NAMED_COLORS", "parse_color", "events", "keysyms",
 ]

@@ -24,6 +24,7 @@ class Display:
         self.server = server
         self.client: Client = server.connect()
         self._round_trips_at_connect = server.round_trips
+        self.closed = False
 
     # -- bookkeeping -----------------------------------------------------
 
@@ -40,141 +41,185 @@ class Display:
         return self.server.root.height
 
     def close(self) -> None:
-        self.server.disconnect(self.client)
+        if not self.closed:
+            self.closed = True
+            self.server.disconnect(self.client)
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise XProtocolError("connection to X server lost")
 
     # -- event queue -----------------------------------------------------
 
     def pending(self) -> int:
-        return self.client.pending()
+        return 0 if self.closed else self.client.pending()
 
     def next_event(self) -> Optional[Event]:
-        return self.client.next_event()
+        return None if self.closed else self.client.next_event()
 
     def flush(self) -> None:
         """No-op: the simulator has no output buffer."""
 
     def sync(self) -> None:
         """A full round trip, as XSync performs."""
+        self._require_open()
         self.server.round_trip()
 
     # -- windows -----------------------------------------------------------
 
     def create_window(self, parent: int, x: int, y: int, width: int,
                       height: int, border_width: int = 0) -> int:
+        self._require_open()
         return self.server.create_window(self.client, parent, x, y,
                                          width, height, border_width)
 
     def destroy_window(self, window: int) -> None:
+        self._require_open()
         self.server.destroy_window(window)
 
     def map_window(self, window: int) -> None:
+        self._require_open()
         self.server.map_window(window)
 
     def unmap_window(self, window: int) -> None:
+        self._require_open()
         self.server.unmap_window(window)
 
     def configure_window(self, window: int, **kwargs) -> None:
+        self._require_open()
         self.server.configure_window(window, **kwargs)
 
     def select_input(self, window: int, mask: int) -> None:
+        self._require_open()
         self.server.select_input(self.client, window, mask)
 
     def raise_window(self, window: int) -> None:
+        self._require_open()
         self.server.raise_window(window)
 
     def lower_window(self, window: int) -> None:
+        self._require_open()
         self.server.lower_window(window)
 
     def get_geometry(self, window: int) -> Tuple[int, int, int, int, int]:
+        self._require_open()
         return self.server.get_geometry(window)
 
+    def window_exists(self, window: int) -> bool:
+        """True if ``window`` still exists on the server (a round trip)."""
+        self._require_open()
+        return self.server.window_exists(window)
+
     def query_tree(self, window: int) -> Tuple[int, int, List[int]]:
+        self._require_open()
         return self.server.query_tree(window)
 
     def set_window_background(self, window: int, pixel: int) -> None:
+        self._require_open()
         self.server.set_window_background(window, pixel)
 
     # -- atoms and properties ---------------------------------------------
 
     def intern_atom(self, name: str, only_if_exists: bool = False) -> int:
+        self._require_open()
         return self.server.intern_atom(name, only_if_exists)
 
     def get_atom_name(self, atom: int) -> str:
+        self._require_open()
         return self.server.get_atom_name(atom)
 
     def change_property(self, window: int, property_atom: int,
                         type_atom: int, value: object,
                         append: bool = False) -> None:
+        self._require_open()
         self.server.change_property(window, property_atom, type_atom,
                                     value, append)
 
     def get_property(self, window: int, property_atom: int,
                      delete: bool = False) -> Optional[Tuple[int, object]]:
+        self._require_open()
         return self.server.get_property(window, property_atom, delete)
 
     def delete_property(self, window: int, property_atom: int) -> None:
+        self._require_open()
         self.server.delete_property(window, property_atom)
 
     # -- selections ----------------------------------------------------------
 
     def set_selection_owner(self, selection: int, window: int) -> None:
+        self._require_open()
         self.server.set_selection_owner(self.client, selection, window)
 
     def get_selection_owner(self, selection: int) -> int:
+        self._require_open()
         return self.server.get_selection_owner(selection)
 
     def convert_selection(self, selection: int, target: int,
                           property_atom: int, requestor: int) -> None:
+        self._require_open()
         self.server.convert_selection(self.client, selection, target,
                                       property_atom, requestor)
 
     def send_event(self, window: int, event: Event,
                    event_mask: int = 0) -> None:
+        self._require_open()
         self.server.send_event(window, event, event_mask)
 
     def set_input_focus(self, window: int) -> None:
+        self._require_open()
         self.server.set_input_focus(window)
 
     # -- resources ----------------------------------------------------------
 
     def alloc_named_color(self, name: str) -> Color:
+        self._require_open()
         return self.server.alloc_named_color(name)
 
     def load_font(self, name: str) -> Font:
+        self._require_open()
         return self.server.load_font(name)
 
     def create_cursor(self, name: str) -> Cursor:
+        self._require_open()
         return self.server.create_cursor(name)
 
     def create_bitmap(self, name: str, width: int = 0,
                       height: int = 0) -> Bitmap:
+        self._require_open()
         return self.server.create_bitmap(name, width, height)
 
     def create_gc(self, **values) -> GraphicsContext:
+        self._require_open()
         return self.server.create_gc(**values)
 
     def free_resource(self, rid: int) -> None:
+        self._require_open()
         self.server.free_resource(rid)
 
     # -- drawing ----------------------------------------------------------
 
     def clear_window(self, window: int) -> None:
+        self._require_open()
         self.server.clear_window(window)
 
     def fill_rectangle(self, window: int, gc: GraphicsContext, x: int,
                        y: int, width: int, height: int) -> None:
+        self._require_open()
         self.server.fill_rectangle(window, gc, x, y, width, height)
 
     def draw_rectangle(self, window: int, gc: GraphicsContext, x: int,
                        y: int, width: int, height: int) -> None:
+        self._require_open()
         self.server.draw_rectangle(window, gc, x, y, width, height)
 
     def draw_line(self, window: int, gc: GraphicsContext, x1: int, y1: int,
                   x2: int, y2: int) -> None:
+        self._require_open()
         self.server.draw_line(window, gc, x1, y1, x2, y2)
 
     def draw_string(self, window: int, gc: GraphicsContext, x: int, y: int,
                     text: str) -> None:
+        self._require_open()
         self.server.draw_string(window, gc, x, y, text)
 
 

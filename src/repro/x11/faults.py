@@ -1,0 +1,308 @@
+"""Deterministic fault injection for the simulated X server.
+
+Real deployments of the toolkit die in ways the happy-path simulator
+never exercises: a peer application crashes mid-``send``, the server
+answers a request with BadWindow, events are lost or arrive late under
+load.  A :class:`FaultPlan` installed on an
+:class:`~repro.x11.xserver.XServer` creates those pathologies on
+demand, in two modes that can be combined:
+
+* a **seeded schedule** — per-fault-type probabilities drawn from a
+  ``random.Random(seed)``, so a given seed plus a given workload always
+  injects exactly the same faults (the fault-soak CI job relies on
+  this);
+* **scripted trigger points** — "raise BadAtom from the third
+  ``get_property`` request", "drop the next PropertyNotify", "disconnect
+  this client when it next touches the server" — for surgical tests.
+
+Fault types:
+
+``error``
+    Raise :class:`~repro.x11.xserver.XProtocolError` (BadWindow,
+    BadAtom, BadProperty, ...) from a request.
+``disconnect``
+    Close a client's connection mid-request.  The server destroys the
+    client's windows, exactly as a real server does at close-down.
+``drop``
+    Silently discard an event instead of queueing it to a client.
+``delay``
+    Hold an event back for some virtual milliseconds before it reaches
+    the client's queue.
+``call``
+    Run an arbitrary callback at a trigger point (for tests that need
+    to, say, destroy an application in the middle of a peer's request).
+
+Per-fault-type counters are kept in :attr:`FaultPlan.counters` and a
+full log of injections in :attr:`FaultPlan.log`, so tests can assert
+both that faults happened and that the toolkit recovered from them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .xserver import Client, XProtocolError
+
+#: Canonical fault-type names (the keys of ``FaultPlan.counters``).
+ERROR = "error"
+DISCONNECT = "disconnect"
+DROP = "drop"
+DELAY = "delay"
+CALL = "call"
+
+FAULT_TYPES = (ERROR, DISCONNECT, DROP, DELAY, CALL)
+
+#: X protocol error names used by the seeded schedule.
+ERROR_NAMES = ("BadWindow", "BadAtom", "BadProperty")
+
+
+class _RequestTrigger:
+    """One scripted trigger on the request stream."""
+
+    def __init__(self, kind: str, name: Optional[str], after: int,
+                 count: int, error: str = "BadWindow",
+                 client: Optional[Client] = None,
+                 callback: Optional[Callable] = None):
+        self.kind = kind
+        self.name = name          # request name to match; None = any
+        self.skip = after         # matching requests to let through first
+        self.count = count        # firings remaining
+        self.error = error
+        self.client = client
+        self.callback = callback
+
+    def matches(self, name: str) -> bool:
+        return self.count > 0 and (self.name is None or self.name == name)
+
+
+class _EventTrigger:
+    """One scripted trigger on the event stream (drop or delay)."""
+
+    def __init__(self, kind: str, count: int,
+                 event_type: Optional[int] = None,
+                 delay_ms: Optional[int] = None):
+        self.kind = kind
+        self.count = count
+        self.event_type = event_type
+        self.delay_ms = delay_ms
+
+    def matches(self, event) -> bool:
+        return self.count > 0 and (self.event_type is None or
+                                   event.type == self.event_type)
+
+
+class FaultPlan:
+    """A deterministic schedule of faults for one X server."""
+
+    def __init__(self, seed: int = 0,
+                 error_rate: float = 0.0,
+                 disconnect_rate: float = 0.0,
+                 drop_rate: float = 0.0,
+                 delay_rate: float = 0.0,
+                 delay_ms: int = 20,
+                 max_faults: Optional[int] = None,
+                 errors: Tuple[str, ...] = ERROR_NAMES,
+                 exempt_requests: Tuple[str, ...] = ()):
+        self.random = random.Random(seed)
+        self.seed = seed
+        self.error_rate = error_rate
+        self.disconnect_rate = disconnect_rate
+        self.drop_rate = drop_rate
+        self.delay_rate = delay_rate
+        self.delay_ms = delay_ms
+        self.max_faults = max_faults
+        self.errors = tuple(errors)
+        self.exempt_requests = frozenset(exempt_requests)
+        #: injections per fault type, for assertions
+        self.counters: Dict[str, int] = {kind: 0 for kind in FAULT_TYPES}
+        #: (request_index, fault_type, detail) per injection
+        self.log: List[Tuple[int, str, str]] = []
+        self._request_index = 0
+        self._request_triggers: List[_RequestTrigger] = []
+        self._event_triggers: List[_EventTrigger] = []
+        #: held-back events: (release_time_ms, seq, client, event)
+        self._held: List[tuple] = []
+        self._held_seq = 0
+        self._busy = False        # reentrancy guard while firing a fault
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.counters.values())
+
+    def held_count(self) -> int:
+        """Events currently delayed and awaiting release."""
+        return len(self._held)
+
+    def _exhausted(self) -> bool:
+        return (self.max_faults is not None and
+                self.total_injected >= self.max_faults)
+
+    def _record(self, kind: str, detail: str) -> None:
+        self.counters[kind] += 1
+        self.log.append((self._request_index, kind, detail))
+
+    # ------------------------------------------------------------------
+    # scripted trigger points
+    # ------------------------------------------------------------------
+
+    def fail_request(self, name: Optional[str] = None,
+                     error: str = "BadWindow", after: int = 0,
+                     count: int = 1) -> None:
+        """Raise ``error`` from the next ``count`` requests named
+        ``name`` (any request if None), skipping ``after`` matches."""
+        self._request_triggers.append(
+            _RequestTrigger(ERROR, name, after, count, error=error))
+
+    def disconnect_client(self, client: Client,
+                          on_request: Optional[str] = None,
+                          after: int = 0) -> None:
+        """Disconnect ``client`` when the matching request arrives."""
+        self._request_triggers.append(
+            _RequestTrigger(DISCONNECT, on_request, after, 1,
+                            client=client))
+
+    def call_on_request(self, callback: Callable,
+                        name: Optional[str] = None, after: int = 0,
+                        count: int = 1) -> None:
+        """Run ``callback(server)`` at the matching request — the
+        scripted hook tests use to kill an application mid-send."""
+        self._request_triggers.append(
+            _RequestTrigger(CALL, name, after, count, callback=callback))
+
+    def drop_events(self, count: int = 1,
+                    event_type: Optional[int] = None) -> None:
+        """Silently discard the next ``count`` matching events."""
+        self._event_triggers.append(_EventTrigger(DROP, count, event_type))
+
+    def delay_events(self, count: int = 1,
+                     delay_ms: Optional[int] = None,
+                     event_type: Optional[int] = None) -> None:
+        """Hold the next ``count`` matching events back for
+        ``delay_ms`` virtual milliseconds."""
+        self._event_triggers.append(
+            _EventTrigger(DELAY, count, event_type,
+                          delay_ms if delay_ms is not None
+                          else self.delay_ms))
+
+    # ------------------------------------------------------------------
+    # hooks called by the server
+    # ------------------------------------------------------------------
+
+    def on_request(self, server, name: str) -> None:
+        """Consulted from every server request; may raise or disconnect."""
+        if self._busy:
+            return
+        self._request_index += 1
+        self.release_due(server)
+        if name in self.exempt_requests or self._exhausted():
+            return
+        for trigger in self._request_triggers:
+            if not trigger.matches(name):
+                continue
+            if trigger.skip > 0:
+                trigger.skip -= 1
+                continue
+            trigger.count -= 1
+            self._fire_request_trigger(server, trigger, name)
+        self._seeded_request_faults(server, name)
+
+    def _fire_request_trigger(self, server, trigger: _RequestTrigger,
+                              name: str) -> None:
+        if trigger.kind == ERROR:
+            self._record(ERROR, "%s from %s" % (trigger.error, name))
+            raise XProtocolError(
+                "%s (injected fault during %s)" % (trigger.error, name))
+        if trigger.kind == DISCONNECT:
+            self._record(DISCONNECT, "client %d during %s"
+                         % (trigger.client.number, name))
+            self._guarded(server.disconnect, trigger.client)
+            return
+        if trigger.kind == CALL:
+            self._record(CALL, "callback during %s" % name)
+            self._guarded(trigger.callback, server)
+
+    def _seeded_request_faults(self, server, name: str) -> None:
+        if self.error_rate > 0 and \
+                self.random.random() < self.error_rate:
+            error = self.random.choice(self.errors)
+            self._record(ERROR, "%s from %s (seeded)" % (error, name))
+            raise XProtocolError(
+                "%s (injected fault during %s)" % (error, name))
+        if self.disconnect_rate > 0 and \
+                self.random.random() < self.disconnect_rate:
+            victims = [client for client in server.clients
+                       if not client.closed]
+            if victims:
+                victim = self.random.choice(victims)
+                self._record(DISCONNECT, "client %d during %s (seeded)"
+                             % (victim.number, name))
+                self._guarded(server.disconnect, victim)
+
+    def on_event(self, server, client: Client, event) -> bool:
+        """Consulted before an event is queued; False means consumed."""
+        if self._busy or self._exhausted():
+            return True
+        for trigger in self._event_triggers:
+            if not trigger.matches(event):
+                continue
+            trigger.count -= 1
+            if trigger.kind == DROP:
+                self._record(DROP, "event type %d" % event.type)
+                return False
+            self._hold(server, client, event, trigger.delay_ms)
+            return False
+        if self.drop_rate > 0 and self.random.random() < self.drop_rate:
+            self._record(DROP, "event type %d (seeded)" % event.type)
+            return False
+        if self.delay_rate > 0 and self.random.random() < self.delay_rate:
+            self._hold(server, client, event, self.delay_ms,
+                       seeded=True)
+            return False
+        return True
+
+    def _hold(self, server, client: Client, event, delay_ms: int,
+              seeded: bool = False) -> None:
+        self._record(DELAY, "event type %d for %d ms%s"
+                     % (event.type, delay_ms,
+                        " (seeded)" if seeded else ""))
+        self._held_seq += 1
+        self._held.append((server.time_ms + delay_ms, self._held_seq,
+                           client, event))
+
+    def release_due(self, server) -> None:
+        """Move delayed events whose time has come into client queues."""
+        if not self._held:
+            return
+        due = [entry for entry in self._held
+               if entry[0] <= server.time_ms]
+        if not due:
+            return
+        self._held = [entry for entry in self._held
+                      if entry[0] > server.time_ms]
+        for _, _, client, event in sorted(due, key=lambda e: (e[0], e[1])):
+            if not client.closed:
+                # Straight into the queue: the release must not be
+                # re-dropped or re-delayed by the plan itself.
+                client.queue.append(event)
+
+    def forget_client(self, client: Client) -> None:
+        """Drop state referring to a disconnected client."""
+        self._held = [entry for entry in self._held
+                      if entry[2] is not client]
+
+    def _guarded(self, fn: Callable, *args) -> None:
+        """Run a fault action without re-triggering the plan."""
+        self._busy = True
+        try:
+            fn(*args)
+        finally:
+            self._busy = False
+
+
+__all__ = ["FaultPlan", "FAULT_TYPES", "ERROR", "DISCONNECT", "DROP",
+           "DELAY", "CALL", "ERROR_NAMES"]

@@ -47,8 +47,12 @@ class Client:
         self.closed = False
 
     def enqueue(self, event: Event) -> None:
-        if not self.closed:
-            self.queue.append(event)
+        if self.closed:
+            return
+        plan = self.server.fault_plan
+        if plan is not None and not plan.on_event(self.server, self, event):
+            return          # dropped or delayed by the fault plan
+        self.queue.append(event)
 
     def pending(self) -> int:
         return len(self.queue)
@@ -80,6 +84,8 @@ class XServer:
         self.pointer_y = 0
         self.pointer_window: Window = self.root
         self.focus_window: Window = self.root
+        #: optional fault-injection schedule (see repro.x11.faults)
+        self.fault_plan = None
 
     # ------------------------------------------------------------------
     # connection and bookkeeping
@@ -91,22 +97,59 @@ class XServer:
         return client
 
     def disconnect(self, client: Client) -> None:
+        if client.closed:
+            return
         client.closed = True
-        # Drop the client's selections and event interests.
+        client.queue.clear()
+        if self.fault_plan is not None:
+            self.fault_plan.forget_client(client)
+        # Drop the client's selections.
         for atom, (window, owner) in list(self.selections.items()):
             if owner is client:
                 del self.selections[atom]
+        # Destroy the client's windows, as a real server does at
+        # close-down.  This is what lets surviving applications notice
+        # a crashed peer: its comm window disappears.
+        for resource in list(self.resources.values()):
+            if isinstance(resource, Window) and \
+                    resource.creator is client and not resource.destroyed:
+                self._destroy_recursive(resource)
+        # Drop the client's event interests everywhere else.
         for window in list(self.resources.values()):
             if isinstance(window, Window):
                 window.event_selections.pop(client, None)
+        self._update_pointer_window()
+
+    def install_fault_plan(self, plan) -> "FaultPlan":
+        """Attach a :class:`~repro.x11.faults.FaultPlan` to this server."""
+        self.fault_plan = plan
+        return plan
+
+    def clear_fault_plan(self) -> None:
+        self.fault_plan = None
 
     def _new_id(self) -> int:
         self._next_resource_id += 1
         return self._next_resource_id
 
-    def _tick(self) -> int:
+    def _tick(self, name: str = "request") -> int:
         self.time_ms += 1
         self.requests += 1
+        plan = self.fault_plan
+        if plan is not None:
+            plan.on_request(self, name)
+        return self.time_ms
+
+    def idle_tick(self) -> int:
+        """Advance the virtual clock without issuing a request.
+
+        Used by waits (e.g. ``send``) when the system is quiescent, so
+        timeouts expire and fault-delayed events are eventually
+        released even though no client is generating requests.
+        """
+        self.time_ms += 1
+        if self.fault_plan is not None:
+            self.fault_plan.release_due(self)
         return self.time_ms
 
     def round_trip(self) -> None:
@@ -119,6 +162,14 @@ class XServer:
             raise XProtocolError("BadWindow: %d" % wid)
         return resource
 
+    def window_exists(self, wid: int) -> bool:
+        """Liveness probe for a window id (a round trip, like real Xlib
+        checks that issue a request and watch for BadWindow)."""
+        self._tick("window_exists")
+        self.round_trip()
+        resource = self.resources.get(wid)
+        return isinstance(resource, Window) and not resource.destroyed
+
     # ------------------------------------------------------------------
     # window requests
     # ------------------------------------------------------------------
@@ -126,7 +177,7 @@ class XServer:
     def create_window(self, client: Client, parent_id: int, x: int, y: int,
                       width: int, height: int,
                       border_width: int = 0) -> int:
-        self._tick()
+        self._tick("create_window")
         parent = self.window(parent_id)
         window = Window(self._new_id(), parent, x, y, width, height,
                         border_width, creator=client)
@@ -134,7 +185,7 @@ class XServer:
         return window.id
 
     def destroy_window(self, wid: int) -> None:
-        self._tick()
+        self._tick("destroy_window")
         window = self.window(wid)
         self._destroy_recursive(window)
         self._update_pointer_window()
@@ -159,7 +210,7 @@ class XServer:
             self._expose(window.parent)
 
     def map_window(self, wid: int) -> None:
-        self._tick()
+        self._tick("map_window")
         window = self.window(wid)
         if window.mapped:
             return
@@ -173,7 +224,7 @@ class XServer:
         self._update_pointer_window()
 
     def unmap_window(self, wid: int) -> None:
-        self._tick()
+        self._tick("unmap_window")
         window = self.window(wid)
         if not window.mapped:
             return
@@ -190,7 +241,7 @@ class XServer:
                          width: Optional[int] = None,
                          height: Optional[int] = None,
                          border_width: Optional[int] = None) -> None:
-        self._tick()
+        self._tick("configure_window")
         window = self.window(wid)
         changed = False
         if x is not None and x != window.x:
@@ -222,7 +273,7 @@ class XServer:
 
     def raise_window(self, wid: int) -> None:
         """Restack a window above all its siblings."""
-        self._tick()
+        self._tick("raise_window")
         window = self.window(wid)
         parent = window.parent
         if parent is not None and parent.children[-1] is not window:
@@ -234,7 +285,7 @@ class XServer:
 
     def lower_window(self, wid: int) -> None:
         """Restack a window below all its siblings."""
-        self._tick()
+        self._tick("lower_window")
         window = self.window(wid)
         parent = window.parent
         if parent is not None and parent.children[0] is not window:
@@ -245,7 +296,7 @@ class XServer:
             self._update_pointer_window()
 
     def select_input(self, client: Client, wid: int, mask: int) -> None:
-        self._tick()
+        self._tick("select_input")
         window = self.window(wid)
         if mask == 0:
             window.event_selections.pop(client, None)
@@ -253,14 +304,14 @@ class XServer:
             window.event_selections[client] = mask
 
     def get_geometry(self, wid: int) -> Tuple[int, int, int, int, int]:
-        self._tick()
+        self._tick("get_geometry")
         self.round_trip()
         window = self.window(wid)
         return (window.x, window.y, window.width, window.height,
                 window.border_width)
 
     def query_tree(self, wid: int) -> Tuple[int, int, List[int]]:
-        self._tick()
+        self._tick("query_tree")
         self.round_trip()
         window = self.window(wid)
         parent_id = window.parent.id if window.parent is not None else 0
@@ -268,7 +319,7 @@ class XServer:
                 [child.id for child in window.children])
 
     def set_window_background(self, wid: int, pixel: int) -> None:
-        self._tick()
+        self._tick("set_window_background")
         self.window(wid).background = pixel
 
     # ------------------------------------------------------------------
@@ -276,14 +327,14 @@ class XServer:
     # ------------------------------------------------------------------
 
     def intern_atom(self, name: str, only_if_exists: bool = False) -> int:
-        self._tick()
+        self._tick("intern_atom")
         self.round_trip()
         if only_if_exists:
             return self.atoms.lookup(name)
         return self.atoms.intern(name)
 
     def get_atom_name(self, atom: int) -> str:
-        self._tick()
+        self._tick("get_atom_name")
         self.round_trip()
         try:
             return self.atoms.name(atom)
@@ -292,7 +343,7 @@ class XServer:
 
     def change_property(self, wid: int, property_atom: int, type_atom: int,
                         value: object, append: bool = False) -> None:
-        self._tick()
+        self._tick("change_property")
         window = self.window(wid)
         if append and property_atom in window.properties:
             old_type, old_value = window.properties[property_atom]
@@ -305,7 +356,7 @@ class XServer:
 
     def get_property(self, wid: int, property_atom: int,
                      delete: bool = False) -> Optional[Tuple[int, object]]:
-        self._tick()
+        self._tick("get_property")
         self.round_trip()
         window = self.window(wid)
         entry = window.properties.get(property_atom)
@@ -315,7 +366,7 @@ class XServer:
         return entry
 
     def delete_property(self, wid: int, property_atom: int) -> None:
-        self._tick()
+        self._tick("delete_property")
         window = self.window(wid)
         if property_atom in window.properties:
             del window.properties[property_atom]
@@ -333,7 +384,7 @@ class XServer:
 
     def set_selection_owner(self, client: Client, selection: int,
                             wid: int) -> None:
-        self._tick()
+        self._tick("set_selection_owner")
         previous = self.selections.get(selection)
         if wid == 0:
             if previous is not None:
@@ -348,14 +399,14 @@ class XServer:
         self.selections[selection] = (window, client)
 
     def get_selection_owner(self, selection: int) -> int:
-        self._tick()
+        self._tick("get_selection_owner")
         self.round_trip()
         entry = self.selections.get(selection)
         return entry[0].id if entry is not None else 0
 
     def convert_selection(self, client: Client, selection: int, target: int,
                           property_atom: int, requestor: int) -> None:
-        self._tick()
+        self._tick("convert_selection")
         entry = self.selections.get(selection)
         if entry is None:
             client.enqueue(Event(SELECTION_NOTIFY, window=requestor,
@@ -380,7 +431,7 @@ class XServer:
         window (this is how SelectionNotify and Tk's send transport
         their replies); otherwise it goes to clients selecting the mask.
         """
-        self._tick()
+        self._tick("send_event")
         window = self.window(wid)
         event = event.for_window(wid)
         event.send_event = True
@@ -436,7 +487,7 @@ class XServer:
 
     def warp_pointer(self, root_x: int, root_y: int, state: int = 0) -> None:
         """Move the pointer, generating Enter/Leave and Motion events."""
-        self._tick()
+        self._tick("warp_pointer")
         self.pointer_x = root_x
         self.pointer_y = root_y
         old = self.pointer_window
@@ -480,7 +531,7 @@ class XServer:
 
     def _button_event(self, event_type: int, button: int,
                       state: int) -> None:
-        self._tick()
+        self._tick("button_event")
         window = self.pointer_window
         x, y = window.root_position()
         event = Event(event_type, window=window.id,
@@ -500,7 +551,7 @@ class XServer:
 
     def _key_event(self, event_type: int, keysym: str, state: int,
                    window_id: Optional[int]) -> None:
-        self._tick()
+        self._tick("key_event")
         from .keysyms import char_for_keysym
         if window_id is not None:
             window = self.window(window_id)
@@ -515,7 +566,7 @@ class XServer:
         self._deliver_propagating(window, event)
 
     def set_input_focus(self, wid: int) -> None:
-        self._tick()
+        self._tick("set_input_focus")
         self.focus_window = self.window(wid)
 
     # ------------------------------------------------------------------
@@ -523,7 +574,7 @@ class XServer:
     # ------------------------------------------------------------------
 
     def alloc_named_color(self, name: str) -> Color:
-        self._tick()
+        self._tick("alloc_named_color")
         self.round_trip()
         rgb = parse_color(name)
         if rgb is None:
@@ -533,7 +584,7 @@ class XServer:
         return Color(pixel, red, green, blue)
 
     def load_font(self, name: str) -> Font:
-        self._tick()
+        self._tick("load_font")
         self.round_trip()
         if not font_exists(name):
             raise XProtocolError('font "%s" doesn\'t exist' % name)
@@ -543,7 +594,7 @@ class XServer:
         return font
 
     def create_cursor(self, name: str) -> Cursor:
-        self._tick()
+        self._tick("create_cursor")
         self.round_trip()
         if name not in CURSOR_NAMES:
             raise XProtocolError('bad cursor name "%s"' % name)
@@ -553,7 +604,7 @@ class XServer:
 
     def create_bitmap(self, name: str, width: int = 0,
                       height: int = 0) -> Bitmap:
-        self._tick()
+        self._tick("create_bitmap")
         self.round_trip()
         if name in BUILTIN_BITMAPS:
             width, height = BUILTIN_BITMAPS[name]
@@ -564,13 +615,13 @@ class XServer:
         return bitmap
 
     def create_gc(self, **values) -> GraphicsContext:
-        self._tick()
+        self._tick("create_gc")
         gc = GraphicsContext(self._new_id(), dict(values))
         self.resources[gc.gid] = gc
         return gc
 
     def free_resource(self, rid: int) -> None:
-        self._tick()
+        self._tick("free_resource")
         self.resources.pop(rid, None)
 
     # ------------------------------------------------------------------
@@ -578,26 +629,26 @@ class XServer:
     # ------------------------------------------------------------------
 
     def clear_window(self, wid: int) -> None:
-        self._tick()
+        self._tick("clear_window")
         window = self.window(wid)
         window.clear_drawing()
 
     def fill_rectangle(self, wid: int, gc: GraphicsContext, x: int, y: int,
                        width: int, height: int) -> None:
-        self._tick()
+        self._tick("fill_rectangle")
         self.window(wid).record("fill", (x, y, width, height), gc.values)
 
     def draw_rectangle(self, wid: int, gc: GraphicsContext, x: int, y: int,
                        width: int, height: int) -> None:
-        self._tick()
+        self._tick("draw_rectangle")
         self.window(wid).record("rect", (x, y, width, height), gc.values)
 
     def draw_line(self, wid: int, gc: GraphicsContext, x1: int, y1: int,
                   x2: int, y2: int) -> None:
-        self._tick()
+        self._tick("draw_line")
         self.window(wid).record("line", (x1, y1, x2, y2), gc.values)
 
     def draw_string(self, wid: int, gc: GraphicsContext, x: int, y: int,
                     text: str) -> None:
-        self._tick()
+        self._tick("draw_string")
         self.window(wid).record("text", (x, y, text), gc.values)

@@ -1,0 +1,129 @@
+"""Fault-matrix integration tests: the dispatch loop, ``bgerror``/
+``tkerror`` recovery, and a seeded soak of the whole toolkit under a
+randomized (but pinned) FaultPlan."""
+
+import io
+
+import pytest
+
+from repro.tcl import TclError
+from repro.tk import TkApp, pump_all
+from repro.x11 import FaultPlan, XServer
+
+
+@pytest.fixture
+def server():
+    return XServer()
+
+
+@pytest.fixture
+def app(server):
+    application = TkApp(server, name="matrix")
+    application.interp.stdout = io.StringIO()
+    return application
+
+
+def _define_bgerror(application):
+    application.interp.eval(
+        "proc bgerror {msg} {global reported\nlappend reported $msg}")
+
+
+class TestBackgroundErrorRecovery:
+    def test_x_error_in_binding_reported_not_fatal(self, app, server):
+        """An injected X protocol error inside a binding goes to
+        bgerror; pump_all keeps dispatching (the acceptance check)."""
+        _define_bgerror(app)
+        app.interp.eval("frame .f -geometry 30x30")
+        app.interp.eval("pack append . .f {top}")
+        app.update()
+        app.interp.eval("bind .f a {raise .f}")
+        app.interp.eval("bind .f b {set good 1}")
+        plan = server.install_fault_plan(FaultPlan())
+        plan.fail_request("raise_window", error="BadWindow")
+        server.press_key("a", window_id=app.window(".f").id)
+        pump_all(server)          # must NOT raise
+        assert "BadWindow" in app.interp.eval("set reported")
+        server.press_key("b", window_id=app.window(".f").id)
+        pump_all(server)
+        assert app.interp.eval("set good") == "1"
+
+    def test_x_error_without_handler_propagates(self, app, server):
+        app.interp.eval("frame .f -geometry 30x30")
+        app.interp.eval("pack append . .f {top}")
+        app.update()
+        app.interp.eval("bind .f a {raise .f}")
+        plan = server.install_fault_plan(FaultPlan())
+        plan.fail_request("raise_window", error="BadWindow")
+        server.press_key("a", window_id=app.window(".f").id)
+        with pytest.raises(TclError, match="BadWindow"):
+            app.update()
+
+    def test_x_error_in_idle_redraw_reported(self, app, server):
+        """A C-level failure (widget redraw, not a Tcl script) is also
+        routed through bgerror by the dispatcher guard."""
+        _define_bgerror(app)
+        app.interp.eval("button .b -text x")
+        app.interp.eval("pack append . .b {top}")
+        app.update()
+        plan = server.install_fault_plan(FaultPlan())
+        plan.fail_request("clear_window", error="BadWindow")
+        app.interp.eval(".b configure -text redraw-me")
+        app.update()              # must NOT raise
+        assert "BadWindow" in app.interp.eval("set reported")
+
+    def test_tkerror_fallback(self, app):
+        """The historical ``tkerror`` name works when ``bgerror`` is
+        not defined."""
+        app.interp.eval(
+            "proc tkerror {msg} {global reported\nset reported $msg}")
+        app.interp.eval("after 10 {error old-name}")
+        app.server.time_ms += 20
+        app.update()
+        assert app.interp.eval("set reported") == "old-name"
+
+    def test_catch_sees_injected_x_errors(self, app, server):
+        """Scripts can catch an X protocol error like any Tcl error —
+        native failures never leak raw Python exceptions into eval."""
+        plan = server.install_fault_plan(FaultPlan())
+        plan.fail_request("create_window", error="BadWindow")
+        assert app.interp.eval(
+            "catch {frame .doomed} msg\nset msg").startswith("BadWindow")
+
+
+class TestSeededFaultSoak:
+    def _soak(self, seed):
+        server = XServer()
+        apps = [TkApp(server, name="soak%d" % n) for n in range(2)]
+        for application in apps:
+            application.interp.stdout = io.StringIO()
+            _define_bgerror(application)
+            application.sender.timeout_ms = 200
+        plan = server.install_fault_plan(
+            FaultPlan(seed=seed, error_rate=0.02, drop_rate=0.02,
+                      delay_rate=0.03, delay_ms=10))
+        a, b = apps
+        for i in range(25):
+            a.interp.eval("catch {button .b%d -text t%d}" % (i, i))
+            a.interp.eval("catch {pack append . .b%d {top}}" % i)
+            a.interp.eval("catch {send soak1 set shared %d}" % i)
+            b.interp.eval("catch {destroy .b%d}\n"
+                          "catch {frame .f%d -geometry 20x20}" % (i, i))
+            pump_all(server)
+        server.clear_fault_plan()
+        pump_all(server)
+        return plan, apps
+
+    def test_soak_no_uncaught_escapes(self):
+        """Under a seeded fault schedule, nothing escapes the dispatch
+        loop: every injected fault is caught, reported, or recovered."""
+        plan, apps = self._soak(seed=1337)
+        assert plan.total_injected > 0
+        for application in apps:
+            assert not application.destroyed
+            application.interp.eval("set ping 1")   # interp healthy
+
+    def test_soak_is_deterministic(self):
+        plan_a, _ = self._soak(seed=99)
+        plan_b, _ = self._soak(seed=99)
+        assert plan_a.log == plan_b.log
+        assert plan_a.counters == plan_b.counters

@@ -1,0 +1,175 @@
+"""Tests for the deterministic fault-injection layer (repro.x11.faults)."""
+
+import pytest
+
+from repro.x11 import Display, FaultPlan, XProtocolError, XServer
+from repro.x11 import events as ev
+from repro.x11.faults import DELAY, DISCONNECT, DROP, ERROR
+
+
+@pytest.fixture
+def server():
+    return XServer()
+
+
+@pytest.fixture
+def display(server):
+    return Display(server)
+
+
+class TestScriptedRequestFaults:
+    def test_fail_named_request(self, server, display):
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        plan = server.install_fault_plan(FaultPlan())
+        plan.fail_request("get_geometry", error="BadAtom")
+        with pytest.raises(XProtocolError, match="BadAtom"):
+            display.get_geometry(win)
+        # One-shot: the next identical request succeeds.
+        assert display.get_geometry(win)[2] == 10
+        assert plan.counters[ERROR] == 1
+
+    def test_fail_any_request(self, server, display):
+        plan = server.install_fault_plan(FaultPlan())
+        plan.fail_request(error="BadWindow")
+        with pytest.raises(XProtocolError, match="BadWindow"):
+            display.intern_atom("ANYTHING")
+
+    def test_after_skips_matching_requests(self, server, display):
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        plan = server.install_fault_plan(FaultPlan())
+        plan.fail_request("get_geometry", after=2)
+        display.get_geometry(win)
+        display.get_geometry(win)
+        with pytest.raises(XProtocolError):
+            display.get_geometry(win)
+
+    def test_injection_is_logged(self, server, display):
+        plan = server.install_fault_plan(FaultPlan())
+        plan.fail_request("intern_atom", error="BadProperty")
+        with pytest.raises(XProtocolError):
+            display.intern_atom("X")
+        assert any(kind == ERROR and "BadProperty" in detail
+                   for _, kind, detail in plan.log)
+
+    def test_call_on_request_runs_callback(self, server, display):
+        plan = server.install_fault_plan(FaultPlan())
+        seen = []
+        plan.call_on_request(lambda srv: seen.append(srv.time_ms),
+                             name="intern_atom")
+        display.intern_atom("X")
+        assert len(seen) == 1
+
+    def test_disconnect_client_destroys_its_windows(self, server):
+        victim = Display(server)
+        win = victim.create_window(victim.root, 0, 0, 10, 10)
+        other = Display(server)
+        plan = server.install_fault_plan(FaultPlan())
+        plan.disconnect_client(victim.client, on_request="intern_atom")
+        other.intern_atom("TRIGGER")
+        assert victim.client.closed
+        assert not server.window_exists(win)
+        assert plan.counters[DISCONNECT] == 1
+
+
+class TestScriptedEventFaults:
+    def _watched_window(self, server):
+        maker = Display(server)
+        watcher = Display(server)
+        win = maker.create_window(maker.root, 0, 0, 10, 10)
+        watcher.select_input(win, ev.STRUCTURE_NOTIFY_MASK)
+        return maker, watcher, win
+
+    def test_drop_event(self, server):
+        maker, watcher, win = self._watched_window(server)
+        plan = server.install_fault_plan(FaultPlan())
+        plan.drop_events(1, event_type=ev.CONFIGURE_NOTIFY)
+        maker.configure_window(win, width=50)
+        assert watcher.pending() == 0
+        assert plan.counters[DROP] == 1
+        maker.configure_window(win, width=60)
+        assert watcher.pending() == 1
+
+    def test_delay_event_released_after_time_passes(self, server):
+        maker, watcher, win = self._watched_window(server)
+        plan = server.install_fault_plan(FaultPlan())
+        plan.delay_events(1, delay_ms=5, event_type=ev.CONFIGURE_NOTIFY)
+        maker.configure_window(win, width=50)
+        assert watcher.pending() == 0
+        assert plan.held_count() == 1
+        for _ in range(6):
+            server.idle_tick()
+        assert plan.held_count() == 0
+        assert watcher.pending() == 1
+        event = watcher.next_event()
+        assert event.type == ev.CONFIGURE_NOTIFY and event.width == 50
+
+    def test_delayed_events_for_disconnected_client_are_forgotten(
+            self, server):
+        maker, watcher, win = self._watched_window(server)
+        plan = server.install_fault_plan(FaultPlan())
+        plan.delay_events(1, delay_ms=5, event_type=ev.CONFIGURE_NOTIFY)
+        maker.configure_window(win, width=50)
+        assert plan.held_count() == 1
+        watcher.close()
+        assert plan.held_count() == 0
+
+
+class TestSeededSchedule:
+    def _workload(self, seed, rounds=60):
+        server = XServer()
+        display = Display(server)
+        windows = [display.create_window(display.root, 0, 0, 10, 10)
+                   for _ in range(3)]
+        display.select_input(windows[0], ev.STRUCTURE_NOTIFY_MASK)
+        plan = server.install_fault_plan(
+            FaultPlan(seed=seed, error_rate=0.2, drop_rate=0.2))
+        errors = 0
+        for i in range(rounds):
+            try:
+                display.configure_window(windows[i % 3],
+                                         width=20 + i)
+            except XProtocolError:
+                errors += 1
+        return plan, errors
+
+    def test_same_seed_same_faults(self):
+        plan_a, errors_a = self._workload(seed=42)
+        plan_b, errors_b = self._workload(seed=42)
+        assert plan_a.log == plan_b.log
+        assert errors_a == errors_b
+        assert plan_a.total_injected > 0
+
+    def test_different_seed_different_faults(self):
+        plan_a, _ = self._workload(seed=1)
+        plan_b, _ = self._workload(seed=2)
+        assert plan_a.log != plan_b.log
+
+    def test_max_faults_caps_injection(self):
+        server = XServer()
+        display = Display(server)
+        plan = server.install_fault_plan(
+            FaultPlan(seed=0, error_rate=1.0, max_faults=2))
+        for _ in range(10):
+            try:
+                display.intern_atom("X")
+            except XProtocolError:
+                pass
+        assert plan.total_injected == 2
+
+    def test_exempt_requests_are_safe(self):
+        server = XServer()
+        display = Display(server)
+        server.install_fault_plan(
+            FaultPlan(seed=0, error_rate=1.0,
+                      exempt_requests=("intern_atom",)))
+        for _ in range(5):
+            display.intern_atom("SAFE")     # never raises
+
+    def test_clear_fault_plan_stops_injection(self):
+        server = XServer()
+        display = Display(server)
+        server.install_fault_plan(FaultPlan(seed=0, error_rate=1.0))
+        with pytest.raises(XProtocolError):
+            display.intern_atom("X")
+        server.clear_fault_plan()
+        display.intern_atom("X")

@@ -398,12 +398,27 @@ class TestDisconnect:
         assert display_b.pending() == 0
 
     def test_closed_client_receives_nothing(self, server):
+        owner = Display(server)
+        win = owner.create_window(owner.root, 0, 0, 10, 10)
         display = Display(server)
-        win = display.create_window(display.root, 0, 0, 10, 10)
         display.select_input(win, ev.STRUCTURE_NOTIFY_MASK)
         display.close()
         server.configure_window(win, width=99)
         assert display.pending() == 0
+
+    def test_close_destroys_client_windows(self, server):
+        """A real server destroys a client's resources at close-down;
+        that is how peers notice a crashed application."""
+        display = Display(server)
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.close()
+        assert not server.window_exists(win)
+
+    def test_closed_connection_rejects_requests(self, server):
+        display = Display(server)
+        display.close()
+        with pytest.raises(XProtocolError, match="connection"):
+            display.create_window(display.root, 0, 0, 10, 10)
 
 
 class TestStacking:
