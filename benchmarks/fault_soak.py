@@ -32,6 +32,7 @@ sys.path.insert(
 
 from repro.tk import TkApp, pump_all
 from repro.x11 import FaultPlan, XServer
+from repro.x11.faults import FAULT_TYPES
 
 #: CI runs these pinned seeds so the soak is reproducible build-to-build.
 DEFAULT_SEEDS = (7, 1991, 424242)
@@ -41,7 +42,7 @@ BGERROR = ("proc bgerror {msg} {global bg_reports\n"
 
 
 def soak(seed, rounds):
-    """Run one seeded soak; return (plan, caught, reported, escapes)."""
+    """Run one seeded soak; return (metrics, caught, reported, escapes)."""
     server = XServer()
     apps = [TkApp(server, name="soak%d" % n) for n in range(2)]
     for app in apps:
@@ -83,7 +84,9 @@ def soak(seed, rounds):
     for app in apps:
         if app.interp.eval("info exists bg_reports") == "1":
             reported += int(app.interp.eval("llength $bg_reports"))
-    return plan, caught, reported, escapes
+    # Injection accounting comes from the server's metrics registry
+    # (x11.faults{type=...}), not from FaultPlan internals.
+    return server.obs.metrics, caught, reported, escapes
 
 
 def main(argv=None):
@@ -97,19 +100,21 @@ def main(argv=None):
     seeds = tuple(args.seed) if args.seed else DEFAULT_SEEDS
     failed = False
     for seed in seeds:
-        plan, caught, reported, escapes = soak(seed, args.rounds)
+        metrics, caught, reported, escapes = soak(seed, args.rounds)
+        injected = metrics.total("x11.faults")
         breakdown = " ".join(
-            "%s=%d" % (kind, count)
-            for kind, count in sorted(plan.counters.items()) if count)
+            "%s=%d" % (kind, metrics.value("x11.faults", type=kind))
+            for kind in FAULT_TYPES
+            if metrics.value("x11.faults", type=kind))
         print("seed %d: %d faults injected (%s) — %d caught by catch, "
               "%d via bgerror, %d escaped"
-              % (seed, plan.total_injected, breakdown or "none",
+              % (seed, injected, breakdown or "none",
                  caught, reported, len(escapes)))
         if escapes:
             failed = True
             for text in escapes:
                 sys.stderr.write(text + "\n")
-        if plan.total_injected == 0:
+        if injected == 0:
             print("seed %d: WARNING: plan injected nothing — workload "
                   "too small to exercise the fault schedule" % seed)
             failed = True

@@ -1,0 +1,200 @@
+"""Observability overhead report and gate.
+
+The instrumentation added by ``repro.obs`` sits on the interpreter's
+hottest paths (every command invocation, every compile-cache probe,
+every X request), so its *disabled* cost must stay negligible.  This
+harness measures the BENCH_interp interpreter workloads in three
+configurations:
+
+* ``obs_off``  — ``Interp(obs_enabled=False)``: the ablation; the
+  tracer is never consulted (metric counters still exist — they are
+  the storage for ``info cmdcount`` and friends).
+* ``obs_on``   — the default shipping configuration: counters active,
+  tracer present but not started.
+* ``tracer_on``— the tracer started and collecting spans.
+
+All three run in the same process with their timing blocks
+*interleaved* round-robin (off/on/traced, off/on/traced, ...) and the
+best block kept per configuration, so the <3% gate on ``obs_on`` vs
+``obs_off`` is immune both to cross-machine variance and to CPU
+frequency drift during the run.  Results go to ``BENCH_obs.json``; the
+committed means of ``BENCH_interp.json`` ride along as a reference.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/obs_report.py              # regenerate
+    PYTHONPATH=src python benchmarks/obs_report.py --check      # CI gate
+    PYTHONPATH=src python benchmarks/obs_report.py --dump-trace trace.json
+"""
+
+import io
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"))
+
+from repro.tcl import Interp  # noqa: E402
+from repro.tk import TkApp  # noqa: E402
+from repro.x11 import XServer  # noqa: E402
+
+BENCH_FILE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_obs.json")
+INTERP_BENCH_FILE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_interp.json")
+
+#: The gate: obs_on (counters, tracer idle) vs obs_off overhead bound.
+GATE_PCT = 3.0
+
+#: interleaved rounds per workload; the best block per configuration
+#: is kept, so one slow round (GC, scheduler) cannot skew either side
+_ROUNDS = 15
+_MIN_TIME = 0.08
+
+
+def _calibrate(func) -> int:
+    """Iterations needed for one timing block of ~_MIN_TIME seconds."""
+    func()                                   # warm caches
+    number = 1
+    while True:
+        start = time.perf_counter()
+        for _ in range(number):
+            func()
+        if time.perf_counter() - start >= _MIN_TIME:
+            return number
+        number *= 4
+
+
+def _measure_interleaved(thunks):
+    """Best mean seconds per call for each thunk, blocks interleaved."""
+    numbers = [_calibrate(thunk) for thunk in thunks]
+    bests = [float("inf")] * len(thunks)
+    for _ in range(_ROUNDS):
+        for position, thunk in enumerate(thunks):
+            start = time.perf_counter()
+            for _ in range(numbers[position]):
+                thunk()
+            elapsed = time.perf_counter() - start
+            bests[position] = min(bests[position],
+                                  elapsed / numbers[position])
+    return bests
+
+
+def _workloads():
+    """(name, build(interp) -> thunk) for the BENCH_interp workloads."""
+
+    def simple_command(interp):
+        return lambda: interp.eval("set a 1")
+
+    def proc_call(interp):
+        interp.eval("proc add {x y} {expr {$x + $y}}")
+        return lambda: interp.eval("add 19 23")
+
+    def expr_loop(interp):
+        script = "set i 0\nwhile {$i < 100} {incr i}"
+        return lambda: interp.eval(script)
+
+    return [("simple_command", simple_command),
+            ("proc_call", proc_call),
+            ("expr_loop", expr_loop)]
+
+
+def run_report() -> dict:
+    report = {}
+    for name, build in _workloads():
+        traced_interp = Interp()
+        traced_interp.obs.tracer.start()
+        try:
+            off, on, traced = _measure_interleaved(
+                [build(Interp(obs_enabled=False)),
+                 build(Interp()),
+                 build(traced_interp)])
+        finally:
+            traced_interp.obs.tracer.stop()
+        overhead = (on - off) / off * 100.0
+        tracer_overhead = (traced - off) / off * 100.0
+        report[name] = {
+            "obs_off_us": round(off * 1e6, 3),
+            "obs_on_us": round(on * 1e6, 3),
+            "tracer_on_us": round(traced * 1e6, 3),
+            "overhead_pct": round(overhead, 2),
+            "tracer_overhead_pct": round(tracer_overhead, 2),
+        }
+        print("%-16s off %9.3f us   on %9.3f us (%+5.2f%%)   "
+              "traced %9.3f us (%+6.2f%%)"
+              % (name, off * 1e6, on * 1e6, overhead,
+                 traced * 1e6, tracer_overhead))
+    return report
+
+
+def check(report: dict) -> int:
+    failures = [name for name, stats in report.items()
+                if stats["overhead_pct"] >= GATE_PCT]
+    if failures:
+        print("FAIL: obs-enabled overhead >=%.1f%% in: %s"
+              % (GATE_PCT, ", ".join(failures)))
+        return 1
+    print("OK: obs-enabled (tracer idle) overhead <%.1f%% on all "
+          "BENCH_interp workloads" % GATE_PCT)
+    return 0
+
+
+def dump_trace(filename: str) -> None:
+    """Trace a button click end to end; write the full obs dump."""
+    server = XServer()
+    app = TkApp(server, name="obsdump")
+    app.interp.stdout = io.StringIO()
+    app.interp.eval("proc doClick {} {.b flash}")
+    app.interp.eval('button .b -text Report -command {doClick}')
+    app.interp.eval("bind .b <ButtonRelease-1> {set released 1}")
+    app.interp.eval("pack append . .b {top}")
+    app.update()
+    app.obs.tracer.start(wire=True)
+    window = app.window(".b")
+    root_x, root_y = window.root_position()
+    server.warp_pointer(root_x + 2, root_y + 2)
+    server.press_button(1)
+    server.release_button(1)
+    app.update()
+    app.obs.tracer.stop()
+    with open(filename, "w") as handle:
+        handle.write(app.obs.dump_json() + "\n")
+    print("wrote %s (%d spans)" % (filename, len(app.obs.tracer.spans)))
+
+
+def main(argv) -> int:
+    argv = list(argv)
+    if "--dump-trace" in argv:
+        position = argv.index("--dump-trace")
+        if position + 1 >= len(argv):
+            print("error: --dump-trace needs a filename")
+            return 1
+        dump_trace(argv[position + 1])
+        del argv[position:position + 2]
+        if not argv:
+            return 0
+    checking = "--check" in argv
+    report = run_report()
+    if checking:
+        return check(report)
+    output = {"gate_pct": GATE_PCT, "workloads": report}
+    if os.path.exists(INTERP_BENCH_FILE):
+        with open(INTERP_BENCH_FILE) as handle:
+            committed = json.load(handle)
+        output["bench_interp_reference"] = {
+            name: stats["mean_us"] for name, stats in committed.items()
+            if name in report}
+    with open(BENCH_FILE, "w") as handle:
+        json.dump(output, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % BENCH_FILE)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

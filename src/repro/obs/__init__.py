@@ -1,0 +1,20 @@
+"""repro.obs — unified metrics, tracing, and profiling.
+
+See :mod:`repro.obs.metrics`, :mod:`repro.obs.trace`, and
+:mod:`repro.obs.profile` for the three pillars; the
+:class:`Observability` hub in :mod:`repro.obs.core` ties them to a
+virtual clock.  Inside the interpreter the same data is reachable via
+the ``obs`` Tcl command and ``info metrics``.
+"""
+
+from .core import Observability
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import Profile, profile
+from .trace import Span, Tracer, record_request, record_round_trip
+
+__all__ = [
+    "Observability",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "Profile", "profile",
+    "Span", "Tracer", "record_request", "record_round_trip",
+]

@@ -1,0 +1,50 @@
+"""The observability hub: one metrics registry + one tracer per scope.
+
+Every component that wants instrumentation owns (or is handed) an
+:class:`Observability` hub.  A standalone :class:`~repro.x11.XServer`
+or :class:`~repro.tcl.Interp` creates its own; a Tk application builds
+a unified hub on the server's virtual clock, mounts the server's
+registry (the server may be shared between applications, so ``x11.*``
+metrics are deliberately server-wide) and rebinds its interpreter into
+it, so one ``obs dump`` covers the whole stack.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Optional
+
+from .metrics import MetricsRegistry
+from .profile import Profile
+from .trace import Tracer
+
+
+class Observability:
+    """A metrics registry and a tracer sharing one virtual clock."""
+
+    def __init__(self, clock: Optional[Callable[[], int]] = None):
+        if clock is None:
+            # Standalone components (a bare Interp in tests) have no
+            # server clock; spans then have zero duration but keep
+            # their structure and request attribution.
+            clock = lambda: 0
+        self.clock = clock
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock)
+
+    def profile(self) -> Profile:
+        return Profile(self.tracer.spans)
+
+    def dump(self) -> dict:
+        """Everything — metrics, trace, profile — as one dict."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "trace": self.tracer.to_dict(),
+            "profile": self.profile().to_dict(),
+        }
+
+    def dump_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.dump(), indent=indent, sort_keys=True)
+
+
+__all__ = ["Observability"]

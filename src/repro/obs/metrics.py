@@ -1,0 +1,255 @@
+"""The metrics registry: counters, gauges, and histograms.
+
+Every layer of the stack (x11 server, Tk intrinsics, Tcl interpreter,
+send, fault injection) records what it does through one of these
+registries instead of ad-hoc integer attributes.  Metrics are named in
+a dotted namespace with optional labels::
+
+    x11.requests{type=create_window}     per-request-type counts
+    x11.round_trips                      waits on a server reply
+    tk.cache.hits{kind=color}            resource-cache effectiveness
+    tcl.compile.hits                     compile-once cache
+    send.wait_ms                         histogram of send round trips
+
+A registry can *mount* other registries: a Tk application mounts the
+(shared) X server's registry so ``obs metrics`` shows the whole stack
+in one view, while each component keeps writing to its own counters.
+Metric handles are plain objects with a ``value`` attribute, so the
+hot paths (one increment per X request or Tcl command) cost a single
+attribute store — the registry is only consulted to create or read
+metrics, never to update them.
+
+Histograms bucket *virtual-time* durations: the simulator's clock
+advances one millisecond per server request, so bucket boundaries are
+in virtual milliseconds and runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Default virtual-millisecond bucket boundaries for histograms.
+DEFAULT_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000)
+
+
+def metric_key(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    """The canonical string key: ``name`` or ``name{k=v,...}``."""
+    if not labels:
+        return name
+    return "%s{%s}" % (name, ",".join("%s=%s" % pair for pair in labels))
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    Hot paths hold the handle and do ``counter.value += 1`` directly.
+    """
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, cache sizes)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """A distribution over virtual-time buckets.
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; the final slot
+    counts overflows.  ``value`` is the observation count, so mixed
+    metric listings can show histograms alongside counters.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "total")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...],
+                 buckets: Tuple[int, ...] = DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(buckets)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+
+    @property
+    def value(self) -> int:
+        return sum(self.counts)
+
+    def observe(self, value) -> None:
+        self.total += value
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[position] += 1
+                return
+        self.counts[-1] += 1
+
+    def snapshot(self):
+        buckets = {"<=%d" % bound: count
+                   for bound, count in zip(self.bounds, self.counts)
+                   if count}
+        overflow = self.counts[-1]
+        if overflow:
+            buckets[">%d" % self.bounds[-1]] = overflow
+        return {"count": self.value, "sum": self.total,
+                "buckets": buckets}
+
+
+def _label_tuple(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((key, str(value))
+                        for key, value in labels.items()))
+
+
+class MetricsRegistry:
+    """All metrics of one component, plus read-through mounts.
+
+    ``counter``/``gauge``/``histogram`` get-or-create handles; reads
+    (``value``, ``total``, ``snapshot``) see this registry's metrics
+    *and* every mounted registry's, which is how a Tk application
+    presents server-wide ``x11.*`` metrics next to its own ``tk.*``
+    and ``tcl.*`` ones.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+        self._mounts: List["MetricsRegistry"] = []
+
+    # -- creation ------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, _label_tuple(labels))
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, _label_tuple(labels))
+
+    def histogram(self, name: str,
+                  buckets: Tuple[int, ...] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        key = metric_key(name, _label_tuple(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Histogram(name, _label_tuple(labels), buckets)
+            self._metrics[key] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError('metric "%s" is a %s, not a histogram'
+                            % (key, metric.kind))
+        return metric
+
+    def _get_or_create(self, factory, name: str,
+                       labels: Tuple[Tuple[str, str], ...]):
+        key = metric_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory(name, labels)
+            self._metrics[key] = metric
+        elif type(metric) is not factory:
+            raise TypeError('metric "%s" is a %s, not a %s'
+                            % (key, metric.kind, factory.kind))
+        return metric
+
+    # -- composition ---------------------------------------------------
+
+    def mount(self, registry: "MetricsRegistry") -> None:
+        """Include another registry's metrics in every read."""
+        if registry is not self and registry not in self._mounts:
+            self._mounts.append(registry)
+
+    def absorb(self, other: "MetricsRegistry") -> None:
+        """Adopt another registry's metric *objects*.
+
+        Used when a component built before its application is rebound
+        to the application's hub: existing handles keep counting into
+        the very same objects, now visible here.
+        """
+        for key, metric in other._metrics.items():
+            self._metrics.setdefault(key, metric)
+        for mounted in other._mounts:
+            self.mount(mounted)
+
+    # -- reads ---------------------------------------------------------
+
+    def _all(self) -> Dict[str, object]:
+        merged: Dict[str, object] = {}
+        for mounted in self._mounts:
+            merged.update(mounted._all())
+        merged.update(self._metrics)
+        return merged
+
+    def get(self, name: str, **labels):
+        key = metric_key(name, _label_tuple(labels))
+        metric = self._metrics.get(key)
+        if metric is not None:
+            return metric
+        for mounted in self._mounts:
+            metric = mounted.get(name, **labels)
+            if metric is not None:
+                return metric
+        return None
+
+    def value(self, name: str, **labels):
+        """The current value of one metric (0 when absent)."""
+        metric = self.get(name, **labels)
+        return metric.value if metric is not None else 0
+
+    def total(self, name: str):
+        """Sum of ``value`` across every label combination of a name."""
+        return sum(metric.value for metric in self._all().values()
+                   if metric.name == name)
+
+    def names(self) -> List[str]:
+        return sorted(self._all())
+
+    def snapshot(self) -> Dict[str, object]:
+        """``{key: scalar-or-histogram-dict}`` over all metrics."""
+        return {key: metric.snapshot()
+                for key, metric in sorted(self._all().items())}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def format(self, pattern: Optional[str] = None) -> str:
+        """Human-readable ``name value`` lines, optionally filtered."""
+        from ..tcl.strings import glob_match
+        lines = []
+        for key, metric in sorted(self._all().items()):
+            if pattern is not None and not glob_match(pattern, key):
+                continue
+            if isinstance(metric, Histogram):
+                lines.append("%-44s count=%d sum=%d"
+                             % (key, metric.value, metric.total))
+            else:
+                lines.append("%-44s %s" % (key, metric.value))
+        return "\n".join(lines)
+
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS", "metric_key"]

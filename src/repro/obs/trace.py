@@ -1,0 +1,247 @@
+"""The span tracer: causal traces across the whole toolkit stack.
+
+A *span* is one timed unit of work — a script evaluation, a command
+invocation, a binding fire, an event dispatch, a ``send`` RPC — linked
+to its parent so a button click reads as a tree::
+
+    event ButtonPress [.b] 3ms
+      binding <ButtonPress-1> [.b] 3ms
+        eval {doClick} 3ms
+          proc doClick 3ms
+            cmd .b 2ms  x11: change_window_attributes=1 ...
+
+Durations are *virtual* milliseconds from the simulated server clock
+(one request ≈ one tick), so traces are deterministic and comparable
+run to run.  Finished spans live in a bounded ring buffer.
+
+X-request attribution works like a context propagation layer: started
+tracers register in the module-level ``_ACTIVE`` list, and the server's
+``_tick``/``round_trip`` hot paths check ``if _ACTIVE:`` — a single
+falsy test when no one is tracing — before attributing the request to
+whichever span is open on each active tracer.  *Wire mode* additionally
+records every request server-wide (named tick, originating widget) in
+the spirit of ``xmon``, even between spans.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+#: Tracers currently started; consulted by the X server's hot paths.
+_ACTIVE: List["Tracer"] = []
+
+#: Default capacity of the finished-span ring buffer.
+SPAN_RING = 4096
+
+#: Default capacity of the wire-log ring buffer.
+WIRE_RING = 8192
+
+
+class Span:
+    """One timed, attributed unit of work."""
+
+    __slots__ = ("id", "kind", "name", "widget", "parent_id",
+                 "start", "end", "requests", "round_trips")
+
+    def __init__(self, span_id: int, kind: str, name: str,
+                 widget: Optional[str], parent_id: Optional[int],
+                 start: int):
+        self.id = span_id
+        self.kind = kind
+        self.name = name
+        self.widget = widget
+        self.parent_id = parent_id
+        self.start = start
+        self.end = start
+        self.requests: Dict[str, int] = {}
+        self.round_trips = 0
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        entry = {"id": self.id, "kind": self.kind, "name": self.name,
+                 "parent": self.parent_id, "start_ms": self.start,
+                 "end_ms": self.end, "duration_ms": self.duration}
+        if self.widget:
+            entry["widget"] = self.widget
+        if self.requests:
+            entry["requests"] = dict(sorted(self.requests.items()))
+        if self.round_trips:
+            entry["round_trips"] = self.round_trips
+        return entry
+
+
+class Tracer:
+    """Collects spans (and optionally the raw X wire) while started.
+
+    ``begin``/``finish`` bracket a unit of work; the open-span stack
+    provides parent links and request attribution.  The tracer is a
+    no-op unless ``enabled`` — callers on hot paths are expected to
+    guard with ``if tracer is not None and tracer.enabled:`` so the
+    disabled cost is one attribute test.
+    """
+
+    def __init__(self, clock: Callable[[], int],
+                 max_spans: int = SPAN_RING,
+                 max_wire: int = WIRE_RING):
+        self.clock = clock
+        self.enabled = False
+        self.wire = False
+        self.spans: deque = deque(maxlen=max_spans)
+        self.wire_log: deque = deque(maxlen=max_wire)
+        self._stack: List[Span] = []
+        self._next_id = 1
+        #: called with the new enabled state on every start/stop, so
+        #: instrumented hot paths (the interpreter's command loop) can
+        #: keep a precomputed local flag instead of re-reading
+        #: ``tracer.enabled`` on every invocation
+        self.listeners: List[Callable[[bool], None]] = []
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self, wire: bool = False) -> None:
+        self.enabled = True
+        self.wire = wire
+        if self not in _ACTIVE:
+            _ACTIVE.append(self)
+        for listener in self.listeners:
+            listener(True)
+
+    def stop(self) -> None:
+        self.enabled = False
+        self.wire = False
+        # Abandon any open spans: a stop inside a handler must not
+        # leave dangling parents for the next start.
+        self._stack = []
+        if self in _ACTIVE:
+            _ACTIVE.remove(self)
+        for listener in self.listeners:
+            listener(False)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.wire_log.clear()
+        self._stack = []
+        self._next_id = 1
+
+    # -- span API ------------------------------------------------------
+
+    def begin(self, kind: str, name: str,
+              widget: Optional[str] = None) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        if widget is None and parent is not None:
+            widget = parent.widget
+        span = Span(self._next_id, kind, name, widget,
+                    parent.id if parent else None, self.clock())
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span) -> None:
+        span.end = self.clock()
+        # Pop through in case an exception skipped inner finishes.
+        while self._stack:
+            popped = self._stack.pop()
+            if popped is span:
+                break
+        # A span still open when the tracer stopped (e.g. the very
+        # `obs trace stop` invocation) is dropped, not half-recorded.
+        if self.enabled:
+            self.spans.append(span)
+
+    # -- server-side attribution (called via _ACTIVE) ------------------
+
+    def record_request(self, name: str) -> None:
+        if self._stack:
+            span = self._stack[-1]
+            span.requests[name] = span.requests.get(name, 0) + 1
+            widget = span.widget
+        else:
+            widget = None
+        if self.wire:
+            self.wire_log.append((self.clock(), name, widget))
+
+    def record_round_trip(self) -> None:
+        if self._stack:
+            self._stack[-1].round_trips += 1
+
+    # -- output --------------------------------------------------------
+
+    def tree(self) -> List[Dict[str, object]]:
+        """Finished spans as nested dicts (roots in start order)."""
+        nodes = {}
+        roots = []
+        for span in self.spans:
+            node = span.to_dict()
+            node["children"] = []
+            nodes[span.id] = node
+        for span in self.spans:
+            node = nodes[span.id]
+            parent = nodes.get(span.parent_id)
+            if parent is not None:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        return roots
+
+    def format_tree(self) -> str:
+        """The span tree as indented text (``obs trace dump``)."""
+        lines = []
+        total_requests = sum(sum(span.requests.values())
+                             for span in self.spans)
+        total_round_trips = sum(span.round_trips for span in self.spans)
+        lines.append("TRACE: %d spans, %d x11 requests, %d round trips"
+                     % (len(self.spans), total_requests,
+                        total_round_trips))
+
+        def emit(node, depth):
+            pad = "  " * depth
+            widget = " [%s]" % node["widget"] if node.get("widget") else ""
+            head = "%s%s %s%s %dms" % (pad, node["kind"], node["name"],
+                                       widget, node["duration_ms"])
+            if node.get("round_trips"):
+                head += " %d-rt" % node["round_trips"]
+            lines.append(head)
+            if node.get("requests"):
+                lines.append("%s  x11: %s" % (pad, " ".join(
+                    "%s=%d" % item
+                    for item in sorted(node["requests"].items()))))
+            for child in node["children"]:
+                emit(child, depth + 1)
+
+        for root in self.tree():
+            emit(root, 1)
+        return "\n".join(lines)
+
+    def format_wire(self) -> str:
+        """The wire log as ``tick  request  widget`` lines."""
+        lines = ["WIRE: %d requests" % len(self.wire_log)]
+        for tick, name, widget in self.wire_log:
+            lines.append("%8d  %-28s %s" % (tick, name, widget or "-"))
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spans": [span.to_dict() for span in self.spans],
+            "wire": [{"tick": tick, "request": name, "widget": widget}
+                     for tick, name, widget in self.wire_log],
+        }
+
+
+def record_request(name: str) -> None:
+    """Attribute one named X request to every active tracer."""
+    for tracer in _ACTIVE:
+        tracer.record_request(name)
+
+
+def record_round_trip() -> None:
+    """Attribute one server round trip to every active tracer."""
+    for tracer in _ACTIVE:
+        tracer.record_round_trip()
+
+
+__all__ = ["Span", "Tracer", "record_request", "record_round_trip",
+           "_ACTIVE", "SPAN_RING", "WIRE_RING"]

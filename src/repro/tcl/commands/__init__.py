@@ -8,12 +8,12 @@ application can delete or rename any of them.
 
 from __future__ import annotations
 
-from . import (control, fileio, info, io, listcmds, regexpcmds, strings,
-               tracecmd, variables)
+from . import (control, fileio, info, io, listcmds, obscmd, regexpcmds,
+               strings, tracecmd, variables)
 
 
 def register_builtins(interp) -> None:
     """Register every built-in command in ``interp``."""
     for module in (control, variables, strings, listcmds, info, io,
-                   fileio, regexpcmds, tracecmd):
+                   fileio, regexpcmds, tracecmd, obscmd):
         module.register(interp)

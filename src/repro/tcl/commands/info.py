@@ -96,10 +96,25 @@ def cmd_info(interp, argv: List[str]) -> str:
             raise _wrong_args("info compilecache")
         return format_list(["hits", str(interp.compile_hits),
                             "misses", str(interp.compile_misses)])
+    if option == "metrics":
+        # Every metric the interpreter's observability hub can see, as
+        # a flat name/value list (histograms report their observation
+        # count).  ``info metrics ?pattern?`` filters glob-style.
+        if len(argv) > 3:
+            raise _wrong_args("info metrics ?pattern?")
+        from ..strings import glob_match
+        pattern = argv[2] if len(argv) == 3 else None
+        pairs: List[str] = []
+        for key, metric in sorted(interp.obs.metrics._all().items()):
+            if pattern is not None and not glob_match(pattern, key):
+                continue
+            pairs.append(key)
+            pairs.append(str(metric.value))
+        return format_list(pairs)
     raise TclError(
         'bad option "%s": should be args, body, cmdcount, commands, '
-        'compilecache, default, exists, globals, level, locals, procs, '
-        'tclversion, or vars'
+        'compilecache, default, exists, globals, level, locals, '
+        'metrics, procs, tclversion, or vars'
         % option)
 
 

@@ -1,0 +1,122 @@
+"""The ``obs`` command: observability from inside the interpreter.
+
+In Tk's spirit of exposing the toolkit's internals to scripts, the
+metrics registry, span tracer, and profiler of the interpreter's
+:class:`repro.obs.Observability` hub (application-wide once a
+:class:`~repro.tk.TkApp` has rebound the interpreter) are driven from
+Tcl::
+
+    obs metrics ?pattern?              formatted metric listing
+    obs trace start ?-wire?            begin collecting spans
+    obs trace stop                     stop collecting
+    obs trace clear                    discard collected spans
+    obs trace dump ?-format text|json? the span tree
+    obs trace wire                     the wire log (every X request)
+    obs profile report ?-limit n?      aggregated span attribution
+    obs dump ?-format json?            metrics+trace+profile as JSON
+
+``info metrics`` returns the same data as ``obs metrics`` but as a
+flat name/value Tcl list for scripting, mirroring ``info
+compilecache``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from ..errors import TclError
+
+
+def cmd_obs(interp, argv: List[str]) -> str:
+    if len(argv) < 2:
+        raise TclError(
+            'wrong # args: should be "obs option ?arg ...?"')
+    option = argv[1]
+    obs = interp.obs
+    if option == "metrics":
+        if len(argv) > 3:
+            raise TclError(
+                'wrong # args: should be "obs metrics ?pattern?"')
+        pattern = argv[2] if len(argv) == 3 else None
+        return obs.metrics.format(pattern)
+    if option == "trace":
+        return _trace(obs, argv)
+    if option == "profile":
+        return _profile(obs, argv)
+    if option == "dump":
+        fmt = _format_flag(argv, 2, default="json")
+        if fmt != "json":
+            raise TclError('bad format "%s": should be json' % fmt)
+        return obs.dump_json()
+    raise TclError(
+        'bad option "%s": should be dump, metrics, profile, or trace'
+        % option)
+
+
+def _trace(obs, argv: List[str]) -> str:
+    if len(argv) < 3:
+        raise TclError(
+            'wrong # args: should be "obs trace option ?arg ...?"')
+    action = argv[2]
+    tracer = obs.tracer
+    if action == "start":
+        wire = False
+        for word in argv[3:]:
+            if word == "-wire":
+                wire = True
+            else:
+                raise TclError('bad switch "%s": must be -wire' % word)
+        tracer.start(wire=wire)
+        return ""
+    if action == "stop":
+        tracer.stop()
+        return ""
+    if action == "clear":
+        tracer.clear()
+        return ""
+    if action == "dump":
+        fmt = _format_flag(argv, 3, default="text")
+        if fmt == "text":
+            return tracer.format_tree()
+        if fmt == "json":
+            return json.dumps(tracer.to_dict(), indent=2,
+                              sort_keys=True)
+        raise TclError('bad format "%s": should be text or json' % fmt)
+    if action == "wire":
+        return tracer.format_wire()
+    raise TclError(
+        'bad option "%s": should be clear, dump, start, stop, or wire'
+        % action)
+
+
+def _profile(obs, argv: List[str]) -> str:
+    if len(argv) < 3 or argv[2] != "report":
+        raise TclError(
+            'wrong # args: should be "obs profile report ?-limit n?"')
+    limit = 20
+    rest = argv[3:]
+    while rest:
+        if rest[0] == "-limit" and len(rest) >= 2:
+            try:
+                limit = int(rest[1])
+            except ValueError:
+                raise TclError('expected integer but got "%s"' % rest[1])
+            rest = rest[2:]
+        else:
+            raise TclError('bad switch "%s": must be -limit' % rest[0])
+    return obs.profile().report(limit=limit)
+
+
+def _format_flag(argv: List[str], start: int, default: str) -> str:
+    rest = argv[start:]
+    if not rest:
+        return default
+    if len(rest) == 2 and rest[0] == "-format":
+        return rest[1]
+    raise TclError(
+        'bad switch "%s": must be -format' % rest[0])
+
+
+def register(interp) -> None:
+    interp.register("obs", cmd_obs)

@@ -122,12 +122,34 @@ class CompiledCommand:
         self._fast = None
 
     def execute(self, interp) -> str:
+        if interp._trace_on:
+            tracer = interp._tracer
+            argv = self.argv
+            widget = None
+            if argv is not None:
+                if argv[0].startswith("."):
+                    widget = argv[0]
+                elif len(argv) > 1 and argv[1].startswith("."):
+                    widget = argv[1]
+                name = argv[0]
+            else:
+                word = self.words[0]
+                name = word if type(word) is str else \
+                    (self.source.split() or ["?"])[0]
+            span = tracer.begin("cmd", name, widget)
+            try:
+                return self._execute(interp)
+            finally:
+                tracer.finish(span)
+        return self._execute(interp)
+
+    def _execute(self, interp) -> str:
         state = self._cmd_state
         if state is not None and state[1] == interp.commands_epoch and \
                 state[0] is interp:
             fast = self._fast
             if fast is not None:
-                interp.cmd_count += 1
+                interp._m_commands.value += 1
                 try:
                     return fast(interp)
                 except TclError as error:
@@ -163,7 +185,7 @@ class CompiledCommand:
                         fast = special(list(self.argv))
                 self._fast = fast
                 self._cmd_state = (interp, interp.commands_epoch, proc)
-        interp.cmd_count += 1
+        interp._m_commands.value += 1
         try:
             result = proc(interp, argv)
         except TclError as error:

@@ -20,6 +20,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Union
 
 from . import parser
+from ..obs import Observability
 from .compile import CompiledScript, _append_error_info, compile_script
 from .errors import (TclBreak, TclContinue, TclError, TclReturn)
 from .lists import format_list, parse_list
@@ -91,7 +92,9 @@ class Proc:
 class Interp:
     """A Tcl interpreter with its command table and variables."""
 
-    def __init__(self, stdout=None, compile_enabled: bool = True):
+    def __init__(self, stdout=None, compile_enabled: bool = True,
+                 obs: Optional[Observability] = None,
+                 obs_enabled: bool = True):
         self.commands: Dict[str, CommandProc] = {}
         self.global_frame = CallFrame(level=0)
         self.frames: List[CallFrame] = [self.global_frame]
@@ -106,11 +109,30 @@ class Interp:
         self._compile_cache: "OrderedDict[str, CompiledScript]" = \
             OrderedDict()
         self._compile_limit = _COMPILE_CACHE_LIMIT
+        #: Observability hub: metrics + span tracer (``obs`` command).
+        #: A standalone interpreter owns its own; a Tk application
+        #: rebinds it into the application-wide hub (see rebind_obs).
+        #: ``obs_enabled=False`` is the ablation flag for measuring the
+        #: cost of the instrumentation itself: counters still exist
+        #: (they are the storage for cmd_count etc.) but the tracer is
+        #: never consulted on hot paths.
+        self.obs = obs if obs is not None else Observability()
+        self.obs_enabled = obs_enabled
         #: Compile-cache effectiveness counters (``info compilecache``).
-        self.compile_hits = 0
-        self.compile_misses = 0
+        self._m_compile_hits = self.obs.metrics.counter("tcl.compile.hits")
+        self._m_compile_misses = \
+            self.obs.metrics.counter("tcl.compile.misses")
         #: Total commands executed (``info cmdcount``).
-        self.cmd_count = 0
+        self._m_commands = self.obs.metrics.counter("tcl.commands")
+        self._tracer = self.obs.tracer if obs_enabled else None
+        #: Precomputed "is the tracer collecting" flag, maintained by a
+        #: tracer start/stop listener: the command hot path tests one
+        #: boolean whether observability is enabled or ablated, so the
+        #: shipping configuration pays nothing over the ablation.
+        self._trace_on = False
+        if obs_enabled:
+            self.obs.tracer.listeners.append(self._set_trace_on)
+            self._trace_on = self.obs.tracer.enabled
         #: Bumped whenever the command table changes; compiled commands
         #: memoize their resolved command procedure against this, so
         #: ``rename``/redefinition/deletion invalidate instantly.
@@ -126,6 +148,43 @@ class Interp:
         self.deleted = False
         from .commands import register_builtins
         register_builtins(self)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @property
+    def compile_hits(self) -> int:
+        return self._m_compile_hits.value
+
+    @property
+    def compile_misses(self) -> int:
+        return self._m_compile_misses.value
+
+    @property
+    def cmd_count(self) -> int:
+        return self._m_commands.value
+
+    def _set_trace_on(self, enabled: bool) -> None:
+        self._trace_on = enabled
+
+    def rebind_obs(self, obs: Observability) -> None:
+        """Join an application-wide observability hub.
+
+        The hub absorbs this interpreter's metric *objects* — handles
+        cached on hot paths keep counting into the same storage — and
+        the interpreter's spans flow to the hub's tracer (which runs on
+        the application's virtual clock).
+        """
+        obs.metrics.absorb(self.obs.metrics)
+        if self.obs_enabled and \
+                self._set_trace_on in self.obs.tracer.listeners:
+            self.obs.tracer.listeners.remove(self._set_trace_on)
+        self.obs = obs
+        if self.obs_enabled:
+            self._tracer = obs.tracer
+            obs.tracer.listeners.append(self._set_trace_on)
+            self._trace_on = obs.tracer.enabled
 
     # ------------------------------------------------------------------
     # Command registration (Figure 6: "register application commands")
@@ -218,6 +277,18 @@ class Interp:
         unwinds to here, where the accumulated trace is stored in the
         global ``errorInfo`` variable before the error is re-raised.
         """
+        if self._trace_on:
+            tracer = self._tracer
+            source = script.source \
+                if isinstance(script, CompiledScript) else script
+            span = tracer.begin("eval", _span_name(source))
+            try:
+                return self.eval(script)
+            except TclError as error:
+                self.set_global_var("errorInfo", _error_info(error))
+                raise
+            finally:
+                tracer.finish(span)
         try:
             return self.eval(script)
         except TclError as error:
@@ -270,10 +341,10 @@ class Interp:
         cache = self._compile_cache
         compiled = cache.get(script)
         if compiled is not None:
-            self.compile_hits += 1
+            self._m_compile_hits.value += 1
             cache.move_to_end(script)
             return compiled
-        self.compile_misses += 1
+        self._m_compile_misses.value += 1
         compiled = compile_script(script)
         if len(cache) >= self._compile_limit:
             cache.popitem(last=False)
@@ -285,14 +356,24 @@ class Interp:
         return self._invoke(argv, command.source)
 
     def _invoke(self, argv: List[str], source: str) -> str:
+        if self._trace_on:
+            tracer = self._tracer
+            span = tracer.begin("cmd", argv[0], _span_widget(argv))
+            try:
+                return self._invoke_untraced(argv, source)
+            finally:
+                tracer.finish(span)
+        return self._invoke_untraced(argv, source)
+
+    def _invoke_untraced(self, argv: List[str], source: str) -> str:
         proc = self.commands.get(argv[0])
         if proc is None:
             unknown = self.commands.get("unknown")
             if unknown is not None:
-                self.cmd_count += 1
+                self._m_commands.value += 1
                 return unknown(self, ["unknown"] + argv) or ""
             raise TclError('invalid command name "%s"' % argv[0])
-        self.cmd_count += 1
+        self._m_commands.value += 1
         try:
             result = proc(self, argv)
         except TclError as error:
@@ -451,6 +532,16 @@ class Interp:
         self.commands_epoch += 1
 
     def call_proc(self, proc: Proc, argv: List[str]) -> str:
+        if self._trace_on:
+            tracer = self._tracer
+            span = tracer.begin("proc", proc.name)
+            try:
+                return self._call_proc(proc, argv)
+            finally:
+                tracer.finish(span)
+        return self._call_proc(proc, argv)
+
+    def _call_proc(self, proc: Proc, argv: List[str]) -> str:
         body: Union[str, CompiledScript] = proc.body
         if self.compile_enabled:
             compiled = proc.compiled
@@ -534,6 +625,28 @@ class Interp:
 
 def _display_name(name: str, index: Optional[str]) -> str:
     return "%s(%s)" % (name, index) if index is not None else name
+
+
+def _span_name(source: str, limit: int = 48) -> str:
+    """A script condensed to one short line for span labels."""
+    name = " ".join(source.split())
+    if len(name) > limit:
+        name = name[:limit - 3] + "..."
+    return name
+
+
+def _span_widget(argv: List[str]) -> Optional[str]:
+    """Best-effort widget attribution for a command invocation.
+
+    Widget commands are named after their window path (``.b configure
+    ...``); creation commands take the path as the first argument
+    (``button .b ...``).
+    """
+    if argv[0].startswith("."):
+        return argv[0]
+    if len(argv) > 1 and argv[1].startswith("."):
+        return argv[1]
+    return None
 
 
 def _error_info(error: TclError) -> str:

@@ -196,6 +196,16 @@ class TkApp:
         self.server = server
         self.display = Display(server)
         self.interp = interp if interp is not None else Interp()
+        # Application-wide observability hub on the server's virtual
+        # clock.  The server's registry is *mounted* (x11.* metrics are
+        # server-wide — the server may be shared between applications);
+        # the interpreter's registry is *absorbed* so one `obs dump`
+        # covers x11 + tk + tcl.
+        from ..obs import Observability
+        self.obs = Observability(clock=lambda: server.time_ms)
+        self.obs.metrics.mount(server.obs.metrics)
+        self.interp.rebind_obs(self.obs)
+        self._m_events = self.obs.metrics.counter("tk.events.dispatched")
         # An X protocol error surfacing inside a Tcl command becomes an
         # ordinary TclError: scripts can catch it, bgerror can report
         # it, and the event loop survives it.
@@ -203,7 +213,8 @@ class TkApp:
         if XProtocolError not in self.interp.native_error_types:
             self.interp.native_error_types = \
                 self.interp.native_error_types + (XProtocolError,)
-        self.cache = ResourceCache(self.display, enabled=cache_enabled)
+        self.cache = ResourceCache(self.display, enabled=cache_enabled,
+                                   metrics=self.obs.metrics)
         self.options = OptionDatabase()
         self.bindings = BindingTable(self.interp)
         self.dispatcher = EventDispatcher(self)
@@ -305,7 +316,16 @@ class TkApp:
             # Focus management (section 3.7): all keystrokes in any
             # window of the application go to the focus window.
             window = self.focus_window
-        window.handle_event(event)
+        self._m_events.value += 1
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            span = tracer.begin("event", event.name, window.path)
+            try:
+                window.handle_event(event)
+            finally:
+                tracer.finish(span)
+        else:
+            window.handle_event(event)
 
     def set_focus(self, window: Optional[TkWindow]) -> None:
         self.focus_window = window
@@ -406,6 +426,9 @@ class TkApp:
         if self.destroyed:
             return
         self.destroyed = True
+        # Deregister the tracer from the active set; its collected
+        # spans stay readable for post-mortem dumps.
+        self.obs.tracer.stop()
         if not self.main.destroyed:
             self.main.destroy()
         self.sender.unregister()

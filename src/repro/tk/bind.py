@@ -289,12 +289,23 @@ class BindingTable:
                 best, best_key = binding, key
         if best is None:
             return False
-        if best.compiled is not None:
-            self.interp.eval_background(best.compiled)
+        if self.interp._trace_on:
+            tracer = self.interp._tracer
+            span = tracer.begin("binding", best.sequence_text, window.path)
+            try:
+                self._fire(best, window, event)
+            finally:
+                tracer.finish(span)
         else:
-            script = substitute_percents(best.script, event, window)
-            self.interp.eval_background(script)
+            self._fire(best, window, event)
         return True
+
+    def _fire(self, binding: "_Binding", window, event) -> None:
+        if binding.compiled is not None:
+            self.interp.eval_background(binding.compiled)
+        else:
+            script = substitute_percents(binding.script, event, window)
+            self.interp.eval_background(script)
 
     def _remember(self, path: str, event) -> deque:
         history = self._history.setdefault(path, deque(maxlen=_HISTORY))

@@ -11,31 +11,53 @@ human-readable form.
 Only the first request for a given name costs a server round trip;
 later requests share the existing resource.  ``enabled=False`` turns
 the cache off for the ablation benchmark.
+
+Effectiveness is recorded per resource type in the metrics registry:
+``tk.cache.hits{kind=color|font|cursor|bitmap|gc}`` and matching
+``tk.cache.misses``.  A *miss* is a successful allocation the cache
+could not serve; a request whose allocation fails (unknown color name,
+bad font) raises :class:`CacheError` and counts as
+``tk.cache.errors{kind=...}``, not as a miss — a failed lookup says
+nothing about cache effectiveness.  The legacy ``hits``/``misses``
+integers are read-only sums across kinds.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from ..obs import MetricsRegistry
 from ..x11.display import Display
 from ..x11.resources import Bitmap, Color, Cursor, Font, GraphicsContext
 from ..x11.xserver import XProtocolError
+
+#: Resource kinds the cache tracks, in reporting order.
+KINDS = ("color", "font", "cursor", "bitmap", "gc")
 
 
 class ResourceCache:
     """Client-side cache of colors, fonts, cursors, bitmaps, and GCs."""
 
-    def __init__(self, display: Display, enabled: bool = True):
+    def __init__(self, display: Display, enabled: bool = True,
+                 metrics: Optional[MetricsRegistry] = None):
         self.display = display
         self.enabled = enabled
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_hits = {kind: self.metrics.counter("tk.cache.hits",
+                                                   kind=kind)
+                        for kind in KINDS}
+        self._m_misses = {kind: self.metrics.counter("tk.cache.misses",
+                                                     kind=kind)
+                          for kind in KINDS}
+        self._m_errors = {kind: self.metrics.counter("tk.cache.errors",
+                                                     kind=kind)
+                          for kind in KINDS}
         self._colors: Dict[str, Color] = {}
         self._fonts: Dict[str, Font] = {}
         self._cursors: Dict[str, Cursor] = {}
         self._bitmaps: Dict[str, Bitmap] = {}
         self._gcs: Dict[Tuple, GraphicsContext] = {}
         self._names: Dict[int, str] = {}
-        self.hits = 0
-        self.misses = 0
 
     # -- colors ----------------------------------------------------------
 
@@ -44,13 +66,14 @@ class ResourceCache:
         if self.enabled:
             cached = self._colors.get(name)
             if cached is not None:
-                self.hits += 1
+                self._m_hits["color"].value += 1
                 return cached
-        self.misses += 1
         try:
             color = self.display.alloc_named_color(name)
         except XProtocolError:
+            self._m_errors["color"].value += 1
             raise CacheError('unknown color name "%s"' % name)
+        self._m_misses["color"].value += 1
         if self.enabled:
             self._colors[name] = color
         self._names[color.pixel] = name
@@ -65,13 +88,14 @@ class ResourceCache:
         if self.enabled:
             cached = self._fonts.get(name)
             if cached is not None:
-                self.hits += 1
+                self._m_hits["font"].value += 1
                 return cached
-        self.misses += 1
         try:
             font = self.display.load_font(name)
         except XProtocolError:
+            self._m_errors["font"].value += 1
             raise CacheError('font "%s" doesn\'t exist' % name)
+        self._m_misses["font"].value += 1
         if self.enabled:
             self._fonts[name] = font
         self._names[font.fid] = name
@@ -83,13 +107,14 @@ class ResourceCache:
         if self.enabled:
             cached = self._cursors.get(name)
             if cached is not None:
-                self.hits += 1
+                self._m_hits["cursor"].value += 1
                 return cached
-        self.misses += 1
         try:
             cursor = self.display.create_cursor(name)
         except XProtocolError:
+            self._m_errors["cursor"].value += 1
             raise CacheError('bad cursor spec "%s"' % name)
+        self._m_misses["cursor"].value += 1
         if self.enabled:
             self._cursors[name] = cursor
         self._names[cursor.cid] = name
@@ -102,17 +127,22 @@ class ResourceCache:
         if self.enabled:
             cached = self._bitmaps.get(name)
             if cached is not None:
-                self.hits += 1
+                self._m_hits["bitmap"].value += 1
                 return cached
-        self.misses += 1
         if name.startswith("@"):
-            width, height = _read_bitmap_file(name[1:])
+            try:
+                width, height = _read_bitmap_file(name[1:])
+            except CacheError:
+                self._m_errors["bitmap"].value += 1
+                raise
             bitmap = self.display.create_bitmap(name, width, height)
         else:
             try:
                 bitmap = self.display.create_bitmap(name)
             except XProtocolError:
+                self._m_errors["bitmap"].value += 1
                 raise CacheError('bitmap "%s" not defined' % name)
+        self._m_misses["bitmap"].value += 1
         if self.enabled:
             self._bitmaps[name] = bitmap
         self._names[bitmap.bid] = name
@@ -126,10 +156,10 @@ class ResourceCache:
         if self.enabled:
             cached = self._gcs.get(key)
             if cached is not None:
-                self.hits += 1
+                self._m_hits["gc"].value += 1
                 return cached
-        self.misses += 1
         gc = self.display.create_gc(**values)
+        self._m_misses["gc"].value += 1
         if self.enabled:
             self._gcs[key] = gc
         return gc
@@ -140,8 +170,29 @@ class ResourceCache:
         """The textual name a resource was allocated under, if any."""
         return self._names.get(resource_id)
 
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return sum(counter.value for counter in self._m_hits.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(counter.value for counter in self._m_misses.values())
+
+    @property
+    def errors(self) -> int:
+        return sum(counter.value for counter in self._m_errors.values())
+
     def stats(self) -> Tuple[int, int]:
         return (self.hits, self.misses)
+
+    def stats_by_kind(self) -> Dict[str, Tuple[int, int, int]]:
+        """``{kind: (hits, misses, errors)}`` for every resource kind."""
+        return {kind: (self._m_hits[kind].value,
+                       self._m_misses[kind].value,
+                       self._m_errors[kind].value)
+                for kind in KINDS}
 
 
 class CacheError(Exception):

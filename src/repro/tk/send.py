@@ -73,6 +73,11 @@ class SendManager:
         self.name = self._register(requested_name)
         #: serial -> (code, result, error_info) for completed sends
         self._results: Dict[int, tuple] = {}
+        metrics = app.obs.metrics
+        self._m_rpcs = metrics.counter("send.rpcs")
+        self._m_errors = metrics.counter("send.errors")
+        #: virtual-ms spent per send (round trips dominate send cost)
+        self._m_wait = metrics.histogram("send.wait_ms")
         #: depth of nested _wait_for_result calls (reentrant sends)
         self._waiting = 0
 
@@ -176,6 +181,23 @@ class SendManager:
         With ``wait`` false (``send -async``), the request is delivered
         but no reply is requested and the call returns immediately.
         """
+        self._m_rpcs.value += 1
+        start_ms = self.app.server.time_ms
+        tracer = self.app.obs.tracer
+        span = tracer.begin("send", target_name) if tracer.enabled \
+            else None
+        try:
+            return self._send(target_name, script, wait)
+        except TclError:
+            self._m_errors.value += 1
+            raise
+        finally:
+            self._m_wait.observe(self.app.server.time_ms - start_ms)
+            if span is not None:
+                tracer.finish(span)
+
+    def _send(self, target_name: str, script: str,
+              wait: bool = True) -> str:
         registry = self._scrubbed_registry()
         target_window = registry.get(target_name)
         if target_window is None:

@@ -1,0 +1,7 @@
+"""``python -m repro.wish`` — run the windowing shell CLI."""
+
+import sys
+
+from .shell import main
+
+sys.exit(main())

@@ -72,10 +72,19 @@ class Wish:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Command-line entry point: ``wish -f script ?args?``."""
+    """Command-line entry point:
+    ``wish ?-f script? ?-name name? ?--trace? ?--metrics-out file? ?args?``.
+
+    ``--trace`` starts the span tracer (wire mode) before the script
+    runs and prints the span tree to stderr on exit; ``--metrics-out
+    FILE`` writes the full observability dump (metrics + trace +
+    profile) as JSON when the shell exits.
+    """
     argv = list(sys.argv[1:] if argv is None else argv)
     script_file = None
     name = "wish"
+    trace = False
+    metrics_out = None
     while argv:
         if argv[0] == "-f" and len(argv) > 1:
             script_file = argv[1]
@@ -83,9 +92,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif argv[0] == "-name" and len(argv) > 1:
             name = argv[1]
             argv = argv[2:]
+        elif argv[0] == "--trace":
+            trace = True
+            argv = argv[1:]
+        elif argv[0] == "--metrics-out" and len(argv) > 1:
+            metrics_out = argv[1]
+            argv = argv[2:]
         else:
             break
     shell = Wish(name=name, argv=argv)
+    obs = shell.app.obs
+    if trace or metrics_out is not None:
+        obs.tracer.start(wire=trace)
     try:
         if script_file is not None:
             shell.run_file(script_file)
@@ -95,6 +113,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except TclError as error:
         sys.stderr.write("Error: %s\n" % error.message)
         return 1
+    finally:
+        obs.tracer.stop()
+        if trace:
+            sys.stderr.write(obs.tracer.format_tree() + "\n")
+        if metrics_out is not None:
+            with open(metrics_out, "w") as handle:
+                handle.write(obs.dump_json() + "\n")
     return 0
 
 

@@ -125,6 +125,8 @@ class FaultPlan:
         self._held: List[tuple] = []
         self._held_seq = 0
         self._busy = False        # reentrancy guard while firing a fault
+        #: per-type x11.faults counters once bound to a metrics registry
+        self._metric_counters: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -142,8 +144,23 @@ class FaultPlan:
         return (self.max_faults is not None and
                 self.total_injected >= self.max_faults)
 
+    def bind_metrics(self, registry) -> None:
+        """Mirror injections as ``x11.faults{type=...}`` counters.
+
+        Called by :meth:`XServer.install_fault_plan`; counters are
+        seeded from any injections recorded before binding, so a plan
+        reused across servers stays consistent with ``counters``.
+        """
+        self._metric_counters = {}
+        for kind in FAULT_TYPES:
+            counter = registry.counter("x11.faults", type=kind)
+            counter.value = self.counters[kind]
+            self._metric_counters[kind] = counter
+
     def _record(self, kind: str, detail: str) -> None:
         self.counters[kind] += 1
+        if self._metric_counters is not None:
+            self._metric_counters[kind].value += 1
         self.log.append((self._request_index, kind, detail))
 
     # ------------------------------------------------------------------

@@ -12,6 +12,14 @@ Round-trip accounting: every request that would require the client to
 wait for a server reply calls :meth:`XServer.round_trip`.  Tk's
 resource caches (section 3.3) exist to avoid those waits; the counter
 makes their effect measurable (see benchmarks/test_ablation_cache.py).
+
+Observability: each server owns a :class:`repro.obs.Observability` hub
+on its virtual clock.  ``_tick`` counts every named request as
+``x11.requests{type=name}`` and ``round_trip`` as ``x11.round_trips``;
+both also feed any active span tracer, which is how a trace attributes
+wire traffic to the widget and script that caused it.  The legacy
+``requests``/``round_trips`` integers are now read-only views of those
+metrics.
 """
 
 from __future__ import annotations
@@ -19,6 +27,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import Observability
+from ..obs import trace as _trace
 from .atoms import AtomTable
 from .events import (ALWAYS_DELIVERED, BUTTON_PRESS, BUTTON_RELEASE,
                      CONFIGURE_NOTIFY, DESTROY_NOTIFY, ENTER_NOTIFY, EXPOSE,
@@ -71,9 +81,12 @@ class XServer:
         self.resources: Dict[int, object] = {}
         self._next_resource_id = 0x100
         self.clients: List[Client] = []
-        self.round_trips = 0
-        self.requests = 0
         self.time_ms = 0
+        self.obs = Observability(clock=lambda: self.time_ms)
+        self._m_round_trips = self.obs.metrics.counter("x11.round_trips")
+        #: per-request-type Counter handles, keyed by request name, so
+        #: the _tick hot path does one dict probe + one attribute store
+        self._request_counters: Dict[str, object] = {}
         self.root = Window(self._new_id(), None, 0, 0, width, height)
         self.root.mapped = True
         self.resources[self.root.id] = self.root
@@ -123,6 +136,7 @@ class XServer:
     def install_fault_plan(self, plan) -> "FaultPlan":
         """Attach a :class:`~repro.x11.faults.FaultPlan` to this server."""
         self.fault_plan = plan
+        plan.bind_metrics(self.obs.metrics)
         return plan
 
     def clear_fault_plan(self) -> None:
@@ -134,7 +148,13 @@ class XServer:
 
     def _tick(self, name: str = "request") -> int:
         self.time_ms += 1
-        self.requests += 1
+        counter = self._request_counters.get(name)
+        if counter is None:
+            counter = self._request_counters[name] = \
+                self.obs.metrics.counter("x11.requests", type=name)
+        counter.value += 1
+        if _trace._ACTIVE:
+            _trace.record_request(name)
         plan = self.fault_plan
         if plan is not None:
             plan.on_request(self, name)
@@ -154,7 +174,19 @@ class XServer:
 
     def round_trip(self) -> None:
         """Record that a request required a reply from the server."""
-        self.round_trips += 1
+        self._m_round_trips.value += 1
+        if _trace._ACTIVE:
+            _trace.record_round_trip()
+
+    @property
+    def round_trips(self) -> int:
+        """Total requests that waited for a reply (``x11.round_trips``)."""
+        return self._m_round_trips.value
+
+    @property
+    def requests(self) -> int:
+        """Total requests of every type (sum of ``x11.requests``)."""
+        return self.obs.metrics.total("x11.requests")
 
     def window(self, wid: int) -> Window:
         resource = self.resources.get(wid)

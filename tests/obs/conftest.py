@@ -1,0 +1,29 @@
+import io
+
+import pytest
+
+from repro.tk import TkApp
+from repro.x11 import XServer
+
+
+@pytest.fixture
+def server():
+    return XServer()
+
+
+@pytest.fixture
+def app(server):
+    application = TkApp(server, name="obstest")
+    application.interp.stdout = io.StringIO()
+    yield application
+    application.obs.tracer.stop()
+
+
+def click(server, app, path, button=1):
+    """Press and release a button inside a widget's window."""
+    window = app.window(path)
+    root_x, root_y = window.root_position()
+    server.warp_pointer(root_x + 2, root_y + 2)
+    server.press_button(button)
+    server.release_button(button)
+    app.update()

@@ -1,0 +1,132 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import metric_key
+
+
+class TestCounters:
+    def test_counter_starts_at_zero(self):
+        registry = MetricsRegistry()
+        assert registry.counter("tcl.commands").value == 0
+
+    def test_handles_are_shared(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x11.requests", type="map_window")
+        second = registry.counter("x11.requests", type="map_window")
+        first.value += 3
+        assert second is first
+        assert second.value == 3
+
+    def test_labels_distinguish_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("tk.cache.hits", kind="color").inc(2)
+        registry.counter("tk.cache.hits", kind="font").inc(5)
+        assert registry.value("tk.cache.hits", kind="color") == 2
+        assert registry.value("tk.cache.hits", kind="font") == 5
+
+    def test_total_sums_across_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("x11.requests", type="a").inc(2)
+        registry.counter("x11.requests", type="b").inc(3)
+        registry.counter("x11.round_trips").inc(7)
+        assert registry.total("x11.requests") == 5
+
+    def test_value_of_absent_metric_is_zero(self):
+        assert MetricsRegistry().value("no.such.metric") == 0
+
+    def test_metric_key_format(self):
+        assert metric_key("a.b", ()) == "a.b"
+        assert metric_key("a.b", (("kind", "color"),)) == \
+            "a.b{kind=color}"
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("send.rpcs")
+        with pytest.raises(TypeError):
+            registry.gauge("send.rpcs")
+        with pytest.raises(TypeError):
+            registry.histogram("send.rpcs")
+
+
+class TestGauges:
+    def test_gauge_set(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("tk.windows")
+        gauge.set(12)
+        gauge.set(9)
+        assert registry.value("tk.windows") == 9
+
+
+class TestHistograms:
+    def test_observations_land_in_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("send.wait_ms", buckets=(1, 10))
+        for value in (0, 1, 5, 11, 400):
+            histogram.observe(value)
+        assert histogram.value == 5            # observation count
+        assert histogram.total == 417
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"] == {"<=1": 2, "<=10": 1, ">10": 2}
+
+    def test_histogram_value_in_snapshot(self):
+        registry = MetricsRegistry()
+        registry.histogram("send.wait_ms").observe(3)
+        snapshot = registry.snapshot()
+        assert snapshot["send.wait_ms"]["count"] == 1
+
+
+class TestComposition:
+    def test_mount_reads_through(self):
+        server_side = MetricsRegistry()
+        app_side = MetricsRegistry()
+        app_side.mount(server_side)
+        # Metrics created on the mounted registry AFTER the mount are
+        # visible too — the x11 per-type counters appear lazily.
+        server_side.counter("x11.requests", type="create_window").inc(4)
+        assert app_side.value("x11.requests", type="create_window") == 4
+        assert "x11.requests{type=create_window}" in app_side.names()
+
+    def test_own_metrics_shadow_mounted(self):
+        inner = MetricsRegistry()
+        outer = MetricsRegistry()
+        outer.mount(inner)
+        inner.counter("n").inc(1)
+        outer.counter("n").inc(10)
+        assert outer.value("n") == 10
+
+    def test_absorb_keeps_existing_handles_live(self):
+        component = MetricsRegistry()
+        handle = component.counter("tcl.commands")
+        handle.value += 2
+        hub = MetricsRegistry()
+        hub.absorb(component)
+        handle.value += 3
+        assert hub.value("tcl.commands") == 5
+        assert hub.counter("tcl.commands") is handle
+
+    def test_snapshot_merges_mounts(self):
+        inner = MetricsRegistry()
+        inner.counter("a").inc(1)
+        outer = MetricsRegistry()
+        outer.counter("b").inc(2)
+        outer.mount(inner)
+        assert outer.snapshot() == {"a": 1, "b": 2}
+
+
+class TestOutput:
+    def test_format_filters_by_pattern(self):
+        registry = MetricsRegistry()
+        registry.counter("tk.cache.hits", kind="color").inc(1)
+        registry.counter("x11.round_trips").inc(2)
+        text = registry.format("tk.*")
+        assert "tk.cache.hits{kind=color}" in text
+        assert "x11.round_trips" not in text
+
+    def test_to_json_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("x11.round_trips").inc(3)
+        assert json.loads(registry.to_json()) == {"x11.round_trips": 3}

@@ -1,0 +1,152 @@
+"""Tests for the span tracer (repro.obs.trace)."""
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs import trace as trace_mod
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    tracer = Tracer(clock)
+    tracer.start()
+    yield tracer
+    tracer.stop()
+
+
+class TestSpans:
+    def test_parent_child_links(self, tracer, clock):
+        outer = tracer.begin("eval", "doClick")
+        inner = tracer.begin("cmd", "set")
+        tracer.finish(inner)
+        tracer.finish(outer)
+        spans = list(tracer.spans)
+        assert [span.kind for span in spans] == ["cmd", "eval"]
+        assert spans[0].parent_id == outer.id
+        assert spans[1].parent_id is None
+
+    def test_durations_use_virtual_clock(self, tracer, clock):
+        span = tracer.begin("eval", "work")
+        clock.now += 25
+        tracer.finish(span)
+        assert span.duration == 25
+
+    def test_widget_inherited_from_parent(self, tracer):
+        outer = tracer.begin("event", "ButtonPress", widget=".b")
+        inner = tracer.begin("cmd", "set")
+        tracer.finish(inner)
+        tracer.finish(outer)
+        assert inner.widget == ".b"
+
+    def test_ring_buffer_bounds_spans(self, clock):
+        tracer = Tracer(clock, max_spans=4)
+        tracer.start()
+        for index in range(10):
+            tracer.finish(tracer.begin("cmd", "c%d" % index))
+        assert len(tracer.spans) == 4
+        assert [span.name for span in tracer.spans] == \
+            ["c6", "c7", "c8", "c9"]
+        tracer.stop()
+
+    def test_finish_after_stop_drops_span(self, clock):
+        tracer = Tracer(clock)
+        tracer.start()
+        span = tracer.begin("cmd", "obs")
+        tracer.stop()
+        tracer.finish(span)
+        assert len(tracer.spans) == 0
+
+    def test_exception_unwinds_stack(self, tracer):
+        outer = tracer.begin("eval", "outer")
+        tracer.begin("cmd", "inner")      # never finished (exception)
+        tracer.finish(outer)
+        assert tracer._stack == []
+
+
+class TestAttribution:
+    def test_request_attributed_to_open_span(self, tracer):
+        span = tracer.begin("cmd", ".b")
+        trace_mod.record_request("fill_rectangle")
+        trace_mod.record_request("fill_rectangle")
+        trace_mod.record_round_trip()
+        tracer.finish(span)
+        assert span.requests == {"fill_rectangle": 2}
+        assert span.round_trips == 1
+
+    def test_active_registry_add_remove(self, clock):
+        tracer = Tracer(clock)
+        assert tracer not in trace_mod._ACTIVE
+        tracer.start()
+        assert tracer in trace_mod._ACTIVE
+        tracer.stop()
+        assert tracer not in trace_mod._ACTIVE
+
+    def test_wire_mode_records_every_request(self, clock):
+        tracer = Tracer(clock)
+        tracer.start(wire=True)
+        trace_mod.record_request("create_window")   # no span open
+        span = tracer.begin("cmd", ".b", widget=".b")
+        trace_mod.record_request("draw_string")
+        tracer.finish(span)
+        tracer.stop()
+        assert [(name, widget) for _, name, widget in tracer.wire_log] \
+            == [("create_window", None), ("draw_string", ".b")]
+
+    def test_no_wire_log_without_wire_mode(self, tracer):
+        span = tracer.begin("cmd", ".b")
+        trace_mod.record_request("draw_string")
+        tracer.finish(span)
+        assert len(tracer.wire_log) == 0
+
+
+class TestOutput:
+    def test_tree_nests_children(self, tracer):
+        outer = tracer.begin("event", "ButtonPress", widget=".b")
+        inner = tracer.begin("cmd", "set")
+        tracer.finish(inner)
+        tracer.finish(outer)
+        roots = tracer.tree()
+        assert len(roots) == 1
+        assert roots[0]["name"] == "ButtonPress"
+        assert roots[0]["children"][0]["name"] == "set"
+
+    def test_format_tree_header_and_indent(self, tracer):
+        outer = tracer.begin("eval", "doClick")
+        inner = tracer.begin("cmd", ".b", widget=".b")
+        trace_mod.record_request("draw_string")
+        tracer.finish(inner)
+        tracer.finish(outer)
+        text = tracer.format_tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("TRACE: 2 spans, 1 x11 requests")
+        assert "  eval doClick" in text
+        assert "    cmd .b [.b]" in text
+        assert "draw_string=1" in text
+
+    def test_to_dict_shape(self, tracer):
+        span = tracer.begin("send", "peer")
+        tracer.finish(span)
+        data = tracer.to_dict()
+        assert data["spans"][0]["kind"] == "send"
+        assert data["wire"] == []
+
+    def test_clear_resets(self, tracer):
+        tracer.finish(tracer.begin("cmd", "set"))
+        tracer.clear()
+        assert len(tracer.spans) == 0
+        first = tracer.begin("cmd", "set")
+        assert first.id == 1
+        tracer.finish(first)

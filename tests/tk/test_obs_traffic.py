@@ -1,0 +1,112 @@
+"""Pinned server-traffic accounting per widget class (paper §3.3).
+
+Creates and packs three widgets of every class on a fresh application
+and pins the exact ``x11.round_trips`` and resource-allocation request
+counts, with the resource cache on and off.  The cache-on column shows
+the paper's claim — repeated textual resource names cost one round
+trip total — and any future change to widget resource usage or cache
+behaviour fails these numbers loudly.
+
+All counts are read through the metrics registry (``x11.*`` names),
+which is itself part of what is being tested.
+"""
+
+import io
+
+import pytest
+
+from repro.tk import TkApp
+from repro.x11 import XServer
+
+#: widgets of each class created (and packed) per measurement
+N_WIDGETS = 3
+
+#: class -> ((round_trips, colors, fonts) cache on,
+#:           (round_trips, colors, fonts) cache off)
+EXPECTED = {
+    "button":      ((4, 3, 1), (15, 9, 6)),
+    "canvas":      ((1, 1, 0), (3, 3, 0)),
+    "checkbutton": ((4, 3, 1), (15, 9, 6)),
+    "entry":       ((3, 2, 1), (12, 6, 6)),
+    "frame":       ((1, 1, 0), (3, 3, 0)),
+    "label":       ((3, 2, 1), (15, 9, 6)),
+    "listbox":     ((4, 3, 1), (15, 9, 6)),
+    "menu":        ((4, 3, 1), (15, 9, 6)),
+    "menubutton":  ((4, 3, 1), (15, 9, 6)),
+    "message":     ((3, 2, 1), (18, 6, 12)),
+    "radiobutton": ((4, 3, 1), (15, 9, 6)),
+    "scale":       ((3, 2, 1), (12, 6, 6)),
+    "scrollbar":   ((2, 2, 0), (6, 6, 0)),
+    "text":        ((3, 2, 1), (12, 6, 6)),
+}
+
+
+def _traffic(widget_class, cache_enabled):
+    """(round_trips, colors, fonts, windows) deltas for the workload."""
+    server = XServer()
+    app = TkApp(server, name="traffic", cache_enabled=cache_enabled)
+    app.interp.stdout = io.StringIO()
+    app.update()
+    metrics = server.obs.metrics
+
+    def counts():
+        return (metrics.value("x11.round_trips"),
+                metrics.value("x11.requests", type="alloc_named_color"),
+                metrics.value("x11.requests", type="load_font"),
+                metrics.value("x11.requests", type="create_window"))
+
+    before = counts()
+    for index in range(N_WIDGETS):
+        app.interp.eval("%s .w%d" % (widget_class, index))
+        app.interp.eval("pack append . .w%d {top}" % index)
+    app.update()
+    after = counts()
+    return tuple(new - old for new, old in zip(after, before))
+
+
+@pytest.mark.parametrize("widget_class", sorted(EXPECTED))
+def test_traffic_with_cache(widget_class):
+    expected_rt, expected_colors, expected_fonts = \
+        EXPECTED[widget_class][0]
+    round_trips, colors, fonts, windows = _traffic(widget_class, True)
+    assert (round_trips, colors, fonts) == \
+        (expected_rt, expected_colors, expected_fonts)
+    assert windows == N_WIDGETS
+
+
+@pytest.mark.parametrize("widget_class", sorted(EXPECTED))
+def test_traffic_without_cache(widget_class):
+    expected_rt, expected_colors, expected_fonts = \
+        EXPECTED[widget_class][1]
+    round_trips, colors, fonts, windows = _traffic(widget_class, False)
+    assert (round_trips, colors, fonts) == \
+        (expected_rt, expected_colors, expected_fonts)
+    assert windows == N_WIDGETS
+
+
+@pytest.mark.parametrize("widget_class", sorted(EXPECTED))
+def test_cache_never_increases_traffic(widget_class):
+    on = EXPECTED[widget_class][0]
+    off = EXPECTED[widget_class][1]
+    assert on[0] <= off[0]
+
+
+def test_cache_on_loads_each_font_once():
+    """The paper's claim: one allocation per distinct textual name."""
+    round_trips, colors, fonts, _ = _traffic("button", True)
+    assert fonts == 1            # one font name, three buttons
+    assert colors == 3           # three distinct color names
+
+
+def test_failed_color_allocation_is_not_a_miss():
+    """Satellite fix: unknown names count as errors, not misses."""
+    server = XServer()
+    app = TkApp(server, name="traffic")
+    app.interp.stdout = io.StringIO()
+    from repro.tk.cache import CacheError
+    before = app.cache.stats()
+    with pytest.raises(CacheError):
+        app.cache.color("no-such-color-name")
+    assert app.cache.stats() == before
+    assert app.obs.metrics.value("tk.cache.errors", kind="color") == 1
+    assert app.cache.stats_by_kind()["color"][2] == 1

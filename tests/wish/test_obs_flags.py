@@ -1,0 +1,58 @@
+"""The wish --trace / --metrics-out observability flags."""
+
+import json
+
+from repro.wish.shell import main
+
+SCRIPT = 'button .b -text hi\npack append . .b {top}\nupdate\ndestroy .\n'
+
+
+def _write_script(tmp_path):
+    script = tmp_path / "app.tcl"
+    script.write_text(SCRIPT)
+    return str(script)
+
+
+class TestMetricsOut:
+    def test_writes_obs_dump_json(self, tmp_path):
+        out = tmp_path / "obs.json"
+        status = main(["--metrics-out", str(out), "-f",
+                       _write_script(tmp_path)])
+        assert status == 0
+        data = json.loads(out.read_text())
+        assert set(data) == {"metrics", "trace", "profile"}
+        assert data["metrics"]["x11.requests{type=create_window}"] >= 2
+        # --metrics-out alone still records spans for the profile
+        assert data["trace"]["spans"]
+
+    def test_flag_order_independent(self, tmp_path):
+        out = tmp_path / "obs.json"
+        status = main(["-f", _write_script(tmp_path),
+                       "--metrics-out", str(out)])
+        assert status == 0
+        assert out.exists()
+
+
+class TestTraceFlag:
+    def test_prints_span_tree_to_stderr(self, tmp_path, capsys):
+        status = main(["--trace", "-f", _write_script(tmp_path)])
+        assert status == 0
+        err = capsys.readouterr().err
+        assert err.startswith("TRACE:")
+        assert "cmd button" in err
+
+    def test_trace_enables_wire_log(self, tmp_path):
+        out = tmp_path / "obs.json"
+        status = main(["--trace", "--metrics-out", str(out), "-f",
+                       _write_script(tmp_path)])
+        assert status == 0
+        data = json.loads(out.read_text())
+        assert any(entry["request"] == "create_window"
+                   for entry in data["trace"]["wire"])
+
+
+class TestNoFlags:
+    def test_plain_run_unchanged(self, tmp_path, capsys):
+        status = main(["-f", _write_script(tmp_path)])
+        assert status == 0
+        assert "TRACE" not in capsys.readouterr().err
