@@ -1,0 +1,151 @@
+"""Output-buffering traffic report and gate.
+
+Measures the request traffic of the standard widget-redraw workload —
+a toplevel full of packed widgets put through rounds of resize churn
+and text changes, the pattern behind the paper's §3.3 traffic argument
+— with the Xlib-style output buffer on and off.  The headline number
+is **requests delivered** to the server (batch wrapper ticks excluded):
+buffering must cut it by at least ``GATE_PCT`` percent, or the
+coalescer has regressed.
+
+The workload is deterministic (virtual clock, no wall time), so the
+counts are exact and the gate is immune to machine variance.  Results
+go to ``BENCH_batch.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/batch_report.py           # regenerate
+    PYTHONPATH=src python benchmarks/batch_report.py --check   # CI gate
+"""
+
+import io
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"))
+
+from repro.tk import TkApp  # noqa: E402
+from repro.x11 import XServer  # noqa: E402
+
+BENCH_FILE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_batch.json")
+
+#: The gate: minimum percent reduction in requests delivered to the
+#: server with buffering on vs. off, on the widget-redraw workload.
+GATE_PCT = 30.0
+
+#: widget classes exercised by the redraw workload
+WIDGETS = ("button", "label", "entry", "checkbutton", "scrollbar",
+           "message")
+
+#: rounds of geometry churn + text changes
+ROUNDS = 12
+
+
+def _run_workload(buffering_enabled: bool) -> dict:
+    """Request counts for one full create + churn + redraw workload."""
+    server = XServer()
+    app = TkApp(server, name="bench",
+                buffering_enabled=buffering_enabled)
+    app.interp.stdout = io.StringIO()
+    metrics = server.obs.metrics
+
+    for index, widget_class in enumerate(WIDGETS):
+        app.interp.eval("%s .w%d" % (widget_class, index))
+        app.interp.eval("pack append . .w%d {top frame center fillx}"
+                        % index)
+    app.update()
+
+    def delivered():
+        return (metrics.total("x11.requests") -
+                metrics.value("x11.requests", type="batch"))
+
+    base = delivered()
+    # Churn rounds arrive faster than the event loop runs them down —
+    # the realistic bursty case output buffering exists for.  The
+    # packer reconfigures every child synchronously on each resize, so
+    # each round queues a configure per window; only the final merged
+    # geometry needs to reach the server.
+    for round_index in range(ROUNDS):
+        app.interp.eval("wm geometry . %dx%d"
+                        % (220 + 4 * round_index, 260 + 4 * round_index))
+        for index, widget_class in enumerate(WIDGETS):
+            if widget_class in ("button", "label", "message",
+                                "checkbutton"):
+                app.interp.eval(".w%d configure -text {round %d}"
+                                % (index, round_index))
+    app.update()
+
+    return {
+        "requests_delivered": delivered() - base,
+        "batches": metrics.value("x11.batches"),
+        "requests_coalesced": metrics.value("x11.requests_coalesced"),
+        "round_trips": metrics.value("x11.round_trips"),
+        "configure_window": metrics.value("x11.requests",
+                                          type="configure_window"),
+        "clear_window": metrics.value("x11.requests",
+                                      type="clear_window"),
+    }
+
+
+def run_report() -> dict:
+    buffered = _run_workload(True)
+    synchronous = _run_workload(False)
+    on, off = buffered["requests_delivered"], \
+        synchronous["requests_delivered"]
+    reduction = (off - on) / off * 100.0 if off else 0.0
+    report = {
+        "workload": {
+            "widgets": list(WIDGETS),
+            "rounds": ROUNDS,
+        },
+        "buffering_on": buffered,
+        "buffering_off": synchronous,
+        "reduction_pct": round(reduction, 2),
+        "gate_pct": GATE_PCT,
+    }
+    print("widget-redraw workload (%d widgets, %d churn rounds)"
+          % (len(WIDGETS), ROUNDS))
+    print("  requests delivered: %5d buffered  %5d synchronous  "
+          "(-%.1f%%)" % (on, off, reduction))
+    print("  batches: %d   coalesced away: %d   round trips: %d/%d"
+          % (buffered["batches"], buffered["requests_coalesced"],
+             buffered["round_trips"], synchronous["round_trips"]))
+    return report
+
+
+def check(report: dict) -> int:
+    reduction = report["reduction_pct"]
+    if reduction < GATE_PCT:
+        print("FAIL: buffering cut requests delivered by only %.1f%% "
+              "(gate: >=%.0f%%)" % (reduction, GATE_PCT))
+        return 1
+    if report["buffering_on"]["round_trips"] != \
+            report["buffering_off"]["round_trips"]:
+        print("FAIL: buffering changed the round-trip count (%d vs %d)"
+              % (report["buffering_on"]["round_trips"],
+                 report["buffering_off"]["round_trips"]))
+        return 1
+    print("OK: buffering cut requests delivered by %.1f%% "
+          "(gate: >=%.0f%%), round trips unchanged" % (reduction, GATE_PCT))
+    return 0
+
+
+def main(argv) -> int:
+    checking = "--check" in argv
+    report = run_report()
+    if checking:
+        return check(report)
+    with open(BENCH_FILE, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % BENCH_FILE)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -164,6 +164,25 @@ class Tracer:
         if self.wire:
             self.wire_log.append((self.clock(), name, widget))
 
+    def record_queued(self, name: str) -> None:
+        """Attribute a buffered one-way request to the active span.
+
+        With output buffering the wire write happens later (at flush),
+        possibly under an unrelated span — but the *issuer* is the span
+        that enqueued the request, so attribution happens here and the
+        wire log entry at delivery time (:meth:`record_delivery`).
+        """
+        if self._stack:
+            span = self._stack[-1]
+            span.requests[name] = span.requests.get(name, 0) + 1
+
+    def record_delivery(self, name: str) -> None:
+        """Log a request delivered from a batch to the wire log only
+        (it was attributed to its issuing span when enqueued)."""
+        if self.wire:
+            widget = self._stack[-1].widget if self._stack else None
+            self.wire_log.append((self.clock(), name, widget))
+
     def record_round_trip(self) -> None:
         if self._stack:
             self._stack[-1].round_trips += 1
@@ -237,11 +256,24 @@ def record_request(name: str) -> None:
         tracer.record_request(name)
 
 
+def record_queued(name: str) -> None:
+    """Attribute one buffered (not yet delivered) request."""
+    for tracer in _ACTIVE:
+        tracer.record_queued(name)
+
+
+def record_delivery(name: str) -> None:
+    """Wire-log one request delivered as part of a batch."""
+    for tracer in _ACTIVE:
+        tracer.record_delivery(name)
+
+
 def record_round_trip() -> None:
     """Attribute one server round trip to every active tracer."""
     for tracer in _ACTIVE:
         tracer.record_round_trip()
 
 
-__all__ = ["Span", "Tracer", "record_request", "record_round_trip",
+__all__ = ["Span", "Tracer", "record_request", "record_queued",
+           "record_delivery", "record_round_trip",
            "_ACTIVE", "SPAN_RING", "WIRE_RING"]

@@ -192,9 +192,10 @@ class TkApp:
                  interp: Optional[Interp] = None,
                  main_class: str = "Toplevel",
                  cache_enabled: bool = True,
+                 buffering_enabled: bool = True,
                  register_commands: bool = True):
         self.server = server
-        self.display = Display(server)
+        self.display = Display(server, buffering_enabled=buffering_enabled)
         self.interp = interp if interp is not None else Interp()
         # Application-wide observability hub on the server's virtual
         # clock.  The server's registry is *mounted* (x11.* metrics are
@@ -250,6 +251,10 @@ class TkApp:
             server.apps = []
         server.apps.append(self)
         self.main.map()
+        # Deliver the startup requests; applications must be visible on
+        # the server as soon as the constructor returns (tests and other
+        # clients inspect server state directly).
+        self.display.flush()
 
     # ------------------------------------------------------------------
     # window table (section 3.1)
@@ -410,6 +415,18 @@ class TkApp:
         finally:
             self._reporting_error = False
         return True
+
+    def connection_lost(self, error) -> None:
+        """The display connection died (fault injection, server gone).
+
+        Mirrors Tk's X I/O error handling: report once through the
+        background-error path so scripts get to see it, then tear the
+        application down — there is no wire left to keep running on.
+        """
+        if self.destroyed:
+            return
+        self.report_background_error(error)
+        self.destroy()
 
     # ------------------------------------------------------------------
     # the loop

@@ -511,6 +511,9 @@ def _cutbuffer_command(app):
                 raise _wrong_args("cutbuffer set ?number? value")
             app.display.change_property(app.display.root, atom, string,
                                         rest[0])
+            # Cut buffers are shared state on the root window; deliver
+            # now so other applications' reads see the store.
+            app.display.flush()
             return ""
         raise TclError('bad option "%s": must be get or set' % option)
     return cmd_cutbuffer

@@ -24,7 +24,7 @@ from itertools import count
 from typing import Callable, Dict, List, Optional
 
 from ..tcl.errors import TclError
-from ..x11.xserver import XProtocolError
+from ..x11.xserver import XConnectionLost, XProtocolError
 
 
 class EventDispatcher:
@@ -141,10 +141,19 @@ class EventDispatcher:
         A Tcl or X protocol error escaping any handler is routed to the
         application's ``bgerror``/``tkerror`` proc if one is defined
         (Tk's background-error mechanism); only without a handler does
-        it unwind the loop.
+        it unwind the loop.  A lost connection is fatal, as in real Tk:
+        it is reported once through the background-error path and the
+        application is torn down — retrying requests against a dead
+        wire would spin forever.
         """
         try:
             return self._do_one_event(block)
+        except XConnectionLost as error:
+            handle = getattr(self.app, "connection_lost", None)
+            if handle is None:
+                raise
+            handle(error)
+            return False
         except (TclError, XProtocolError) as error:
             report = getattr(self.app, "report_background_error", None)
             if report is None or not report(error):
@@ -159,6 +168,11 @@ class EventDispatcher:
         if self._poll_files():
             return True
         if self._run_idle():
+            return True
+        if self.app.display.flush():
+            # Going idle is the flush point of the output buffer (the
+            # Xlib discipline): deliver buffered one-way requests now,
+            # before blocking, so their events can arrive.
             return True
         if block:
             deadline = self.next_timer_deadline()
@@ -177,8 +191,9 @@ class EventDispatcher:
         return processed
 
     def pending_work(self) -> bool:
-        return bool(self.app.display.pending() or self._idle or
-                    self.next_timer_deadline() is not None)
+        display = self.app.display
+        return bool(display.pending() or display.pending_output() or
+                    self._idle or self.next_timer_deadline() is not None)
 
     def mainloop(self, until: Optional[Callable[[], bool]] = None,
                  max_iterations: int = 1000000) -> None:

@@ -32,6 +32,11 @@ class SelectionManager:
         self.primary = display.intern_atom("PRIMARY")
         self.string = display.intern_atom("STRING")
         self._property = display.intern_atom(_TRANSFER_PROPERTY)
+        # The main window doubles as the ICCCM transfer mailbox: a
+        # selection owner in another application writes the converted
+        # value into a property on it, so grant cross-client property
+        # writes (the server enforces ownership otherwise).
+        display.set_property_access(app.main.id, True)
         #: window id -> handler returning the selection string
         self._handlers: Dict[int, Callable[[], str]] = {}
         #: window id of the local owner window, if we own PRIMARY
@@ -57,6 +62,10 @@ class SelectionManager:
                 "cannot claim selection for %s: no selection handler"
                 % window.path)
         self.app.display.set_selection_owner(self.primary, window.id)
+        # Ownership is display-global state other applications act on
+        # immediately (conversion requests, SelectionClear to the old
+        # owner), so don't leave the claim sitting in the buffer.
+        self.app.display.flush()
         self._owner = window.id
         if on_lose is not None:
             self._lose[window.id] = on_lose

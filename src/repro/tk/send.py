@@ -70,6 +70,10 @@ class SendManager:
         # The communication window: an unmapped child of the root.
         self.comm_window = display.create_window(display.root, 0, 0, 1, 1)
         display.select_input(self.comm_window, ev.PROPERTY_CHANGE_MASK)
+        # The comm window is a mailbox: other clients write requests and
+        # replies into its Comm property, so its owner must grant them
+        # property-write access (the server enforces ownership).
+        display.set_property_access(self.comm_window, True)
         self.name = self._register(requested_name)
         #: serial -> (code, result, error_info) for completed sends
         self._results: Dict[int, tuple] = {}
@@ -147,6 +151,10 @@ class SendManager:
             suffix += 1
         registry[name] = self.comm_window
         self._write_registry(registry)
+        # Make the registration visible on the server immediately: other
+        # applications read the registry through their own connections,
+        # which cannot see requests sitting in this display's buffer.
+        self.app.display.flush()
         return name
 
     def unregister(self) -> None:

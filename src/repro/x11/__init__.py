@@ -26,11 +26,12 @@ from .render import Renderer, render_ppm
 from .resources import (Bitmap, Color, Cursor, Font, GraphicsContext,
                         NAMED_COLORS, parse_color)
 from .window import Window
-from .xserver import Client, XProtocolError, XServer
+from .xserver import Client, XConnectionLost, XProtocolError, XServer
 
 __all__ = [
     "XServer", "Display", "Client", "Window", "Event", "AtomTable",
-    "Renderer", "render_ppm", "XProtocolError", "FaultPlan",
+    "Renderer", "render_ppm", "XProtocolError", "XConnectionLost",
+    "FaultPlan",
     "Color", "Font", "Cursor", "Bitmap", "GraphicsContext",
     "NAMED_COLORS", "parse_color", "events", "keysyms",
 ]

@@ -6,25 +6,151 @@ Xlib-shaped calls.  Requests that Xlib would answer from the wire
 without waiting are plain calls; requests that need a server reply go
 through the server's round-trip counter, so the traffic-saving claims
 of the paper's section 3.3 can be measured per display.
+
+Output buffering (the Xlib cost model the paper's §3.3 argument rests
+on): with ``buffering_enabled``, one-way requests do not touch the
+server at all — they enqueue into a per-display output buffer that is
+delivered as a single wire *batch* by :meth:`flush`.  The flush
+discipline is Xlib's own:
+
+* any reply-bearing request flushes first (the reply must sort after
+  everything already written);
+* :meth:`pending`/:meth:`next_event` flush when the event queue is
+  empty (``XPending``/``XNextEvent`` reading from the wire);
+* the Tk event loop flushes at idle, and :meth:`close` flushes before
+  disconnecting.
+
+A coalescing pass runs at flush time: consecutive ``configure_window``
+requests on the same window merge (later fields win), draw requests
+superseded by a later ``clear_window`` on the same window are dropped,
+and duplicate ``select_input``/non-append ``change_property`` writes to
+the same key keep only the last.  Dropped requests are counted in
+``x11.requests_coalesced``.  Coalescing never reorders the surviving
+requests, so event-generation order is preserved.
+
+Bare ``Display`` objects default to the synchronous path (protocol
+tests drive the server request-by-request); :class:`~repro.tk.TkApp`
+turns buffering on by default and owns the idle-flush discipline.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+from ..obs import trace as _trace
 from .events import Event
 from .resources import Bitmap, Color, Cursor, Font, GraphicsContext
-from .xserver import Client, XProtocolError, XServer
+from .xserver import Client, XConnectionLost, XProtocolError, XServer
+
+#: One-way requests whose drawing output a later clear_window wipes.
+_DRAW_OPS = frozenset(("fill_rectangle", "draw_rectangle", "draw_line",
+                       "draw_string", "clear_window"))
+
+
+def _coalesce(ops: List[tuple]) -> Tuple[List[tuple], int]:
+    """Flush-time coalescing pass over ``(name, window, args, kwargs)``.
+
+    Returns the surviving ops (original order preserved) and the number
+    of requests dropped or merged away.  Rules — each one chosen so the
+    server-visible end state is identical and no surviving request is
+    reordered:
+
+    * ``clear_window`` wipes a window's recorded drawing, so draw
+      requests (and earlier clears) on the same window that precede a
+      later clear are dead weight.  A ``destroy_window`` breaks the
+      chain: requests addressed to the old window must still be
+      delivered (and fail) in order.
+    * ``select_input`` is last-write-wins per (client, window) and
+      generates no events.
+    * non-append ``change_property`` overwrites: an earlier write to
+      the same (window, property) key is superseded if nothing else
+      (append, delete, destroy) touches that key in between.
+    * ``configure_window`` requests on the same window merge (later
+      fields win) when no intervening buffered request addresses that
+      window, turning a resize storm into one configure + one
+      ConfigureNotify/Expose.
+    """
+    dropped = 0
+    keep = [True] * len(ops)
+
+    # Backward pass: clear_window supersedes earlier draws; later
+    # non-append change_property supersedes earlier writes to the key;
+    # later select_input supersedes earlier ones for the same client.
+    cleared: Set[int] = set()
+    overwritten: Set[Tuple[int, int]] = set()
+    selected: Set[Tuple[int, int]] = set()
+    for index in range(len(ops) - 1, -1, -1):
+        name, window, args, kwargs = ops[index]
+        if name == "destroy_window":
+            cleared.discard(window)
+            overwritten = {key for key in overwritten
+                           if key[0] != window}
+        elif name in _DRAW_OPS:
+            if window in cleared:
+                keep[index] = False
+                dropped += 1
+            elif name == "clear_window":
+                cleared.add(window)
+        elif name == "select_input":
+            key = (id(args[0]), window)
+            if key in selected:
+                keep[index] = False
+                dropped += 1
+            else:
+                selected.add(key)
+        elif name == "change_property":
+            key = (window, args[1])
+            if key in overwritten:
+                keep[index] = False
+                dropped += 1
+            elif kwargs.get("append"):
+                overwritten.discard(key)
+            else:
+                overwritten.add(key)
+        elif name == "delete_property":
+            overwritten.discard((window, args[1]))
+
+    # Forward pass: merge configure_window runs per window.  A window's
+    # pending configure stays mergeable until any other surviving
+    # request addresses the same window.
+    merge_into: Dict[int, int] = {}
+    for index, (name, window, args, kwargs) in enumerate(ops):
+        if not keep[index]:
+            continue
+        if name == "configure_window":
+            target = merge_into.get(window)
+            if target is not None:
+                merged = dict(ops[target][3])
+                merged.update(kwargs)
+                ops[target] = (name, window, args, merged)
+                keep[index] = False
+                dropped += 1
+            else:
+                merge_into[window] = index
+        elif window is not None:
+            merge_into.pop(window, None)
+
+    return ([op for index, op in enumerate(ops) if keep[index]], dropped)
 
 
 class Display:
     """One application's connection to the (simulated) display."""
 
-    def __init__(self, server: XServer):
+    def __init__(self, server: XServer, buffering_enabled: bool = False):
         self.server = server
         self.client: Client = server.connect()
         self._round_trips_at_connect = server.round_trips
-        self.closed = False
+        self.buffering_enabled = buffering_enabled
+        #: buffered one-way requests: (name, window, args, kwargs)
+        self._buffer: List[tuple] = []
+        self._closed = False
+        #: protocol error from a server-driven flush (input injection),
+        #: re-raised at this client's next flush point — the simulator's
+        #: asynchronous X error delivery.
+        self._async_error: Optional[XProtocolError] = None
+        self.client.flush_output = self._flush_for_server
+        self._m_coalesced = server.obs.metrics.counter(
+            "x11.requests_coalesced")
 
     # -- bookkeeping -----------------------------------------------------
 
@@ -40,187 +166,266 @@ class Display:
     def screen_height(self) -> int:
         return self.server.root.height
 
+    @property
+    def closed(self) -> bool:
+        """True once closed locally *or* disconnected by the server.
+
+        A fault-injected disconnect closes the server-side client; every
+        subsequent call on this display must surface that, not quietly
+        pretend the connection is alive.
+        """
+        return self._closed or self.client.closed
+
     def close(self) -> None:
-        if not self.closed:
-            self.closed = True
-            self.server.disconnect(self.client)
+        if self._closed:
+            return
+        try:
+            self.flush()
+        except XProtocolError:
+            self._buffer = []   # connection already gone; nothing to send
+        self._closed = True
+        self.server.disconnect(self.client)
 
     def _require_open(self) -> None:
         if self.closed:
-            raise XProtocolError("connection to X server lost")
+            raise XConnectionLost("connection to X server lost")
+
+    # -- the output buffer ------------------------------------------------
+
+    def _oneway(self, name: str, window: Optional[int], *args,
+                **kwargs) -> None:
+        """Issue a one-way request: buffer it, or deliver it directly."""
+        self._require_open()
+        if self.buffering_enabled:
+            if _trace._ACTIVE:
+                # Attribute the request to the span issuing it now; the
+                # wire log gets its entry at delivery time.
+                _trace.record_queued(name)
+            self._buffer.append((name, window, args, kwargs))
+        else:
+            getattr(self.server, name)(*args, **kwargs)
+
+    def _sync_request(self) -> None:
+        """Front half of every reply-bearing request (auto-flush)."""
+        self._require_open()
+        if self._buffer or self._async_error is not None:
+            self.flush()
+
+    def pending_output(self) -> int:
+        """Number of buffered requests not yet delivered."""
+        return len(self._buffer)
+
+    def _flush_for_server(self) -> None:
+        """Flush on the server's behalf (before input injection).
+
+        An ordinary protocol error raised by the batch is stashed and
+        re-raised at this client's next flush point, where the
+        application's error handling can see it; a lost connection needs
+        no stash — every subsequent call notices ``closed``.
+        """
+        try:
+            self.flush()
+        except XConnectionLost:
+            pass
+        except XProtocolError as error:
+            if self._async_error is None:
+                self._async_error = error
+
+    def flush(self) -> int:
+        """Deliver the output buffer to the server as one batch.
+
+        Returns the number of requests delivered.  Raises
+        :class:`XConnectionLost` if the connection died with requests
+        still buffered (they are discarded — there is no wire to write
+        them to).
+        """
+        if self._async_error is not None:
+            error, self._async_error = self._async_error, None
+            raise error
+        if not self._buffer:
+            return 0
+        ops = self._buffer
+        self._buffer = []
+        if self.closed:
+            raise XConnectionLost("connection to X server lost "
+                                  "(%d buffered requests discarded)"
+                                  % len(ops))
+        ops, dropped = _coalesce(ops)
+        if dropped:
+            self._m_coalesced.value += dropped
+        return self.server.deliver_batch(self.client, ops)
 
     # -- event queue -----------------------------------------------------
 
     def pending(self) -> int:
-        return 0 if self.closed else self.client.pending()
+        self._require_open()
+        if not self.client.queue and \
+                (self._buffer or self._async_error is not None):
+            self.flush()
+        return self.client.pending()
 
     def next_event(self) -> Optional[Event]:
-        return None if self.closed else self.client.next_event()
-
-    def flush(self) -> None:
-        """No-op: the simulator has no output buffer."""
+        self._require_open()
+        if not self.client.queue and \
+                (self._buffer or self._async_error is not None):
+            self.flush()
+        return self.client.next_event()
 
     def sync(self) -> None:
         """A full round trip, as XSync performs."""
-        self._require_open()
-        self.server.round_trip()
+        self._sync_request()
+        self.server.sync()
 
     # -- windows -----------------------------------------------------------
 
     def create_window(self, parent: int, x: int, y: int, width: int,
                       height: int, border_width: int = 0) -> int:
-        self._require_open()
+        self._sync_request()
         return self.server.create_window(self.client, parent, x, y,
                                          width, height, border_width)
 
     def destroy_window(self, window: int) -> None:
-        self._require_open()
-        self.server.destroy_window(window)
+        self._oneway("destroy_window", window, window, client=self.client)
 
     def map_window(self, window: int) -> None:
-        self._require_open()
-        self.server.map_window(window)
+        self._oneway("map_window", window, window)
 
     def unmap_window(self, window: int) -> None:
-        self._require_open()
-        self.server.unmap_window(window)
+        self._oneway("unmap_window", window, window)
 
     def configure_window(self, window: int, **kwargs) -> None:
-        self._require_open()
-        self.server.configure_window(window, **kwargs)
+        self._oneway("configure_window", window, window,
+                     client=self.client, **kwargs)
 
     def select_input(self, window: int, mask: int) -> None:
-        self._require_open()
-        self.server.select_input(self.client, window, mask)
+        self._oneway("select_input", window, self.client, window, mask)
 
     def raise_window(self, window: int) -> None:
-        self._require_open()
-        self.server.raise_window(window)
+        self._oneway("raise_window", window, window)
 
     def lower_window(self, window: int) -> None:
-        self._require_open()
-        self.server.lower_window(window)
+        self._oneway("lower_window", window, window)
 
     def get_geometry(self, window: int) -> Tuple[int, int, int, int, int]:
-        self._require_open()
+        self._sync_request()
         return self.server.get_geometry(window)
 
     def window_exists(self, window: int) -> bool:
         """True if ``window`` still exists on the server (a round trip)."""
-        self._require_open()
+        self._sync_request()
         return self.server.window_exists(window)
 
     def query_tree(self, window: int) -> Tuple[int, int, List[int]]:
-        self._require_open()
+        self._sync_request()
         return self.server.query_tree(window)
 
     def set_window_background(self, window: int, pixel: int) -> None:
-        self._require_open()
-        self.server.set_window_background(window, pixel)
+        self._oneway("set_window_background", window, window, pixel)
 
     # -- atoms and properties ---------------------------------------------
 
     def intern_atom(self, name: str, only_if_exists: bool = False) -> int:
-        self._require_open()
+        self._sync_request()
         return self.server.intern_atom(name, only_if_exists)
 
     def get_atom_name(self, atom: int) -> str:
-        self._require_open()
+        self._sync_request()
         return self.server.get_atom_name(atom)
 
     def change_property(self, window: int, property_atom: int,
                         type_atom: int, value: object,
                         append: bool = False) -> None:
-        self._require_open()
-        self.server.change_property(window, property_atom, type_atom,
-                                    value, append)
+        self._oneway("change_property", window, window, property_atom,
+                     type_atom, value, append=append, client=self.client)
 
     def get_property(self, window: int, property_atom: int,
                      delete: bool = False) -> Optional[Tuple[int, object]]:
-        self._require_open()
+        self._sync_request()
         return self.server.get_property(window, property_atom, delete)
 
     def delete_property(self, window: int, property_atom: int) -> None:
-        self._require_open()
-        self.server.delete_property(window, property_atom)
+        self._oneway("delete_property", window, window, property_atom,
+                     client=self.client)
+
+    def set_property_access(self, window: int, open_: bool = True) -> None:
+        """Grant (or revoke) other clients write access to a window's
+        properties — the mailbox declaration of the send/selection
+        protocols."""
+        self._oneway("set_property_access", window, window, open_,
+                     client=self.client)
 
     # -- selections ----------------------------------------------------------
 
     def set_selection_owner(self, selection: int, window: int) -> None:
-        self._require_open()
-        self.server.set_selection_owner(self.client, selection, window)
+        self._oneway("set_selection_owner", window, self.client,
+                     selection, window)
 
     def get_selection_owner(self, selection: int) -> int:
-        self._require_open()
+        self._sync_request()
         return self.server.get_selection_owner(selection)
 
     def convert_selection(self, selection: int, target: int,
                           property_atom: int, requestor: int) -> None:
-        self._require_open()
-        self.server.convert_selection(self.client, selection, target,
-                                      property_atom, requestor)
+        self._oneway("convert_selection", None, self.client, selection,
+                     target, property_atom, requestor)
 
     def send_event(self, window: int, event: Event,
                    event_mask: int = 0) -> None:
-        self._require_open()
-        self.server.send_event(window, event, event_mask)
+        self._oneway("send_event", window, window, event, event_mask)
 
     def set_input_focus(self, window: int) -> None:
-        self._require_open()
-        self.server.set_input_focus(window)
+        self._oneway("set_input_focus", window, window)
 
     # -- resources ----------------------------------------------------------
 
     def alloc_named_color(self, name: str) -> Color:
-        self._require_open()
+        self._sync_request()
         return self.server.alloc_named_color(name)
 
     def load_font(self, name: str) -> Font:
-        self._require_open()
+        self._sync_request()
         return self.server.load_font(name)
 
     def create_cursor(self, name: str) -> Cursor:
-        self._require_open()
+        self._sync_request()
         return self.server.create_cursor(name)
 
     def create_bitmap(self, name: str, width: int = 0,
                       height: int = 0) -> Bitmap:
-        self._require_open()
+        self._sync_request()
         return self.server.create_bitmap(name, width, height)
 
     def create_gc(self, **values) -> GraphicsContext:
-        self._require_open()
+        self._sync_request()
         return self.server.create_gc(**values)
 
     def free_resource(self, rid: int) -> None:
-        self._require_open()
-        self.server.free_resource(rid)
+        self._oneway("free_resource", None, rid)
 
     # -- drawing ----------------------------------------------------------
 
     def clear_window(self, window: int) -> None:
-        self._require_open()
-        self.server.clear_window(window)
+        self._oneway("clear_window", window, window, client=self.client)
 
     def fill_rectangle(self, window: int, gc: GraphicsContext, x: int,
                        y: int, width: int, height: int) -> None:
-        self._require_open()
-        self.server.fill_rectangle(window, gc, x, y, width, height)
+        self._oneway("fill_rectangle", window, window, gc, x, y,
+                     width, height, client=self.client)
 
     def draw_rectangle(self, window: int, gc: GraphicsContext, x: int,
                        y: int, width: int, height: int) -> None:
-        self._require_open()
-        self.server.draw_rectangle(window, gc, x, y, width, height)
+        self._oneway("draw_rectangle", window, window, gc, x, y,
+                     width, height, client=self.client)
 
     def draw_line(self, window: int, gc: GraphicsContext, x1: int, y1: int,
                   x2: int, y2: int) -> None:
-        self._require_open()
-        self.server.draw_line(window, gc, x1, y1, x2, y2)
+        self._oneway("draw_line", window, window, gc, x1, y1, x2, y2,
+                     client=self.client)
 
     def draw_string(self, window: int, gc: GraphicsContext, x: int, y: int,
                     text: str) -> None:
-        self._require_open()
-        self.server.draw_string(window, gc, x, y, text)
+        self._oneway("draw_string", window, window, gc, x, y, text,
+                     client=self.client)
 
 
-__all__ = ["Display", "XProtocolError"]
+__all__ = ["Display", "XProtocolError", "XConnectionLost"]

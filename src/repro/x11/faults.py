@@ -35,6 +35,14 @@ Fault types:
 Per-fault-type counters are kept in :attr:`FaultPlan.counters` and a
 full log of injections in :attr:`FaultPlan.log`, so tests can assert
 both that faults happened and that the toolkit recovered from them.
+
+With output buffering (see :mod:`repro.x11.display`), one-way requests
+reach the server at *flush* time, inside a batch: triggers fire when
+the request is delivered, not when the client issued it.  The batch
+write itself ticks the request stream as ``name="batch"`` before its
+requests execute, so a scripted trigger on ``"batch"`` (e.g.
+``disconnect_client(when="batch")``) models a connection that dies on
+the wire write — exactly the spot Xlib discovers a dead server.
 """
 
 from __future__ import annotations

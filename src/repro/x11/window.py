@@ -41,6 +41,9 @@ class Window:
         self.creator = creator
         #: client -> event mask selected on this window.
         self.event_selections: Dict[object, int] = {}
+        #: True once the owner granted other clients property-write
+        #: access (mailbox windows: send comm, selection requestors)
+        self.properties_open = False
         #: atom -> (type_atom, value)
         self.properties: Dict[int, Tuple[int, object]] = {}
         self.draw_ops: List[DrawOp] = []

@@ -47,6 +47,16 @@ class XProtocolError(Exception):
     """A request referenced a bad resource or argument."""
 
 
+class XConnectionLost(XProtocolError):
+    """The client's connection to the server is gone.
+
+    Unlike an ordinary protocol error (which a script can catch and the
+    event loop can survive), a lost connection is fatal to the client:
+    the Tk dispatcher reports it through ``bgerror`` once and then tears
+    the application down, exactly as real Tk exits on an X I/O error.
+    """
+
+
 class Client:
     """One connected application's view of the server."""
 
@@ -55,6 +65,11 @@ class Client:
         self.number = number
         self.queue: deque = deque()
         self.closed = False
+        #: set by Display: delivers the client's output buffer.  The
+        #: server calls it before injecting user input, so requests the
+        #: client already issued always precede the input on the virtual
+        #: timeline (they were written before the input happened).
+        self.flush_output = None
 
     def enqueue(self, event: Event) -> None:
         if self.closed:
@@ -84,6 +99,12 @@ class XServer:
         self.time_ms = 0
         self.obs = Observability(clock=lambda: self.time_ms)
         self._m_round_trips = self.obs.metrics.counter("x11.round_trips")
+        self._m_batches = self.obs.metrics.counter("x11.batches")
+        self._h_batch_size = self.obs.metrics.histogram(
+            "x11.batch_size", buckets=(1, 2, 5, 10, 20, 50, 100, 200, 500))
+        #: True while requests from a client batch are executing, so
+        #: the tracer logs deliveries instead of re-attributing them
+        self._delivering_batch = False
         #: per-request-type Counter handles, keyed by request name, so
         #: the _tick hot path does one dict probe + one attribute store
         self._request_counters: Dict[str, object] = {}
@@ -154,7 +175,13 @@ class XServer:
                 self.obs.metrics.counter("x11.requests", type=name)
         counter.value += 1
         if _trace._ACTIVE:
-            _trace.record_request(name)
+            if self._delivering_batch:
+                # Batched requests were attributed to their issuing
+                # span at enqueue time; only the wire log records the
+                # delivery.
+                _trace.record_delivery(name)
+            else:
+                _trace.record_request(name)
         plan = self.fault_plan
         if plan is not None:
             plan.on_request(self, name)
@@ -178,6 +205,70 @@ class XServer:
         if _trace._ACTIVE:
             _trace.record_round_trip()
 
+    def sync(self) -> None:
+        """XSync: a named no-op request whose only point is the reply.
+
+        The round trip is accounted against an ``x11.requests{type=sync}``
+        tick, so ``x11.round_trips`` never exceeds the sum of
+        reply-bearing request counts and the traffic tables add up.
+        """
+        self._tick("sync")
+        self.round_trip()
+
+    def deliver_batch(self, client: Client, ops) -> int:
+        """Deliver one client's output buffer as a single wire batch.
+
+        ``ops`` is a sequence of ``(name, window, args, kwargs)`` tuples
+        built by :meth:`Display.flush`; ``name`` is the server method to
+        invoke with ``args``/``kwargs`` (the ``window`` operand rides
+        along for the client-side coalescer and is ignored here).  The
+        batch itself costs one ``_tick("batch")`` — the write() that
+        moves the whole buffer — and each delivered request then ticks
+        under its own name, so fault plans fire at *delivery* time, in
+        delivery order, exactly as they would for unbuffered requests.
+
+        A client disconnected mid-batch (e.g. by a fault plan) aborts
+        the remainder with :class:`XConnectionLost`.  An ordinary
+        protocol error from one request does not abort the rest — on a
+        real wire the later requests were already written and the
+        server processes them — but the first error is re-raised once
+        the batch completes, which is this simulator's stand-in for the
+        asynchronous X error event.
+        """
+        if not ops:
+            return 0
+        first_error: Optional[XProtocolError] = None
+        try:
+            self._tick("batch")
+        except XProtocolError as error:
+            # An injected error on the batch write is asynchronous like
+            # any other: the requests were already written, so deliver
+            # them and re-raise the error afterwards.
+            first_error = error
+        self._m_batches.value += 1
+        self._h_batch_size.observe(len(ops))
+        delivered = 0
+        self._delivering_batch = True
+        try:
+            for name, _window, args, kwargs in ops:
+                if client.closed:
+                    raise XConnectionLost(
+                        "connection to X server lost (batch aborted after "
+                        "%d of %d requests)" % (delivered, len(ops)))
+                try:
+                    getattr(self, name)(*args, **kwargs)
+                except XConnectionLost:
+                    raise
+                except XProtocolError as error:
+                    if first_error is None:
+                        first_error = error
+                delivered += 1
+        finally:
+            self._delivering_batch = False
+        if first_error is not None:
+            raise first_error
+        return delivered
+
     @property
     def round_trips(self) -> int:
         """Total requests that waited for a reply (``x11.round_trips``)."""
@@ -193,6 +284,41 @@ class XServer:
         if not isinstance(resource, Window) or resource.destroyed:
             raise XProtocolError("BadWindow: %d" % wid)
         return resource
+
+    # ------------------------------------------------------------------
+    # resource ownership
+    # ------------------------------------------------------------------
+
+    def _check_owner(self, window: Window, client: Optional[Client],
+                     request: str) -> None:
+        """Reject destructive requests on another client's window.
+
+        ``client=None`` marks a trusted, server-internal caller (tests
+        drive the server directly this way).  The root window — which no
+        client created — is always writable.
+        """
+        if client is None or window.creator is None:
+            return
+        if window.creator is not client:
+            raise XProtocolError(
+                "BadAccess: window %d belongs to client %d (%s from "
+                "client %d)" % (window.id, window.creator.number,
+                                request, client.number))
+
+    def _check_property_writer(self, window: Window,
+                               client: Optional[Client],
+                               request: str) -> None:
+        """Property writes need ownership or an explicit mailbox grant.
+
+        Cross-client property traffic is how ICCCM selections and Tk's
+        ``send`` move data, so a window's owner can open its properties
+        to other clients with :meth:`set_property_access`; every other
+        cross-client write is the "scribble on a stranger's window" bug
+        and is rejected.
+        """
+        if window.properties_open:
+            return
+        self._check_owner(window, client, request)
 
     def window_exists(self, wid: int) -> bool:
         """Liveness probe for a window id (a round trip, like real Xlib
@@ -216,9 +342,11 @@ class XServer:
         self.resources[window.id] = window
         return window.id
 
-    def destroy_window(self, wid: int) -> None:
+    def destroy_window(self, wid: int, client: Optional[Client] = None
+                       ) -> None:
         self._tick("destroy_window")
         window = self.window(wid)
+        self._check_owner(window, client, "destroy_window")
         self._destroy_recursive(window)
         self._update_pointer_window()
 
@@ -272,9 +400,11 @@ class XServer:
                          y: Optional[int] = None,
                          width: Optional[int] = None,
                          height: Optional[int] = None,
-                         border_width: Optional[int] = None) -> None:
+                         border_width: Optional[int] = None,
+                         client: Optional[Client] = None) -> None:
         self._tick("configure_window")
         window = self.window(wid)
+        self._check_owner(window, client, "configure_window")
         changed = False
         if x is not None and x != window.x:
             window.x = x
@@ -374,9 +504,11 @@ class XServer:
             raise XProtocolError("BadAtom: %d" % atom)
 
     def change_property(self, wid: int, property_atom: int, type_atom: int,
-                        value: object, append: bool = False) -> None:
+                        value: object, append: bool = False,
+                        client: Optional[Client] = None) -> None:
         self._tick("change_property")
         window = self.window(wid)
+        self._check_property_writer(window, client, "change_property")
         if append and property_atom in window.properties:
             old_type, old_value = window.properties[property_atom]
             if isinstance(old_value, str) and isinstance(value, str):
@@ -397,12 +529,27 @@ class XServer:
             self._property_notify(window, property_atom, deleted=True)
         return entry
 
-    def delete_property(self, wid: int, property_atom: int) -> None:
+    def delete_property(self, wid: int, property_atom: int,
+                        client: Optional[Client] = None) -> None:
         self._tick("delete_property")
         window = self.window(wid)
+        self._check_property_writer(window, client, "delete_property")
         if property_atom in window.properties:
             del window.properties[property_atom]
             self._property_notify(window, property_atom, deleted=True)
+
+    def set_property_access(self, wid: int, open_: bool,
+                            client: Optional[Client] = None) -> None:
+        """Open (or close) a window's properties to other clients.
+
+        Only the window's owner may change the grant.  Mailbox windows —
+        ``send`` comm windows, ICCCM selection requestors — declare
+        themselves writable this way; everything else stays protected.
+        """
+        self._tick("set_property_access")
+        window = self.window(wid)
+        self._check_owner(window, client, "set_property_access")
+        window.properties_open = bool(open_)
 
     def _property_notify(self, window: Window, atom: int,
                          deleted: bool) -> None:
@@ -517,8 +664,29 @@ class XServer:
     # input device simulation
     # ------------------------------------------------------------------
 
+    def _drain_client_output(self) -> None:
+        """Deliver every client's buffered output before user input.
+
+        Requests sitting in a client's output buffer were issued before
+        the input device event about to be injected, so they must reach
+        the server first — otherwise a ``select_input`` the client
+        already wrote could miss the very event a test is injecting.
+        """
+        for client in list(self.clients):
+            hook = client.flush_output
+            if hook is None or client.closed:
+                continue
+            try:
+                hook()
+            except XProtocolError:
+                # Asynchronous from the client's point of view — the
+                # Display stashes it and re-raises at the client's next
+                # flush point; it must not unwind the input injector.
+                pass
+
     def warp_pointer(self, root_x: int, root_y: int, state: int = 0) -> None:
         """Move the pointer, generating Enter/Leave and Motion events."""
+        self._drain_client_output()
         self._tick("warp_pointer")
         self.pointer_x = root_x
         self.pointer_y = root_y
@@ -563,6 +731,7 @@ class XServer:
 
     def _button_event(self, event_type: int, button: int,
                       state: int) -> None:
+        self._drain_client_output()
         self._tick("button_event")
         window = self.pointer_window
         x, y = window.root_position()
@@ -583,6 +752,7 @@ class XServer:
 
     def _key_event(self, event_type: int, keysym: str, state: int,
                    window_id: Optional[int]) -> None:
+        self._drain_client_output()
         self._tick("key_event")
         from .keysyms import char_for_keysym
         if window_id is not None:
@@ -660,27 +830,40 @@ class XServer:
     # drawing (recorded for the renderer)
     # ------------------------------------------------------------------
 
-    def clear_window(self, wid: int) -> None:
+    def clear_window(self, wid: int, client: Optional[Client] = None
+                     ) -> None:
         self._tick("clear_window")
         window = self.window(wid)
+        self._check_owner(window, client, "clear_window")
         window.clear_drawing()
 
     def fill_rectangle(self, wid: int, gc: GraphicsContext, x: int, y: int,
-                       width: int, height: int) -> None:
+                       width: int, height: int,
+                       client: Optional[Client] = None) -> None:
         self._tick("fill_rectangle")
-        self.window(wid).record("fill", (x, y, width, height), gc.values)
+        window = self.window(wid)
+        self._check_owner(window, client, "fill_rectangle")
+        window.record("fill", (x, y, width, height), gc.values)
 
     def draw_rectangle(self, wid: int, gc: GraphicsContext, x: int, y: int,
-                       width: int, height: int) -> None:
+                       width: int, height: int,
+                       client: Optional[Client] = None) -> None:
         self._tick("draw_rectangle")
-        self.window(wid).record("rect", (x, y, width, height), gc.values)
+        window = self.window(wid)
+        self._check_owner(window, client, "draw_rectangle")
+        window.record("rect", (x, y, width, height), gc.values)
 
     def draw_line(self, wid: int, gc: GraphicsContext, x1: int, y1: int,
-                  x2: int, y2: int) -> None:
+                  x2: int, y2: int,
+                  client: Optional[Client] = None) -> None:
         self._tick("draw_line")
-        self.window(wid).record("line", (x1, y1, x2, y2), gc.values)
+        window = self.window(wid)
+        self._check_owner(window, client, "draw_line")
+        window.record("line", (x1, y1, x2, y2), gc.values)
 
     def draw_string(self, wid: int, gc: GraphicsContext, x: int, y: int,
-                    text: str) -> None:
+                    text: str, client: Optional[Client] = None) -> None:
         self._tick("draw_string")
-        self.window(wid).record("text", (x, y, text), gc.values)
+        window = self.window(wid)
+        self._check_owner(window, client, "draw_string")
+        window.record("text", (x, y, text), gc.values)

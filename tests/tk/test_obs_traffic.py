@@ -98,6 +98,103 @@ def test_cache_on_loads_each_font_once():
     assert colors == 3           # three distinct color names
 
 
+#: class -> ((batches, coalesced, delivered) buffering on,
+#:           (batches, coalesced, delivered) buffering off)
+#: "delivered" counts requests executed by the server (the batch
+#: wrapper tick excluded), so buffering-on delivery must equal
+#: buffering-off delivery minus the coalesced requests.
+EXPECTED_BATCH = {
+    "button":      ((9, 2, 39), (0, 0, 41)),
+    "canvas":      ((6, 3, 28), (0, 0, 31)),
+    "checkbutton": ((9, 2, 42), (0, 0, 44)),
+    "entry":       ((8, 2, 38), (0, 0, 40)),
+    "frame":       ((5, 0, 21), (0, 0, 21)),
+    "label":       ((9, 2, 35), (0, 0, 37)),
+    "listbox":     ((7, 2, 34), (0, 0, 36)),
+    "menu":        ((7, 2, 34), (0, 0, 36)),
+    "menubutton":  ((9, 2, 39), (0, 0, 41)),
+    "message":     ((7, 2, 28), (0, 0, 30)),
+    "radiobutton": ((9, 2, 42), (0, 0, 44)),
+    "scale":       ((7, 2, 37), (0, 0, 39)),
+    "scrollbar":   ((7, 3, 39), (0, 0, 42)),
+    "text":        ((8, 2, 38), (0, 0, 40)),
+}
+
+
+def _batch_traffic(widget_class, buffering_enabled):
+    """(batches, coalesced, delivered, round_trips, colors, fonts)
+    deltas for the N_WIDGETS create-and-pack workload."""
+    server = XServer()
+    app = TkApp(server, name="traffic",
+                buffering_enabled=buffering_enabled)
+    app.interp.stdout = io.StringIO()
+    app.update()
+    metrics = server.obs.metrics
+
+    def counts():
+        return (metrics.value("x11.batches"),
+                metrics.value("x11.requests_coalesced"),
+                metrics.total("x11.requests") -
+                metrics.value("x11.requests", type="batch"),
+                metrics.value("x11.round_trips"),
+                metrics.value("x11.requests", type="alloc_named_color"),
+                metrics.value("x11.requests", type="load_font"))
+
+    before = counts()
+    for index in range(N_WIDGETS):
+        app.interp.eval("%s .w%d" % (widget_class, index))
+        app.interp.eval("pack append . .w%d {top}" % index)
+    app.update()
+    after = counts()
+    return tuple(new - old for new, old in zip(after, before))
+
+
+@pytest.mark.parametrize("widget_class", sorted(EXPECTED_BATCH))
+def test_batch_traffic_buffering_on(widget_class):
+    measured = _batch_traffic(widget_class, True)
+    assert measured[:3] == EXPECTED_BATCH[widget_class][0]
+
+
+@pytest.mark.parametrize("widget_class", sorted(EXPECTED_BATCH))
+def test_batch_traffic_buffering_off(widget_class):
+    measured = _batch_traffic(widget_class, False)
+    assert measured[:3] == EXPECTED_BATCH[widget_class][1]
+
+
+@pytest.mark.parametrize("widget_class", sorted(EXPECTED_BATCH))
+def test_buffering_preserves_reply_traffic(widget_class):
+    """Buffering reorders nothing that replies or allocates: the
+    round-trip/color/font columns must be identical in both modes."""
+    on = _batch_traffic(widget_class, True)
+    off = _batch_traffic(widget_class, False)
+    assert on[3:] == off[3:]
+
+
+@pytest.mark.parametrize("widget_class", sorted(EXPECTED_BATCH))
+def test_coalescing_accounts_for_every_dropped_request(widget_class):
+    """delivered(on) + coalesced(on) == delivered(off): every request
+    the synchronous path issues is either delivered or coalesced."""
+    (_, coalesced_on, delivered_on), (_, _, delivered_off) = \
+        EXPECTED_BATCH[widget_class]
+    assert delivered_on + coalesced_on == delivered_off
+
+
+def test_sync_ticks_a_named_request():
+    """Satellite fix: ``Display.sync()`` records a ``sync`` request, so
+    round trips never exceed the sum of reply-bearing request counts."""
+    server = XServer()
+    app = TkApp(server, name="traffic")
+    app.interp.stdout = io.StringIO()
+    app.update()
+    metrics = server.obs.metrics
+    before_sync = metrics.value("x11.requests", type="sync")
+    before_rt = metrics.value("x11.round_trips")
+    app.display.sync()
+    app.display.sync()
+    assert metrics.value("x11.requests", type="sync") == before_sync + 2
+    assert metrics.value("x11.round_trips") == before_rt + 2
+
+
 def test_failed_color_allocation_is_not_a_miss():
     """Satellite fix: unknown names count as errors, not misses."""
     server = XServer()

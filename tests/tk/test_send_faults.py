@@ -195,3 +195,43 @@ class TestTeardownHygiene:
         second_app.destroy()
         second_app.destroy()
         assert "peer" not in app.sender.application_names()
+
+
+class TestLostConnection:
+    """Satellite fix: a fault-injected disconnect must surface, not
+    leave the event loop spinning on a silently-dead display."""
+
+    def test_closed_display_raises_from_pending(self, app, server):
+        from repro.x11 import XConnectionLost
+        server.disconnect(app.display.client)
+        with pytest.raises(XConnectionLost):
+            app.display.pending()
+        with pytest.raises(XConnectionLost):
+            app.display.next_event()
+
+    def test_disconnect_reported_through_bgerror(self, app, server):
+        """The dispatcher reports the lost connection once via bgerror
+        and tears the application down — it does not spin."""
+        app.interp.eval("proc bgerror {msg} {global reported; "
+                        "set reported $msg}")
+        plan = server.install_fault_plan(FaultPlan())
+        plan.disconnect_client(app.display.client,
+                               on_request="configure_window")
+        app.interp.eval("frame .f -geometry 20x20")
+        app.interp.eval("pack append . .f {top}")
+        app.update()                   # delivers the fatal batch
+        assert app.destroyed
+        assert "lost" in app.interp.eval("set reported")
+
+    def test_update_terminates_after_disconnect(self, app, server):
+        """Regression for the spin: update() must converge once the
+        display is gone, even with no bgerror handler defined."""
+        server.disconnect(app.display.client)
+        app.update()                   # must return, not raise or spin
+        assert app.destroyed
+
+    def test_send_to_peer_after_own_disconnect_is_clean(
+            self, app, second_app, server):
+        server.disconnect(app.display.client)
+        with pytest.raises(TclError, match="connection"):
+            app.interp.eval("send peer set x 1")

@@ -23,11 +23,13 @@ class TestStacking:
     def test_raise_brings_to_top(self, app, server):
         overlapping_frames(app)
         app.interp.eval("raise .a")
+        app.display.flush()     # deliver before inspecting server state
         assert server.root.window_at(10, 10).id == app.window(".a").id
 
     def test_lower_sends_to_bottom(self, app, server):
         overlapping_frames(app)
         app.interp.eval("lower .b")
+        app.display.flush()     # deliver before inspecting server state
         assert server.root.window_at(10, 10).id == app.window(".a").id
 
     def test_clicks_go_to_top_window(self, app, server):

@@ -70,7 +70,10 @@ class TestMkentrydialog:
             shell.app.update()
             shell.interp.eval(".ask.ok invoke")
 
-        shell.app.dispatcher.after(50, type_and_ok)
+        # Generous delay: the timer must fire inside tkwait's mainloop,
+        # after dialog setup (whose virtual-clock cost varies with the
+        # output-buffering mode) has completed.
+        shell.app.dispatcher.after(500, type_and_ok)
         result = shell.interp.eval('mkentrydialog .ask "Your name?"')
         assert result == "abc"
 
@@ -83,7 +86,7 @@ class TestMkentrydialog:
             seen["focus"] = shell.interp.eval("focus")
             shell.interp.eval(".ask.ok invoke")
 
-        shell.app.dispatcher.after(50, capture_focus)
+        shell.app.dispatcher.after(500, capture_focus)
         shell.interp.eval('mkentrydialog .ask "Your name?"')
         assert seen["focus"] == ".ask.entry"
 

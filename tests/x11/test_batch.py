@@ -1,0 +1,316 @@
+"""Tests for the client-side output buffer and request coalescing.
+
+The tentpole of the Xlib-style batching work: one-way requests enqueue
+into the Display's output buffer and reach the server as one batch at
+flush time; reply-bearing requests auto-flush first; a coalescing pass
+merges/drops redundant requests without reordering survivors.
+"""
+
+import pytest
+
+from repro.x11 import (Display, FaultPlan, XConnectionLost,
+                       XProtocolError, XServer)
+from repro.x11 import events as ev
+
+
+@pytest.fixture
+def server():
+    return XServer()
+
+
+@pytest.fixture
+def display(server):
+    return Display(server, buffering_enabled=True)
+
+
+def _metrics(server):
+    return server.obs.metrics
+
+
+class TestBuffering:
+    def test_oneway_requests_do_not_reach_server(self, server, display):
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.flush()
+        before = server.requests
+        display.map_window(win)
+        display.set_window_background(win, 7)
+        assert server.requests == before
+        assert display.pending_output() == 2
+        assert not server.window(win).mapped
+
+    def test_flush_delivers_in_order(self, server, display):
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.map_window(win)
+        display.set_window_background(win, 7)
+        delivered = display.flush()
+        assert delivered == 2
+        assert display.pending_output() == 0
+        assert server.window(win).mapped
+        assert server.window(win).background == 7
+
+    def test_flush_counts_one_batch(self, server, display):
+        metrics = _metrics(server)
+        before = metrics.value("x11.batches")
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.map_window(win)
+        display.flush()
+        assert metrics.value("x11.batches") == before + 1
+        assert metrics.value("x11.requests", type="batch") == before + 1
+
+    def test_empty_flush_is_free(self, server, display):
+        before = server.requests
+        assert display.flush() == 0
+        assert server.requests == before
+
+    def test_reply_bearing_request_auto_flushes(self, server, display):
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.configure_window(win, width=55)
+        assert display.pending_output() == 1
+        geometry = display.get_geometry(win)
+        assert display.pending_output() == 0
+        assert geometry[2] == 55
+
+    def test_pending_flushes_when_queue_empty(self, server, display):
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.select_input(win, ev.STRUCTURE_NOTIFY_MASK)
+        display.map_window(win)
+        # XPending semantics: with no events queued, write out the
+        # buffer so the server can generate some.
+        assert display.pending() > 0
+        types = [event.type for event in _drain(display)]
+        assert ev.MAP_NOTIFY in types
+
+    def test_ablation_flag_restores_synchronous_path(self, server):
+        display = Display(server, buffering_enabled=False)
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.map_window(win)
+        assert display.pending_output() == 0
+        assert server.window(win).mapped
+
+    def test_close_flushes_buffer(self, server):
+        display = Display(server, buffering_enabled=True)
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.map_window(win)
+        display.close()
+        # The map was delivered before the disconnect destroyed the
+        # client's windows.
+        assert not server.window_exists(win)
+
+    def test_event_order_preserved_across_batches(self, server, display):
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.select_input(win, ev.STRUCTURE_NOTIFY_MASK)
+        display.map_window(win)
+        display.configure_window(win, width=20)
+        display.unmap_window(win)
+        display.flush()
+        types = [event.type for event in _drain(display)]
+        assert types == [ev.MAP_NOTIFY, ev.CONFIGURE_NOTIFY,
+                         ev.UNMAP_NOTIFY]
+
+
+def _drain(display):
+    out = []
+    while display.pending():
+        out.append(display.next_event())
+    return out
+
+
+class TestCoalescing:
+    def test_consecutive_configures_merge(self, server, display):
+        metrics = _metrics(server)
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.flush()
+        before = metrics.value("x11.requests", type="configure_window")
+        display.configure_window(win, width=20)
+        display.configure_window(win, height=30)
+        display.configure_window(win, width=40)
+        dropped_before = metrics.value("x11.requests_coalesced")
+        display.flush()
+        assert metrics.value("x11.requests",
+                             type="configure_window") == before + 1
+        assert metrics.value("x11.requests_coalesced") == \
+            dropped_before + 2
+        assert server.window(win).width == 40     # later fields win
+        assert server.window(win).height == 30    # earlier field kept
+
+    def test_configure_merge_blocked_by_intervening_request(
+            self, server, display):
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.select_input(win, ev.STRUCTURE_NOTIFY_MASK)
+        display.flush()
+        display.configure_window(win, width=20)
+        display.map_window(win)           # references the same window
+        display.configure_window(win, width=30)
+        display.flush()
+        # Merging across the map would reorder the ConfigureNotify
+        # relative to MapNotify; both configures must survive.
+        types = [event.type for event in _drain(display)]
+        assert types == [ev.CONFIGURE_NOTIFY, ev.MAP_NOTIFY,
+                         ev.CONFIGURE_NOTIFY]
+
+    def test_configures_on_distinct_windows_both_survive(
+            self, server, display):
+        a = display.create_window(display.root, 0, 0, 10, 10)
+        b = display.create_window(display.root, 0, 0, 10, 10)
+        display.flush()
+        display.configure_window(a, width=21)
+        display.configure_window(b, width=22)
+        display.flush()
+        assert server.window(a).width == 21
+        assert server.window(b).width == 22
+
+    def test_clear_supersedes_earlier_draws(self, server, display):
+        metrics = _metrics(server)
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        gc = display.create_gc(foreground=1)
+        before = metrics.value("x11.requests", type="fill_rectangle")
+        display.fill_rectangle(win, gc, 0, 0, 5, 5)
+        display.draw_string(win, gc, 1, 1, "gone")
+        display.clear_window(win)
+        display.draw_string(win, gc, 2, 2, "kept")
+        display.flush()
+        # The superseded draws never reach the server.
+        assert metrics.value("x11.requests",
+                             type="fill_rectangle") == before
+        ops = server.window(win).draw_ops
+        assert [op.kind for op in ops] == ["text"]
+        assert ops[0].args[2] == "kept"
+
+    def test_destroy_breaks_clear_chain(self, server, display):
+        """Draws on a window destroyed mid-buffer must still be
+        delivered in order (and fail), not silently dropped."""
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        gc = display.create_gc(foreground=1)
+        display.flush()
+        display.draw_string(win, gc, 1, 1, "to the old window")
+        display.destroy_window(win)
+        with pytest.raises(XProtocolError, match="BadWindow"):
+            # The draw lands on the just-destroyed window: the server
+            # reports the error after finishing the batch.
+            display.clear_window(win)
+            display.flush()
+
+    def test_select_input_last_write_wins(self, server, display):
+        metrics = _metrics(server)
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.flush()
+        before = metrics.value("x11.requests", type="select_input")
+        display.select_input(win, ev.STRUCTURE_NOTIFY_MASK)
+        display.select_input(win, ev.KEY_PRESS_MASK)
+        display.flush()
+        assert metrics.value("x11.requests",
+                             type="select_input") == before + 1
+        assert server.window(win).event_selections[display.client] == \
+            ev.KEY_PRESS_MASK
+
+    def test_change_property_last_write_wins(self, server, display):
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        atom = display.intern_atom("P")
+        string = display.intern_atom("STRING")
+        metrics = _metrics(server)
+        before = metrics.value("x11.requests", type="change_property")
+        display.change_property(win, atom, string, "first")
+        display.change_property(win, atom, string, "second")
+        display.flush()
+        assert metrics.value("x11.requests",
+                             type="change_property") == before + 1
+        assert display.get_property(win, atom)[1] == "second"
+
+    def test_appends_are_never_dropped(self, server, display):
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        atom = display.intern_atom("Q")
+        string = display.intern_atom("STRING")
+        display.change_property(win, atom, string, ["a"], append=True)
+        display.change_property(win, atom, string, ["b"], append=True)
+        display.flush()
+        assert list(display.get_property(win, atom)[1]) == ["a", "b"]
+
+    def test_write_before_append_survives(self, server, display):
+        """An append depends on the preceding write: neither may be
+        dropped even though both target the same key."""
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        atom = display.intern_atom("R")
+        string = display.intern_atom("STRING")
+        display.change_property(win, atom, string, ["base"])
+        display.change_property(win, atom, string, ["more"], append=True)
+        display.flush()
+        assert list(display.get_property(win, atom)[1]) == ["base", "more"]
+
+    def test_distinct_properties_not_coalesced(self, server, display):
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        a = display.intern_atom("A")
+        b = display.intern_atom("B")
+        string = display.intern_atom("STRING")
+        display.change_property(win, a, string, "one")
+        display.change_property(win, b, string, "two")
+        display.flush()
+        assert display.get_property(win, a)[1] == "one"
+        assert display.get_property(win, b)[1] == "two"
+
+
+class TestBatchErrors:
+    def test_error_deferred_to_flush(self, server, display):
+        """An error from a mid-batch request surfaces at flush time and
+        does not stop later requests (the async X error model)."""
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.flush()
+        display.configure_window(99999, width=5)    # BadWindow
+        display.map_window(win)                     # must still land
+        with pytest.raises(XProtocolError, match="BadWindow"):
+            display.flush()
+        assert server.window(win).mapped
+
+    def test_first_error_reported(self, server, display):
+        display.configure_window(11111, width=5)
+        display.configure_window(22222, width=5)
+        with pytest.raises(XProtocolError, match="11111"):
+            display.flush()
+
+    def test_disconnect_mid_batch_aborts(self, server, display):
+        """A FaultPlan disconnect firing inside a batch aborts the
+        remainder with XConnectionLost."""
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.flush()
+        plan = server.install_fault_plan(FaultPlan())
+        plan.disconnect_client(display.client, on_request="map_window")
+        display.map_window(win)
+        display.set_window_background(win, 3)
+        with pytest.raises(XConnectionLost):
+            display.flush()
+        assert display.closed
+        # Every subsequent call surfaces the dead connection.
+        with pytest.raises(XConnectionLost):
+            display.pending()
+
+    def test_disconnect_on_batch_write_loses_whole_batch(self, server,
+                                                         display):
+        """A disconnect triggered by the batch tick itself models the
+        connection dying on the wire write."""
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.flush()
+        plan = server.install_fault_plan(FaultPlan())
+        plan.disconnect_client(display.client, on_request="batch")
+        display.map_window(win)
+        with pytest.raises(XConnectionLost):
+            display.flush()
+        assert not server.window_exists(win)   # scrubbed at close-down
+
+    def test_flush_on_closed_display_raises(self, server, display):
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.flush()
+        display.map_window(win)
+        server.disconnect(display.client)
+        with pytest.raises(XConnectionLost):
+            display.flush()
+        assert display.pending_output() == 0   # buffer discarded
+
+    def test_metrics_track_batch_sizes(self, server, display):
+        metrics = _metrics(server)
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.flush()
+        display.map_window(win)
+        display.set_window_background(win, 1)
+        display.configure_window(win, width=12)
+        display.flush()
+        assert metrics.value("x11.batch_size") >= 1       # observations
+        assert metrics.get("x11.batch_size").total >= 3   # requests

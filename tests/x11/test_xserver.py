@@ -3,7 +3,7 @@ selections, resources, and input simulation."""
 
 import pytest
 
-from repro.x11 import Display, XProtocolError, XServer
+from repro.x11 import Display, XConnectionLost, XProtocolError, XServer
 from repro.x11 import events as ev
 
 
@@ -292,6 +292,9 @@ class TestSelections:
         string = owner_display.intern_atom("STRING")
         dest = asker_display.intern_atom("DEST")
         owner_display.set_selection_owner(primary, owner_win)
+        # The requestor window is the transfer mailbox: its owner must
+        # grant the selection owner's client write access.
+        asker_display.set_property_access(asker_win, True)
         asker_display.convert_selection(primary, string, dest, asker_win)
         # Owner receives the SelectionRequest...
         request = [e for e in drain(owner_display)
@@ -394,8 +397,12 @@ class TestDisconnect:
         display_b.select_input(win, ev.STRUCTURE_NOTIFY_MASK)
         display_b.close()
         display_a.configure_window(win, width=50)
-        # No crash, and the closed client's queue stays empty.
-        assert display_b.pending() == 0
+        display_a.flush()
+        # No crash; the closed display surfaces its state instead of
+        # silently reporting an empty queue.
+        assert display_b.client.pending() == 0
+        with pytest.raises(XConnectionLost):
+            display_b.pending()
 
     def test_closed_client_receives_nothing(self, server):
         owner = Display(server)
@@ -404,7 +411,9 @@ class TestDisconnect:
         display.select_input(win, ev.STRUCTURE_NOTIFY_MASK)
         display.close()
         server.configure_window(win, width=99)
-        assert display.pending() == 0
+        assert display.client.pending() == 0
+        with pytest.raises(XConnectionLost):
+            display.next_event()
 
     def test_close_destroys_client_windows(self, server):
         """A real server destroys a client's resources at close-down;
@@ -419,6 +428,99 @@ class TestDisconnect:
         display.close()
         with pytest.raises(XProtocolError, match="connection"):
             display.create_window(display.root, 0, 0, 10, 10)
+
+
+class TestOwnership:
+    """Regression tests for resource ownership (wire-protocol bugfix).
+
+    Stateful requests carry the issuing client, and the server rejects
+    them on windows another client created — one display can no longer
+    destroy or scribble on a stranger's windows.  The root window (no
+    creator) stays writable, and direct server calls (``client=None``)
+    are trusted, so tests and input simulation keep working.
+    """
+
+    @pytest.fixture
+    def other(self, server):
+        return Display(server)
+
+    @pytest.fixture
+    def victim(self, server, display):
+        win = display.create_window(display.root, 0, 0, 40, 40)
+        display.map_window(win)
+        return win
+
+    def test_destroy_foreign_window_rejected(self, other, victim):
+        with pytest.raises(XProtocolError, match="BadAccess"):
+            other.destroy_window(victim)
+
+    def test_configure_foreign_window_rejected(self, other, victim):
+        with pytest.raises(XProtocolError, match="BadAccess"):
+            other.configure_window(victim, width=99)
+
+    def test_change_foreign_property_rejected(self, server, other, victim):
+        atom = other.intern_atom("SECRET")
+        string = other.intern_atom("STRING")
+        with pytest.raises(XProtocolError, match="BadAccess"):
+            other.change_property(victim, atom, string, "overwrite")
+
+    def test_delete_foreign_property_rejected(self, display, other, victim):
+        atom = display.intern_atom("MINE")
+        string = display.intern_atom("STRING")
+        display.change_property(victim, atom, string, "value")
+        with pytest.raises(XProtocolError, match="BadAccess"):
+            other.delete_property(victim, atom)
+
+    def test_draw_on_foreign_window_rejected(self, other, victim):
+        gc = other.create_gc(foreground=1)
+        with pytest.raises(XProtocolError, match="BadAccess"):
+            other.clear_window(victim)
+        with pytest.raises(XProtocolError, match="BadAccess"):
+            other.fill_rectangle(victim, gc, 0, 0, 5, 5)
+        with pytest.raises(XProtocolError, match="BadAccess"):
+            other.draw_string(victim, gc, 1, 1, "graffiti")
+
+    def test_owner_still_allowed(self, display, victim):
+        display.configure_window(victim, width=60)
+        display.clear_window(victim)
+        display.destroy_window(victim)
+        display.flush()
+        assert not display.window_exists(victim)
+
+    def test_root_window_writable_by_all(self, display, other):
+        atom = other.intern_atom("CUT_BUFFER0")
+        string = other.intern_atom("STRING")
+        other.change_property(other.root, atom, string, "shared")
+        other.flush()
+        assert display.get_property(display.root, atom)[1] == "shared"
+
+    def test_direct_server_access_trusted(self, server, victim):
+        server.configure_window(victim, width=77)
+        assert server.window(victim).width == 77
+
+    def test_property_grant_opens_mailbox(self, display, other, victim):
+        """set_property_access is the ICCCM mailbox escape hatch: the
+        owner can open a window's properties to other clients."""
+        atom = display.intern_atom("MAILBOX")
+        string = display.intern_atom("STRING")
+        display.set_property_access(victim, True)
+        display.flush()
+        other.change_property(victim, atom, string, "delivered")
+        other.flush()
+        assert display.get_property(victim, atom)[1] == "delivered"
+
+    def test_property_grant_revocable(self, display, other, victim):
+        atom = display.intern_atom("MAILBOX")
+        string = display.intern_atom("STRING")
+        display.set_property_access(victim, True)
+        display.set_property_access(victim, False)
+        display.flush()
+        with pytest.raises(XProtocolError, match="BadAccess"):
+            other.change_property(victim, atom, string, "sneaky")
+
+    def test_grant_on_foreign_window_rejected(self, other, victim):
+        with pytest.raises(XProtocolError, match="BadAccess"):
+            other.set_property_access(victim, True)
 
 
 class TestStacking:
