@@ -14,11 +14,21 @@ configurations:
 * ``tracer_on``— the tracer started and collecting spans.
 
 All three run in the same process with their timing blocks
-*interleaved* round-robin (off/on/traced, off/on/traced, ...) and the
-best block kept per configuration, so the <3% gate on ``obs_on`` vs
-``obs_off`` is immune both to cross-machine variance and to CPU
-frequency drift during the run.  Results go to ``BENCH_obs.json``; the
-committed means of ``BENCH_interp.json`` ride along as a reference.
+*interleaved* round-robin (off/on/traced, off/on/traced, ...), so the
+<3% gate on ``obs_on`` vs ``obs_off`` is immune both to cross-machine
+variance and to CPU frequency drift during the run; the gate uses the
+best per-round ratio (a noise floor — a genuine systematic slowdown
+survives the min, a scheduler spike does not) with the median ratio
+reported alongside.  Results go to ``BENCH_obs.json``; the committed
+means of ``BENCH_interp.json`` ride along as a reference.
+
+The session journal gets the same treatment on a GUI workload (a
+button reconfigure + event-pump round): ``no_journal`` (a server that
+never saw a journal), ``journal_off`` (a journal attached then
+detached — the shipping default after ``obs journal stop``), and
+``journal_on`` (actively recording).  ``journal_off`` must stay within
+the same <3% bound of ``no_journal``; the recording cost is reported,
+not gated.
 
 Usage::
 
@@ -27,9 +37,11 @@ Usage::
     PYTHONPATH=src python benchmarks/obs_report.py --dump-trace trace.json
 """
 
+import gc
 import io
 import json
 import os
+import statistics
 import sys
 import time
 
@@ -70,19 +82,54 @@ def _calibrate(func) -> int:
         number *= 4
 
 
-def _measure_interleaved(thunks):
-    """Best mean seconds per call for each thunk, blocks interleaved."""
+def _measure_interleaved(thunks, baseline=0):
+    """Interleaved timing of all configurations, blocks round-robin.
+
+    The collector is paused during the timed blocks (and run once per
+    round between them) so a cycle collection triggered by one
+    configuration's garbage cannot land in another's timing block.
+
+    Returns ``(bests, floors, medians)``: the best mean seconds per
+    call for each thunk, and each thunk's overhead (percent) against
+    ``thunks[baseline]`` as both the best and the median *per-round*
+    ratio.  Each round times all configurations back to back, so a
+    ratio within a round is unaffected by CPU frequency drift across
+    the run.  The best ratio is a noise-floor estimate — a genuine
+    systematic slowdown shows up in every round, so it survives the
+    min; scheduler spikes from a noisy neighbour do not.  The gate
+    uses the floor, the median rides along for context.
+    """
     numbers = [_calibrate(thunk) for thunk in thunks]
-    bests = [float("inf")] * len(thunks)
-    for _ in range(_ROUNDS):
-        for position, thunk in enumerate(thunks):
-            start = time.perf_counter()
-            for _ in range(numbers[position]):
-                thunk()
-            elapsed = time.perf_counter() - start
-            bests[position] = min(bests[position],
-                                  elapsed / numbers[position])
-    return bests
+    rounds = []
+    gc_was_enabled = gc.isenabled()
+    try:
+        for _ in range(_ROUNDS):
+            gc.collect()
+            gc.disable()
+            times = []
+            for position, thunk in enumerate(thunks):
+                start = time.perf_counter()
+                for _ in range(numbers[position]):
+                    thunk()
+                elapsed = time.perf_counter() - start
+                times.append(elapsed / numbers[position])
+            rounds.append(times)
+            if gc_was_enabled:
+                gc.enable()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    bests = [min(times[position] for times in rounds)
+             for position in range(len(thunks))]
+    floors = [
+        (min(times[position] / times[baseline] for times in rounds)
+         - 1.0) * 100.0
+        for position in range(len(thunks))]
+    medians = [
+        (statistics.median(times[position] / times[baseline]
+                           for times in rounds) - 1.0) * 100.0
+        for position in range(len(thunks))]
+    return bests, floors, medians
 
 
 def _workloads():
@@ -110,37 +157,100 @@ def run_report() -> dict:
         traced_interp = Interp()
         traced_interp.obs.tracer.start()
         try:
-            off, on, traced = _measure_interleaved(
+            bests, floors, medians = _measure_interleaved(
                 [build(Interp(obs_enabled=False)),
                  build(Interp()),
                  build(traced_interp)])
         finally:
             traced_interp.obs.tracer.stop()
-        overhead = (on - off) / off * 100.0
-        tracer_overhead = (traced - off) / off * 100.0
+        off, on, traced = bests
+        overhead, tracer_overhead = floors[1], medians[2]
         report[name] = {
             "obs_off_us": round(off * 1e6, 3),
             "obs_on_us": round(on * 1e6, 3),
             "tracer_on_us": round(traced * 1e6, 3),
             "overhead_pct": round(overhead, 2),
+            "overhead_median_pct": round(medians[1], 2),
             "tracer_overhead_pct": round(tracer_overhead, 2),
         }
-        print("%-16s off %9.3f us   on %9.3f us (%+5.2f%%)   "
-              "traced %9.3f us (%+6.2f%%)"
-              % (name, off * 1e6, on * 1e6, overhead,
-                 traced * 1e6, tracer_overhead))
+        print("%-16s off %9.3f us   on %9.3f us (%+5.2f%% median, "
+              "%+5.2f%% floor)   traced %9.3f us (%+6.2f%%)"
+              % (name, off * 1e6, on * 1e6, medians[1], overhead,
+                 traced * 1e6, medians[2]))
     return report
 
 
-def check(report: dict) -> int:
+def _gui_app(name):
+    server = XServer()
+    app = TkApp(server, name=name)
+    app.interp.stdout = io.StringIO()
+    app.interp.eval("button .b -text ping\npack append . .b {top}")
+    app.update()
+    return server, app
+
+
+def run_journal_report() -> dict:
+    from repro.obs.journal import Journal
+    from repro.obs.replay import start_recording
+
+    pairs = [_gui_app("bench%d" % index) for index in range(3)]
+    # journal_off: the machinery has been exercised and released —
+    # the hot path must be back to one dead pointer test per request
+    journal = Journal(clock=lambda: pairs[1][0].time_ms)
+    journal.set_header(name="bench-off")
+    pairs[1][0].attach_journal(journal)
+    pairs[1][0].detach_journal()
+    # a small ring keeps the recording configuration's steady-state
+    # heap modest so it cannot distort the interleaved baselines
+    start_recording(pairs[2][0], name="bench-on", maxlen=4096)
+
+    def build(pair):
+        server, app = pair
+        interp = app.interp
+        state = [0]
+
+        def thunk():
+            # alternate the label so every round redraws and ships
+            # real requests through the buffer
+            state[0] ^= 1
+            interp.eval(".b configure -text %s"
+                        % ("ping" if state[0] else "pong"))
+            app.update()
+        return thunk
+
+    try:
+        bests, floors, medians = _measure_interleaved(
+            [build(pair) for pair in pairs])
+    finally:
+        pairs[2][0].detach_journal()
+    base, off, on = bests
+    off_overhead, on_overhead = floors[1], medians[2]
+    stats = {
+        "no_journal_us": round(base * 1e6, 3),
+        "journal_off_us": round(off * 1e6, 3),
+        "journal_on_us": round(on * 1e6, 3),
+        "off_overhead_pct": round(off_overhead, 2),
+        "off_overhead_median_pct": round(medians[1], 2),
+        "on_overhead_pct": round(on_overhead, 2),
+    }
+    print("%-16s none %8.3f us   off %8.3f us (%+5.2f%% median, "
+          "%+5.2f%% floor)   recording %8.3f us (%+6.2f%%)"
+          % ("journal", base * 1e6, off * 1e6, medians[1],
+             off_overhead, on * 1e6, on_overhead))
+    return stats
+
+
+def check(report: dict, journal: dict) -> int:
     failures = [name for name, stats in report.items()
                 if stats["overhead_pct"] >= GATE_PCT]
+    if journal["off_overhead_pct"] >= GATE_PCT:
+        failures.append("journal_off")
     if failures:
         print("FAIL: obs-enabled overhead >=%.1f%% in: %s"
               % (GATE_PCT, ", ".join(failures)))
         return 1
-    print("OK: obs-enabled (tracer idle) overhead <%.1f%% on all "
-          "BENCH_interp workloads" % GATE_PCT)
+    print("OK: obs-enabled (tracer idle) and journal-off overhead "
+          "<%.1f%% on all workloads" % GATE_PCT)
     return 0
 
 
@@ -180,9 +290,11 @@ def main(argv) -> int:
             return 0
     checking = "--check" in argv
     report = run_report()
+    journal = run_journal_report()
     if checking:
-        return check(report)
-    output = {"gate_pct": GATE_PCT, "workloads": report}
+        return check(report, journal)
+    output = {"gate_pct": GATE_PCT, "workloads": report,
+              "journal": journal}
     if os.path.exists(INTERP_BENCH_FILE):
         with open(INTERP_BENCH_FILE) as handle:
             committed = json.load(handle)

@@ -8,12 +8,14 @@ the ``obs`` Tcl command and ``info metrics``.
 """
 
 from .core import Observability
+from .journal import Journal
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profile import Profile, profile
 from .trace import Span, Tracer, record_request, record_round_trip
 
 __all__ = [
     "Observability",
+    "Journal",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "Profile", "profile",
     "Span", "Tracer", "record_request", "record_round_trip",

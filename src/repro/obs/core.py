@@ -31,17 +31,39 @@ class Observability:
         self.clock = clock
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(clock)
+        #: the XServer this hub observes, when there is one — set by
+        #: TkApp/XServer so ``obs journal`` and remote introspection
+        #: can reach the session journal.
+        self.server = None
 
     def profile(self) -> Profile:
         return Profile(self.tracer.spans)
 
+    def journal(self):
+        """The attached session journal, or None."""
+        server = self.server
+        return server.journal if server is not None else None
+
     def dump(self) -> dict:
-        """Everything — metrics, trace, profile — as one dict."""
-        return {
+        """Everything — metrics, trace, profile — as one dict.
+
+        A ``journal`` summary rides along only when a journal is
+        attached, so journal-less dumps keep their historical shape.
+        """
+        data = {
             "metrics": self.metrics.snapshot(),
             "trace": self.tracer.to_dict(),
             "profile": self.profile().to_dict(),
         }
+        journal = self.journal()
+        if journal is not None:
+            data["journal"] = {
+                "entries": len(journal),
+                "dropped": journal.dropped,
+                "recording": journal.recording,
+                "counts": journal.counts(),
+            }
+        return data
 
     def dump_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.dump(), indent=indent, sort_keys=True)

@@ -113,6 +113,30 @@ class Histogram:
                 return
         self.counts[-1] += 1
 
+    def percentile(self, quantile: float) -> Optional[int]:
+        """Bucket-resolution percentile estimate.
+
+        Returns the upper bound of the first bucket whose cumulative
+        count reaches ``quantile`` of all observations — an upper
+        estimate at the histogram's own resolution (overflow
+        observations report the last bound; an empty histogram None).
+        """
+        count = self.value
+        if count == 0:
+            return None
+        threshold = quantile * count
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            if cumulative >= threshold:
+                return bound
+        return self.bounds[-1]
+
+    def percentiles(self) -> Dict[str, Optional[int]]:
+        return {"p50": self.percentile(0.50),
+                "p95": self.percentile(0.95),
+                "p99": self.percentile(0.99)}
+
     def snapshot(self):
         buckets = {"<=%d" % bound: count
                    for bound, count in zip(self.bounds, self.counts)
@@ -120,8 +144,11 @@ class Histogram:
         overflow = self.counts[-1]
         if overflow:
             buckets[">%d" % self.bounds[-1]] = overflow
-        return {"count": self.value, "sum": self.total,
-                "buckets": buckets}
+        snapshot = {"count": self.value, "sum": self.total,
+                    "buckets": buckets}
+        if self.value:
+            snapshot.update(self.percentiles())
+        return snapshot
 
 
 def _label_tuple(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
@@ -244,8 +271,13 @@ class MetricsRegistry:
             if pattern is not None and not glob_match(pattern, key):
                 continue
             if isinstance(metric, Histogram):
-                lines.append("%-44s count=%d sum=%d"
-                             % (key, metric.value, metric.total))
+                line = "%-44s count=%d sum=%d" % (key, metric.value,
+                                                  metric.total)
+                if metric.value:
+                    line += " p50=%d p95=%d p99=%d" % (
+                        metric.percentile(0.50), metric.percentile(0.95),
+                        metric.percentile(0.99))
+                lines.append(line)
             else:
                 lines.append("%-44s %s" % (key, metric.value))
         return "\n".join(lines)

@@ -190,7 +190,13 @@ class Tracer:
     # -- output --------------------------------------------------------
 
     def tree(self) -> List[Dict[str, object]]:
-        """Finished spans as nested dicts (roots in start order)."""
+        """Finished spans as nested dicts (roots in start order).
+
+        The spans deque is bounded: when a long session evicts a parent
+        span, its surviving children are *re-rooted* rather than
+        dropped, and marked ``orphaned`` so a reader can tell a true
+        root from a child whose ancestry fell off the ring.
+        """
         nodes = {}
         roots = []
         for span in self.spans:
@@ -203,7 +209,15 @@ class Tracer:
             if parent is not None:
                 parent["children"].append(node)
             else:
+                if span.parent_id is not None:
+                    node["orphaned"] = True
                 roots.append(node)
+        # The deque is in *finish* order (children before parents);
+        # present roots in start order, as the docstring promises.
+        roots.sort(key=lambda node: (node["start_ms"], node["id"]))
+        for node in nodes.values():
+            node["children"].sort(
+                key=lambda child: (child["start_ms"], child["id"]))
         return roots
 
     def format_tree(self) -> str:
@@ -223,6 +237,8 @@ class Tracer:
                                        widget, node["duration_ms"])
             if node.get("round_trips"):
                 head += " %d-rt" % node["round_trips"]
+            if node.get("orphaned"):
+                head += " (orphaned: parent span evicted)"
             lines.append(head)
             if node.get("requests"):
                 lines.append("%s  x11: %s" % (pad, " ".join(

@@ -13,6 +13,10 @@ Tcl::
     obs trace dump ?-format text|json? the span tree
     obs trace wire                     the wire log (every X request)
     obs profile report ?-limit n?      aggregated span attribution
+    obs journal start ?-file FILE?     record the session journal
+    obs journal stop                   stop recording
+    obs journal dump ?-limit n?        formatted journal listing
+    obs journal save FILE              write the journal as JSONL
     obs dump ?-format json?            metrics+trace+profile as JSON
 
 ``info metrics`` returns the same data as ``obs metrics`` but as a
@@ -44,14 +48,16 @@ def cmd_obs(interp, argv: List[str]) -> str:
         return _trace(obs, argv)
     if option == "profile":
         return _profile(obs, argv)
+    if option == "journal":
+        return _journal(interp, obs, argv)
     if option == "dump":
         fmt = _format_flag(argv, 2, default="json")
         if fmt != "json":
             raise TclError('bad format "%s": should be json' % fmt)
         return obs.dump_json()
     raise TclError(
-        'bad option "%s": should be dump, metrics, profile, or trace'
-        % option)
+        'bad option "%s": should be dump, journal, metrics, profile, '
+        'or trace' % option)
 
 
 def _trace(obs, argv: List[str]) -> str:
@@ -106,6 +112,76 @@ def _profile(obs, argv: List[str]) -> str:
         else:
             raise TclError('bad switch "%s": must be -limit' % rest[0])
     return obs.profile().report(limit=limit)
+
+
+def _journal(interp, obs, argv: List[str]) -> str:
+    if len(argv) < 3:
+        raise TclError(
+            'wrong # args: should be "obs journal option ?arg ...?"')
+    action = argv[2]
+    server = getattr(obs, "server", None)
+    if server is None:
+        raise TclError("obs journal: no X server attached to this "
+                       "interpreter")
+    if action == "start":
+        sink = None
+        rest = argv[3:]
+        while rest:
+            if rest[0] == "-file" and len(rest) >= 2:
+                sink = rest[1]
+                rest = rest[2:]
+            else:
+                raise TclError('bad switch "%s": must be -file'
+                               % rest[0])
+        if server.journal is not None:
+            # Start means *a new recording*: release the previous
+            # journal (it may be a harness-attached background one).
+            server.detach_journal()
+            server.journal.close_sink()
+        from ...obs.replay import start_recording
+        app = getattr(interp, "tk_app", None)
+        start_recording(
+            server,
+            name=app.name if app is not None else "session",
+            cache_enabled=(app.cache.enabled if app is not None
+                           else True),
+            compile_enabled=getattr(interp, "compile_enabled", True),
+            buffering_enabled=(app.display.buffering_enabled
+                               if app is not None else True),
+            sink=sink)
+        return ""
+    journal = server.journal
+    if journal is None:
+        raise TclError("obs journal: no journal recorded "
+                       '(use "obs journal start")')
+    if action == "stop":
+        server.detach_journal()
+        journal.close_sink()
+        return ""
+    if action == "dump":
+        limit = None
+        rest = argv[3:]
+        while rest:
+            if rest[0] == "-limit" and len(rest) >= 2:
+                try:
+                    limit = int(rest[1])
+                except ValueError:
+                    raise TclError('expected integer but got "%s"'
+                                   % rest[1])
+                rest = rest[2:]
+            else:
+                raise TclError('bad switch "%s": must be -limit'
+                               % rest[0])
+        return journal.format(limit=limit)
+    if action == "save":
+        if len(argv) != 4:
+            raise TclError(
+                'wrong # args: should be "obs journal save fileName"')
+        journal.save(argv[3])
+        return ""
+    raise TclError(
+        'bad option "%s": should be dump, save, start, or stop'
+        % action)
 
 
 def _format_flag(argv: List[str], start: int, default: str) -> str:

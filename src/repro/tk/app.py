@@ -204,6 +204,7 @@ class TkApp:
         # covers x11 + tk + tcl.
         from ..obs import Observability
         self.obs = Observability(clock=lambda: server.time_ms)
+        self.obs.server = server
         self.obs.metrics.mount(server.obs.metrics)
         self.interp.rebind_obs(self.obs)
         self._m_events = self.obs.metrics.counter("tk.events.dispatched")

@@ -542,6 +542,61 @@ def _tkwait_command(app):
     return cmd_tkwait
 
 
+def _inspect_command(app):
+    def cmd_inspect(interp, argv: List[str]) -> str:
+        """inspect ?appName? ?what? ?arg ...?
+
+        tkinspect-style remote introspection over ``send`` (the paper's
+        §6 trick): any wish application can pull another's metrics,
+        span trace, profile, or session journal off the wire::
+
+            inspect                      list running applications
+            inspect NAME metrics ?pat?   NAME's metric listing
+            inspect NAME trace           NAME's span tree
+            inspect NAME profile ?n?     NAME's profile report
+            inspect NAME journal ?n?     NAME's journal listing
+            inspect NAME dump            NAME's full obs dump (JSON)
+
+        Everything is implemented as ``send NAME {obs ...}``, so it
+        works against any peer with the toolkit's obs layer — including
+        this application itself.
+        """
+        if len(argv) == 1:
+            return format_list(app.sender.application_names())
+        if len(argv) < 3:
+            raise _wrong_args("inspect ?appName what ?arg ...??")
+        target, what = argv[1], argv[2]
+        rest = argv[3:]
+        if what == "metrics":
+            if len(rest) > 1:
+                raise _wrong_args("inspect appName metrics ?pattern?")
+            script = "obs metrics" + (" {%s}" % rest[0] if rest else "")
+        elif what == "trace":
+            if rest:
+                raise _wrong_args("inspect appName trace")
+            script = "obs trace dump"
+        elif what == "profile":
+            if len(rest) > 1:
+                raise _wrong_args("inspect appName profile ?limit?")
+            script = "obs profile report" + \
+                (" -limit %s" % rest[0] if rest else "")
+        elif what == "journal":
+            if len(rest) > 1:
+                raise _wrong_args("inspect appName journal ?limit?")
+            script = "obs journal dump" + \
+                (" -limit %s" % rest[0] if rest else "")
+        elif what == "dump":
+            if rest:
+                raise _wrong_args("inspect appName dump")
+            script = "obs dump"
+        else:
+            raise TclError(
+                'bad option "%s": should be dump, journal, metrics, '
+                'profile, or trace' % what)
+        return app.sender.send(target, script)
+    return cmd_inspect
+
+
 _COMMANDS = {
     "bind": _bind_command,
     "pack": _pack_command,
@@ -559,4 +614,5 @@ _COMMANDS = {
     "raise": _raise_command,
     "lower": _lower_command,
     "grab": _grab_command,
+    "inspect": _inspect_command,
 }

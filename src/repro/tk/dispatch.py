@@ -46,6 +46,11 @@ class EventDispatcher:
     def _advance_clock(self, when: int) -> None:
         server = self.app.display.server
         if when > server.time_ms:
+            if server._jrec is not None:
+                # A blocking wait jumping to a timer deadline is an
+                # *input* to the session: journal it so a replay moves
+                # the virtual clock along the same timeline.
+                server._jrec.input("advance", (when, self.app.name))
             server.time_ms = when
 
     # -- timer events ------------------------------------------------------

@@ -190,6 +190,9 @@ class SendManager:
         but no reply is requested and the call returns immediately.
         """
         self._m_rpcs.value += 1
+        jrec = self.app.server._jrec
+        if jrec is not None:
+            jrec.send_rpc(self.name, target_name, script, wait)
         start_ms = self.app.server.time_ms
         tracer = self.app.obs.tracer
         span = tracer.begin("send", target_name) if tracer.enabled \

@@ -28,9 +28,16 @@ class Wish:
     def __init__(self, server: Optional[XServer] = None,
                  name: str = "wish", stdout=None,
                  registry: Optional[ProcessRegistry] = None,
-                 argv: Optional[List[str]] = None):
+                 argv: Optional[List[str]] = None,
+                 cache_enabled: bool = True,
+                 compile_enabled: bool = True,
+                 buffering_enabled: bool = True):
         self.server = server if server is not None else XServer()
-        self.app = TkApp(self.server, name=name)
+        from ..tcl.interp import Interp
+        interp = Interp(compile_enabled=compile_enabled)
+        self.app = TkApp(self.server, name=name, interp=interp,
+                         cache_enabled=cache_enabled,
+                         buffering_enabled=buffering_enabled)
         self.interp = self.app.interp
         self.interp.stdout = stdout if stdout is not None else sys.stdout
         self.registry = registry if registry is not None \
@@ -73,18 +80,27 @@ class Wish:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Command-line entry point:
-    ``wish ?-f script? ?-name name? ?--trace? ?--metrics-out file? ?args?``.
+    ``wish ?-f script? ?-name name? ?--trace? ?--metrics-out file?
+    ?--journal file? ?--replay file ?--replay-mode mode?? ?args?``.
 
     ``--trace`` starts the span tracer (wire mode) before the script
     runs and prints the span tree to stderr on exit; ``--metrics-out
     FILE`` writes the full observability dump (metrics + trace +
-    profile) as JSON when the shell exits.
+    profile) as JSON when the shell exits.  ``--journal FILE`` records
+    the whole session (inputs, requests, batches, round trips, faults,
+    sends) to FILE as it runs; ``--replay FILE`` re-runs a recorded
+    session against a fresh shell and reports wire divergence
+    (``--replay-mode`` selects an ablation mode; exit status 1 on
+    divergence).
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     script_file = None
     name = "wish"
     trace = False
     metrics_out = None
+    journal_out = None
+    replay_file = None
+    replay_modes: List[str] = []
     while argv:
         if argv[0] == "-f" and len(argv) > 1:
             script_file = argv[1]
@@ -98,15 +114,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif argv[0] == "--metrics-out" and len(argv) > 1:
             metrics_out = argv[1]
             argv = argv[2:]
+        elif argv[0] == "--journal" and len(argv) > 1:
+            journal_out = argv[1]
+            argv = argv[2:]
+        elif argv[0] == "--replay" and len(argv) > 1:
+            replay_file = argv[1]
+            argv = argv[2:]
+        elif argv[0] == "--replay-mode" and len(argv) > 1:
+            replay_modes.append(argv[1])
+            argv = argv[2:]
         else:
             break
-    shell = Wish(name=name, argv=argv)
+    if replay_file is not None:
+        return _replay_main(replay_file, replay_modes or ["default"])
+
+    server = None
+    journal = None
+    script_text = ""
+    if journal_out is not None:
+        # Attach the journal before the shell exists so the recording
+        # covers application construction — the replay rebuilds the
+        # shell the same way, against its own fresh server.
+        from ..obs.replay import start_recording
+        from ..x11.xserver import XServer as _XServer
+        server = _XServer()
+        if script_file is not None:
+            with open(script_file, "r") as handle:
+                script_text = handle.read()
+        journal = start_recording(server, name=name, script=script_text,
+                                  sink=journal_out)
+    shell = Wish(server=server, name=name, argv=argv)
     obs = shell.app.obs
     if trace or metrics_out is not None:
         obs.tracer.start(wire=trace)
     try:
         if script_file is not None:
-            shell.run_file(script_file)
+            if script_text:
+                shell.run_script(script_text)
+            else:
+                shell.run_file(script_file)
             shell.mainloop()
         else:
             _interactive(shell)
@@ -115,12 +161,54 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     finally:
         obs.tracer.stop()
+        if journal is not None:
+            shell.server.detach_journal()
+            journal.close_sink()
         if trace:
             sys.stderr.write(obs.tracer.format_tree() + "\n")
         if metrics_out is not None:
             with open(metrics_out, "w") as handle:
                 handle.write(obs.dump_json() + "\n")
     return 0
+
+
+def _replay_main(path: str, modes: List[str]) -> int:
+    """``wish --replay FILE``: re-run a journal, report divergence."""
+    import io as _io
+    from ..obs.journal import Journal
+    from ..obs.replay import MODES, replay_journal
+
+    journal = Journal.load(path)
+    header = journal.meta or {}
+    status = 0
+    for mode in modes:
+        if mode not in MODES:
+            sys.stderr.write(
+                'wish: unknown replay mode "%s" (choose from %s)\n'
+                % (mode, ", ".join(sorted(MODES))))
+            return 2
+        flags = dict(header.get("flags") or {})
+        flags.setdefault("cache_enabled", True)
+        flags.setdefault("compile_enabled", True)
+        flags.setdefault("buffering_enabled", True)
+        flags.update(MODES[mode]["flags"])
+
+        def setup(server):
+            shell = Wish(server=server,
+                         name=header.get("name") or "wish",
+                         stdout=_io.StringIO(), **flags)
+            script = header.get("script") or ""
+            if script:
+                shell.run_script(script)
+            else:
+                shell.app.update()
+            return shell.app
+
+        result = replay_journal(journal, mode=mode, setup=setup)
+        sys.stderr.write(result.report() + "\n")
+        if not result.matched:
+            status = 1
+    return status
 
 
 def _interactive(shell: Wish) -> None:
@@ -134,6 +222,11 @@ def _interactive(shell: Wish) -> None:
             return
         buffer += line + "\n"
         if _script_complete(buffer):
+            jrec = shell.server._jrec
+            if jrec is not None:
+                # Interactive input is session input: journal it so a
+                # replay re-evaluates the same script at the same point.
+                jrec.input("eval", (buffer, shell.app.name))
             try:
                 result = shell.run_script(buffer)
                 if result:

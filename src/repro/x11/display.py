@@ -210,6 +210,10 @@ class Display:
         self._require_open()
         if self._buffer or self._async_error is not None:
             self.flush()
+        # Attribute the reply-bearing request that follows to this
+        # client in the journal (one-ways are attributed at batch
+        # delivery).
+        self.server._jclient = self.client.number
 
     def pending_output(self) -> int:
         """Number of buffered requests not yet delivered."""

@@ -135,6 +135,9 @@ class FaultPlan:
         self._busy = False        # reentrancy guard while firing a fault
         #: per-type x11.faults counters once bound to a metrics registry
         self._metric_counters: Optional[Dict[str, object]] = None
+        #: journal hot handle (set by XServer.attach_journal); faults
+        #: are recorded for forensics, never re-injected by replay.
+        self._jrec = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -169,6 +172,8 @@ class FaultPlan:
         self.counters[kind] += 1
         if self._metric_counters is not None:
             self._metric_counters[kind].value += 1
+        if self._jrec is not None:
+            self._jrec.fault(kind, detail)
         self.log.append((self._request_index, kind, detail))
 
     # ------------------------------------------------------------------

@@ -98,6 +98,16 @@ class XServer:
         self.clients: List[Client] = []
         self.time_ms = 0
         self.obs = Observability(clock=lambda: self.time_ms)
+        self.obs.server = self
+        #: session journal (repro.obs.journal); ``_jrec`` is the hot
+        #: handle — None unless recording, so ``_tick`` pays one test.
+        self.journal = None
+        self._jrec = None
+        #: client number / operand window / argument digest attributed
+        #: to the next tick
+        self._jclient: Optional[int] = None
+        self._jwindow: Optional[int] = None
+        self._jdetail: Optional[str] = None
         self._m_round_trips = self.obs.metrics.counter("x11.round_trips")
         self._m_batches = self.obs.metrics.counter("x11.batches")
         self._h_batch_size = self.obs.metrics.histogram(
@@ -158,10 +168,38 @@ class XServer:
         """Attach a :class:`~repro.x11.faults.FaultPlan` to this server."""
         self.fault_plan = plan
         plan.bind_metrics(self.obs.metrics)
+        plan._jrec = self._jrec
         return plan
 
     def clear_fault_plan(self) -> None:
         self.fault_plan = None
+
+    # ------------------------------------------------------------------
+    # session journal (repro.obs.journal)
+    # ------------------------------------------------------------------
+
+    def attach_journal(self, journal) -> "Journal":
+        """Start recording the session into ``journal``.
+
+        Every request tick, input injection, delivered batch, round
+        trip, fault, and send RPC is appended until
+        :meth:`detach_journal`; the journal object stays reachable at
+        :attr:`journal` afterwards for dumps and replay.
+        """
+        self.journal = journal
+        self._jrec = journal
+        journal.recording = True
+        if self.fault_plan is not None:
+            self.fault_plan._jrec = journal
+        return journal
+
+    def detach_journal(self) -> None:
+        """Stop recording; the journal stays attached for reads."""
+        if self.journal is not None:
+            self.journal.recording = False
+        self._jrec = None
+        if self.fault_plan is not None:
+            self.fault_plan._jrec = None
 
     def _new_id(self) -> int:
         self._next_resource_id += 1
@@ -174,6 +212,12 @@ class XServer:
             counter = self._request_counters[name] = \
                 self.obs.metrics.counter("x11.requests", type=name)
         counter.value += 1
+        jrec = self._jrec
+        if jrec is not None:
+            jrec.request(name, self._jclient, self._jwindow,
+                         self._jdetail)
+            self._jwindow = None
+            self._jdetail = None
         if _trace._ACTIVE:
             if self._delivering_batch:
                 # Batched requests were attributed to their issuing
@@ -202,6 +246,8 @@ class XServer:
     def round_trip(self) -> None:
         """Record that a request required a reply from the server."""
         self._m_round_trips.value += 1
+        if self._jrec is not None:
+            self._jrec.round_trip()
         if _trace._ACTIVE:
             _trace.record_round_trip()
 
@@ -238,6 +284,9 @@ class XServer:
         if not ops:
             return 0
         first_error: Optional[XProtocolError] = None
+        self._jclient = client.number
+        if self._jrec is not None:
+            self._jrec.batch(client.number, ops)
         try:
             self._tick("batch")
         except XProtocolError as error:
@@ -255,6 +304,10 @@ class XServer:
                     raise XConnectionLost(
                         "connection to X server lost (batch aborted after "
                         "%d of %d requests)" % (delivered, len(ops)))
+                if self._jrec is not None:
+                    from ..obs.journal import args_digest
+                    self._jwindow = _window
+                    self._jdetail = args_digest(args, kwargs)
                 try:
                     getattr(self, name)(*args, **kwargs)
                 except XConnectionLost:
@@ -265,6 +318,9 @@ class XServer:
                 delivered += 1
         finally:
             self._delivering_batch = False
+            self._jclient = None
+            self._jwindow = None
+            self._jdetail = None
         if first_error is not None:
             raise first_error
         return delivered
@@ -686,7 +742,10 @@ class XServer:
 
     def warp_pointer(self, root_x: int, root_y: int, state: int = 0) -> None:
         """Move the pointer, generating Enter/Leave and Motion events."""
+        if self._jrec is not None:
+            self._jrec.input("warp_pointer", (root_x, root_y, state))
         self._drain_client_output()
+        self._jclient = None
         self._tick("warp_pointer")
         self.pointer_x = root_x
         self.pointer_y = root_y
@@ -724,14 +783,19 @@ class XServer:
 
     def press_button(self, button: int, state: int = 0) -> None:
         """Press a pointer button at the current pointer position."""
+        if self._jrec is not None:
+            self._jrec.input("press_button", (button, state))
         self._button_event(BUTTON_PRESS, button, state)
 
     def release_button(self, button: int, state: int = 0) -> None:
+        if self._jrec is not None:
+            self._jrec.input("release_button", (button, state))
         self._button_event(BUTTON_RELEASE, button, state)
 
     def _button_event(self, event_type: int, button: int,
                       state: int) -> None:
         self._drain_client_output()
+        self._jclient = None
         self._tick("button_event")
         window = self.pointer_window
         x, y = window.root_position()
@@ -744,15 +808,20 @@ class XServer:
     def press_key(self, keysym: str, state: int = 0,
                   window_id: Optional[int] = None) -> None:
         """Press a key; delivered to the focus window (or an override)."""
+        if self._jrec is not None:
+            self._jrec.input("press_key", (keysym, state, window_id))
         self._key_event(KEY_PRESS, keysym, state, window_id)
 
     def release_key(self, keysym: str, state: int = 0,
                     window_id: Optional[int] = None) -> None:
+        if self._jrec is not None:
+            self._jrec.input("release_key", (keysym, state, window_id))
         self._key_event(KEY_RELEASE, keysym, state, window_id)
 
     def _key_event(self, event_type: int, keysym: str, state: int,
                    window_id: Optional[int]) -> None:
         self._drain_client_output()
+        self._jclient = None
         self._tick("key_event")
         from .keysyms import char_for_keysym
         if window_id is not None:

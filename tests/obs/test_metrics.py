@@ -130,3 +130,49 @@ class TestOutput:
         registry = MetricsRegistry()
         registry.counter("x11.round_trips").inc(3)
         assert json.loads(registry.to_json()) == {"x11.round_trips": 3}
+
+
+class TestPercentiles:
+    def _loaded(self):
+        from repro.obs.metrics import Histogram
+        histogram = Histogram("t", (), buckets=(1, 10, 100))
+        for value in [1] * 90 + [50] * 9 + [500]:
+            histogram.observe(value)
+        return histogram
+
+    def test_bucket_upper_bound_estimates(self):
+        histogram = self._loaded()
+        assert histogram.percentile(0.50) == 1
+        assert histogram.percentile(0.95) == 100
+        assert histogram.percentile(0.99) == 100
+
+    def test_overflow_reports_last_bound(self):
+        histogram = self._loaded()
+        # the p100 observation sits past every bucket; the estimate
+        # saturates at the histogram's resolution
+        assert histogram.percentile(1.0) == 100
+
+    def test_empty_histogram_has_no_percentiles(self):
+        from repro.obs.metrics import Histogram
+        histogram = Histogram("t", ())
+        assert histogram.percentile(0.5) is None
+        assert "p50" not in histogram.snapshot()
+
+    def test_snapshot_carries_p50_p95_p99(self):
+        snapshot = self._loaded().snapshot()
+        assert snapshot["p50"] == 1
+        assert snapshot["p95"] == 100
+        assert snapshot["p99"] == 100
+
+    def test_format_shows_percentiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("send.wait_ms", buckets=(1, 10))
+        for value in (1, 1, 5):
+            histogram.observe(value)
+        line = registry.format("send.wait_ms")
+        assert "p50=1" in line and "p95=10" in line and "p99=10" in line
+
+    def test_format_omits_percentiles_when_empty(self):
+        registry = MetricsRegistry()
+        registry.histogram("send.wait_ms")
+        assert "p50" not in registry.format("send.wait_ms")

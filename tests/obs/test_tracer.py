@@ -150,3 +150,61 @@ class TestOutput:
         first = tracer.begin("cmd", "set")
         assert first.id == 1
         tracer.finish(first)
+
+
+class TestEvictionRerooting:
+    def test_evicted_parent_rerooted_not_dropped(self, clock):
+        # Simulate a wrapped ring: the parent span has fallen off the
+        # bounded deque, its children survive.  tree() must re-root
+        # them (marked), not silently drop them.
+        from repro.obs.trace import Span
+        tracer = Tracer(clock, max_spans=4)
+        child = Span(7, "cmd", "survivor", None, parent_id=3, start=5)
+        tracer.spans.append(child)
+        (node,) = tracer.tree()
+        assert node["name"] == "survivor"
+        assert node["orphaned"] is True
+
+    def test_stop_inside_handler_orphans_recorded_children(self, clock):
+        # A realizable orphan: "obs trace stop" runs inside a traced
+        # handler, so the parent's finish is dropped while its already
+        # -recorded children stay in the ring.
+        tracer = Tracer(clock)
+        tracer.start()
+        outer = tracer.begin("eval", "handler")
+        tracer.finish(tracer.begin("cmd", "recorded"))
+        tracer.stop()                 # abandons the open parent
+        tracer.finish(outer)          # dropped: tracer not collecting
+        (node,) = tracer.tree()
+        assert node["name"] == "recorded"
+        assert node["orphaned"] is True
+
+    def test_true_roots_not_marked_orphaned(self, tracer):
+        root = tracer.begin("eval", "root")
+        tracer.finish(tracer.begin("cmd", "child"))
+        tracer.finish(root)
+        (node,) = tracer.tree()
+        assert "orphaned" not in node
+        assert "orphaned" not in node["children"][0]
+
+    def test_roots_in_start_order(self, tracer, clock):
+        # Nested spans finish child-first; the deque is finish-ordered
+        # but the tree must present roots in start order.
+        first = tracer.begin("eval", "first")
+        clock.now += 1
+        tracer.finish(tracer.begin("cmd", "inner"))
+        tracer.finish(first)
+        second = tracer.begin("eval", "second")
+        tracer.finish(second)
+        assert [node["name"] for node in tracer.tree()] == \
+            ["first", "second"]
+
+    def test_format_tree_flags_orphans(self, clock):
+        tracer = Tracer(clock)
+        tracer.start()
+        outer = tracer.begin("eval", "handler")
+        tracer.finish(tracer.begin("cmd", "recorded"))
+        tracer.stop()
+        tracer.finish(outer)
+        text = tracer.format_tree()
+        assert "(orphaned: parent span evicted)" in text

@@ -20,7 +20,8 @@ class TestMetricsOut:
                        _write_script(tmp_path)])
         assert status == 0
         data = json.loads(out.read_text())
-        assert set(data) == {"metrics", "trace", "profile"}
+        assert set(data) - {"journal"} == {"metrics", "trace",
+                                           "profile"}
         assert data["metrics"]["x11.requests{type=create_window}"] >= 2
         # --metrics-out alone still records spans for the profile
         assert data["trace"]["spans"]
@@ -56,3 +57,56 @@ class TestNoFlags:
         status = main(["-f", _write_script(tmp_path)])
         assert status == 0
         assert "TRACE" not in capsys.readouterr().err
+
+
+class TestJournalFlag:
+    def test_records_session_to_file(self, tmp_path):
+        out = tmp_path / "session.journal"
+        status = main(["--journal", str(out), "-f",
+                       _write_script(tmp_path)])
+        assert status == 0
+        lines = out.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["k"] == "header"
+        assert "button .b" in header["script"]
+        kinds = {json.loads(line)["k"] for line in lines[1:]}
+        assert {"req", "batch"} <= kinds
+
+    def test_replay_of_recorded_session_matches(self, tmp_path, capsys):
+        out = tmp_path / "session.journal"
+        assert main(["--journal", str(out), "-f",
+                     _write_script(tmp_path)]) == 0
+        status = main(["--replay", str(out)])
+        assert status == 0
+        assert "REPLAY mode=default: MATCH" in capsys.readouterr().err
+
+    def test_replay_all_ablation_modes(self, tmp_path, capsys):
+        out = tmp_path / "session.journal"
+        assert main(["--journal", str(out), "-f",
+                     _write_script(tmp_path)]) == 0
+        status = main(["--replay", str(out),
+                       "--replay-mode", "cache_off",
+                       "--replay-mode", "compile_off",
+                       "--replay-mode", "buffering_off"])
+        assert status == 0
+        assert capsys.readouterr().err.count("MATCH") == 3
+
+    def test_replay_divergence_exits_one(self, tmp_path, capsys):
+        out = tmp_path / "session.journal"
+        assert main(["--journal", str(out), "-f",
+                     _write_script(tmp_path)]) == 0
+        # tamper with the recorded setup: the replay must notice
+        tampered = out.read_text().replace("-text hi", "-text bye")
+        out.write_text(tampered)
+        status = main(["--replay", str(out)])
+        assert status == 1
+        assert "DIVERGED" in capsys.readouterr().err
+
+    def test_unknown_replay_mode_exits_two(self, tmp_path, capsys):
+        out = tmp_path / "session.journal"
+        assert main(["--journal", str(out), "-f",
+                     _write_script(tmp_path)]) == 0
+        status = main(["--replay", str(out),
+                       "--replay-mode", "bogus"])
+        assert status == 2
+        assert "unknown replay mode" in capsys.readouterr().err
