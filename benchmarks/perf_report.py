@@ -100,6 +100,12 @@ def bench_proc_call():
     return _measure(lambda: interp.eval("add 19 23"))
 
 
+def bench_proc_call_bytecode_off():
+    interp = Interp(bytecode_enabled=False)
+    interp.eval("proc add {x y} {expr {$x + $y}}")
+    return _measure(lambda: interp.eval("add 19 23"))
+
+
 def bench_expr_loop():
     """100 iterations of ``while {$i < 100} {incr i}``."""
     interp = Interp()
@@ -111,6 +117,28 @@ def bench_expr_loop_nocompile():
     interp = Interp(compile_enabled=False)
     script = "set i 0\nwhile {$i < 100} {incr i}"
     return _measure(lambda: interp.eval(script))
+
+
+def bench_expr_loop_bytecode_off():
+    interp = Interp(bytecode_enabled=False)
+    script = "set i 0\nwhile {$i < 100} {incr i}"
+    return _measure(lambda: interp.eval(script))
+
+
+_FOREACH_SCRIPT = ("set total 0\n"
+                   "foreach x {1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 "
+                   "17 18 19 20} {set total [expr {$total + $x}]}")
+
+
+def bench_foreach_list():
+    """foreach over a 20-element literal list with an expr body."""
+    interp = Interp()
+    return _measure(lambda: interp.eval(_FOREACH_SCRIPT))
+
+
+def bench_foreach_list_bytecode_off():
+    interp = Interp(bytecode_enabled=False)
+    return _measure(lambda: interp.eval(_FOREACH_SCRIPT))
 
 
 def bench_binding_dispatch():
@@ -148,11 +176,22 @@ BENCHMARKS = [
     ("simple_command", bench_simple_command),
     ("simple_command_nocompile", bench_simple_command_nocompile),
     ("proc_call", bench_proc_call),
+    ("proc_call_bytecode_off", bench_proc_call_bytecode_off),
     ("expr_loop", bench_expr_loop),
     ("expr_loop_nocompile", bench_expr_loop_nocompile),
+    ("expr_loop_bytecode_off", bench_expr_loop_bytecode_off),
+    ("foreach_list", bench_foreach_list),
+    ("foreach_list_bytecode_off", bench_foreach_list_bytecode_off),
     ("binding_dispatch", bench_binding_dispatch),
     ("button_churn_50", bench_button_churn_50),
 ]
+
+#: Absolute ceilings (µs) enforced by ``--check`` in addition to the
+#: no-regression rule: the bytecode VM's acceptance targets.
+TARGETS = {
+    "proc_call": 3.5,
+    "expr_loop": 250.0,
+}
 
 
 def run_benchmarks() -> dict:
@@ -188,12 +227,21 @@ def check(report: dict) -> int:
               % (name, old_mean, new_mean, status))
         if new_mean > limit:
             failures.append(name)
+    for name, ceiling in sorted(TARGETS.items()):
+        if name not in report:
+            continue
+        new_mean = report[name]["mean_us"]
+        status = "ok" if new_mean <= ceiling else "OVER TARGET"
+        print("%-28s target    %10.3f us  now %10.3f us  %s"
+              % (name, ceiling, new_mean, status))
+        if new_mean > ceiling:
+            failures.append("%s (target %.1fus)" % (name, ceiling))
     if failures:
-        print("FAIL: regression >%d%% in: %s"
+        print("FAIL: regression >%d%% or target miss in: %s"
               % (int(CHECK_TOLERANCE * 100), ", ".join(failures)))
         return 1
-    print("OK: no benchmark regressed more than %d%%"
-          % int(CHECK_TOLERANCE * 100))
+    print("OK: no benchmark regressed more than %d%% and all "
+          "absolute targets hold" % int(CHECK_TOLERANCE * 100))
     return 0
 
 
@@ -206,6 +254,14 @@ def main(argv) -> int:
                   / report["expr_loop"]["mean_us"])
     print("compile speedup: simple command %.1fx, expr loop %.1fx"
           % (ratio, loop_ratio))
+    print("bytecode speedup: proc call %.1fx, expr loop %.1fx, "
+          "foreach %.1fx"
+          % (report["proc_call_bytecode_off"]["mean_us"]
+             / report["proc_call"]["mean_us"],
+             report["expr_loop_bytecode_off"]["mean_us"]
+             / report["expr_loop"]["mean_us"],
+             report["foreach_list_bytecode_off"]["mean_us"]
+             / report["foreach_list"]["mean_us"]))
     if checking:
         return check(report)
     with open(BENCH_FILE, "w") as handle:

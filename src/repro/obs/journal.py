@@ -97,7 +97,8 @@ class Journal:
     def set_header(self, name: str = "", script: str = "",
                    cache_enabled: bool = True,
                    compile_enabled: bool = True,
-                   buffering_enabled: bool = True) -> None:
+                   buffering_enabled: bool = True,
+                   bytecode_enabled: bool = True) -> None:
         """Record session metadata; embedded so journals are
         self-contained (a replay rebuilds the application from the
         header's script and ablation flags)."""
@@ -106,7 +107,8 @@ class Journal:
             "script": script,
             "flags": {"cache_enabled": bool(cache_enabled),
                       "compile_enabled": bool(compile_enabled),
-                      "buffering_enabled": bool(buffering_enabled)},
+                      "buffering_enabled": bool(buffering_enabled),
+                      "bytecode_enabled": bool(bytecode_enabled)},
         }
         if self._sink is not None:
             self._sink.write(_encode(self.meta) + "\n")

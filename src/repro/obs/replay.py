@@ -64,6 +64,10 @@ MODES: Dict[str, dict] = {
                       "allowed": frozenset()},
     "compile_off":   {"flags": {"compile_enabled": False},
                       "compare": "exact", "allowed": frozenset()},
+    # The bytecode VM is a pure CPU optimisation: running the same
+    # capture through the tree walker must produce an identical wire.
+    "bytecode_off":  {"flags": {"bytecode_enabled": False},
+                      "compare": "exact", "allowed": frozenset()},
     # Cache misses are reply-bearing requests, and every reply-bearing
     # request is an auto-flush point: turning the cache off therefore
     # also moves batch boundaries and defeats some coalescing, so the
@@ -210,6 +214,7 @@ def start_recording(server, name: str = "session", script: str = "",
                     cache_enabled: bool = True,
                     compile_enabled: bool = True,
                     buffering_enabled: bool = True,
+                    bytecode_enabled: bool = True,
                     sink: Optional[str] = None,
                     maxlen: Optional[int] = None) -> Journal:
     """Attach a fresh recording journal to ``server`` and return it."""
@@ -220,7 +225,8 @@ def start_recording(server, name: str = "session", script: str = "",
     journal.set_header(name=name, script=script,
                        cache_enabled=cache_enabled,
                        compile_enabled=compile_enabled,
-                       buffering_enabled=buffering_enabled)
+                       buffering_enabled=buffering_enabled,
+                       bytecode_enabled=bytecode_enabled)
     journal.open_sink()
     server.attach_journal(journal)
     return journal
@@ -231,6 +237,7 @@ def record_session(script: str, steps: List[Tuple],
                    cache_enabled: bool = True,
                    compile_enabled: bool = True,
                    buffering_enabled: bool = True,
+                   bytecode_enabled: bool = True,
                    sink: Optional[str] = None) -> Journal:
     """Record one scripted session from scratch and return its journal.
 
@@ -249,9 +256,11 @@ def record_session(script: str, steps: List[Tuple],
                               cache_enabled=cache_enabled,
                               compile_enabled=compile_enabled,
                               buffering_enabled=buffering_enabled,
+                              bytecode_enabled=bytecode_enabled,
                               sink=sink)
     app = _build_app(server, name, script, cache_enabled,
-                     compile_enabled, buffering_enabled)
+                     compile_enabled, buffering_enabled,
+                     bytecode_enabled)
     try:
         for step in steps:
             kind, args = step[0], tuple(step[1:])
@@ -279,10 +288,12 @@ def record_session(script: str, steps: List[Tuple],
 
 
 def _build_app(server, name: str, script: str, cache_enabled: bool,
-               compile_enabled: bool, buffering_enabled: bool):
+               compile_enabled: bool, buffering_enabled: bool,
+               bytecode_enabled: bool = True):
     from ..tcl.interp import Interp
     from ..tk.app import TkApp
-    interp = Interp(compile_enabled=compile_enabled)
+    interp = Interp(compile_enabled=compile_enabled,
+                    bytecode_enabled=bytecode_enabled)
     interp.stdout = io.StringIO()
     app = TkApp(server, name=name, interp=interp,
                 cache_enabled=cache_enabled,
@@ -320,6 +331,7 @@ def replay_journal(journal: Journal, mode: str = "default",
     flags.setdefault("cache_enabled", True)
     flags.setdefault("compile_enabled", True)
     flags.setdefault("buffering_enabled", True)
+    flags.setdefault("bytecode_enabled", True)
     flags.update(policy["flags"])
     if script is None:
         script = header.get("script") or ""
@@ -335,7 +347,8 @@ def replay_journal(journal: Journal, mode: str = "default",
     else:
         app = _build_app(server, name, script, flags["cache_enabled"],
                          flags["compile_enabled"],
-                         flags["buffering_enabled"])
+                         flags["buffering_enabled"],
+                         flags["bytecode_enabled"])
     try:
         for input_name, args in journal.inputs():
             if input_name == "update":

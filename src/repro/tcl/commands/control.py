@@ -219,7 +219,7 @@ def cmd_global(interp, argv: List[str]) -> str:
     if frame.level == 0:
         return ""
     for name in argv[1:]:
-        if name not in frame.links and name not in frame.variables:
+        if not frame.has_link(name) and not frame.has_local(name):
             interp.link_var(frame, name, interp.global_frame, name)
     return ""
 

@@ -47,11 +47,9 @@ def cmd_info(interp, argv: List[str]) -> str:
     if option == "globals":
         return _filtered(interp.global_frame.variables.keys(), pattern)
     if option == "locals":
-        return _filtered(interp.current_frame.variables.keys(), pattern)
+        return _filtered(interp.current_frame.local_names(), pattern)
     if option == "vars":
-        frame = interp.current_frame
-        names = set(frame.variables) | set(frame.links)
-        return _filtered(names, pattern)
+        return _filtered(interp.current_frame.var_names(), pattern)
     if option == "level":
         if len(argv) == 2:
             return str(interp.current_frame.level)
@@ -83,6 +81,32 @@ def cmd_info(interp, argv: List[str]) -> str:
         raise TclError(
             'procedure "%s" doesn\'t have an argument "%s"'
             % (argv[2], argv[3]))
+    if option == "disassemble":
+        # Bytecode listing of a procedure (by name) or a script
+        # string; compiles on demand so the output is available even
+        # before the first call.
+        if len(argv) != 3:
+            raise _wrong_args("info disassemble procOrScript")
+        from .. import vm
+        from ..compile import compile_script
+        target = interp.commands.get(argv[2])
+        if isinstance(target, Proc):
+            code = target.vm_code
+            if code is None:
+                compiled = target.compiled
+                if compiled is None:
+                    compiled = target.compiled = \
+                        compile_script(target.body)
+                code = target.vm_code = \
+                    vm.code_for_proc(interp, compiled, target)
+            return vm.disassemble(code)
+        compiled = interp.compile(argv[2])
+        if isinstance(compiled, str):
+            compiled = compile_script(compiled)
+        code = compiled.vm_code
+        if code is None:
+            code = vm.code_for_script(interp, compiled)
+        return vm.disassemble(code)
     if option == "tclversion":
         return _VERSION
     if option == "cmdcount":
@@ -113,8 +137,8 @@ def cmd_info(interp, argv: List[str]) -> str:
         return format_list(pairs)
     raise TclError(
         'bad option "%s": should be args, body, cmdcount, commands, '
-        'compilecache, default, exists, globals, level, locals, '
-        'metrics, procs, tclversion, or vars'
+        'compilecache, default, disassemble, exists, globals, level, '
+        'locals, metrics, procs, tclversion, or vars'
         % option)
 
 

@@ -8,7 +8,8 @@ from __future__ import annotations
 from typing import List
 
 from ..errors import TclError
-from ..lists import format_list, parse_list, quote_element
+from ..lists import list_value, parse_list, quote_element
+from ..value import attach_elements, cached_elements
 from ..strings import glob_match, _to_int
 
 
@@ -25,7 +26,7 @@ def _index(text: str, length: int) -> int:
 
 
 def cmd_list(interp, argv: List[str]) -> str:
-    return format_list(argv[1:])
+    return list_value(argv[1:])
 
 
 def cmd_lindex(interp, argv: List[str]) -> str:
@@ -55,7 +56,20 @@ def cmd_lappend(interp, argv: List[str]) -> str:
         current = ""
     pieces = [current] if current else []
     pieces.extend(quote_element(value) for value in argv[2:])
-    return interp.set_var(name, " ".join(pieces), index)
+    joined = " ".join(pieces)
+    # Preserve the list rep across the append: when the current value
+    # already carries parsed elements, the result's elements are known
+    # without re-parsing the (possibly long) accumulated string.
+    cached = cached_elements(current) if current else ()
+    if current.endswith("\\"):
+        # A trailing backslash would escape the joining space, changing
+        # how the junction re-parses; let the string rep be the truth.
+        cached = None
+    if cached is not None:
+        from ..value import Value
+        joined = Value(joined)
+        attach_elements(joined, tuple(cached) + tuple(argv[2:]))
+    return interp.set_var(name, joined, index)
 
 
 def cmd_lrange(interp, argv: List[str]) -> str:
@@ -66,7 +80,7 @@ def cmd_lrange(interp, argv: List[str]) -> str:
     last = min(_index(argv[3], len(elements)), len(elements) - 1)
     if first > last:
         return ""
-    return format_list(elements[first:last + 1])
+    return list_value(elements[first:last + 1])
 
 
 def cmd_linsert(interp, argv: List[str]) -> str:
@@ -75,7 +89,7 @@ def cmd_linsert(interp, argv: List[str]) -> str:
     elements = parse_list(argv[1])
     position = _index(argv[2], len(elements) + 1)
     position = max(0, min(position, len(elements)))
-    return format_list(elements[:position] + argv[3:] + elements[position:])
+    return list_value(elements[:position] + argv[3:] + elements[position:])
 
 
 def cmd_lreplace(interp, argv: List[str]) -> str:
@@ -89,7 +103,7 @@ def cmd_lreplace(interp, argv: List[str]) -> str:
     replacement = list(argv[4:])
     if last < first:
         last = first - 1
-    return format_list(elements[:first] + replacement + elements[last + 1:])
+    return list_value(elements[:first] + replacement + elements[last + 1:])
 
 
 def cmd_lsearch(interp, argv: List[str]) -> str:
@@ -140,7 +154,7 @@ def cmd_lsort(interp, argv: List[str]) -> str:
         ordered = sorted(elements, key=key, reverse=reverse)
     except ValueError as error:
         raise TclError(str(error))
-    return format_list(ordered)
+    return list_value(ordered)
 
 
 def register(interp) -> None:

@@ -95,6 +95,11 @@ def _install_hooks(interp) -> None:
     interp.set_var = set_var
     interp.get_var = get_var
     interp.unset_var = unset_var
+    # The bytecode VM must stop touching frame storage directly: every
+    # variable access has to flow through the hooked accessors above so
+    # traces fire.  (Hooks are never uninstalled, matching the table's
+    # lifetime, so this never flips back.)
+    interp._vm_direct = False
 
 
 def cmd_trace(interp, argv: List[str]) -> str:

@@ -123,7 +123,7 @@ def cmd_array(interp, argv: List[str]) -> str:
             'wrong # args: should be "array option arrayName ?arg ...?"')
     option, name = argv[1], argv[2]
     frame, resolved = interp._resolve(interp.current_frame, name)
-    value = frame.variables.get(resolved)
+    value = interp._read_cell(frame, resolved)
     is_array = isinstance(value, dict)
     if option == "exists":
         return "1" if is_array else "0"

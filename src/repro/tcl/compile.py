@@ -206,13 +206,15 @@ class CompiledScript:
     benchmarks), letting the interpreter skip the command loop.
     """
 
-    __slots__ = ("source", "commands", "single")
+    __slots__ = ("source", "commands", "single", "vm_code")
 
     def __init__(self, source: str, commands: List[CompiledCommand]):
         self.source = source
         self.commands = commands
         self.single: Optional[CompiledCommand] = \
             commands[0] if len(commands) == 1 else None
+        #: Bytecode form, built lazily by the VM on first execution.
+        self.vm_code = None
 
     def execute(self, interp) -> str:
         result = ""

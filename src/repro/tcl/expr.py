@@ -33,6 +33,7 @@ from typing import List, Optional, Tuple, Union
 
 from .errors import TclError, TclParseError
 from .parser import CmdSub, Literal, VarSub, Word, _Scanner
+from .value import cached_number, format_number
 
 Number = Union[int, float]
 Value = Union[int, float, str]
@@ -46,35 +47,14 @@ _OPERATORS = [
 
 
 def coerce_number(value: Value) -> Optional[Number]:
-    """Return the numeric interpretation of a value, or None."""
-    if isinstance(value, (int, float)):
-        return value
-    text = value.strip()
-    if not text:
-        return None
-    try:
-        return _parse_int(text)
-    except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        return None
+    """Return the numeric interpretation of a value, or None.
 
-
-def _parse_int(text: str) -> int:
-    """Parse an integer with Tcl/C prefixes (0x hex, leading 0 octal)."""
-    sign = 1
-    body = text
-    if body and body[0] in "+-":
-        if body[0] == "-":
-            sign = -1
-        body = body[1:]
-    if body.lower().startswith("0x"):
-        return sign * int(body[2:], 16)
-    if len(body) > 1 and body[0] == "0" and body.isdigit():
-        return sign * int(body, 8)
-    return sign * int(body)
+    Delegates to the dual-rep machinery (:mod:`repro.tcl.value`): a
+    :class:`~repro.tcl.value.Value` carrying a cached numeric rep skips
+    the parse entirely, and the parse itself applies Tcl's coercion
+    rules (invalid octals such as ``"08"`` are strings, not floats).
+    """
+    return cached_number(value)
 
 
 def require_number(value: Value) -> Number:
@@ -100,16 +80,8 @@ def truth(value: Value) -> bool:
 
 def format_value(value: Value) -> str:
     """Format an expression result the way Tcl prints it."""
-    if isinstance(value, bool):
-        return "1" if value else "0"
-    if isinstance(value, int):
-        return str(value)
-    if isinstance(value, float):
-        text = "%.12g" % value
-        if "." not in text and "e" not in text and "n" not in text and \
-                "i" not in text:
-            text += ".0"
-        return text
+    if isinstance(value, (bool, int, float)):
+        return format_number(value)
     return value
 
 
@@ -605,8 +577,13 @@ def _apply_shift(op: str, left: Value, right: Value) -> int:
 
 def _apply_relational(op: str, left: Value, right: Value) -> int:
     cmp = _compare(left, right)
-    return int({"<": cmp < 0, ">": cmp > 0,
-                "<=": cmp <= 0, ">=": cmp >= 0}[op])
+    if op == "<":
+        return int(cmp < 0)
+    if op == ">":
+        return int(cmp > 0)
+    if op == "<=":
+        return int(cmp <= 0)
+    return int(cmp >= 0)
 
 
 #: Eager binary operators: op -> applier(left, right).
@@ -631,9 +608,12 @@ _BINARY_APPLY = {
 
 
 class _BinaryNode:
-    __slots__ = ("apply", "left", "right")
+    # ``op`` is kept alongside the bound applier so the bytecode VM
+    # can inline the all-numeric cases without a second dispatch.
+    __slots__ = ("op", "apply", "left", "right")
 
     def __init__(self, op: str, left, right):
+        self.op = op
         self.apply = _BINARY_APPLY[op]
         self.left = left
         self.right = right

@@ -24,6 +24,9 @@ from ..obs import Observability
 from .compile import CompiledScript, _append_error_info, compile_script
 from .errors import (TclBreak, TclContinue, TclError, TclReturn)
 from .lists import format_list, parse_list
+from .value import (SlotLink as _SlotLink, UNSET as _UNSET, Value as _Value,
+                    to_str as _to_value_str)
+from . import vm as _vm
 
 CommandProc = Callable[["Interp", List[str]], Optional[str]]
 
@@ -51,9 +54,18 @@ class CallFrame:
     ``variables`` maps names to scalar strings or array dicts.
     ``links`` maps names to ``(frame, name)`` targets created by
     ``global`` and ``upvar``.
+
+    Frames pushed by the bytecode VM additionally carry indexed local
+    slots for the procedure's formals: ``slot_map`` maps formal names
+    to indexes into ``slots``.  A name lives *either* in ``slot_map``
+    or in the dicts, never both, so dict-only frames (``slot_map is
+    None``) behave exactly as before.  A slot holds a scalar, an array
+    dict, a :class:`~repro.tcl.value.SlotLink` alias, or the UNSET
+    sentinel.
     """
 
-    __slots__ = ("variables", "links", "level", "proc_name", "argv")
+    __slots__ = ("variables", "links", "level", "proc_name", "argv",
+                 "slots", "slot_map")
 
     def __init__(self, level: int, proc_name: str = "",
                  argv: Optional[List[str]] = None):
@@ -62,6 +74,48 @@ class CallFrame:
         self.level = level
         self.proc_name = proc_name
         self.argv = argv or []
+        self.slots: Optional[list] = None
+        self.slot_map: Optional[Dict[str, int]] = None
+
+    def has_local(self, name: str) -> bool:
+        """True if ``name`` is a set local variable (not a link)."""
+        slot_map = self.slot_map
+        if slot_map is not None:
+            ix = slot_map.get(name)
+            if ix is not None:
+                cell = self.slots[ix]
+                return cell is not _UNSET and type(cell) is not _SlotLink
+        return name in self.variables
+
+    def has_link(self, name: str) -> bool:
+        """True if ``name`` is an upvar/global alias in this frame."""
+        slot_map = self.slot_map
+        if slot_map is not None:
+            ix = slot_map.get(name)
+            if ix is not None:
+                return type(self.slots[ix]) is _SlotLink
+        return name in self.links
+
+    def local_names(self) -> List[str]:
+        """Names of set local variables (``info locals``)."""
+        names = list(self.variables)
+        slot_map = self.slot_map
+        if slot_map is not None:
+            for name, ix in slot_map.items():
+                cell = self.slots[ix]
+                if cell is not _UNSET and type(cell) is not _SlotLink:
+                    names.append(name)
+        return names
+
+    def var_names(self) -> List[str]:
+        """Names of set-or-linked variables (``info vars``)."""
+        names = set(self.variables) | set(self.links)
+        slot_map = self.slot_map
+        if slot_map is not None:
+            for name, ix in slot_map.items():
+                if self.slots[ix] is not _UNSET:
+                    names.add(name)
+        return list(names)
 
 
 class Proc:
@@ -71,16 +125,19 @@ class Proc:
     procedure object itself, so procedure calls never touch (or evict
     from) the interpreter's bounded script cache.  Redefining the
     procedure installs a fresh ``Proc`` and therefore a fresh
-    compilation.
+    compilation.  ``vm_code`` is the bytecode form (built from
+    ``compiled`` on the first call under the VM), with the formals
+    resolved to local-variable slot indexes.
     """
 
-    __slots__ = ("name", "formals", "body", "compiled")
+    __slots__ = ("name", "formals", "body", "compiled", "vm_code")
 
     def __init__(self, name: str, formals: List[List[str]], body: str):
         self.name = name
         self.formals = formals
         self.body = body
         self.compiled: Optional[CompiledScript] = None
+        self.vm_code = None
 
     def __call__(self, interp: "Interp", argv: List[str]) -> str:
         return interp.call_proc(self, argv)
@@ -94,7 +151,8 @@ class Interp:
 
     def __init__(self, stdout=None, compile_enabled: bool = True,
                  obs: Optional[Observability] = None,
-                 obs_enabled: bool = True):
+                 obs_enabled: bool = True,
+                 bytecode_enabled: bool = True):
         self.commands: Dict[str, CommandProc] = {}
         self.global_frame = CallFrame(level=0)
         self.frames: List[CallFrame] = [self.global_frame]
@@ -104,6 +162,16 @@ class Interp:
         #: when False every evaluation re-parses and re-substitutes
         #: from scratch, with no compiled-script or expression caching.
         self.compile_enabled = compile_enabled
+        #: Ablation flag for the bytecode VM: when False, compiled
+        #: scripts are executed by the tree-walking CompiledCommand
+        #: path exactly as before the VM existed.  (The VM also stands
+        #: down while the span tracer is collecting, so trace trees
+        #: keep their exact per-command shape.)
+        self.bytecode_enabled = bytecode_enabled
+        #: True while no variable traces are installed: the VM may
+        #: read/write frame storage directly.  ``trace`` flips it and
+        #: the VM falls back to the (hooked) get_var/set_var methods.
+        self._vm_direct = True
         #: LRU of script text -> CompiledScript, bounded by
         #: ``_compile_limit`` (an attribute so tests can shrink it).
         self._compile_cache: "OrderedDict[str, CompiledScript]" = \
@@ -124,6 +192,13 @@ class Interp:
             self.obs.metrics.counter("tcl.compile.misses")
         #: Total commands executed (``info cmdcount``).
         self._m_commands = self.obs.metrics.counter("tcl.commands")
+        #: Bytecode VM counters: compilations, opcode dispatches, and
+        #: command-resolution inline-cache hits.
+        self._m_vm_compiles = self.obs.metrics.counter("tcl.vm.compiles")
+        self._m_vm_dispatches = \
+            self.obs.metrics.counter("tcl.vm.dispatches")
+        self._m_vm_cache_hits = \
+            self.obs.metrics.counter("tcl.vm.inline_cache_hits")
         self._tracer = self.obs.tracer if obs_enabled else None
         #: Precomputed "is the tracer collecting" flag, maintained by a
         #: tracer start/stop listener: the command hot path tests one
@@ -233,22 +308,29 @@ class Interp:
                 "too many nested calls to Tcl_Eval (infinite loop?)")
         self.depth += 1
         try:
-            if type(script) is not str:
-                single = script.single
-                if single is not None:
-                    return single.execute(self)
-                return script.execute(self)
-            if self.compile_enabled:
+            if not isinstance(script, str):
+                compiled = script
+            elif self.compile_enabled:
                 compiled = self._compiled(script)
-                single = compiled.single
-                if single is not None:
-                    return single.execute(self)
-                return compiled.execute(self)
-            # Ablation path: re-parse and re-substitute every time.
-            result = ""
-            for command in parser.parse_script(script):
-                result = self._eval_command(command)
-            return result
+            else:
+                # Ablation path: re-parse and re-substitute every time.
+                result = ""
+                for command in parser.parse_script(script):
+                    result = self._eval_command(command)
+                return result
+            if self.bytecode_enabled and self.compile_enabled and \
+                    not self._trace_on:
+                code = compiled.vm_code
+                if code is None:
+                    code = _vm.code_for_script(self, compiled)
+                result = _vm.run(self, code, self.frames[-1])
+                if type(result) is str or type(result) is _Value:
+                    return result
+                return _to_value_str(result)
+            single = compiled.single
+            if single is not None:
+                return single.execute(self)
+            return compiled.execute(self)
         finally:
             self.depth -= 1
 
@@ -422,27 +504,76 @@ class Interp:
         return self.frames[-1]
 
     def _resolve(self, frame: CallFrame, name: str) -> tuple:
-        """Follow upvar/global links to the owning frame."""
+        """Follow upvar/global links to the owning frame.
+
+        Links live either in the frame's ``links`` dict or — for
+        aliased formals on VM frames — in the local slot itself.
+        """
         seen = 0
-        while name in frame.links:
-            frame, name = frame.links[name]
+        while True:
+            link = frame.links.get(name) if frame.links else None
+            if link is None:
+                slot_map = frame.slot_map
+                if slot_map is not None:
+                    ix = slot_map.get(name)
+                    if ix is not None:
+                        cell = frame.slots[ix]
+                        if type(cell) is _SlotLink:
+                            frame, name = cell.frame, cell.name
+                            seen += 1
+                            if seen > len(self.frames) + 1:
+                                raise TclError(
+                                    'circular variable link for "%s"'
+                                    % name)
+                            continue
+                return frame, name
+            frame, name = link
             seen += 1
             if seen > len(self.frames) + 1:
                 raise TclError('circular variable link for "%s"' % name)
-        return frame, name
+
+    def _read_cell(self, frame: CallFrame, name: str):
+        """The raw stored value at a resolved (frame, name), or None."""
+        slot_map = frame.slot_map
+        if slot_map is not None:
+            ix = slot_map.get(name)
+            if ix is not None:
+                cell = frame.slots[ix]
+                return None if cell is _UNSET else cell
+        return frame.variables.get(name)
 
     def get_var(self, name: str, index: Optional[str] = None,
                 frame: Optional[CallFrame] = None) -> str:
         frame, name = self._resolve(frame or self.current_frame, name)
-        value = frame.variables.get(name)
+        slot_ix = None
+        slot_map = frame.slot_map
+        if slot_map is not None:
+            slot_ix = slot_map.get(name)
+        if slot_ix is not None:
+            value = frame.slots[slot_ix]
+            if value is _UNSET:
+                value = None
+        else:
+            value = frame.variables.get(name)
         if value is None:
             raise TclError('can\'t read "%s": no such variable'
                            % _display_name(name, index))
         if index is None:
-            if isinstance(value, dict):
+            cls = type(value)
+            if cls is str or cls is _Value:
+                return value
+            if cls is dict:
                 raise TclError(
                     'can\'t read "%s": variable is array' % name)
-            return value
+            # Dual-rep: the VM stores raw numbers; the string rep is
+            # materialized (once) on the first string-level read and
+            # written back so later reads return the same object.
+            text = _to_value_str(value)
+            if slot_ix is not None:
+                frame.slots[slot_ix] = text
+            else:
+                frame.variables[name] = text
+            return text
         if not isinstance(value, dict):
             raise TclError(
                 'can\'t read "%s(%s)": variable isn\'t array'
@@ -456,6 +587,29 @@ class Interp:
                 index: Optional[str] = None,
                 frame: Optional[CallFrame] = None) -> str:
         frame, name = self._resolve(frame or self.current_frame, name)
+        slot_ix = None
+        slot_map = frame.slot_map
+        if slot_map is not None:
+            slot_ix = slot_map.get(name)
+        if slot_ix is not None:
+            existing = frame.slots[slot_ix]
+            if existing is _UNSET:
+                existing = None
+            if index is None:
+                if type(existing) is dict:
+                    raise TclError(
+                        'can\'t set "%s": variable is array' % name)
+                frame.slots[slot_ix] = value
+                return value
+            if existing is None:
+                existing = {}
+                frame.slots[slot_ix] = existing
+            elif not isinstance(existing, dict):
+                raise TclError(
+                    'can\'t set "%s(%s)": variable isn\'t array'
+                    % (name, index))
+            existing[index] = value
+            return value
         if index is None:
             if isinstance(frame.variables.get(name), dict):
                 raise TclError(
@@ -476,6 +630,23 @@ class Interp:
     def unset_var(self, name: str, index: Optional[str] = None,
                   frame: Optional[CallFrame] = None) -> None:
         frame, name = self._resolve(frame or self.current_frame, name)
+        slot_map = frame.slot_map
+        if slot_map is not None:
+            slot_ix = slot_map.get(name)
+            if slot_ix is not None:
+                value = frame.slots[slot_ix]
+                if value is _UNSET:
+                    raise TclError('can\'t unset "%s": no such variable'
+                                   % _display_name(name, index))
+                if index is None:
+                    frame.slots[slot_ix] = _UNSET
+                    return
+                if not isinstance(value, dict) or index not in value:
+                    raise TclError(
+                        'can\'t unset "%s(%s)": no such element'
+                        % (name, index))
+                del value[index]
+                return
         if name not in frame.variables:
             raise TclError('can\'t unset "%s": no such variable'
                            % _display_name(name, index))
@@ -493,7 +664,7 @@ class Interp:
             frame, name = self._resolve(self.current_frame, name)
         except TclError:
             return False
-        value = frame.variables.get(name)
+        value = self._read_cell(frame, name)
         if value is None:
             return False
         if index is None:
@@ -510,6 +681,16 @@ class Interp:
     def link_var(self, frame: CallFrame, local_name: str,
                  target_frame: CallFrame, target_name: str) -> None:
         """Create an upvar/global style alias."""
+        slot_map = frame.slot_map
+        if slot_map is not None:
+            ix = slot_map.get(local_name)
+            if ix is not None:
+                cell = frame.slots[ix]
+                if cell is not _UNSET and type(cell) is not _SlotLink:
+                    raise TclError(
+                        'variable "%s" already exists' % local_name)
+                frame.slots[ix] = _SlotLink(target_frame, target_name)
+                return
         if local_name in frame.variables:
             raise TclError(
                 'variable "%s" already exists' % local_name)
@@ -542,6 +723,9 @@ class Interp:
         return self._call_proc(proc, argv)
 
     def _call_proc(self, proc: Proc, argv: List[str]) -> str:
+        if self.bytecode_enabled and self.compile_enabled and \
+                not self._trace_on:
+            return self._call_proc_vm(proc, argv)
         body: Union[str, CompiledScript] = proc.body
         if self.compile_enabled:
             compiled = proc.compiled
@@ -565,6 +749,77 @@ class Interp:
                     'invoked "continue" outside of a loop')
         finally:
             self.frames.pop()
+
+    def _call_proc_vm(self, proc: Proc, argv: List[str]) -> str:
+        """Procedure call on the bytecode path: body compiled to
+        bytecode once (on the Proc, like ``compiled``), formals bound
+        straight into indexed slots, no name-dict traffic."""
+        code = proc.vm_code
+        if code is None:
+            compiled = proc.compiled
+            if compiled is None:
+                compiled = proc.compiled = compile_script(proc.body)
+            code = proc.vm_code = _vm.code_for_proc(self, compiled, proc)
+        if self.depth >= _MAX_NESTING_DEPTH:
+            raise TclError(
+                "too many nested calls to Tcl_Eval (infinite loop?)")
+        if code.simple_arity == len(argv) - 1:
+            # No defaults, no ``args``, right count: binding is a copy.
+            slots = argv[1:]
+        else:
+            slots = self._bind_slots(proc, argv)
+        frame = CallFrame.__new__(CallFrame)
+        frame.variables = {}
+        frame.links = {}
+        frame.level = len(self.frames)
+        frame.proc_name = proc.name
+        frame.argv = argv
+        frame.slots = slots
+        frame.slot_map = code.slot_map
+        self.depth += 1
+        self.frames.append(frame)
+        try:
+            try:
+                result = _vm.run(self, code, frame)
+                if type(result) is str or type(result) is _Value:
+                    return result
+                return _to_value_str(result)
+            except TclReturn as ret:
+                return ret.value
+            except TclBreak:
+                raise TclError(
+                    'invoked "break" outside of a loop')
+            except TclContinue:
+                raise TclError(
+                    'invoked "continue" outside of a loop')
+        finally:
+            self.frames.pop()
+            self.depth -= 1
+
+    def _bind_slots(self, proc: Proc, argv: List[str]) -> list:
+        """Bind arguments to slot-indexed formals (``_bind_formals``
+        with positions instead of dict inserts; same diagnostics)."""
+        supplied = argv[1:]
+        formals = proc.formals
+        n_supplied = len(supplied)
+        slots: list = []
+        for position, formal in enumerate(formals):
+            name = formal[0]
+            if name == "args" and position == len(formals) - 1:
+                slots.append(format_list(supplied[position:]))
+                return slots
+            if position < n_supplied:
+                slots.append(supplied[position])
+            elif len(formal) == 2:
+                slots.append(formal[1])
+            else:
+                raise TclError(
+                    'no value given for parameter "%s" to "%s"'
+                    % (name, proc.name))
+        if n_supplied > len(formals):
+            raise TclError(
+                'called "%s" with too many arguments' % proc.name)
+        return slots
 
     def _bind_formals(self, proc: Proc, argv: List[str],
                       frame: CallFrame) -> None:

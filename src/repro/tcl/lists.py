@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Iterable, List
 
 from .errors import TclError
+from .value import Value, attach_elements, cached_elements
 
 _WHITESPACE = " \t\n\r\f\v"
 
@@ -36,7 +37,21 @@ def parse_list(text: str) -> List[str]:
 
     Raises :class:`TclError` for malformed lists (unmatched braces or
     quotes), matching the diagnostics of the C implementation.
+
+    A :class:`~repro.tcl.value.Value` carrying a cached list rep skips
+    the parse; the first successful parse of a Value attaches one, so
+    ``foreach``/``lindex`` over the same stored list split it once.
+    A fresh list is returned either way — callers mutate their copy.
     """
+    cached = cached_elements(text)
+    if cached is not None:
+        return list(cached)
+    elements = _parse_list_uncached(text)
+    attach_elements(text, elements)
+    return elements
+
+
+def _parse_list_uncached(text: str) -> List[str]:
     elements: List[str] = []
     pos = 0
     end = len(text)
@@ -196,3 +211,19 @@ def quote_element(element: str) -> str:
 def format_list(elements: Iterable[str]) -> str:
     """Join values into a well-formed Tcl list string."""
     return " ".join(quote_element(element) for element in elements)
+
+
+def list_value(elements: Iterable[str]) -> Value:
+    """Format a list whose result carries its list rep pre-cached.
+
+    ``parse_list(format_list(e)) == e`` is the formatting invariant, so
+    the elements themselves *are* the list rep of the formatted string:
+    commands that build lists (``list``, ``lrange``, ``lsort``) can
+    hand their result straight to a consumer (``foreach``, ``lindex``)
+    without the round trip through the parser.
+    """
+    elements = [element if type(element) is str or type(element) is Value
+                else str(element) for element in elements]
+    out = Value(" ".join(quote_element(element) for element in elements))
+    out.elements = tuple(elements)
+    return out

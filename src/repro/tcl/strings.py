@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from .errors import TclError
+from .value import cached_number as _cached_number
 
 
 def glob_match(pattern: str, text: str) -> bool:
@@ -145,6 +146,19 @@ def _int_argument(arguments: List[str], index: int) -> str:
 
 
 def _to_int(text: str) -> int:
+    # Dual-rep fast path: a Value whose numeric rep is already cached
+    # skips the string parse (incr/lindex hot paths).  A cached
+    # "not a number" still falls through to the permissive parse below,
+    # which accepts a few shapes (e.g. "08", "3.7") that the strict
+    # expression coercion does not.
+    num = _cached_number(text)
+    if num is not None:
+        if type(num) is int:
+            return num
+        try:
+            return int(num)
+        except (ValueError, OverflowError):     # inf/nan floats
+            raise TclError('expected integer but got "%s"' % text)
     text = text.strip()
     try:
         if text.lower().startswith(("0x", "-0x", "+0x")):

@@ -1,0 +1,205 @@
+"""Dual-representation Tcl values (the Tcl_Obj idea).
+
+Tcl's semantics say every value *is* a string (paper section 2), and the
+seed interpreter took that literally: ``incr`` re-parsed its operand on
+every iteration and ``expr`` re-converted each ``$var`` read.  Tcl 8.0
+kept the string semantics but changed the representation: a value
+carries its string rep plus at most one cached *internal* rep (integer,
+double, list, ...), converted on first use and invalidated on write.
+
+:class:`Value` is that object.  It subclasses ``str`` so every existing
+consumer — command procedures, the journal encoder, dict keys — sees an
+ordinary string, while the expression evaluator and the list commands
+attach their parsed reps to it:
+
+* ``num``      — the numeric rep (int/float), or :data:`_NONNUM` when
+  the string is known not to parse as a number;
+* ``elements`` — the list rep: a tuple of element strings such that
+  ``format_list(elements)`` round-trips.
+
+Because Tcl values are immutable there is no write-invalidation on the
+object itself: "shimmering" happens at variable-write boundaries, where
+a *new* value (with empty caches) replaces the old one.  The shimmer
+test suite (tests/tcl/test_value.py) pins that behavior down.
+
+This module has no repro-internal imports, so ``expr``, ``lists`` and
+the bytecode VM can all share it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+Number = Union[int, float]
+
+
+class Value(str):
+    """A string that may carry cached numeric and list representations."""
+
+    __slots__ = ("num", "elements")
+
+
+#: Cached "this string is not a number" marker (distinct from "not yet
+#: converted", which is an unset attribute).
+_NONNUM = object()
+
+#: Sentinel stored in an indexed local-variable slot that has no value
+#: (never-assigned formal position, or unset).  Distinct from None so
+#: slots need no existence dict.
+UNSET = object()
+
+
+class SlotLink:
+    """An upvar/global alias stored *in* a local-variable slot.
+
+    Frames with indexed slots keep their formals out of the name dict;
+    when ``upvar``/``global`` aliases a formal, the link lives in the
+    slot itself and variable resolution follows it like a ``links``
+    dict entry.
+    """
+
+    __slots__ = ("frame", "name")
+
+    def __init__(self, frame, name):
+        self.frame = frame
+        self.name = name
+
+
+def number_of(text: str) -> Optional[Number]:
+    """Parse a Tcl numeric string: int (decimal/0x/0octal) or float.
+
+    Returns None for non-numeric strings, which the expression
+    evaluator treats as "compare as a string".  The rules are stricter
+    than a bare ``int()``/``float()`` cascade, fixing the coercion bugs
+    that surface at comparison boundaries:
+
+    * ``"08"`` is an *invalid octal*, not the float 8.0 — it stays a
+      string (classic Tcl rejects it rather than silently reading it
+      as decimal or float);
+    * surrounding whitespace is fine (``" 1 "`` is 1) but interior
+      whitespace is not (``"- 5"`` is not a number);
+    * ``"inf"``/``"nan"`` spellings are strings, so they compare
+      lexically instead of poisoning numeric comparisons (a float
+      *literal* that overflows, e.g. ``1e999``, still yields inf);
+    * Python's digit-separator extension (``"1_000"``) is rejected.
+    """
+    text = text.strip()
+    if not text or "_" in text:
+        return None
+    sign = 1
+    body = text
+    if body[0] in "+-":
+        if body[0] == "-":
+            sign = -1
+        body = body[1:]
+        if not body:
+            return None
+    first = body[0]
+    if not (first.isdigit() or first == "."):
+        return None                      # rejects "inf", "nan", "e5"...
+    if body != body.strip():
+        return None                      # rejects "- 5", "+ 1"
+    if first == "0" and len(body) > 1:
+        lowered = body[:2].lower()
+        if lowered == "0x":
+            try:
+                return sign * int(body[2:], 16)
+            except ValueError:
+                return None
+        if body.isdigit():
+            try:
+                return sign * int(body, 8)
+            except ValueError:
+                return None              # "08": invalid octal, not 8.0
+    if body.isdigit():
+        try:
+            return sign * int(body)
+        except ValueError:
+            return None                  # unicode digits int() rejects
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def cached_number(value) -> Optional[Number]:
+    """Numeric rep of any operand, converting (and caching) on demand."""
+    cls = type(value)
+    if cls is int or cls is float:
+        return value
+    if cls is Value:
+        try:
+            num = value.num
+        except AttributeError:
+            num = number_of(value)
+            value.num = num if num is not None else _NONNUM
+            return num
+        return None if num is _NONNUM else num
+    if cls is bool:
+        return int(value)
+    return number_of(value)
+
+
+def format_number(value: Number) -> str:
+    """Format a numeric value the way Tcl prints it."""
+    if type(value) is bool:
+        return "1" if value else "0"
+    if type(value) is int:
+        return str(value)
+    text = "%.12g" % value
+    if "." not in text and "e" not in text and "n" not in text and \
+            "i" not in text:
+        text += ".0"
+    return text
+
+
+def to_str(value) -> str:
+    """The string rep of a stack value, carrying its numeric cache.
+
+    Strings pass through unchanged; numbers become :class:`Value`
+    objects whose ``num`` cache holds what *re-parsing the string*
+    would give — for floats that is ``float("%.12g")``, so a value
+    that round-trips through a variable compares identically whether
+    or not the dual rep short-circuited the parse.
+    """
+    cls = type(value)
+    if cls is str or cls is Value:
+        return value
+    if cls is int:
+        out = Value(str(value))
+        out.num = value
+        return out
+    if cls is bool:
+        out = Value("1" if value else "0")
+        out.num = int(value)
+        return out
+    text = format_number(value)
+    out = Value(text)
+    if "n" in text or "i" in text:       # inf/nan do not re-parse
+        out.num = _NONNUM
+    else:
+        out.num = float(text)
+    return out
+
+
+def literal(text: str) -> Value:
+    """Wrap a compile-time literal so its first conversion is its last."""
+    if type(text) is Value:
+        return text
+    return Value(text)
+
+
+def cached_elements(value) -> Optional[tuple]:
+    """The cached list rep of a value, or None if absent/not a Value."""
+    if type(value) is Value:
+        try:
+            return value.elements
+        except AttributeError:
+            return None
+    return None
+
+
+def attach_elements(value, elements) -> None:
+    """Attach a list rep to a value (no-op for plain strings)."""
+    if type(value) is Value:
+        value.elements = tuple(elements)

@@ -230,3 +230,57 @@ class TestMathLibraryFunctions:
     def test_wrong_argument_count(self, interp):
         with pytest.raises(TclError, match="wrong # arguments"):
             interp.eval("expr sin(1, 2)")
+
+
+class TestComparisonBoundaries:
+    """Int/string round-tripping at comparison boundaries.
+
+    Whether an operand compares numerically or lexically is decided by
+    the same parser that feeds the dual-rep numeric cache
+    (repro.tcl.value.number_of); these rows pin the tricky edges so the
+    bytecode VM's inlined comparisons and the tree walker's appliers
+    can never drift apart.
+    """
+
+    @pytest.mark.parametrize("expression, expected", [
+        # leading-zero strings are invalid octal, hence strings
+        ('"08" == "8"', "0"),
+        ('"08" == "08"', "1"),
+        ('"010" == "8"', "1"),           # valid octal IS the number 8
+        # surrounding whitespace parses, interior whitespace does not
+        ('" 1 " == 1', "1"),
+        ('"- 5" == -5', "0"),
+        # spelled-out inf/nan are strings; overflow literals are inf
+        ('"inf" == "inf"', "1"),
+        ('1e999 > 1e308', "1"),
+        ('1e999 == 1e999', "1"),
+        # Python's digit-separator extension must not leak in
+        ('"1_000" == 1000', "0"),
+        # numeric strings with different spellings compare as numbers
+        ('"0x10" == 16', "1"),
+        ('"1.0" == 1', "1"),
+        ('"+5" == 5', "1"),
+        # ordering mixes: numeric when both parse, lexical otherwise
+        ('"9" < "10"', "1"),
+        ('"a9" < "a10"', "0"),
+        ('"abc" < "abd"', "1"),
+    ])
+    def test_boundary(self, interp, expression, expected):
+        assert interp.eval("expr {%s}" % expression) == expected
+
+    @pytest.mark.parametrize("expression, expected", [
+        ('"08" == "8"', "0"),
+        ('" 1 " == 1', "1"),
+        ('1e999 > 1e308', "1"),
+        ('"9" < "10"', "1"),
+    ])
+    def test_boundary_without_bytecode(self, expression, expected):
+        interp = Interp(bytecode_enabled=False)
+        assert interp.eval("expr {%s}" % expression) == expected
+
+    def test_variable_operands_hit_the_same_rules(self, interp):
+        interp.eval('set a 08')
+        interp.eval('set b 8')
+        assert interp.eval("expr {$a == $b}") == "0"
+        interp.eval('set a 010')
+        assert interp.eval("expr {$a == $b}") == "1"

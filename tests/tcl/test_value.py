@@ -1,0 +1,179 @@
+"""Shimmer tests for the dual-representation value object.
+
+Tcl 8.0's Tcl_Obj keeps the "everything is a string" semantics while
+caching one internal rep (int, double, list) per value.  Because our
+values are immutable, "shimmering" — dropping one rep to adopt another
+— happens at variable-*write* boundaries: a write installs a new value
+whose caches start empty.  These tests pin down both halves: reps are
+cached and reused on reads, and no stale rep survives a write.
+"""
+
+import pytest
+
+from repro.tcl import Interp
+from repro.tcl.value import (Value, _NONNUM, attach_elements,
+                             cached_elements, cached_number, literal,
+                             number_of, to_str)
+
+
+@pytest.fixture
+def interp():
+    return Interp()
+
+
+class TestValueObject:
+    def test_value_is_a_string(self):
+        value = Value("42")
+        assert isinstance(value, str)
+        assert value == "42"
+        assert {value: 1}["42"] == 1     # hashes like its string rep
+
+    def test_numeric_rep_cached_on_first_use(self):
+        value = Value("42")
+        assert cached_number(value) == 42
+        assert value.num == 42           # converted once, stored
+
+    def test_non_numeric_rep_cached_as_nonnum(self):
+        value = Value("hello")
+        assert cached_number(value) is None
+        assert value.num is _NONNUM      # "known non-number" is cached too
+        assert cached_number(value) is None
+
+    def test_raw_ints_and_floats_pass_through(self):
+        assert cached_number(7) == 7
+        assert cached_number(2.5) == 2.5
+        assert cached_number(True) == 1
+
+    def test_to_str_carries_the_number_back(self):
+        out = to_str(42)
+        assert out == "42"
+        assert out.num == 42
+
+    def test_to_str_float_round_trips_through_its_string(self):
+        # The cache must equal what re-parsing the string rep gives,
+        # so a value compares identically with or without the cache.
+        out = to_str(1 / 3)
+        assert out.num == float(str(out))
+
+    def test_to_str_infinity_does_not_reparse(self):
+        out = to_str(1e999)
+        assert "inf" in out.lower()
+        assert out.num is _NONNUM        # "inf" the string is not numeric
+
+    def test_literal_wraps_once(self):
+        lit = literal("99")
+        assert literal(lit) is lit
+
+    def test_list_rep_attach_and_fetch(self):
+        value = Value("a b c")
+        assert cached_elements(value) is None
+        attach_elements(value, ["a", "b", "c"])
+        assert cached_elements(value) == ("a", "b", "c")
+        assert cached_elements("a b c") is None   # plain str: no cache
+
+
+class TestNumberOf:
+    """Table-driven coercion rules at the string<->number boundary."""
+
+    @pytest.mark.parametrize("text, expected", [
+        ("42", 42),
+        (" 1 ", 1),                      # surrounding whitespace is fine
+        ("-7", -7),
+        ("+5", 5),
+        ("3.5", 3.5),
+        (".5", 0.5),
+        ("0x10", 16),
+        ("010", 8),                      # leading zero means octal
+        ("1e3", 1000.0),
+        ("08", None),                    # invalid octal, NOT 8.0
+        ("- 5", None),                   # interior whitespace
+        ("1_000", None),                 # Python digit separators
+        ("inf", None),                   # spelled-out inf is a string
+        ("nan", None),
+        ("-inf", None),
+        ("e5", None),
+        ("0x", None),
+        ("", None),
+        ("abc", None),
+    ])
+    def test_parse(self, text, expected):
+        assert number_of(text) == expected
+
+    def test_float_literal_overflow_is_inf(self):
+        assert number_of("1e999") == float("inf")
+
+
+class TestShimmer:
+    """Interpreter-level: caches are used on reads, dropped on writes."""
+
+    def test_string_length_after_arithmetic(self, interp):
+        interp.eval("set x 5")
+        interp.eval("set y [expr {$x + 95}]")
+        # The result arrived with a numeric cache; string commands must
+        # still see the exact string rep.
+        assert interp.eval("string length $y") == "3"
+        assert interp.eval("expr {$y * 2}") == "200"
+
+    def test_write_invalidates_numeric_rep(self, interp):
+        interp.eval("set x 10")
+        interp.eval("incr x")            # read through the numeric rep
+        interp.eval("set x hello")       # write: new value, fresh caches
+        assert interp.eval("string length $x") == "5"
+        assert interp.eval(
+            "expr {$x == \"hello\"}") == "1"
+
+    def test_list_rep_survives_reads_across_commands(self, interp):
+        interp.eval("set l {a b c}")
+        assert interp.eval("lindex $l 1") == "b"
+        assert interp.eval("llength $l") == "3"
+        assert interp.eval("lrange $l 0 1") == "a b"
+
+    def test_lappend_then_string_ops(self, interp):
+        interp.eval("set l {a b}")
+        interp.eval("lappend l c")
+        assert interp.eval("set l") == "a b c"
+        assert interp.eval("string length $l") == "5"
+        assert interp.eval("lindex $l 2") == "c"
+
+    def test_number_then_list_then_number(self, interp):
+        # One value used under every rep in sequence.
+        interp.eval("set v 12")
+        assert interp.eval("expr {$v + 1}") == "13"
+        assert interp.eval("llength $v") == "1"
+        assert interp.eval("lindex $v 0") == "12"
+        assert interp.eval("incr v") == "13"
+
+    def test_upvar_alias_sees_writes(self, interp):
+        interp.eval("""
+            proc bump {name} {
+                upvar $name local
+                set local [expr {$local + 1}]
+            }
+        """)
+        interp.eval("set counter 41")
+        interp.eval("bump counter")
+        assert interp.eval("set counter") == "42"
+        assert interp.eval("string length $counter") == "2"
+
+    def test_proc_formal_shimmering(self, interp):
+        # A formal bound from a numeric result is still a full string.
+        interp.eval("proc digits {n} {string length $n}")
+        interp.eval("set big [expr {1000 * 1000}]")
+        assert interp.eval("digits $big") == "7"
+
+    def test_float_result_string_rep_is_tcl_formatted(self, interp):
+        assert interp.eval("expr {7.0 / 2}") == "3.5"
+        assert interp.eval("set x [expr {1.0 * 4}]") == "4.0"
+        assert interp.eval("string length $x") == "3"
+
+    def test_comparison_boundary_leading_zero(self, interp):
+        # "08" is not a number, so == falls back to string comparison.
+        assert interp.eval('expr {"08" == "8"}') == "0"
+        assert interp.eval('expr {" 1 " == 1}') == "1"
+
+    def test_overflow_literal_compares_numerically(self, interp):
+        assert interp.eval("expr {1e999 > 1e308}") == "1"
+
+    def test_spelled_inf_compares_as_string(self, interp):
+        assert interp.eval('expr {"inf" == "inf"}') == "1"
+        assert interp.eval('expr {"nan" == "nan"}') == "1"
