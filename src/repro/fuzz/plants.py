@@ -1,0 +1,94 @@
+"""Deliberately planted bugs, behind test-only switches.
+
+Each plant is a context manager that monkey-patches one narrow,
+*wire-neutral* defect into the toolkit — wire-neutral so the planted
+session still records and replays byte-identically and only the
+resource oracles can catch it, exactly like a real state leak would
+behave.  Plants exist to prove the fuzzer end-to-end: CI arms one,
+fuzzes until the oracle fires, shrinks the step list, and replays the
+checked-in repro (whose journal header names the plant in its
+``planted`` field, so ``--repro``/``--regress`` know to arm it again).
+
+Never arm a plant outside tests/CI; ``python -m repro.fuzz`` arms one
+only via ``--plant`` or the journal header of a planted repro.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+
+@contextmanager
+def selection_leak():
+    """Destroying a window no longer releases its selection claims.
+
+    Re-creates the class of bug the server's ``_destroy_recursive``
+    scrub exists to prevent: the stale ``selections`` entry keeps a
+    destroyed window reachable, and a later ``convert_selection``
+    would route a SelectionRequest at a corpse.  Detected by the
+    ``selection-leak`` census oracle.
+    """
+    from ..x11.xserver import XServer
+    original = XServer._destroy_recursive
+
+    def leaky(self, window):
+        leaked = {atom: entry for atom, entry in self.selections.items()
+                  if entry[0] is window}
+        original(self, window)
+        self.selections.update(leaked)
+
+    XServer._destroy_recursive = leaky
+    try:
+        yield
+    finally:
+        XServer._destroy_recursive = original
+
+
+@contextmanager
+def registry_leak():
+    """Clean application shutdown forgets to unregister its send name.
+
+    The comm window still dies with the connection, but the registry
+    property on the root keeps the dead name — the stale-entry state
+    real Tk only tolerates after a *crash*.  Detected by the
+    ``registry-stale`` oracle (which excuses fault-killed peers but
+    not clean exits).
+    """
+    from ..tk.send import SendManager
+    from ..x11.xserver import XProtocolError
+    original = SendManager.unregister
+
+    def leaky(self):
+        try:
+            self.app.display.destroy_window(self.comm_window)
+        except XProtocolError:
+            pass
+
+    SendManager.unregister = leaky
+    try:
+        yield
+    finally:
+        SendManager.unregister = original
+
+
+#: name -> context-manager factory; the ``--plant`` vocabulary.
+PLANTS = {
+    "selection_leak": selection_leak,
+    "registry_leak": registry_leak,
+}
+
+
+@contextmanager
+def plant(name):
+    """Arm the named plant for the duration (no-op for ``None``)."""
+    if name is None:
+        yield
+        return
+    if name not in PLANTS:
+        raise ValueError('unknown plant "%s" (choose from %s)'
+                         % (name, ", ".join(sorted(PLANTS))))
+    with PLANTS[name]():
+        yield
+
+
+__all__ = ["PLANTS", "plant", "selection_leak", "registry_leak"]

@@ -46,9 +46,12 @@ FORMAT_VERSION = 1
 #: Input kinds a replay knows how to re-inject.  ``update`` pumps one
 #: application's event loop, ``advance`` moves the virtual clock (a
 #: blocking wait jumping to a timer deadline), ``eval`` evaluates a
-#: top-level script (interactive wish sessions).
+#: top-level script (interactive wish sessions), ``new_app`` connects
+#: an additional application to the shared server (multi-interpreter
+#: sessions, e.g. the adversarial fuzzer's).
 INPUT_KINDS = ("warp_pointer", "press_button", "release_button",
-               "press_key", "release_key", "update", "advance", "eval")
+               "press_key", "release_key", "update", "advance", "eval",
+               "new_app")
 
 
 def _encode(entry: Dict[str, object]) -> str:
@@ -98,10 +101,16 @@ class Journal:
                    cache_enabled: bool = True,
                    compile_enabled: bool = True,
                    buffering_enabled: bool = True,
-                   bytecode_enabled: bool = True) -> None:
+                   bytecode_enabled: bool = True,
+                   fault_plan: Optional[dict] = None,
+                   planted: Optional[str] = None) -> None:
         """Record session metadata; embedded so journals are
         self-contained (a replay rebuilds the application from the
-        header's script and ablation flags)."""
+        header's script and ablation flags, and re-installs the
+        header's fault plan so injected faults replay deterministically).
+        ``planted`` names a test-only planted bug
+        (:mod:`repro.fuzz.plants`) that must be active for the journal
+        to reproduce."""
         self.meta = {
             "k": "header", "v": FORMAT_VERSION, "name": name,
             "script": script,
@@ -110,6 +119,10 @@ class Journal:
                       "buffering_enabled": bool(buffering_enabled),
                       "bytecode_enabled": bool(bytecode_enabled)},
         }
+        if fault_plan is not None:
+            self.meta["fault_plan"] = fault_plan
+        if planted is not None:
+            self.meta["planted"] = planted
         if self._sink is not None:
             self._sink.write(_encode(self.meta) + "\n")
 
@@ -150,6 +163,15 @@ class Journal:
 
     def fault(self, fault_type: str, detail: str) -> None:
         self.record("fault", type=fault_type, detail=detail)
+
+    def disconnected(self, client: int) -> None:
+        """A client's connection closed (clean close or fault).
+
+        The dead-client oracle scans for requests attributed to a
+        client after its ``disc`` entry — the output buffer must never
+        deliver on behalf of a closed connection.
+        """
+        self.record("disc", client=client)
 
     def send_rpc(self, sender: str, target: str, script: str,
                  wait: bool) -> None:
@@ -276,6 +298,8 @@ class Journal:
                 " ".join(op[0] for op in entry["ops"]))
         if kind == "rt":
             return head + "round-trip"
+        if kind == "disc":
+            return head + "disc   client=%s" % entry["client"]
         if kind == "fault":
             return head + "fault  %s: %s" % (entry["type"],
                                              entry["detail"])

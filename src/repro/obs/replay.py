@@ -22,9 +22,13 @@ output-buffer ablation.  Each mode in :data:`MODES` encodes that
 expectation: requests attributable to the ablation are reported as an
 *expected delta*; anything else diverges the replay.
 
-Faults are recorded for forensics but not re-injected: replay a
-fault-free capture to prove determinism, read the journal itself to
-diagnose a faulty one.
+Faulted sessions replay too: a journal whose header embeds a
+serialized :class:`~repro.x11.faults.FaultPlan` (see
+:meth:`FaultPlan.to_spec`) gets the same plan re-installed on the
+fresh server before the application is rebuilt, so seeded and
+scripted faults fire at the same request ticks and the wire — errors,
+disconnects and all — replays deterministically.  Journals recorded
+without a plan stay fault-free on replay.
 """
 
 from __future__ import annotations
@@ -104,6 +108,11 @@ class ReplayResult:
                                  if name not in allowed}
         self.first_divergence: Optional[int] = None
         self.context: List[dict] = []
+        #: the replay's own Journal (byte-identity oracle input) and
+        #: the exceptions the executor swallowed; filled by
+        #: :func:`replay_journal`.
+        self.replay_log: Optional[Journal] = None
+        self.swallowed: List[Tuple[str, BaseException]] = []
         if compare == "counts":
             self.matched = not self.unexpected_delta and not truncated
         else:
@@ -216,9 +225,25 @@ def start_recording(server, name: str = "session", script: str = "",
                     buffering_enabled: bool = True,
                     bytecode_enabled: bool = True,
                     sink: Optional[str] = None,
-                    maxlen: Optional[int] = None) -> Journal:
-    """Attach a fresh recording journal to ``server`` and return it."""
+                    maxlen: Optional[int] = None,
+                    fault_plan=None,
+                    planted: Optional[str] = None) -> Journal:
+    """Attach a fresh recording journal to ``server`` and return it.
+
+    ``fault_plan`` may be a live :class:`~repro.x11.faults.FaultPlan`
+    (installed on the server and serialized into the header) or an
+    already-serialized spec dict (embedded verbatim; the caller
+    installed the plan).  ``planted`` names the active test-only
+    planted bug, if any, so regression journals know what to arm.
+    """
     from .journal import JOURNAL_RING
+    fault_spec = None
+    if fault_plan is not None:
+        if isinstance(fault_plan, dict):
+            fault_spec = fault_plan
+        else:
+            fault_spec = fault_plan.to_spec()
+            server.install_fault_plan(fault_plan)
     journal = Journal(clock=lambda: server.time_ms,
                       maxlen=maxlen if maxlen is not None
                       else JOURNAL_RING, sink=sink)
@@ -226,7 +251,8 @@ def start_recording(server, name: str = "session", script: str = "",
                        cache_enabled=cache_enabled,
                        compile_enabled=compile_enabled,
                        buffering_enabled=buffering_enabled,
-                       bytecode_enabled=bytecode_enabled)
+                       bytecode_enabled=bytecode_enabled,
+                       fault_plan=fault_spec, planted=planted)
     journal.open_sink()
     server.attach_journal(journal)
     return journal
@@ -238,18 +264,20 @@ def record_session(script: str, steps: List[Tuple],
                    compile_enabled: bool = True,
                    buffering_enabled: bool = True,
                    bytecode_enabled: bool = True,
-                   sink: Optional[str] = None) -> Journal:
+                   sink: Optional[str] = None,
+                   fault_plan=None,
+                   planted: Optional[str] = None) -> Journal:
     """Record one scripted session from scratch and return its journal.
 
     Builds a fresh server and application, evaluates ``script`` (the
     setup: widgets, bindings, procs), pumps once, then drives ``steps``
     — tuples like ``("warp_pointer", x, y)``, ``("press_button", 1)``,
-    ``("press_key", "a")``, ``("update",)``, ``("eval", tclscript)`` —
-    recording everything.  The same drive logic replays the journal
-    (:func:`replay_journal`), so record and replay are symmetric by
-    construction.
+    ``("press_key", "a")``, ``("update",)``, ``("eval", tclscript)``,
+    ``("new_app", name, setupscript)`` — recording everything.  The
+    same drive logic replays the journal (:func:`replay_journal`), so
+    record and replay are symmetric by construction.
     """
-    from ..x11.xserver import XServer
+    from ..x11.xserver import XProtocolError, XServer
 
     server = XServer()
     journal = start_recording(server, name=name, script=script,
@@ -257,34 +285,134 @@ def record_session(script: str, steps: List[Tuple],
                               compile_enabled=compile_enabled,
                               buffering_enabled=buffering_enabled,
                               bytecode_enabled=bytecode_enabled,
-                              sink=sink)
-    app = _build_app(server, name, script, cache_enabled,
-                     compile_enabled, buffering_enabled,
-                     bytecode_enabled)
+                              sink=sink, fault_plan=fault_plan,
+                              planted=planted)
+    flags = {"cache_enabled": cache_enabled,
+             "compile_enabled": compile_enabled,
+             "buffering_enabled": buffering_enabled,
+             "bytecode_enabled": bytecode_enabled}
+    try:
+        app = _build_app(server, name, script, cache_enabled,
+                         compile_enabled, buffering_enabled,
+                         bytecode_enabled)
+    except XProtocolError:
+        # A header fault plan can kill construction itself; the
+        # journal (and its replay) must survive that, so record the
+        # session as one with no application.  Anything else — a
+        # broken setup script — still surfaces to the caller.
+        if fault_plan is None:
+            server.detach_journal()
+            journal.close_sink()
+            raise
+        app = None
     try:
         for step in steps:
             kind, args = step[0], tuple(step[1:])
             if kind == "update":
-                journal.input("update", (app.name,))
-                app.update()
+                journal.input("update", (name,))
+                if app is not None:
+                    app.update()
             elif kind == "advance":
-                journal.input("advance", (args[0], app.name))
+                journal.input("advance", (args[0], name))
                 if args[0] > server.time_ms:
                     server.time_ms = args[0]
-                app.update()
+                if app is not None:
+                    app.update()
             elif kind == "eval":
-                journal.input("eval", (args[0], app.name))
-                app.interp.eval_top(args[0])
-                app.update()
+                journal.input("eval", (args[0], name))
+                if app is not None:
+                    app.interp.eval_top(args[0])
+                    app.update()
+            elif kind == "new_app":
+                journal.input("new_app", args)
+                apply_input(server, app, "new_app", list(args),
+                            flags=flags)
             else:
                 # Server input injection: the xserver hooks record it.
                 getattr(server, kind)(*args)
     finally:
         server.detach_journal()
         journal.close_sink()
-        if not app.destroyed:
+        for extra in list(getattr(server, "apps", [])):
+            if not extra.destroyed:
+                extra.destroy()
+        if app is not None and not app.destroyed:
             app.destroy()
     return journal
+
+
+def apply_input(server, default_app, name: str, args: List,
+                flags: Optional[dict] = None,
+                swallowed: Optional[List] = None):
+    """Execute one journal input against a live server/application set.
+
+    The same executor drives both sides: the fuzz runner journals an
+    input and then applies it through here, and :func:`replay_journal`
+    applies the recorded inputs through here — so the two runs have
+    identical error semantics by construction.  An exception raised by
+    a top-level ``eval``, a fault injected at an input's own request
+    tick, or an error escaping an event-loop pump is appended to
+    ``swallowed`` (when given) as ``(stage, exception)`` and the
+    session continues; the wire diff, not the exception, arbitrates
+    divergence.  Returns the new application for ``new_app`` inputs,
+    else ``None``.
+    """
+    if name == "new_app":
+        app_name = args[0]
+        script = args[1] if len(args) > 1 else ""
+        flags = dict(flags or {})
+        try:
+            return _build_app(server, app_name, script,
+                              flags.get("cache_enabled", True),
+                              flags.get("compile_enabled", True),
+                              flags.get("buffering_enabled", True),
+                              flags.get("bytecode_enabled", True))
+        except Exception as error:
+            if swallowed is not None:
+                swallowed.append(("new_app", error))
+            return None
+    if name == "update":
+        _pump(_app_named(server, default_app, args), swallowed)
+        return None
+    if name == "advance":
+        when = args[0]
+        if when > server.time_ms:
+            server.time_ms = when
+        _pump(_app_named(server, default_app, args[1:]), swallowed)
+        return None
+    if name == "eval":
+        app = _app_named(server, default_app, args[1:])
+        if app is not None:
+            try:
+                app.interp.eval_top(args[0])
+            except Exception as error:
+                if swallowed is not None:
+                    swallowed.append(("eval", error))
+        _pump(app, swallowed)
+        return None
+    # Server input injection: the xserver hooks journal it themselves.
+    try:
+        getattr(server, name)(*args)
+    except Exception as error:
+        # A fault plan may fire at the input's own request tick; the
+        # input is already on the record, so both sides must survive
+        # the same injection.
+        if swallowed is not None:
+            swallowed.append(("inject", error))
+    return None
+
+
+def _pump(app, swallowed: Optional[List]) -> None:
+    """Run one application's event loop to quiescence, capturing any
+    escape (an escape is itself an oracle violation — see
+    :mod:`repro.fuzz.oracles` — but must not abort the session)."""
+    if app is None or app.destroyed:
+        return
+    try:
+        app.update()
+    except Exception as error:
+        if swallowed is not None:
+            swallowed.append(("pump", error))
 
 
 def _build_app(server, name: str, script: str, cache_enabled: bool,
@@ -319,6 +447,12 @@ def replay_journal(journal: Journal, mode: str = "default",
     unless ``script`` overrides it; ``setup`` (a callable taking the
     fresh server and returning the driver app) replaces script-based
     construction entirely for Python-driven sessions.
+
+    If the header embeds a serialized fault plan, an identical plan is
+    installed on the fresh server before the application is built, so
+    recorded faults re-fire at the same request ticks.  The result
+    carries the replay's own journal at ``result.replay_log`` (the
+    byte-identity oracle compares ``to_jsonl()`` of both sides).
     """
     from ..x11.xserver import XServer
 
@@ -336,41 +470,60 @@ def replay_journal(journal: Journal, mode: str = "default",
     if script is None:
         script = header.get("script") or ""
     name = header.get("name") or "replay"
+    fault_spec = header.get("fault_plan")
 
     server = XServer()
+    if fault_spec:
+        from ..x11.faults import FaultPlan
+        server.install_fault_plan(FaultPlan.from_spec(fault_spec))
     replay_log = Journal(clock=lambda: server.time_ms,
                          maxlen=max(journal.maxlen, len(journal) * 2))
-    replay_log.set_header(name=name, script=script, **flags)
+    # Pass the original spec dict through verbatim so a default-mode
+    # replay's header — and therefore its whole JSONL — can match the
+    # recording byte for byte.
+    replay_log.set_header(name=name, script=script,
+                          fault_plan=fault_spec,
+                          planted=header.get("planted"), **flags)
     server.attach_journal(replay_log)
+    swallowed: List[Tuple[str, BaseException]] = []
     if setup is not None:
         app = setup(server)
     else:
-        app = _build_app(server, name, script, flags["cache_enabled"],
-                         flags["compile_enabled"],
-                         flags["buffering_enabled"],
-                         flags["bytecode_enabled"])
+        try:
+            app = _build_app(server, name, script,
+                             flags["cache_enabled"],
+                             flags["compile_enabled"],
+                             flags["buffering_enabled"],
+                             flags["bytecode_enabled"])
+        except Exception as error:
+            # A header fault plan can fire during construction itself;
+            # the recording survived that, so the replay must too.
+            app = None
+            swallowed.append(("new_app", error))
     try:
         for input_name, args in journal.inputs():
-            if input_name == "update":
-                _app_named(server, app, args).update()
-            elif input_name == "advance":
-                when = args[0]
-                if when > server.time_ms:
-                    server.time_ms = when
-                _app_named(server, app, args[1:]).update()
-            elif input_name == "eval":
-                target = _app_named(server, app, args[1:])
-                target.interp.eval_top(args[0])
-                target.update()
-            else:
-                getattr(server, input_name)(*args)
+            if input_name in ("update", "advance", "eval", "new_app"):
+                # Raw device inputs re-journal themselves inside the
+                # server; loop-level inputs must be re-recorded here so
+                # a default-mode replay log is entry-for-entry
+                # comparable with the recording (the fuzzer's
+                # byte-identity oracle).
+                replay_log.input(input_name, args)
+            apply_input(server, app, input_name, args, flags=flags,
+                        swallowed=swallowed)
     finally:
         server.detach_journal()
-        if not app.destroyed:
+        for extra in list(getattr(server, "apps", [])):
+            if not extra.destroyed:
+                extra.destroy()
+        if app is not None and not app.destroyed:
             app.destroy()
-    return ReplayResult(mode, journal.wire(), replay_log.wire(),
-                        policy["compare"], policy["allowed"],
-                        truncated=journal.dropped > 0)
+    result = ReplayResult(mode, journal.wire(), replay_log.wire(),
+                          policy["compare"], policy["allowed"],
+                          truncated=journal.dropped > 0)
+    result.replay_log = replay_log
+    result.swallowed = swallowed
+    return result
 
 
 def _app_named(server, default_app, args):
@@ -434,4 +587,4 @@ if __name__ == "__main__":  # pragma: no cover
 
 __all__ = ["MODES", "CACHE_REQUESTS", "BUFFER_REQUESTS", "ReplayResult",
            "start_recording", "record_session", "replay_journal",
-           "replay_all_modes", "main"]
+           "replay_all_modes", "apply_input", "main"]

@@ -93,7 +93,10 @@ class TkWindow:
     # -- geometry (updates both server and the structure cache) ---------
 
     def move_resize(self, x: int, y: int, width: int, height: int) -> None:
-        if self.destroyed:
+        # A lost connection tears the application down, and teardown
+        # re-runs geometry management (unpacking a child re-arranges
+        # its parent); none of that may talk to the dead wire.
+        if self.destroyed or self.app.display.closed:
             return
         width, height = max(1, width), max(1, height)
         if (x, y, width, height) == (self.x, self.y, self.width,
@@ -123,14 +126,16 @@ class TkWindow:
         return None
 
     def map(self) -> None:
-        if not self.mapped and not self.destroyed:
+        if not self.mapped and not self.destroyed \
+                and not self.app.display.closed:
             self.mapped = True
             self.app.display.map_window(self.id)
             if self.widget is not None:
                 self.widget.schedule_redraw()
 
     def unmap(self) -> None:
-        if self.mapped and not self.destroyed:
+        if self.mapped and not self.destroyed \
+                and not self.app.display.closed:
             self.mapped = False
             self.app.display.unmap_window(self.id)
 
@@ -175,9 +180,16 @@ class TkWindow:
                 self.width, self.height = event.width, event.height
                 self._size_changed()
         for mask, handler in list(self._handlers):
+            # A handler (or a binding it triggered) may destroy this
+            # window — or the whole application — mid-dispatch; the
+            # rest of the event must then die with it.
+            if self.destroyed:
+                return
             if mask & (ev.MASK_FOR_TYPE.get(event.type) or 0) or \
                     ev.MASK_FOR_TYPE.get(event.type) == 0:
                 handler(event)
+        if self.destroyed:
+            return
         self.app.bindings.dispatch(self, event)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -330,7 +330,8 @@ class Display:
 
     def intern_atom(self, name: str, only_if_exists: bool = False) -> int:
         self._sync_request()
-        return self.server.intern_atom(name, only_if_exists)
+        return self.server.intern_atom(name, only_if_exists,
+                                       client=self.client)
 
     def get_atom_name(self, atom: int) -> str:
         self._sync_request()
@@ -388,20 +389,21 @@ class Display:
 
     def load_font(self, name: str) -> Font:
         self._sync_request()
-        return self.server.load_font(name)
+        return self.server.load_font(name, client=self.client)
 
     def create_cursor(self, name: str) -> Cursor:
         self._sync_request()
-        return self.server.create_cursor(name)
+        return self.server.create_cursor(name, client=self.client)
 
     def create_bitmap(self, name: str, width: int = 0,
                       height: int = 0) -> Bitmap:
         self._sync_request()
-        return self.server.create_bitmap(name, width, height)
+        return self.server.create_bitmap(name, width, height,
+                                         client=self.client)
 
     def create_gc(self, **values) -> GraphicsContext:
         self._sync_request()
-        return self.server.create_gc(**values)
+        return self.server.create_gc(client=self.client, **values)
 
     def free_resource(self, rid: int) -> None:
         self._oneway("free_resource", None, rid)

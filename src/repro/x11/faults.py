@@ -36,6 +36,15 @@ Per-fault-type counters are kept in :attr:`FaultPlan.counters` and a
 full log of injections in :attr:`FaultPlan.log`, so tests can assert
 both that faults happened and that the toolkit recovered from them.
 
+A plan is *serializable*: :meth:`FaultPlan.to_spec` captures the seed,
+the rates, and the scripted schedule (with each trigger's remaining
+skip/fire counters) as a JSON-safe dict, and
+:meth:`FaultPlan.from_spec` rebuilds an equivalent plan.  The session
+journal embeds the spec in its header, so replaying a faulted capture
+re-injects exactly the same faults at exactly the same requests (see
+:mod:`repro.obs.replay`).  Only ``call`` triggers — arbitrary Python
+callbacks — have no serialized form and are dropped from the spec.
+
 With output buffering (see :mod:`repro.x11.display`), one-way requests
 reach the server at *flush* time, inside a batch: triggers fire when
 the request is delivered, not when the client issued it.  The batch
@@ -110,6 +119,7 @@ class FaultPlan:
                  delay_rate: float = 0.0,
                  delay_ms: int = 20,
                  max_faults: Optional[int] = None,
+                 warmup: int = 0,
                  errors: Tuple[str, ...] = ERROR_NAMES,
                  exempt_requests: Tuple[str, ...] = ()):
         self.random = random.Random(seed)
@@ -120,12 +130,21 @@ class FaultPlan:
         self.delay_rate = delay_rate
         self.delay_ms = delay_ms
         self.max_faults = max_faults
+        #: seeded faults hold off for the first ``warmup`` requests, so
+        #: a plan can spare application startup (an error mid-TkApp
+        #: construction is fatal, as it is for a real Xlib client);
+        #: scripted triggers use their own ``after`` offsets instead.
+        self.warmup = warmup
         self.errors = tuple(errors)
         self.exempt_requests = frozenset(exempt_requests)
         #: injections per fault type, for assertions
         self.counters: Dict[str, int] = {kind: 0 for kind in FAULT_TYPES}
         #: (request_index, fault_type, detail) per injection
         self.log: List[Tuple[int, str, str]] = []
+        #: numbers of clients this plan disconnected (oracles use this
+        #: to tell a fault-killed application from a cleanly-destroyed
+        #: one)
+        self.disconnected_clients: set = set()
         self._request_index = 0
         self._request_triggers: List[_RequestTrigger] = []
         self._event_triggers: List[_EventTrigger] = []
@@ -136,7 +155,8 @@ class FaultPlan:
         #: per-type x11.faults counters once bound to a metrics registry
         self._metric_counters: Optional[Dict[str, object]] = None
         #: journal hot handle (set by XServer.attach_journal); faults
-        #: are recorded for forensics, never re-injected by replay.
+        #: are recorded for forensics, and a replay re-creates them by
+        #: rebuilding the plan from the journal header's spec.
         self._jrec = None
 
     # ------------------------------------------------------------------
@@ -177,6 +197,104 @@ class FaultPlan:
         self.log.append((self._request_index, kind, detail))
 
     # ------------------------------------------------------------------
+    # serialization (journal-header round trip)
+    # ------------------------------------------------------------------
+
+    def to_spec(self) -> dict:
+        """The plan as a JSON-safe dict (seed, rates, scripted schedule).
+
+        The spec captures the schedule *as currently configured*: each
+        trigger's remaining ``after``/``count`` budget rides along, and
+        the seed stands in for the random stream, so a plan serialized
+        before its first draw re-injects identical faults when rebuilt
+        and driven by the same request stream.  ``call`` triggers hold
+        arbitrary Python callbacks and are dropped (their count is
+        reported so callers can refuse to serialize such plans).
+        """
+        spec: dict = {"seed": self.seed}
+        for field in ("error_rate", "disconnect_rate", "drop_rate",
+                      "delay_rate"):
+            value = getattr(self, field)
+            if value:
+                spec[field] = value
+        if self.delay_ms != 20:
+            spec["delay_ms"] = self.delay_ms
+        if self.max_faults is not None:
+            spec["max_faults"] = self.max_faults
+        if self.warmup:
+            spec["warmup"] = self.warmup
+        if self.errors != ERROR_NAMES:
+            spec["errors"] = list(self.errors)
+        if self.exempt_requests:
+            spec["exempt_requests"] = sorted(self.exempt_requests)
+        triggers = []
+        unserializable = 0
+        for trigger in self._request_triggers:
+            if trigger.kind == CALL:
+                unserializable += 1
+                continue
+            entry: dict = {"kind": trigger.kind, "after": trigger.skip,
+                           "count": trigger.count}
+            if trigger.name is not None:
+                entry["name"] = trigger.name
+            if trigger.kind == ERROR:
+                entry["error"] = trigger.error
+            elif trigger.kind == DISCONNECT:
+                entry["client"] = (trigger.client
+                                   if isinstance(trigger.client, int)
+                                   else trigger.client.number)
+            triggers.append(entry)
+        if triggers:
+            spec["request_triggers"] = triggers
+        if unserializable:
+            spec["dropped_call_triggers"] = unserializable
+        events = []
+        for trigger in self._event_triggers:
+            entry = {"kind": trigger.kind, "count": trigger.count}
+            if trigger.event_type is not None:
+                entry["event_type"] = trigger.event_type
+            if trigger.kind == DELAY:
+                entry["delay_ms"] = trigger.delay_ms
+            events.append(entry)
+        if events:
+            spec["event_triggers"] = events
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_spec` output."""
+        plan = cls(
+            seed=spec.get("seed", 0),
+            error_rate=spec.get("error_rate", 0.0),
+            disconnect_rate=spec.get("disconnect_rate", 0.0),
+            drop_rate=spec.get("drop_rate", 0.0),
+            delay_rate=spec.get("delay_rate", 0.0),
+            delay_ms=spec.get("delay_ms", 20),
+            max_faults=spec.get("max_faults"),
+            warmup=spec.get("warmup", 0),
+            errors=tuple(spec.get("errors", ERROR_NAMES)),
+            exempt_requests=tuple(spec.get("exempt_requests", ())))
+        for entry in spec.get("request_triggers", ()):
+            if entry["kind"] == ERROR:
+                plan.fail_request(name=entry.get("name"),
+                                  error=entry.get("error", "BadWindow"),
+                                  after=entry.get("after", 0),
+                                  count=entry.get("count", 1))
+            elif entry["kind"] == DISCONNECT:
+                plan.disconnect_client(entry["client"],
+                                       on_request=entry.get("name"),
+                                       after=entry.get("after", 0))
+        for entry in spec.get("event_triggers", ()):
+            if entry["kind"] == DROP:
+                plan.drop_events(count=entry.get("count", 1),
+                                 event_type=entry.get("event_type"))
+            elif entry["kind"] == DELAY:
+                plan.delay_events(count=entry.get("count", 1),
+                                  delay_ms=entry.get("delay_ms"),
+                                  event_type=entry.get("event_type"))
+        return plan
+
+    # ------------------------------------------------------------------
     # scripted trigger points
     # ------------------------------------------------------------------
 
@@ -188,10 +306,15 @@ class FaultPlan:
         self._request_triggers.append(
             _RequestTrigger(ERROR, name, after, count, error=error))
 
-    def disconnect_client(self, client: Client,
+    def disconnect_client(self, client,
                           on_request: Optional[str] = None,
                           after: int = 0) -> None:
-        """Disconnect ``client`` when the matching request arrives."""
+        """Disconnect ``client`` when the matching request arrives.
+
+        ``client`` may be a :class:`~repro.x11.xserver.Client` or a
+        client *number* — numbers are how deserialized plans name their
+        victims, resolved against the live server at fire time.
+        """
         self._request_triggers.append(
             _RequestTrigger(DISCONNECT, on_request, after, 1,
                             client=client))
@@ -248,15 +371,24 @@ class FaultPlan:
             raise XProtocolError(
                 "%s (injected fault during %s)" % (trigger.error, name))
         if trigger.kind == DISCONNECT:
+            client = trigger.client
+            if isinstance(client, int):
+                client = next((candidate for candidate in server.clients
+                               if candidate.number == client), None)
+                if client is None:
+                    return          # victim never connected in this run
             self._record(DISCONNECT, "client %d during %s"
-                         % (trigger.client.number, name))
-            self._guarded(server.disconnect, trigger.client)
+                         % (client.number, name))
+            self.disconnected_clients.add(client.number)
+            self._guarded(server.disconnect, client)
             return
         if trigger.kind == CALL:
             self._record(CALL, "callback during %s" % name)
             self._guarded(trigger.callback, server)
 
     def _seeded_request_faults(self, server, name: str) -> None:
+        if self._request_index <= self.warmup:
+            return
         if self.error_rate > 0 and \
                 self.random.random() < self.error_rate:
             error = self.random.choice(self.errors)
@@ -271,6 +403,7 @@ class FaultPlan:
                 victim = self.random.choice(victims)
                 self._record(DISCONNECT, "client %d during %s (seeded)"
                              % (victim.number, name))
+                self.disconnected_clients.add(victim.number)
                 self._guarded(server.disconnect, victim)
 
     def on_event(self, server, client: Client, event) -> bool:

@@ -65,6 +65,9 @@ class Client:
         self.number = number
         self.queue: deque = deque()
         self.closed = False
+        #: atoms this client interned (census bookkeeping only — atoms
+        #: themselves are server-global and permanent)
+        self.atom_refs: set = set()
         #: set by Display: delivers the client's output buffer.  The
         #: server calls it before injecting user input, so requests the
         #: client already issued always precede the input on the virtual
@@ -94,6 +97,10 @@ class XServer:
     def __init__(self, width: int = 1152, height: int = 900):
         self.atoms = AtomTable()
         self.resources: Dict[int, object] = {}
+        #: creating client of each non-window resource (fonts, cursors,
+        #: bitmaps, GCs carry no creator field of their own; windows
+        #: record theirs on the Window object)
+        self.resource_creators: Dict[int, Client] = {}
         self._next_resource_id = 0x100
         self.clients: List[Client] = []
         self.time_ms = 0
@@ -145,6 +152,11 @@ class XServer:
             return
         client.closed = True
         client.queue.clear()
+        if self._jrec is not None:
+            # The close-down itself goes on the record: the dead-client
+            # oracle checks no request is delivered for this client
+            # after this entry.
+            self._jrec.disconnected(client.number)
         if self.fault_plan is not None:
             self.fault_plan.forget_client(client)
         # Drop the client's selections.
@@ -158,6 +170,14 @@ class XServer:
             if isinstance(resource, Window) and \
                     resource.creator is client and not resource.destroyed:
                 self._destroy_recursive(resource)
+        # Free the client's server-side resources (fonts, cursors,
+        # bitmaps, GCs) — close-down frees everything the connection
+        # allocated.
+        for rid, owner in list(self.resource_creators.items()):
+            if owner is client:
+                del self.resource_creators[rid]
+                self.resources.pop(rid, None)
+        client.atom_refs.clear()
         # Drop the client's event interests everywhere else.
         for window in list(self.resources.values()):
             if isinstance(window, Window):
@@ -200,6 +220,62 @@ class XServer:
         self._jrec = None
         if self.fault_plan is not None:
             self.fault_plan._jrec = None
+
+    # ------------------------------------------------------------------
+    # resource census (invariant oracle API — see repro.fuzz.oracles)
+    # ------------------------------------------------------------------
+
+    def resource_census(self) -> Dict[int, dict]:
+        """Per-client map of every live server-side resource.
+
+        Purely introspective: no request tick, no round trip, no event
+        traffic — safe for a fuzzer to call after every step without
+        perturbing the wire.  Keys are client numbers (``0`` collects
+        server-owned / unattributed state, e.g. root-window
+        properties); each bucket lists the client's live windows,
+        non-window resources (fonts/cursors/bitmaps/GCs), properties on
+        its windows, selection claims, event-mask registrations on any
+        window, and interned-atom references, plus its ``closed`` flag.
+
+        The invariant the fuzzer enforces: a closed client's bucket is
+        empty — anything still attributed to a closed connection is a
+        close-down leak.
+        """
+        census: Dict[int, dict] = {}
+
+        def bucket(client: Optional[Client]) -> dict:
+            number = client.number if client is not None else 0
+            entry = census.get(number)
+            if entry is None:
+                entry = census[number] = {
+                    "closed": bool(client.closed)
+                    if client is not None else False,
+                    "windows": [], "resources": [], "properties": [],
+                    "selections": [], "event_selections": [],
+                    "atoms": [],
+                }
+            return entry
+
+        for client in self.clients:
+            bucket(client)
+        for rid, resource in self.resources.items():
+            if isinstance(resource, Window):
+                entry = bucket(resource.creator)
+                if resource is not self.root:
+                    entry["windows"].append(rid)
+                for atom in resource.properties:
+                    entry["properties"].append((rid, atom))
+                for sel_client in resource.event_selections:
+                    bucket(sel_client)["event_selections"].append(rid)
+            else:
+                entry = bucket(self.resource_creators.get(rid))
+                entry["resources"].append(rid)
+        for atom, (window, owner) in self.selections.items():
+            bucket(owner)["selections"].append((atom, window.id))
+        for client in self.clients:
+            for atom in sorted(client.atom_refs):
+                bucket(client)["atoms"].append(atom)
+        return census
 
     def _new_id(self) -> int:
         self._next_resource_id += 1
@@ -418,6 +494,11 @@ class XServer:
         for atom, (owner_window, _) in list(self.selections.items()):
             if owner_window is window:
                 del self.selections[atom]
+        if self.focus_window is window:
+            # No FocusOut machinery in the simulator: focus reverts to
+            # the root, as _key_event would have treated it anyway, so
+            # no stale reference survives (the census checks this).
+            self.focus_window = self.root
         event = Event(DESTROY_NOTIFY, window=window.id, time=self.time_ms)
         self._deliver(window, event)
         if window.parent is not None:
@@ -544,12 +625,17 @@ class XServer:
     # atoms and properties
     # ------------------------------------------------------------------
 
-    def intern_atom(self, name: str, only_if_exists: bool = False) -> int:
+    def intern_atom(self, name: str, only_if_exists: bool = False,
+                    client: Optional[Client] = None) -> int:
         self._tick("intern_atom")
         self.round_trip()
         if only_if_exists:
-            return self.atoms.lookup(name)
-        return self.atoms.intern(name)
+            atom = self.atoms.lookup(name)
+        else:
+            atom = self.atoms.intern(name)
+        if client is not None and atom:
+            client.atom_refs.add(atom)
+        return atom
 
     def get_atom_name(self, atom: int) -> str:
         self._tick("get_atom_name")
@@ -854,7 +940,8 @@ class XServer:
         pixel = (red << 16) | (green << 8) | blue
         return Color(pixel, red, green, blue)
 
-    def load_font(self, name: str) -> Font:
+    def load_font(self, name: str,
+                  client: Optional[Client] = None) -> Font:
         self._tick("load_font")
         self.round_trip()
         if not font_exists(name):
@@ -862,19 +949,23 @@ class XServer:
         char_width, ascent, descent = font_metrics(name)
         font = Font(self._new_id(), name, char_width, ascent, descent)
         self.resources[font.fid] = font
+        self._record_creator(font.fid, client)
         return font
 
-    def create_cursor(self, name: str) -> Cursor:
+    def create_cursor(self, name: str,
+                      client: Optional[Client] = None) -> Cursor:
         self._tick("create_cursor")
         self.round_trip()
         if name not in CURSOR_NAMES:
             raise XProtocolError('bad cursor name "%s"' % name)
         cursor = Cursor(self._new_id(), name)
         self.resources[cursor.cid] = cursor
+        self._record_creator(cursor.cid, client)
         return cursor
 
     def create_bitmap(self, name: str, width: int = 0,
-                      height: int = 0) -> Bitmap:
+                      height: int = 0,
+                      client: Optional[Client] = None) -> Bitmap:
         self._tick("create_bitmap")
         self.round_trip()
         if name in BUILTIN_BITMAPS:
@@ -883,17 +974,26 @@ class XServer:
             raise XProtocolError('bad bitmap "%s"' % name)
         bitmap = Bitmap(self._new_id(), name, width, height)
         self.resources[bitmap.bid] = bitmap
+        self._record_creator(bitmap.bid, client)
         return bitmap
 
-    def create_gc(self, **values) -> GraphicsContext:
+    def create_gc(self, client: Optional[Client] = None,
+                  **values) -> GraphicsContext:
         self._tick("create_gc")
         gc = GraphicsContext(self._new_id(), dict(values))
         self.resources[gc.gid] = gc
+        self._record_creator(gc.gid, client)
         return gc
+
+    def _record_creator(self, rid: int,
+                        client: Optional[Client]) -> None:
+        if client is not None:
+            self.resource_creators[rid] = client
 
     def free_resource(self, rid: int) -> None:
         self._tick("free_resource")
         self.resources.pop(rid, None)
+        self.resource_creators.pop(rid, None)
 
     # ------------------------------------------------------------------
     # drawing (recorded for the renderer)

@@ -96,3 +96,120 @@ class TestNoLeaks:
         assert len(app.interp.eval("winfo children .").split()) == 100
         app.interp.eval("destroy .")
         assert app.destroyed
+
+
+class TestDestroyMidDispatch:
+    """A binding or command may destroy its own widget, an ancestor,
+    or the whole application while events for the doomed subtree are
+    still queued; the remainder of the dispatch must die quietly with
+    the widgets (no handler runs on a dead window, nothing escapes to
+    the caller, no server resources leak)."""
+
+    def _count_errors(self, app):
+        app.interp.eval("set errs 0")
+        app.interp.eval("proc bgerror msg {global errs; incr errs}")
+
+    def test_binding_destroys_own_widget(self, app):
+        server = app.display.server
+        self._count_errors(app)
+        app.interp.eval("frame .f -geometry 40x40")
+        app.interp.eval("pack append . .f {top}")
+        app.update()
+        app.interp.eval(
+            "bind .f <Key> {destroy %W; set after_ran 1}")
+        window = app.window(".f")
+        # Queue a second event for the same window: it must not be
+        # dispatched once the first one's binding kills the window.
+        server.press_key("a", window_id=window.id)
+        server.press_key("b", window_id=window.id)
+        app.update()
+        assert app.interp.eval("winfo exists .f") == "0"
+        # The destroying binding itself ran to completion exactly
+        # once (the queued second event died with the window).
+        assert app.interp.eval("set after_ran") == "1"
+        assert app.interp.eval("set errs") == "0"
+
+    def test_binding_destroys_ancestor_with_queued_sibling_events(
+            self, app):
+        server = app.display.server
+        self._count_errors(app)
+        app.interp.eval("frame .f -geometry 80x80")
+        app.interp.eval("frame .f.a -geometry 30x30")
+        app.interp.eval("frame .f.b -geometry 30x30")
+        app.interp.eval("pack append . .f {top}")
+        app.interp.eval("pack append .f .f.a {top} .f.b {top}")
+        app.update()
+        app.interp.eval("bind .f.a <Key> {destroy .f}")
+        app.interp.eval("bind .f.b <Key> {set b_ran 1}")
+        a_id = app.window(".f.a").id
+        b_id = app.window(".f.b").id
+        # Queue events for BOTH children before dispatching either:
+        # .f.a's handler destroys the shared ancestor, so .f.b's
+        # already-queued event must evaporate.
+        server.press_key("a", window_id=a_id)
+        server.press_key("b", window_id=b_id)
+        app.update()
+        assert app.interp.eval("winfo exists .f.b") == "0"
+        assert app.interp.eval("info exists b_ran") == "0"
+        assert app.interp.eval("set errs") == "0"
+
+    def test_binding_destroys_whole_application(self, app):
+        server = app.display.server
+        self._count_errors(app)
+        app.interp.eval("frame .f -geometry 40x40")
+        app.interp.eval("pack append . .f {top}")
+        app.update()
+        app.interp.eval("bind .f <Key> {destroy .}")
+        window = app.window(".f")
+        server.press_key("a", window_id=window.id)
+        server.press_key("b", window_id=window.id)   # queued behind it
+        app.update()                                 # must not raise
+        assert app.destroyed
+
+    def test_destroy_binding_firing_destroy_again_is_safe(self, app):
+        self._count_errors(app)
+        app.interp.eval("frame .f -geometry 40x40")
+        app.interp.eval("frame .f.inner -geometry 20x20")
+        app.interp.eval("pack append . .f {top}")
+        app.update()
+        # <Destroy> on the child re-enters destroy on the parent that
+        # is already being torn down.
+        app.interp.eval("bind .f.inner <Destroy> {destroy .f}")
+        app.interp.eval("destroy .f")
+        app.update()
+        assert app.interp.eval("winfo exists .f") == "0"
+        assert app.interp.eval("set errs") == "0"
+
+    def test_no_server_leak_after_mid_dispatch_destroy(self, app):
+        server = app.display.server
+        self._count_errors(app)
+        app.update()
+        baseline = len(server.resources)
+        for round_number in range(5):
+            app.interp.eval("frame .f -geometry 60x60")
+            app.interp.eval("frame .f.a -geometry 20x20")
+            app.interp.eval("pack append . .f {top}")
+            app.interp.eval("pack append .f .f.a {top}")
+            app.update()
+            app.interp.eval("bind .f.a <Key> {destroy .f}")
+            server.press_key("a",
+                             window_id=app.window(".f.a").id)
+            app.update()
+        assert len(server.resources) == baseline
+        assert app.interp.eval("set errs") == "0"
+
+    def test_command_destroying_button_mid_click(self, app):
+        server = app.display.server
+        self._count_errors(app)
+        app.interp.eval(
+            "button .b -text x -command {destroy .b}")
+        app.interp.eval("pack append . .b {top}")
+        app.update()
+        window = app.window(".b")
+        root_x, root_y = window.root_position()
+        server.warp_pointer(root_x + 2, root_y + 2)
+        server.press_button(1)
+        server.release_button(1)
+        app.update()
+        assert app.interp.eval("winfo exists .b") == "0"
+        assert app.interp.eval("set errs") == "0"

@@ -166,3 +166,45 @@ class TestCli:
         path = tmp_path / "bad.journal"
         perturbed.save(str(path))
         assert main([str(path)]) == 1
+
+
+class TestFaultedReplay:
+    """Sessions recorded under a fault plan replay their faults."""
+
+    def _faulted_session(self):
+        from repro.x11.faults import FaultPlan
+        plan = FaultPlan(seed=5, error_rate=0.05, warmup=60,
+                         max_faults=3)
+        return record_session(SCRIPT, STEPS, name="faulted",
+                              fault_plan=plan)
+
+    def test_fault_plan_rides_in_header(self):
+        session = self._faulted_session()
+        spec = session.meta["fault_plan"]
+        assert spec["seed"] == 5
+        assert spec["error_rate"] == 0.05
+        assert spec["warmup"] == 60
+
+    def test_faulted_session_replays_byte_identically(self):
+        session = self._faulted_session()
+        result = replay_journal(session, mode="default")
+        assert result.matched, result.report()
+        assert session.to_jsonl() == result.replay_log.to_jsonl()
+
+    def test_faulted_journal_round_trips_through_disk(self, tmp_path):
+        session = self._faulted_session()
+        path = tmp_path / "faulted.journal"
+        session.save(str(path))
+        reloaded = Journal.load(str(path))
+        assert replay_journal(reloaded, mode="default").matched
+
+    def test_construction_killed_by_fault_still_replays(self):
+        # A plan with no warmup can kill TkApp construction itself;
+        # the recording survives that, and so must the replay.
+        from repro.x11.faults import FaultPlan
+        plan = FaultPlan(seed=0, error_rate=1.0, max_faults=1)
+        session = record_session(SCRIPT, [("update",)],
+                                 name="stillborn", fault_plan=plan)
+        result = replay_journal(session, mode="default")
+        assert result.matched, result.report()
+        assert any(stage == "new_app" for stage, _ in result.swallowed)

@@ -173,3 +173,70 @@ class TestSeededSchedule:
             display.intern_atom("X")
         server.clear_fault_plan()
         display.intern_atom("X")
+
+
+class TestSpecRoundTrip:
+    def test_spec_preserves_rates_and_schedule(self):
+        plan = FaultPlan(seed=9, error_rate=0.01, drop_rate=0.002,
+                         delay_rate=0.005, delay_ms=40, max_faults=6,
+                         warmup=25)
+        plan.fail_request("get_geometry", error="BadAtom", after=3,
+                          count=2)
+        plan.disconnect_client(2, after=10)
+        plan.drop_events(count=3)
+        spec = plan.to_spec()
+        rebuilt = FaultPlan.from_spec(spec)
+        assert rebuilt.to_spec() == spec
+        assert rebuilt.seed == 9
+        assert rebuilt.warmup == 25
+        assert rebuilt.max_faults == 6
+
+    def test_rebuilt_plan_fires_identically(self):
+        def drive(plan):
+            server = XServer()
+            display = Display(server)
+            server.install_fault_plan(plan)
+            errors = 0
+            for index in range(80):
+                try:
+                    display.intern_atom("A%d" % index)
+                except XProtocolError:
+                    errors += 1
+            return plan.log, errors
+
+        original = FaultPlan(seed=5, error_rate=0.2, max_faults=4,
+                             warmup=10)
+        log_a, errors_a = drive(original)
+        log_b, errors_b = drive(FaultPlan.from_spec(original.to_spec()))
+        assert log_a == log_b
+        assert errors_a == errors_b
+
+    def test_call_triggers_are_reported_not_serialized(self):
+        plan = FaultPlan()
+        plan.call_on_request(lambda server: None)
+        spec = plan.to_spec()
+        assert spec["dropped_call_triggers"] == 1
+        assert "request_triggers" not in spec
+
+
+class TestWarmup:
+    def test_seeded_faults_hold_off_during_warmup(self):
+        server = XServer()
+        display = Display(server)
+        plan = server.install_fault_plan(
+            FaultPlan(seed=0, error_rate=1.0, warmup=5))
+        for _ in range(5):
+            display.intern_atom("SAFE")     # inside warmup: no faults
+        with pytest.raises(XProtocolError):
+            display.intern_atom("HOT")
+        assert plan.counters[ERROR] == 1
+
+    def test_scripted_triggers_ignore_warmup(self):
+        # Scripted triggers schedule with their own `after`; warmup
+        # only silences the seeded background rates.
+        server = XServer()
+        display = Display(server)
+        plan = server.install_fault_plan(FaultPlan(warmup=100))
+        plan.fail_request("intern_atom", error="BadAtom")
+        with pytest.raises(XProtocolError, match="BadAtom"):
+            display.intern_atom("X")
