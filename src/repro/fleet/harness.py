@@ -1,0 +1,385 @@
+"""Per-session harness for the fleet load generator.
+
+A :class:`SessionSpec` is the durable description of one simulated
+user: a replayable input list (journal inputs — the same vocabulary
+:mod:`repro.obs.replay` and :mod:`repro.fuzz` speak), the setup
+script, ablation flags, and an optional fault plan.  Specs come from
+three sources and all run identically:
+
+* a recorded journal (:meth:`SessionSpec.from_journal`) — the golden
+  session, the shrunk regression corpus, any bug-report capture;
+* the fuzz generator (:meth:`SessionSpec.from_seed`) — fresh seeded
+  scenarios, so a fleet can be arbitrarily large without arbitrarily
+  many checked-in files;
+* hand-built specs (:func:`make_slow_spec`) — synthetic outliers the
+  telemetry must be able to pick out of the crowd.
+
+A :class:`FleetSession` runs one spec against a (possibly shared)
+:class:`~repro.x11.xserver.XServer`, one input per scheduler visit,
+and records *its own* telemetry into a private
+:class:`~repro.obs.metrics.MetricsRegistry`: a ``fleet.dispatch_ms``
+histogram of virtual milliseconds consumed per input (the shared
+virtual clock makes this exactly attributable — only one session runs
+at a time), plus step/event/error counters.  At completion the
+session folds its applications' own registries (``tk.*``, ``tcl.*``,
+``send.*`` — not the shared server's mounts) into the same private
+registry, so the fleet rollup sees every per-session series under one
+``{session=...}`` label.
+
+Isolation rule: inputs resolve their target application among **this
+session's** applications only.  Several journals recorded against an
+application named ``fuzz`` can share one cell without their inputs
+cross-firing into each other's interpreters; the ``send`` registry
+de-duplicates display names per server as usual.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..fuzz.gen import generate_scenario
+from ..obs.metrics import MetricsRegistry
+from ..obs.replay import _build_app, start_recording
+from ..x11 import events as ev
+from ..x11.faults import FaultPlan
+
+#: Bucket bounds (virtual ms) for the per-session dispatch histogram;
+#: wider than the default so fault-delayed outliers keep resolution.
+DISPATCH_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000,
+                    5000)
+
+#: Journal ring for sessions that record themselves — large enough
+#: that no fleet session wraps (a wrapped ring cannot replay-verify).
+RECORD_RING = 262144
+
+#: Session states reported through the fleet gauges.
+ACTIVE = "active"
+COMPLETED = "completed"
+FAULTED = "faulted"
+
+
+class SessionSpec:
+    """Everything needed to run one fleet session."""
+
+    def __init__(self, steps: List[Tuple[str, list]],
+                 setup_script: str = "",
+                 flags: Optional[dict] = None,
+                 fault_spec: Optional[dict] = None,
+                 name: str = "session", source: str = "",
+                 record_path: Optional[str] = None):
+        self.steps = [(kind, list(args)) for kind, args in steps]
+        self.setup_script = setup_script
+        self.flags = dict(flags or {})
+        self.fault_spec = fault_spec
+        self.name = name
+        #: where this spec came from — a journal path or ``seed:N``;
+        #: the top-N report prints it as the reproduction handle
+        self.source = source
+        #: when set, the session records its own journal and saves it
+        #: here at completion (the outlier-repro path)
+        self.record_path = record_path
+
+    @property
+    def multi_app(self) -> bool:
+        return any(kind == "new_app" for kind, _ in self.steps)
+
+    @property
+    def solo(self) -> bool:
+        """Sessions that need a server cell of their own.
+
+        A fault plan is installed per *server*, so a faulted spec must
+        not share (its faults would hit innocent neighbours); a
+        multi-application spec resolves peers by recorded name, which
+        only stays unambiguous on a private server; a recording spec's
+        journal must contain no neighbour traffic or it cannot replay
+        standalone.
+        """
+        return (self.fault_spec is not None or self.multi_app
+                or self.record_path is not None)
+
+    @classmethod
+    def from_journal(cls, path: str) -> "SessionSpec":
+        """A spec replaying a recorded journal's inputs.
+
+        Planted test-only bugs named by the header are *not* armed —
+        the fleet drives the shipping code; the journal contributes
+        its workload, not its historical defect.
+        """
+        from ..obs.journal import Journal
+        journal = Journal.load(path)
+        header = journal.meta or {}
+        return cls(journal.inputs(),
+                   setup_script=header.get("script") or "",
+                   flags=dict(header.get("flags") or {}),
+                   fault_spec=header.get("fault_plan"),
+                   name=header.get("name") or "journal",
+                   source=path)
+
+    @classmethod
+    def from_seed(cls, seed: int, length: int = 40) -> "SessionSpec":
+        """A spec generated by the fuzzer's seeded scenario generator."""
+        scenario = generate_scenario(seed, length=length)
+        return cls(scenario.steps,
+                   setup_script=scenario.setup_script,
+                   flags=scenario.flags,
+                   fault_spec=scenario.fault_spec,
+                   name=scenario.name,
+                   source="seed:%d" % seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<SessionSpec %s steps=%d source=%s%s>" % (
+            self.name, len(self.steps), self.source or "-",
+            " solo" if self.solo else "")
+
+
+class FleetSession:
+    """One live session: spec + applications + private telemetry."""
+
+    def __init__(self, sid: str, spec: SessionSpec, server,
+                 pump_budget: int = 0):
+        self.sid = sid
+        self.spec = spec
+        self.server = server
+        #: events per budgeted pump; 0 pumps to quiescence.  Recording
+        #: sessions always pump to quiescence so their journal replays
+        #: through :func:`repro.obs.replay.apply_input` identically.
+        self.pump_budget = 0 if spec.record_path is not None \
+            else pump_budget
+        self.status = ACTIVE
+        self.metrics = MetricsRegistry()
+        self._m_dispatch = self.metrics.histogram(
+            "fleet.dispatch_ms", buckets=DISPATCH_BUCKETS)
+        self._m_steps = self.metrics.counter("fleet.steps")
+        self._m_events = self.metrics.counter("fleet.events")
+        self._m_errors = self.metrics.counter("fleet.errors")
+        self.apps: List = []
+        self.main_app = None
+        self.plan: Optional[FaultPlan] = None
+        self.journal = None
+        self._cursor = 0
+        self._pump_app = None
+        self.finished = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def launch(self) -> None:
+        """Install the fault plan / recording journal, build the app."""
+        spec = self.spec
+        if spec.record_path is not None:
+            plan = (FaultPlan.from_spec(spec.fault_spec)
+                    if spec.fault_spec else None)
+            # start_recording installs the plan and serializes it into
+            # the journal header, so the saved capture replays with the
+            # same faults standalone.
+            self.journal = start_recording(
+                self.server, name=spec.name, script=spec.setup_script,
+                maxlen=RECORD_RING, fault_plan=plan, **spec.flags)
+            self.plan = plan
+        elif spec.fault_spec is not None:
+            self.plan = self.server.install_fault_plan(
+                FaultPlan.from_spec(spec.fault_spec))
+        flags = spec.flags
+        try:
+            self.main_app = _build_app(
+                self.server, spec.name, spec.setup_script,
+                flags.get("cache_enabled", True),
+                flags.get("compile_enabled", True),
+                flags.get("buffering_enabled", True),
+                flags.get("bytecode_enabled", True))
+        except Exception:
+            # A fault plan can kill construction; the session then runs
+            # its steps app-less, exactly as record_session does.
+            self.main_app = None
+            self._m_errors.value += 1
+        if self.main_app is not None:
+            self.apps.append(self.main_app)
+
+    def step(self) -> bool:
+        """Run this session's next unit of work; False when idle.
+
+        One visit is either the leftovers of a budget-limited pump
+        (so a redraw cascade cannot monopolize the scheduler) or the
+        next spec input.
+        """
+        if self.finished:
+            return False
+        if self._pump_app is not None:
+            app, self._pump_app = self._pump_app, None
+            start = self.server.time_ms
+            self._pump(app)
+            self._m_dispatch.observe(self.server.time_ms - start)
+            return True
+        if self._cursor >= len(self.spec.steps):
+            return False
+        kind, args = self.spec.steps[self._cursor]
+        self._cursor += 1
+        self.run_input(kind, args)
+        return True
+
+    def run_input(self, kind: str, args: list) -> None:
+        """Execute one input, observing its virtual-time latency."""
+        start = self.server.time_ms
+        try:
+            self._execute(kind, list(args))
+        finally:
+            self._m_steps.value += 1
+            self._m_dispatch.observe(self.server.time_ms - start)
+
+    def finish(self) -> None:
+        """Close out: save the recording, fold application telemetry
+        into the session registry, release the applications."""
+        if self.finished:
+            return
+        self.finished = True
+        if self.journal is not None:
+            self.server.detach_journal()
+            self.journal.close_sink()
+            self.journal.save(self.spec.record_path)
+        died = self.main_app is None or self.main_app.destroyed
+        injected = self.plan is not None and self.plan.total_injected > 0
+        self.status = FAULTED if (died or injected) else COMPLETED
+        for app in self.apps:
+            # Values, not objects: the apps are about to be destroyed,
+            # and the rollup must not double-count the shared server
+            # registry each app mounts.
+            self.metrics.merge(app.obs.metrics, include_mounts=False)
+        for app in self.apps:
+            if not app.destroyed:
+                try:
+                    app.destroy()
+                except Exception:
+                    # A still-armed fault plan may inject into the
+                    # teardown requests themselves.
+                    self._m_errors.value += 1
+
+    # -- the input executor (mirrors repro.obs.replay.apply_input) -----
+
+    def _execute(self, kind: str, args: list) -> None:
+        server = self.server
+        if kind == "new_app":
+            if self.journal is not None:
+                self.journal.input("new_app", tuple(args))
+            flags = self.spec.flags
+            try:
+                app = _build_app(server, args[0],
+                                 args[1] if len(args) > 1 else "",
+                                 flags.get("cache_enabled", True),
+                                 flags.get("compile_enabled", True),
+                                 flags.get("buffering_enabled", True),
+                                 flags.get("bytecode_enabled", True))
+                self.apps.append(app)
+            except Exception:
+                self._m_errors.value += 1
+            return
+        if kind == "update":
+            if self.journal is not None:
+                self.journal.input("update", tuple(args))
+            self._pump(self._own_app(args))
+            return
+        if kind == "advance":
+            if self.journal is not None:
+                self.journal.input("advance", tuple(args))
+            if args[0] > server.time_ms:
+                server.time_ms = args[0]
+            self._pump(self._own_app(args[1:]))
+            return
+        if kind == "eval":
+            if self.journal is not None:
+                self.journal.input("eval", tuple(args))
+            app = self._own_app(args[1:])
+            if app is not None:
+                try:
+                    app.interp.eval_top(args[0])
+                except Exception:
+                    self._m_errors.value += 1
+            self._pump(app)
+            return
+        # Raw device input; the server's own hooks journal it.
+        try:
+            getattr(server, kind)(*args)
+        except Exception:
+            # An injected fault at the input's own request tick.
+            self._m_errors.value += 1
+
+    def _own_app(self, args: list):
+        """Resolve an input's target among this session's apps only."""
+        if args:
+            for app in self.apps:
+                if app.name == args[0] and not app.destroyed:
+                    return app
+        return self.main_app
+
+    def _pump(self, app) -> None:
+        if app is None or app.destroyed:
+            return
+        try:
+            if self.pump_budget:
+                processed = app.dispatcher.do_events(self.pump_budget)
+                if processed == self.pump_budget:
+                    # Budget exhausted with work pending: ask the
+                    # scheduler for another visit before the next input.
+                    self._pump_app = app
+            else:
+                processed = app.update()
+        except Exception:
+            self._m_errors.value += 1
+            processed = 0
+        self._m_events.value += processed
+
+    # -- reads ---------------------------------------------------------
+
+    @property
+    def virtual_ms(self) -> int:
+        """Total virtual milliseconds attributed to this session."""
+        return self._m_dispatch.total
+
+    @property
+    def steps_run(self) -> int:
+        return self._m_steps.value
+
+    def dispatch_percentile(self, quantile: float) -> Optional[int]:
+        return self._m_dispatch.percentile(quantile)
+
+
+#: Setup script of the synthetic slowed session.
+SLOW_SETUP = ("set hits 0\n"
+              "proc bgerror msg {}\n"
+              "label .l -text slow\n"
+              "pack append . .l {top}\n")
+
+
+def make_slow_spec(record_path: str, name: str = "slowpoke",
+                   peer: str = "slowpeer", sends: int = 6,
+                   delay_ms: int = 150) -> SessionSpec:
+    """A deliberately slowed session: sync sends under a delay plan.
+
+    The spec connects a peer application on the same (solo) server and
+    issues synchronous ``send`` RPCs to it while a scripted
+    :class:`~repro.x11.faults.FaultPlan` holds every PropertyNotify —
+    the transport ``send`` rides on — for ``delay_ms`` virtual
+    milliseconds.  Each RPC therefore burns hundreds of virtual ms in
+    the sender's wait loop, which is exactly the shape of a degraded
+    real-world session: alive, correct, slow.  The session records its
+    own journal to ``record_path`` (delay plan serialized in the
+    header), so the fleet's top-N outlier is one ``--repro`` away from
+    a deterministic standalone replay.
+    """
+    steps: List[Tuple[str, list]] = [
+        ("new_app", [peer, "set hits 0\nproc bgerror msg {}\n"])]
+    for _ in range(sends):
+        steps.append(("eval", ["send {%s} {incr hits}" % peer, name]))
+    steps.append(("update", [name]))
+    fault_spec = {
+        "seed": 0,
+        "event_triggers": [{"kind": "delay", "count": 4 * sends + 8,
+                            "delay_ms": delay_ms,
+                            "event_type": ev.PROPERTY_NOTIFY}],
+    }
+    return SessionSpec(steps, setup_script=SLOW_SETUP,
+                       fault_spec=fault_spec, name=name,
+                       source=record_path, record_path=record_path)
+
+
+__all__ = ["SessionSpec", "FleetSession", "make_slow_spec",
+           "DISPATCH_BUCKETS", "RECORD_RING", "SLOW_SETUP",
+           "ACTIVE", "COMPLETED", "FAULTED"]

@@ -1,0 +1,189 @@
+"""Fleet-level telemetry: gauges, rollup, attribution, and SLOs.
+
+The fleet registry is built by *merging* (value copy — see
+:meth:`~repro.obs.metrics.MetricsRegistry.merge`), never mounting:
+
+* every session's private registry merges in under a
+  ``{session=<sid>}`` label, so ``fleet.dispatch_ms{session=s007}``
+  and ``send.wait_ms{session=s007}`` sit next to their 199 siblings;
+* every server cell's registry merges in once, unlabeled, giving the
+  fleet-wide ``x11.*`` totals (and the ``obs.journal.dropped`` /
+  ``obs.trace.evicted`` loss counters) without per-app double
+  counting — an application *mounts* its server's registry, which is
+  exactly why the session merge excludes mounts.
+
+Fleet-wide latency percentiles come from
+:meth:`~repro.obs.metrics.MetricsRegistry.histogram_total`, which
+folds every ``{session=...}`` series of a histogram back into one
+distribution.  Because every observation is virtual milliseconds on
+the shared clock, the percentiles are bit-identical run to run —
+which is what lets the SLO gate pin them tightly while wall-clock
+throughput gets conservative floors only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..obs.metrics import MetricsRegistry
+from .harness import ACTIVE, COMPLETED, FAULTED, FleetSession
+
+
+class FleetTelemetry:
+    """The fleet registry: live gauges plus the end-of-run rollup."""
+
+    def __init__(self):
+        self.registry = MetricsRegistry()
+        self._gauges = {
+            state: self.registry.gauge("fleet.sessions", state=state)
+            for state in (ACTIVE, COMPLETED, FAULTED)}
+        self._rolled_up = False
+
+    def update_gauges(self, sessions: List[FleetSession]) -> None:
+        """Refresh the live session-state gauges."""
+        counts = {ACTIVE: 0, COMPLETED: 0, FAULTED: 0}
+        for session in sessions:
+            state = ACTIVE if not session.finished else session.status
+            counts[state] += 1
+        for state, gauge in self._gauges.items():
+            gauge.value = counts[state]
+
+    def rollup(self, sessions: List[FleetSession], servers) -> None:
+        """Merge per-session and per-server telemetry into the fleet
+        registry (idempotence guarded: a rollup happens once)."""
+        if self._rolled_up:
+            return
+        self._rolled_up = True
+        for session in sessions:
+            self.registry.merge(session.metrics, include_mounts=False,
+                                labels={"session": session.sid})
+        seen = set()
+        for server in servers:
+            if id(server) in seen:
+                continue
+            seen.add(id(server))
+            self.registry.merge(server.obs.metrics,
+                                include_mounts=False)
+
+
+# ----------------------------------------------------------------------
+# attribution: the top-N-slowest report
+# ----------------------------------------------------------------------
+
+def top_slowest(sessions: List[FleetSession],
+                count: int = 10) -> List[dict]:
+    """The ``count`` sessions that consumed the most virtual time.
+
+    Each entry carries the session's source (journal path or seed), so
+    any outlier is one ``python -m repro.fleet --repro <source>`` away
+    from a deterministic standalone reproduction.
+    """
+    ranked = sorted(sessions,
+                    key=lambda s: (-s.virtual_ms, s.sid))[:count]
+    entries = []
+    for session in ranked:
+        entries.append({
+            "session": session.sid,
+            "source": session.spec.source or "-",
+            "status": session.status if session.finished else ACTIVE,
+            "steps": session.steps_run,
+            "virtual_ms": session.virtual_ms,
+            "p95_ms": session.dispatch_percentile(0.95),
+            "send_rpcs": session.metrics.value("send.rpcs"),
+            "errors": session.metrics.value("fleet.errors"),
+        })
+    return entries
+
+
+def format_top(sessions: List[FleetSession], count: int = 10) -> str:
+    """The top-N-slowest table as text (the CI artifact)."""
+    lines = ["TOP %d SLOWEST SESSIONS (virtual ms attributed)"
+             % min(count, len(sessions)),
+             "%-6s %-9s %6s %9s %7s %6s %5s  %s"
+             % ("sid", "status", "steps", "virt_ms", "p95_ms",
+                "rpcs", "errs", "source")]
+    for entry in top_slowest(sessions, count):
+        lines.append("%-6s %-9s %6d %9d %7s %6d %5d  %s"
+                     % (entry["session"], entry["status"],
+                        entry["steps"], entry["virtual_ms"],
+                        entry["p95_ms"] if entry["p95_ms"] is not None
+                        else "-",
+                        entry["send_rpcs"], entry["errors"],
+                        entry["source"]))
+    lines.append("repro: python -m repro.fleet --repro <source>")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# declarative SLOs
+# ----------------------------------------------------------------------
+
+class SLO:
+    """One service-level objective over the fleet summary.
+
+    ``key`` is a dotted path into the summary dict
+    (``dispatch_ms.p95``); ``least``/``most`` bound the value from
+    below/above.  Virtual-time objectives can be pinned tightly (they
+    are deterministic); wall-time objectives should be conservative
+    floors, because CI machines vary.
+    """
+
+    def __init__(self, key: str, least: Optional[float] = None,
+                 most: Optional[float] = None):
+        self.key = key
+        self.least = least
+        self.most = most
+
+    def evaluate(self, summary: Dict) -> dict:
+        value = summary
+        for part in self.key.split("."):
+            value = value.get(part) if isinstance(value, dict) else None
+            if value is None:
+                break
+        ok = value is not None
+        if ok and self.least is not None:
+            ok = value >= self.least
+        if ok and self.most is not None:
+            ok = value <= self.most
+        bound = []
+        if self.least is not None:
+            bound.append(">=%g" % self.least)
+        if self.most is not None:
+            bound.append("<=%g" % self.most)
+        return {"slo": self.key, "bound": " ".join(bound),
+                "value": value, "ok": ok}
+
+
+#: The shipped objectives.  Dispatch percentiles are virtual-time and
+#: therefore exact; the throughput floors are deliberately loose (a
+#: loaded CI runner must still clear them with an order of magnitude
+#: to spare).
+DEFAULT_SLOS = (
+    SLO("dispatch_ms.p50", most=5),
+    SLO("dispatch_ms.p95", most=500),
+    SLO("dispatch_ms.p99", most=2000),
+    SLO("sessions_per_sec", least=2.0),
+    SLO("events_per_sec", least=100.0),
+    SLO("steps_per_sec", least=50.0),
+)
+
+
+def check_slos(summary: Dict, slos=DEFAULT_SLOS) -> List[dict]:
+    """Evaluate every SLO against a fleet summary."""
+    return [slo.evaluate(summary) for slo in slos]
+
+
+def format_slos(results: List[dict]) -> str:
+    lines = ["SLO %-22s %-14s %10s  %s"
+             % ("objective", "bound", "value", "verdict")]
+    for row in results:
+        value = row["value"]
+        lines.append("    %-22s %-14s %10s  %s"
+                     % (row["slo"], row["bound"],
+                        "-" if value is None else value,
+                        "ok" if row["ok"] else "VIOLATED"))
+    return "\n".join(lines)
+
+
+__all__ = ["FleetTelemetry", "top_slowest", "format_top", "SLO",
+           "DEFAULT_SLOS", "check_slos", "format_slos"]

@@ -31,6 +31,9 @@ class Observability:
         self.clock = clock
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(clock)
+        # Ring evictions are telemetry loss; count them where every
+        # other metric of this scope lives.
+        self.tracer.bind_metrics(self.metrics)
         #: the XServer this hub observes, when there is one — set by
         #: TkApp/XServer so ``obs journal`` and remote introspection
         #: can reach the session journal.

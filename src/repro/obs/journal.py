@@ -88,12 +88,26 @@ class Journal:
         self.ring: deque = deque()
         #: entries evicted from the ring (still present in the sink)
         self.dropped = 0
+        #: ``obs.journal.dropped`` counter once bound to a registry, so
+        #: fleet runs can detect silent telemetry loss without reaching
+        #: into the journal object
+        self._m_dropped = None
         self._seq = 0
         #: session metadata: name, ablation flags, the setup script
         self.meta: Dict[str, object] = {}
         self.recording = False
         self._sink_path = sink
         self._sink = None
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror ring evictions as an ``obs.journal.dropped`` counter.
+
+        Called by :meth:`XServer.attach_journal`; the counter is seeded
+        from any drops that happened before binding, so the metric and
+        :attr:`dropped` always agree.
+        """
+        self._m_dropped = registry.counter("obs.journal.dropped")
+        self._m_dropped.value = self.dropped
 
     # -- recording ------------------------------------------------------
 
@@ -135,6 +149,8 @@ class Journal:
         if len(self.ring) > self.maxlen:
             self.ring.popleft()
             self.dropped += 1
+            if self._m_dropped is not None:
+                self._m_dropped.value += 1
         if self._sink is not None:
             self._sink.write(_encode(entry) + "\n")
 

@@ -137,6 +137,36 @@ class Histogram:
                 "p95": self.percentile(0.95),
                 "p99": self.percentile(0.99)}
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's reservoir into this one.
+
+        Identical bucket bounds merge exactly (element-wise count
+        addition); differing bounds re-bucket each of the other's
+        buckets at its own upper bound, which is the same upper-estimate
+        resolution :meth:`percentile` already reports.  Both histograms
+        stay live — the other side is read, never mutated.
+        """
+        self.total += other.total
+        if other.bounds == self.bounds:
+            for position, count in enumerate(other.counts):
+                self.counts[position] += count
+            return
+        for bound, count in zip(other.bounds, other.counts):
+            if count:
+                self._add(bound, count)
+        overflow = other.counts[-1]
+        if overflow:
+            # Overflow observations exceed the other's last bound; all
+            # we know is "> bounds[-1]", so file them just past it.
+            self._add(other.bounds[-1] + 1, overflow)
+
+    def _add(self, value, count: int) -> None:
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[position] += count
+                return
+        self.counts[-1] += count
+
     def snapshot(self):
         buckets = {"<=%d" % bound: count
                    for bound, count in zip(self.bounds, self.counts)
@@ -174,6 +204,23 @@ class MetricsRegistry:
 
     def counter(self, name: str, **labels) -> Counter:
         return self._get_or_create(Counter, name, _label_tuple(labels))
+
+    def histogram_total(self, name: str) -> "Histogram":
+        """One histogram combining every label series of ``name``.
+
+        A fresh (unregistered) histogram merged from all matching
+        series — how a fleet report computes its fleet-wide percentile
+        from per-session ``...{session=...}`` histograms.
+        """
+        combined: Optional[Histogram] = None
+        merged = self._all()
+        for key in sorted(merged):
+            metric = merged[key]
+            if metric.name == name and isinstance(metric, Histogram):
+                if combined is None:
+                    combined = Histogram(name, (), buckets=metric.bounds)
+                combined.merge(metric)
+        return combined if combined is not None else Histogram(name, ())
 
     def gauge(self, name: str, **labels) -> Gauge:
         return self._get_or_create(Gauge, name, _label_tuple(labels))
@@ -221,6 +268,48 @@ class MetricsRegistry:
             self._metrics.setdefault(key, metric)
         for mounted in other._mounts:
             self.mount(mounted)
+
+    def merge(self, other: "MetricsRegistry",
+              include_mounts: bool = True,
+              labels: Optional[Dict[str, str]] = None) -> None:
+        """Add another registry's *values* into this one.
+
+        Unlike :meth:`absorb` (which shares metric objects) and
+        :meth:`mount` (which reads through), ``merge`` copies: counters
+        and gauges are summed into same-named metrics here, histogram
+        reservoirs are folded bucket-wise (:meth:`Histogram.merge`), and
+        both registries stay independently live afterwards.  This is
+        the fleet rollup primitive: per-session registries merge into
+        one fleet-level registry whose percentiles then describe the
+        combined distribution.
+
+        ``include_mounts=False`` merges only the other registry's own
+        metrics, not its read-through mounts — used to avoid counting a
+        shared (mounted) server registry once per session.  ``labels``
+        adds extra labels to every merged key, so a rollup can keep
+        per-session series (``...{session=s007}``) next to the
+        unlabeled fleet aggregate.  Metrics are merged in sorted key
+        order, so a merge over the same inputs is deterministic.
+
+        A name+label collision between the two registries must agree on
+        kind; a counter merging into a histogram (or vice versa) raises
+        ``TypeError`` like the creation API does.
+        """
+        source = other._all() if include_mounts else other._metrics
+        extra = _label_tuple(labels) if labels else ()
+        for key in sorted(source):
+            metric = source[key]
+            merged_labels = tuple(sorted(metric.labels + extra))
+            if isinstance(metric, Histogram):
+                mine = self.histogram(metric.name, buckets=metric.bounds,
+                                      **dict(merged_labels))
+                mine.merge(metric)
+            elif isinstance(metric, Gauge):
+                mine = self.gauge(metric.name, **dict(merged_labels))
+                mine.value += metric.value
+            else:
+                mine = self.counter(metric.name, **dict(merged_labels))
+                mine.value += metric.value
 
     # -- reads ---------------------------------------------------------
 

@@ -94,11 +94,42 @@ class Tracer:
         self.wire_log: deque = deque(maxlen=max_wire)
         self._stack: List[Span] = []
         self._next_id = 1
+        #: spans/wire entries silently pushed off the bounded rings —
+        #: surfaced as ``obs.trace.evicted{ring=...}`` once bound
+        self.evicted_spans = 0
+        self.evicted_wire = 0
+        self._m_evicted_spans = None
+        self._m_evicted_wire = None
         #: called with the new enabled state on every start/stop, so
         #: instrumented hot paths (the interpreter's command loop) can
         #: keep a precomputed local flag instead of re-reading
         #: ``tracer.enabled`` on every invocation
         self.listeners: List[Callable[[bool], None]] = []
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror ring evictions as ``obs.trace.evicted{ring=...}``.
+
+        Counters are seeded from evictions recorded before binding, so
+        the metric and the ``evicted_*`` attributes always agree.
+        """
+        self._m_evicted_spans = registry.counter("obs.trace.evicted",
+                                                 ring="spans")
+        self._m_evicted_spans.value = self.evicted_spans
+        self._m_evicted_wire = registry.counter("obs.trace.evicted",
+                                                ring="wire")
+        self._m_evicted_wire.value = self.evicted_wire
+
+    def _note_span_eviction(self) -> None:
+        if len(self.spans) == self.spans.maxlen:
+            self.evicted_spans += 1
+            if self._m_evicted_spans is not None:
+                self._m_evicted_spans.value += 1
+
+    def _note_wire_eviction(self) -> None:
+        if len(self.wire_log) == self.wire_log.maxlen:
+            self.evicted_wire += 1
+            if self._m_evicted_wire is not None:
+                self._m_evicted_wire.value += 1
 
     # -- lifecycle -----------------------------------------------------
 
@@ -150,6 +181,7 @@ class Tracer:
         # A span still open when the tracer stopped (e.g. the very
         # `obs trace stop` invocation) is dropped, not half-recorded.
         if self.enabled:
+            self._note_span_eviction()
             self.spans.append(span)
 
     # -- server-side attribution (called via _ACTIVE) ------------------
@@ -162,6 +194,7 @@ class Tracer:
         else:
             widget = None
         if self.wire:
+            self._note_wire_eviction()
             self.wire_log.append((self.clock(), name, widget))
 
     def record_queued(self, name: str) -> None:
@@ -181,6 +214,7 @@ class Tracer:
         (it was attributed to its issuing span when enqueued)."""
         if self.wire:
             widget = self._stack[-1].widget if self._stack else None
+            self._note_wire_eviction()
             self.wire_log.append((self.clock(), name, widget))
 
     def record_round_trip(self) -> None:

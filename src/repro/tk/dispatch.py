@@ -195,6 +195,21 @@ class EventDispatcher:
                 raise RuntimeError("update did not converge")
         return processed
 
+    def do_events(self, limit: int) -> int:
+        """Process up to ``limit`` pending events; returns the count.
+
+        The cooperative-scheduling variant of :meth:`update`: a fleet
+        driver interleaving hundreds of sessions pumps each one with a
+        bounded budget per scheduler round, so a session with a long
+        redraw cascade cannot starve its neighbors.  A return value
+        equal to ``limit`` means the session still has pending work and
+        should be revisited before its next input.
+        """
+        processed = 0
+        while processed < limit and self.do_one_event(block=False):
+            processed += 1
+        return processed
+
     def pending_work(self) -> bool:
         display = self.app.display
         return bool(display.pending() or display.pending_output() or

@@ -26,12 +26,13 @@ from .render import Renderer, render_ppm
 from .resources import (Bitmap, Color, Cursor, Font, GraphicsContext,
                         NAMED_COLORS, parse_color)
 from .window import Window
-from .xserver import Client, XConnectionLost, XProtocolError, XServer
+from .xserver import (Client, VirtualClock, XConnectionLost,
+                      XProtocolError, XServer)
 
 __all__ = [
     "XServer", "Display", "Client", "Window", "Event", "AtomTable",
     "Renderer", "render_ppm", "XProtocolError", "XConnectionLost",
-    "FaultPlan",
+    "FaultPlan", "VirtualClock",
     "Color", "Font", "Cursor", "Bitmap", "GraphicsContext",
     "NAMED_COLORS", "parse_color", "events", "keysyms",
 ]

@@ -43,6 +43,25 @@ from .resources import (BUILTIN_BITMAPS, CURSOR_NAMES, Bitmap, Color, Cursor,
 from .window import Window
 
 
+class VirtualClock:
+    """The simulated millisecond clock one or more servers tick.
+
+    Every server owns a clock; by default each creates its own, which
+    is the historical one-server-one-timeline behavior.  A fleet of
+    servers can instead be constructed over a single shared clock
+    (``XServer(clock=shared)``), putting hundreds of isolated sessions
+    on one common virtual timeline — cross-session latency comparisons
+    and fleet-wide timeouts then mean the same thing in every session,
+    which is what makes per-session latency distributions under
+    concurrent load comparable (Gunther's "X-Files" methodology).
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, now: int = 0):
+        self.now = now
+
+
 class XProtocolError(Exception):
     """A request referenced a bad resource or argument."""
 
@@ -94,7 +113,8 @@ class Client:
 class XServer:
     """The display server."""
 
-    def __init__(self, width: int = 1152, height: int = 900):
+    def __init__(self, width: int = 1152, height: int = 900,
+                 clock: Optional[VirtualClock] = None):
         self.atoms = AtomTable()
         self.resources: Dict[int, object] = {}
         #: creating client of each non-window resource (fonts, cursors,
@@ -103,8 +123,10 @@ class XServer:
         self.resource_creators: Dict[int, Client] = {}
         self._next_resource_id = 0x100
         self.clients: List[Client] = []
-        self.time_ms = 0
-        self.obs = Observability(clock=lambda: self.time_ms)
+        #: the virtual clock; shared between servers when a fleet
+        #: driver passes the same VirtualClock to each of them
+        self.clock = clock if clock is not None else VirtualClock()
+        self.obs = Observability(clock=lambda: self.clock.now)
         self.obs.server = self
         #: session journal (repro.obs.journal); ``_jrec`` is the hot
         #: handle — None unless recording, so ``_tick`` pays one test.
@@ -209,6 +231,9 @@ class XServer:
         self.journal = journal
         self._jrec = journal
         journal.recording = True
+        # Ring evictions are silent telemetry loss; surface them next
+        # to every other server metric (obs.journal.dropped).
+        journal.bind_metrics(self.obs.metrics)
         if self.fault_plan is not None:
             self.fault_plan._jrec = journal
         return journal
@@ -281,8 +306,17 @@ class XServer:
         self._next_resource_id += 1
         return self._next_resource_id
 
+    @property
+    def time_ms(self) -> int:
+        """The current virtual time (delegates to :attr:`clock`)."""
+        return self.clock.now
+
+    @time_ms.setter
+    def time_ms(self, value: int) -> None:
+        self.clock.now = value
+
     def _tick(self, name: str = "request") -> int:
-        self.time_ms += 1
+        self.clock.now += 1
         counter = self._request_counters.get(name)
         if counter is None:
             counter = self._request_counters[name] = \
@@ -314,7 +348,7 @@ class XServer:
         timeouts expire and fault-delayed events are eventually
         released even though no client is generating requests.
         """
-        self.time_ms += 1
+        self.clock.now += 1
         if self.fault_plan is not None:
             self.fault_plan.release_due(self)
         return self.time_ms

@@ -230,3 +230,35 @@ class TestTclCommand:
         assert data["journal"]["recording"] is True
         assert data["journal"]["entries"] > 0
         app.interp.eval("obs journal stop")
+
+
+class TestDroppedMetric:
+    def test_ring_evictions_counted_on_server_registry(self, server, app):
+        start_recording(server, name="t", maxlen=10)
+        for index in range(30):
+            app.display.intern_atom("ATOM_%d" % index)
+        dropped = server.obs.metrics.value("obs.journal.dropped")
+        assert dropped > 0
+        assert dropped == server.journal.dropped
+        server.detach_journal()
+
+    def test_bind_seeds_from_prior_drops(self):
+        journal = Journal(maxlen=2)
+        journal.set_header(name="t")
+        journal.recording = True
+        for index in range(5):
+            journal.input("eval", ("x",))
+        assert journal.dropped == 3
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        journal.bind_metrics(registry)
+        assert registry.value("obs.journal.dropped") == 3
+        journal.input("eval", ("y",))
+        assert registry.value("obs.journal.dropped") == 4
+
+    def test_unbounded_journal_never_drops(self, server, app):
+        start_recording(server, name="t")
+        for index in range(30):
+            app.display.intern_atom("ATOM_%d" % index)
+        assert server.obs.metrics.value("obs.journal.dropped") == 0
+        server.detach_journal()

@@ -176,3 +176,155 @@ class TestPercentiles:
         registry = MetricsRegistry()
         registry.histogram("send.wait_ms")
         assert "p50" not in registry.format("send.wait_ms")
+
+
+class TestMerge:
+    """MetricsRegistry.merge — the fleet rollup primitive."""
+
+    def _source(self):
+        registry = MetricsRegistry()
+        registry.counter("tcl.commands").inc(5)
+        registry.gauge("tk.widgets").value = 3
+        histogram = registry.histogram("send.wait_ms", buckets=(1, 10, 100))
+        for value in (1, 5, 50):
+            histogram.observe(value)
+        return registry
+
+    def test_counters_sum_on_label_collision(self):
+        target = MetricsRegistry()
+        target.counter("tcl.commands").inc(2)
+        target.merge(self._source())
+        assert target.value("tcl.commands") == 7
+
+    def test_gauges_sum(self):
+        target = MetricsRegistry()
+        target.gauge("tk.widgets").value = 4
+        target.merge(self._source())
+        assert target.value("tk.widgets") == 7
+
+    def test_same_bounds_histograms_merge_exactly(self):
+        target = MetricsRegistry()
+        histogram = target.histogram("send.wait_ms", buckets=(1, 10, 100))
+        histogram.observe(7)
+        target.merge(self._source())
+        assert histogram.value == 4
+        assert histogram.total == 63
+        assert histogram.counts == [1, 2, 1, 0]
+
+    def test_percentiles_after_merge_describe_the_union(self):
+        target = MetricsRegistry()
+        histogram = target.histogram("send.wait_ms", buckets=(1, 10, 100))
+        for _ in range(97):
+            histogram.observe(1)
+        target.merge(self._source())  # adds 1, 5, 50
+        assert histogram.percentile(0.50) == 1
+        assert histogram.percentile(0.99) == 10
+        assert histogram.percentile(1.0) == 100
+
+    def test_differing_bounds_rebucket_at_upper_estimate(self):
+        from repro.obs.metrics import Histogram
+        coarse = Histogram("h", (), buckets=(10, 1000))
+        fine = Histogram("h", (), buckets=(1, 5, 25))
+        fine.observe(3)    # <=5 bucket, re-filed at its bound 5 -> <=10
+        fine.observe(100)  # fine's overflow, filed just past 25 -> <=1000
+        coarse.merge(fine)
+        assert coarse.value == 2
+        assert coarse.total == 103
+        assert coarse.counts == [1, 1, 0]
+
+    def test_labels_kept_distinct(self):
+        source = MetricsRegistry()
+        source.counter("x11.requests", type="a").inc(1)
+        source.counter("x11.requests", type="b").inc(2)
+        target = MetricsRegistry()
+        target.merge(source)
+        assert target.value("x11.requests", type="a") == 1
+        assert target.value("x11.requests", type="b") == 2
+        assert target.total("x11.requests") == 3
+
+    def test_extra_labels_scope_the_merged_series(self):
+        target = MetricsRegistry()
+        target.merge(self._source(), labels={"session": "s007"})
+        target.merge(self._source(), labels={"session": "s008"})
+        assert target.value("tcl.commands", session="s007") == 5
+        assert target.value("tcl.commands", session="s008") == 5
+        assert target.value("tcl.commands") == 0
+        assert target.total("tcl.commands") == 10
+
+    def test_kind_collision_raises(self):
+        source = MetricsRegistry()
+        source.counter("send.wait_ms").inc(1)
+        target = MetricsRegistry()
+        target.histogram("send.wait_ms")
+        with pytest.raises(TypeError):
+            target.merge(source)
+
+    def test_both_registries_stay_live(self):
+        source = self._source()
+        target = MetricsRegistry()
+        target.merge(source)
+        source.counter("tcl.commands").inc(10)
+        source.histogram("send.wait_ms",
+                         buckets=(1, 10, 100)).observe(2)
+        assert source.value("tcl.commands") == 15
+        assert target.value("tcl.commands") == 5
+        assert target.value("send.wait_ms") == 3
+
+    def test_include_mounts_false_skips_mounted(self):
+        mounted = MetricsRegistry()
+        mounted.counter("x11.requests").inc(9)
+        source = MetricsRegistry()
+        source.mount(mounted)
+        source.counter("tcl.commands").inc(1)
+        target = MetricsRegistry()
+        target.merge(source, include_mounts=False)
+        assert target.value("tcl.commands") == 1
+        assert target.value("x11.requests") == 0
+        target.merge(source)  # default includes the mount
+        assert target.value("x11.requests") == 9
+
+
+class TestHistogramTotal:
+    def test_folds_every_label_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("fleet.dispatch_ms", buckets=(1, 10),
+                           session="s000").observe(1)
+        registry.histogram("fleet.dispatch_ms", buckets=(1, 10),
+                           session="s001").observe(5)
+        combined = registry.histogram_total("fleet.dispatch_ms")
+        assert combined.value == 2
+        assert combined.total == 6
+        assert combined.percentile(0.95) == 10
+
+    def test_absent_name_yields_empty_histogram(self):
+        combined = MetricsRegistry().histogram_total("no.such")
+        assert combined.value == 0
+        assert combined.percentile(0.5) is None
+
+    def test_result_is_unregistered(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1,)).observe(1)
+        registry.histogram_total("h").observe(99)
+        assert registry.value("h") == 1
+
+
+class TestFormatDeterminism:
+    def test_lines_sorted_regardless_of_creation_order(self):
+        first = MetricsRegistry()
+        first.counter("b.metric").inc(1)
+        first.counter("a.metric", zone="z").inc(2)
+        first.histogram("c.metric").observe(3)
+        second = MetricsRegistry()
+        second.histogram("c.metric").observe(3)
+        second.counter("a.metric", zone="z").inc(2)
+        second.counter("b.metric").inc(1)
+        assert first.format() == second.format()
+        names = [line.split()[0] for line in first.format().splitlines()]
+        assert names == sorted(names)
+
+    def test_snapshot_keys_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last").inc(1)
+        registry.counter("a.first").inc(1)
+        keys = list(registry.snapshot().keys())
+        assert keys == sorted(keys)

@@ -208,3 +208,51 @@ class TestEvictionRerooting:
         tracer.finish(outer)
         text = tracer.format_tree()
         assert "(orphaned: parent span evicted)" in text
+
+
+class TestEvictionMetrics:
+    def test_span_ring_evictions_counted(self, clock):
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        tracer = Tracer(clock, max_spans=4)
+        tracer.bind_metrics(registry)
+        tracer.start()
+        for index in range(10):
+            tracer.finish(tracer.begin("event", "e%d" % index))
+        tracer.stop()
+        assert tracer.evicted_spans == 6
+        assert registry.value("obs.trace.evicted", ring="spans") == 6
+        assert registry.value("obs.trace.evicted", ring="wire") == 0
+
+    def test_wire_ring_evictions_counted(self, clock):
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        tracer = Tracer(clock, max_wire=3)
+        tracer.bind_metrics(registry)
+        tracer.start(wire=True)
+        for index in range(8):
+            tracer.record_request("intern_atom")
+        tracer.stop()
+        assert registry.value("obs.trace.evicted", ring="wire") == 5
+
+    def test_bind_seeds_from_prior_evictions(self, clock):
+        from repro.obs import MetricsRegistry
+        tracer = Tracer(clock, max_spans=2)
+        tracer.start()
+        for index in range(5):
+            tracer.finish(tracer.begin("event", "e%d" % index))
+        tracer.stop()
+        registry = MetricsRegistry()
+        tracer.bind_metrics(registry)
+        assert registry.value("obs.trace.evicted", ring="spans") == 3
+
+    def test_app_tracer_bound_to_app_registry(self):
+        import io
+
+        from repro.tk import TkApp
+        from repro.x11 import XServer
+        app = TkApp(XServer(), name="evict")
+        app.interp.stdout = io.StringIO()
+        assert app.obs.tracer._m_evicted_spans is not None
+        assert app.obs.metrics.value("obs.trace.evicted",
+                                     ring="spans") == 0
