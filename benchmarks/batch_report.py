@@ -92,12 +92,99 @@ def _run_workload(buffering_enabled: bool) -> dict:
     }
 
 
+#: generous wall-clock bound (ms) on the socket transport's p99 RTT;
+#: the workload's round trips cross a local socketpair, so anything
+#: slower than this means the host loop is stalling, not the machine.
+WALL_RTT_P99_MS = 250.0
+
+#: wall-clock percentiles reported for each transport
+WALL_PERCENTILES = (0.50, 0.95, 0.99)
+
+
+def _percentile(samples, quantile):
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1,
+                max(0, int(round(quantile * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+def _run_wire_workload(kind: str) -> dict:
+    """Bytes and round-trip latency of the workload over one transport.
+
+    The virtual-clock RTT histogram and the byte counters land in the
+    server registry and must be transport-invariant; wall-clock RTT
+    samples live only in the transport (never in a registry — fleet
+    runs must stay bit-identical) and are reported per transport.
+    """
+    import time
+
+    from repro.x11.transport import resolve_transport, shutdown_host
+
+    server = XServer()
+    samples = []
+
+    def factory(srv):
+        transport = resolve_transport(srv, kind)
+        samples.append(transport.enable_wall_rtt(time.perf_counter_ns))
+        return transport
+
+    try:
+        app = TkApp(server, name="bench", buffering_enabled=True,
+                    transport=factory)
+        app.interp.stdout = io.StringIO()
+        for index, widget_class in enumerate(WIDGETS):
+            app.interp.eval("%s .w%d" % (widget_class, index))
+            app.interp.eval("pack append . .w%d {top frame center fillx}"
+                            % index)
+        app.update()
+        for round_index in range(ROUNDS):
+            app.interp.eval("wm geometry . %dx%d"
+                            % (220 + 4 * round_index,
+                               260 + 4 * round_index))
+            for index, widget_class in enumerate(WIDGETS):
+                if widget_class in ("button", "label", "message",
+                                    "checkbutton"):
+                    app.interp.eval(".w%d configure -text {round %d}"
+                                    % (index, round_index))
+        app.update()
+
+        metrics = server.obs.metrics
+        number = app.display.client.number
+        rtt = metrics.histogram("x11.wire.rtt_ms", client=number)
+        wall_ms = [ns / 1e6 for ns in samples[0]]
+        return {
+            "transport": kind,
+            "bytes_out": metrics.value("x11.wire.bytes_out",
+                                       client=str(number)),
+            "bytes_in": metrics.value("x11.wire.bytes_in",
+                                      client=str(number)),
+            "round_trips": rtt.value,
+            "rtt_virtual_ms": {
+                "p50": rtt.percentile(0.50),
+                "p95": rtt.percentile(0.95),
+                "p99": rtt.percentile(0.99),
+            },
+            "rtt_wall_ms": {
+                "p%d" % int(q * 100):
+                    round(_percentile(wall_ms, q), 4)
+                    if wall_ms else None
+                for q in WALL_PERCENTILES
+            },
+        }
+    finally:
+        shutdown_host(server)
+
+
 def run_report() -> dict:
     buffered = _run_workload(True)
     synchronous = _run_workload(False)
     on, off = buffered["requests_delivered"], \
         synchronous["requests_delivered"]
     reduction = (off - on) / off * 100.0 if off else 0.0
+    wire = {kind: _run_wire_workload(kind)
+            for kind in ("loopback", "socket")}
     report = {
         "workload": {
             "widgets": list(WIDGETS),
@@ -107,6 +194,7 @@ def run_report() -> dict:
         "buffering_off": synchronous,
         "reduction_pct": round(reduction, 2),
         "gate_pct": GATE_PCT,
+        "wire": wire,
     }
     print("widget-redraw workload (%d widgets, %d churn rounds)"
           % (len(WIDGETS), ROUNDS))
@@ -115,6 +203,13 @@ def run_report() -> dict:
     print("  batches: %d   coalesced away: %d   round trips: %d/%d"
           % (buffered["batches"], buffered["requests_coalesced"],
              buffered["round_trips"], synchronous["round_trips"]))
+    for kind, stats in wire.items():
+        print("  wire[%s]: %d bytes out, %d bytes in, %d round trips, "
+              "wall RTT p50/p95/p99 = %s/%s/%s ms"
+              % (kind, stats["bytes_out"], stats["bytes_in"],
+                 stats["round_trips"], stats["rtt_wall_ms"]["p50"],
+                 stats["rtt_wall_ms"]["p95"],
+                 stats["rtt_wall_ms"]["p99"]))
     return report
 
 
@@ -130,8 +225,29 @@ def check(report: dict) -> int:
               % (report["buffering_on"]["round_trips"],
                  report["buffering_off"]["round_trips"]))
         return 1
+    loop, sock = report["wire"]["loopback"], report["wire"]["socket"]
+    for field in ("bytes_out", "bytes_in", "round_trips",
+                  "rtt_virtual_ms"):
+        if loop[field] != sock[field]:
+            print("FAIL: wire %s differs across transports "
+                  "(loopback %s vs socket %s)"
+                  % (field, loop[field], sock[field]))
+            return 1
+    for kind, stats in report["wire"].items():
+        if any(stats["rtt_wall_ms"][key] is None
+               for key in ("p50", "p95", "p99")):
+            print("FAIL: no wall RTT samples for %s transport" % kind)
+            return 1
+    if sock["rtt_wall_ms"]["p99"] > WALL_RTT_P99_MS:
+        print("FAIL: socket wall RTT p99 %.2f ms exceeds %.0f ms"
+              % (sock["rtt_wall_ms"]["p99"], WALL_RTT_P99_MS))
+        return 1
     print("OK: buffering cut requests delivered by %.1f%% "
           "(gate: >=%.0f%%), round trips unchanged" % (reduction, GATE_PCT))
+    print("OK: wire bytes and virtual RTT transport-invariant "
+          "(%d out / %d in, %d round trips); socket wall p99 %.2f ms"
+          % (sock["bytes_out"], sock["bytes_in"], sock["round_trips"],
+             sock["rtt_wall_ms"]["p99"]))
     return 0
 
 

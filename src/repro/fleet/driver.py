@@ -125,6 +125,11 @@ class FleetDriver:
             if not busy:
                 break
         self.wall_seconds = time.perf_counter() - start
+        # Cells that hosted socket-backed sessions have a server thread
+        # running; stop them before the rollup reads the registries.
+        from ..x11.transport import shutdown_host
+        for server in self.servers:
+            shutdown_host(server)
         self.telemetry.rollup(self.sessions, self.servers)
         return FleetResult(self)
 

@@ -66,11 +66,17 @@ class SessionSpec:
                  flags: Optional[dict] = None,
                  fault_spec: Optional[dict] = None,
                  name: str = "session", source: str = "",
-                 record_path: Optional[str] = None):
+                 record_path: Optional[str] = None,
+                 transport: Optional[str] = None):
         self.steps = [(kind, list(args)) for kind, args in steps]
         self.setup_script = setup_script
         self.flags = dict(flags or {})
         self.fault_spec = fault_spec
+        #: how this session's Displays reach the cell's server: None /
+        #: "loopback" for in-process calls, "socket" for real frames
+        #: over the cell's thread-hosted ServerHost (see
+        #: repro.x11.transport); socket sessions share cells freely.
+        self.transport = transport
         self.name = name
         #: where this spec came from — a journal path or ``seed:N``;
         #: the top-N report prints it as the reproduction handle
@@ -185,7 +191,8 @@ class FleetSession:
                 flags.get("cache_enabled", True),
                 flags.get("compile_enabled", True),
                 flags.get("buffering_enabled", True),
-                flags.get("bytecode_enabled", True))
+                flags.get("bytecode_enabled", True),
+                transport=spec.transport)
         except Exception:
             # A fault plan can kill construction; the session then runs
             # its steps app-less, exactly as record_session does.
@@ -266,7 +273,8 @@ class FleetSession:
                                  flags.get("cache_enabled", True),
                                  flags.get("compile_enabled", True),
                                  flags.get("buffering_enabled", True),
-                                 flags.get("bytecode_enabled", True))
+                                 flags.get("bytecode_enabled", True),
+                                 transport=self.spec.transport)
                 self.apps.append(app)
             except Exception:
                 self._m_errors.value += 1
@@ -294,9 +302,15 @@ class FleetSession:
                     self._m_errors.value += 1
             self._pump(app)
             return
-        # Raw device input; the server's own hooks journal it.
+        # Raw device input; the server's own hooks journal it.  With
+        # socket-backed sessions in the cell, the injection must run on
+        # the server thread (which also drains client output mid-call).
+        host = getattr(server, "_wire_host", None)
         try:
-            getattr(server, kind)(*args)
+            if host is not None and host.running:
+                host.inject(kind, *args)
+            else:
+                getattr(server, kind)(*args)
         except Exception:
             # An injected fault at the input's own request tick.
             self._m_errors.value += 1

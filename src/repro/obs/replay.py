@@ -343,7 +343,8 @@ def record_session(script: str, steps: List[Tuple],
 
 def apply_input(server, default_app, name: str, args: List,
                 flags: Optional[dict] = None,
-                swallowed: Optional[List] = None):
+                swallowed: Optional[List] = None,
+                transport=None):
     """Execute one journal input against a live server/application set.
 
     The same executor drives both sides: the fuzz runner journals an
@@ -366,7 +367,8 @@ def apply_input(server, default_app, name: str, args: List,
                               flags.get("cache_enabled", True),
                               flags.get("compile_enabled", True),
                               flags.get("buffering_enabled", True),
-                              flags.get("bytecode_enabled", True))
+                              flags.get("bytecode_enabled", True),
+                              transport=transport)
         except Exception as error:
             if swallowed is not None:
                 swallowed.append(("new_app", error))
@@ -391,8 +393,15 @@ def apply_input(server, default_app, name: str, args: List,
         _pump(app, swallowed)
         return None
     # Server input injection: the xserver hooks journal it themselves.
+    # With a thread-hosted server (socket transports) the injection
+    # must run on the server thread, which also services the clients'
+    # mid-call output flushes.
+    host = getattr(server, "_wire_host", None)
     try:
-        getattr(server, name)(*args)
+        if host is not None and host.running:
+            host.inject(name, *args)
+        else:
+            getattr(server, name)(*args)
     except Exception as error:
         # A fault plan may fire at the input's own request tick; the
         # input is already on the record, so both sides must survive
@@ -417,7 +426,7 @@ def _pump(app, swallowed: Optional[List]) -> None:
 
 def _build_app(server, name: str, script: str, cache_enabled: bool,
                compile_enabled: bool, buffering_enabled: bool,
-               bytecode_enabled: bool = True):
+               bytecode_enabled: bool = True, transport=None):
     from ..tcl.interp import Interp
     from ..tk.app import TkApp
     interp = Interp(compile_enabled=compile_enabled,
@@ -425,7 +434,8 @@ def _build_app(server, name: str, script: str, cache_enabled: bool,
     interp.stdout = io.StringIO()
     app = TkApp(server, name=name, interp=interp,
                 cache_enabled=cache_enabled,
-                buffering_enabled=buffering_enabled)
+                buffering_enabled=buffering_enabled,
+                transport=transport)
     if script:
         app.interp.eval_top(script)
     app.update()
@@ -438,7 +448,8 @@ def _build_app(server, name: str, script: str, cache_enabled: bool,
 
 def replay_journal(journal: Journal, mode: str = "default",
                    script: Optional[str] = None,
-                   setup: Optional[Callable] = None) -> ReplayResult:
+                   setup: Optional[Callable] = None,
+                   transport=None) -> ReplayResult:
     """Re-inject a journal's inputs against a fresh application and
     diff the resulting wire stream against the recording.
 
@@ -446,7 +457,12 @@ def replay_journal(journal: Journal, mode: str = "default",
     :data:`MODES`.  The setup script comes from the journal header
     unless ``script`` overrides it; ``setup`` (a callable taking the
     fresh server and returning the driver app) replaces script-based
-    construction entirely for Python-driven sessions.
+    construction entirely for Python-driven sessions.  ``transport``
+    chooses how the rebuilt applications reach the server (None /
+    ``"loopback"`` / ``"socket"`` / a factory callable — see
+    :func:`repro.x11.transport.resolve_transport`); the wire stream is
+    transport-invariant, so a journal recorded in-process must replay
+    cleanly over a socket.
 
     If the header embeds a serialized fault plan, an identical plan is
     installed on the fresh server before the application is built, so
@@ -494,7 +510,8 @@ def replay_journal(journal: Journal, mode: str = "default",
                              flags["cache_enabled"],
                              flags["compile_enabled"],
                              flags["buffering_enabled"],
-                             flags["bytecode_enabled"])
+                             flags["bytecode_enabled"],
+                             transport=transport)
         except Exception as error:
             # A header fault plan can fire during construction itself;
             # the recording survived that, so the replay must too.
@@ -510,7 +527,7 @@ def replay_journal(journal: Journal, mode: str = "default",
                 # byte-identity oracle).
                 replay_log.input(input_name, args)
             apply_input(server, app, input_name, args, flags=flags,
-                        swallowed=swallowed)
+                        swallowed=swallowed, transport=transport)
     finally:
         server.detach_journal()
         for extra in list(getattr(server, "apps", [])):
@@ -518,6 +535,8 @@ def replay_journal(journal: Journal, mode: str = "default",
                 extra.destroy()
         if app is not None and not app.destroyed:
             app.destroy()
+        from ..x11.transport import shutdown_host
+        shutdown_host(server)
     result = ReplayResult(mode, journal.wire(), replay_log.wire(),
                           policy["compare"], policy["allowed"],
                           truncated=journal.dropped > 0)
@@ -551,8 +570,11 @@ def replay_all_modes(journal: Journal,
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    usage = ("usage: python -m repro.obs.replay FILE [--mode MODE]... "
+             "[--all-modes] [--transport loopback|socket]")
     modes = []
     path = None
+    transport = None
     while argv:
         if argv[0] == "--mode" and len(argv) > 1:
             modes.append(argv[1])
@@ -560,21 +582,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif argv[0] == "--all-modes":
             modes = sorted(MODES)
             argv = argv[1:]
+        elif argv[0] == "--transport" and len(argv) > 1:
+            transport = argv[1]
+            argv = argv[2:]
         elif path is None:
             path = argv[0]
             argv = argv[1:]
         else:
-            print("usage: python -m repro.obs.replay FILE "
-                  "[--mode MODE]... [--all-modes]")
+            print(usage)
             return 2
     if path is None:
-        print("usage: python -m repro.obs.replay FILE "
-              "[--mode MODE]... [--all-modes]")
+        print(usage)
         return 2
     journal = Journal.load(path)
     status = 0
     for mode in (modes or ["default"]):
-        result = replay_journal(journal, mode=mode)
+        result = replay_journal(journal, mode=mode, transport=transport)
+        if transport:
+            print("TRANSPORT %s" % transport)
         print(result.report())
         if not result.matched:
             status = 1

@@ -205,9 +205,11 @@ class TkApp:
                  main_class: str = "Toplevel",
                  cache_enabled: bool = True,
                  buffering_enabled: bool = True,
-                 register_commands: bool = True):
+                 register_commands: bool = True,
+                 transport=None):
         self.server = server
-        self.display = Display(server, buffering_enabled=buffering_enabled)
+        self.display = Display(server, buffering_enabled=buffering_enabled,
+                               transport=transport)
         self.interp = interp if interp is not None else Interp()
         # Application-wide observability hub on the server's virtual
         # clock.  The server's registry is *mounted* (x11.* metrics are

@@ -17,7 +17,7 @@ Typical use::
     display.map_window(win)
 """
 
-from . import events, keysyms
+from . import events, keysyms, wire
 from .atoms import AtomTable
 from .display import Display
 from .events import Event
@@ -25,7 +25,10 @@ from .faults import FaultPlan
 from .render import Renderer, render_ppm
 from .resources import (Bitmap, Color, Cursor, Font, GraphicsContext,
                         NAMED_COLORS, parse_color)
+from .transport import (LoopbackTransport, ServerHost, SocketTransport,
+                        ensure_host, resolve_transport, shutdown_host)
 from .window import Window
+from .wire import WireError
 from .xserver import (Client, VirtualClock, XConnectionLost,
                       XProtocolError, XServer)
 
@@ -34,5 +37,7 @@ __all__ = [
     "Renderer", "render_ppm", "XProtocolError", "XConnectionLost",
     "FaultPlan", "VirtualClock",
     "Color", "Font", "Cursor", "Bitmap", "GraphicsContext",
-    "NAMED_COLORS", "parse_color", "events", "keysyms",
+    "NAMED_COLORS", "parse_color", "events", "keysyms", "wire",
+    "LoopbackTransport", "SocketTransport", "ServerHost",
+    "ensure_host", "shutdown_host", "resolve_transport", "WireError",
 ]

@@ -46,6 +46,20 @@ from .xserver import Client, XConnectionLost, XProtocolError, XServer
 _DRAW_OPS = frozenset(("fill_rectangle", "draw_rectangle", "draw_line",
                        "draw_string", "clear_window"))
 
+#: Reply-bearing request names.  Normally these never enter the output
+#: buffer (a reply-bearing call flushes first), but replay and fuzz
+#: harnesses hand :meth:`XServer.deliver_batch` recorded op lists that
+#: can interleave them with one-ways.  Any of these is a coalescing
+#: *barrier*: its reply observes server state, so requests on either
+#: side of it must not merge across it — an interleaved
+#: ``get_geometry`` must see the configure before it, not a merged
+#: configure that was hoisted past it.
+_REPLY_OPS = frozenset((
+    "create_window", "get_geometry", "window_exists", "query_tree",
+    "intern_atom", "get_atom_name", "get_property",
+    "get_selection_owner", "alloc_named_color", "load_font",
+    "create_cursor", "create_bitmap", "create_gc", "sync"))
+
 
 def _coalesce(ops: List[tuple]) -> Tuple[List[tuple], int]:
     """Flush-time coalescing pass over ``(name, window, args, kwargs)``.
@@ -81,7 +95,13 @@ def _coalesce(ops: List[tuple]) -> Tuple[List[tuple], int]:
     selected: Set[Tuple[int, int]] = set()
     for index in range(len(ops) - 1, -1, -1):
         name, window, args, kwargs = ops[index]
-        if name == "destroy_window":
+        if name in _REPLY_OPS:
+            # A reply observes server state: nothing written before it
+            # may be superseded by a write after it.
+            cleared.clear()
+            overwritten.clear()
+            selected.clear()
+        elif name == "destroy_window":
             cleared.discard(window)
             overwritten = {key for key in overwritten
                            if key[0] != window}
@@ -117,7 +137,11 @@ def _coalesce(ops: List[tuple]) -> Tuple[List[tuple], int]:
     for index, (name, window, args, kwargs) in enumerate(ops):
         if not keep[index]:
             continue
-        if name == "configure_window":
+        if name in _REPLY_OPS:
+            # Barrier: a later configure must not merge into one
+            # delivered before this reply was taken.
+            merge_into.clear()
+        elif name == "configure_window":
             target = merge_into.get(window)
             if target is not None:
                 merged = dict(ops[target][3])
@@ -136,10 +160,23 @@ def _coalesce(ops: List[tuple]) -> Tuple[List[tuple], int]:
 class Display:
     """One application's connection to the (simulated) display."""
 
-    def __init__(self, server: XServer, buffering_enabled: bool = False):
-        self.server = server
-        self.client: Client = server.connect()
-        self._round_trips_at_connect = server.round_trips
+    def __init__(self, server: Optional[XServer] = None,
+                 buffering_enabled: bool = False, transport=None):
+        from .transport import resolve_transport
+        if not hasattr(transport, "deliver_batch"):
+            # None, a spec string ("loopback"/"socket"), or a factory
+            # callable — anything but a built transport object.
+            if server is None:
+                raise ValueError("Display needs a server or a transport")
+            transport = resolve_transport(server, transport)
+        #: how frames reach the server (see repro.x11.transport)
+        self.transport = transport
+        #: the shared control plane (virtual clock, obs registry);
+        #: with a SocketTransport the *data* plane no longer goes
+        #: through this object's request methods.
+        self.server: XServer = transport.server
+        self.client = transport.client
+        self._round_trips_at_connect = self.server.round_trips
         self.buffering_enabled = buffering_enabled
         #: buffered one-way requests: (name, window, args, kwargs)
         self._buffer: List[tuple] = []
@@ -148,23 +185,23 @@ class Display:
         #: re-raised at this client's next flush point — the simulator's
         #: asynchronous X error delivery.
         self._async_error: Optional[XProtocolError] = None
-        self.client.flush_output = self._flush_for_server
-        self._m_coalesced = server.obs.metrics.counter(
+        transport.register_flush_hook(self._flush_for_server)
+        self._m_coalesced = self.server.obs.metrics.counter(
             "x11.requests_coalesced")
 
     # -- bookkeeping -----------------------------------------------------
 
     @property
     def root(self) -> int:
-        return self.server.root.id
+        return self.transport.root
 
     @property
     def screen_width(self) -> int:
-        return self.server.root.width
+        return self.transport.screen_width
 
     @property
     def screen_height(self) -> int:
-        return self.server.root.height
+        return self.transport.screen_height
 
     @property
     def closed(self) -> bool:
@@ -174,7 +211,7 @@ class Display:
         subsequent call on this display must surface that, not quietly
         pretend the connection is alive.
         """
-        return self._closed or self.client.closed
+        return self._closed or self.transport.connection_closed
 
     def close(self) -> None:
         if self._closed:
@@ -184,7 +221,7 @@ class Display:
         except XProtocolError:
             self._buffer = []   # connection already gone; nothing to send
         self._closed = True
-        self.server.disconnect(self.client)
+        self.transport.close()
 
     def _require_open(self) -> None:
         if self.closed:
@@ -203,17 +240,18 @@ class Display:
                 _trace.record_queued(name)
             self._buffer.append((name, window, args, kwargs))
         else:
-            getattr(self.server, name)(*args, **kwargs)
+            self.transport.oneway(name, window, args, kwargs)
 
     def _sync_request(self) -> None:
-        """Front half of every reply-bearing request (auto-flush)."""
+        """Front half of every reply-bearing request (auto-flush).
+
+        The transport attributes the reply-bearing request that follows
+        to this client in the journal (one-ways are attributed at batch
+        delivery).
+        """
         self._require_open()
         if self._buffer or self._async_error is not None:
             self.flush()
-        # Attribute the reply-bearing request that follows to this
-        # client in the journal (one-ways are attributed at batch
-        # delivery).
-        self.server._jclient = self.client.number
 
     def pending_output(self) -> int:
         """Number of buffered requests not yet delivered."""
@@ -248,6 +286,11 @@ class Display:
             raise error
         if not self._buffer:
             return 0
+        # Consume the buffer before anything below can raise.  Once a
+        # flush is attempted the requests are on the wire (or lost with
+        # it): if deliver_batch aborts mid-batch with XConnectionLost,
+        # a retry must NOT re-deliver the surviving prefix — real Xlib
+        # never rewrites bytes it already handed to the kernel.
         ops = self._buffer
         self._buffer = []
         if self.closed:
@@ -257,36 +300,39 @@ class Display:
         ops, dropped = _coalesce(ops)
         if dropped:
             self._m_coalesced.value += dropped
-        return self.server.deliver_batch(self.client, ops)
+        return self.transport.deliver_batch(ops)
 
     # -- event queue -----------------------------------------------------
 
     def pending(self) -> int:
         self._require_open()
-        if not self.client.queue and \
+        self.transport.poll()
+        if not self.transport.has_queued() and \
                 (self._buffer or self._async_error is not None):
             self.flush()
-        return self.client.pending()
+        return self.transport.pending()
 
     def next_event(self) -> Optional[Event]:
         self._require_open()
-        if not self.client.queue and \
+        self.transport.poll()
+        if not self.transport.has_queued() and \
                 (self._buffer or self._async_error is not None):
             self.flush()
-        return self.client.next_event()
+        return self.transport.next_event()
 
     def sync(self) -> None:
         """A full round trip, as XSync performs."""
         self._sync_request()
-        self.server.sync()
+        self.transport.request("sync")
 
     # -- windows -----------------------------------------------------------
 
     def create_window(self, parent: int, x: int, y: int, width: int,
                       height: int, border_width: int = 0) -> int:
         self._sync_request()
-        return self.server.create_window(self.client, parent, x, y,
-                                         width, height, border_width)
+        return self.transport.request("create_window", self.client,
+                                      parent, x, y, width, height,
+                                      border_width)
 
     def destroy_window(self, window: int) -> None:
         self._oneway("destroy_window", window, window, client=self.client)
@@ -312,16 +358,16 @@ class Display:
 
     def get_geometry(self, window: int) -> Tuple[int, int, int, int, int]:
         self._sync_request()
-        return self.server.get_geometry(window)
+        return self.transport.request("get_geometry", window)
 
     def window_exists(self, window: int) -> bool:
         """True if ``window`` still exists on the server (a round trip)."""
         self._sync_request()
-        return self.server.window_exists(window)
+        return self.transport.request("window_exists", window)
 
     def query_tree(self, window: int) -> Tuple[int, int, List[int]]:
         self._sync_request()
-        return self.server.query_tree(window)
+        return self.transport.request("query_tree", window)
 
     def set_window_background(self, window: int, pixel: int) -> None:
         self._oneway("set_window_background", window, window, pixel)
@@ -330,12 +376,12 @@ class Display:
 
     def intern_atom(self, name: str, only_if_exists: bool = False) -> int:
         self._sync_request()
-        return self.server.intern_atom(name, only_if_exists,
-                                       client=self.client)
+        return self.transport.request("intern_atom", name, only_if_exists,
+                                      client=self.client)
 
     def get_atom_name(self, atom: int) -> str:
         self._sync_request()
-        return self.server.get_atom_name(atom)
+        return self.transport.request("get_atom_name", atom)
 
     def change_property(self, window: int, property_atom: int,
                         type_atom: int, value: object,
@@ -346,7 +392,8 @@ class Display:
     def get_property(self, window: int, property_atom: int,
                      delete: bool = False) -> Optional[Tuple[int, object]]:
         self._sync_request()
-        return self.server.get_property(window, property_atom, delete)
+        return self.transport.request("get_property", window,
+                                      property_atom, delete)
 
     def delete_property(self, window: int, property_atom: int) -> None:
         self._oneway("delete_property", window, window, property_atom,
@@ -367,7 +414,7 @@ class Display:
 
     def get_selection_owner(self, selection: int) -> int:
         self._sync_request()
-        return self.server.get_selection_owner(selection)
+        return self.transport.request("get_selection_owner", selection)
 
     def convert_selection(self, selection: int, target: int,
                           property_atom: int, requestor: int) -> None:
@@ -385,25 +432,28 @@ class Display:
 
     def alloc_named_color(self, name: str) -> Color:
         self._sync_request()
-        return self.server.alloc_named_color(name)
+        return self.transport.request("alloc_named_color", name)
 
     def load_font(self, name: str) -> Font:
         self._sync_request()
-        return self.server.load_font(name, client=self.client)
+        return self.transport.request("load_font", name,
+                                      client=self.client)
 
     def create_cursor(self, name: str) -> Cursor:
         self._sync_request()
-        return self.server.create_cursor(name, client=self.client)
+        return self.transport.request("create_cursor", name,
+                                      client=self.client)
 
     def create_bitmap(self, name: str, width: int = 0,
                       height: int = 0) -> Bitmap:
         self._sync_request()
-        return self.server.create_bitmap(name, width, height,
-                                         client=self.client)
+        return self.transport.request("create_bitmap", name, width,
+                                      height, client=self.client)
 
     def create_gc(self, **values) -> GraphicsContext:
         self._sync_request()
-        return self.server.create_gc(client=self.client, **values)
+        return self.transport.request("create_gc", client=self.client,
+                                      **values)
 
     def free_resource(self, rid: int) -> None:
         self._oneway("free_resource", None, rid)

@@ -162,6 +162,17 @@ class Event:
             self.name, self.window, self.x, self.y, self.state, self.keysym)
 
 
+#: Field order of an :class:`Event` on the wire (see
+#: :mod:`repro.x11.wire`).  ``serial`` is deliberately absent: real X
+#: serials are per-connection sequence numbers assigned by the
+#: receiving Xlib, so the codec stamps a fresh one at decode time
+#: instead of shipping the sender's.
+WIRE_FIELDS = (
+    "type", "window", "x", "y", "x_root", "y_root", "state", "keysym",
+    "keychar", "button", "width", "height", "time", "atom", "selection",
+    "target", "property", "requestor", "data", "send_event")
+
+
 def mask_for(event_type: int) -> Optional[int]:
     """Return the selecting mask for an event type (0 = always sent)."""
     return MASK_FOR_TYPE.get(event_type)

@@ -449,9 +449,10 @@ class FaultPlan:
                       if entry[0] > server.time_ms]
         for _, _, client, event in sorted(due, key=lambda e: (e[0], e[1])):
             if not client.closed:
-                # Straight into the queue: the release must not be
-                # re-dropped or re-delayed by the plan itself.
-                client.queue.append(event)
+                # Through the direct sink: the release must not be
+                # re-dropped or re-delayed by the plan itself, but a
+                # transport still needs to ship (and count) the frame.
+                client.deliver_direct(event)
 
     def forget_client(self, client: Client) -> None:
         """Drop state referring to a disconnected client."""

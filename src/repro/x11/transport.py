@@ -1,0 +1,1073 @@
+"""Transports: how a Display's frames reach the XServer.
+
+Two interchangeable implementations of the same contract sit between
+:class:`~repro.x11.display.Display` and
+:class:`~repro.x11.xserver.XServer`:
+
+:class:`LoopbackTransport`
+    The default.  Requests still execute as direct method calls — so
+    every existing test, golden journal, and fleet snapshot stays
+    byte-identical — but each request, reply, event, and error is
+    *also* accounted at its exact :mod:`repro.x11.wire` frame size
+    (``wire.frame_size``; frames are materialised only under
+    ``capture_wire`` or ``verify``), so bytes-in/out per client and
+    round-trip latency are first-class metrics even in-process.  With
+    ``verify=True`` the decoded frames are delivered instead of the
+    originals, proving the codec is lossless.
+
+:class:`SocketTransport`
+    The real thing: a :class:`ServerHost` runs the XServer on its own
+    thread, serving any number of client Displays over per-client
+    ``socket.socketpair()`` connections with read/write buffering and
+    backpressure accounting.  The protocol is ack-synchronous — a
+    BATCH is answered by the events it generated and then a BATCH_ACK,
+    a REQUEST by events and then a REPLY or ERROR — which keeps the
+    virtual-clock simulation deterministic and gives the transport
+    inherent flow control.
+
+Both transports install themselves as the client's event sink, so the
+fault plan's drop/delay decisions act on *frames* at the transport
+layer rather than on in-server method calls; released delayed events
+bypass the plan through the client's direct sink (a release must not
+be re-dropped).
+
+Metrics (on the server's registry, labeled by client number):
+``x11.wire.bytes_out`` / ``x11.wire.bytes_in`` count payload traffic
+from the client's point of view (handshake and MARK flow control are
+uncounted, so loopback and socket byte counts agree);
+``x11.wire.rtt_ms`` is a virtual-clock histogram over reply-bearing
+requests; ``x11.wire.backpressure`` counts short writes on a
+connection whose peer is slow to read.
+
+Input injection (``warp_pointer`` and friends) must run on the server
+thread *and* drain client output buffers mid-call in the same order
+the loopback path does.  :meth:`ServerHost.call` marshals the callable
+to the server thread; when the server-side flush hook for a socket
+client fires, the host posts a flush request back to the calling
+thread, serves that client's frames until a MARK fence arrives, and
+only then lets the injector continue — reproducing the exact journal
+ordering of the in-process path.
+"""
+
+from __future__ import annotations
+
+import queue
+import select
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from . import wire
+from .xserver import XConnectionLost, XProtocolError, XServer
+
+__all__ = [
+    "LoopbackTransport", "SocketTransport", "ServerHost",
+    "ensure_host", "shutdown_host", "resolve_transport", "RTT_BUCKETS",
+]
+
+#: Bucket edges (virtual ms) for the round-trip latency histogram.
+RTT_BUCKETS = (1, 2, 5, 10, 20, 50, 100)
+
+_LOST = "connection to X server lost"
+
+#: Outbound buffer cap per connection; past this the server closes the
+#: unresponsive client down, as a real server does when a consumer
+#: stops reading.
+WRITE_LIMIT = 1 << 20
+
+_RECV_CHUNK = 65536
+
+#: How long a blocking client-side read waits for the server thread
+#: before declaring the connection dead.  Generous: the virtual-clock
+#: simulation never legitimately takes seconds per round trip.
+_REPLY_TIMEOUT = 30.0
+
+
+class _Telemetry:
+    """Per-connection wire metrics on the server's registry."""
+
+    def __init__(self, server: XServer, number: int):
+        registry = server.obs.metrics
+        self.bytes_out = registry.counter("x11.wire.bytes_out",
+                                          client=number)
+        self.bytes_in = registry.counter("x11.wire.bytes_in",
+                                         client=number)
+        self.rtt_ms = registry.histogram("x11.wire.rtt_ms",
+                                         buckets=RTT_BUCKETS,
+                                         client=number)
+
+
+# ----------------------------------------------------------------------
+# loopback
+# ----------------------------------------------------------------------
+
+class LoopbackTransport:
+    """In-process transport: wire accounting over direct method calls."""
+
+    kind = "loopback"
+
+    def __init__(self, server: XServer, client=None, verify: bool = False):
+        self.server = server
+        self.client = client if client is not None else server.connect()
+        self.verify = verify
+        #: captured frames when :meth:`capture_wire` is active
+        self.wire_log: Optional[List[bytes]] = None
+        #: wall-clock RTT samples (ns) when :meth:`enable_wall_rtt` is on;
+        #: never fed into a metrics registry — registries must stay
+        #: bit-identical across same-seed runs.
+        self.wall_rtt_ns: Optional[List[int]] = None
+        self._wall_clock: Optional[Callable[[], int]] = None
+        self._telemetry = _Telemetry(server, self.client.number)
+        self.client.transport_sink = self._sink_event
+        self.client.direct_sink = self._ship_event
+
+    # -- connection facts ----------------------------------------------
+
+    @property
+    def root(self) -> int:
+        return self.server.root.id
+
+    @property
+    def screen_width(self) -> int:
+        return self.server.root.width
+
+    @property
+    def screen_height(self) -> int:
+        return self.server.root.height
+
+    @property
+    def connection_closed(self) -> bool:
+        return self.client.closed
+
+    def register_flush_hook(self, hook: Callable[[], object]) -> None:
+        self.client.flush_output = hook
+
+    def capture_wire(self) -> List[bytes]:
+        """Start logging every frame; returns the live log list."""
+        self.wire_log = []
+        return self.wire_log
+
+    def enable_wall_rtt(self, clock: Callable[[], int]) -> List[int]:
+        self._wall_clock = clock
+        self.wall_rtt_ns = []
+        return self.wall_rtt_ns
+
+    # -- frame accounting ----------------------------------------------
+    #
+    # Counting goes through wire.frame_size on the hot path; frames are
+    # only materialised when a capture log or verify mode needs the
+    # actual bytes.  frame_size raises the same WireError encode_frame
+    # would, so unencodable values fail identically either way.
+
+    def _count_out(self, ftype: int, value=None) -> Optional[bytes]:
+        if self.wire_log is None and not self.verify:
+            self._telemetry.bytes_out.value += wire.frame_size(ftype,
+                                                               value)
+            return None
+        frame = wire.encode_frame(ftype, value)
+        self._telemetry.bytes_out.value += len(frame)
+        if self.wire_log is not None:
+            self.wire_log.append(frame)
+        return frame
+
+    def _count_in(self, ftype: int, value=None) -> None:
+        if self.wire_log is None:
+            self._telemetry.bytes_in.value += wire.frame_size(ftype,
+                                                              value)
+            return
+        frame = wire.encode_frame(ftype, value)
+        self._telemetry.bytes_in.value += len(frame)
+        self.wire_log.append(frame)
+
+    def _resolve(self, number: int):
+        if number == self.client.number:
+            return self.client
+        for client in self.server.clients:
+            if client.number == number:
+                return client
+        return wire.ClientRef(number)
+
+    # -- event delivery (installed as the client's sinks) --------------
+
+    def _sink_event(self, event) -> None:
+        plan = self.server.fault_plan
+        if plan is not None and not plan.on_event(self.server,
+                                                  self.client, event):
+            return
+        self._ship_event(event)
+
+    def _ship_event(self, event) -> None:
+        self._count_in(wire.EVENT, event)
+        self.client.queue.append(event)
+
+    # -- request paths -------------------------------------------------
+
+    def deliver_batch(self, ops) -> int:
+        frame = self._count_out(wire.BATCH, list(ops))
+        if self.verify:
+            ops = [tuple(op) for op in
+                   wire.decode_frame(frame, self._resolve)[1]]
+        try:
+            delivered = self.server.deliver_batch(self.client, ops)
+        except XProtocolError as error:
+            self._count_in(wire.ERROR, wire.error_value(error))
+            raise
+        self._count_in(wire.BATCH_ACK, delivered)
+        return delivered
+
+    def request(self, name: str, *args, **kwargs):
+        frame = self._count_out(wire.REQUEST, (name, args, kwargs))
+        if self.verify:
+            name, args, kwargs = wire.decode_frame(frame, self._resolve)[1]
+        server = self.server
+        server._jclient = self.client.number
+        started = server.time_ms
+        wall = self._wall_clock() if self._wall_clock is not None else None
+        try:
+            result = getattr(server, name)(*args, **kwargs)
+        except XProtocolError as error:
+            self._count_in(wire.ERROR, wire.error_value(error))
+            self._observe_rtt(started, wall)
+            self._scrub_if_closed()
+            raise
+        self._count_in(wire.REPLY, result)
+        self._observe_rtt(started, wall)
+        self._scrub_if_closed()
+        return result
+
+    def oneway(self, name: str, window, args, kwargs) -> None:
+        frame = self._count_out(wire.ONEWAY, (name, window, args, kwargs))
+        if self.verify:
+            name, window, args, kwargs = \
+                wire.decode_frame(frame, self._resolve)[1]
+        try:
+            getattr(self.server, name)(*args, **kwargs)
+        except XProtocolError as error:
+            self._count_in(wire.ERROR, wire.error_value(error))
+            self._scrub_if_closed()
+            raise
+        self._count_in(wire.ONEWAY_ACK, None)
+        self._scrub_if_closed()
+
+    def _observe_rtt(self, started: int, wall: Optional[int]) -> None:
+        self._telemetry.rtt_ms.observe(self.server.time_ms - started)
+        if wall is not None:
+            self.wall_rtt_ns.append(self._wall_clock() - wall)
+
+    def _scrub_if_closed(self) -> None:
+        # A scripted fault may have closed this connection during the
+        # request's own tick, after close-down but before the request
+        # body re-registered state; nothing may survive for a closed
+        # client (the fuzzer's census oracle checks exactly this).
+        if self.client.closed:
+            self.server._scrub_closed(self.client)
+
+    # -- event queue ---------------------------------------------------
+
+    def poll(self) -> None:
+        """Pull pending inbound traffic (a no-op in-process)."""
+
+    def has_queued(self) -> bool:
+        return bool(self.client.queue)
+
+    def pending(self) -> int:
+        return self.client.pending()
+
+    def next_event(self):
+        return self.client.next_event()
+
+    # -- close-down ----------------------------------------------------
+
+    def close(self) -> None:
+        if not self.client.closed:
+            self._count_out(wire.BYE, None)
+        self.server.disconnect(self.client)
+
+
+# ----------------------------------------------------------------------
+# socket server host
+# ----------------------------------------------------------------------
+
+class _Conn:
+    """Server-side state of one socket connection (server thread only)."""
+
+    def __init__(self, host: "ServerHost", sock: socket.socket):
+        self.host = host
+        self.sock = sock
+        self.client = None  # bound by the SETUP frame
+        self.rbuf = bytearray()
+        self.wbuf = bytearray()
+        self.closed = False
+        self.lost_sent = False
+        self._m_backpressure = None
+
+    def resolve(self, number: int):
+        for client in self.host.server.clients:
+            if client.number == number:
+                return client
+        return wire.ClientRef(number)
+
+    # -- writing -------------------------------------------------------
+
+    def send(self, frame: bytes) -> None:
+        if self.closed:
+            return
+        self.wbuf += frame
+        self.flush_writes()
+        if len(self.wbuf) > WRITE_LIMIT:
+            self.host._close_down(self, "write buffer overflow")
+
+    def send_error(self, error: Exception) -> None:
+        self.send(wire.encode_frame(wire.ERROR, wire.error_value(error)))
+
+    def flush_writes(self) -> None:
+        while self.wbuf and not self.closed:
+            try:
+                sent = self.sock.send(self.wbuf)
+            except BlockingIOError:
+                self._note_backpressure()
+                break
+            except OSError:
+                self.close()
+                break
+            if sent <= 0:
+                self._note_backpressure()
+                break
+            del self.wbuf[:sent]
+
+    def _note_backpressure(self) -> None:
+        if self._m_backpressure is None:
+            number = self.client.number if self.client is not None else 0
+            self._m_backpressure = self.host.server.obs.metrics.counter(
+                "x11.wire.backpressure", client=number)
+        self._m_backpressure.value += 1
+
+    # -- event delivery (installed as the client's sinks) --------------
+
+    def sink_event(self, event) -> None:
+        server = self.host.server
+        plan = server.fault_plan
+        if plan is not None and not plan.on_event(server, self.client,
+                                                  event):
+            return
+        self.ship_event(event)
+
+    def ship_event(self, event) -> None:
+        if not self.closed:
+            self.send(wire.encode_frame(wire.EVENT, event))
+
+    # -- teardown ------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.host._sel.unregister(self.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        if self in self.host._conns:
+            self.host._conns.remove(self)
+
+
+class _HostCall:
+    """A callable marshalled to the server thread, plus its results."""
+
+    __slots__ = ("fn", "result", "error", "requests")
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.result = None
+        self.error = None
+        #: ("flush", client_number) requests and the final ("done",)
+        self.requests: "queue.Queue" = queue.Queue()
+
+
+class ServerHost:
+    """Runs an XServer on its own thread, serving socket clients.
+
+    The control plane (virtual clock, metrics registry, journal) stays
+    shared memory — the host is a thread, not a separate process — but
+    the data plane crosses a real socketpair per client as
+    length-prefixed frames.  Callers must not touch the server's
+    request API directly while the host is running; use
+    :class:`SocketTransport` for session traffic and :meth:`call` /
+    :meth:`inject` for server-side operations such as input injection.
+    """
+
+    def __init__(self, server: XServer):
+        self.server = server
+        self.running = False
+        self._thread: Optional[threading.Thread] = None
+        self._sel: Optional[selectors.BaseSelector] = None
+        self._conns: List[_Conn] = []
+        self._commands: deque = deque()
+        self._lock = threading.Lock()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._active_call: Optional[_HostCall] = None
+        #: client number -> (display flush hook, SocketTransport)
+        self._flushers: Dict[int, Tuple[Callable, "SocketTransport"]] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "ServerHost":
+        if self.running:
+            return self
+        self._sel = selectors.DefaultSelector()
+        self._sel.register(self._wake_r, selectors.EVENT_READ, None)
+        self.running = True
+        self._thread = threading.Thread(target=self._loop,
+                                        name="xserver-host", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if not self.running:
+            return
+        with self._lock:
+            self._commands.append(("stop", None))
+        self._wake()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self.running = False
+
+    def open_connection(self) -> socket.socket:
+        """Create a socketpair, hand the server end to the host loop,
+        and return the client end (called from a client thread)."""
+        server_end, client_end = socket.socketpair()
+        with self._lock:
+            self._commands.append(("conn", server_end))
+        self._wake()
+        return client_end
+
+    def register_display(self, number: int, flush_hook: Callable,
+                         transport: "SocketTransport") -> None:
+        self._flushers[number] = (flush_hook, transport)
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"x")
+        except OSError:
+            pass
+
+    # -- cross-thread calls --------------------------------------------
+
+    def call(self, fn: Callable[[], object]):
+        """Run ``fn`` on the server thread and return its result.
+
+        While the call runs, this (client) thread services any flush
+        requests the server posts for socket-backed Displays — the
+        socket analogue of ``_drain_client_output`` — so buffered
+        output crosses the wire at exactly the same point it would
+        in-process.
+        """
+        if threading.current_thread() is self._thread:
+            return fn()
+        if not self.running:
+            raise RuntimeError("ServerHost is not running")
+        call = _HostCall(fn)
+        with self._lock:
+            self._commands.append(("call", call))
+        self._wake()
+        while True:
+            item = call.requests.get()
+            if item[0] == "done":
+                break
+            if item[0] == "flush":
+                entry = self._flushers.get(item[1])
+                if entry is not None:
+                    hook, transport = entry
+                    try:
+                        hook()
+                    except XProtocolError:
+                        pass
+                    transport.send_mark()
+        if call.error is not None:
+            raise call.error
+        return call.result
+
+    def inject(self, name: str, *args):
+        """Run a server input injector (``warp_pointer`` etc.) on the
+        server thread."""
+        server = self.server
+        return self.call(lambda: getattr(server, name)(*args))
+
+    # -- server thread loop --------------------------------------------
+
+    def _loop(self) -> None:
+        while self.running:
+            try:
+                events = self._sel.select(timeout=0.2)
+            except OSError:  # pragma: no cover - selector torn down
+                break
+            for key, mask in events:
+                conn = key.data
+                if conn is None:
+                    self._drain_wake()
+                    self._process_commands()
+                    continue
+                if conn.closed:
+                    continue
+                if mask & selectors.EVENT_WRITE:
+                    conn.flush_writes()
+                    self._update_interest(conn)
+                if mask & selectors.EVENT_READ:
+                    self._read_conn(conn)
+            self._sweep()
+        for conn in list(self._conns):
+            conn.close()
+        try:
+            self._sel.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _drain_wake(self) -> None:
+        while True:
+            try:
+                if not self._wake_r.recv(4096):
+                    return
+            except (BlockingIOError, OSError):
+                return
+
+    def _process_commands(self) -> None:
+        while True:
+            with self._lock:
+                if not self._commands:
+                    return
+                kind, payload = self._commands.popleft()
+            if kind == "conn":
+                payload.setblocking(False)
+                conn = _Conn(self, payload)
+                self._conns.append(conn)
+                self._sel.register(payload, selectors.EVENT_READ, conn)
+            elif kind == "call":
+                self._run_call(payload)
+            elif kind == "stop":
+                self.running = False
+
+    def _run_call(self, call: _HostCall) -> None:
+        self._active_call = call
+        try:
+            call.result = call.fn()
+        except BaseException as error:
+            call.error = error
+        finally:
+            self._active_call = None
+        self._sweep()
+        call.requests.put(("done",))
+
+    def _update_interest(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        interest = selectors.EVENT_READ
+        if conn.wbuf:
+            interest |= selectors.EVENT_WRITE
+        try:
+            self._sel.modify(conn.sock, interest, conn)
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def _read_conn(self, conn: _Conn) -> None:
+        try:
+            data = conn.sock.recv(_RECV_CHUNK)
+        except BlockingIOError:
+            return
+        except OSError:
+            data = b""
+        if not data:
+            self._drop_conn(conn)
+            return
+        conn.rbuf += data
+        try:
+            frames = wire.extract_frames(conn.rbuf)
+        except wire.WireError:
+            self._drop_conn(conn)
+            return
+        for frame in frames:
+            if conn.closed:
+                break
+            self._handle_frame(conn, frame)
+        self._update_interest(conn)
+        self._sweep()
+
+    # -- frame handling ------------------------------------------------
+
+    def _handle_frame(self, conn: _Conn, frame: bytes) -> None:
+        try:
+            ftype, value = wire.decode_frame(frame, conn.resolve)
+        except wire.WireError:
+            self._drop_conn(conn)
+            return
+        server = self.server
+        if ftype == wire.SETUP:
+            client = server.connect()
+            conn.client = client
+            client.transport_sink = conn.sink_event
+            client.direct_sink = conn.ship_event
+            client.flush_output = self._make_flush_hook(conn)
+            conn.send(wire.encode_frame(wire.SETUP_ACK, (
+                client.number, server.root.id, server.root.width,
+                server.root.height)))
+            return
+        if conn.client is None:
+            self._drop_conn(conn)
+            return
+        if ftype == wire.BATCH:
+            ops = [tuple(op) for op in value]
+            try:
+                delivered = server.deliver_batch(conn.client, ops)
+            except XConnectionLost as error:
+                conn.lost_sent = True
+                conn.send_error(error)
+                conn.flush_writes()
+                conn.close()
+            except XProtocolError as error:
+                conn.send_error(error)
+            else:
+                conn.send(wire.encode_frame(wire.BATCH_ACK, delivered))
+            return
+        if ftype == wire.REQUEST:
+            name, args, kwargs = value
+            server._jclient = conn.client.number
+            try:
+                result = getattr(server, name)(*args, **kwargs)
+            except XConnectionLost as error:
+                conn.lost_sent = True
+                conn.send_error(error)
+                conn.flush_writes()
+                conn.close()
+            except XProtocolError as error:
+                conn.send_error(error)
+            else:
+                try:
+                    reply = wire.encode_frame(wire.REPLY, result)
+                except wire.WireError as error:
+                    conn.send_error(XProtocolError(
+                        "unencodable reply from %s: %s" % (name, error)))
+                else:
+                    conn.send(reply)
+            if conn.client.closed:
+                server._scrub_closed(conn.client)
+            return
+        if ftype == wire.ONEWAY:
+            name, _window, args, kwargs = value
+            try:
+                getattr(server, name)(*args, **kwargs)
+            except XConnectionLost as error:
+                conn.lost_sent = True
+                conn.send_error(error)
+                conn.flush_writes()
+                conn.close()
+            except XProtocolError as error:
+                conn.send_error(error)
+            else:
+                conn.send(wire.encode_frame(wire.ONEWAY_ACK, None))
+            if conn.client.closed:
+                server._scrub_closed(conn.client)
+            return
+        if ftype == wire.BYE:
+            server.disconnect(conn.client)
+            conn.flush_writes()
+            conn.close()  # EOF is the close-down acknowledgement
+            return
+        if ftype == wire.MARK:
+            return  # stray fence outside a drain: nothing to coordinate
+        self._drop_conn(conn)
+
+    def _drop_conn(self, conn: _Conn) -> None:
+        """Protocol violation or EOF without BYE: server-side close."""
+        if conn.client is not None and not conn.client.closed:
+            self.server.disconnect(conn.client)
+        conn.close()
+
+    def _close_down(self, conn: _Conn, reason: str) -> None:
+        if conn.client is not None and not conn.client.closed:
+            self.server.disconnect(conn.client)
+        conn.close()
+
+    def _sweep(self) -> None:
+        """Notify connections whose client a fault plan closed."""
+        for conn in list(self._conns):
+            if conn.closed or conn.client is None:
+                continue
+            if conn.client.closed and not conn.lost_sent:
+                conn.lost_sent = True
+                conn.send_error(XConnectionLost(_LOST))
+                conn.flush_writes()
+                conn.close()
+
+    # -- input-injection drain (MARK protocol) -------------------------
+
+    def _make_flush_hook(self, conn: _Conn) -> Callable[[], None]:
+        def hook() -> None:
+            call = self._active_call
+            if call is None or conn.closed or conn.client.closed:
+                return
+            call.requests.put(("flush", conn.client.number))
+            self._serve_until_mark(conn)
+        return hook
+
+    def _serve_until_mark(self, conn: _Conn) -> None:
+        """Serve one client's frames until its MARK fence arrives.
+
+        Runs on the server thread, inside an injector's flush hook,
+        while the client thread (blocked in :meth:`call`) flushes its
+        Display and then sends MARK.
+        """
+        deadline = time.monotonic() + _REPLY_TIMEOUT
+        while not conn.closed:
+            try:
+                frames = wire.extract_frames(conn.rbuf)
+            except wire.WireError:
+                self._drop_conn(conn)
+                return
+            marked = False
+            for index, frame in enumerate(frames):
+                if len(frame) >= 5 and frame[4] == wire.MARK:
+                    # anything after the fence belongs to the main loop
+                    leftover = b"".join(frames[index + 1:])
+                    if leftover:
+                        conn.rbuf[0:0] = leftover
+                    marked = True
+                    break
+                if conn.closed:
+                    break
+                self._handle_frame(conn, frame)
+            if marked or conn.closed:
+                return
+            ready, _, _ = select.select([conn.sock], [], [], 0.1)
+            if not ready:
+                if time.monotonic() > deadline:
+                    self._drop_conn(conn)
+                    return
+                continue
+            try:
+                data = conn.sock.recv(_RECV_CHUNK)
+            except BlockingIOError:
+                continue
+            except OSError:
+                data = b""
+            if not data:
+                self._drop_conn(conn)
+                return
+            conn.rbuf += data
+
+
+# ----------------------------------------------------------------------
+# socket client transport
+# ----------------------------------------------------------------------
+
+class _RemoteClient(wire.ClientRef):
+    """Client-side stand-in for the server-side Client object."""
+
+    __slots__ = ("_transport",)
+
+    def __init__(self, transport: "SocketTransport"):
+        super().__init__(transport.number)
+        self._transport = transport
+
+    @property
+    def closed(self) -> bool:
+        return self._transport._closed
+
+    @property
+    def queue(self):
+        return self._transport.queue
+
+    def pending(self) -> int:
+        return len(self._transport.queue)
+
+    def next_event(self):
+        q = self._transport.queue
+        return q.popleft() if q else None
+
+
+class SocketTransport:
+    """A Display's connection to a thread-hosted XServer over a socket."""
+
+    kind = "socket"
+
+    def __init__(self, host):
+        if isinstance(host, XServer):
+            host = ensure_host(host)
+        self.host: ServerHost = host
+        self.server = host.server  # shared control plane (clock, obs)
+        self.queue: deque = deque()
+        self.wire_log: Optional[List[bytes]] = None
+        self.wall_rtt_ns: Optional[List[int]] = None
+        self._wall_clock: Optional[Callable[[], int]] = None
+        self._rbuf = bytearray()
+        self._frames: deque = deque()
+        self._closed = False
+        self._sock = host.open_connection()
+        self._sock.settimeout(_REPLY_TIMEOUT)
+        # Handshake; connection setup, like a real X connection block,
+        # is not session traffic and stays uncounted.
+        try:
+            self._sock.sendall(wire.encode_frame(wire.SETUP, None))
+            ftype, value = self._handshake_read()
+        except OSError:
+            raise XConnectionLost(_LOST)
+        if ftype != wire.SETUP_ACK:
+            raise wire.WireError("expected SETUP_ACK, got %s"
+                                 % wire.frame_name(ftype))
+        self.number, self._root, self._width, self._height = value
+        self.client = _RemoteClient(self)
+        self._telemetry = _Telemetry(self.server, self.number)
+
+    def _handshake_read(self):
+        while True:
+            if self._frames:
+                return wire.decode_frame(self._frames.popleft())
+            data = self._sock.recv(_RECV_CHUNK)
+            if not data:
+                raise XConnectionLost(_LOST)
+            self._rbuf += data
+            self._frames.extend(wire.extract_frames(self._rbuf))
+
+    # -- connection facts ----------------------------------------------
+
+    @property
+    def root(self) -> int:
+        return self._root
+
+    @property
+    def screen_width(self) -> int:
+        return self._width
+
+    @property
+    def screen_height(self) -> int:
+        return self._height
+
+    @property
+    def connection_closed(self) -> bool:
+        return self._closed
+
+    def register_flush_hook(self, hook: Callable[[], object]) -> None:
+        self.host.register_display(self.number, hook, self)
+
+    def capture_wire(self) -> List[bytes]:
+        self.wire_log = []
+        return self.wire_log
+
+    def enable_wall_rtt(self, clock: Callable[[], int]) -> List[int]:
+        self._wall_clock = clock
+        self.wall_rtt_ns = []
+        return self.wall_rtt_ns
+
+    # -- raw socket I/O ------------------------------------------------
+
+    def _mark_lost(self) -> None:
+        self._closed = True
+        self.queue.clear()  # disconnect clears undelivered events
+
+    def _send(self, frame: bytes) -> None:
+        if self._closed:
+            raise XConnectionLost(_LOST)
+        try:
+            self._sock.sendall(frame)
+        except OSError:
+            self._mark_lost()
+            raise XConnectionLost(_LOST)
+        self._telemetry.bytes_out.value += len(frame)
+        if self.wire_log is not None:
+            self.wire_log.append(frame)
+
+    def send_mark(self) -> None:
+        """Fence for the host's input-injection drain (uncounted)."""
+        if self._closed:
+            return
+        try:
+            self._sock.sendall(wire.encode_frame(wire.MARK, None))
+        except OSError:
+            self._mark_lost()
+
+    def _next_frame(self, block: bool) -> Optional[bytes]:
+        while True:
+            if self._frames:
+                return self._frames.popleft()
+            if self._closed:
+                return None
+            if block:
+                try:
+                    data = self._sock.recv(_RECV_CHUNK)
+                except socket.timeout:
+                    self._mark_lost()
+                    raise XConnectionLost(
+                        "wire timeout: no reply from server host")
+                except OSError:
+                    data = b""
+            else:
+                self._sock.setblocking(False)
+                try:
+                    data = self._sock.recv(_RECV_CHUNK)
+                except (BlockingIOError, socket.timeout):
+                    return None
+                except OSError:
+                    data = b""
+                finally:
+                    self._sock.settimeout(_REPLY_TIMEOUT)
+            if not data:
+                self._mark_lost()
+                return None
+            self._rbuf += data
+            try:
+                self._frames.extend(wire.extract_frames(self._rbuf))
+            except wire.WireError:
+                self._mark_lost()
+                raise
+
+    def _absorb(self, frame: bytes):
+        """Count and log one inbound frame; queue events."""
+        self._telemetry.bytes_in.value += len(frame)
+        if self.wire_log is not None:
+            self.wire_log.append(frame)
+        ftype, value = wire.decode_frame(frame)
+        if ftype == wire.EVENT:
+            self.queue.append(value)
+        return ftype, value
+
+    def _await_reply(self, expected: int):
+        while True:
+            frame = self._next_frame(block=True)
+            if frame is None:
+                raise XConnectionLost(_LOST)
+            ftype, value = self._absorb(frame)
+            if ftype == wire.EVENT:
+                continue
+            if ftype == wire.ERROR:
+                error = wire.error_from_value(value)
+                if isinstance(error, XConnectionLost):
+                    self._mark_lost()
+                raise error
+            if ftype == expected:
+                return value
+            raise wire.WireError("unexpected %s frame while awaiting %s"
+                                 % (wire.frame_name(ftype),
+                                    wire.frame_name(expected)))
+
+    # -- request paths -------------------------------------------------
+
+    def deliver_batch(self, ops) -> int:
+        self._send(wire.encode_frame(wire.BATCH, list(ops)))
+        return self._await_reply(wire.BATCH_ACK)
+
+    def request(self, name: str, *args, **kwargs):
+        started = self.server.time_ms
+        wall = self._wall_clock() if self._wall_clock is not None else None
+        self._send(wire.encode_frame(wire.REQUEST, (name, args, kwargs)))
+        try:
+            return self._await_reply(wire.REPLY)
+        finally:
+            self._telemetry.rtt_ms.observe(self.server.time_ms - started)
+            if wall is not None:
+                self.wall_rtt_ns.append(self._wall_clock() - wall)
+
+    def oneway(self, name: str, window, args, kwargs) -> None:
+        self._send(wire.encode_frame(wire.ONEWAY,
+                                     (name, window, args, kwargs)))
+        self._await_reply(wire.ONEWAY_ACK)
+
+    # -- event queue ---------------------------------------------------
+
+    def poll(self) -> None:
+        """Absorb any frames the server has already written."""
+        while not self._closed:
+            frame = self._next_frame(block=False)
+            if frame is None:
+                return
+            ftype, value = self._absorb(frame)
+            if ftype == wire.ERROR:
+                error = wire.error_from_value(value)
+                if isinstance(error, XConnectionLost):
+                    self._mark_lost()
+                else:
+                    raise error
+            elif ftype != wire.EVENT:
+                raise wire.WireError("unsolicited %s frame"
+                                     % wire.frame_name(ftype))
+
+    def has_queued(self) -> bool:
+        return bool(self.queue)
+
+    def pending(self) -> int:
+        return len(self.queue)
+
+    def next_event(self):
+        return self.queue.popleft() if self.queue else None
+
+    # -- close-down ----------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            self._send(wire.encode_frame(wire.BYE, None))
+        except XProtocolError:
+            return
+        # Synchronous close-down: wait for the host's EOF so the
+        # journal's disconnect entry lands before the caller's next
+        # action, exactly as the in-process path orders it.
+        try:
+            while True:
+                frame = self._next_frame(block=True)
+                if frame is None:
+                    break
+                self._absorb(frame)
+        except (XProtocolError, wire.WireError):
+            pass
+        self._mark_lost()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+def ensure_host(server: XServer) -> ServerHost:
+    """The server's running ServerHost, started on first use."""
+    host = getattr(server, "_wire_host", None)
+    if host is None or not host.running:
+        host = ServerHost(server).start()
+        server._wire_host = host
+    return host
+
+
+def shutdown_host(server: XServer) -> None:
+    """Stop the server's host thread, if one was ever started."""
+    host = getattr(server, "_wire_host", None)
+    if host is not None:
+        host.stop()
+        server._wire_host = None
+
+
+def resolve_transport(server: XServer, spec=None):
+    """Build a transport from a spec.
+
+    ``None`` or ``"loopback"`` → a fresh :class:`LoopbackTransport`;
+    ``"socket"`` → a :class:`SocketTransport` over the server's
+    (started-on-demand) host thread; a callable is invoked with the
+    server and must return a transport; an already-built transport
+    passes through.
+    """
+    if spec is None or spec == "loopback":
+        return LoopbackTransport(server)
+    if spec == "socket":
+        return SocketTransport(ensure_host(server))
+    if callable(spec) and not isinstance(spec, (LoopbackTransport,
+                                                SocketTransport)):
+        return resolve_transport(server, spec(server))
+    if isinstance(spec, (LoopbackTransport, SocketTransport)):
+        return spec
+    raise ValueError("unknown transport %r" % (spec,))

@@ -1,0 +1,563 @@
+"""Binary wire codec for the simulated X protocol.
+
+Until now the Display→XServer boundary was in-process Python method
+calls, which makes bandwidth — the quantity that dominates real X11
+performance over thin links — unmeasurable.  This module gives every
+request, reply, event, and error crossing that boundary a byte-exact
+encoding, so a transport (see :mod:`repro.x11.transport`) can carry
+the session over a real socket, count bytes per client, and let the
+fault plan act on frames instead of calls.
+
+Framing
+-------
+
+A frame is::
+
+    +--------------+-----------+------------------+
+    | length (u32) | type (u8) | payload (value)  |
+    +--------------+-----------+------------------+
+
+``length`` is big-endian and covers the type byte plus the payload.
+The payload is exactly one *value* in the tagged encoding below; a
+frame whose payload leaves trailing bytes is rejected.  Frame types:
+
+========== ====== =================================================
+SETUP      0x01   client hello (payload None)
+SETUP_ACK  0x02   (client number, root id, screen width, height)
+BATCH      0x03   list of (name, window, args, kwargs) request ops
+BATCH_ACK  0x04   int: requests delivered
+ONEWAY     0x05   one unbuffered request (name, window, args, kwargs)
+ONEWAY_ACK 0x06   None
+REQUEST    0x07   reply-bearing request (name, args, kwargs)
+REPLY      0x08   the reply value
+ERROR      0x09   (kind, message); kind 0=XProtocolError 1=XConnectionLost
+EVENT      0x0A   one Event
+MARK       0x0B   flow-control fence for input injection (uncounted)
+BYE        0x0C   orderly client close-down
+========== ====== =================================================
+
+Values
+------
+
+Self-describing tagged encoding, one tag byte per value.  Integers are
+signed 64-bit (with a big-int escape), strings are UTF-8 with a u32
+length, containers carry a u32 count.  Dicts preserve insertion order
+— no sorting, so an encode→decode→encode round trip is byte-stable.
+The X resource dataclasses (Color, Font, Cursor, Bitmap,
+GraphicsContext) and :class:`~repro.x11.events.Event` have dedicated
+tags; a Client is encoded by connection number and resolved back to
+the live object (or a :class:`ClientRef` placeholder) at decode time.
+
+The codec is strict: unknown tags, unknown frame types, truncated
+input, and trailing bytes all raise :class:`WireError`.  Nothing here
+depends on wall time or interpreter identity, so the same session
+produces the same bytes on every run — the transport tests compare
+whole wire logs across transports for equality.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Optional, Tuple
+
+from .events import Event, WIRE_FIELDS
+from .resources import Bitmap, Color, Cursor, Font, GraphicsContext
+from .xserver import Client, XConnectionLost, XProtocolError
+
+__all__ = [
+    "WireError", "ClientRef", "encode_frame", "decode_frame",
+    "extract_frames", "frame_name", "frame_size", "error_value",
+    "error_from_value",
+    "SETUP", "SETUP_ACK", "BATCH", "BATCH_ACK", "ONEWAY", "ONEWAY_ACK",
+    "REQUEST", "REPLY", "ERROR", "EVENT", "MARK", "BYE",
+]
+
+
+class WireError(Exception):
+    """Malformed or unrepresentable wire data."""
+
+
+# ----------------------------------------------------------------------
+# frame types
+# ----------------------------------------------------------------------
+
+SETUP = 0x01
+SETUP_ACK = 0x02
+BATCH = 0x03
+BATCH_ACK = 0x04
+ONEWAY = 0x05
+ONEWAY_ACK = 0x06
+REQUEST = 0x07
+REPLY = 0x08
+ERROR = 0x09
+EVENT = 0x0A
+MARK = 0x0B
+BYE = 0x0C
+
+FRAME_NAMES = {
+    SETUP: "SETUP",
+    SETUP_ACK: "SETUP_ACK",
+    BATCH: "BATCH",
+    BATCH_ACK: "BATCH_ACK",
+    ONEWAY: "ONEWAY",
+    ONEWAY_ACK: "ONEWAY_ACK",
+    REQUEST: "REQUEST",
+    REPLY: "REPLY",
+    ERROR: "ERROR",
+    EVENT: "EVENT",
+    MARK: "MARK",
+    BYE: "BYE",
+}
+
+#: Upper bound on a single frame body; anything larger in a length
+#: prefix means the stream is garbage, not a request.
+MAX_FRAME = 1 << 24
+
+# ----------------------------------------------------------------------
+# value tags
+# ----------------------------------------------------------------------
+
+T_NONE = 0x00
+T_FALSE = 0x01
+T_TRUE = 0x02
+T_INT = 0x03
+T_BIGINT = 0x04
+T_STR = 0x05
+T_BYTES = 0x06
+T_FLOAT = 0x07
+T_LIST = 0x08
+T_TUPLE = 0x09
+T_DICT = 0x0A
+T_EVENT = 0x0B
+T_GC = 0x0C
+T_COLOR = 0x0D
+T_FONT = 0x0E
+T_CURSOR = 0x0F
+T_BITMAP = 0x10
+T_CLIENT = 0x11
+
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+class ClientRef:
+    """A decoded client with no live object to resolve to.
+
+    Equality and hashing go by connection number, so a ClientRef can
+    stand in for a :class:`~repro.x11.xserver.Client` in encoded data
+    that merely names a connection.
+    """
+
+    __slots__ = ("number",)
+
+    def __init__(self, number: int):
+        self.number = number
+
+    def __eq__(self, other):
+        return isinstance(other, (Client, ClientRef)) and \
+            other.number == self.number
+
+    def __hash__(self):
+        return hash(("client", self.number))
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "ClientRef(%d)" % self.number
+
+
+def frame_name(ftype: int) -> str:
+    return FRAME_NAMES.get(ftype, "0x%02X" % ftype)
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+
+def _encode_value(value, out: bytearray) -> None:
+    if value is None:
+        out.append(T_NONE)
+    elif value is True:
+        out.append(T_TRUE)
+    elif value is False:
+        out.append(T_FALSE)
+    elif isinstance(value, bool):  # numpy-ish bool subclasses
+        out.append(T_TRUE if value else T_FALSE)
+    elif isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            out.append(T_INT)
+            out += _I64.pack(value)
+        else:
+            raw = value.to_bytes((value.bit_length() + 8) // 8, "big",
+                                 signed=True)
+            out.append(T_BIGINT)
+            out += _U32.pack(len(raw))
+            out += raw
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(T_STR)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(T_BYTES)
+        out += _U32.pack(len(value))
+        out += bytes(value)
+    elif isinstance(value, float):
+        out.append(T_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, list):
+        out.append(T_LIST)
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_value(item, out)
+    elif isinstance(value, tuple):
+        out.append(T_TUPLE)
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_value(item, out)
+    elif isinstance(value, dict):
+        out.append(T_DICT)
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            _encode_value(key, out)
+            _encode_value(item, out)
+    elif isinstance(value, Event):
+        out.append(T_EVENT)
+        out.append(len(WIRE_FIELDS))
+        for name in WIRE_FIELDS:
+            _encode_value(getattr(value, name), out)
+    elif isinstance(value, GraphicsContext):
+        out.append(T_GC)
+        _encode_value(value.gid, out)
+        _encode_value(value.values, out)
+    elif isinstance(value, Color):
+        out.append(T_COLOR)
+        for field in (value.pixel, value.red, value.green, value.blue):
+            _encode_value(field, out)
+    elif isinstance(value, Font):
+        out.append(T_FONT)
+        for field in (value.fid, value.name, value.char_width,
+                      value.ascent, value.descent):
+            _encode_value(field, out)
+    elif isinstance(value, Cursor):
+        out.append(T_CURSOR)
+        _encode_value(value.cid, out)
+        _encode_value(value.name, out)
+    elif isinstance(value, Bitmap):
+        out.append(T_BITMAP)
+        for field in (value.bid, value.name, value.width, value.height):
+            _encode_value(field, out)
+    elif isinstance(value, (Client, ClientRef)):
+        out.append(T_CLIENT)
+        out += _I64.pack(value.number)
+    else:
+        raise WireError("unencodable value of type %s: %r"
+                        % (type(value).__name__, value))
+
+
+def encode_frame(ftype: int, value=None) -> bytes:
+    """One complete frame: length prefix, type byte, encoded payload."""
+    if ftype not in FRAME_NAMES:
+        raise WireError("unknown frame type 0x%02X" % ftype)
+    body = bytearray()
+    body.append(ftype)
+    _encode_value(value, body)
+    return _U32.pack(len(body)) + bytes(body)
+
+
+def _value_size(value) -> int:
+    # Mirrors _encode_value case for case (same WireError on
+    # unencodable values) without materialising bytes.  Exact-type
+    # checks first — this runs on every loopback request and event —
+    # with an isinstance chain below for subclasses.
+    if value is None or value is True or value is False:
+        return 1
+    kind = type(value)
+    if kind is int:
+        if _I64_MIN <= value <= _I64_MAX:
+            return 9
+        return 5 + (value.bit_length() + 8) // 8
+    if kind is str:
+        if value.isascii():
+            return 5 + len(value)
+        return 5 + len(value.encode("utf-8"))
+    if kind is float:
+        return 9
+    if kind is list or kind is tuple:
+        total = 5
+        for item in value:
+            total += _value_size(item)
+        return total
+    if kind is dict:
+        total = 5
+        for key, item in value.items():
+            total += _value_size(key) + _value_size(item)
+        return total
+    if kind is Event:
+        # Hottest case by far — one frame per delivered event.  The
+        # fields are almost always small ints, short ASCII strings, or
+        # None, so size them inline rather than recursing per field.
+        # Every WIRE_FIELD is a plain dataclass attribute (the only
+        # Event property, ``name``, is not on the wire), so the
+        # instance dict lookup is exactly getattr, minus the overhead.
+        fields = value.__dict__
+        total = 2
+        for name in WIRE_FIELDS:
+            item = fields[name]
+            if item is None or item is True or item is False:
+                total += 1
+                continue
+            item_kind = type(item)
+            if item_kind is int:
+                if _I64_MIN <= item <= _I64_MAX:
+                    total += 9
+                else:
+                    total += 5 + (item.bit_length() + 8) // 8
+            elif item_kind is str:
+                if item.isascii():
+                    total += 5 + len(item)
+                else:
+                    total += 5 + len(item.encode("utf-8"))
+            else:
+                total += _value_size(item)
+        return total
+    return _value_size_slow(value)
+
+
+def _value_size_slow(value) -> int:
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            return 9
+        return 5 + (value.bit_length() + 8) // 8
+    if isinstance(value, str):
+        if value.isascii():
+            return 5 + len(value)
+        return 5 + len(value.encode("utf-8"))
+    if isinstance(value, (bytes, bytearray)):
+        return 5 + len(value)
+    if isinstance(value, float):
+        return 9
+    if isinstance(value, (list, tuple)):
+        return 5 + sum(_value_size(item) for item in value)
+    if isinstance(value, dict):
+        return 5 + sum(_value_size(key) + _value_size(item)
+                       for key, item in value.items())
+    if isinstance(value, Event):
+        return 2 + sum(_value_size(getattr(value, name))
+                       for name in WIRE_FIELDS)
+    if isinstance(value, GraphicsContext):
+        return 1 + _value_size(value.gid) + _value_size(value.values)
+    if isinstance(value, Color):
+        return 1 + sum(_value_size(field) for field in
+                       (value.pixel, value.red, value.green, value.blue))
+    if isinstance(value, Font):
+        return 1 + sum(_value_size(field) for field in
+                       (value.fid, value.name, value.char_width,
+                        value.ascent, value.descent))
+    if isinstance(value, Cursor):
+        return 1 + _value_size(value.cid) + _value_size(value.name)
+    if isinstance(value, Bitmap):
+        return 1 + sum(_value_size(field) for field in
+                       (value.bid, value.name, value.width, value.height))
+    if isinstance(value, (Client, ClientRef)):
+        return 9
+    raise WireError("unencodable value of type %s: %r"
+                    % (type(value).__name__, value))
+
+
+def frame_size(ftype: int, value=None) -> int:
+    """Exact ``len(encode_frame(ftype, value))`` without encoding.
+
+    The loopback transport accounts for bytes on every request; this
+    keeps that accounting off the allocation path.  Must stay
+    byte-for-byte in lockstep with :func:`encode_frame` — the codec
+    tests assert equality over the whole value battery, and the
+    transport-invariance gate compares the resulting counters with the
+    socket transport's real encoded traffic.
+    """
+    if ftype not in FRAME_NAMES:
+        raise WireError("unknown frame type 0x%02X" % ftype)
+    return 5 + _value_size(value)
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+
+def _need(data: bytes, offset: int, count: int) -> None:
+    if offset + count > len(data):
+        raise WireError("truncated value: need %d bytes at offset %d, "
+                        "have %d" % (count, offset, len(data) - offset))
+
+
+def _decode_value(data: bytes, offset: int,
+                  resolve_client: Optional[Callable[[int], object]]):
+    _need(data, offset, 1)
+    tag = data[offset]
+    offset += 1
+    if tag == T_NONE:
+        return None, offset
+    if tag == T_TRUE:
+        return True, offset
+    if tag == T_FALSE:
+        return False, offset
+    if tag == T_INT:
+        _need(data, offset, 8)
+        return _I64.unpack_from(data, offset)[0], offset + 8
+    if tag == T_BIGINT:
+        _need(data, offset, 4)
+        length = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        _need(data, offset, length)
+        raw = data[offset:offset + length]
+        return int.from_bytes(raw, "big", signed=True), offset + length
+    if tag == T_STR:
+        _need(data, offset, 4)
+        length = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        _need(data, offset, length)
+        try:
+            text = data[offset:offset + length].decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise WireError("invalid UTF-8 in string value: %s" % error)
+        return text, offset + length
+    if tag == T_BYTES:
+        _need(data, offset, 4)
+        length = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        _need(data, offset, length)
+        return bytes(data[offset:offset + length]), offset + length
+    if tag == T_FLOAT:
+        _need(data, offset, 8)
+        return _F64.unpack_from(data, offset)[0], offset + 8
+    if tag in (T_LIST, T_TUPLE):
+        _need(data, offset, 4)
+        count = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode_value(data, offset, resolve_client)
+            items.append(item)
+        return (items if tag == T_LIST else tuple(items)), offset
+    if tag == T_DICT:
+        _need(data, offset, 4)
+        count = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        result = {}
+        for _ in range(count):
+            key, offset = _decode_value(data, offset, resolve_client)
+            item, offset = _decode_value(data, offset, resolve_client)
+            result[key] = item
+        return result, offset
+    if tag == T_EVENT:
+        _need(data, offset, 1)
+        count = data[offset]
+        offset += 1
+        if count != len(WIRE_FIELDS):
+            raise WireError("event field count %d does not match codec "
+                            "(%d fields)" % (count, len(WIRE_FIELDS)))
+        fields = {}
+        for name in WIRE_FIELDS:
+            fields[name], offset = _decode_value(data, offset,
+                                                 resolve_client)
+        return Event(**fields), offset
+    if tag == T_GC:
+        gid, offset = _decode_value(data, offset, resolve_client)
+        values, offset = _decode_value(data, offset, resolve_client)
+        return GraphicsContext(gid=gid, values=values), offset
+    if tag == T_COLOR:
+        fields = []
+        for _ in range(4):
+            item, offset = _decode_value(data, offset, resolve_client)
+            fields.append(item)
+        return Color(*fields), offset
+    if tag == T_FONT:
+        fields = []
+        for _ in range(5):
+            item, offset = _decode_value(data, offset, resolve_client)
+            fields.append(item)
+        return Font(*fields), offset
+    if tag == T_CURSOR:
+        cid, offset = _decode_value(data, offset, resolve_client)
+        name, offset = _decode_value(data, offset, resolve_client)
+        return Cursor(cid=cid, name=name), offset
+    if tag == T_BITMAP:
+        fields = []
+        for _ in range(4):
+            item, offset = _decode_value(data, offset, resolve_client)
+            fields.append(item)
+        return Bitmap(*fields), offset
+    if tag == T_CLIENT:
+        _need(data, offset, 8)
+        number = _I64.unpack_from(data, offset)[0]
+        offset += 8
+        if resolve_client is not None:
+            return resolve_client(number), offset
+        return ClientRef(number), offset
+    raise WireError("unknown value tag 0x%02X at offset %d"
+                    % (tag, offset - 1))
+
+
+def decode_frame(frame: bytes,
+                 resolve_client: Optional[Callable[[int], object]] = None
+                 ) -> Tuple[int, object]:
+    """Decode one complete frame into ``(frame_type, payload)``.
+
+    ``resolve_client`` maps a connection number to a live object for
+    T_CLIENT values; without it they decode to :class:`ClientRef`.
+    """
+    if len(frame) < 5:
+        raise WireError("truncated frame: %d bytes" % len(frame))
+    (length,) = _U32.unpack_from(frame, 0)
+    if length != len(frame) - 4:
+        raise WireError("frame length %d does not match body of %d bytes"
+                        % (length, len(frame) - 4))
+    ftype = frame[4]
+    if ftype not in FRAME_NAMES:
+        raise WireError("unknown frame type 0x%02X" % ftype)
+    value, offset = _decode_value(frame, 5, resolve_client)
+    if offset != len(frame):
+        raise WireError("%d trailing bytes after %s payload"
+                        % (len(frame) - offset, frame_name(ftype)))
+    return ftype, value
+
+
+def extract_frames(buffer: bytearray) -> List[bytes]:
+    """Split every complete frame off the front of a stream buffer.
+
+    Consumes the extracted bytes from ``buffer`` in place; a trailing
+    partial frame is left for the next read.  An implausible length
+    prefix raises :class:`WireError` — the stream cannot recover.
+    """
+    frames: List[bytes] = []
+    while len(buffer) >= 4:
+        (length,) = _U32.unpack_from(buffer, 0)
+        if length < 1 or length > MAX_FRAME:
+            raise WireError("implausible frame length %d" % length)
+        if len(buffer) < 4 + length:
+            break
+        frames.append(bytes(buffer[:4 + length]))
+        del buffer[:4 + length]
+    return frames
+
+
+# ----------------------------------------------------------------------
+# error marshalling
+# ----------------------------------------------------------------------
+
+def error_value(error: Exception) -> tuple:
+    """An X error as an ERROR-frame payload, preserving its type."""
+    kind = 1 if isinstance(error, XConnectionLost) else 0
+    return (kind, str(error))
+
+
+def error_from_value(value) -> XProtocolError:
+    """Rebuild the exception an ERROR frame carries."""
+    kind, message = value
+    if kind == 1:
+        return XConnectionLost(message)
+    return XProtocolError(message)

@@ -92,13 +92,36 @@ class Client:
         #: client already issued always precede the input on the virtual
         #: timeline (they were written before the input happened).
         self.flush_output = None
+        #: transport hooks (see repro.x11.transport).  When a transport
+        #: owns this connection, ``transport_sink`` carries the fault
+        #: plan's drop/delay decisions and frame/byte accounting for
+        #: every delivered event, and ``direct_sink`` ships an event
+        #: past the fault plan (a released delayed event must not be
+        #: re-dropped).  Bare clients from :meth:`XServer.connect` keep
+        #: the in-server delivery path below.
+        self.transport_sink = None
+        self.direct_sink = None
 
     def enqueue(self, event: Event) -> None:
         if self.closed:
             return
+        sink = self.transport_sink
+        if sink is not None:
+            sink(event)
+            return
         plan = self.server.fault_plan
         if plan is not None and not plan.on_event(self.server, self, event):
             return          # dropped or delayed by the fault plan
+        self.queue.append(event)
+
+    def deliver_direct(self, event: Event) -> None:
+        """Deliver bypassing the fault plan (fault-release path)."""
+        if self.closed:
+            return
+        sink = self.direct_sink
+        if sink is not None:
+            sink(event)
+            return
         self.queue.append(event)
 
     def pending(self) -> int:
@@ -201,6 +224,40 @@ class XServer:
                 self.resources.pop(rid, None)
         client.atom_refs.clear()
         # Drop the client's event interests everywhere else.
+        for window in list(self.resources.values()):
+            if isinstance(window, Window):
+                window.event_selections.pop(client, None)
+        self._update_pointer_window()
+
+    def _scrub_closed(self, client: Client) -> None:
+        """Remove anything still attributed to a closed connection.
+
+        A scripted disconnect can fire at a request's own tick — after
+        :meth:`disconnect` ran its close-down but *before* the request
+        body executed.  The remainder of that body then re-registers
+        state for a connection that no longer exists (an event
+        selection on the root window, a selection claim, a window),
+        and the fuzzer's post-destroy resource census would count it
+        as a close-down leak.  :meth:`deliver_batch` and the transports
+        call this after serving any request for a now-closed client;
+        it is idempotent and a no-op when close-down left nothing
+        behind.
+        """
+        if not client.closed:
+            return
+        client.queue.clear()
+        for atom, (window, owner) in list(self.selections.items()):
+            if owner is client:
+                del self.selections[atom]
+        for resource in list(self.resources.values()):
+            if isinstance(resource, Window) and \
+                    resource.creator is client and not resource.destroyed:
+                self._destroy_recursive(resource)
+        for rid, owner in list(self.resource_creators.items()):
+            if owner is client:
+                del self.resource_creators[rid]
+                self.resources.pop(rid, None)
+        client.atom_refs.clear()
         for window in list(self.resources.values()):
             if isinstance(window, Window):
                 window.event_selections.pop(client, None)
@@ -431,6 +488,13 @@ class XServer:
             self._jclient = None
             self._jwindow = None
             self._jdetail = None
+            # A fault plan may have closed the connection mid-batch;
+            # requests that executed between the close-down and the
+            # abort check may have re-registered state for the dead
+            # client.  Scrub it on every exit path, or the census
+            # oracle false-positives on the surviving remnants.
+            if client.closed:
+                self._scrub_closed(client)
         if first_error is not None:
             raise first_error
         return delivered

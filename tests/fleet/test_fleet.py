@@ -126,6 +126,51 @@ class TestDriver:
                 + registry.value("fleet.sessions", state="faulted")) == 2
 
 
+class TestSocketSessions:
+    """Socket-backed sessions ride the fleet like any other: they share
+    cells, complete, and leave per-client wire counters on the cell's
+    server registry (excluded from the per-session rollup)."""
+
+    def _socket_spec(self, name):
+        steps = [("eval", ["button .b -text hi", name]),
+                 ("update", [name]),
+                 ("warp_pointer", [20, 20]),
+                 ("press_button", [1]),
+                 ("update", [name])]
+        return SessionSpec(steps, setup_script=SETUP, name=name,
+                           transport="socket", source="test:" + name)
+
+    def test_socket_sessions_complete_in_shared_cell(self):
+        specs = [self._socket_spec("s0"), self._socket_spec("s1"),
+                 simple_spec("s2")]
+        driver = FleetDriver(specs, cell_size=4, seed=3, ping_every=0)
+        result = driver.run()
+        assert result.summary()["completed"] == 3
+        assert result.summary()["cells"] == 1
+        # the host thread was stopped before the rollup
+        assert getattr(driver.servers[0], "_wire_host", None) is None
+        # wire bytes were counted per client on the cell's server
+        server_registry = driver.servers[0].obs.metrics
+        assert server_registry.total("x11.wire.bytes_out") > 0
+        assert server_registry.total("x11.wire.bytes_in") > 0
+
+    def test_transport_choice_does_not_change_session_metrics(self):
+        def run(transport):
+            steps = [("eval", ["label .l -text x", "s"]),
+                     ("update", ["s"]),
+                     ("eval", ["pack append . .l {top}", "s"]),
+                     ("update", ["s"])]
+            spec = SessionSpec(steps, setup_script=SETUP, name="s",
+                               transport=transport)
+            result = FleetDriver([spec], seed=7, ping_every=0).run()
+            summary = result.summary()
+            return (summary["steps"], summary["events"],
+                    summary["errors"], summary["x11_requests"],
+                    summary["virtual_ms"])
+
+        assert run(None) == run("socket")
+
+
 class TestCrossSessionSend:
     """Satellite: send RPCs between fleet sessions land their metrics
     in the *sender's* per-session registry."""

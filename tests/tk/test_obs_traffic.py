@@ -207,3 +207,30 @@ def test_failed_color_allocation_is_not_a_miss():
     assert app.cache.stats() == before
     assert app.obs.metrics.value("tk.cache.errors", kind="color") == 1
     assert app.cache.stats_by_kind()["color"][2] == 1
+
+
+def test_reply_round_trip_is_a_batch_barrier():
+    """Satellite fix: a reply-bearing request pins the writes before it.
+
+    With buffering on, a configure → get_geometry → configure sequence
+    must deliver *two* configure requests: the round trip observes the
+    first width, and the second configure must not merge backward
+    across the reply into the batch that was already delivered.
+    """
+    server = XServer()
+    app = TkApp(server, name="traffic", buffering_enabled=True)
+    app.interp.stdout = io.StringIO()
+    app.update()
+    display = app.display
+    metrics = server.obs.metrics
+    win = display.create_window(display.root, 0, 0, 10, 10)
+    display.flush()
+    before = metrics.value("x11.requests", type="configure_window")
+    display.configure_window(win, width=20)
+    geometry = display.get_geometry(win)      # auto-flush + round trip
+    assert geometry[2] == 20                  # observed the fresh size
+    display.configure_window(win, width=30)
+    display.flush()
+    assert metrics.value("x11.requests",
+                         type="configure_window") == before + 2
+    assert server.window(win).width == 30

@@ -248,6 +248,80 @@ class TestCoalescing:
         assert display.get_property(win, b)[1] == "two"
 
 
+class TestReplyBarriers:
+    """Satellite regression: reply-bearing ops are coalescing barriers.
+
+    Replayed and fuzzed op lists hand :func:`_coalesce` buffers where
+    reply-bearing requests interleave with one-ways.  A reply observes
+    server state, so nothing may merge or be superseded across it —
+    otherwise the replay sees a different interleaving than the
+    recording did.
+    """
+
+    def _coalesce(self, ops):
+        from repro.x11.display import _coalesce
+        return _coalesce(list(ops))
+
+    def test_configures_do_not_merge_across_reply(self):
+        ops = [("configure_window", 5, (), {"width": 20}),
+               ("get_geometry", 5, (5,), {}),
+               ("configure_window", 5, (), {"width": 30})]
+        kept, dropped = self._coalesce(ops)
+        assert dropped == 0
+        assert [op[0] for op in kept] == ["configure_window",
+                                          "get_geometry",
+                                          "configure_window"]
+        assert kept[0][3] == {"width": 20}   # not merged forward
+
+    def test_clear_does_not_supersede_draw_across_reply(self):
+        ops = [("draw_line", 5, (5, 1, 0, 0, 9, 9), {}),
+               ("get_geometry", 5, (5,), {}),
+               ("clear_window", 5, (5,), {})]
+        kept, dropped = self._coalesce(ops)
+        assert dropped == 0
+        assert [op[0] for op in kept] == ["draw_line", "get_geometry",
+                                          "clear_window"]
+
+    def test_property_write_survives_across_reply(self):
+        ops = [("change_property", 5, (5, 7, 7, "old"), {}),
+               ("get_property", 5, (5, 7, False), {}),
+               ("change_property", 5, (5, 7, 7, "new"), {})]
+        kept, dropped = self._coalesce(ops)
+        assert dropped == 0
+        assert len(kept) == 3
+
+    def test_select_input_survives_across_reply(self):
+        client = object()
+        ops = [("select_input", 5, (client, 5, 1), {}),
+               ("query_tree", 5, (5,), {}),
+               ("select_input", 5, (client, 5, 2), {})]
+        kept, dropped = self._coalesce(ops)
+        assert dropped == 0
+        assert len(kept) == 3
+
+    def test_without_barrier_rules_still_apply(self):
+        """Control: the same buffers with the reply removed do merge."""
+        configures = [("configure_window", 5, (), {"width": 20}),
+                      ("configure_window", 5, (), {"width": 30})]
+        kept, dropped = self._coalesce(configures)
+        assert dropped == 1 and kept[0][3] == {"width": 30}
+        client = object()
+        selects = [("select_input", 5, (client, 5, 1), {}),
+                   ("select_input", 5, (client, 5, 2), {})]
+        kept, dropped = self._coalesce(selects)
+        assert dropped == 1 and kept[0][2][2] == 2
+
+    def test_every_reply_op_is_a_barrier(self):
+        from repro.x11.display import _REPLY_OPS
+        for name in _REPLY_OPS:
+            ops = [("configure_window", 5, (), {"width": 20}),
+                   (name, None, (), {}),
+                   ("configure_window", 5, (), {"width": 30})]
+            kept, dropped = self._coalesce(ops)
+            assert dropped == 0, name
+            assert len(kept) == 3, name
+
+
 class TestBatchErrors:
     def test_error_deferred_to_flush(self, server, display):
         """An error from a mid-batch request surfaces at flush time and
@@ -303,6 +377,38 @@ class TestBatchErrors:
         with pytest.raises(XConnectionLost):
             display.flush()
         assert display.pending_output() == 0   # buffer discarded
+
+    def test_lost_batch_is_consumed_not_retried(self, server, display):
+        """Satellite regression: flush consumes the buffer *before*
+        XConnectionLost propagates.  Requests handed to a dead wire are
+        gone; a retrying caller must not re-deliver the prefix that
+        already executed before the connection died."""
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.flush()
+        plan = server.install_fault_plan(FaultPlan())
+        plan.disconnect_client(display.client, on_request="map_window")
+        display.map_window(win)
+        display.set_window_background(win, 3)
+        requests_before = server.requests
+        with pytest.raises(XConnectionLost):
+            display.flush()
+        # the failed batch is consumed, not parked for a retry
+        assert display.pending_output() == 0
+        requests_after = server.requests
+        # a retrying caller gets a clean no-op, and nothing reaches the
+        # server a second time
+        assert display.flush() == 0
+        assert server.requests == requests_after
+        assert requests_after > requests_before  # the prefix did run
+
+    def test_protocol_error_batch_also_consumed(self, server, display):
+        """The async-error path (batch survives, one request failed)
+        must leave the buffer just as empty: the batch was delivered."""
+        display.configure_window(99999, width=5)    # BadWindow
+        with pytest.raises(XProtocolError, match="BadWindow"):
+            display.flush()
+        assert display.pending_output() == 0
+        assert display.flush() == 0
 
     def test_metrics_track_batch_sizes(self, server, display):
         metrics = _metrics(server)

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.x11 import Display, FaultPlan, XProtocolError, XServer
+from repro.x11 import (Display, FaultPlan, XConnectionLost,
+                       XProtocolError, XServer)
 from repro.x11 import events as ev
 from repro.x11.faults import DELAY, DISCONNECT, DROP, ERROR
 
@@ -240,3 +241,72 @@ class TestWarmup:
         plan.fail_request("intern_atom", error="BadAtom")
         with pytest.raises(XProtocolError, match="BadAtom"):
             display.intern_atom("X")
+
+
+class TestCloseDownScrub:
+    """Satellite regression: a scripted disconnect can fire during a
+    request's own tick — after close-down ran but before the request
+    body executed — and the body then re-registers state for the dead
+    client.  The server must scrub it on every exit path, or the fuzz
+    census oracle reports a close-leak that no application caused.
+    """
+
+    def _assert_clean(self, server, number):
+        bucket = server.resource_census().get(number)
+        if bucket is None:
+            return
+        assert bucket["closed"]
+        for field in ("windows", "resources", "properties",
+                      "selections", "event_selections", "atoms"):
+            assert not bucket[field], (field, bucket[field])
+
+    def test_select_input_tick_disconnect_batch_path(self, server):
+        display = Display(server, buffering_enabled=True)
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        display.flush()
+        plan = server.install_fault_plan(FaultPlan())
+        plan.disconnect_client(display.client,
+                               on_request="select_input")
+        display.select_input(win, ev.STRUCTURE_NOTIFY_MASK)
+        display.map_window(win)
+        with pytest.raises(XConnectionLost):
+            display.flush()
+        assert display.client.closed
+        self._assert_clean(server, display.client.number)
+
+    def test_selection_claim_does_not_outlive_disconnect(self, server):
+        display = Display(server, buffering_enabled=True)
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        atom = display.intern_atom("PRIMARY")
+        display.flush()
+        plan = server.install_fault_plan(FaultPlan())
+        plan.disconnect_client(display.client,
+                               on_request="set_selection_owner")
+        display.set_selection_owner(atom, win)
+        display.map_window(win)
+        with pytest.raises(XConnectionLost):
+            display.flush()
+        assert atom not in server.selections
+        self._assert_clean(server, display.client.number)
+
+    def test_create_window_tick_disconnect_sync_path(self, server):
+        display = Display(server)
+        plan = server.install_fault_plan(FaultPlan())
+        plan.disconnect_client(display.client,
+                               on_request="create_window")
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        assert display.client.closed
+        # the window the doomed request created was scrubbed with it
+        assert not server.window_exists(win)
+        self._assert_clean(server, display.client.number)
+
+    def test_scrub_is_idempotent_and_guarded(self, server):
+        display = Display(server)
+        display.create_window(display.root, 0, 0, 10, 10)
+        # not closed: a stray call must not touch a live client
+        server._scrub_closed(display.client)
+        assert server.resource_census()[display.client.number]["windows"]
+        display.close()
+        server._scrub_closed(display.client)
+        server._scrub_closed(display.client)
+        self._assert_clean(server, display.client.number)

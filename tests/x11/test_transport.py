@@ -1,0 +1,372 @@
+"""Tests for the transport layer: loopback accounting, the socket
+server host, fault routing at the frame level, and backpressure.
+
+The loopback/socket pair must be observably interchangeable: same
+requests, same events, same byte counts.  Socket-specific machinery —
+the MARK input-injection fence, the sweep that turns a fault-plan
+disconnect into an on-wire XConnectionLost, write backpressure — gets
+targeted coverage of its own.
+"""
+
+import selectors
+
+import pytest
+
+from repro.x11 import (Display, FaultPlan, XConnectionLost,
+                       XProtocolError, XServer)
+from repro.x11 import events as ev
+from repro.x11 import wire
+from repro.x11.transport import (LoopbackTransport, ServerHost,
+                                 SocketTransport, _Conn, WRITE_LIMIT,
+                                 ensure_host, resolve_transport,
+                                 shutdown_host)
+
+
+@pytest.fixture
+def server():
+    srv = XServer()
+    yield srv
+    shutdown_host(srv)
+
+
+def socket_display(server, **flags):
+    return Display(server, transport="socket", **flags)
+
+
+class TestResolveTransport:
+    def test_default_is_loopback(self, server):
+        assert isinstance(resolve_transport(server, None),
+                          LoopbackTransport)
+        assert isinstance(resolve_transport(server, "loopback"),
+                          LoopbackTransport)
+
+    def test_socket_spec_starts_host(self, server):
+        transport = resolve_transport(server, "socket")
+        assert isinstance(transport, SocketTransport)
+        assert server._wire_host.running
+
+    def test_factory_callable_and_passthrough(self, server):
+        made = []
+
+        def factory(srv):
+            transport = LoopbackTransport(srv)
+            made.append(transport)
+            return transport
+
+        assert resolve_transport(server, factory) is made[0]
+        assert resolve_transport(server, made[0]) is made[0]
+
+    def test_host_is_cached_and_shut_down(self, server):
+        host = ensure_host(server)
+        assert ensure_host(server) is host
+        shutdown_host(server)
+        assert not host.running
+        assert getattr(server, "_wire_host", None) is None
+
+
+class TestLoopbackAccounting:
+    def test_bytes_counted_per_client(self, server):
+        display = Display(server)
+        display.create_window(display.root, 0, 0, 10, 10)
+        registry = server.obs.metrics
+        label = {"client": str(display.client.number)}
+        assert registry.value("x11.wire.bytes_out", **label) > 0
+        assert registry.value("x11.wire.bytes_in", **label) > 0
+
+    def test_rtt_observed_on_reply_bearing_requests_only(self, server):
+        display = Display(server, buffering_enabled=True)
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        registry = server.obs.metrics
+        count = registry.histogram(
+            "x11.wire.rtt_ms", client=display.client.number).value
+        display.map_window(win)       # buffered oneway: no round trip
+        assert registry.histogram(
+            "x11.wire.rtt_ms",
+            client=display.client.number).value == count
+        display.get_geometry(win)     # reply-bearing
+        assert registry.histogram(
+            "x11.wire.rtt_ms",
+            client=display.client.number).value > count
+
+    def test_verify_mode_session_equivalent(self):
+        """Decoded-copy delivery proves the codec is lossless."""
+        def run(verify):
+            server = XServer()
+            display = Display(
+                server, buffering_enabled=True,
+                transport=lambda srv: LoopbackTransport(srv,
+                                                        verify=verify))
+            win = display.create_window(display.root, 0, 0, 40, 30)
+            display.select_input(win, ev.STRUCTURE_NOTIFY_MASK
+                                 | ev.EXPOSURE_MASK)
+            display.map_window(win)
+            display.configure_window(win, width=55)
+            display.flush()
+            atom = display.intern_atom("STATE")
+            display.change_property(win, atom, atom, "v=1")
+            display.flush()
+            events = []
+            while display.pending():
+                event = display.next_event()
+                events.append((event.type, event.window, event.width))
+            return (events, display.get_property(win, atom),
+                    server.requests)
+
+        assert run(False) == run(True)
+
+    def test_capture_wire_frames_decode(self, server):
+        display = Display(server)
+        log = display.transport.capture_wire()
+        display.create_window(display.root, 0, 0, 10, 10)
+        assert log, "no frames captured"
+        types = [wire.decode_frame(frame)[0] for frame in log]
+        assert wire.REQUEST in types and wire.REPLY in types
+
+
+class TestLegacyClientPath:
+    def test_bare_client_enqueue_still_works(self, server):
+        """Clients without a transport keep the pre-wire behaviour."""
+        display = Display(server)
+        watcher = server.connect()
+        assert watcher.transport_sink is None
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        server.select_input(watcher, win, ev.STRUCTURE_NOTIFY_MASK)
+        display.map_window(win)
+        assert watcher.pending() == 1
+        assert watcher.next_event().type == ev.MAP_NOTIFY
+
+    def test_deliver_direct_bypasses_plan(self, server):
+        plan = server.install_fault_plan(FaultPlan())
+        plan.drop_events(5)
+        client = server.connect()
+        client.deliver_direct(ev.Event(type=ev.EXPOSE, window=1))
+        assert client.pending() == 1
+
+
+class TestSocketTransport:
+    def test_connection_facts_match_server(self, server):
+        display = socket_display(server)
+        assert display.root == server.root.id
+        assert display.transport.screen_width == server.root.width
+        assert display.client.number in \
+            [c.number for c in server.clients]
+
+    def test_requests_and_events_round_trip(self, server):
+        display = socket_display(server, buffering_enabled=True)
+        win = display.create_window(display.root, 0, 0, 40, 30)
+        display.select_input(win, ev.STRUCTURE_NOTIFY_MASK)
+        display.map_window(win)
+        display.flush()
+        assert display.pending() == 1
+        event = display.next_event()
+        assert event.type == ev.MAP_NOTIFY and event.window == win
+        assert display.get_geometry(win)[2] == 40
+
+    def test_multiple_clients_one_host(self, server):
+        maker = socket_display(server)
+        watcher = socket_display(server)
+        third = Display(server)  # loopback shares the same server
+        win = maker.create_window(maker.root, 0, 0, 10, 10)
+        watcher.select_input(win, ev.STRUCTURE_NOTIFY_MASK)
+        third.select_input(win, ev.STRUCTURE_NOTIFY_MASK)
+        maker.configure_window(win, width=50)
+        assert watcher.pending() == 1
+        assert third.pending() == 1
+        assert maker.pending() == 0
+        assert watcher.next_event().width == 50
+
+    def test_protocol_error_crosses_wire_typed(self, server):
+        display = socket_display(server)
+        with pytest.raises(XProtocolError, match="BadWindow"):
+            display.get_geometry(999999)
+        # connection survives a protocol error
+        assert not display.closed
+        assert display.intern_atom("X") > 0
+
+    def test_close_is_synchronous_bye(self, server):
+        display = socket_display(server)
+        number = display.client.number
+        display.close()
+        assert display.closed
+        assert all(c.number != number or c.closed
+                   for c in server.clients)
+        with pytest.raises(XConnectionLost):
+            display.intern_atom("X")
+
+    def test_input_injection_through_mark_fence(self, server):
+        display = socket_display(server, buffering_enabled=True)
+        win = display.create_window(display.root, 0, 0, 100, 100)
+        display.select_input(win, ev.BUTTON_PRESS_MASK
+                             | ev.POINTER_MOTION_MASK)
+        display.map_window(win)
+        display.flush()
+        display.next_event()  # MapNotify (if structure selected: none)
+        host = server._wire_host
+        host.inject("warp_pointer", 5, 5)
+        host.inject("press_button", 1)
+        types = []
+        while display.pending():
+            types.append(display.next_event().type)
+        assert ev.BUTTON_PRESS in types
+
+    def test_host_call_returns_value_and_raises(self, server):
+        host = ensure_host(server)
+        assert host.call(lambda: 42) == 42
+        with pytest.raises(ValueError, match="boom"):
+            host.call(lambda: (_ for _ in ()).throw(ValueError("boom")))
+
+    def test_byte_counts_match_loopback(self):
+        def run(kind):
+            server = XServer()
+            try:
+                display = Display(server, buffering_enabled=True,
+                                  transport=kind)
+                win = display.create_window(display.root, 0, 0, 20, 20)
+                display.select_input(win, ev.STRUCTURE_NOTIFY_MASK)
+                display.map_window(win)
+                display.configure_window(win, width=33)
+                display.flush()
+                while display.pending():
+                    display.next_event()
+                display.get_geometry(win)
+                registry = server.obs.metrics
+                number = display.client.number
+                return (registry.value("x11.wire.bytes_out",
+                                       client=str(number)),
+                        registry.value("x11.wire.bytes_in",
+                                       client=str(number)))
+            finally:
+                shutdown_host(server)
+
+        assert run("loopback") == run("socket")
+
+
+class TestSocketFaults:
+    def test_dropped_event_never_crosses_wire(self, server):
+        plan = server.install_fault_plan(FaultPlan())
+        maker = socket_display(server)
+        watcher = socket_display(server)
+        win = maker.create_window(maker.root, 0, 0, 10, 10)
+        watcher.select_input(win, ev.STRUCTURE_NOTIFY_MASK)
+        bytes_before = server.obs.metrics.value(
+            "x11.wire.bytes_in", client=str(watcher.client.number))
+        plan.drop_events(1, event_type=ev.CONFIGURE_NOTIFY)
+        maker.configure_window(win, width=50)
+        assert watcher.pending() == 0
+        # dropped at the transport sink: the frame was never shipped
+        assert server.obs.metrics.value(
+            "x11.wire.bytes_in",
+            client=str(watcher.client.number)) == bytes_before
+        maker.configure_window(win, width=60)
+        assert watcher.pending() == 1
+
+    def test_delayed_event_released_through_direct_sink(self, server):
+        plan = server.install_fault_plan(FaultPlan())
+        maker = socket_display(server)
+        watcher = socket_display(server)
+        win = maker.create_window(maker.root, 0, 0, 10, 10)
+        watcher.select_input(win, ev.STRUCTURE_NOTIFY_MASK)
+        plan.delay_events(1, delay_ms=5,
+                          event_type=ev.CONFIGURE_NOTIFY)
+        maker.configure_window(win, width=50)
+        assert watcher.pending() == 0
+        assert plan.held_count() == 1
+        host = server._wire_host
+        for _ in range(6):
+            host.inject("idle_tick")
+        assert plan.held_count() == 0
+        assert watcher.pending() == 1
+        assert watcher.next_event().width == 50
+
+    def test_fault_disconnect_surfaces_connection_lost(self, server):
+        plan = server.install_fault_plan(FaultPlan())
+        victim = socket_display(server)
+        other = socket_display(server)
+        plan.disconnect_client(victim.client.number,
+                               on_request="intern_atom")
+        other.intern_atom("TRIGGER")
+        # force a sweep on the server thread, then read the ERROR frame
+        server._wire_host.call(lambda: None)
+        victim.transport.poll()
+        assert victim.closed
+        with pytest.raises(XConnectionLost):
+            victim.get_geometry(victim.root)
+        # the other client is untouched
+        assert other.intern_atom("AGAIN") > 0
+
+    def test_disconnect_mid_batch_loses_batch_on_socket(self, server):
+        plan = server.install_fault_plan(FaultPlan())
+        display = socket_display(server, buffering_enabled=True)
+        win = display.create_window(display.root, 0, 0, 10, 10)
+        plan.disconnect_client(display.client.number,
+                               on_request="map_window")
+        display.map_window(win)
+        display.set_window_background(win, 7)
+        with pytest.raises(XConnectionLost):
+            display.flush()
+        assert display.closed
+        assert display.pending_output() == 0
+
+
+class _StubSock:
+    """A socket stand-in whose send behaviour the test scripts."""
+
+    def __init__(self, plan):
+        self.plan = list(plan)  # ints = bytes accepted, exc classes raise
+        self.sent = bytearray()
+        self.closed = False
+
+    def send(self, data):
+        step = self.plan.pop(0) if self.plan else len(data)
+        if isinstance(step, type) and issubclass(step, Exception):
+            raise step()
+        step = min(step, len(data))
+        self.sent += bytes(data[:step])
+        return step
+
+    def close(self):
+        self.closed = True
+
+
+class TestBackpressure:
+    def _conn(self, server, plan):
+        host = ServerHost(server)
+        host._sel = selectors.DefaultSelector()
+        conn = _Conn(host, _StubSock(plan))
+        host._conns.append(conn)
+        conn.client = server.connect()
+        return conn
+
+    def test_short_write_buffers_and_counts(self, server):
+        frame = wire.encode_frame(wire.REPLY, "x" * 100)
+        conn = self._conn(server, [10, BlockingIOError])
+        conn.send(frame)
+        assert not conn.closed
+        assert bytes(conn.sock.sent) == frame[:10]
+        assert bytes(conn.wbuf) == frame[10:]
+        assert server.obs.metrics.value(
+            "x11.wire.backpressure",
+            client=str(conn.client.number)) == 1
+        # the peer starts reading again: the buffer drains
+        conn.flush_writes()
+        assert conn.sock.sent == frame
+        assert not conn.wbuf
+
+    def test_zero_byte_send_counts_as_backpressure(self, server):
+        conn = self._conn(server, [0])
+        conn.send(wire.encode_frame(wire.REPLY, 1))
+        assert server.obs.metrics.value(
+            "x11.wire.backpressure",
+            client=str(conn.client.number)) == 1
+
+    def test_write_limit_overflow_closes_down(self, server):
+        conn = self._conn(server, [BlockingIOError, BlockingIOError])
+        conn.send(wire.encode_frame(
+            wire.REPLY, b"\x00" * (WRITE_LIMIT + 64)))
+        assert conn.closed
+        assert conn.client.closed
+
+    def test_oserror_on_send_closes_conn(self, server):
+        conn = self._conn(server, [ConnectionResetError])
+        conn.send(wire.encode_frame(wire.REPLY, 1))
+        assert conn.closed
