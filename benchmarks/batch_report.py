@@ -152,14 +152,17 @@ def _run_wire_workload(kind: str) -> dict:
 
         metrics = server.obs.metrics
         number = app.display.client.number
-        rtt = metrics.histogram("x11.wire.rtt_ms", client=number)
+        rtt = metrics.histogram("x11.wire.rtt_ms", client=number,
+                                transport=kind)
         wall_ms = [ns / 1e6 for ns in samples[0]]
         return {
             "transport": kind,
             "bytes_out": metrics.value("x11.wire.bytes_out",
-                                       client=str(number)),
+                                       client=str(number),
+                                       transport=kind),
             "bytes_in": metrics.value("x11.wire.bytes_in",
-                                      client=str(number)),
+                                      client=str(number),
+                                      transport=kind),
             "round_trips": rtt.value,
             "rtt_virtual_ms": {
                 "p50": rtt.percentile(0.50),

@@ -81,6 +81,38 @@ def slow_session_block(result, slow_journal, top=TOP):
     }
 
 
+def flight_on_breach(result, failures):
+    """Write a fleet flight artifact when the SLO gate trips.
+
+    Mirrors :meth:`repro.obs.core.Observability.flight_autodump`: a
+    no-op unless ``REPRO_FLIGHT_DIR`` names a directory, and never
+    raises — forensics must not mask the breach being reported.
+    """
+    from repro.obs.core import FLIGHT_DIR_ENV
+    directory = os.environ.get(FLIGHT_DIR_ENV)
+    if not directory:
+        return None
+    try:
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, "flight-slo-breach-%d.json"
+                            % result.virtual_ms)
+        with open(path, "w") as handle:
+            json.dump({
+                "kind": "fleet-flight",
+                "reason": "slo-breach",
+                "failures": failures,
+                "virtual_ms": result.virtual_ms,
+                "summary": result.summary(),
+                "slos": result.slos(),
+                "top_slowest": result.top_slowest(TOP),
+                "metrics": result.registry.snapshot(),
+            }, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+    except OSError:
+        return None
+
+
 def check(result, slow) -> int:
     """The CI gate: SLOs + slow-session attribution + replayability."""
     failures = ["SLO %s %s (value %s)"
@@ -94,6 +126,9 @@ def check(result, slow) -> int:
         print("FAIL:")
         for line in failures:
             print("  " + line)
+        artifact = flight_on_breach(result, failures)
+        if artifact:
+            print("flight artifact: %s" % artifact)
         return 1
     print("OK: %d SLOs hold; slow session ranked #%s of top-%d and its "
           "journal replayed with an exact wire match (%d requests)"

@@ -30,6 +30,12 @@ detached — the shipping default after ``obs journal stop``), and
 the same <3% bound of ``no_journal``; the recording cost is reported,
 not gated.
 
+The time-series flight recorder is measured the same way on the same
+GUI workload: ``no_recorder`` (pristine server), ``recorder_off``
+(started once then stopped — the tick hot path back to one dead
+pointer test), and ``recorder_on`` at a worst-case 1 ms cadence.
+``recorder_off`` shares the <3% gate; the sampling cost is reported.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/obs_report.py              # regenerate
@@ -240,17 +246,68 @@ def run_journal_report() -> dict:
     return stats
 
 
-def check(report: dict, journal: dict) -> int:
+def run_recorder_report() -> dict:
+    """Flight-recorder sampling cost on the GUI workload."""
+    pairs = [_gui_app("rec%d" % index) for index in range(3)]
+    # recorder_off: the machinery exercised and released — the tick
+    # hot path must be back to one dead pointer test
+    pairs[1][1].obs.start_recorder()
+    pairs[1][1].obs.stop_recorder()
+    # recorder_on: worst case, a sample every virtual millisecond
+    pairs[2][1].obs.start_recorder(cadence_ms=1)
+
+    def build(pair):
+        server, app = pair
+        interp = app.interp
+        state = [0]
+
+        def thunk():
+            state[0] ^= 1
+            interp.eval(".b configure -text %s"
+                        % ("ping" if state[0] else "pong"))
+            app.update()
+        return thunk
+
+    try:
+        bests, floors, medians = _measure_interleaved(
+            [build(pair) for pair in pairs])
+    finally:
+        pairs[2][1].obs.stop_recorder()
+    recorder = pairs[2][1].obs.recorder
+    base, off, on = bests
+    stats = {
+        "no_recorder_us": round(base * 1e6, 3),
+        "recorder_off_us": round(off * 1e6, 3),
+        "recorder_on_us": round(on * 1e6, 3),
+        "off_overhead_pct": round(floors[1], 2),
+        "off_overhead_median_pct": round(medians[1], 2),
+        "sampling_overhead_pct": round(medians[2], 2),
+        "cadence_ms": recorder.cadence_ms,
+        "samples": recorder.samples_taken,
+        "series": len(recorder.series),
+    }
+    print("%-16s none %8.3f us   off %8.3f us (%+5.2f%% median, "
+          "%+5.2f%% floor)   sampling %8.3f us (%+6.2f%%, %d samples "
+          "over %d series)"
+          % ("recorder", base * 1e6, off * 1e6, medians[1], floors[1],
+             on * 1e6, medians[2], recorder.samples_taken,
+             len(recorder.series)))
+    return stats
+
+
+def check(report: dict, journal: dict, recorder: dict) -> int:
     failures = [name for name, stats in report.items()
                 if stats["overhead_pct"] >= GATE_PCT]
     if journal["off_overhead_pct"] >= GATE_PCT:
         failures.append("journal_off")
+    if recorder["off_overhead_pct"] >= GATE_PCT:
+        failures.append("recorder_off")
     if failures:
         print("FAIL: obs-enabled overhead >=%.1f%% in: %s"
               % (GATE_PCT, ", ".join(failures)))
         return 1
-    print("OK: obs-enabled (tracer idle) and journal-off overhead "
-          "<%.1f%% on all workloads" % GATE_PCT)
+    print("OK: obs-enabled (tracer idle), journal-off, and "
+          "recorder-off overhead <%.1f%% on all workloads" % GATE_PCT)
     return 0
 
 
@@ -291,10 +348,11 @@ def main(argv) -> int:
     checking = "--check" in argv
     report = run_report()
     journal = run_journal_report()
+    recorder = run_recorder_report()
     if checking:
-        return check(report, journal)
+        return check(report, journal, recorder)
     output = {"gate_pct": GATE_PCT, "workloads": report,
-              "journal": journal}
+              "journal": journal, "recorder": recorder}
     if os.path.exists(INTERP_BENCH_FILE):
         with open(INTERP_BENCH_FILE) as handle:
             committed = json.load(handle)

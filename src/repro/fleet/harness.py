@@ -20,7 +20,13 @@ and records *its own* telemetry into a private
 :class:`~repro.obs.metrics.MetricsRegistry`: a ``fleet.dispatch_ms``
 histogram of virtual milliseconds consumed per input (the shared
 virtual clock makes this exactly attributable — only one session runs
-at a time), plus step/event/error counters.  At completion the
+at a time), plus step/event/error counters.  Each input's latency is
+additionally decomposed into ``fleet.phase_ms{phase=...}`` counters —
+``handle`` (server request execution), ``wire`` (batch framing
+ticks), ``wait`` (clock advances with no server work: fault delays,
+``after`` timers) — from the server's tick and batch counters
+bracketing the dispatch, so the top-N report can say *where* a slow
+session's time went, not just how much.  At completion the
 session folds its applications' own registries (``tk.*``, ``tcl.*``,
 ``send.*`` — not the shared server's mounts) into the same private
 registry, so the fleet rollup sees every per-session series under one
@@ -158,6 +164,14 @@ class FleetSession:
         self._m_steps = self.metrics.counter("fleet.steps")
         self._m_events = self.metrics.counter("fleet.events")
         self._m_errors = self.metrics.counter("fleet.errors")
+        #: per-phase latency decomposition of every dispatched input
+        self._m_phase = {
+            phase: self.metrics.counter("fleet.phase_ms", phase=phase)
+            for phase in ("handle", "wire", "wait")}
+        #: the cell server's batch-framing tick counter, cached so a
+        #: phase bracket is three attribute reads, not registry lookups
+        self._m_batch_ticks = server.obs.metrics.counter(
+            "x11.requests", type="batch")
         self.apps: List = []
         self.main_app = None
         self.plan: Optional[FaultPlan] = None
@@ -212,9 +226,9 @@ class FleetSession:
             return False
         if self._pump_app is not None:
             app, self._pump_app = self._pump_app, None
-            start = self.server.time_ms
+            begin = self._phase_begin()
             self._pump(app)
-            self._m_dispatch.observe(self.server.time_ms - start)
+            self._m_dispatch.observe(self._phase_end(begin))
             return True
         if self._cursor >= len(self.spec.steps):
             return False
@@ -225,12 +239,34 @@ class FleetSession:
 
     def run_input(self, kind: str, args: list) -> None:
         """Execute one input, observing its virtual-time latency."""
-        start = self.server.time_ms
+        begin = self._phase_begin()
         try:
             self._execute(kind, list(args))
         finally:
             self._m_steps.value += 1
-            self._m_dispatch.observe(self.server.time_ms - start)
+            self._m_dispatch.observe(self._phase_end(begin))
+
+    def _phase_begin(self):
+        """Snapshot the clock and server work counters around one
+        dispatch; only this session runs until :meth:`_phase_end`, so
+        every delta is attributable to it."""
+        server = self.server
+        return (server.time_ms, server.tick_count,
+                self._m_batch_ticks.value)
+
+    def _phase_end(self, begin) -> int:
+        """Book the phase deltas; returns the total virtual ms."""
+        server = self.server
+        clock_ms = server.time_ms - begin[0]
+        ticks = server.tick_count - begin[1]
+        batches = self._m_batch_ticks.value - begin[2]
+        # One tick is one virtual ms: batch framing ticks are wire
+        # overhead, the rest is request handling; any further clock
+        # movement was waiting (fault delays, timer advances).
+        self._m_phase["wire"].value += batches
+        self._m_phase["handle"].value += max(0, ticks - batches)
+        self._m_phase["wait"].value += max(0, clock_ms - ticks)
+        return clock_ms
 
     def finish(self) -> None:
         """Close out: save the recording, fold application telemetry

@@ -88,6 +88,13 @@ def top_slowest(sessions: List[FleetSession],
             "status": session.status if session.finished else ACTIVE,
             "steps": session.steps_run,
             "virtual_ms": session.virtual_ms,
+            # where the time went: the fleet.phase_ms decomposition
+            "handle_ms": session.metrics.value("fleet.phase_ms",
+                                               phase="handle"),
+            "wire_ms": session.metrics.value("fleet.phase_ms",
+                                             phase="wire"),
+            "wait_ms": session.metrics.value("fleet.phase_ms",
+                                             phase="wait"),
             "p95_ms": session.dispatch_percentile(0.95),
             "send_rpcs": session.metrics.value("send.rpcs"),
             "errors": session.metrics.value("fleet.errors"),
@@ -99,13 +106,15 @@ def format_top(sessions: List[FleetSession], count: int = 10) -> str:
     """The top-N-slowest table as text (the CI artifact)."""
     lines = ["TOP %d SLOWEST SESSIONS (virtual ms attributed)"
              % min(count, len(sessions)),
-             "%-6s %-9s %6s %9s %7s %6s %5s  %s"
-             % ("sid", "status", "steps", "virt_ms", "p95_ms",
-                "rpcs", "errs", "source")]
+             "%-6s %-9s %6s %9s %7s %6s %6s %7s %6s %5s  %s"
+             % ("sid", "status", "steps", "virt_ms", "handle",
+                "wire", "wait", "p95_ms", "rpcs", "errs", "source")]
     for entry in top_slowest(sessions, count):
-        lines.append("%-6s %-9s %6d %9d %7s %6d %5d  %s"
+        lines.append("%-6s %-9s %6d %9d %7d %6d %6d %7s %6d %5d  %s"
                      % (entry["session"], entry["status"],
                         entry["steps"], entry["virtual_ms"],
+                        entry["handle_ms"], entry["wire_ms"],
+                        entry["wait_ms"],
                         entry["p95_ms"] if entry["p95_ms"] is not None
                         else "-",
                         entry["send_rpcs"], entry["errors"],

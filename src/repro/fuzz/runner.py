@@ -130,6 +130,13 @@ def run_scenario(scenario: Scenario, stop_on_violation: bool = True,
     violations.extend(oracles.check_dead_client_requests(journal))
     if check_replay and not violations:
         violations.extend(oracles.check_replay_identity(journal))
+    if violations:
+        # Forensics for the failure triage: the last virtual seconds
+        # of the server hub's telemetry, saved only when a flight-dump
+        # directory is configured (see Observability.flight_autodump).
+        server.obs.flight_autodump(
+            "oracle-%s" % sorted({violation.kind
+                                  for violation in violations})[0])
     return FuzzResult(scenario, journal, violations, steps_run)
 
 

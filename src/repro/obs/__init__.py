@@ -11,6 +11,7 @@ from .core import Observability
 from .journal import Journal
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profile import Profile, profile
+from .timeseries import TimeSeriesRecorder
 from .trace import Span, Tracer, record_request, record_round_trip
 
 __all__ = [
@@ -18,5 +19,6 @@ __all__ = [
     "Journal",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "Profile", "profile",
+    "TimeSeriesRecorder",
     "Span", "Tracer", "record_request", "record_round_trip",
 ]

@@ -9,6 +9,10 @@ Collapses a tracer's finished spans into three views:
   answers "which widget is hammering the server";
 * **by request type** — total per named X request across the trace,
   the paper's §3.3 server-traffic table for an arbitrary workload.
+  When the trace crossed the wire (server-side ``xhandle`` spans are
+  present), each request type additionally gets its summed server
+  handling time, so "how often" and "how expensive on the server" are
+  attributed to the same originating request name.
 
 Self time is a span's duration minus its direct children's durations;
 cumulative time is the span's own duration (virtual clock, so nested
@@ -57,7 +61,16 @@ class Profile:
         self.by_name: Dict[str, ProfileRow] = {}
         self.by_widget: Dict[str, ProfileRow] = {}
         self.by_request: Dict[str, int] = {}
+        #: request name -> summed server-side handling ms, from the
+        #: cross-boundary ``xhandle`` spans (empty for traces that
+        #: never crossed the wire); counts stay in :attr:`by_request`
+        #: so the pinned §3.3 traffic table is unchanged.
+        self.by_request_ms: Dict[str, int] = {}
         for span in spans:
+            if span.kind == "xhandle":
+                self.by_request_ms[span.name] = (
+                    self.by_request_ms.get(span.name, 0)
+                    + span.duration)
             self_ms = span.duration - child_ms.get(span.id, 0)
             request_count = sum(span.requests.values())
             row = self._row(self.by_name,
@@ -91,9 +104,13 @@ class Profile:
     def to_dict(self) -> Dict[str, object]:
         order = lambda rows: [row.to_dict() for row in sorted(
             rows.values(), key=lambda r: (-r.self_ms, r.key))]
-        return {"by_name": order(self.by_name),
+        data = {"by_name": order(self.by_name),
                 "by_widget": order(self.by_widget),
                 "by_request_type": dict(sorted(self.by_request.items()))}
+        if self.by_request_ms:
+            data["by_request_ms"] = dict(
+                sorted(self.by_request_ms.items()))
+        return data
 
     def report(self, limit: int = 20) -> str:
         """The three tables as aligned text (``obs profile report``)."""
@@ -116,13 +133,23 @@ class Profile:
         if self.by_widget:
             lines.append("")
             table("PROFILE by widget", by_self(self.by_widget))
-        if self.by_request:
+        if self.by_request or self.by_request_ms:
             lines.append("")
             lines.append("PROFILE by x11 request type")
             for name, count in sorted(self.by_request.items(),
                                       key=lambda item: (-item[1],
                                                         item[0])):
-                lines.append("  %-36s %6d" % (name, count))
+                line = "  %-36s %6d" % (name, count)
+                if name in self.by_request_ms:
+                    line += "  handle %dms" % self.by_request_ms[name]
+                lines.append(line)
+            # Server work with no client-side attribution (the batch
+            # framing tick, requests whose issuing span was untraced)
+            # still shows its handling cost rather than vanishing.
+            for name in sorted(set(self.by_request_ms)
+                               - set(self.by_request)):
+                lines.append("  %-36s %6d  handle %dms"
+                             % (name, 0, self.by_request_ms[name]))
         return "\n".join(lines)
 
 

@@ -21,6 +21,19 @@ falsy test when no one is tracing — before attributing the request to
 whichever span is open on each active tracer.  *Wire mode* additionally
 records every request server-wide (named tick, originating widget) in
 the spirit of ``xmon``, even between spans.
+
+Since the Display→XServer boundary became a byte-level wire
+(:mod:`repro.x11.wire`), traces cross it: the transport opens a *wire
+span* per frame (:func:`open_wire`), stamps its id into the frame's
+trace-context field, and the server records a *handle span* per
+request it executes under that id (:func:`record_handle`) — so a tree
+reads client issue → wire → server handle, with identical structure on
+the loopback and socket transports.  Wire and handle spans are
+*synthetic*: they never join the open-span stack, so request
+attribution still lands on the client span that issued the work.
+Cross-boundary spans carry ``link="wire"`` and keep their explicit
+parent id even when the parent has been evicted from the ring — they
+are never silently re-rooted as if they were top-level work.
 """
 
 from __future__ import annotations
@@ -42,7 +55,8 @@ class Span:
     """One timed, attributed unit of work."""
 
     __slots__ = ("id", "kind", "name", "widget", "parent_id",
-                 "start", "end", "requests", "round_trips")
+                 "start", "end", "requests", "round_trips",
+                 "link", "queue_ms")
 
     def __init__(self, span_id: int, kind: str, name: str,
                  widget: Optional[str], parent_id: Optional[int],
@@ -56,6 +70,13 @@ class Span:
         self.end = start
         self.requests: Dict[str, int] = {}
         self.round_trips = 0
+        #: "wire" on spans whose parent link crosses the client/server
+        #: boundary (server handle spans, fault spans fired inside a
+        #: traced request); None for ordinary same-side spans
+        self.link: Optional[str] = None
+        #: virtual ms the first op of a batch sat in the output buffer
+        #: before the flush that carried it (wire spans only)
+        self.queue_ms = 0
 
     @property
     def duration(self) -> int:
@@ -71,6 +92,10 @@ class Span:
             entry["requests"] = dict(sorted(self.requests.items()))
         if self.round_trips:
             entry["round_trips"] = self.round_trips
+        if self.link is not None:
+            entry["link"] = self.link
+        if self.queue_ms:
+            entry["queue_ms"] = self.queue_ms
         return entry
 
 
@@ -94,6 +119,11 @@ class Tracer:
         self.wire_log: deque = deque(maxlen=max_wire)
         self._stack: List[Span] = []
         self._next_id = 1
+        #: open wire spans by propagated trace context; the context is
+        #: the *first* active tracer's span id, shared as the lookup
+        #: key by every tracer so frames carry one id regardless of
+        #: how many tracers watch the session
+        self._inflight: Dict[int, Span] = {}
         #: spans/wire entries silently pushed off the bounded rings —
         #: surfaced as ``obs.trace.evicted{ring=...}`` once bound
         self.evicted_spans = 0
@@ -147,6 +177,7 @@ class Tracer:
         # Abandon any open spans: a stop inside a handler must not
         # leave dangling parents for the next start.
         self._stack = []
+        self._inflight.clear()
         if self in _ACTIVE:
             _ACTIVE.remove(self)
         for listener in self.listeners:
@@ -156,6 +187,10 @@ class Tracer:
         self.spans.clear()
         self.wire_log.clear()
         self._stack = []
+        self._inflight.clear()
+        # Safe to reuse ids only because every ring is now empty: a
+        # surviving span's explicit parent link must never alias a
+        # later span that happens to get the same id.
         self._next_id = 1
 
     # -- span API ------------------------------------------------------
@@ -183,6 +218,23 @@ class Tracer:
         if self.enabled:
             self._note_span_eviction()
             self.spans.append(span)
+
+    def begin_wire(self, name: str, queue_ms: int = 0) -> Span:
+        """Open a wire span: the client edge of one outbound frame.
+
+        Wire spans are synthetic — they parent under the open span but
+        never join the stack, so request attribution keeps landing on
+        the client span that issued the work.  The caller registers
+        the span in :attr:`_inflight` under the propagated context and
+        closes it via :func:`close_wire`.
+        """
+        parent = self._stack[-1] if self._stack else None
+        span = Span(self._next_id, "wire", name,
+                    parent.widget if parent else None,
+                    parent.id if parent else None, self.clock())
+        self._next_id += 1
+        span.queue_ms = queue_ms
+        return span
 
     # -- server-side attribution (called via _ACTIVE) ------------------
 
@@ -244,7 +296,15 @@ class Tracer:
                 parent["children"].append(node)
             else:
                 if span.parent_id is not None:
-                    node["orphaned"] = True
+                    if span.link == "wire":
+                        # Cross-boundary spans keep their explicit
+                        # parent id (``parent`` in the dict) instead of
+                        # being re-rooted as if they were local work;
+                        # ids are never reused while rings are
+                        # non-empty, so the link cannot alias.
+                        node["parent_evicted"] = True
+                    else:
+                        node["orphaned"] = True
                 roots.append(node)
         # The deque is in *finish* order (children before parents);
         # present roots in start order, as the docstring promises.
@@ -271,8 +331,13 @@ class Tracer:
                                        widget, node["duration_ms"])
             if node.get("round_trips"):
                 head += " %d-rt" % node["round_trips"]
+            if node.get("queue_ms"):
+                head += " queue=%dms" % node["queue_ms"]
             if node.get("orphaned"):
                 head += " (orphaned: parent span evicted)"
+            if node.get("parent_evicted"):
+                head += " (cross-boundary: parent %d evicted)" \
+                    % node["parent"]
             lines.append(head)
             if node.get("requests"):
                 lines.append("%s  x11: %s" % (pad, " ".join(
@@ -324,6 +389,100 @@ def record_round_trip() -> None:
         tracer.record_round_trip()
 
 
+# ----------------------------------------------------------------------
+# cross-boundary propagation (transport + server hooks)
+# ----------------------------------------------------------------------
+
+def open_wire(name: str, queue_ms: int = 0):
+    """Open a wire span in every active tracer for one outbound frame.
+
+    Returns ``(ctx, pairs)``: ``ctx`` is the propagated trace context
+    (the first tracer's wire-span id, stamped into the frame by the
+    transport; None when no tracer is active) and ``pairs`` the
+    ``(tracer, span)`` list :func:`close_wire` needs.  Every tracer
+    registers its own span under the *shared* context, so a single
+    on-the-wire id resolves to the right span in each tracer — tracer
+    identity never leaks into the bytes, keeping traced wire traffic
+    identical run to run regardless of how many tracers watch.
+    """
+    ctx = None
+    pairs = []
+    for tracer in _ACTIVE:
+        span = tracer.begin_wire(name, queue_ms)
+        if ctx is None:
+            ctx = span.id
+        tracer._inflight[ctx] = span
+        pairs.append((tracer, span))
+    return ctx, pairs
+
+
+def close_wire(ctx, pairs) -> None:
+    """Close the wire spans of one frame once its reply is in."""
+    for tracer, span in pairs:
+        tracer._inflight.pop(ctx, None)
+        span.end = tracer.clock()
+        # Mirror Tracer.finish: a tracer stopped mid-flight drops the
+        # span rather than half-recording it.
+        if tracer.enabled:
+            tracer._note_span_eviction()
+            tracer.spans.append(span)
+
+
+def record_handle(ctx: int, name: str, start: int, end: int) -> None:
+    """Record one server-side handle span under a propagated context.
+
+    Called from the server's ``_tick`` when the frame being handled
+    carried a trace context.  The span is complete on arrival (the
+    tick *is* the handling) and parents under each tracer's own
+    in-flight wire span for ``ctx``.  It does not populate
+    ``Span.requests`` — the request was already attributed to its
+    issuing client span — so request counts never double-count.
+    """
+    for tracer in _ACTIVE:
+        wire_span = tracer._inflight.get(ctx)
+        if wire_span is None:
+            continue
+        span = Span(tracer._next_id, "xhandle", name, wire_span.widget,
+                    wire_span.id, start)
+        tracer._next_id += 1
+        span.end = end
+        span.link = "wire"
+        tracer._note_span_eviction()
+        tracer.spans.append(span)
+
+
+def record_fault(action: str, detail: str,
+                 ctx: Optional[int] = None) -> None:
+    """Record one fault-plan action as a zero-duration span.
+
+    Parents under the in-flight wire span when the fault fired inside
+    a traced request (``ctx`` from the server), else under the open
+    client span, else as a root.
+    """
+    for tracer in _ACTIVE:
+        parent_id = None
+        widget = None
+        link = None
+        if ctx is not None:
+            wire_span = tracer._inflight.get(ctx)
+            if wire_span is not None:
+                parent_id = wire_span.id
+                widget = wire_span.widget
+                link = "wire"
+        if parent_id is None and tracer._stack:
+            top = tracer._stack[-1]
+            parent_id = top.id
+            widget = top.widget
+        name = "%s %s" % (action, detail) if detail else action
+        span = Span(tracer._next_id, "fault", name, widget, parent_id,
+                    tracer.clock())
+        tracer._next_id += 1
+        span.link = link
+        tracer._note_span_eviction()
+        tracer.spans.append(span)
+
+
 __all__ = ["Span", "Tracer", "record_request", "record_queued",
-           "record_delivery", "record_round_trip",
+           "record_delivery", "record_round_trip", "open_wire",
+           "close_wire", "record_handle", "record_fault",
            "_ACTIVE", "SPAN_RING", "WIRE_RING"]

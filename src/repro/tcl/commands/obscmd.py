@@ -17,6 +17,11 @@ Tcl::
     obs journal stop                   stop recording
     obs journal dump ?-limit n?        formatted journal listing
     obs journal save FILE              write the journal as JSONL
+    obs recorder start ?-cadence N? ?-ring N?
+                                       start the time-series recorder
+    obs recorder stop                  stop sampling (series readable)
+    obs recorder dump ?pattern?        recorded series, one per line
+    obs flight save FILE ?-window MS?  flight dump (spans+samples+wire)
     obs dump ?-format json?            metrics+trace+profile as JSON
 
 ``info metrics`` returns the same data as ``obs metrics`` but as a
@@ -50,14 +55,18 @@ def cmd_obs(interp, argv: List[str]) -> str:
         return _profile(obs, argv)
     if option == "journal":
         return _journal(interp, obs, argv)
+    if option == "recorder":
+        return _recorder(obs, argv)
+    if option == "flight":
+        return _flight(obs, argv)
     if option == "dump":
         fmt = _format_flag(argv, 2, default="json")
         if fmt != "json":
             raise TclError('bad format "%s": should be json' % fmt)
         return obs.dump_json()
     raise TclError(
-        'bad option "%s": should be dump, journal, metrics, profile, '
-        'or trace' % option)
+        'bad option "%s": should be dump, flight, journal, metrics, '
+        'profile, recorder, or trace' % option)
 
 
 def _trace(obs, argv: List[str]) -> str:
@@ -182,6 +191,74 @@ def _journal(interp, obs, argv: List[str]) -> str:
     raise TclError(
         'bad option "%s": should be dump, save, start, or stop'
         % action)
+
+
+def _recorder(obs, argv: List[str]) -> str:
+    if len(argv) < 3:
+        raise TclError(
+            'wrong # args: should be "obs recorder option ?arg ...?"')
+    action = argv[2]
+    if action == "start":
+        cadence = ring = None
+        rest = argv[3:]
+        while rest:
+            if rest[0] == "-cadence" and len(rest) >= 2:
+                cadence = _int_arg(rest[1])
+                rest = rest[2:]
+            elif rest[0] == "-ring" and len(rest) >= 2:
+                ring = _int_arg(rest[1])
+                rest = rest[2:]
+            else:
+                raise TclError('bad switch "%s": must be -cadence or '
+                               "-ring" % rest[0])
+        try:
+            obs.start_recorder(cadence_ms=cadence, ring=ring)
+        except ValueError as error:
+            raise TclError("obs recorder start: %s" % error)
+        return ""
+    if action == "stop":
+        obs.stop_recorder()
+        return ""
+    if action == "dump":
+        if len(argv) > 4:
+            raise TclError(
+                'wrong # args: should be "obs recorder dump ?pattern?"')
+        if obs.recorder is None:
+            raise TclError("obs recorder: not started "
+                           '(use "obs recorder start")')
+        pattern = argv[3] if len(argv) == 4 else None
+        return obs.recorder.format(pattern)
+    raise TclError(
+        'bad option "%s": should be dump, start, or stop' % action)
+
+
+def _flight(obs, argv: List[str]) -> str:
+    if len(argv) < 3 or argv[2] != "save":
+        raise TclError(
+            'wrong # args: should be '
+            '"obs flight save fileName ?-window ms?"')
+    if len(argv) < 4:
+        raise TclError(
+            'wrong # args: should be '
+            '"obs flight save fileName ?-window ms?"')
+    path = argv[3]
+    from ...obs.core import FLIGHT_WINDOW_MS
+    window = FLIGHT_WINDOW_MS
+    rest = argv[4:]
+    while rest:
+        if rest[0] == "-window" and len(rest) >= 2:
+            window = _int_arg(rest[1])
+            rest = rest[2:]
+        else:
+            raise TclError('bad switch "%s": must be -window' % rest[0])
+    return obs.save_flight(path, window_ms=window)
+
+
+def _int_arg(word: str) -> int:
+    try:
+        return int(word)
+    except ValueError:
+        raise TclError('expected integer but got "%s"' % word)
 
 
 def _format_flag(argv: List[str], start: int, default: str) -> str:

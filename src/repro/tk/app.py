@@ -412,6 +412,10 @@ class TkApp:
         """
         if self._reporting_error:
             return False
+        # Forensics first: if a flight-dump directory is configured,
+        # capture the last few virtual seconds of telemetry before any
+        # bgerror proc gets a chance to mutate state (never raises).
+        self.obs.flight_autodump("bgerror")
         handler = None
         for candidate in ("bgerror", "tkerror"):
             if candidate in self.interp.commands:

@@ -180,6 +180,10 @@ class Display:
         self.buffering_enabled = buffering_enabled
         #: buffered one-way requests: (name, window, args, kwargs)
         self._buffer: List[tuple] = []
+        #: virtual time the oldest buffered request was enqueued;
+        #: tracked only while a tracer is active, so the flush can
+        #: stamp the batch's wire span with its queue latency
+        self._queued_since: Optional[int] = None
         self._closed = False
         #: protocol error from a server-driven flush (input injection),
         #: re-raised at this client's next flush point — the simulator's
@@ -238,6 +242,8 @@ class Display:
                 # Attribute the request to the span issuing it now; the
                 # wire log gets its entry at delivery time.
                 _trace.record_queued(name)
+                if self._queued_since is None:
+                    self._queued_since = self.server.time_ms
             self._buffer.append((name, window, args, kwargs))
         else:
             self.transport.oneway(name, window, args, kwargs)
@@ -293,6 +299,7 @@ class Display:
         # never rewrites bytes it already handed to the kernel.
         ops = self._buffer
         self._buffer = []
+        queued_since, self._queued_since = self._queued_since, None
         if self.closed:
             raise XConnectionLost("connection to X server lost "
                                   "(%d buffered requests discarded)"
@@ -300,6 +307,10 @@ class Display:
         ops, dropped = _coalesce(ops)
         if dropped:
             self._m_coalesced.value += dropped
+        if queued_since is not None:
+            queue_ms = self.server.time_ms - queued_since
+            if queue_ms:
+                return self.transport.deliver_batch(ops, queue_ms)
         return self.transport.deliver_batch(ops)
 
     # -- event queue -----------------------------------------------------

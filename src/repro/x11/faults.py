@@ -59,6 +59,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs import trace as _trace
 from .xserver import Client, XProtocolError
 
 #: Canonical fault-type names (the keys of ``FaultPlan.counters``).
@@ -188,12 +189,18 @@ class FaultPlan:
             counter.value = self.counters[kind]
             self._metric_counters[kind] = counter
 
-    def _record(self, kind: str, detail: str) -> None:
+    def _record(self, kind: str, detail: str, server=None) -> None:
         self.counters[kind] += 1
         if self._metric_counters is not None:
             self._metric_counters[kind].value += 1
         if self._jrec is not None:
             self._jrec.fault(kind, detail)
+        if _trace._ACTIVE:
+            # A fault span per injected action; inside a traced request
+            # it parents under the issuing client's wire span.
+            _trace.record_fault(kind, detail,
+                                server._trace_ctx
+                                if server is not None else None)
         self.log.append((self._request_index, kind, detail))
 
     # ------------------------------------------------------------------
@@ -367,7 +374,8 @@ class FaultPlan:
     def _fire_request_trigger(self, server, trigger: _RequestTrigger,
                               name: str) -> None:
         if trigger.kind == ERROR:
-            self._record(ERROR, "%s from %s" % (trigger.error, name))
+            self._record(ERROR, "%s from %s" % (trigger.error, name),
+                         server)
             raise XProtocolError(
                 "%s (injected fault during %s)" % (trigger.error, name))
         if trigger.kind == DISCONNECT:
@@ -378,12 +386,12 @@ class FaultPlan:
                 if client is None:
                     return          # victim never connected in this run
             self._record(DISCONNECT, "client %d during %s"
-                         % (client.number, name))
+                         % (client.number, name), server)
             self.disconnected_clients.add(client.number)
             self._guarded(server.disconnect, client)
             return
         if trigger.kind == CALL:
-            self._record(CALL, "callback during %s" % name)
+            self._record(CALL, "callback during %s" % name, server)
             self._guarded(trigger.callback, server)
 
     def _seeded_request_faults(self, server, name: str) -> None:
@@ -392,7 +400,8 @@ class FaultPlan:
         if self.error_rate > 0 and \
                 self.random.random() < self.error_rate:
             error = self.random.choice(self.errors)
-            self._record(ERROR, "%s from %s (seeded)" % (error, name))
+            self._record(ERROR, "%s from %s (seeded)" % (error, name),
+                         server)
             raise XProtocolError(
                 "%s (injected fault during %s)" % (error, name))
         if self.disconnect_rate > 0 and \
@@ -402,7 +411,7 @@ class FaultPlan:
             if victims:
                 victim = self.random.choice(victims)
                 self._record(DISCONNECT, "client %d during %s (seeded)"
-                             % (victim.number, name))
+                             % (victim.number, name), server)
                 self.disconnected_clients.add(victim.number)
                 self._guarded(server.disconnect, victim)
 
@@ -415,12 +424,13 @@ class FaultPlan:
                 continue
             trigger.count -= 1
             if trigger.kind == DROP:
-                self._record(DROP, "event type %d" % event.type)
+                self._record(DROP, "event type %d" % event.type, server)
                 return False
             self._hold(server, client, event, trigger.delay_ms)
             return False
         if self.drop_rate > 0 and self.random.random() < self.drop_rate:
-            self._record(DROP, "event type %d (seeded)" % event.type)
+            self._record(DROP, "event type %d (seeded)" % event.type,
+                         server)
             return False
         if self.delay_rate > 0 and self.random.random() < self.delay_rate:
             self._hold(server, client, event, self.delay_ms,
@@ -432,7 +442,7 @@ class FaultPlan:
               seeded: bool = False) -> None:
         self._record(DELAY, "event type %d for %d ms%s"
                      % (event.type, delay_ms,
-                        " (seeded)" if seeded else ""))
+                        " (seeded)" if seeded else ""), server)
         self._held_seq += 1
         self._held.append((server.time_ms + delay_ms, self._held_seq,
                            client, event))

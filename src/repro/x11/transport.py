@@ -31,13 +31,22 @@ layer rather than on in-server method calls; released delayed events
 bypass the plan through the client's direct sink (a release must not
 be re-dropped).
 
-Metrics (on the server's registry, labeled by client number):
-``x11.wire.bytes_out`` / ``x11.wire.bytes_in`` count payload traffic
-from the client's point of view (handshake and MARK flow control are
-uncounted, so loopback and socket byte counts agree);
+Metrics (on the server's registry, labeled by client number and
+transport kind): ``x11.wire.bytes_out`` / ``x11.wire.bytes_in`` count
+payload traffic from the client's point of view (handshake and MARK
+flow control are uncounted, so loopback and socket byte counts agree);
 ``x11.wire.rtt_ms`` is a virtual-clock histogram over reply-bearing
 requests; ``x11.wire.backpressure`` counts short writes on a
-connection whose peer is slow to read.
+connection whose peer is slow to read.  The ``transport=`` label keeps
+mixed-transport fleets from folding both paths into one series.
+
+When a span tracer is active (:mod:`repro.obs.trace`), both transports
+open a *wire span* per outbound BATCH/REQUEST/ONEWAY frame, stamp its
+id into the frame's trace-context field, and set ``server._trace_ctx``
+for the duration of the server-side handling, so the server's per-tick
+handle spans stitch into the client's causal tree identically on both
+transports.  With no tracer active the frames carry no context and are
+byte-identical to the untraced codec.
 
 Input injection (``warp_pointer`` and friends) must run on the server
 thread *and* drain client output buffers mid-call in the same order
@@ -62,6 +71,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from . import wire
 from .xserver import XConnectionLost, XProtocolError, XServer
+from ..obs import trace as _trace
 
 __all__ = [
     "LoopbackTransport", "SocketTransport", "ServerHost",
@@ -89,15 +99,15 @@ _REPLY_TIMEOUT = 30.0
 class _Telemetry:
     """Per-connection wire metrics on the server's registry."""
 
-    def __init__(self, server: XServer, number: int):
+    def __init__(self, server: XServer, number: int, kind: str):
         registry = server.obs.metrics
         self.bytes_out = registry.counter("x11.wire.bytes_out",
-                                          client=number)
+                                          client=number, transport=kind)
         self.bytes_in = registry.counter("x11.wire.bytes_in",
-                                         client=number)
+                                         client=number, transport=kind)
         self.rtt_ms = registry.histogram("x11.wire.rtt_ms",
                                          buckets=RTT_BUCKETS,
-                                         client=number)
+                                         client=number, transport=kind)
 
 
 # ----------------------------------------------------------------------
@@ -120,7 +130,8 @@ class LoopbackTransport:
         #: bit-identical across same-seed runs.
         self.wall_rtt_ns: Optional[List[int]] = None
         self._wall_clock: Optional[Callable[[], int]] = None
-        self._telemetry = _Telemetry(server, self.client.number)
+        self._telemetry = _Telemetry(server, self.client.number,
+                                     self.kind)
         self.client.transport_sink = self._sink_event
         self.client.direct_sink = self._ship_event
 
@@ -162,12 +173,14 @@ class LoopbackTransport:
     # actual bytes.  frame_size raises the same WireError encode_frame
     # would, so unencodable values fail identically either way.
 
-    def _count_out(self, ftype: int, value=None) -> Optional[bytes]:
+    def _count_out(self, ftype: int, value=None,
+                   ctx: Optional[int] = None) -> Optional[bytes]:
         if self.wire_log is None and not self.verify:
             self._telemetry.bytes_out.value += wire.frame_size(ftype,
-                                                               value)
+                                                               value,
+                                                               ctx)
             return None
-        frame = wire.encode_frame(ftype, value)
+        frame = wire.encode_frame(ftype, value, ctx)
         self._telemetry.bytes_out.value += len(frame)
         if self.wire_log is not None:
             self.wire_log.append(frame)
@@ -205,52 +218,86 @@ class LoopbackTransport:
 
     # -- request paths -------------------------------------------------
 
-    def deliver_batch(self, ops) -> int:
-        frame = self._count_out(wire.BATCH, list(ops))
-        if self.verify:
-            ops = [tuple(op) for op in
-                   wire.decode_frame(frame, self._resolve)[1]]
+    def deliver_batch(self, ops, queue_ms: int = 0) -> int:
+        ops = list(ops)
+        ctx, spans = (_trace.open_wire("batch", queue_ms)
+                      if _trace._ACTIVE else (None, ()))
+        server = self.server
+        prev_ctx = server._trace_ctx
         try:
-            delivered = self.server.deliver_batch(self.client, ops)
-        except XProtocolError as error:
-            self._count_in(wire.ERROR, wire.error_value(error))
-            raise
-        self._count_in(wire.BATCH_ACK, delivered)
-        return delivered
+            frame = self._count_out(wire.BATCH, ops, ctx)
+            if self.verify:
+                ops = [tuple(op) for op in
+                       wire.decode_frame(frame, self._resolve)[1]]
+            server._trace_ctx = ctx
+            try:
+                delivered = server.deliver_batch(self.client, ops)
+            except XProtocolError as error:
+                self._count_in(wire.ERROR, wire.error_value(error))
+                raise
+            self._count_in(wire.BATCH_ACK, delivered)
+            return delivered
+        finally:
+            server._trace_ctx = prev_ctx
+            if spans:
+                _trace.close_wire(ctx, spans)
 
     def request(self, name: str, *args, **kwargs):
-        frame = self._count_out(wire.REQUEST, (name, args, kwargs))
-        if self.verify:
-            name, args, kwargs = wire.decode_frame(frame, self._resolve)[1]
+        ctx, spans = (_trace.open_wire(name)
+                      if _trace._ACTIVE else (None, ()))
         server = self.server
-        server._jclient = self.client.number
-        started = server.time_ms
-        wall = self._wall_clock() if self._wall_clock is not None else None
+        prev_ctx = server._trace_ctx
         try:
-            result = getattr(server, name)(*args, **kwargs)
-        except XProtocolError as error:
-            self._count_in(wire.ERROR, wire.error_value(error))
+            frame = self._count_out(wire.REQUEST, (name, args, kwargs),
+                                    ctx)
+            if self.verify:
+                name, args, kwargs = \
+                    wire.decode_frame(frame, self._resolve)[1]
+            server._jclient = self.client.number
+            started = server.time_ms
+            wall = self._wall_clock() \
+                if self._wall_clock is not None else None
+            server._trace_ctx = ctx
+            try:
+                result = getattr(server, name)(*args, **kwargs)
+            except XProtocolError as error:
+                self._count_in(wire.ERROR, wire.error_value(error))
+                self._observe_rtt(started, wall)
+                self._scrub_if_closed()
+                raise
+            self._count_in(wire.REPLY, result)
             self._observe_rtt(started, wall)
             self._scrub_if_closed()
-            raise
-        self._count_in(wire.REPLY, result)
-        self._observe_rtt(started, wall)
-        self._scrub_if_closed()
-        return result
+            return result
+        finally:
+            server._trace_ctx = prev_ctx
+            if spans:
+                _trace.close_wire(ctx, spans)
 
     def oneway(self, name: str, window, args, kwargs) -> None:
-        frame = self._count_out(wire.ONEWAY, (name, window, args, kwargs))
-        if self.verify:
-            name, window, args, kwargs = \
-                wire.decode_frame(frame, self._resolve)[1]
+        ctx, spans = (_trace.open_wire(name)
+                      if _trace._ACTIVE else (None, ()))
+        server = self.server
+        prev_ctx = server._trace_ctx
         try:
-            getattr(self.server, name)(*args, **kwargs)
-        except XProtocolError as error:
-            self._count_in(wire.ERROR, wire.error_value(error))
+            frame = self._count_out(wire.ONEWAY,
+                                    (name, window, args, kwargs), ctx)
+            if self.verify:
+                name, window, args, kwargs = \
+                    wire.decode_frame(frame, self._resolve)[1]
+            server._trace_ctx = ctx
+            try:
+                getattr(server, name)(*args, **kwargs)
+            except XProtocolError as error:
+                self._count_in(wire.ERROR, wire.error_value(error))
+                self._scrub_if_closed()
+                raise
+            self._count_in(wire.ONEWAY_ACK, None)
             self._scrub_if_closed()
-            raise
-        self._count_in(wire.ONEWAY_ACK, None)
-        self._scrub_if_closed()
+        finally:
+            server._trace_ctx = prev_ctx
+            if spans:
+                _trace.close_wire(ctx, spans)
 
     def _observe_rtt(self, started: int, wall: Optional[int]) -> None:
         self._telemetry.rtt_ms.observe(self.server.time_ms - started)
@@ -602,7 +649,7 @@ class ServerHost:
 
     def _handle_frame(self, conn: _Conn, frame: bytes) -> None:
         try:
-            ftype, value = wire.decode_frame(frame, conn.resolve)
+            ftype, value, ctx = wire.decode_frame_ex(frame, conn.resolve)
         except wire.WireError:
             self._drop_conn(conn)
             return
@@ -622,6 +669,8 @@ class ServerHost:
             return
         if ftype == wire.BATCH:
             ops = [tuple(op) for op in value]
+            prev_ctx = server._trace_ctx
+            server._trace_ctx = ctx
             try:
                 delivered = server.deliver_batch(conn.client, ops)
             except XConnectionLost as error:
@@ -633,10 +682,14 @@ class ServerHost:
                 conn.send_error(error)
             else:
                 conn.send(wire.encode_frame(wire.BATCH_ACK, delivered))
+            finally:
+                server._trace_ctx = prev_ctx
             return
         if ftype == wire.REQUEST:
             name, args, kwargs = value
             server._jclient = conn.client.number
+            prev_ctx = server._trace_ctx
+            server._trace_ctx = ctx
             try:
                 result = getattr(server, name)(*args, **kwargs)
             except XConnectionLost as error:
@@ -654,11 +707,15 @@ class ServerHost:
                         "unencodable reply from %s: %s" % (name, error)))
                 else:
                     conn.send(reply)
+            finally:
+                server._trace_ctx = prev_ctx
             if conn.client.closed:
                 server._scrub_closed(conn.client)
             return
         if ftype == wire.ONEWAY:
             name, _window, args, kwargs = value
+            prev_ctx = server._trace_ctx
+            server._trace_ctx = ctx
             try:
                 getattr(server, name)(*args, **kwargs)
             except XConnectionLost as error:
@@ -670,6 +727,8 @@ class ServerHost:
                 conn.send_error(error)
             else:
                 conn.send(wire.encode_frame(wire.ONEWAY_ACK, None))
+            finally:
+                server._trace_ctx = prev_ctx
             if conn.client.closed:
                 server._scrub_closed(conn.client)
             return
@@ -821,7 +880,7 @@ class SocketTransport:
                                  % wire.frame_name(ftype))
         self.number, self._root, self._width, self._height = value
         self.client = _RemoteClient(self)
-        self._telemetry = _Telemetry(self.server, self.number)
+        self._telemetry = _Telemetry(self.server, self.number, self.kind)
 
     def _handshake_read(self):
         while True:
@@ -956,25 +1015,47 @@ class SocketTransport:
 
     # -- request paths -------------------------------------------------
 
-    def deliver_batch(self, ops) -> int:
-        self._send(wire.encode_frame(wire.BATCH, list(ops)))
-        return self._await_reply(wire.BATCH_ACK)
+    def deliver_batch(self, ops, queue_ms: int = 0) -> int:
+        ctx, spans = (_trace.open_wire("batch", queue_ms)
+                      if _trace._ACTIVE else (None, ()))
+        try:
+            self._send(wire.encode_frame(wire.BATCH, list(ops), ctx))
+            return self._await_reply(wire.BATCH_ACK)
+        finally:
+            if spans:
+                _trace.close_wire(ctx, spans)
 
     def request(self, name: str, *args, **kwargs):
-        started = self.server.time_ms
-        wall = self._wall_clock() if self._wall_clock is not None else None
-        self._send(wire.encode_frame(wire.REQUEST, (name, args, kwargs)))
+        ctx, spans = (_trace.open_wire(name)
+                      if _trace._ACTIVE else (None, ()))
         try:
-            return self._await_reply(wire.REPLY)
+            started = self.server.time_ms
+            wall = self._wall_clock() \
+                if self._wall_clock is not None else None
+            self._send(wire.encode_frame(wire.REQUEST,
+                                         (name, args, kwargs), ctx))
+            try:
+                return self._await_reply(wire.REPLY)
+            finally:
+                self._telemetry.rtt_ms.observe(
+                    self.server.time_ms - started)
+                if wall is not None:
+                    self.wall_rtt_ns.append(self._wall_clock() - wall)
         finally:
-            self._telemetry.rtt_ms.observe(self.server.time_ms - started)
-            if wall is not None:
-                self.wall_rtt_ns.append(self._wall_clock() - wall)
+            if spans:
+                _trace.close_wire(ctx, spans)
 
     def oneway(self, name: str, window, args, kwargs) -> None:
-        self._send(wire.encode_frame(wire.ONEWAY,
-                                     (name, window, args, kwargs)))
-        self._await_reply(wire.ONEWAY_ACK)
+        ctx, spans = (_trace.open_wire(name)
+                      if _trace._ACTIVE else (None, ()))
+        try:
+            self._send(wire.encode_frame(wire.ONEWAY,
+                                         (name, window, args, kwargs),
+                                         ctx))
+            self._await_reply(wire.ONEWAY_ACK)
+        finally:
+            if spans:
+                _trace.close_wire(ctx, spans)
 
     # -- event queue ---------------------------------------------------
 

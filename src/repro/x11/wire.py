@@ -19,7 +19,16 @@ A frame is::
 
 ``length`` is big-endian and covers the type byte plus the payload.
 The payload is exactly one *value* in the tagged encoding below; a
-frame whose payload leaves trailing bytes is rejected.  Frame types:
+frame whose payload leaves trailing bytes is rejected.  The single
+exception is the optional **trace context** on BATCH, ONEWAY, and
+REQUEST frames (codec version 2): when the client has an active span
+tracer, the transport appends one ``T_SPAN`` tagged i64 — the issuing
+wire-span id — after the payload, and the server opens a child span
+under that id for every request it handles (see
+:mod:`repro.obs.trace`).  With no tracer active the field is absent
+and every frame is byte-identical to codec version 1, so traced and
+untraced runs of the same workload differ *only* by the 9-byte
+suffix, and untraced byte accounting is unchanged.  Frame types:
 
 ========== ====== =================================================
 SETUP      0x01   client hello (payload None)
@@ -66,11 +75,17 @@ from .xserver import Client, XConnectionLost, XProtocolError
 
 __all__ = [
     "WireError", "ClientRef", "encode_frame", "decode_frame",
-    "extract_frames", "frame_name", "frame_size", "error_value",
-    "error_from_value",
+    "decode_frame_ex", "extract_frames", "frame_name", "frame_size",
+    "error_value", "error_from_value", "CODEC_VERSION", "TRACED_FRAMES",
     "SETUP", "SETUP_ACK", "BATCH", "BATCH_ACK", "ONEWAY", "ONEWAY_ACK",
     "REQUEST", "REPLY", "ERROR", "EVENT", "MARK", "BYE",
 ]
+
+#: Codec version 2 added the optional trailing trace-context field on
+#: BATCH/ONEWAY/REQUEST frames.  Version 1 frames remain decodable
+#: (the field is optional) and version 1 decoders reject only *traced*
+#: version 2 frames — untraced frames are byte-identical across both.
+CODEC_VERSION = 2
 
 
 class WireError(Exception):
@@ -93,6 +108,11 @@ ERROR = 0x09
 EVENT = 0x0A
 MARK = 0x0B
 BYE = 0x0C
+
+#: Frame types that may carry a trailing trace-context field.  Only
+#: client→server request traffic is traced: replies, events, and
+#: errors inherit causality from the request frame they answer.
+TRACED_FRAMES = frozenset((BATCH, ONEWAY, REQUEST))
 
 FRAME_NAMES = {
     SETUP: "SETUP",
@@ -135,6 +155,10 @@ T_FONT = 0x0E
 T_CURSOR = 0x0F
 T_BITMAP = 0x10
 T_CLIENT = 0x11
+#: Trace-context suffix tag (codec version 2).  Never a payload value:
+#: it may appear only after the payload of a TRACED_FRAMES frame,
+#: followed by one i64 span id.
+T_SPAN = 0x12
 
 _U32 = struct.Struct(">I")
 _I64 = struct.Struct(">q")
@@ -257,13 +281,27 @@ def _encode_value(value, out: bytearray) -> None:
                         % (type(value).__name__, value))
 
 
-def encode_frame(ftype: int, value=None) -> bytes:
-    """One complete frame: length prefix, type byte, encoded payload."""
+def encode_frame(ftype: int, value=None, ctx: Optional[int] = None
+                 ) -> bytes:
+    """One complete frame: length prefix, type byte, encoded payload.
+
+    ``ctx`` is the optional trace context — the issuing wire-span id —
+    appended as a ``T_SPAN`` suffix after the payload.  Only
+    BATCH/ONEWAY/REQUEST frames may carry one; passing a context on
+    any other type raises :class:`WireError`.  ``ctx=None`` (the
+    untraced case) produces codec-version-1 bytes exactly.
+    """
     if ftype not in FRAME_NAMES:
         raise WireError("unknown frame type 0x%02X" % ftype)
     body = bytearray()
     body.append(ftype)
     _encode_value(value, body)
+    if ctx is not None:
+        if ftype not in TRACED_FRAMES:
+            raise WireError("trace context not allowed on %s frame"
+                            % frame_name(ftype))
+        body.append(T_SPAN)
+        body += _I64.pack(ctx)
     return _U32.pack(len(body)) + bytes(body)
 
 
@@ -369,19 +407,26 @@ def _value_size_slow(value) -> int:
                     % (type(value).__name__, value))
 
 
-def frame_size(ftype: int, value=None) -> int:
-    """Exact ``len(encode_frame(ftype, value))`` without encoding.
+def frame_size(ftype: int, value=None, ctx: Optional[int] = None) -> int:
+    """Exact ``len(encode_frame(ftype, value, ctx))`` without encoding.
 
     The loopback transport accounts for bytes on every request; this
     keeps that accounting off the allocation path.  Must stay
     byte-for-byte in lockstep with :func:`encode_frame` — the codec
     tests assert equality over the whole value battery, and the
     transport-invariance gate compares the resulting counters with the
-    socket transport's real encoded traffic.
+    socket transport's real encoded traffic.  A trace context adds the
+    9-byte ``T_SPAN`` suffix, subject to the same frame-type rule.
     """
     if ftype not in FRAME_NAMES:
         raise WireError("unknown frame type 0x%02X" % ftype)
-    return 5 + _value_size(value)
+    size = 5 + _value_size(value)
+    if ctx is not None:
+        if ftype not in TRACED_FRAMES:
+            raise WireError("trace context not allowed on %s frame"
+                            % frame_name(ftype))
+        size += 9
+    return size
 
 
 # ----------------------------------------------------------------------
@@ -502,13 +547,18 @@ def _decode_value(data: bytes, offset: int,
                     % (tag, offset - 1))
 
 
-def decode_frame(frame: bytes,
-                 resolve_client: Optional[Callable[[int], object]] = None
-                 ) -> Tuple[int, object]:
-    """Decode one complete frame into ``(frame_type, payload)``.
+def decode_frame_ex(frame: bytes,
+                    resolve_client: Optional[Callable[[int],
+                                                      object]] = None
+                    ) -> Tuple[int, object, Optional[int]]:
+    """Decode one frame into ``(frame_type, payload, trace_context)``.
 
     ``resolve_client`` maps a connection number to a live object for
     T_CLIENT values; without it they decode to :class:`ClientRef`.
+    ``trace_context`` is the span id from an optional ``T_SPAN``
+    suffix, or None for version-1 (untraced) frames.  Any other
+    trailing bytes — including a trace suffix on a frame type that
+    cannot carry one — are rejected.
     """
     if len(frame) < 5:
         raise WireError("truncated frame: %d bytes" % len(frame))
@@ -520,9 +570,26 @@ def decode_frame(frame: bytes,
     if ftype not in FRAME_NAMES:
         raise WireError("unknown frame type 0x%02X" % ftype)
     value, offset = _decode_value(frame, 5, resolve_client)
+    ctx = None
+    if offset == len(frame) - 9 and frame[offset] == T_SPAN and \
+            ftype in TRACED_FRAMES:
+        ctx = _I64.unpack_from(frame, offset + 1)[0]
+        offset += 9
     if offset != len(frame):
         raise WireError("%d trailing bytes after %s payload"
                         % (len(frame) - offset, frame_name(ftype)))
+    return ftype, value, ctx
+
+
+def decode_frame(frame: bytes,
+                 resolve_client: Optional[Callable[[int], object]] = None
+                 ) -> Tuple[int, object]:
+    """Decode one complete frame into ``(frame_type, payload)``.
+
+    The trace-context suffix, if present, is accepted and discarded;
+    callers that propagate it use :func:`decode_frame_ex`.
+    """
+    ftype, value, _ = decode_frame_ex(frame, resolve_client)
     return ftype, value
 
 

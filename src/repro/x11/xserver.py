@@ -167,6 +167,19 @@ class XServer:
         #: True while requests from a client batch are executing, so
         #: the tracer logs deliveries instead of re-attributing them
         self._delivering_batch = False
+        #: propagated trace context of the frame being handled; set by
+        #: the transports around each BATCH/REQUEST/ONEWAY delivery so
+        #: ``_tick`` can record server-side handle spans under the
+        #: issuing client's wire span (None = untraced traffic)
+        self._trace_ctx = None
+        #: optional time-series recorder (repro.obs.timeseries),
+        #: sampled from the tick hot paths; None costs one test
+        self._recorder = None
+        #: plain tick totals, cheap enough to read per-input without a
+        #: tracer: the fleet harness diffs them to decompose a step's
+        #: latency into handle/wire/wait phases
+        self.tick_count = 0
+        self.idle_count = 0
         #: per-request-type Counter handles, keyed by request name, so
         #: the _tick hot path does one dict probe + one attribute store
         self._request_counters: Dict[str, object] = {}
@@ -374,6 +387,7 @@ class XServer:
 
     def _tick(self, name: str = "request") -> int:
         self.clock.now += 1
+        self.tick_count += 1
         counter = self._request_counters.get(name)
         if counter is None:
             counter = self._request_counters[name] = \
@@ -393,6 +407,17 @@ class XServer:
                 _trace.record_delivery(name)
             else:
                 _trace.record_request(name)
+            ctx = self._trace_ctx
+            if ctx is not None:
+                # The handle span *is* the tick: complete on arrival,
+                # parented across the boundary under the issuing wire
+                # span.  It touches no counters and no journal, so
+                # traced and untraced replays stay byte-identical.
+                now = self.clock.now
+                _trace.record_handle(ctx, name, now - 1, now)
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.maybe_sample()
         plan = self.fault_plan
         if plan is not None:
             plan.on_request(self, name)
@@ -406,6 +431,10 @@ class XServer:
         released even though no client is generating requests.
         """
         self.clock.now += 1
+        self.idle_count += 1
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.maybe_sample()
         if self.fault_plan is not None:
             self.fault_plan.release_due(self)
         return self.time_ms

@@ -9,7 +9,15 @@ ships the exact wire history that produced it, replayable locally with
 ``python -m repro.obs.replay`` (script-driven sessions) or readable
 with ``Journal.load(...).format()``.
 
-Without the environment variable this module does nothing: local runs
+When ``REPRO_FLIGHT_DIR`` is additionally set, a failing test also
+writes one flight-recorder artifact per server it created — the last
+virtual seconds of spans, wire entries, recorder samples, and the full
+metrics snapshot (see
+:meth:`repro.obs.core.Observability.flight_dump`) — next to the
+journals, giving the red run its telemetry timeline, not just its
+wire history.
+
+Without the environment variables this module does nothing: local runs
 pay no overhead and keep their exact hot-path behavior.
 """
 
@@ -50,8 +58,11 @@ if _JOURNAL_DIR:
             os.makedirs(_JOURNAL_DIR, exist_ok=True)
             stem = re.sub(r"[^A-Za-z0-9_.-]+", "-", item.nodeid)
             for index, server in enumerate(_servers):
-                if server.journal is None or not len(server.journal):
-                    continue
-                path = os.path.join(_JOURNAL_DIR, "%s-%d.journal"
-                                    % (stem, index))
-                server.journal.save(path)
+                if server.journal is not None and len(server.journal):
+                    path = os.path.join(_JOURNAL_DIR, "%s-%d.journal"
+                                        % (stem, index))
+                    server.journal.save(path)
+                # Flight artifact next to the journal: autodump is a
+                # no-op unless REPRO_FLIGHT_DIR is set, and never
+                # raises — forensics must not mask the test failure.
+                server.obs.flight_autodump("test-%s-%d" % (stem, index))

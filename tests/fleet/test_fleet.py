@@ -5,7 +5,8 @@ import pytest
 from repro.fleet import (DEFAULT_SLOS, SLO, FleetDriver, SessionSpec,
                          check_slos, format_slos, format_top,
                          make_slow_spec)
-from repro.fleet.__main__ import build_specs
+from repro.fleet.__main__ import build_specs, corpus_journals
+from repro.obs import trace
 from repro.obs.journal import Journal
 from repro.obs.replay import replay_journal
 from repro.x11 import VirtualClock, XServer
@@ -275,3 +276,73 @@ class TestBuildSpecs:
         second = build_specs(4, 13, [])
         assert [spec.source for spec in first] == \
             [spec.source for spec in second]
+
+
+class TestFleetTraceEviction:
+    """Satellite: tracer ring eviction accounting at fleet scale.
+
+    One tracer (cell 0's) watches a 200-session fleet.  Module-level
+    wire/handle hooks fan into every active tracer, so that single
+    ring collects fleet-wide traffic, overflows its 4096-span bound,
+    and must keep its accounting and its cross-boundary parent links
+    intact under heavy eviction.
+    """
+
+    def test_200_session_run_evicts_and_accounts(self):
+        journals = (["examples/golden.journal"]
+                    + corpus_journals("tests/regress"))
+        specs = build_specs(200, 20260808, journals)
+        driver = FleetDriver(specs, seed=20260808)
+        driver.launch()
+        server = driver.servers[0]
+        tracer = server.obs.tracer
+        tracer.start(wire=True)
+        try:
+            result = driver.run()
+
+            # The fleet pushed far more spans than the ring holds.
+            assert tracer.evicted_spans > 0
+            assert len(tracer.spans) == tracer.spans.maxlen
+            # Metric mirror agrees exactly with the attribute.
+            assert server.obs.metrics.value(
+                "obs.trace.evicted", ring="spans") == \
+                tracer.evicted_spans
+
+            # Eviction never corrupts links: spans append in
+            # post-order (children before parents), so a surviving
+            # span either resolves its parent or is re-rooted with an
+            # explicit marker -- and cross-boundary (link="wire")
+            # nodes always carry the original parent id.
+            for node in tracer.tree():
+                if node.get("link") == "wire":
+                    assert node.get("parent_evicted") is True
+                    assert isinstance(node["parent"], int)
+                    assert "orphaned" not in node
+
+            # A frame still in flight when the tracer stops drops its
+            # wire span; the already-recorded handle span must re-root
+            # with the explicit parent link, not as a local orphan.
+            now = server.time_ms
+            ctx, pairs = trace.open_wire("batch", queue_ms=1)
+            trace.record_handle(ctx, "draw_string", now, now + 1)
+            tracer.stop()
+            trace.close_wire(ctx, pairs)
+            rerooted = [node for node in tracer.tree()
+                        if node["kind"] == "xhandle"
+                        and node["name"] == "draw_string"
+                        and node.get("parent_evicted")]
+            assert rerooted
+            assert rerooted[-1]["parent"] == ctx
+            assert "orphaned" not in rerooted[-1]
+
+            # Phase decomposition rides the top-N telemetry rows.
+            rows = result.top_slowest(10)
+            assert rows
+            for row in rows:
+                for key in ("handle_ms", "wire_ms", "wait_ms"):
+                    assert row[key] >= 0
+                assert (row["handle_ms"] + row["wire_ms"]
+                        + row["wait_ms"]) <= row["virtual_ms"]
+            assert any(row["handle_ms"] > 0 for row in rows)
+        finally:
+            tracer.stop()

@@ -230,3 +230,63 @@ class TestInspect:
         from repro.tcl.errors import TclError
         with pytest.raises(TclError, match="bad option"):
             app.interp.eval("inspect peer frobnicate")
+
+
+class TestObsRecorderCommand:
+    def test_start_sample_dump(self, app):
+        app.interp.eval("obs recorder start -cadence 1 -ring 16")
+        app.interp.eval("label .l -text hi\npack append . .l {top}")
+        app.update()
+        text = app.interp.eval("obs recorder dump")
+        assert text.startswith("RECORDER:")
+        assert "x11.requests" in text
+        filtered = app.interp.eval("obs recorder dump x11.batches*")
+        assert "x11.batches" in filtered
+        assert "tcl.commands" not in filtered
+
+    def test_stop_keeps_series(self, app):
+        app.interp.eval("obs recorder start -cadence 1")
+        app.interp.eval("label .l -text hi\npack append . .l {top}")
+        app.update()
+        app.interp.eval("obs recorder stop")
+        assert app.server._recorder is None
+        assert app.interp.eval("obs recorder dump")
+
+    def test_dump_before_start_errors(self, app):
+        with pytest.raises(TclError, match="not started"):
+            app.interp.eval("obs recorder dump")
+
+    def test_bad_switch_and_bad_int(self, app):
+        with pytest.raises(TclError, match="bad switch"):
+            app.interp.eval("obs recorder start -bogus 1")
+        with pytest.raises(TclError, match="expected integer"):
+            app.interp.eval("obs recorder start -cadence abc")
+        with pytest.raises(TclError, match="cadence_ms"):
+            app.interp.eval("obs recorder start -cadence 0")
+
+    def test_bad_subcommand(self, app):
+        with pytest.raises(TclError, match="bad option"):
+            app.interp.eval("obs recorder frobnicate")
+
+
+class TestObsFlightCommand:
+    def test_save_writes_flight_json(self, app, tmp_path):
+        app.interp.eval("obs trace start -wire")
+        app.interp.eval("label .l -text hi\npack append . .l {top}")
+        app.update()
+        path = str(tmp_path / "flight.json")
+        assert app.interp.eval(
+            "obs flight save {%s} -window 500" % path) == path
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["kind"] == "flight"
+        assert data["window_ms"] == 500
+        app.interp.eval("obs trace stop")
+
+    def test_wrong_args(self, app):
+        with pytest.raises(TclError, match="wrong # args"):
+            app.interp.eval("obs flight")
+        with pytest.raises(TclError, match="wrong # args"):
+            app.interp.eval("obs flight save")
+        with pytest.raises(TclError, match="bad switch"):
+            app.interp.eval("obs flight save /tmp/x -bogus 1")

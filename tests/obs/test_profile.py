@@ -88,3 +88,48 @@ class TestReport:
         # ordered by self time, biggest first
         assert data["by_name"][0]["key"] == "proc outer"
         assert data["by_request_type"] == {"draw_string": 2}
+
+
+def build_wire_trace():
+    """A trace that crossed the wire: wire span + handle spans."""
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    tracer.start()
+    outer = tracer.begin("proc", "outer")
+    trace_mod.record_request("draw_string")
+    trace_mod.record_request("draw_string")
+    ctx, pairs = trace_mod.open_wire("batch", queue_ms=2)
+    clock.now += 1
+    trace_mod.record_handle(ctx, "batch", 0, 1)
+    clock.now += 2
+    trace_mod.record_handle(ctx, "draw_string", 1, 3)
+    trace_mod.close_wire(ctx, pairs)
+    tracer.finish(outer)
+    tracer.stop()
+    return tracer
+
+
+class TestServerSideAttribution:
+    def test_handle_time_attributed_to_request_name(self):
+        profile = Profile(build_wire_trace().spans)
+        assert profile.by_request_ms == {"batch": 1, "draw_string": 2}
+
+    def test_counts_table_unperturbed_by_handle_spans(self):
+        profile = Profile(build_wire_trace().spans)
+        # the §3.3 traffic table still counts client-issued requests
+        # only — handle spans never double-count
+        assert profile.by_request == {"draw_string": 2}
+
+    def test_to_dict_key_additive(self):
+        assert "by_request_ms" not in \
+            Profile(build_trace().spans).to_dict()
+        data = Profile(build_wire_trace().spans).to_dict()
+        assert data["by_request_ms"] == {"batch": 1, "draw_string": 2}
+
+    def test_report_shows_handle_ms(self):
+        text = Profile(build_wire_trace().spans).report()
+        assert "draw_string" in text
+        assert "handle 2ms" in text
+        # server-only work (the batch framing tick) appears with a
+        # zero client count rather than vanishing
+        assert "handle 1ms" in text

@@ -1,0 +1,181 @@
+"""Tests for the virtual-time flight recorder (repro.obs.timeseries)."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesRecorder
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def recorder(clock, registry):
+    return TimeSeriesRecorder(clock, registry, cadence_ms=10, ring=4)
+
+
+class TestSampling:
+    def test_maybe_sample_honours_cadence(self, recorder, clock,
+                                          registry):
+        counter = registry.counter("work.items")
+        recorder.start()
+        assert not recorder.maybe_sample()      # zero ms elapsed
+        clock.now = 9
+        assert not recorder.maybe_sample()      # under one cadence
+        clock.now = 10
+        counter.value = 3
+        assert recorder.maybe_sample()
+        assert recorder.series_for("work.items") == [(10, 3)]
+
+    def test_disabled_recorder_never_samples(self, recorder, clock):
+        clock.now = 100
+        assert not recorder.maybe_sample()
+        assert recorder.samples_taken == 0
+
+    def test_stop_keeps_series_readable(self, recorder, clock,
+                                        registry):
+        registry.counter("a").value = 1
+        recorder.start()
+        clock.now = 10
+        recorder.maybe_sample()
+        recorder.stop()
+        clock.now = 50
+        assert not recorder.maybe_sample()
+        assert recorder.series_for("a") == [(10, 1)]
+
+    def test_histogram_samples_to_percentile_snapshot(self, recorder,
+                                                      clock, registry):
+        histogram = registry.histogram("lat.ms")
+        for value in (1, 2, 100):
+            histogram.observe(value)
+        recorder.sample(now=5)
+        ((when, snapshot),) = recorder.series_for("lat.ms")
+        assert when == 5
+        assert snapshot["count"] == 3
+        assert snapshot["sum"] == 103
+        assert {"p50", "p95", "p99"} <= set(snapshot)
+
+    def test_empty_histogram_samples_count_only(self, recorder,
+                                                registry):
+        registry.histogram("lat.ms")
+        recorder.sample(now=1)
+        ((_, snapshot),) = recorder.series_for("lat.ms")
+        assert snapshot == {"count": 0, "sum": 0}
+
+    def test_deterministic_across_identical_runs(self, registry):
+        def run():
+            clock = FakeClock()
+            reg = MetricsRegistry()
+            counter = reg.counter("n")
+            recorder = TimeSeriesRecorder(clock, reg, cadence_ms=5,
+                                          ring=8)
+            recorder.start()
+            for step in range(1, 40):
+                clock.now = step
+                counter.value = step * 2
+                recorder.maybe_sample()
+            return recorder.to_dict()
+        assert run() == run()
+
+
+class TestRing:
+    def test_ring_bounds_and_counts_evictions(self, recorder, clock,
+                                              registry):
+        counter = registry.counter("n")
+        recorder.start()
+        for step in range(1, 7):
+            clock.now = step * 10
+            counter.value = step
+            recorder.maybe_sample()
+        points = recorder.series_for("n")
+        assert len(points) == 4                  # ring=4
+        assert points[0] == (30, 3)              # oldest two evicted
+        assert recorder.evicted == 2
+        assert recorder.samples_taken == 6
+
+    def test_configure_resize_keeps_newest(self, recorder, clock,
+                                           registry):
+        counter = registry.counter("n")
+        recorder.start()
+        for step in range(1, 5):
+            clock.now = step * 10
+            counter.value = step
+            recorder.maybe_sample()
+        recorder.configure(ring=2)
+        assert recorder.series_for("n") == [(30, 3), (40, 4)]
+
+    def test_clear_resets_everything(self, recorder, clock, registry):
+        registry.counter("n").value = 1
+        recorder.start()
+        clock.now = 10
+        recorder.maybe_sample()
+        recorder.clear()
+        assert recorder.series == {}
+        assert recorder.samples_taken == 0
+        assert recorder.evicted == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"cadence_ms": 0}, {"ring": 0}, {"cadence_ms": -5},
+    ])
+    def test_invalid_config_rejected(self, clock, registry, kwargs):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(clock, registry, **kwargs)
+        recorder = TimeSeriesRecorder(clock, registry)
+        with pytest.raises(ValueError):
+            recorder.configure(**kwargs)
+
+
+class TestReads:
+    def test_window_restricts_to_horizon(self, recorder, clock,
+                                         registry):
+        counter = registry.counter("n")
+        recorder.start()
+        for step in range(1, 5):
+            clock.now = step * 10
+            counter.value = step
+            recorder.maybe_sample()
+        window = recorder.window(20, now=40)
+        assert window["n"] == [[20, 2], [30, 3], [40, 4]]
+
+    def test_window_drops_empty_series(self, recorder, clock,
+                                       registry):
+        registry.counter("n")
+        recorder.start()
+        clock.now = 10
+        recorder.maybe_sample()
+        assert recorder.window(5, now=100) == {}
+
+    def test_format_lists_series(self, recorder, clock, registry):
+        registry.counter("tk.widgets").value = 2
+        registry.counter("x11.requests").value = 9
+        recorder.sample(now=7)
+        text = recorder.format()
+        assert "RECORDER: 1 samples every 10ms, 2 series" in text
+        assert "tk.widgets" in text
+        assert recorder.format("x11.*").count("x11.requests") == 1
+        assert "tk.widgets" not in recorder.format("x11.*")
+
+    def test_to_dict_shape(self, recorder, clock, registry):
+        registry.counter("n").value = 5
+        recorder.sample(now=3)
+        data = recorder.to_dict()
+        assert data["cadence_ms"] == 10
+        assert data["ring"] == 4
+        assert data["samples"] == 1
+        assert data["evicted"] == 0
+        assert data["series"] == {"n": [[3, 5]]}

@@ -234,3 +234,28 @@ def test_reply_round_trip_is_a_batch_barrier():
     assert metrics.value("x11.requests",
                          type="configure_window") == before + 2
     assert server.window(win).width == 30
+
+
+def test_wire_metrics_labeled_by_transport():
+    """The x11.wire.* series are pinned to {client=, transport=} labels.
+
+    Mixed-transport fleet cells must keep loopback and socket traffic
+    as separate series; an unlabeled (or client-only) series coming
+    back would silently fold both paths into one.
+    """
+    server = XServer()
+    app = TkApp(server, name="traffic", buffering_enabled=True)
+    app.interp.stdout = io.StringIO()
+    app.update()
+    metrics = server.obs.metrics
+    number = str(app.display.client.number)
+    label = {"client": number, "transport": "loopback"}
+    assert metrics.value("x11.wire.bytes_out", **label) > 0
+    assert metrics.value("x11.wire.bytes_in", **label) > 0
+    rtt = metrics.get("x11.wire.rtt_ms", **label)
+    assert rtt is not None
+    assert rtt.labels == (("client", number), ("transport", "loopback"))
+    # No legacy client-only series may coexist with the labeled ones.
+    assert metrics.get("x11.wire.bytes_out", client=number) is None
+    assert metrics.get("x11.wire.bytes_in", client=number) is None
+    assert metrics.get("x11.wire.rtt_ms", client=number) is None

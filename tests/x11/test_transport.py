@@ -69,7 +69,8 @@ class TestLoopbackAccounting:
         display = Display(server)
         display.create_window(display.root, 0, 0, 10, 10)
         registry = server.obs.metrics
-        label = {"client": str(display.client.number)}
+        label = {"client": str(display.client.number),
+                 "transport": "loopback"}
         assert registry.value("x11.wire.bytes_out", **label) > 0
         assert registry.value("x11.wire.bytes_in", **label) > 0
 
@@ -77,16 +78,15 @@ class TestLoopbackAccounting:
         display = Display(server, buffering_enabled=True)
         win = display.create_window(display.root, 0, 0, 10, 10)
         registry = server.obs.metrics
-        count = registry.histogram(
-            "x11.wire.rtt_ms", client=display.client.number).value
+        label = {"client": display.client.number,
+                 "transport": "loopback"}
+        count = registry.histogram("x11.wire.rtt_ms", **label).value
         display.map_window(win)       # buffered oneway: no round trip
-        assert registry.histogram(
-            "x11.wire.rtt_ms",
-            client=display.client.number).value == count
+        assert registry.histogram("x11.wire.rtt_ms",
+                                  **label).value == count
         display.get_geometry(win)     # reply-bearing
-        assert registry.histogram(
-            "x11.wire.rtt_ms",
-            client=display.client.number).value > count
+        assert registry.histogram("x11.wire.rtt_ms",
+                                  **label).value > count
 
     def test_verify_mode_session_equivalent(self):
         """Decoded-copy delivery proves the codec is lossless."""
@@ -230,11 +230,10 @@ class TestSocketTransport:
                     display.next_event()
                 display.get_geometry(win)
                 registry = server.obs.metrics
-                number = display.client.number
-                return (registry.value("x11.wire.bytes_out",
-                                       client=str(number)),
-                        registry.value("x11.wire.bytes_in",
-                                       client=str(number)))
+                label = {"client": str(display.client.number),
+                         "transport": kind}
+                return (registry.value("x11.wire.bytes_out", **label),
+                        registry.value("x11.wire.bytes_in", **label))
             finally:
                 shutdown_host(server)
 
@@ -249,14 +248,16 @@ class TestSocketFaults:
         win = maker.create_window(maker.root, 0, 0, 10, 10)
         watcher.select_input(win, ev.STRUCTURE_NOTIFY_MASK)
         bytes_before = server.obs.metrics.value(
-            "x11.wire.bytes_in", client=str(watcher.client.number))
+            "x11.wire.bytes_in", client=str(watcher.client.number),
+            transport="socket")
         plan.drop_events(1, event_type=ev.CONFIGURE_NOTIFY)
         maker.configure_window(win, width=50)
         assert watcher.pending() == 0
         # dropped at the transport sink: the frame was never shipped
         assert server.obs.metrics.value(
             "x11.wire.bytes_in",
-            client=str(watcher.client.number)) == bytes_before
+            client=str(watcher.client.number),
+            transport="socket") == bytes_before
         maker.configure_window(win, width=60)
         assert watcher.pending() == 1
 

@@ -321,3 +321,84 @@ class TestCrossTransportIdentity:
         result = replay_journal(Journal.load(GOLDEN), mode="default",
                                 transport="socket")
         assert result.matched, result.report()
+
+
+class TestTraceContext:
+    """Codec v2: the optional trace-context suffix on traced frames."""
+
+    PAYLOADS = {
+        wire.BATCH: [("map_window", 3, (), {})],
+        wire.ONEWAY: ("warp_pointer", 0, (5, 6), {}),
+        wire.REQUEST: ("get_geometry", (3,), {}),
+    }
+
+    def test_codec_version_bumped(self):
+        assert wire.CODEC_VERSION == 2
+
+    @pytest.mark.parametrize("ftype", sorted(wire.TRACED_FRAMES))
+    def test_ctx_round_trips_on_traced_frames(self, ftype):
+        payload = self.PAYLOADS[ftype]
+        for ctx in (0, 1, 41, (1 << 63) - 1, -(1 << 63)):
+            frame = wire.encode_frame(ftype, payload, ctx)
+            got_type, got, got_ctx = wire.decode_frame_ex(frame)
+            assert (got_type, got, got_ctx) == (ftype, payload, ctx)
+
+    @pytest.mark.parametrize("ftype", sorted(wire.TRACED_FRAMES))
+    def test_frame_size_lockstep_with_ctx(self, ftype):
+        payload = self.PAYLOADS[ftype]
+        assert wire.frame_size(ftype, payload) == \
+            len(wire.encode_frame(ftype, payload))
+        assert wire.frame_size(ftype, payload, 7) == \
+            len(wire.encode_frame(ftype, payload, 7))
+        assert wire.frame_size(ftype, payload, 7) == \
+            wire.frame_size(ftype, payload) + 9
+
+    @pytest.mark.parametrize("ftype", sorted(wire.TRACED_FRAMES))
+    def test_untraced_encoding_is_v1_byte_identical(self, ftype):
+        payload = self.PAYLOADS[ftype]
+        assert wire.encode_frame(ftype, payload, None) == \
+            wire.encode_frame(ftype, payload)
+
+    def test_ctx_rejected_on_untraced_frame_types(self):
+        for ftype in (wire.REPLY, wire.EVENT, wire.MARK, wire.BYE):
+            with pytest.raises(WireError):
+                wire.encode_frame(ftype, None if ftype != wire.REPLY
+                                  else 5, 1)
+            with pytest.raises(WireError):
+                wire.frame_size(ftype, None if ftype != wire.REPLY
+                                else 5, 1)
+
+    def test_span_suffix_on_untraced_frame_rejected(self):
+        # Hand-build a REPLY frame with a trailing T_SPAN suffix: the
+        # decoder must treat it as trailing garbage, not trace context.
+        traced = wire.encode_frame(wire.REQUEST,
+                                   self.PAYLOADS[wire.REQUEST], 9)
+        suffix = traced[-9:]
+        assert suffix[0] == wire.T_SPAN
+        reply = wire.encode_frame(wire.REPLY, 5)
+        forged = wire._U32.pack(len(reply) - 4 + 9) + \
+            reply[4:] + suffix
+        with pytest.raises(WireError):
+            wire.decode_frame_ex(forged)
+
+    def test_decode_frame_discards_ctx(self):
+        frame = wire.encode_frame(wire.REQUEST,
+                                  self.PAYLOADS[wire.REQUEST], 13)
+        got_type, got = wire.decode_frame(frame)
+        assert got_type == wire.REQUEST
+        assert got == self.PAYLOADS[wire.REQUEST]
+
+    def test_trailing_garbage_still_rejected_after_ctx(self):
+        frame = wire.encode_frame(wire.REQUEST,
+                                  self.PAYLOADS[wire.REQUEST], 13)
+        padded = wire._U32.pack(len(frame) - 4 + 1) + \
+            frame[4:] + b"\x00"
+        with pytest.raises(WireError):
+            wire.decode_frame_ex(padded)
+
+    def test_truncated_ctx_suffix_rejected(self):
+        frame = wire.encode_frame(wire.REQUEST,
+                                  self.PAYLOADS[wire.REQUEST], 13)
+        cut = wire._U32.pack(len(frame) - 4 - 1) + frame[4:-1]
+        with pytest.raises(WireError):
+            wire.decode_frame_ex(cut)
